@@ -1,0 +1,38 @@
+//! Criterion benchmark behind Figure 6: DivExplorer end-to-end execution
+//! time (outcome encoding + mining + tallies) per dataset and support
+//! threshold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::DatasetId;
+use divexplorer::{DivExplorer, Metric};
+
+fn bench_explorer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explorer");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for id in [
+        DatasetId::Compas,
+        DatasetId::Heart,
+        DatasetId::Bank,
+        DatasetId::Adult,
+        DatasetId::German,
+        DatasetId::Artificial,
+    ] {
+        let gd = id.generate(42);
+        for s in [0.05, 0.1, 0.2] {
+            group.bench_with_input(BenchmarkId::new(id.name(), s), &s, |bencher, &s| {
+                bencher.iter(|| {
+                    DivExplorer::new(s)
+                        .explore(&gd.data, &gd.v, &gd.u, &[Metric::FalsePositiveRate])
+                        .unwrap()
+                        .len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_explorer);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Ablation validating Algorithm 1's core design decision: fusing the
+//! outcome tallies into the mining pass versus mining plain itemsets first
+//! and re-scanning the dataset per frequent itemset to tally outcomes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::DatasetId;
+use divexplorer::counts::OutcomeCounts;
+use divexplorer::{DivExplorer, Metric};
+use fpm::Payload;
+
+fn bench_fused_vs_posthoc(c: &mut Criterion) {
+    let gd = DatasetId::Compas.generate(42);
+    let db = gd.data.to_transactions();
+    let outcomes: Vec<OutcomeCounts> = gd
+        .v
+        .iter()
+        .zip(&gd.u)
+        .map(|(&vi, &ui)| {
+            OutcomeCounts::from_outcome(Metric::FalsePositiveRate.outcome(vi, ui))
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("fused_counts");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for s in [0.05, 0.02] {
+        let params = fpm::MiningParams::with_min_support_fraction(s, db.len());
+
+        group.bench_with_input(BenchmarkId::new("fused", s), &s, |b, &s| {
+            b.iter(|| {
+                DivExplorer::new(s)
+                    .explore(&gd.data, &gd.v, &gd.u, &[Metric::FalsePositiveRate])
+                    .unwrap()
+                    .len()
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("posthoc", s), &s, |b, _| {
+            b.iter(|| {
+                // Mine supports only, then tally outcomes by re-scanning
+                // the database once per frequent itemset.
+                let found = fpm::mine_counts(fpm::Algorithm::FpGrowth, &db, &params);
+                let mut total = 0u64;
+                for fi in &found {
+                    let mut tally = OutcomeCounts::zero();
+                    #[allow(clippy::needless_range_loop)] // t indexes both db and outcomes
+                    for t in 0..db.len() {
+                        if db.covers(t, &fi.items) {
+                            tally.merge(&outcomes[t]);
+                        }
+                    }
+                    total += tally.t as u64;
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fused_vs_posthoc);
+criterion_main!(benches);

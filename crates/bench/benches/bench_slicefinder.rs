@@ -1,0 +1,54 @@
+//! The §6.5 timing comparison: DivExplorer's exhaustive exploration vs
+//! Slice Finder's pruned lattice search, on the artificial dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::artificial;
+use divexplorer::{DivExplorer, Metric};
+use models::log_loss;
+use slicefinder::{find_slices, SliceFinderParams};
+
+fn bench_comparison(c: &mut Criterion) {
+    // A 20k-row instance keeps iterations fast while preserving the shape.
+    let d = artificial::generate(20_000, 42);
+    let losses: Vec<f64> = d
+        .v
+        .iter()
+        .zip(&d.u)
+        .map(|(&vi, &ui)| log_loss(vi, if ui { 0.99 } else { 0.01 }))
+        .collect();
+
+    let mut group = c.benchmark_group("vs_slicefinder");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("divexplorer_s0.01", |b| {
+        b.iter(|| {
+            DivExplorer::new(0.01)
+                .explore(&d.data, &d.v, &d.u, &[Metric::FalsePositiveRate])
+                .unwrap()
+                .len()
+        })
+    });
+    group.bench_function("slicefinder_default", |b| {
+        let params = SliceFinderParams {
+            degree: 3,
+            min_size: 200,
+            ..Default::default()
+        };
+        b.iter(|| find_slices(&d.data, &losses, &params).slices.len())
+    });
+    group.bench_function("slicefinder_exhaustive_T", |b| {
+        // Raised threshold -> the search expands everything up to degree 3.
+        let params = SliceFinderParams {
+            degree: 3,
+            min_size: 200,
+            effect_size_threshold: 0.8,
+            ..Default::default()
+        };
+        b.iter(|| find_slices(&d.data, &losses, &params).slices.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_comparison);
+criterion_main!(benches);

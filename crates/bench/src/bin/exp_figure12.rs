@@ -1,0 +1,57 @@
+//! Figure 12: the §6.6 user study, simulated.
+//!
+//! Bias is injected into the COMPAS training split on the pattern
+//! `{age>45, charge=M}` (all outcomes forced positive), a biased MLP is
+//! trained, and its test-split misclassifications are analyzed with
+//! DivExplorer, Slice Finder and LIME. Simulated respondents (see
+//! `bench::userstudy`) pick top-5 itemsets from each tool's output; we
+//! report hit and partial-hit percentages per group.
+
+use bench::userstudy::{prepare, run_study};
+use bench::{banner, fmt_f, TextTable};
+
+fn main() {
+    banner("Figure 12", "Simulated user study: recovering injected bias {age>45, charge=M}");
+    let setup = prepare(6172, 42);
+    println!(
+        "test split: {} rows; biased-model test error = {:.3}",
+        setup.data.n_rows(),
+        setup
+            .v
+            .iter()
+            .zip(&setup.u)
+            .filter(|(a, b)| a != b)
+            .count() as f64
+            / setup.v.len() as f64
+    );
+    println!("injected pattern: {}\n", setup.data.schema().display_itemset(&setup.injected));
+
+    let users_per_group = std::env::var("DIVEXP_USERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9);
+    let results = run_study(&setup, users_per_group, 7);
+
+    let mut table = TextTable::new(["group", "hit %", "partial hit %", "combined %"]);
+    let mut rates = std::collections::HashMap::new();
+    for (group, hit, partial) in &results {
+        table.row([
+            group.name().to_string(),
+            fmt_f(*hit, 1),
+            fmt_f(*partial, 1),
+            fmt_f(hit + partial, 1),
+        ]);
+        rates.insert(group.name(), hit + partial);
+    }
+    table.print();
+
+    println!(
+        "\nShape check (paper): DivExplorer leads (88.9% combined in the paper),\n\
+         Slice Finder yields mostly partial hits (its pruning returns the two single\n\
+         items as already-problematic), examples-only trails."
+    );
+    assert!(
+        rates["DivExplorer"] >= rates["examples-only"],
+        "DivExplorer must not trail the no-tool baseline"
+    );
+}

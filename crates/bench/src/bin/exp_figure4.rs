@@ -1,0 +1,63 @@
+//! Figure 4: global vs individual item divergence (FPR) on the *artificial*
+//! dataset (s = 0.01). Attributes a, b, c cause divergence only jointly;
+//! global divergence isolates them, individual divergence cannot.
+
+use bench::{banner, bar, fmt_f, TextTable};
+use datasets::artificial;
+use divexplorer::{global_div::global_item_divergence, DivExplorer, Metric};
+
+fn main() {
+    banner("Figure 4", "Global vs individual item divergence, artificial dataset (s=0.01)");
+    let d = artificial::generate(50_000, 42);
+    let report = DivExplorer::new(0.01)
+        .explore(&d.data, &d.v, &d.u, &[Metric::FalsePositiveRate])
+        .expect("explore");
+    println!("{} frequent itemsets\n", report.len());
+
+    let globals = global_item_divergence(&report, 0);
+    let schema = report.schema();
+
+    let g_max = globals.iter().map(|(_, g)| g.abs()).fold(0.0, f64::max);
+    let individual: Vec<(u32, f64)> = globals
+        .iter()
+        .map(|&(item, _)| {
+            let delta = report
+                .find(&[item])
+                .map(|idx| report.divergence(idx, 0))
+                .unwrap_or(f64::NAN);
+            (item, delta)
+        })
+        .collect();
+    let i_max = individual.iter().map(|(_, d)| d.abs()).fold(0.0, f64::max);
+
+    let mut table = TextTable::new(["item", "global Δᵍ", "(rel)", "individual Δ", "(rel)"]);
+    for (&(item, g), &(_, ind)) in globals.iter().zip(&individual) {
+        table.row([
+            schema.display_item(item),
+            fmt_f(g, 5),
+            bar(g, g_max, 20),
+            fmt_f(ind, 5),
+            bar(ind, i_max, 20),
+        ]);
+    }
+    table.print();
+
+    // Shape check: a/b/c items dominate the global ranking.
+    let mut by_global = globals.clone();
+    by_global.sort_by(|x, y| y.1.abs().partial_cmp(&x.1.abs()).unwrap());
+    let top6: Vec<String> = by_global
+        .iter()
+        .take(6)
+        .map(|&(item, _)| schema.display_item(item))
+        .collect();
+    println!("\ntop-6 by |global divergence|: {}", top6.join(", "));
+    let abc_in_top6 = top6
+        .iter()
+        .filter(|name| ["a=", "b=", "c="].iter().any(|p| name.starts_with(p)))
+        .count();
+    assert!(
+        abc_in_top6 == 6,
+        "global divergence should isolate the six a/b/c items, got {abc_in_top6}/6"
+    );
+    println!("=> all six a/b/c items lead the global ranking (paper's Figure 4 shape).");
+}

@@ -1,0 +1,47 @@
+//! Figure 5: global vs individual item divergence for FPR on COMPAS
+//! (s = 0.1) — race contributes more divergence in association than its
+//! individual rate suggests.
+
+use bench::{banner, bar, fmt_f, TextTable};
+use datasets::compas;
+use divexplorer::{global_div::global_item_divergence, DivExplorer, Metric};
+
+fn main() {
+    banner("Figure 5", "Global vs individual item divergence, COMPAS FPR (s=0.1)");
+    let d = compas::generate(6172, 42).into_dataset();
+    let report = DivExplorer::new(0.1)
+        .explore(&d.data, &d.v, &d.u, &[Metric::FalsePositiveRate])
+        .expect("explore");
+
+    let mut globals = global_item_divergence(&report, 0);
+    globals.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let schema = report.schema();
+    let g_max = globals.iter().map(|(_, g)| g.abs()).fold(0.0, f64::max);
+
+    let mut table = TextTable::new(["item", "global Δᵍ", "(rel)", "individual Δ", "(rel)"]);
+    let individuals: Vec<f64> = globals
+        .iter()
+        .map(|&(item, _)| {
+            report
+                .find(&[item])
+                .map(|idx| report.divergence(idx, 0))
+                .unwrap_or(f64::NAN)
+        })
+        .collect();
+    let i_max = individuals.iter().map(|d| d.abs()).fold(0.0, f64::max);
+    for (&(item, g), &ind) in globals.iter().zip(&individuals) {
+        table.row([
+            schema.display_item(item),
+            fmt_f(g, 5),
+            bar(g, g_max, 20),
+            fmt_f(ind, 3),
+            bar(ind, i_max, 20),
+        ]);
+    }
+    table.print();
+
+    println!(
+        "\nShape check (paper): race=Afr-Am ranks close to #prior>3 in *global*\n\
+         divergence — race plays a role jointly with other factors."
+    );
+}

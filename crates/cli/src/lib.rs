@@ -1,0 +1,580 @@
+//! Library behind the `divexplorer` command-line tool.
+//!
+//! The CLI analyzes a CSV with feature columns plus a ground-truth column
+//! and a prediction column, and exposes the main analyses as subcommands:
+//!
+//! ```text
+//! divexplorer explore    --input data.csv --label y --pred yhat [--metric FPR,FNR]
+//!                        [--support 0.05] [--top 10] [--bins 3] [--prune 0.05]
+//!                        [--fdr 0.05] [--json]
+//! divexplorer shapley    --input data.csv --label y --pred yhat --itemset "a=1,b=x"
+//! divexplorer corrective --input data.csv --label y --pred yhat [--top 5]
+//! divexplorer global     --input data.csv --label y --pred yhat [--top 15]
+//! divexplorer lattice    --input data.csv --label y --pred yhat --itemset "a=1,b=x"
+//!                        [--threshold 0.1] [--dot]
+//! divexplorer fairness   --input data.csv --label y --pred yhat [--top 3]
+//! ```
+//!
+//! All logic lives here (parameterized over the CSV *content* and an output
+//! writer) so it is unit-testable without touching the filesystem.
+
+use std::fmt::Write as _;
+
+use datasets::csv::{parse_csv, CsvTable};
+use divexplorer::{
+    corrective::top_corrective,
+    fairness::{audit_fairness, Criterion},
+    global_div::global_item_divergence,
+    lattice::sublattice,
+    pruning::prune_redundant,
+    shapley::item_contributions,
+    DiscreteDataset, DivExplorer, ItemId, Metric, SortBy,
+};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// The subcommand.
+    pub command: Command,
+    /// CSV path.
+    pub input: String,
+    /// Ground-truth column name.
+    pub label: String,
+    /// Prediction column name.
+    pub pred: String,
+    /// Metrics to analyze.
+    pub metrics: Vec<Metric>,
+    /// Minimum support threshold.
+    pub support: f64,
+    /// How many rows to print.
+    pub top: usize,
+    /// Quantile bins for numeric columns.
+    pub bins: usize,
+    /// Optional ε-redundancy pruning.
+    pub prune: Option<f64>,
+    /// Optional FDR level for significance screening.
+    pub fdr: Option<f64>,
+    /// Emit JSON instead of a table (explore only).
+    pub json: bool,
+    /// Target itemset (shapley/lattice), as `attr=value` pairs.
+    pub itemset: Vec<(String, String)>,
+    /// Lattice highlight threshold.
+    pub threshold: f64,
+    /// Emit Graphviz DOT (lattice only).
+    pub dot: bool,
+}
+
+/// The supported subcommands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Rank divergent subgroups.
+    Explore,
+    /// Shapley attribution of one itemset.
+    Shapley,
+    /// Top corrective items.
+    Corrective,
+    /// Global item divergence.
+    Global,
+    /// Sub-lattice rendering.
+    Lattice,
+    /// Group-fairness audit (four criteria per subgroup).
+    Fairness,
+}
+
+/// CLI errors, all user-facing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// Bad usage with an explanation.
+    Usage(String),
+    /// Input processing failed.
+    Input(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Input(msg) => write!(f, "input error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The usage banner printed on `--help` or bad usage.
+pub const USAGE: &str = "\
+divexplorer — pattern-divergence analysis of classifier behavior
+
+USAGE:
+  divexplorer <explore|shapley|corrective|global|lattice|fairness> --input FILE \\
+      --label COL --pred COL [options]
+
+OPTIONS:
+  --metric LIST      comma-separated metrics (FPR,FNR,ER,ACC,TPR,TNR,PPV,NPV,FDR,FOR) [FPR]
+  --support S        minimum support threshold in (0,1] [0.05]
+  --top K            rows to print [10]
+  --bins B           quantile bins for numeric columns [3]
+  --prune EPS        apply ε-redundancy pruning (explore)
+  --fdr Q            keep only FDR-significant patterns at level Q (explore)
+  --json             JSON output (explore)
+  --itemset SPEC     target pattern, e.g. \"sex=Male,#prior=>3\" (shapley, lattice)
+  --threshold T      lattice highlight threshold [0.1]
+  --dot              emit Graphviz DOT (lattice)
+";
+
+impl Args {
+    /// Parses arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, CliError> {
+        let mut it = argv.into_iter().peekable();
+        let command = match it.next().as_deref() {
+            Some("explore") => Command::Explore,
+            Some("shapley") => Command::Shapley,
+            Some("corrective") => Command::Corrective,
+            Some("global") => Command::Global,
+            Some("lattice") => Command::Lattice,
+            Some("fairness") => Command::Fairness,
+            Some(other) => return Err(CliError::Usage(format!("unknown command '{other}'"))),
+            None => return Err(CliError::Usage("missing command".to_string())),
+        };
+        let mut args = Args {
+            command,
+            input: String::new(),
+            label: String::new(),
+            pred: String::new(),
+            metrics: vec![Metric::FalsePositiveRate],
+            support: 0.05,
+            top: 10,
+            bins: 3,
+            prune: None,
+            fdr: None,
+            json: false,
+            itemset: Vec::new(),
+            threshold: 0.1,
+            dot: false,
+        };
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<String, CliError> {
+                it.next().ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+            };
+            match flag.as_str() {
+                "--input" => args.input = value("--input")?,
+                "--label" => args.label = value("--label")?,
+                "--pred" => args.pred = value("--pred")?,
+                "--metric" => args.metrics = parse_metrics(&value("--metric")?)?,
+                "--support" => args.support = parse_num(&value("--support")?, "--support")?,
+                "--top" => args.top = parse_num::<usize>(&value("--top")?, "--top")?,
+                "--bins" => args.bins = parse_num::<usize>(&value("--bins")?, "--bins")?,
+                "--prune" => args.prune = Some(parse_num(&value("--prune")?, "--prune")?),
+                "--fdr" => args.fdr = Some(parse_num(&value("--fdr")?, "--fdr")?),
+                "--json" => args.json = true,
+                "--itemset" => args.itemset = parse_itemset_spec(&value("--itemset")?)?,
+                "--threshold" => args.threshold = parse_num(&value("--threshold")?, "--threshold")?,
+                "--dot" => args.dot = true,
+                other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
+            }
+        }
+        if args.input.is_empty() {
+            return Err(CliError::Usage("--input is required".to_string()));
+        }
+        if args.label.is_empty() || args.pred.is_empty() {
+            return Err(CliError::Usage("--label and --pred are required".to_string()));
+        }
+        if matches!(command, Command::Shapley | Command::Lattice) && args.itemset.is_empty() {
+            return Err(CliError::Usage("--itemset is required for this command".to_string()));
+        }
+        Ok(args)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, CliError> {
+    s.parse().map_err(|_| CliError::Usage(format!("{flag}: cannot parse '{s}'")))
+}
+
+fn parse_metrics(s: &str) -> Result<Vec<Metric>, CliError> {
+    s.split(',')
+        .map(|name| match name.trim().to_ascii_uppercase().as_str() {
+            "FPR" => Ok(Metric::FalsePositiveRate),
+            "FNR" => Ok(Metric::FalseNegativeRate),
+            "ER" => Ok(Metric::ErrorRate),
+            "ACC" => Ok(Metric::Accuracy),
+            "TPR" => Ok(Metric::TruePositiveRate),
+            "TNR" => Ok(Metric::TrueNegativeRate),
+            "PPV" => Ok(Metric::PositivePredictiveValue),
+            "NPV" => Ok(Metric::NegativePredictiveValue),
+            "FDR" => Ok(Metric::FalseDiscoveryRate),
+            "FOR" => Ok(Metric::FalseOmissionRate),
+            other => Err(CliError::Usage(format!("unknown metric '{other}'"))),
+        })
+        .collect()
+}
+
+fn parse_itemset_spec(s: &str) -> Result<Vec<(String, String)>, CliError> {
+    s.split(',')
+        .map(|pair| {
+            let (attr, value) = pair
+                .split_once('=')
+                .ok_or_else(|| CliError::Usage(format!("bad itemset element '{pair}'")))?;
+            Ok((attr.trim().to_string(), value.trim().to_string()))
+        })
+        .collect()
+}
+
+/// The analysis input assembled from a CSV.
+pub struct Prepared {
+    /// Feature table (label/pred columns removed).
+    pub data: DiscreteDataset,
+    /// Ground truth.
+    pub v: Vec<bool>,
+    /// Predictions.
+    pub u: Vec<bool>,
+}
+
+/// Builds the dataset from CSV *content* (exposed for tests; `run_with_content`
+/// drives it).
+pub fn prepare(content: &str, args: &Args) -> Result<Prepared, CliError> {
+    let table = parse_csv(content, ',').map_err(|e| CliError::Input(e.to_string()))?;
+    let label_col = column_index(&table, &args.label)?;
+    let pred_col = column_index(&table, &args.pred)?;
+    let v = parse_bool_column(&table.columns[label_col], &args.label)?;
+    let u = parse_bool_column(&table.columns[pred_col], &args.pred)?;
+
+    let mut header = Vec::new();
+    let mut columns = Vec::new();
+    for (i, name) in table.header.iter().enumerate() {
+        if i != label_col && i != pred_col {
+            header.push(name.clone());
+            columns.push(table.columns[i].clone());
+        }
+    }
+    if header.is_empty() {
+        return Err(CliError::Input("no feature columns left".to_string()));
+    }
+    let data = CsvTable { header, columns }
+        .into_dataset(args.bins)
+        .map_err(|e| CliError::Input(e.to_string()))?;
+    Ok(Prepared { data, v, u })
+}
+
+fn column_index(table: &CsvTable, name: &str) -> Result<usize, CliError> {
+    table
+        .header
+        .iter()
+        .position(|h| h == name)
+        .ok_or_else(|| CliError::Input(format!("column '{name}' not found")))
+}
+
+fn parse_bool_column(column: &[String], name: &str) -> Result<Vec<bool>, CliError> {
+    column
+        .iter()
+        .map(|cell| match cell.trim().to_ascii_lowercase().as_str() {
+            "1" | "true" | "t" | "yes" => Ok(true),
+            "0" | "false" | "f" | "no" => Ok(false),
+            other => Err(CliError::Input(format!(
+                "column '{name}': cannot parse '{other}' as a boolean"
+            ))),
+        })
+        .collect()
+}
+
+/// Resolves an `attr=value` spec against the schema.
+fn resolve_itemset(
+    data: &DiscreteDataset,
+    spec: &[(String, String)],
+) -> Result<Vec<ItemId>, CliError> {
+    let mut items: Vec<ItemId> = spec
+        .iter()
+        .map(|(attr, value)| {
+            data.schema().item_by_name(attr, value).ok_or_else(|| {
+                CliError::Input(format!("unknown item {attr}={value}"))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    items.sort_unstable();
+    Ok(items)
+}
+
+/// Runs the command against CSV content, writing the report to `out`.
+pub fn run_with_content(args: &Args, content: &str, out: &mut String) -> Result<(), CliError> {
+    let prepared = prepare(content, args)?;
+    if args.command == Command::Fairness {
+        return run_fairness(args, &prepared, out);
+    }
+    let report = DivExplorer::new(args.support)
+        .explore(&prepared.data, &prepared.v, &prepared.u, &args.metrics)
+        .map_err(|e| CliError::Input(e.to_string()))?;
+
+    match args.command {
+        Command::Explore => {
+            if args.json {
+                let export = report.export();
+                let json = serde_json::to_string_pretty(&export)
+                    .expect("report export serializes");
+                out.push_str(&json);
+                out.push('\n');
+                return Ok(());
+            }
+            for (m, metric) in args.metrics.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "Δ_{metric} (overall {metric} = {:.3}, {} patterns):",
+                    report.dataset_rate(m),
+                    report.len()
+                );
+                let kept: Option<std::collections::HashSet<usize>> = match (args.prune, args.fdr)
+                {
+                    (Some(eps), _) => Some(prune_redundant(&report, m, eps).into_iter().collect()),
+                    (None, Some(q)) => Some(report.significant_at_fdr(m, q).into_iter().collect()),
+                    (None, None) => None,
+                };
+                let mut shown = 0;
+                for idx in report.ranked(m, SortBy::Divergence) {
+                    if let Some(kept) = &kept {
+                        if !kept.contains(&idx) {
+                            continue;
+                        }
+                    }
+                    let _ = writeln!(
+                        out,
+                        "  {:<55} sup={:.2} Δ={:+.3} t={:.1}",
+                        report.display_itemset(&report[idx].items),
+                        report.support_fraction(idx),
+                        report.divergence(idx, m),
+                        report.t_statistic(idx, m),
+                    );
+                    shown += 1;
+                    if shown >= args.top {
+                        break;
+                    }
+                }
+            }
+        }
+        Command::Shapley => {
+            let items = resolve_itemset(&prepared.data, &args.itemset)?;
+            let idx = report
+                .find(&items)
+                .ok_or_else(|| CliError::Input("itemset is not frequent".to_string()))?;
+            let _ = writeln!(
+                out,
+                "{}  Δ = {:+.3}",
+                report.display_itemset(&items),
+                report.divergence(idx, 0)
+            );
+            let contributions = item_contributions(&report, &items, 0)
+                .map_err(|e| CliError::Input(e.to_string()))?;
+            for (item, c) in contributions {
+                let _ = writeln!(out, "  {:<40} {c:+.3}", report.schema().display_item(item));
+            }
+        }
+        Command::Corrective => {
+            for c in top_corrective(&report, 0, args.top, None) {
+                let _ = writeln!(
+                    out,
+                    "  {} + {}  |Δ| {:.3} → {:.3} (c_f {:.3}, t {:.1})",
+                    report.display_itemset(&c.base),
+                    report.schema().display_item(c.item),
+                    c.delta_base.abs(),
+                    c.delta_extended.abs(),
+                    c.corrective_factor,
+                    c.t,
+                );
+            }
+        }
+        Command::Global => {
+            let mut globals = global_item_divergence(&report, 0);
+            globals.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            for (item, g) in globals.into_iter().take(args.top) {
+                let _ = writeln!(out, "  {:<40} {g:+.5}", report.schema().display_item(item));
+            }
+        }
+        Command::Lattice => {
+            let items = resolve_itemset(&prepared.data, &args.itemset)?;
+            let lattice = sublattice(&report, &items, 0, args.threshold)
+                .map_err(|e| CliError::Input(e.to_string()))?;
+            out.push_str(&if args.dot { lattice.to_dot() } else { lattice.to_ascii() });
+        }
+        Command::Fairness => unreachable!("dispatched before exploration"),
+    }
+    Ok(())
+}
+
+fn run_fairness(args: &Args, prepared: &Prepared, out: &mut String) -> Result<(), CliError> {
+    let audit = audit_fairness(&prepared.data, &prepared.v, &prepared.u, args.support)
+        .map_err(|e| CliError::Input(e.to_string()))?;
+    let _ = writeln!(out, "{} subgroups scored against 4 criteria", audit.violations.len());
+    for criterion in Criterion::ALL {
+        let _ = writeln!(out, "\nworst by {}:", criterion.name());
+        for violation in audit.worst(criterion, args.top.min(5)) {
+            let _ = writeln!(
+                out,
+                "  {:<50} deviation {:+.3} (sup {:.2})",
+                audit.report.display_itemset(&violation.items),
+                violation.deviation(criterion),
+                violation.support,
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Entry point for the binary: reads the input file and runs the command.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let content = std::fs::read_to_string(&args.input)
+        .map_err(|e| CliError::Input(format!("{}: {e}", args.input)))?;
+    let mut out = String::new();
+    run_with_content(args, &content, &mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CSV: &str = "\
+grp,other,y,yhat
+a,x,0,1
+a,y,0,1
+a,x,0,1
+a,y,0,0
+b,x,0,0
+b,y,0,0
+b,x,0,0
+b,y,0,1
+";
+
+    fn base_args(command: &str) -> Vec<String> {
+        [command, "--input", "mem.csv", "--label", "y", "--pred", "yhat", "--support", "0.25"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn parse_requires_command_and_io_flags() {
+        assert!(matches!(Args::parse(Vec::<String>::new()), Err(CliError::Usage(_))));
+        assert!(matches!(
+            Args::parse(vec!["explore".to_string()]),
+            Err(CliError::Usage(_))
+        ));
+        let args = Args::parse(base_args("explore")).unwrap();
+        assert_eq!(args.command, Command::Explore);
+        assert_eq!(args.support, 0.25);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flags_metrics_and_specs() {
+        let mut argv = base_args("explore");
+        argv.push("--bogus".to_string());
+        assert!(matches!(Args::parse(argv), Err(CliError::Usage(_))));
+
+        let mut argv = base_args("explore");
+        argv.extend(["--metric".to_string(), "NOPE".to_string()]);
+        assert!(matches!(Args::parse(argv), Err(CliError::Usage(_))));
+
+        let mut argv = base_args("shapley");
+        argv.extend(["--itemset".to_string(), "broken".to_string()]);
+        assert!(matches!(Args::parse(argv), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn explore_prints_the_divergent_group_first() {
+        let args = Args::parse(base_args("explore")).unwrap();
+        let mut out = String::new();
+        run_with_content(&args, CSV, &mut out).unwrap();
+        // The pair (grp=a, other=x) has FPR 1.0 vs overall 0.5 and tops
+        // the ranking; the single grp=a (Δ = +0.25) must also appear.
+        let first_row = out.lines().nth(1).unwrap();
+        assert!(first_row.contains("grp=a"), "got: {first_row}");
+        assert!(first_row.contains("Δ=+0.500"), "got: {first_row}");
+        assert!(out.contains("Δ=+0.250"));
+    }
+
+    #[test]
+    fn explore_json_emits_a_parsable_export() {
+        let mut argv = base_args("explore");
+        argv.push("--json".to_string());
+        let args = Args::parse(argv).unwrap();
+        let mut out = String::new();
+        run_with_content(&args, CSV, &mut out).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(parsed["metrics"][0], "FPR");
+        assert!(parsed["patterns"].as_array().unwrap().len() > 2);
+    }
+
+    #[test]
+    fn shapley_command_attributes_the_pair() {
+        let mut argv = base_args("shapley");
+        argv.extend(["--itemset".to_string(), "grp=a,other=x".to_string()]);
+        let args = Args::parse(argv).unwrap();
+        let mut out = String::new();
+        run_with_content(&args, CSV, &mut out).unwrap();
+        assert!(out.contains("grp=a, other=x"));
+        assert!(out.contains("grp=a") && out.contains("other=x"));
+    }
+
+    #[test]
+    fn lattice_command_renders_ascii_and_dot() {
+        let mut argv = base_args("lattice");
+        argv.extend(["--itemset".to_string(), "grp=a,other=x".to_string()]);
+        let args = Args::parse(argv.clone()).unwrap();
+        let mut out = String::new();
+        run_with_content(&args, CSV, &mut out).unwrap();
+        assert!(out.contains("level 0:"));
+
+        argv.push("--dot".to_string());
+        let args = Args::parse(argv).unwrap();
+        let mut out = String::new();
+        run_with_content(&args, CSV, &mut out).unwrap();
+        assert!(out.starts_with("digraph"));
+    }
+
+    #[test]
+    fn unknown_columns_and_items_error_cleanly() {
+        let mut argv = base_args("explore");
+        argv[4] = "nope".to_string(); // --label value
+        let args = Args::parse(argv).unwrap();
+        let mut out = String::new();
+        assert!(matches!(
+            run_with_content(&args, CSV, &mut out),
+            Err(CliError::Input(_))
+        ));
+
+        let mut argv = base_args("shapley");
+        argv.extend(["--itemset".to_string(), "grp=zzz".to_string()]);
+        let args = Args::parse(argv).unwrap();
+        let mut out = String::new();
+        assert!(matches!(
+            run_with_content(&args, CSV, &mut out),
+            Err(CliError::Input(_))
+        ));
+    }
+
+    #[test]
+    fn fairness_command_scores_criteria() {
+        let args = Args::parse(base_args("fairness")).unwrap();
+        let mut out = String::new();
+        run_with_content(&args, CSV, &mut out).unwrap();
+        assert!(out.contains("worst by demographic parity"));
+        assert!(out.contains("worst by equalized odds"));
+        assert!(out.contains("grp="));
+    }
+
+    #[test]
+    fn corrective_and_global_commands_run() {
+        for cmd in ["corrective", "global"] {
+            let args = Args::parse(base_args(cmd)).unwrap();
+            let mut out = String::new();
+            run_with_content(&args, CSV, &mut out).unwrap();
+        }
+    }
+
+    #[test]
+    fn bad_boolean_labels_error() {
+        let args = Args::parse(base_args("explore")).unwrap();
+        let mut out = String::new();
+        let bad = "grp,y,yhat\na,maybe,1\n";
+        assert!(matches!(
+            run_with_content(&args, bad, &mut out),
+            Err(CliError::Input(_))
+        ));
+    }
+}

@@ -1,0 +1,23 @@
+//! The `divexplorer` command-line binary (thin wrapper over [`cli`]).
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") || argv.is_empty() {
+        print!("{}", cli::USAGE);
+        std::process::exit(if argv.is_empty() { 2 } else { 0 });
+    }
+    let args = match cli::Args::parse(argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("{e}\n\n{}", cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Synthetic *adult* census-income stand-in (45,222 × 11, Table 4).
+//!
+//! Mirrors the UCI Adult dataset's eleven analysis attributes and plants the
+//! subgroup structure behind the paper's adult experiments (Tables 5–6,
+//! Figures 8–10):
+//!
+//! - the label (`income > 50K`) has irreducible noise concentrated in the
+//!   {status=Married, occup=Prof} region, so any trained classifier
+//!   over-predicts the positive class there — the planted **FPR** pattern;
+//! - young, unmarried, no-capital-gain instances are rarely positive, so
+//!   the rare positives among them are missed — the planted **FNR** pattern;
+//! - `edu=Masters` is *correlated* with Married/Prof but has no direct
+//!   error effect, giving it high individual FPR divergence and low global
+//!   divergence (Figure 9's contrast).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::effect::{inject_errors, sample_weighted, EffectModel};
+use crate::GeneratedDataset;
+use divexplorer::DatasetBuilder;
+
+/// Attribute indices in the generated schema.
+pub mod attr {
+    pub const AGE: usize = 0;
+    pub const WORKCLASS: usize = 1;
+    pub const EDU: usize = 2;
+    pub const STATUS: usize = 3;
+    pub const OCCUP: usize = 4;
+    pub const RELATION: usize = 5;
+    pub const RACE: usize = 6;
+    pub const SEX: usize = 7;
+    pub const GAIN: usize = 8;
+    pub const LOSS: usize = 9;
+    pub const HOURS: usize = 10;
+}
+
+/// Value codes used by the planted effects.
+pub mod code {
+    pub const AGE_LE28: u16 = 0;
+    pub const AGE_29_40: u16 = 1;
+    pub const AGE_GT40: u16 = 2;
+    pub const EDU_HS: u16 = 0;
+    pub const EDU_SOMECOLL: u16 = 1;
+    pub const EDU_BACHELORS: u16 = 2;
+    pub const EDU_MASTERS: u16 = 3;
+    pub const EDU_DOCTORATE: u16 = 4;
+    pub const EDU_OTHER: u16 = 5;
+    pub const STATUS_MARRIED: u16 = 0;
+    pub const STATUS_UNMARRIED: u16 = 1;
+    pub const STATUS_DIVORCED: u16 = 2;
+    pub const OCCUP_PROF: u16 = 0;
+    pub const OCCUP_EXEC: u16 = 1;
+    pub const OCCUP_SALES: u16 = 2;
+    pub const OCCUP_SERVICE: u16 = 3;
+    pub const OCCUP_CRAFT: u16 = 4;
+    pub const OCCUP_OTHER: u16 = 5;
+    pub const REL_HUSBAND: u16 = 0;
+    pub const REL_WIFE: u16 = 1;
+    pub const REL_OWN_CHILD: u16 = 2;
+    pub const REL_NOT_IN_FAMILY: u16 = 3;
+    pub const REL_OTHER: u16 = 4;
+    pub const RACE_WHITE: u16 = 0;
+    pub const SEX_MALE: u16 = 0;
+    pub const SEX_FEMALE: u16 = 1;
+    pub const GAIN_0: u16 = 0;
+    pub const GAIN_POS: u16 = 1;
+    pub const LOSS_0: u16 = 0;
+    pub const HOURS_LE40: u16 = 0;
+    pub const HOURS_GT40: u16 = 1;
+}
+
+/// Generates `n` synthetic adult rows.
+pub fn generate(n: usize, seed: u64) -> GeneratedDataset {
+    use code::*;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut cols: Vec<Vec<u16>> = (0..11).map(|_| Vec::with_capacity(n)).collect();
+    for _ in 0..n {
+        let age = sample_weighted(&mut rng, &[0.30, 0.35, 0.35]);
+        let workclass = sample_weighted(&mut rng, &[0.70, 0.10, 0.15, 0.05]);
+        let edu = sample_weighted(&mut rng, &[0.32, 0.22, 0.18, 0.07, 0.02, 0.19]);
+        // Marital status: older people are more often married.
+        let status = match age {
+            AGE_LE28 => sample_weighted(&mut rng, &[0.25, 0.65, 0.10]),
+            AGE_29_40 => sample_weighted(&mut rng, &[0.55, 0.30, 0.15]),
+            _ => sample_weighted(&mut rng, &[0.62, 0.15, 0.23]),
+        };
+        let sex = sample_weighted(&mut rng, &[0.67, 0.33]);
+        // Occupation: professionals concentrate among the higher educated
+        // (this correlation is what inflates edu=Masters' *individual*
+        // divergence without a direct error effect).
+        let occup = if edu >= EDU_BACHELORS && edu != EDU_OTHER {
+            sample_weighted(&mut rng, &[0.42, 0.22, 0.10, 0.06, 0.05, 0.15])
+        } else {
+            sample_weighted(&mut rng, &[0.06, 0.10, 0.16, 0.22, 0.24, 0.22])
+        };
+        // Relationship follows marital status and sex.
+        let relation = match (status, sex) {
+            (STATUS_MARRIED, SEX_MALE) => sample_weighted(&mut rng, &[0.88, 0.0, 0.02, 0.05, 0.05]),
+            (STATUS_MARRIED, _) => sample_weighted(&mut rng, &[0.0, 0.85, 0.03, 0.06, 0.06]),
+            (STATUS_UNMARRIED, _) if age == AGE_LE28 => {
+                sample_weighted(&mut rng, &[0.0, 0.0, 0.55, 0.35, 0.10])
+            }
+            _ => sample_weighted(&mut rng, &[0.0, 0.0, 0.12, 0.65, 0.23]),
+        };
+        let race = sample_weighted(&mut rng, &[0.85, 0.09, 0.03, 0.03]);
+        let gain = sample_weighted(&mut rng, &[0.92, 0.08]);
+        let loss = sample_weighted(&mut rng, &[0.95, 0.05]);
+        let hours = if occup == OCCUP_EXEC || occup == OCCUP_PROF {
+            sample_weighted(&mut rng, &[0.55, 0.45])
+        } else {
+            sample_weighted(&mut rng, &[0.75, 0.25])
+        };
+        for (col, value) in cols.iter_mut().zip([
+            age, workclass, edu, status, occup, relation, race, sex, gain, loss, hours,
+        ]) {
+            col.push(value);
+        }
+    }
+
+    // Ground truth: income > 50K. Note the Married∧Prof region sits near
+    // p ≈ 0.6–0.75: a trained classifier predicts positive there, and the
+    // 25–40% genuine negatives become its false positives.
+    let v_model = EffectModel::with_base(-2.0)
+        .effect(attr::STATUS, STATUS_MARRIED, 1.4)
+        .effect(attr::OCCUP, OCCUP_PROF, 0.9)
+        .effect(attr::OCCUP, OCCUP_EXEC, 0.8)
+        .effect(attr::EDU, EDU_BACHELORS, 0.6)
+        .effect(attr::EDU, EDU_MASTERS, 0.9)
+        .effect(attr::EDU, EDU_DOCTORATE, 1.2)
+        .effect(attr::AGE, AGE_GT40, 0.5)
+        .effect(attr::AGE, AGE_LE28, -0.9)
+        .effect(attr::GAIN, GAIN_POS, 1.6)
+        .effect(attr::HOURS, HOURS_GT40, 0.5)
+        .effect(attr::RELATION, REL_OWN_CHILD, -1.2)
+        .effect(attr::SEX, SEX_MALE, 0.3);
+    let mut v = Vec::with_capacity(n);
+    for r in 0..n {
+        let row = crate::effect::rows_of(&cols, r);
+        v.push(v_model.sample(&row, &mut rng));
+    }
+
+    // Default predictions: a synthetic noise model mirroring what the
+    // trained classifier's errors look like (use `train_rf` for the real
+    // thing). FP mass concentrates in Married∧Prof, FN mass in young
+    // unmarried no-gain instances.
+    let fp_model = EffectModel::with_base(-3.0)
+        .joint_effect(&[(attr::STATUS, STATUS_MARRIED), (attr::OCCUP, OCCUP_PROF)], 2.1)
+        .effect(attr::STATUS, STATUS_MARRIED, 0.9)
+        .effect(attr::OCCUP, OCCUP_PROF, 0.4)
+        .effect(attr::OCCUP, OCCUP_EXEC, 0.6)
+        .effect(attr::EDU, EDU_BACHELORS, 0.3);
+    let fn_model = EffectModel::with_base(-0.8)
+        .joint_effect(
+            &[
+                (attr::AGE, AGE_LE28),
+                (attr::GAIN, GAIN_0),
+                (attr::HOURS, HOURS_LE40),
+                (attr::STATUS, STATUS_UNMARRIED),
+            ],
+            2.2,
+        )
+        .effect(attr::STATUS, STATUS_UNMARRIED, 0.9)
+        .effect(attr::RELATION, REL_OWN_CHILD, 0.8)
+        .effect(attr::EDU, EDU_HS, 0.4)
+        .effect(attr::GAIN, GAIN_POS, -1.5);
+    let u = inject_errors(
+        (0..n).map(|r| crate::effect::rows_of(&cols, r)),
+        &v,
+        &fp_model,
+        &fn_model,
+        &mut rng,
+    );
+
+    let mut b = DatasetBuilder::new();
+    b.categorical("age", &["<=28", "29-40", ">40"], &cols[attr::AGE]);
+    b.categorical("workclass", &["Private", "Self-emp", "Gov", "Other"], &cols[attr::WORKCLASS]);
+    b.categorical(
+        "edu",
+        &["HS", "Some-coll", "Bachelors", "Masters", "Doctorate", "Other"],
+        &cols[attr::EDU],
+    );
+    b.categorical("status", &["Married", "Unmarried", "Divorced"], &cols[attr::STATUS]);
+    b.categorical(
+        "occup",
+        &["Prof", "Exec", "Sales", "Service", "Craft", "Other"],
+        &cols[attr::OCCUP],
+    );
+    b.categorical(
+        "relation",
+        &["Husband", "Wife", "Own-child", "Not-in-family", "Other"],
+        &cols[attr::RELATION],
+    );
+    b.categorical("race", &["White", "Black", "Asian", "Other"], &cols[attr::RACE]);
+    b.categorical("sex", &["Male", "Female"], &cols[attr::SEX]);
+    b.categorical("gain", &["0", ">0"], &cols[attr::GAIN]);
+    b.categorical("loss", &["0", ">0"], &cols[attr::LOSS]);
+    b.categorical("hoursXW", &["<=40", ">40"], &cols[attr::HOURS]);
+
+    GeneratedDataset { name: "adult".to_string(), data: b.build().unwrap(), v, u }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divexplorer::{explorer::dataset_outcome_counts, Metric};
+
+    #[test]
+    fn schema_matches_the_papers_feature_list() {
+        let d = generate(100, 0);
+        let names: Vec<&str> = d
+            .data
+            .schema()
+            .attributes()
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "age", "workclass", "edu", "status", "occup", "relation", "race", "sex",
+                "gain", "loss", "hoursXW"
+            ]
+        );
+    }
+
+    #[test]
+    fn married_professionals_have_elevated_fpr() {
+        let d = generate(20_000, 1);
+        let overall = dataset_outcome_counts(&d.v, &d.u, Metric::FalsePositiveRate).rate();
+        let (mut fp, mut nn) = (0.0, 0.0);
+        for r in 0..d.n_rows() {
+            if !d.v[r]
+                && d.data.value(r, attr::STATUS) == code::STATUS_MARRIED
+                && d.data.value(r, attr::OCCUP) == code::OCCUP_PROF
+            {
+                nn += 1.0;
+                if d.u[r] {
+                    fp += 1.0;
+                }
+            }
+        }
+        assert!(nn > 100.0);
+        assert!(fp / nn - overall > 0.2, "Δ = {}", fp / nn - overall);
+    }
+
+    #[test]
+    fn young_unmarried_no_gain_have_elevated_fnr() {
+        let d = generate(20_000, 2);
+        let overall = dataset_outcome_counts(&d.v, &d.u, Metric::FalseNegativeRate).rate();
+        let (mut fnc, mut nn) = (0.0, 0.0);
+        for r in 0..d.n_rows() {
+            if d.v[r]
+                && d.data.value(r, attr::AGE) == code::AGE_LE28
+                && d.data.value(r, attr::STATUS) == code::STATUS_UNMARRIED
+                && d.data.value(r, attr::GAIN) == code::GAIN_0
+            {
+                nn += 1.0;
+                if !d.u[r] {
+                    fnc += 1.0;
+                }
+            }
+        }
+        assert!(nn > 30.0);
+        assert!(fnc / nn - overall > 0.15, "Δ = {}", fnc / nn - overall);
+    }
+
+    #[test]
+    fn masters_correlates_with_professional_occupation() {
+        let d = generate(20_000, 3);
+        let (mut prof_m, mut n_m, mut prof_all) = (0.0, 0.0, 0.0);
+        for r in 0..d.n_rows() {
+            let prof = (d.data.value(r, attr::OCCUP) == code::OCCUP_PROF) as u8 as f64;
+            prof_all += prof;
+            if d.data.value(r, attr::EDU) == code::EDU_MASTERS {
+                prof_m += prof;
+                n_m += 1.0;
+            }
+        }
+        assert!(prof_m / n_m > 2.0 * prof_all / d.n_rows() as f64);
+    }
+
+    #[test]
+    fn positive_rate_is_plausible() {
+        let d = generate(20_000, 4);
+        let pos = d.v.iter().filter(|&&x| x).count() as f64 / d.n_rows() as f64;
+        // The real adult dataset has ~25% positives.
+        assert!((0.12..0.45).contains(&pos), "positive rate {pos}");
+    }
+}

@@ -1,0 +1,158 @@
+//! The §4.4 artificial dataset, constructed exactly as the paper describes:
+//!
+//! > "we constructed an artificial 10-dimensional dataset with 50,000
+//! > instances and attributes a, b, c, …, j with domain {0, 1}. We create
+//! > the instances by setting each attribute randomly and independently to
+//! > 0 or 1 with equal probability. We first train a classifier with
+//! > respect to a class label that is t when a = b = c and f otherwise.
+//! > Then, to simulate classification errors, during test we flip the class
+//! > label for half of the instances in a = b = c (without retraining)."
+//!
+//! The result: the itemsets `a=b=c=0` and `a=b=c=1` are strongly
+//! false-positive divergent, while no *single* item is — the showcase for
+//! global item divergence (Figure 4) and for the Slice Finder comparison
+//! (§6.5).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::GeneratedDataset;
+use divexplorer::DatasetBuilder;
+use models::{Classifier, DecisionTree, DecisionTreeParams, FeatureMatrix};
+
+/// Attribute names, `a` through `j`.
+pub const ATTRS: [&str; 10] = ["a", "b", "c", "d", "e", "f", "g", "h", "i", "j"];
+
+/// Generates the artificial dataset with `n` instances.
+///
+/// `u` holds the predictions of a decision tree trained on the *clean*
+/// labels (which it learns essentially perfectly, as in the paper); `v`
+/// holds the test labels with half of the `a = b = c` instances flipped.
+pub fn generate(n: usize, seed: u64) -> GeneratedDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Ten i.i.d. fair binary attributes.
+    let mut columns: Vec<Vec<u16>> = (0..10).map(|_| Vec::with_capacity(n)).collect();
+    for _ in 0..n {
+        for col in columns.iter_mut() {
+            col.push(rng.gen_range(0..2u16));
+        }
+    }
+
+    // Clean label: T iff a = b = c.
+    let clean: Vec<bool> = (0..n)
+        .map(|r| columns[0][r] == columns[1][r] && columns[1][r] == columns[2][r])
+        .collect();
+
+    // Train a classifier on the clean labels.
+    let mut x = FeatureMatrix::new(10);
+    let mut row = [0.0; 10];
+    for r in 0..n {
+        for (a, col) in columns.iter().enumerate() {
+            row[a] = col[r] as f64;
+        }
+        x.push_row(&row);
+    }
+    let tree = DecisionTree::fit(
+        &x,
+        &clean,
+        &DecisionTreeParams { max_depth: Some(16), ..Default::default() },
+        seed,
+    );
+    let u = tree.predict_batch(&x);
+
+    // Flip the test label for half of the a=b=c instances (every other one,
+    // so exactly half).
+    let mut v = clean;
+    let mut flip_next = false;
+    for value in v.iter_mut().filter(|value| **value) {
+        if flip_next {
+            *value = false;
+        }
+        flip_next = !flip_next;
+    }
+
+    let mut b = DatasetBuilder::new();
+    for (a, name) in ATTRS.iter().enumerate() {
+        b.categorical(*name, &["0", "1"], &columns[a]);
+    }
+    GeneratedDataset { name: "artificial".to_string(), data: b.build().unwrap(), v, u }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divexplorer::{explorer::dataset_outcome_counts, Metric};
+
+    #[test]
+    fn classifier_learns_the_clean_rule() {
+        let d = generate(4000, 0);
+        // u should be exactly a=b=c (the tree learns the rule perfectly).
+        let mut wrong = 0;
+        for r in 0..d.n_rows() {
+            let abc = d.data.value(r, 0) == d.data.value(r, 1)
+                && d.data.value(r, 1) == d.data.value(r, 2);
+            if d.u[r] != abc {
+                wrong += 1;
+            }
+        }
+        assert!(wrong < 80, "tree missed the rule on {wrong}/4000 rows");
+    }
+
+    #[test]
+    fn half_the_abc_instances_are_flipped() {
+        let d = generate(4000, 1);
+        let mut abc_total = 0;
+        let mut abc_positive = 0;
+        for r in 0..d.n_rows() {
+            let abc = d.data.value(r, 0) == d.data.value(r, 1)
+                && d.data.value(r, 1) == d.data.value(r, 2);
+            if abc {
+                abc_total += 1;
+                if d.v[r] {
+                    abc_positive += 1;
+                }
+            } else {
+                assert!(!d.v[r], "non-abc instance labelled positive");
+            }
+        }
+        // Exactly every other positive flipped: 50% remain.
+        let frac = abc_positive as f64 / abc_total as f64;
+        assert!((frac - 0.5).abs() < 0.02, "positive fraction in abc: {frac}");
+    }
+
+    #[test]
+    fn abc_itemsets_are_fpr_divergent() {
+        let d = generate(8000, 2);
+        // FPs are exactly the flipped instances; both a=b=c itemsets carry
+        // them all.
+        let overall = dataset_outcome_counts(&d.v, &d.u, Metric::FalsePositiveRate).rate();
+        let mut group_fp = 0.0;
+        let mut group_n = 0.0;
+        for r in 0..d.n_rows() {
+            let all_ones = (0..3).all(|a| d.data.value(r, a) == 1);
+            if all_ones && !d.v[r] {
+                group_n += 1.0;
+                if d.u[r] {
+                    group_fp += 1.0;
+                }
+            }
+        }
+        let group_rate = group_fp / group_n;
+        assert!(
+            group_rate - overall > 0.3,
+            "a=b=c=1 FPR {group_rate} vs overall {overall}"
+        );
+    }
+
+    #[test]
+    fn attributes_are_roughly_balanced() {
+        let d = generate(4000, 3);
+        for a in 0..10 {
+            let ones = (0..d.n_rows()).filter(|&r| d.data.value(r, a) == 1).count();
+            let frac = ones as f64 / d.n_rows() as f64;
+            assert!((frac - 0.5).abs() < 0.05, "attribute {a}: {frac}");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Synthetic *bank* marketing stand-in (11,162 × 15, Table 4).
+//!
+//! Mirrors the UCI Bank Marketing dataset: a Portuguese bank's telemarketing
+//! campaign, predicting term-deposit subscription. Used by the paper's
+//! performance experiments (Figures 6–7), so what matters here is the
+//! schema shape (15 attributes, mixed cardinalities) and a plausible
+//! label/error structure.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::effect::{inject_errors, rows_of, sample_columns, AttrSpec, EffectModel};
+use crate::GeneratedDataset;
+use divexplorer::DatasetBuilder;
+
+const SPECS: &[AttrSpec] = &[
+    AttrSpec { name: "age", values: &["<30", "30-40", "41-55", ">55"], weights: &[0.2, 0.35, 0.3, 0.15] },
+    AttrSpec {
+        name: "job",
+        values: &["admin", "blue-collar", "technician", "services", "management", "retired", "other"],
+        weights: &[0.2, 0.2, 0.16, 0.1, 0.12, 0.08, 0.14],
+    },
+    AttrSpec { name: "marital", values: &["married", "single", "divorced"], weights: &[0.57, 0.31, 0.12] },
+    AttrSpec {
+        name: "education",
+        values: &["primary", "secondary", "tertiary", "unknown"],
+        weights: &[0.14, 0.5, 0.3, 0.06],
+    },
+    AttrSpec { name: "default", values: &["no", "yes"], weights: &[0.98, 0.02] },
+    AttrSpec { name: "balance", values: &["<0", "0-1k", "1k-5k", ">5k"], weights: &[0.08, 0.5, 0.32, 0.1] },
+    AttrSpec { name: "housing", values: &["no", "yes"], weights: &[0.45, 0.55] },
+    AttrSpec { name: "loan", values: &["no", "yes"], weights: &[0.85, 0.15] },
+    AttrSpec { name: "contact", values: &["cellular", "telephone", "unknown"], weights: &[0.65, 0.07, 0.28] },
+    AttrSpec { name: "day", values: &["early", "mid", "late"], weights: &[0.33, 0.34, 0.33] },
+    AttrSpec {
+        name: "month",
+        values: &["q1", "q2", "q3", "q4"],
+        weights: &[0.15, 0.4, 0.3, 0.15],
+    },
+    AttrSpec { name: "duration", values: &["<2m", "2-5m", "5-10m", ">10m"], weights: &[0.3, 0.37, 0.23, 0.1] },
+    AttrSpec { name: "campaign", values: &["1", "2-3", ">3"], weights: &[0.44, 0.38, 0.18] },
+    AttrSpec { name: "pdays", values: &["never", "<90", ">=90"], weights: &[0.75, 0.1, 0.15] },
+    AttrSpec {
+        name: "poutcome",
+        values: &["unknown", "failure", "success", "other"],
+        weights: &[0.75, 0.12, 0.08, 0.05],
+    },
+];
+
+// Attribute indices used by the planted effects.
+const A_AGE: usize = 0;
+const A_JOB: usize = 1;
+const A_BALANCE: usize = 5;
+const A_HOUSING: usize = 6;
+const A_DURATION: usize = 11;
+const A_POUTCOME: usize = 14;
+
+/// Generates `n` synthetic bank-marketing rows.
+pub fn generate(n: usize, seed: u64) -> GeneratedDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cols = sample_columns(SPECS, n, &mut rng);
+
+    // Subscription probability: driven by call duration, prior success,
+    // balance and retirement — the classic drivers in this dataset.
+    let v_model = EffectModel::with_base(-1.1)
+        .effect(A_DURATION, 3, 1.6)
+        .effect(A_DURATION, 2, 0.9)
+        .effect(A_DURATION, 0, -0.9)
+        .effect(A_POUTCOME, 2, 1.8)
+        .effect(A_BALANCE, 3, 0.6)
+        .effect(A_JOB, 5, 0.6) // retired
+        .effect(A_AGE, 3, 0.4)
+        .effect(A_HOUSING, 1, -0.5);
+    let mut v = Vec::with_capacity(n);
+    for r in 0..n {
+        v.push(v_model.sample(&rows_of(&cols, r), &mut rng));
+    }
+
+    // Error structure: over-prediction for long calls after prior success,
+    // under-prediction for short anonymous contacts.
+    let fp_model = EffectModel::with_base(-2.6)
+        .joint_effect(&[(A_DURATION, 3), (A_POUTCOME, 2)], 1.6)
+        .effect(A_DURATION, 3, 0.7)
+        .effect(A_POUTCOME, 2, 0.5);
+    let fn_model = EffectModel::with_base(-1.0)
+        .joint_effect(&[(A_DURATION, 0), (A_POUTCOME, 0)], 1.4)
+        .effect(A_DURATION, 0, 0.6)
+        .effect(A_HOUSING, 1, 0.4);
+    let u = inject_errors((0..n).map(|r| rows_of(&cols, r)), &v, &fp_model, &fn_model, &mut rng);
+
+    let mut b = DatasetBuilder::new();
+    for (spec, col) in SPECS.iter().zip(&cols) {
+        b.categorical(spec.name, spec.values, col);
+    }
+    GeneratedDataset { name: "bank".to_string(), data: b.build().unwrap(), v, u }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_fifteen_attributes_with_expected_cardinalities() {
+        let d = generate(200, 0);
+        assert_eq!(d.data.n_attributes(), 15);
+        assert_eq!(d.data.schema().attribute(0).cardinality(), 4);
+        assert_eq!(d.data.schema().attribute(1).cardinality(), 7);
+    }
+
+    #[test]
+    fn subscription_rate_is_plausible() {
+        let d = generate(10_000, 1);
+        let pos = d.v.iter().filter(|&&x| x).count() as f64 / d.n_rows() as f64;
+        assert!((0.1..0.5).contains(&pos), "positive rate {pos}");
+    }
+
+    #[test]
+    fn long_successful_calls_subscribe_more() {
+        let d = generate(10_000, 2);
+        let (mut pos_long, mut n_long, mut pos_short, mut n_short) = (0.0, 0.0, 0.0, 0.0);
+        for r in 0..d.n_rows() {
+            if d.data.value(r, A_DURATION) == 3 {
+                n_long += 1.0;
+                pos_long += d.v[r] as u8 as f64;
+            } else if d.data.value(r, A_DURATION) == 0 {
+                n_short += 1.0;
+                pos_short += d.v[r] as u8 as f64;
+            }
+        }
+        assert!(pos_long / n_long > pos_short / n_short + 0.2);
+    }
+}

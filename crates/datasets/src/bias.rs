@@ -1,0 +1,88 @@
+//! Bias injection (the §6.6 user-study protocol): force the outcome of a
+//! chosen subgroup, then study how analysis tools recover the subgroup from
+//! the misclassifications of a model trained on the poisoned labels.
+
+use divexplorer::{DiscreteDataset, ItemId};
+
+/// Sets `labels[r] = forced` for every row covered by `pattern` and returns
+/// the affected row indices.
+///
+/// This reproduces the paper's injection: "in the training set we injected
+/// bias in the subgroup characterized by the pattern {age>45, charge=M},
+/// changing all outcomes to recidivate".
+pub fn inject_bias(
+    data: &DiscreteDataset,
+    labels: &mut [bool],
+    pattern: &[ItemId],
+    forced: bool,
+) -> Vec<usize> {
+    assert_eq!(labels.len(), data.n_rows(), "label length mismatch");
+    let affected = data.support_set(pattern);
+    for &r in &affected {
+        labels[r] = forced;
+    }
+    affected
+}
+
+/// Flips each label of the subgroup with probability 1 (see
+/// [`inject_bias`]) restricted to the given row subset — useful when the
+/// injection must only touch the training split.
+pub fn inject_bias_in_rows(
+    data: &DiscreteDataset,
+    labels: &mut [bool],
+    pattern: &[ItemId],
+    forced: bool,
+    rows: &[usize],
+) -> Vec<usize> {
+    assert_eq!(labels.len(), data.n_rows(), "label length mismatch");
+    let mut affected = Vec::new();
+    for &r in rows {
+        if data.covers(r, pattern) {
+            labels[r] = forced;
+            affected.push(r);
+        }
+    }
+    affected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divexplorer::DatasetBuilder;
+
+    fn data() -> DiscreteDataset {
+        let mut b = DatasetBuilder::new();
+        b.categorical("g", &["a", "b"], &[0, 0, 1, 1]);
+        b.categorical("h", &["x", "y"], &[0, 1, 0, 1]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn injects_only_in_the_subgroup() {
+        let data = data();
+        let mut labels = vec![false; 4];
+        let ga = data.schema().item_by_name("g", "a").unwrap();
+        let affected = inject_bias(&data, &mut labels, &[ga], true);
+        assert_eq!(affected, vec![0, 1]);
+        assert_eq!(labels, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn row_restricted_injection() {
+        let data = data();
+        let mut labels = vec![false; 4];
+        let ga = data.schema().item_by_name("g", "a").unwrap();
+        let affected = inject_bias_in_rows(&data, &mut labels, &[ga], true, &[1, 2, 3]);
+        assert_eq!(affected, vec![1]);
+        assert_eq!(labels, vec![false, true, false, false]);
+    }
+
+    #[test]
+    fn empty_pattern_covers_everything() {
+        let data = data();
+        let mut labels = vec![false; 4];
+        let affected = inject_bias(&data, &mut labels, &[], true);
+        assert_eq!(affected.len(), 4);
+        assert!(labels.iter().all(|&l| l));
+    }
+}

@@ -1,0 +1,397 @@
+//! Synthetic COMPAS stand-in (6,172 × 6, Table 4 of the paper).
+//!
+//! Mirrors the ProPublica COMPAS analysis dataset: demographics, criminal
+//! history, a two-year recidivism ground truth `v`, and a synthetic
+//! "proprietary risk score" `u` whose error structure reproduces the
+//! published findings the paper's Tables 1–3 surface:
+//!
+//! - elevated **false positives** for young/middle-aged African-American
+//!   males with many prior offenses;
+//! - elevated **false negatives** for older Caucasians, for defendants with
+//!   no priors and short jail stays, and for misdemeanor charges;
+//! - `#prior=0` acting as a *corrective* item for the African-American male
+//!   false-positive divergence (Table 3).
+//!
+//! The raw continuous `age` and `#prior` columns are kept so Figure 1's
+//! 3-bin vs 6-bin discretization experiment can re-bin them.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::effect::{sample_gamma_like, sample_weighted, sigmoid, EffectModel};
+use crate::GeneratedDataset;
+use divexplorer::{DatasetBuilder, DiscreteDataset};
+
+/// Attribute indices in the generated schema.
+pub mod attr {
+    /// age (discretized: <25, 25-45, >45).
+    pub const AGE: usize = 0;
+    /// charge degree (M = misdemeanor, F = felony).
+    pub const CHARGE: usize = 1;
+    /// number of prior offenses (discretized).
+    pub const PRIOR: usize = 2;
+    /// race.
+    pub const RACE: usize = 3;
+    /// sex.
+    pub const SEX: usize = 4;
+    /// length of jail stay.
+    pub const STAY: usize = 5;
+}
+
+/// Value codes for the categorical attributes.
+pub mod code {
+    pub const AGE_LT25: u16 = 0;
+    pub const AGE_25_45: u16 = 1;
+    pub const AGE_GT45: u16 = 2;
+    pub const CHARGE_M: u16 = 0;
+    pub const CHARGE_F: u16 = 1;
+    pub const PRIOR_0: u16 = 0;
+    pub const PRIOR_1_3: u16 = 1;
+    pub const PRIOR_GT3: u16 = 2;
+    pub const RACE_AFR_AM: u16 = 0;
+    pub const RACE_CAUC: u16 = 1;
+    pub const RACE_HISP: u16 = 2;
+    pub const RACE_OTHER: u16 = 3;
+    pub const SEX_MALE: u16 = 0;
+    pub const SEX_FEMALE: u16 = 1;
+    pub const STAY_LT_WEEK: u16 = 0;
+    pub const STAY_WEEK_3M: u16 = 1;
+    pub const STAY_GT_3M: u16 = 2;
+}
+
+/// The raw generated COMPAS columns, before discretization of `age` and
+/// `#prior`.
+#[derive(Debug, Clone)]
+pub struct CompasRaw {
+    /// Age in years.
+    pub age: Vec<f64>,
+    /// Number of prior offenses.
+    pub priors: Vec<f64>,
+    /// Charge degree code.
+    pub charge: Vec<u16>,
+    /// Race code.
+    pub race: Vec<u16>,
+    /// Sex code.
+    pub sex: Vec<u16>,
+    /// Jail-stay code.
+    pub stay: Vec<u16>,
+    /// Two-year recidivism ground truth.
+    pub v: Vec<bool>,
+    /// The synthetic COMPAS risk score (high risk = `true`).
+    pub u: Vec<bool>,
+}
+
+/// Generates `n` synthetic COMPAS rows.
+pub fn generate(n: usize, seed: u64) -> CompasRaw {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut age = Vec::with_capacity(n);
+    let mut priors = Vec::with_capacity(n);
+    let mut charge = Vec::with_capacity(n);
+    let mut race = Vec::with_capacity(n);
+    let mut sex = Vec::with_capacity(n);
+    let mut stay = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        // Marginals loosely matching the ProPublica cohort.
+        let race_i = sample_weighted(&mut rng, &[0.51, 0.34, 0.09, 0.06]);
+        let sex_i = sample_weighted(&mut rng, &[0.81, 0.19]);
+        // Age: right-skewed, mean ≈ 36, ~20% above 45 and ~18% below 25
+        // (matching the ProPublica cohort's age_cat proportions).
+        let age_i = (18.0 + sample_gamma_like(&mut rng) * 18.0).min(80.0);
+        // Priors: exponential with group-dependent mean (African-American
+        // and male defendants have more recorded priors in the cohort,
+        // which is what makes the joint pattern frequent).
+        let mut prior_mean = 1.2;
+        if race_i == code::RACE_AFR_AM {
+            prior_mean *= 2.2;
+        }
+        if sex_i == code::SEX_MALE {
+            prior_mean *= 1.6;
+        }
+        if age_i < 25.0 {
+            prior_mean *= 0.8; // younger defendants have shorter records
+        } else if age_i > 45.0 {
+            prior_mean *= 1.2;
+        }
+        let priors_i = (-rng.gen::<f64>().max(1e-12).ln() * prior_mean).floor();
+        // Charge degree: felonies more likely with more priors.
+        let p_felony = 0.55 + 0.03 * priors_i.min(8.0);
+        let charge_i = if rng.gen::<f64>() < p_felony { code::CHARGE_F } else { code::CHARGE_M };
+        // Stay: longer for felonies and long records.
+        let w_long = 0.12 + 0.02 * priors_i.min(8.0) + if charge_i == code::CHARGE_F { 0.1 } else { 0.0 };
+        let w_mid = 0.3 + if charge_i == code::CHARGE_F { 0.05 } else { 0.0 };
+        let stay_i = sample_weighted(&mut rng, &[1.0 - w_mid - w_long, w_mid, w_long]);
+
+        age.push(age_i);
+        priors.push(priors_i);
+        charge.push(charge_i);
+        race.push(race_i);
+        sex.push(sex_i);
+        stay.push(stay_i);
+    }
+
+    // Coded rows for the effect models (3-bin priors).
+    let coded: Vec<[u16; 6]> = (0..n)
+        .map(|r| {
+            [
+                age_code(age[r]),
+                charge[r],
+                prior_code3(priors[r]),
+                race[r],
+                sex[r],
+                stay[r],
+            ]
+        })
+        .collect();
+
+    // Ground truth: recidivism risk rises with priors and youth.
+    let v_model = EffectModel::with_base(-0.85)
+        .effect(attr::PRIOR, code::PRIOR_GT3, 1.3)
+        .effect(attr::PRIOR, code::PRIOR_1_3, 0.45)
+        .effect(attr::AGE, code::AGE_LT25, 0.55)
+        .effect(attr::AGE, code::AGE_GT45, -0.6)
+        .effect(attr::SEX, code::SEX_MALE, 0.25)
+        .effect(attr::CHARGE, code::CHARGE_F, 0.1);
+    let v: Vec<bool> = coded.iter().map(|row| v_model.sample(row, &mut rng)).collect();
+
+    // The synthetic risk score's error structure (see module docs).
+    // P(u=1 | v=0): false-positive injection.
+    let fp_model = EffectModel::with_base(-3.1)
+        .effect(attr::PRIOR, code::PRIOR_GT3, 0.6)
+        .effect(attr::PRIOR, code::PRIOR_0, -1.0)
+        .effect(attr::RACE, code::RACE_AFR_AM, 0.35)
+        .effect(attr::CHARGE, code::CHARGE_F, 0.2)
+        .effect(attr::STAY, code::STAY_GT_3M, 0.3)
+        .joint_effect(&[(attr::RACE, code::RACE_AFR_AM), (attr::SEX, code::SEX_MALE)], 0.25)
+        .joint_effect(
+            &[
+                (attr::AGE, code::AGE_25_45),
+                (attr::PRIOR, code::PRIOR_GT3),
+                (attr::RACE, code::RACE_AFR_AM),
+                (attr::SEX, code::SEX_MALE),
+            ],
+            0.55,
+        );
+    // P(u=0 | v=1): false-negative injection.
+    let fn_model = EffectModel::with_base(0.55)
+        .effect(attr::STAY, code::STAY_LT_WEEK, 0.5)
+        .effect(attr::PRIOR, code::PRIOR_0, 0.5)
+        .effect(attr::CHARGE, code::CHARGE_M, 0.4)
+        .effect(attr::AGE, code::AGE_GT45, 0.5)
+        .effect(attr::RACE, code::RACE_CAUC, 0.4)
+        .effect(attr::PRIOR, code::PRIOR_GT3, -1.3)
+        .joint_effect(&[(attr::AGE, code::AGE_GT45), (attr::RACE, code::RACE_CAUC)], 0.9)
+        .joint_effect(&[(attr::PRIOR, code::PRIOR_0), (attr::STAY, code::STAY_LT_WEEK)], 0.8)
+        .joint_effect(&[(attr::CHARGE, code::CHARGE_M), (attr::STAY, code::STAY_LT_WEEK)], 0.7);
+
+    // Error injection with an extra continuous term in the raw prior count,
+    // so that *finer* prior bins separate FP rates (Figure 1's Property 3.1
+    // demonstration: #prior>7 diverges more than #prior in [4,7]).
+    let mut u = Vec::with_capacity(n);
+    for r in 0..n {
+        let prior_term = 0.04 * priors[r].min(15.0);
+        let flipped = if v[r] {
+            rng.gen::<f64>() < sigmoid(fn_model.logit(&coded[r]) - 0.06 * priors[r].min(15.0))
+        } else {
+            rng.gen::<f64>() < sigmoid(fp_model.logit(&coded[r]) + prior_term)
+        };
+        u.push(v[r] != flipped);
+    }
+
+    CompasRaw { age, priors, charge, race, sex, stay, v, u }
+}
+
+/// The paper's 3-interval prior binning: `0`, `[1,3]`, `>3`.
+pub fn prior_code3(priors: f64) -> u16 {
+    if priors < 1.0 {
+        code::PRIOR_0
+    } else if priors <= 3.0 {
+        code::PRIOR_1_3
+    } else {
+        code::PRIOR_GT3
+    }
+}
+
+/// The finer 6-interval prior binning of Figure 1(b): `0, 1, 2, 3, [4,7], >7`.
+pub fn prior_code6(priors: f64) -> u16 {
+    match priors as u64 {
+        0 => 0,
+        1 => 1,
+        2 => 2,
+        3 => 3,
+        4..=7 => 4,
+        _ => 5,
+    }
+}
+
+/// The paper's age binning: `<25`, `25-45`, `>45`.
+pub fn age_code(age: f64) -> u16 {
+    if age < 25.0 {
+        code::AGE_LT25
+    } else if age <= 45.0 {
+        code::AGE_25_45
+    } else {
+        code::AGE_GT45
+    }
+}
+
+impl CompasRaw {
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.v.len()
+    }
+
+    /// Builds the discrete table with the standard 3-interval prior binning.
+    pub fn discretize(&self) -> DiscreteDataset {
+        self.discretize_with_priors(false)
+    }
+
+    /// Builds the discrete table; `fine_priors` selects the 6-interval
+    /// binning of Figure 1(b).
+    pub fn discretize_with_priors(&self, fine_priors: bool) -> DiscreteDataset {
+        let n = self.n_rows();
+        let age_codes: Vec<u16> = self.age.iter().map(|&a| age_code(a)).collect();
+        let prior_codes: Vec<u16> = self
+            .priors
+            .iter()
+            .map(|&p| if fine_priors { prior_code6(p) } else { prior_code3(p) })
+            .collect();
+        let prior_labels: &[&str] = if fine_priors {
+            &["0", "1", "2", "3", "[4,7]", ">7"]
+        } else {
+            &["0", "[1,3]", ">3"]
+        };
+        let mut b = DatasetBuilder::new();
+        b.categorical("age", &["<25", "25-45", ">45"], &age_codes);
+        b.categorical("charge", &["M", "F"], &self.charge);
+        b.categorical("#prior", prior_labels, &prior_codes);
+        b.categorical("race", &["Afr-Am", "Cauc", "Hisp", "Other"], &self.race);
+        b.categorical("sex", &["Male", "Female"], &self.sex);
+        b.categorical("stay", &["<week", "1w-3M", ">3M"], &self.stay);
+        let _ = n;
+        b.build().expect("internal: consistent columns")
+    }
+
+    /// Packages the standard discretization as a [`GeneratedDataset`].
+    pub fn into_dataset(self) -> GeneratedDataset {
+        let data = self.discretize();
+        GeneratedDataset { name: "COMPAS".to_string(), data, v: self.v, u: self.u }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divexplorer::{explorer::dataset_outcome_counts, Metric};
+
+    #[test]
+    fn overall_rates_are_in_the_papers_ballpark() {
+        // Paper: overall FPR 0.088, FNR 0.698 on the real cohort.
+        let d = generate(6000, 0);
+        let fpr = dataset_outcome_counts(&d.v, &d.u, Metric::FalsePositiveRate).rate();
+        let fnr = dataset_outcome_counts(&d.v, &d.u, Metric::FalseNegativeRate).rate();
+        assert!((0.05..0.20).contains(&fpr), "FPR {fpr}");
+        assert!((0.55..0.85).contains(&fnr), "FNR {fnr}");
+        let pos_rate = d.v.iter().filter(|&&x| x).count() as f64 / d.v.len() as f64;
+        assert!((0.3..0.6).contains(&pos_rate), "positive rate {pos_rate}");
+    }
+
+    #[test]
+    fn planted_fpr_subgroup_diverges() {
+        let d = generate(6000, 1);
+        let coded: Vec<[u16; 6]> = (0..d.n_rows())
+            .map(|r| {
+                [
+                    age_code(d.age[r]),
+                    d.charge[r],
+                    prior_code3(d.priors[r]),
+                    d.race[r],
+                    d.sex[r],
+                    d.stay[r],
+                ]
+            })
+            .collect();
+        let in_group = |row: &[u16; 6]| {
+            row[attr::AGE] == code::AGE_25_45
+                && row[attr::PRIOR] == code::PRIOR_GT3
+                && row[attr::RACE] == code::RACE_AFR_AM
+                && row[attr::SEX] == code::SEX_MALE
+        };
+        let (mut fp_g, mut n_g, mut fp_all, mut n_all) = (0.0, 0.0, 0.0, 0.0);
+        #[allow(clippy::needless_range_loop)] // r indexes coded, u and v together
+        for r in 0..d.n_rows() {
+            if !d.v[r] {
+                let fp = d.u[r] as u8 as f64;
+                fp_all += fp;
+                n_all += 1.0;
+                if in_group(&coded[r]) {
+                    fp_g += fp;
+                    n_g += 1.0;
+                }
+            }
+        }
+        assert!(n_g > 30.0, "planted group too small: {n_g}");
+        let divergence = fp_g / n_g - fp_all / n_all;
+        assert!(divergence > 0.1, "planted FPR divergence {divergence}");
+    }
+
+    #[test]
+    fn planted_fnr_subgroup_diverges() {
+        let d = generate(6000, 2);
+        let (mut fn_g, mut n_g, mut fn_all, mut n_all) = (0.0, 0.0, 0.0, 0.0);
+        for r in 0..d.n_rows() {
+            if d.v[r] {
+                let fnv = (!d.u[r]) as u8 as f64;
+                fn_all += fnv;
+                n_all += 1.0;
+                if age_code(d.age[r]) == code::AGE_GT45 && d.race[r] == code::RACE_CAUC {
+                    fn_g += fnv;
+                    n_g += 1.0;
+                }
+            }
+        }
+        assert!(n_g > 20.0);
+        let divergence = fn_g / n_g - fn_all / n_all;
+        assert!(divergence > 0.05, "planted FNR divergence {divergence}");
+    }
+
+    #[test]
+    fn prior_codes_cover_all_ranges() {
+        assert_eq!(prior_code3(0.0), code::PRIOR_0);
+        assert_eq!(prior_code3(2.0), code::PRIOR_1_3);
+        assert_eq!(prior_code3(3.0), code::PRIOR_1_3);
+        assert_eq!(prior_code3(4.0), code::PRIOR_GT3);
+        assert_eq!(prior_code6(0.0), 0);
+        assert_eq!(prior_code6(3.0), 3);
+        assert_eq!(prior_code6(5.0), 4);
+        assert_eq!(prior_code6(11.0), 5);
+    }
+
+    #[test]
+    fn fine_binning_refines_the_coarse_one() {
+        // Every fine bin maps into exactly one coarse bin.
+        for p in 0..30 {
+            let fine = prior_code6(p as f64);
+            let coarse = prior_code3(p as f64);
+            let expected_coarse = match fine {
+                0 => code::PRIOR_0,
+                1..=3 => code::PRIOR_1_3,
+                _ => code::PRIOR_GT3,
+            };
+            assert_eq!(coarse, expected_coarse, "priors = {p}");
+        }
+    }
+
+    #[test]
+    fn discretize_produces_both_schemas() {
+        let d = generate(500, 3);
+        let coarse = d.discretize_with_priors(false);
+        let fine = d.discretize_with_priors(true);
+        assert_eq!(coarse.schema().attribute(attr::PRIOR).cardinality(), 3);
+        assert_eq!(fine.schema().attribute(attr::PRIOR).cardinality(), 6);
+        assert_eq!(coarse.n_rows(), 500);
+        assert_eq!(fine.n_rows(), 500);
+    }
+}

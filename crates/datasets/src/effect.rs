@@ -1,0 +1,220 @@
+//! Shared machinery for planting subgroup structure: categorical sampling
+//! and logit-additive effect models.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Samples a categorical code from unnormalized weights.
+pub fn sample_weighted(rng: &mut StdRng, weights: &[f64]) -> u16 {
+    debug_assert!(!weights.is_empty());
+    let total: f64 = weights.iter().sum();
+    let mut draw = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        draw -= w;
+        if draw <= 0.0 {
+            return i as u16;
+        }
+    }
+    (weights.len() - 1) as u16
+}
+
+/// The logistic function.
+pub fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// A right-skewed positive sample with mean 1 (Gamma(2, 1/2)-distributed):
+/// handy for ages, balances and other skewed demographic quantities.
+pub fn sample_gamma_like(rng: &mut StdRng) -> f64 {
+    let a = -rng.gen::<f64>().max(1e-12).ln();
+    let b = -rng.gen::<f64>().max(1e-12).ln();
+    (a + b) / 2.0
+}
+
+/// A condition over a discrete row: attribute `attr` has code `value`.
+pub type Condition = (usize, u16);
+
+/// A logit-additive model of a per-row probability: a base logit plus
+/// additive effects for single attribute values and for conjunctions.
+///
+/// This is how every generator plants subgroup structure — both the ground
+/// truth signal (so classifiers have something to learn) and the
+/// group-dependent error rates that DivExplorer is designed to surface.
+#[derive(Debug, Clone, Default)]
+pub struct EffectModel {
+    /// Base logit.
+    pub base: f64,
+    /// `(attribute, value, logit delta)` singleton effects.
+    pub single: Vec<(usize, u16, f64)>,
+    /// `(conjunction, logit delta)` joint effects, applied when the row
+    /// matches every condition.
+    pub joint: Vec<(Vec<Condition>, f64)>,
+}
+
+impl EffectModel {
+    /// A model with only a base logit.
+    pub fn with_base(base: f64) -> Self {
+        EffectModel { base, ..Default::default() }
+    }
+
+    /// Adds a singleton effect (builder style).
+    pub fn effect(mut self, attr: usize, value: u16, delta: f64) -> Self {
+        self.single.push((attr, value, delta));
+        self
+    }
+
+    /// Adds a joint effect for a conjunction of conditions.
+    pub fn joint_effect(mut self, conditions: &[Condition], delta: f64) -> Self {
+        self.joint.push((conditions.to_vec(), delta));
+        self
+    }
+
+    /// The total logit of a row (codes indexed by attribute).
+    pub fn logit(&self, row: &[u16]) -> f64 {
+        let mut total = self.base;
+        for &(attr, value, delta) in &self.single {
+            if row[attr] == value {
+                total += delta;
+            }
+        }
+        for (conditions, delta) in &self.joint {
+            if conditions.iter().all(|&(a, v)| row[a] == v) {
+                total += delta;
+            }
+        }
+        total
+    }
+
+    /// The probability `σ(logit(row))`.
+    pub fn prob(&self, row: &[u16]) -> f64 {
+        sigmoid(self.logit(row))
+    }
+
+    /// Draws a Bernoulli sample with the row's probability.
+    pub fn sample(&self, row: &[u16], rng: &mut StdRng) -> bool {
+        rng.gen::<f64>() < self.prob(row)
+    }
+}
+
+/// Generates predictions `u` from ground truth `v` with group-dependent
+/// error injection: `fp_model` gives `P(u = 1 | v = 0, x)` and `fn_model`
+/// gives `P(u = 0 | v = 1, x)`, each as a probability model over rows.
+///
+/// This mirrors how group-conditional misclassification shows up in a real
+/// black box (e.g. the COMPAS score's documented racial FPR/FNR asymmetry).
+pub fn inject_errors(
+    rows: impl Iterator<Item = Vec<u16>>,
+    v: &[bool],
+    fp_model: &EffectModel,
+    fn_model: &EffectModel,
+    rng: &mut StdRng,
+) -> Vec<bool> {
+    let mut u = Vec::with_capacity(v.len());
+    for (r, row) in rows.enumerate() {
+        let flip = if v[r] {
+            fn_model.sample(&row, rng)
+        } else {
+            fp_model.sample(&row, rng)
+        };
+        u.push(v[r] != flip);
+    }
+    assert_eq!(u.len(), v.len(), "row iterator shorter than labels");
+    u
+}
+
+/// Declarative spec of one independent categorical attribute: name, value
+/// labels, and sampling weights.
+#[derive(Debug, Clone)]
+pub struct AttrSpec {
+    /// Attribute name.
+    pub name: &'static str,
+    /// Value labels.
+    pub values: &'static [&'static str],
+    /// Unnormalized sampling weights (same length as `values`).
+    pub weights: &'static [f64],
+}
+
+/// Samples `n` rows of independent categorical columns from specs.
+/// Returns one `Vec<u16>` per attribute.
+pub fn sample_columns(specs: &[AttrSpec], n: usize, rng: &mut StdRng) -> Vec<Vec<u16>> {
+    for spec in specs {
+        assert_eq!(
+            spec.values.len(),
+            spec.weights.len(),
+            "{}: values/weights length mismatch",
+            spec.name
+        );
+    }
+    let mut columns: Vec<Vec<u16>> = (0..specs.len()).map(|_| Vec::with_capacity(n)).collect();
+    for _ in 0..n {
+        for (a, spec) in specs.iter().enumerate() {
+            columns[a].push(sample_weighted(rng, spec.weights));
+        }
+    }
+    columns
+}
+
+/// Zips per-attribute columns into per-row code vectors.
+pub fn rows_of(columns: &[Vec<u16>], r: usize) -> Vec<u16> {
+    columns.iter().map(|c| c[r]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weighted_sampling_tracks_weights() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let weights = [1.0, 3.0];
+        let mut counts = [0usize; 2];
+        for _ in 0..4000 {
+            counts[sample_weighted(&mut rng, &weights) as usize] += 1;
+        }
+        let frac = counts[1] as f64 / 4000.0;
+        assert!((frac - 0.75).abs() < 0.05, "got {frac}");
+    }
+
+    #[test]
+    fn effect_model_sums_matching_effects() {
+        let m = EffectModel::with_base(0.0)
+            .effect(0, 1, 2.0)
+            .effect(1, 0, -1.0)
+            .joint_effect(&[(0, 1), (1, 1)], 3.0);
+        assert_eq!(m.logit(&[0, 0]), -1.0);
+        assert_eq!(m.logit(&[1, 0]), 1.0);
+        assert_eq!(m.logit(&[1, 1]), 5.0);
+    }
+
+    #[test]
+    fn prob_is_sigmoid_of_logit() {
+        let m = EffectModel::with_base(0.0);
+        assert!((m.prob(&[0]) - 0.5).abs() < 1e-12);
+        let m = EffectModel::with_base(10.0);
+        assert!(m.prob(&[0]) > 0.99);
+    }
+
+    #[test]
+    fn inject_errors_respects_direction() {
+        // fp model certain, fn model impossible: every negative flips to a
+        // false positive, every positive stays correct.
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = [false, true, false, true];
+        let rows = (0..4).map(|_| vec![0u16]);
+        let fp = EffectModel::with_base(50.0);
+        let fn_ = EffectModel::with_base(-50.0);
+        let u = inject_errors(rows, &v, &fp, &fn_, &mut rng);
+        assert_eq!(u, vec![true, true, true, true]);
+    }
+
+    #[test]
+    fn zero_noise_reproduces_ground_truth() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = [true, false, true];
+        let rows = (0..3).map(|_| vec![0u16]);
+        let silent = EffectModel::with_base(-50.0);
+        let u = inject_errors(rows, &v, &silent, &silent, &mut rng);
+        assert_eq!(u.as_slice(), v.as_slice());
+    }
+}

@@ -1,0 +1,108 @@
+//! Synthetic *heart* disease stand-in (296 × 13, Table 4).
+//!
+//! Mirrors the UCI Cleveland heart-disease dataset: 13 demographic and
+//! clinical attributes (5 originally continuous, pre-binned here), with a
+//! heart-disease ground truth. The smallest of the paper's datasets; used
+//! in the performance experiments.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::effect::{inject_errors, rows_of, sample_columns, AttrSpec, EffectModel};
+use crate::GeneratedDataset;
+use divexplorer::DatasetBuilder;
+
+const SPECS: &[AttrSpec] = &[
+    AttrSpec { name: "age", values: &["<45", "45-55", "56-65", ">65"], weights: &[0.2, 0.3, 0.35, 0.15] },
+    AttrSpec { name: "sex", values: &["male", "female"], weights: &[0.68, 0.32] },
+    AttrSpec { name: "cp", values: &["typical", "atypical", "non-anginal", "asymptomatic"], weights: &[0.08, 0.17, 0.28, 0.47] },
+    AttrSpec { name: "trestbps", values: &["<120", "120-140", ">140"], weights: &[0.25, 0.45, 0.3] },
+    AttrSpec { name: "chol", values: &["<200", "200-240", ">240"], weights: &[0.15, 0.35, 0.5] },
+    AttrSpec { name: "fbs", values: &["<=120", ">120"], weights: &[0.85, 0.15] },
+    AttrSpec { name: "restecg", values: &["normal", "st-t", "lvh"], weights: &[0.5, 0.02, 0.48] },
+    AttrSpec { name: "thalach", values: &["<120", "120-150", ">150"], weights: &[0.2, 0.4, 0.4] },
+    AttrSpec { name: "exang", values: &["no", "yes"], weights: &[0.67, 0.33] },
+    AttrSpec { name: "oldpeak", values: &["0", "0-2", ">2"], weights: &[0.33, 0.47, 0.2] },
+    AttrSpec { name: "slope", values: &["up", "flat", "down"], weights: &[0.47, 0.46, 0.07] },
+    AttrSpec { name: "ca", values: &["0", "1", "2", "3"], weights: &[0.59, 0.22, 0.13, 0.06] },
+    AttrSpec { name: "thal", values: &["normal", "fixed", "reversible"], weights: &[0.55, 0.06, 0.39] },
+];
+
+const A_AGE: usize = 0;
+const A_SEX: usize = 1;
+const A_CP: usize = 2;
+const A_THALACH: usize = 7;
+const A_EXANG: usize = 8;
+const A_OLDPEAK: usize = 9;
+const A_CA: usize = 11;
+const A_THAL: usize = 12;
+
+/// Generates `n` synthetic heart-disease rows.
+pub fn generate(n: usize, seed: u64) -> GeneratedDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cols = sample_columns(SPECS, n, &mut rng);
+
+    let v_model = EffectModel::with_base(-1.9)
+        .effect(A_CP, 3, 1.2)
+        .effect(A_EXANG, 1, 0.8)
+        .effect(A_OLDPEAK, 2, 0.9)
+        .effect(A_CA, 2, 0.8)
+        .effect(A_CA, 3, 1.2)
+        .effect(A_THAL, 2, 0.9)
+        .effect(A_THALACH, 0, 0.6)
+        .effect(A_AGE, 3, 0.5)
+        .effect(A_SEX, 0, 0.4);
+    let mut v = Vec::with_capacity(n);
+    for r in 0..n {
+        v.push(v_model.sample(&rows_of(&cols, r), &mut rng));
+    }
+
+    let fp_model = EffectModel::with_base(-2.0)
+        .joint_effect(&[(A_CP, 3), (A_SEX, 0)], 1.0)
+        .effect(A_OLDPEAK, 2, 0.4);
+    let fn_model = EffectModel::with_base(-1.4)
+        .joint_effect(&[(A_SEX, 1), (A_CP, 1)], 1.3)
+        .effect(A_THALACH, 2, 0.5);
+    let u = inject_errors((0..n).map(|r| rows_of(&cols, r)), &v, &fp_model, &fn_model, &mut rng);
+
+    let mut b = DatasetBuilder::new();
+    for (spec, col) in SPECS.iter().zip(&cols) {
+        b.categorical(spec.name, spec.values, col);
+    }
+    GeneratedDataset { name: "heart".to_string(), data: b.build().unwrap(), v, u }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_thirteen_attributes() {
+        let d = generate(100, 0);
+        assert_eq!(d.data.n_attributes(), 13);
+    }
+
+    #[test]
+    fn disease_rate_is_plausible() {
+        let d = generate(5000, 1);
+        let pos = d.v.iter().filter(|&&x| x).count() as f64 / d.n_rows() as f64;
+        // The real Cleveland dataset has ~46% positives.
+        assert!((0.3..0.65).contains(&pos), "positive rate {pos}");
+    }
+
+    #[test]
+    fn asymptomatic_chest_pain_predicts_disease() {
+        let d = generate(5000, 2);
+        let (mut pos_a, mut n_a, mut pos_o, mut n_o) = (0.0, 0.0, 0.0, 0.0);
+        for r in 0..d.n_rows() {
+            if d.data.value(r, A_CP) == 3 {
+                n_a += 1.0;
+                pos_a += d.v[r] as u8 as f64;
+            } else {
+                n_o += 1.0;
+                pos_o += d.v[r] as u8 as f64;
+            }
+        }
+        assert!(pos_a / n_a > pos_o / n_o + 0.1);
+    }
+}

@@ -1,0 +1,245 @@
+//! Synthetic dataset substrate for the DivExplorer reproduction.
+//!
+//! The paper evaluates on five real tabular datasets (COMPAS, adult, bank,
+//! german, heart) plus one artificial dataset. The real datasets are not
+//! redistributable here, so each generator in this crate produces a
+//! synthetic stand-in that matches the original's **schema** (attribute
+//! names, domains, cardinalities — Table 4 of the paper), **size**, and —
+//! for COMPAS and adult — the **published subgroup error structure**, so
+//! every experiment exercises the same code paths and reproduces the shape
+//! of the paper's tables and figures. See DESIGN.md §3 for the substitution
+//! rationale.
+//!
+//! Each generator returns a [`GeneratedDataset`]: the discrete table for
+//! DivExplorer, the ground truth `v`, and (where the paper's source provides
+//! it, as COMPAS scores do) predictions `u`. Datasets whose predictions the
+//! paper obtains from a trained random forest expose numeric features via
+//! [`GeneratedDataset::features`] for the `models` crate.
+
+pub mod adult;
+pub mod artificial;
+pub mod bank;
+pub mod bias;
+pub mod compas;
+pub mod csv;
+pub mod effect;
+pub mod german;
+pub mod heart;
+pub mod scenario;
+
+use divexplorer::DiscreteDataset;
+use models::{Classifier, FeatureMatrix, RandomForest, RandomForestParams};
+
+/// A generated dataset: discrete table + ground truth + (optional)
+/// generator-provided predictions.
+#[derive(Debug, Clone)]
+pub struct GeneratedDataset {
+    /// Dataset name (matches the paper's Table 4).
+    pub name: String,
+    /// The discrete table analyzed by DivExplorer.
+    pub data: DiscreteDataset,
+    /// Ground truth labels `v`.
+    pub v: Vec<bool>,
+    /// Predicted labels `u`. For COMPAS this is the synthetic risk score;
+    /// for the artificial dataset the planted classifier; for the others a
+    /// synthetic noise model (replaceable via [`GeneratedDataset::train_rf`]).
+    pub u: Vec<bool>,
+}
+
+impl GeneratedDataset {
+    /// Number of instances.
+    pub fn n_rows(&self) -> usize {
+        self.data.n_rows()
+    }
+
+    /// Ordinal numeric encoding of the discrete table (one `f64` column per
+    /// attribute, holding the value code). Sufficient for tree ensembles.
+    pub fn features(&self) -> FeatureMatrix {
+        let n_attrs = self.data.n_attributes();
+        let mut m = FeatureMatrix::new(n_attrs);
+        let mut buf = vec![0.0; n_attrs];
+        for r in 0..self.data.n_rows() {
+            for (a, &c) in self.data.row(r).iter().enumerate() {
+                buf[a] = c as f64;
+            }
+            m.push_row(&buf);
+        }
+        m
+    }
+
+    /// One-hot numeric encoding (one column per item), better suited to
+    /// linear models and the MLP.
+    pub fn features_one_hot(&self) -> FeatureMatrix {
+        let schema = self.data.schema();
+        let n_items = schema.n_items() as usize;
+        let mut m = FeatureMatrix::new(n_items);
+        let mut buf = vec![0.0; n_items];
+        for r in 0..self.data.n_rows() {
+            buf.iter_mut().for_each(|x| *x = 0.0);
+            for (a, &c) in self.data.row(r).iter().enumerate() {
+                buf[schema.item_id(a, c as usize) as usize] = 1.0;
+            }
+            m.push_row(&buf);
+        }
+        m
+    }
+
+    /// Replaces `u` with the predictions of a random forest trained on a
+    /// 70% split (the paper's §6.1 protocol: "a random forest classifier
+    /// with default parameters provides the classification outcome").
+    /// Returns the trained forest.
+    pub fn train_rf(&mut self, params: &RandomForestParams, seed: u64) -> RandomForest {
+        let x = self.features();
+        let split = models::split::stratified_split(&self.v, 0.3, seed);
+        let x_train = x.select_rows(&split.train);
+        let y_train: Vec<bool> = split.train.iter().map(|&i| self.v[i]).collect();
+        let forest = RandomForest::fit(&x_train, &y_train, params, seed);
+        self.u = forest.predict_batch(&x);
+        forest
+    }
+}
+
+/// Identifier of one of the paper's six datasets, for registry-style access
+/// in the benchmarks (Figures 6 and 7 iterate over all of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// COMPAS recidivism (6,172 × 6).
+    Compas,
+    /// Adult census income (45,222 × 11).
+    Adult,
+    /// Bank marketing (11,162 × 15).
+    Bank,
+    /// German credit (1,000 × 21).
+    German,
+    /// Heart disease (296 × 13).
+    Heart,
+    /// The §4.4 artificial dataset (50,000 × 10).
+    Artificial,
+}
+
+impl DatasetId {
+    /// All six datasets, in Table 4 order.
+    pub const ALL: [DatasetId; 6] = [
+        DatasetId::Adult,
+        DatasetId::Bank,
+        DatasetId::Compas,
+        DatasetId::German,
+        DatasetId::Heart,
+        DatasetId::Artificial,
+    ];
+
+    /// The dataset's name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetId::Compas => "COMPAS",
+            DatasetId::Adult => "adult",
+            DatasetId::Bank => "bank",
+            DatasetId::German => "german",
+            DatasetId::Heart => "heart",
+            DatasetId::Artificial => "artificial",
+        }
+    }
+
+    /// The paper's row count for this dataset (Table 4).
+    pub fn paper_rows(self) -> usize {
+        match self {
+            DatasetId::Compas => 6_172,
+            DatasetId::Adult => 45_222,
+            DatasetId::Bank => 11_162,
+            DatasetId::German => 1_000,
+            DatasetId::Heart => 296,
+            DatasetId::Artificial => 50_000,
+        }
+    }
+
+    /// Generates the dataset at its paper-reported size.
+    pub fn generate(self, seed: u64) -> GeneratedDataset {
+        self.generate_sized(self.paper_rows(), seed)
+    }
+
+    /// Generates the dataset with `n` rows (for fast tests).
+    pub fn generate_sized(self, n: usize, seed: u64) -> GeneratedDataset {
+        match self {
+            DatasetId::Compas => compas::generate(n, seed).into_dataset(),
+            DatasetId::Adult => adult::generate(n, seed),
+            DatasetId::Bank => bank::generate(n, seed),
+            DatasetId::German => german::generate(n, seed),
+            DatasetId::Heart => heart::generate(n, seed),
+            DatasetId::Artificial => artificial::generate(n, seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_dataset_generates_with_consistent_lengths() {
+        for id in DatasetId::ALL {
+            let gd = id.generate_sized(300, 1);
+            assert_eq!(gd.n_rows(), 300, "{}", id.name());
+            assert_eq!(gd.v.len(), 300, "{}", id.name());
+            assert_eq!(gd.u.len(), 300, "{}", id.name());
+            assert_eq!(gd.name, id.name());
+        }
+    }
+
+    #[test]
+    fn schemas_match_table_4_attribute_counts() {
+        let expected = [
+            (DatasetId::Adult, 11),
+            (DatasetId::Bank, 15),
+            (DatasetId::Compas, 6),
+            (DatasetId::German, 21),
+            (DatasetId::Heart, 13),
+            (DatasetId::Artificial, 10),
+        ];
+        for (id, n_attrs) in expected {
+            let gd = id.generate_sized(100, 0);
+            assert_eq!(gd.data.n_attributes(), n_attrs, "{}", id.name());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for id in [DatasetId::Compas, DatasetId::German] {
+            let a = id.generate_sized(200, 9);
+            let b = id.generate_sized(200, 9);
+            assert_eq!(a.data, b.data, "{}", id.name());
+            assert_eq!(a.v, b.v);
+            assert_eq!(a.u, b.u);
+            let c = id.generate_sized(200, 10);
+            assert_ne!(a.v, c.v, "{} should vary with seed", id.name());
+        }
+    }
+
+    #[test]
+    fn feature_encodings_have_expected_shapes() {
+        let gd = DatasetId::Heart.generate_sized(50, 2);
+        let ord = gd.features();
+        assert_eq!(ord.n_rows(), 50);
+        assert_eq!(ord.n_cols(), 13);
+        let hot = gd.features_one_hot();
+        assert_eq!(hot.n_rows(), 50);
+        assert_eq!(hot.n_cols(), gd.data.schema().n_items() as usize);
+        // Each one-hot row has exactly n_attributes ones.
+        for r in 0..50 {
+            let ones = hot.row(r).iter().filter(|&&x| x == 1.0).count();
+            assert_eq!(ones, 13);
+        }
+    }
+
+    #[test]
+    fn train_rf_replaces_predictions() {
+        let mut gd = DatasetId::Heart.generate_sized(200, 3);
+        let before = gd.u.clone();
+        let params = RandomForestParams { n_trees: 5, max_depth: Some(6), ..Default::default() };
+        let _forest = gd.train_rf(&params, 0);
+        assert_eq!(gd.u.len(), 200);
+        // The forest should track the ground truth better than chance.
+        let agree = gd.u.iter().zip(&gd.v).filter(|(a, b)| a == b).count();
+        assert!(agree > 120, "rf agreement {agree}/200");
+        let _ = before;
+    }
+}

@@ -1,0 +1,193 @@
+//! Corrective items (§4.2, Definition 4.2): items that *reduce* the absolute
+//! divergence when added to a pattern.
+//!
+//! Divergence is not monotone over the itemset lattice, so a pruned search
+//! would never see these; finding them requires the exhaustive exploration
+//! DivExplorer performs.
+
+use crate::item::{without, ItemId};
+use crate::report::DivergenceReport;
+
+/// One corrective observation: adding `item` to `base` shrinks `|Δ|`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrectiveItem {
+    /// The base pattern `I` (sorted items).
+    pub base: Vec<ItemId>,
+    /// The corrective item `α ∉ I`.
+    pub item: ItemId,
+    /// `Δ(I)`.
+    pub delta_base: f64,
+    /// `Δ(I ∪ {α})`.
+    pub delta_extended: f64,
+    /// The corrective factor `|Δ(I)| − |Δ(I ∪ {α})| > 0`.
+    pub corrective_factor: f64,
+    /// Welch t-statistic between the base and extended posterior rates — the
+    /// significance of the corrective effect.
+    pub t: f64,
+}
+
+/// Finds every corrective `(base, item)` pair among the frequent patterns of
+/// the report, for metric `m`.
+///
+/// Iterates over the extended patterns `K = I ∪ {α}` (every frequent pattern
+/// of length ≥ 1) and compares each against its `|K|` immediate sub-patterns,
+/// which are frequent by closure. Pairs whose base or extended divergence is
+/// undefined are skipped. Results are sorted by corrective factor, largest
+/// first.
+pub fn corrective_items(report: &DivergenceReport, m: usize) -> Vec<CorrectiveItem> {
+    let mut out = Vec::new();
+    for k_idx in 0..report.len() {
+        let extended = &report[k_idx];
+        if extended.items.is_empty() {
+            continue;
+        }
+        let delta_ext = report.divergence(k_idx, m);
+        if delta_ext.is_nan() {
+            continue;
+        }
+        for &alpha in &extended.items {
+            let base = without(&extended.items, alpha);
+            if base.is_empty() {
+                // Correcting the empty pattern (Δ=0) is impossible:
+                // |Δ({α})| ≥ 0 = |Δ(∅)|.
+                continue;
+            }
+            let Some(base_idx) = report.find(&base) else {
+                // Only possible under a max_len cap; skip quietly.
+                continue;
+            };
+            let delta_base = report.divergence(base_idx, m);
+            if delta_base.is_nan() {
+                continue;
+            }
+            let factor = delta_base.abs() - delta_ext.abs();
+            if factor > 0.0 {
+                let p_base = report[base_idx].counts.get(m).posterior();
+                let p_ext = extended.counts.get(m).posterior();
+                out.push(CorrectiveItem {
+                    base,
+                    item: alpha,
+                    delta_base,
+                    delta_extended: delta_ext,
+                    corrective_factor: factor,
+                    t: p_base.welch_t(&p_ext),
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        b.corrective_factor
+            .partial_cmp(&a.corrective_factor)
+            .unwrap()
+            .then_with(|| a.base.cmp(&b.base))
+            .then_with(|| a.item.cmp(&b.item))
+    });
+    out
+}
+
+/// The `k` most corrective observations, optionally requiring a minimum
+/// significance `min_t` of the corrective effect.
+pub fn top_corrective(
+    report: &DivergenceReport,
+    m: usize,
+    k: usize,
+    min_t: Option<f64>,
+) -> Vec<CorrectiveItem> {
+    let mut all = corrective_items(report, m);
+    if let Some(min_t) = min_t {
+        all.retain(|c| c.t >= min_t);
+    }
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::explorer::DivExplorer;
+    use crate::Metric;
+
+    /// g=a concentrates the false positives (Δ = +0.25), but within
+    /// g=a ∧ h=y the FPR drops back toward the overall rate: h=y corrects
+    /// g=a with factor 0.125.
+    fn fixture() -> (crate::DiscreteDataset, Vec<bool>, Vec<bool>) {
+        let g = [0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1u16];
+        let h = [0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1u16];
+        let mut b = DatasetBuilder::new();
+        b.categorical("g", &["a", "b"], &g);
+        b.categorical("h", &["x", "y"], &h);
+        let data = b.build().unwrap();
+        let v = vec![false; 16];
+        let u = vec![
+            true, true, true, false, true, false, true, false, // g=a: 5 FP / 8
+            true, false, false, false, false, false, false, false, // g=b: 1 FP / 8
+        ];
+        (data, v, u)
+    }
+
+    #[test]
+    fn detects_the_planted_corrective_item() {
+        let (data, v, u) = fixture();
+        let report = DivExplorer::new(0.1)
+            .explore(&data, &v, &u, &[Metric::FalsePositiveRate])
+            .unwrap();
+        let ga = report.schema().item_by_name("g", "a").unwrap();
+        let hy = report.schema().item_by_name("h", "y").unwrap();
+        let found = corrective_items(&report, 0);
+        let hit = found
+            .iter()
+            .find(|c| c.base == vec![ga] && c.item == hy)
+            .expect("h=y should correct g=a");
+        // Overall FPR = 6/16. Δ(g=a) = 5/8 − 6/16 = 0.25;
+        // Δ(g=a, h=y) = 1/4 − 6/16 = −0.125; factor = 0.25 − 0.125.
+        assert!((hit.delta_base - 0.25).abs() < 1e-12);
+        assert!((hit.delta_extended + 0.125).abs() < 1e-12);
+        assert!((hit.corrective_factor - 0.125).abs() < 1e-12);
+        assert!(hit.t > 0.0);
+    }
+
+    #[test]
+    fn every_result_satisfies_the_definition() {
+        let (data, v, u) = fixture();
+        let report = DivExplorer::new(0.1)
+            .explore(&data, &v, &u, &[Metric::FalsePositiveRate])
+            .unwrap();
+        for c in corrective_items(&report, 0) {
+            assert!(c.delta_extended.abs() < c.delta_base.abs());
+            assert!(c.corrective_factor > 0.0);
+            assert!(
+                (c.corrective_factor - (c.delta_base.abs() - c.delta_extended.abs())).abs()
+                    < 1e-12
+            );
+            assert!(!c.base.contains(&c.item));
+        }
+    }
+
+    #[test]
+    fn results_are_sorted_by_factor() {
+        let (data, v, u) = fixture();
+        let report = DivExplorer::new(0.1)
+            .explore(&data, &v, &u, &[Metric::FalsePositiveRate])
+            .unwrap();
+        let found = corrective_items(&report, 0);
+        assert!(found
+            .windows(2)
+            .all(|w| w[0].corrective_factor >= w[1].corrective_factor));
+    }
+
+    #[test]
+    fn top_corrective_filters_by_t() {
+        let (data, v, u) = fixture();
+        let report = DivExplorer::new(0.1)
+            .explore(&data, &v, &u, &[Metric::FalsePositiveRate])
+            .unwrap();
+        let all = top_corrective(&report, 0, 100, None);
+        let strict = top_corrective(&report, 0, 100, Some(f64::INFINITY));
+        assert!(strict.is_empty());
+        assert!(!all.is_empty());
+        let top1 = top_corrective(&report, 0, 1, None);
+        assert_eq!(top1.len(), 1);
+        assert_eq!(top1[0], all[0]);
+    }
+}

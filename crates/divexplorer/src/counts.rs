@@ -1,0 +1,197 @@
+//! Outcome tallies `(T, F, ⊥)` carried through mining as [`fpm::Payload`]s.
+
+use crate::stats::BetaPosterior;
+use crate::Outcome;
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of metrics that one mining pass can tally simultaneously.
+///
+/// Algorithm 1 of the paper extends "straightforwardly" to multiple outcome
+/// functions; we bound the number so the per-FP-tree-node payload stays a
+/// fixed-size value (no heap allocation on the mining hot path).
+pub const MAX_METRICS: usize = 8;
+
+/// Outcome tallies of one instance set: how many instances had outcome `T`,
+/// `F`, and `⊥` under a given outcome function.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeCounts {
+    /// Count of `T` outcomes (`k⁺` in the paper's §3.3).
+    pub t: u32,
+    /// Count of `F` outcomes (`k⁻`).
+    pub f: u32,
+    /// Count of `⊥` outcomes (outside the reference class).
+    pub bot: u32,
+}
+
+impl OutcomeCounts {
+    /// Tally of a single instance.
+    pub fn from_outcome(o: Outcome) -> Self {
+        match o {
+            Outcome::T => OutcomeCounts { t: 1, f: 0, bot: 0 },
+            Outcome::F => OutcomeCounts { t: 0, f: 1, bot: 0 },
+            Outcome::Bot => OutcomeCounts { t: 0, f: 0, bot: 1 },
+        }
+    }
+
+    /// Number of instances inside the reference class (`k⁺ + k⁻`).
+    pub fn n(&self) -> u32 {
+        self.t + self.f
+    }
+
+    /// Total instances tallied, including `⊥` (the itemset's support count).
+    pub fn total(&self) -> u32 {
+        self.t + self.f + self.bot
+    }
+
+    /// The positive outcome rate `k⁺ / (k⁺ + k⁻)` (Eq. 2).
+    ///
+    /// Returns `NaN` when the reference class is empty (e.g. the FPR of an
+    /// itemset in which every instance has positive ground truth) — such
+    /// rates are undefined and excluded from rankings.
+    pub fn rate(&self) -> f64 {
+        if self.n() == 0 {
+            f64::NAN
+        } else {
+            self.t as f64 / self.n() as f64
+        }
+    }
+
+    /// The Bayesian posterior `Beta(k⁺ + 1, k⁻ + 1)` of the positive rate,
+    /// starting from the uniform prior (§3.3). Well-defined even when
+    /// `k⁺ + k⁻ = 0`.
+    pub fn posterior(&self) -> BetaPosterior {
+        BetaPosterior::new(self.t as f64 + 1.0, self.f as f64 + 1.0)
+    }
+}
+
+impl fpm::Payload for OutcomeCounts {
+    fn zero() -> Self {
+        OutcomeCounts::default()
+    }
+    fn merge(&mut self, other: &Self) {
+        self.t += other.t;
+        self.f += other.f;
+        self.bot += other.bot;
+    }
+}
+
+/// A fixed-capacity stack of [`OutcomeCounts`], one per analyzed metric.
+///
+/// This is the payload DivExplorer fuses into mining when several metrics
+/// are explored in one pass. Capacity is [`MAX_METRICS`]; the live prefix
+/// length is uniform across all payloads of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiCounts {
+    counts: [OutcomeCounts; MAX_METRICS],
+    len: u8,
+}
+
+impl MultiCounts {
+    /// An all-zero tally for `n_metrics` metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_metrics > MAX_METRICS`.
+    pub fn empty(n_metrics: usize) -> Self {
+        assert!(n_metrics <= MAX_METRICS, "at most {MAX_METRICS} metrics per pass");
+        MultiCounts { counts: [OutcomeCounts::default(); MAX_METRICS], len: n_metrics as u8 }
+    }
+
+    /// Tally of a single instance under each metric's outcome.
+    pub fn from_outcomes(outcomes: &[Outcome]) -> Self {
+        let mut mc = Self::empty(outcomes.len());
+        for (i, &o) in outcomes.iter().enumerate() {
+            mc.counts[i] = OutcomeCounts::from_outcome(o);
+        }
+        mc
+    }
+
+    /// Number of live metrics.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True iff no metrics are tallied.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The tally of metric `m`.
+    pub fn get(&self, m: usize) -> OutcomeCounts {
+        debug_assert!(m < self.len());
+        self.counts[m]
+    }
+
+    /// The live tallies as a slice.
+    pub fn as_slice(&self) -> &[OutcomeCounts] {
+        &self.counts[..self.len()]
+    }
+}
+
+impl fpm::Payload for MultiCounts {
+    fn zero() -> Self {
+        // The zero of the monoid adapts its arity on first merge.
+        MultiCounts { counts: [OutcomeCounts::default(); MAX_METRICS], len: 0 }
+    }
+    fn merge(&mut self, other: &Self) {
+        if self.len == 0 {
+            self.len = other.len;
+        }
+        debug_assert!(other.len == 0 || other.len == self.len);
+        for i in 0..self.len as usize {
+            fpm::Payload::merge(&mut self.counts[i], &other.counts[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpm::Payload;
+
+    #[test]
+    fn rate_is_nan_on_empty_reference_class() {
+        let c = OutcomeCounts { t: 0, f: 0, bot: 5 };
+        assert!(c.rate().is_nan());
+        assert_eq!(c.total(), 5);
+    }
+
+    #[test]
+    fn rate_and_posterior_agree_in_the_large_sample_limit() {
+        let c = OutcomeCounts { t: 300, f: 100, bot: 0 };
+        assert!((c.rate() - 0.75).abs() < 1e-12);
+        assert!((c.posterior().mean() - 0.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn outcome_counts_merge_is_componentwise() {
+        let mut a = OutcomeCounts { t: 1, f: 2, bot: 3 };
+        a.merge(&OutcomeCounts { t: 10, f: 20, bot: 30 });
+        assert_eq!(a, OutcomeCounts { t: 11, f: 22, bot: 33 });
+    }
+
+    #[test]
+    fn multi_counts_tracks_each_metric() {
+        use crate::Outcome::{Bot, F, T};
+        let mut a = MultiCounts::from_outcomes(&[T, Bot]);
+        a.merge(&MultiCounts::from_outcomes(&[F, Bot]));
+        a.merge(&MultiCounts::from_outcomes(&[T, T]));
+        assert_eq!(a.get(0), OutcomeCounts { t: 2, f: 1, bot: 0 });
+        assert_eq!(a.get(1), OutcomeCounts { t: 1, f: 0, bot: 2 });
+    }
+
+    #[test]
+    fn multi_counts_zero_adapts_arity() {
+        use crate::Outcome::T;
+        let mut z = MultiCounts::zero();
+        assert!(z.is_empty());
+        z.merge(&MultiCounts::from_outcomes(&[T, T, T]));
+        assert_eq!(z.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_metrics_panics() {
+        let _ = MultiCounts::empty(MAX_METRICS + 1);
+    }
+}

@@ -1,0 +1,481 @@
+//! The DivExplorer algorithm (Algorithm 1 of the paper): frequent-pattern
+//! mining with fused outcome tallies.
+//!
+//! Given a dataset `D`, ground truth `v`, black-box predictions `u`, a list
+//! of metrics and a minimum support `s`, the exploration:
+//!
+//! 1. evaluates each metric's outcome function on every instance (line 1),
+//! 2. one-hot encodes the outcomes into `(T, F, ⊥)` tallies (line 2),
+//! 3. runs a frequent-pattern miner whose payload mechanism sums the
+//!    tallies of covering transactions per candidate itemset (lines 4–12),
+//! 4. turns tallies into rates and divergences (lines 13–14).
+//!
+//! The result is *sound and complete* (Theorem 5.1): it contains exactly the
+//! itemsets with support ≥ `s`, each with its exact divergence.
+
+use crate::counts::{MultiCounts, OutcomeCounts, MAX_METRICS};
+use crate::dataset::DiscreteDataset;
+use crate::report::{DivergenceReport, Pattern};
+use crate::{Metric, Outcome};
+use fpm::Payload;
+
+/// Errors from [`DivExplorer::explore`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExploreError {
+    /// `v` or `u` does not have one entry per dataset row.
+    LengthMismatch {
+        /// `"ground truth"` or `"predictions"`.
+        which: &'static str,
+        /// Supplied length.
+        got: usize,
+        /// Dataset row count.
+        expected: usize,
+    },
+    /// No metrics were requested.
+    NoMetrics,
+    /// More than [`MAX_METRICS`] metrics were requested for one pass.
+    TooManyMetrics(usize),
+    /// The same metric was requested twice.
+    DuplicateMetric(Metric),
+    /// The dataset has no rows.
+    EmptyDataset,
+    /// The support threshold is not a finite value in `[0, 1]`.
+    InvalidSupport(f64),
+}
+
+impl std::fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExploreError::LengthMismatch { which, got, expected } => {
+                write!(f, "{which} has {got} entries but the dataset has {expected} rows")
+            }
+            ExploreError::NoMetrics => write!(f, "at least one metric is required"),
+            ExploreError::TooManyMetrics(n) => {
+                write!(f, "{n} metrics requested but at most {MAX_METRICS} fit one pass")
+            }
+            ExploreError::DuplicateMetric(m) => write!(f, "metric {m} requested twice"),
+            ExploreError::EmptyDataset => write!(f, "the dataset has no rows"),
+            ExploreError::InvalidSupport(s) => {
+                write!(f, "support threshold {s} is not in [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+/// The exploration driver. Configure the support threshold, the mining
+/// backend and an optional itemset-length cap, then call
+/// [`DivExplorer::explore`].
+#[derive(Debug, Clone)]
+pub struct DivExplorer {
+    min_support: f64,
+    algorithm: fpm::Algorithm,
+    max_len: Option<usize>,
+    threads: usize,
+}
+
+impl DivExplorer {
+    /// A new explorer with relative support threshold `min_support` and the
+    /// paper's default backend, FP-growth.
+    pub fn new(min_support: f64) -> Self {
+        DivExplorer {
+            min_support,
+            algorithm: fpm::Algorithm::FpGrowth,
+            max_len: None,
+            threads: 1,
+        }
+    }
+
+    /// Selects the mining backend (Apriori, FP-growth or Eclat — all produce
+    /// identical reports).
+    pub fn with_algorithm(mut self, algorithm: fpm::Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Caps the itemset length. Note that a cap breaks the subset-closure
+    /// guarantees required by Shapley and global-divergence analysis; use it
+    /// only for raw top-pattern queries.
+    pub fn with_max_len(mut self, max_len: usize) -> Self {
+        self.max_len = Some(max_len);
+        self
+    }
+
+    /// Mines with `n` worker threads (parallel vertical mining; `1` =
+    /// sequential with the configured backend). The paper's tool is
+    /// single-threaded — this is an extension, and the report is identical
+    /// either way.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one thread");
+        self.threads = n;
+        self
+    }
+
+    /// The configured support threshold.
+    pub fn min_support(&self) -> f64 {
+        self.min_support
+    }
+
+    /// Runs the exploration: mines every itemset with support ≥ the
+    /// threshold and tallies each metric's outcomes over it.
+    pub fn explore(
+        &self,
+        data: &DiscreteDataset,
+        v: &[bool],
+        u: &[bool],
+        metrics: &[Metric],
+    ) -> Result<DivergenceReport, ExploreError> {
+        self.validate(data, v, u, metrics)?;
+
+        // Line 1–2: outcome functions, one-hot encoded per instance.
+        let n = data.n_rows();
+        let mut outcome_buf: Vec<Outcome> = Vec::with_capacity(metrics.len());
+        let mut payloads: Vec<MultiCounts> = Vec::with_capacity(n);
+        let mut dataset_counts = MultiCounts::empty(metrics.len());
+        for r in 0..n {
+            outcome_buf.clear();
+            outcome_buf.extend(metrics.iter().map(|m| m.outcome(v[r], u[r])));
+            let mc = MultiCounts::from_outcomes(&outcome_buf);
+            dataset_counts.merge(&mc);
+            payloads.push(mc);
+        }
+
+        // Lines 4–12: frequent-pattern mining with fused tallies.
+        let db = data.to_transactions();
+        let mut params = fpm::MiningParams::with_min_support_fraction(self.min_support, n);
+        params.max_len = self.max_len;
+        let min_support_count = params.min_support_count;
+        let found = if self.threads > 1 {
+            fpm::parallel::mine(&db, &payloads, &params, self.threads)
+        } else {
+            fpm::mine(self.algorithm, &db, &payloads, &params)
+        };
+
+        // Lines 13–15: package tallies; rates/divergences are computed
+        // lazily by the report.
+        let patterns = found
+            .into_iter()
+            .map(|fi| Pattern { items: fi.items, support: fi.support, counts: fi.payload })
+            .collect();
+        Ok(DivergenceReport::new(
+            data.schema().clone(),
+            metrics.to_vec(),
+            n,
+            min_support_count,
+            dataset_counts,
+            patterns,
+        ))
+    }
+
+    /// Like [`DivExplorer::explore`], but mines only the itemsets that
+    /// contain `anchor` (e.g. a protected attribute value), pushing the
+    /// constraint into the miner instead of post-filtering a full
+    /// exploration.
+    ///
+    /// The resulting report contains only anchored patterns, so the
+    /// analyses that need subset closure (Shapley, global divergence,
+    /// pruning) require a full exploration instead; use this for fast
+    /// focused ranking at supports where the full lattice is too large.
+    pub fn explore_containing(
+        &self,
+        data: &DiscreteDataset,
+        v: &[bool],
+        u: &[bool],
+        metrics: &[Metric],
+        anchor: crate::ItemId,
+    ) -> Result<DivergenceReport, ExploreError> {
+        self.validate(data, v, u, metrics)?;
+        let n = data.n_rows();
+        let mut outcome_buf: Vec<Outcome> = Vec::with_capacity(metrics.len());
+        let mut payloads: Vec<MultiCounts> = Vec::with_capacity(n);
+        let mut dataset_counts = MultiCounts::empty(metrics.len());
+        for r in 0..n {
+            outcome_buf.clear();
+            outcome_buf.extend(metrics.iter().map(|m| m.outcome(v[r], u[r])));
+            let mc = MultiCounts::from_outcomes(&outcome_buf);
+            dataset_counts.merge(&mc);
+            payloads.push(mc);
+        }
+        let db = data.to_transactions();
+        let mut params = fpm::MiningParams::with_min_support_fraction(self.min_support, n);
+        params.max_len = self.max_len;
+        let min_support_count = params.min_support_count;
+        let found =
+            fpm::anchored::mine_containing(self.algorithm, &db, &payloads, &params, anchor);
+        let patterns = found
+            .into_iter()
+            .map(|fi| Pattern { items: fi.items, support: fi.support, counts: fi.payload })
+            .collect();
+        Ok(DivergenceReport::new(
+            data.schema().clone(),
+            metrics.to_vec(),
+            n,
+            min_support_count,
+            dataset_counts,
+            patterns,
+        ))
+    }
+
+    fn validate(
+        &self,
+        data: &DiscreteDataset,
+        v: &[bool],
+        u: &[bool],
+        metrics: &[Metric],
+    ) -> Result<(), ExploreError> {
+        if data.n_rows() == 0 {
+            return Err(ExploreError::EmptyDataset);
+        }
+        if v.len() != data.n_rows() {
+            return Err(ExploreError::LengthMismatch {
+                which: "ground truth",
+                got: v.len(),
+                expected: data.n_rows(),
+            });
+        }
+        if u.len() != data.n_rows() {
+            return Err(ExploreError::LengthMismatch {
+                which: "predictions",
+                got: u.len(),
+                expected: data.n_rows(),
+            });
+        }
+        if metrics.is_empty() {
+            return Err(ExploreError::NoMetrics);
+        }
+        if metrics.len() > MAX_METRICS {
+            return Err(ExploreError::TooManyMetrics(metrics.len()));
+        }
+        for (i, &m) in metrics.iter().enumerate() {
+            if metrics[..i].contains(&m) {
+                return Err(ExploreError::DuplicateMetric(m));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.min_support) || self.min_support.is_nan() {
+            return Err(ExploreError::InvalidSupport(self.min_support));
+        }
+        Ok(())
+    }
+}
+
+/// Computes dataset-level outcome tallies without mining — useful for
+/// reporting overall rates (e.g. the paper's "overall FPR is 0.088").
+pub fn dataset_outcome_counts(v: &[bool], u: &[bool], metric: Metric) -> OutcomeCounts {
+    assert_eq!(v.len(), u.len());
+    let mut counts = OutcomeCounts::default();
+    for (&vi, &ui) in v.iter().zip(u) {
+        counts.merge(&OutcomeCounts::from_outcome(metric.outcome(vi, ui)));
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::report::SortBy;
+
+    /// 8 rows, attribute "g" splitting the data in two halves; the first
+    /// half gets all the false positives.
+    fn fixture() -> (DiscreteDataset, Vec<bool>, Vec<bool>) {
+        let mut b = DatasetBuilder::new();
+        b.categorical("g", &["a", "b"], &[0, 0, 0, 0, 1, 1, 1, 1]);
+        b.categorical("h", &["x", "y"], &[0, 1, 0, 1, 0, 1, 0, 1]);
+        let data = b.build().unwrap();
+        let v = vec![false; 8];
+        let u = vec![true, true, true, false, false, false, false, false];
+        (data, v, u)
+    }
+
+    #[test]
+    fn divergence_matches_hand_computation() {
+        let (data, v, u) = fixture();
+        let report = DivExplorer::new(0.2)
+            .explore(&data, &v, &u, &[Metric::FalsePositiveRate])
+            .unwrap();
+        // Overall FPR = 3/8.
+        assert!((report.dataset_rate(0) - 0.375).abs() < 1e-12);
+        let ga = report.schema().item_by_name("g", "a").unwrap();
+        let idx = report.find(&[ga]).unwrap();
+        // FPR(g=a) = 3/4, divergence = 0.375.
+        assert!((report.divergence(idx, 0) - 0.375).abs() < 1e-12);
+        let gb = report.schema().item_by_name("g", "b").unwrap();
+        let idx_b = report.find(&[gb]).unwrap();
+        assert!((report.divergence(idx_b, 0) + 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_backends_produce_identical_reports() {
+        let (data, v, u) = fixture();
+        let metrics = [Metric::FalsePositiveRate, Metric::ErrorRate];
+        let reference = DivExplorer::new(0.1)
+            .with_algorithm(fpm::Algorithm::Naive)
+            .explore(&data, &v, &u, &metrics)
+            .unwrap();
+        for algo in fpm::Algorithm::ALL {
+            let report = DivExplorer::new(0.1)
+                .with_algorithm(algo)
+                .explore(&data, &v, &u, &metrics)
+                .unwrap();
+            assert_eq!(report.len(), reference.len(), "{algo}");
+            for p in reference.patterns() {
+                let idx = report.find(&p.items).unwrap();
+                assert_eq!(report[idx].support, p.support, "{algo}");
+                assert_eq!(report[idx].counts, p.counts, "{algo}");
+            }
+        }
+    }
+
+    #[test]
+    fn completeness_every_supported_itemset_is_reported() {
+        // Theorem 5.1 on a small instance: enumerate all itemsets by brute
+        // force and check against the report.
+        let (data, v, u) = fixture();
+        let report = DivExplorer::new(0.25)
+            .explore(&data, &v, &u, &[Metric::ErrorRate])
+            .unwrap();
+        let schema = data.schema();
+        let all_items: Vec<_> = (0..schema.n_items()).collect();
+        crate::item::for_each_subset(&all_items, |subset| {
+            if subset.is_empty() {
+                return;
+            }
+            // Skip ill-formed itemsets (two items of one attribute).
+            if schema.itemset_attributes(subset).len() != subset.len() {
+                return;
+            }
+            let support = data.support_set(subset).len();
+            let frequent = support as f64 / data.n_rows() as f64 >= 0.25;
+            assert_eq!(
+                report.find(subset).is_some(),
+                frequent,
+                "itemset {:?} support {}",
+                subset,
+                support
+            );
+        });
+    }
+
+    #[test]
+    fn ranked_excludes_undefined_divergences() {
+        let mut b = DatasetBuilder::new();
+        b.categorical("g", &["a", "b"], &[0, 0, 1, 1]);
+        let data = b.build().unwrap();
+        // g=a instances all have positive ground truth: FPR undefined there.
+        let v = vec![true, true, false, false];
+        let u = vec![true, false, false, true];
+        let report = DivExplorer::new(0.5)
+            .explore(&data, &v, &u, &[Metric::FalsePositiveRate])
+            .unwrap();
+        let ga = report.schema().item_by_name("g", "a").unwrap();
+        let idx = report.find(&[ga]).unwrap();
+        assert!(report.divergence(idx, 0).is_nan());
+        let ranked = report.ranked(0, SortBy::Divergence);
+        assert!(!ranked.contains(&idx));
+    }
+
+    #[test]
+    fn t_statistic_uses_beta_posteriors() {
+        let (data, v, u) = fixture();
+        let report = DivExplorer::new(0.2)
+            .explore(&data, &v, &u, &[Metric::FalsePositiveRate])
+            .unwrap();
+        let ga = report.schema().item_by_name("g", "a").unwrap();
+        let idx = report.find(&[ga]).unwrap();
+        let pi = crate::BetaPosterior::from_observations(3, 1);
+        let pd = crate::BetaPosterior::from_observations(3, 5);
+        assert!((report.t_statistic(idx, 0) - pi.welch_t(&pd)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (data, v, u) = fixture();
+        let m = [Metric::ErrorRate];
+        assert!(matches!(
+            DivExplorer::new(0.1).explore(&data, &v[..3], &u, &m),
+            Err(ExploreError::LengthMismatch { which: "ground truth", .. })
+        ));
+        assert!(matches!(
+            DivExplorer::new(0.1).explore(&data, &v, &u[..3], &m),
+            Err(ExploreError::LengthMismatch { which: "predictions", .. })
+        ));
+        assert!(matches!(
+            DivExplorer::new(0.1).explore(&data, &v, &u, &[]),
+            Err(ExploreError::NoMetrics)
+        ));
+        assert!(matches!(
+            DivExplorer::new(1.5).explore(&data, &v, &u, &m),
+            Err(ExploreError::InvalidSupport(_))
+        ));
+        assert!(matches!(
+            DivExplorer::new(0.1).explore(&data, &v, &u, &[Metric::ErrorRate, Metric::ErrorRate]),
+            Err(ExploreError::DuplicateMetric(Metric::ErrorRate))
+        ));
+    }
+
+    #[test]
+    fn anchored_exploration_matches_filtered_full_exploration() {
+        let (data, v, u) = fixture();
+        let metrics = [Metric::FalsePositiveRate];
+        let full = DivExplorer::new(0.1).explore(&data, &v, &u, &metrics).unwrap();
+        let ga = data.schema().item_by_name("g", "a").unwrap();
+        let anchored = DivExplorer::new(0.1)
+            .explore_containing(&data, &v, &u, &metrics, ga)
+            .unwrap();
+        let expected: Vec<_> = full
+            .patterns()
+            .iter()
+            .filter(|p| p.items.contains(&ga))
+            .collect();
+        assert_eq!(anchored.len(), expected.len());
+        for p in expected {
+            let idx = anchored.find(&p.items).unwrap();
+            assert_eq!(anchored[idx].support, p.support);
+            assert_eq!(anchored[idx].counts, p.counts);
+        }
+        // Dataset-level rates are the true global ones, not conditional.
+        assert_eq!(anchored.dataset_rate(0), full.dataset_rate(0));
+    }
+
+    #[test]
+    fn threaded_exploration_matches_sequential() {
+        let (data, v, u) = fixture();
+        let metrics = [Metric::FalsePositiveRate, Metric::ErrorRate];
+        let sequential = DivExplorer::new(0.1).explore(&data, &v, &u, &metrics).unwrap();
+        for threads in [2, 4] {
+            let parallel = DivExplorer::new(0.1)
+                .with_threads(threads)
+                .explore(&data, &v, &u, &metrics)
+                .unwrap();
+            assert_eq!(parallel.len(), sequential.len(), "threads={threads}");
+            for p in sequential.patterns() {
+                let idx = parallel.find(&p.items).unwrap();
+                assert_eq!(parallel[idx].counts, p.counts);
+            }
+        }
+    }
+
+    #[test]
+    fn support_threshold_excludes_rare_patterns() {
+        let (data, v, u) = fixture();
+        // h splits into two length-1 patterns of support 0.5 each; pairs
+        // (g, h) have support 0.25.
+        let report = DivExplorer::new(0.3)
+            .explore(&data, &v, &u, &[Metric::ErrorRate])
+            .unwrap();
+        assert!(report.patterns().iter().all(|p| p.len() == 1));
+        let report = DivExplorer::new(0.25)
+            .explore(&data, &v, &u, &[Metric::ErrorRate])
+            .unwrap();
+        assert!(report.patterns().iter().any(|p| p.len() == 2));
+    }
+
+    #[test]
+    fn dataset_outcome_counts_standalone() {
+        let v = [true, false, false, true];
+        let u = [true, true, false, false];
+        let c = dataset_outcome_counts(&v, &u, Metric::FalsePositiveRate);
+        assert_eq!((c.t, c.f, c.bot), (1, 1, 2));
+    }
+}

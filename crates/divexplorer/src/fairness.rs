@@ -1,0 +1,244 @@
+//! Group-fairness auditing on top of divergence.
+//!
+//! The classic group-fairness criteria are *exactly* divergences of specific
+//! outcome metrics (§1 of the paper frames fairness evaluation as a primary
+//! application):
+//!
+//! - **demographic parity**: the predicted-positive rate of a subgroup
+//!   equals the overall rate ⇔ `Δ_PPR(I) = 0`;
+//! - **equal opportunity**: equal true-positive rates ⇔ `Δ_TPR(I) = 0`;
+//! - **equalized odds**: equal TPR *and* FPR ⇔ `Δ_TPR(I) = Δ_FPR(I) = 0`;
+//! - **predictive parity**: equal precision ⇔ `Δ_PPV(I) = 0`.
+//!
+//! This module runs one multi-metric exploration and scores every frequent
+//! subgroup against all four criteria at once — intersectional by
+//! construction, since subgroups are arbitrary itemsets rather than single
+//! protected attributes.
+
+use crate::dataset::DiscreteDataset;
+use crate::explorer::{DivExplorer, ExploreError};
+use crate::item::ItemId;
+use crate::report::DivergenceReport;
+use crate::Metric;
+
+/// The fairness criteria scored by [`audit_fairness`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Criterion {
+    /// Predicted-positive-rate gap (demographic parity deviation).
+    DemographicParity,
+    /// True-positive-rate gap (equal opportunity deviation).
+    EqualOpportunity,
+    /// max(|TPR gap|, |FPR gap|) (equalized-odds deviation).
+    EqualizedOdds,
+    /// Precision gap (predictive parity deviation).
+    PredictiveParity,
+}
+
+impl Criterion {
+    /// All criteria.
+    pub const ALL: [Criterion; 4] = [
+        Criterion::DemographicParity,
+        Criterion::EqualOpportunity,
+        Criterion::EqualizedOdds,
+        Criterion::PredictiveParity,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Criterion::DemographicParity => "demographic parity",
+            Criterion::EqualOpportunity => "equal opportunity",
+            Criterion::EqualizedOdds => "equalized odds",
+            Criterion::PredictiveParity => "predictive parity",
+        }
+    }
+}
+
+/// One subgroup's fairness scorecard: deviation per criterion (0 = the
+/// criterion holds exactly for this subgroup; NaN = undefined on it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairnessViolation {
+    /// The subgroup.
+    pub items: Vec<ItemId>,
+    /// Support fraction.
+    pub support: f64,
+    /// Demographic-parity deviation (signed).
+    pub demographic_parity: f64,
+    /// Equal-opportunity deviation (signed TPR gap).
+    pub equal_opportunity: f64,
+    /// Equalized-odds deviation (max of |TPR gap| and |FPR gap|; unsigned).
+    pub equalized_odds: f64,
+    /// Predictive-parity deviation (signed precision gap).
+    pub predictive_parity: f64,
+}
+
+impl FairnessViolation {
+    /// The deviation for one criterion.
+    pub fn deviation(&self, criterion: Criterion) -> f64 {
+        match criterion {
+            Criterion::DemographicParity => self.demographic_parity,
+            Criterion::EqualOpportunity => self.equal_opportunity,
+            Criterion::EqualizedOdds => self.equalized_odds,
+            Criterion::PredictiveParity => self.predictive_parity,
+        }
+    }
+}
+
+/// The outcome of a fairness audit.
+#[derive(Debug, Clone)]
+pub struct FairnessAudit {
+    /// The underlying multi-metric report (metrics: PPR, TPR, FPR, PPV).
+    pub report: DivergenceReport,
+    /// One scorecard per frequent subgroup, in report order.
+    pub violations: Vec<FairnessViolation>,
+}
+
+/// Audits every frequent subgroup against the four criteria.
+pub fn audit_fairness(
+    data: &DiscreteDataset,
+    v: &[bool],
+    u: &[bool],
+    min_support: f64,
+) -> Result<FairnessAudit, ExploreError> {
+    let metrics = [
+        Metric::PredictedPositiveRate,
+        Metric::TruePositiveRate,
+        Metric::FalsePositiveRate,
+        Metric::PositivePredictiveValue,
+    ];
+    let report = DivExplorer::new(min_support).explore(data, v, u, &metrics)?;
+    let violations = (0..report.len())
+        .map(|idx| {
+            let tpr_gap = report.divergence(idx, 1);
+            let fpr_gap = report.divergence(idx, 2);
+            FairnessViolation {
+                items: report[idx].items.clone(),
+                support: report.support_fraction(idx),
+                demographic_parity: report.divergence(idx, 0),
+                equal_opportunity: tpr_gap,
+                equalized_odds: match (tpr_gap.is_nan(), fpr_gap.is_nan()) {
+                    (true, true) => f64::NAN,
+                    (true, false) => fpr_gap.abs(),
+                    (false, true) => tpr_gap.abs(),
+                    (false, false) => tpr_gap.abs().max(fpr_gap.abs()),
+                },
+                predictive_parity: report.divergence(idx, 3),
+            }
+        })
+        .collect();
+    Ok(FairnessAudit { report, violations })
+}
+
+impl FairnessAudit {
+    /// The `k` worst subgroups for a criterion (largest |deviation| first;
+    /// undefined deviations excluded).
+    pub fn worst(&self, criterion: Criterion, k: usize) -> Vec<&FairnessViolation> {
+        let mut out: Vec<&FairnessViolation> = self
+            .violations
+            .iter()
+            .filter(|violation| !violation.deviation(criterion).is_nan())
+            .collect();
+        out.sort_by(|a, b| {
+            b.deviation(criterion)
+                .abs()
+                .partial_cmp(&a.deviation(criterion).abs())
+                .unwrap()
+                .then_with(|| a.items.cmp(&b.items))
+        });
+        out.truncate(k);
+        out
+    }
+
+    /// Subgroups satisfying *every* criterion within tolerance `eps`.
+    pub fn fair_within(&self, eps: f64) -> Vec<&FairnessViolation> {
+        self.violations
+            .iter()
+            .filter(|violation| {
+                Criterion::ALL.iter().all(|&criterion| {
+                    let d = violation.deviation(criterion);
+                    d.is_nan() || d.abs() <= eps
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    /// g=a gets positive predictions regardless of merit; g=b only when
+    /// warranted.
+    fn fixture() -> (DiscreteDataset, Vec<bool>, Vec<bool>) {
+        let g = [0, 0, 0, 0, 1, 1, 1, 1u16];
+        let mut b = DatasetBuilder::new();
+        b.categorical("g", &["a", "b"], &g);
+        let data = b.build().unwrap();
+        let v = vec![true, true, false, false, true, true, false, false];
+        let u = vec![true, true, true, true, true, false, false, false];
+        (data, v, u)
+    }
+
+    #[test]
+    fn demographic_parity_deviation_is_ppr_divergence() {
+        let (data, v, u) = fixture();
+        let audit = audit_fairness(&data, &v, &u, 0.25).unwrap();
+        let ga = audit.report.schema().item_by_name("g", "a").unwrap();
+        let violation = audit.violations.iter().find(|f| f.items == vec![ga]).unwrap();
+        // PPR(g=a)=1.0, overall=5/8: deviation +0.375.
+        assert!((violation.demographic_parity - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equalized_odds_is_the_max_of_the_two_gaps() {
+        let (data, v, u) = fixture();
+        let audit = audit_fairness(&data, &v, &u, 0.25).unwrap();
+        for violation in &audit.violations {
+            let idx = audit.report.find(&violation.items).unwrap();
+            let tpr = audit.report.divergence(idx, 1).abs();
+            let fpr = audit.report.divergence(idx, 2).abs();
+            if !tpr.is_nan() && !fpr.is_nan() {
+                assert!((violation.equalized_odds - tpr.max(fpr)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn worst_ranks_the_biased_group_first() {
+        let (data, v, u) = fixture();
+        let audit = audit_fairness(&data, &v, &u, 0.25).unwrap();
+        let worst = audit.worst(Criterion::DemographicParity, 1);
+        let name = audit.report.display_itemset(&worst[0].items);
+        assert!(name == "g=a" || name == "g=b"); // symmetric deviations
+        assert!(worst[0].demographic_parity.abs() > 0.3);
+    }
+
+    #[test]
+    fn fair_model_passes_within_tolerance() {
+        let g = [0, 0, 0, 0, 1, 1, 1, 1u16];
+        let mut b = DatasetBuilder::new();
+        b.categorical("g", &["a", "b"], &g);
+        let data = b.build().unwrap();
+        let v = vec![true, true, false, false, true, true, false, false];
+        let u = v.clone(); // the perfect, trivially fair classifier
+        let audit = audit_fairness(&data, &v, &u, 0.25).unwrap();
+        assert_eq!(audit.fair_within(1e-9).len(), audit.violations.len());
+    }
+
+    #[test]
+    fn worst_excludes_undefined_deviations() {
+        // g=a has no positives: TPR undefined there.
+        let g = [0, 0, 1, 1u16];
+        let mut b = DatasetBuilder::new();
+        b.categorical("g", &["a", "b"], &g);
+        let data = b.build().unwrap();
+        let v = vec![false, false, true, true];
+        let u = vec![false, true, true, false];
+        let audit = audit_fairness(&data, &v, &u, 0.25).unwrap();
+        let ga = audit.report.schema().item_by_name("g", "a").unwrap();
+        for violation in audit.worst(Criterion::EqualOpportunity, 10) {
+            assert_ne!(violation.items, vec![ga]);
+        }
+    }
+}

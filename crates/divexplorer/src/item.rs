@@ -1,0 +1,119 @@
+//! Items: `attribute = value` predicates, and helpers over sorted itemsets.
+
+/// Global item identifier — an index into the dense item space laid out by
+/// [`crate::Schema`]. Re-exported from the mining substrate so itemsets flow
+/// between crates without conversion.
+pub type ItemId = fpm::ItemId;
+
+/// A decoded item: an attribute index and a value code within its domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Item {
+    /// Index of the attribute in the schema.
+    pub attribute: u16,
+    /// Value code within the attribute's domain.
+    pub value: u16,
+}
+
+/// Returns the canonical form of an itemset: sorted, deduplicated ids.
+pub fn canonicalize(mut items: Vec<ItemId>) -> Vec<ItemId> {
+    items.sort_unstable();
+    items.dedup();
+    items
+}
+
+/// Returns `base ∖ {item}` for a sorted itemset, preserving order.
+pub fn without(base: &[ItemId], item: ItemId) -> Vec<ItemId> {
+    base.iter().copied().filter(|&i| i != item).collect()
+}
+
+/// Returns `base ∪ {item}` for a sorted itemset, preserving order.
+pub fn with(base: &[ItemId], item: ItemId) -> Vec<ItemId> {
+    match base.binary_search(&item) {
+        Ok(_) => base.to_vec(),
+        Err(pos) => {
+            let mut out = Vec::with_capacity(base.len() + 1);
+            out.extend_from_slice(&base[..pos]);
+            out.push(item);
+            out.extend_from_slice(&base[pos..]);
+            out
+        }
+    }
+}
+
+/// True iff sorted `needle` is a subset of sorted `hay`.
+pub fn is_subset(needle: &[ItemId], hay: &[ItemId]) -> bool {
+    let mut hay_iter = hay.iter();
+    'outer: for &n in needle {
+        for &h in hay_iter.by_ref() {
+            if h == n {
+                continue 'outer;
+            }
+            if h > n {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Enumerates all subsets of a sorted itemset `items` (including the empty
+/// set and `items` itself), invoking `f` on each. Subset order follows the
+/// binary counting order of the bitmask. `items.len()` must be < 64.
+pub fn for_each_subset(items: &[ItemId], mut f: impl FnMut(&[ItemId])) {
+    assert!(items.len() < 64, "itemset too long for bitmask enumeration");
+    let n = items.len();
+    let mut buf: Vec<ItemId> = Vec::with_capacity(n);
+    for mask in 0u64..(1u64 << n) {
+        buf.clear();
+        for (i, &item) in items.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                buf.push(item);
+            }
+        }
+        f(&buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalize_sorts_and_dedups() {
+        assert_eq!(canonicalize(vec![3, 1, 3, 2]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn with_and_without_are_inverse() {
+        let base = vec![1, 5, 9];
+        let grown = with(&base, 4);
+        assert_eq!(grown, vec![1, 4, 5, 9]);
+        assert_eq!(without(&grown, 4), base);
+        // Adding a present item is a no-op.
+        assert_eq!(with(&base, 5), base);
+    }
+
+    #[test]
+    fn subset_relation() {
+        assert!(is_subset(&[], &[]));
+        assert!(is_subset(&[2], &[1, 2, 3]));
+        assert!(!is_subset(&[0], &[1, 2]));
+        assert!(!is_subset(&[1, 4], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn subset_enumeration_counts_power_set() {
+        let mut n = 0;
+        let mut saw_full = false;
+        let mut saw_empty = false;
+        for_each_subset(&[10, 20, 30], |s| {
+            n += 1;
+            saw_full |= s == [10, 20, 30];
+            saw_empty |= s.is_empty();
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+        });
+        assert_eq!(n, 8);
+        assert!(saw_full && saw_empty);
+    }
+}

@@ -1,0 +1,163 @@
+//! Redundancy pruning (§3.5): a compact summary of the divergent patterns.
+//!
+//! A pattern `I` is pruned when some item `α ∈ I` has absolute marginal
+//! contribution `|Δ(I) − Δ(I ∖ {α})| ≤ ε`: the shorter pattern `I ∖ {α}`
+//! already captures the divergence of `I`. The paper shows (Table 6,
+//! Figure 10) that even small `ε` collapses thousands of patterns to a few
+//! diverse representatives.
+
+use crate::item::without;
+use crate::report::DivergenceReport;
+
+/// Indices of the patterns that survive ε-redundancy pruning for metric `m`.
+///
+/// A pattern is *retained* iff every item has marginal contribution
+/// strictly above `ε` in absolute value (w.r.t. the immediate sub-pattern
+/// obtained by removing that item). Patterns with undefined divergence, or
+/// whose sub-pattern divergence is undefined, are pruned: their marginal
+/// contribution cannot be established.
+pub fn prune_redundant(report: &DivergenceReport, m: usize, epsilon: f64) -> Vec<usize> {
+    assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    let mut retained = Vec::new();
+    'patterns: for idx in 0..report.len() {
+        let pattern = &report[idx];
+        let delta = report.divergence(idx, m);
+        if delta.is_nan() {
+            continue;
+        }
+        for &alpha in &pattern.items {
+            let base = without(&pattern.items, alpha);
+            let Some(delta_base) = report.divergence_of(&base, m) else {
+                // Missing sub-pattern (max_len cap): treat conservatively as
+                // redundant, matching the paper's requirement of a complete
+                // exploration for this analysis.
+                continue 'patterns;
+            };
+            if delta_base.is_nan() || (delta - delta_base).abs() <= epsilon {
+                continue 'patterns;
+            }
+        }
+        retained.push(idx);
+    }
+    retained
+}
+
+/// The number of patterns retained at each of several `ε` values — the
+/// series plotted in Figure 10 of the paper.
+pub fn pruning_curve(report: &DivergenceReport, m: usize, epsilons: &[f64]) -> Vec<(f64, usize)> {
+    epsilons
+        .iter()
+        .map(|&eps| (eps, prune_redundant(report, m, eps).len()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::explorer::DivExplorer;
+    use crate::report::SortBy;
+    use crate::Metric;
+
+    /// Errors depend only on g: any pattern mentioning h is redundant.
+    fn fixture() -> (crate::DiscreteDataset, Vec<bool>, Vec<bool>) {
+        let mut g = Vec::new();
+        let mut h = Vec::new();
+        let mut v = Vec::new();
+        let mut u = Vec::new();
+        for rep in 0..8u16 {
+            for gi in 0..2u16 {
+                for hi in 0..2u16 {
+                    g.push(gi);
+                    h.push(hi);
+                    v.push(false);
+                    u.push(gi == 0 && rep < 6); // FPR(g=a)=0.75, no h effect
+                }
+            }
+        }
+        let mut b = DatasetBuilder::new();
+        b.categorical("g", &["a", "b"], &g);
+        b.categorical("h", &["x", "y"], &h);
+        (b.build().unwrap(), v, u)
+    }
+
+    #[test]
+    fn redundant_patterns_are_pruned() {
+        let (data, v, u) = fixture();
+        let report = DivExplorer::new(0.1)
+            .explore(&data, &v, &u, &[Metric::FalsePositiveRate])
+            .unwrap();
+        let retained = prune_redundant(&report, 0, 0.05);
+        // Only the two g-patterns survive: every h-item adds nothing.
+        let names: Vec<String> = retained
+            .iter()
+            .map(|&i| report.display_itemset(&report[i].items))
+            .collect();
+        assert_eq!(names, vec!["g=a", "g=b"]);
+    }
+
+    #[test]
+    fn epsilon_zero_prunes_only_exact_redundancy() {
+        let (data, v, u) = fixture();
+        let report = DivExplorer::new(0.1)
+            .explore(&data, &v, &u, &[Metric::FalsePositiveRate])
+            .unwrap();
+        let retained = prune_redundant(&report, 0, 0.0);
+        // h alone has Δ=0 — equal to Δ(∅): marginal contribution 0 ≤ ε.
+        for &idx in &retained {
+            assert!(!report.display_itemset(&report[idx].items).starts_with("h="));
+        }
+    }
+
+    #[test]
+    fn retention_is_monotone_in_epsilon() {
+        let (data, v, u) = fixture();
+        let report = DivExplorer::new(0.05)
+            .explore(&data, &v, &u, &[Metric::ErrorRate])
+            .unwrap();
+        let curve = pruning_curve(&report, 0, &[0.0, 0.01, 0.05, 0.1, 0.5]);
+        assert!(curve.windows(2).all(|w| w[0].1 >= w[1].1));
+        // ε larger than any divergence prunes everything.
+        assert_eq!(curve.last().unwrap().1, 0);
+    }
+
+    #[test]
+    fn retained_pattern_has_all_items_contributing() {
+        let (data, v, u) = fixture();
+        let report = DivExplorer::new(0.05)
+            .explore(&data, &v, &u, &[Metric::FalsePositiveRate])
+            .unwrap();
+        let eps = 0.02;
+        for &idx in &prune_redundant(&report, 0, eps) {
+            let items = &report[idx].items;
+            let delta = report.divergence(idx, 0);
+            for &alpha in items {
+                let base = without(items, alpha);
+                let delta_base = report.divergence_of(&base, 0).unwrap();
+                assert!((delta - delta_base).abs() > eps);
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_keeps_the_signal_pattern_ranked_first() {
+        let (data, v, u) = fixture();
+        let report = DivExplorer::new(0.1)
+            .explore(&data, &v, &u, &[Metric::FalsePositiveRate])
+            .unwrap();
+        let retained = prune_redundant(&report, 0, 0.05);
+        let ranked = report.ranked(0, SortBy::Divergence);
+        let best_retained = ranked.iter().find(|i| retained.contains(i)).unwrap();
+        assert_eq!(report.display_itemset(&report[*best_retained].items), "g=a");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_epsilon_panics() {
+        let (data, v, u) = fixture();
+        let report = DivExplorer::new(0.1)
+            .explore(&data, &v, &u, &[Metric::ErrorRate])
+            .unwrap();
+        let _ = prune_redundant(&report, 0, -0.1);
+    }
+}

@@ -1,0 +1,459 @@
+//! The output of an exploration: every frequent pattern with its outcome
+//! tallies, divergences and significance, indexed for `O(1)` lookup.
+
+use rustc_hash::FxHashMap;
+
+use crate::counts::{MultiCounts, OutcomeCounts};
+use crate::item::ItemId;
+use crate::schema::Schema;
+use crate::Metric;
+
+/// One frequent pattern (itemset) with its per-metric outcome tallies.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    /// Canonical (sorted) item ids.
+    pub items: Vec<ItemId>,
+    /// Support count `|D(I)|`.
+    pub support: u64,
+    /// Per-metric `(T, F, ⊥)` tallies accumulated during mining.
+    pub counts: MultiCounts,
+}
+
+impl Pattern {
+    /// The itemset length (number of conjuncts).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True for the empty pattern (never stored in a report).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Ranking orders for [`DivergenceReport::ranked`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortBy {
+    /// Most positive divergence first (the paper's default ranking).
+    Divergence,
+    /// Most negative divergence first.
+    NegativeDivergence,
+    /// Largest `|Δ|` first.
+    AbsDivergence,
+    /// Largest support first.
+    Support,
+    /// Largest Welch t-statistic first.
+    TStatistic,
+}
+
+/// The result of a DivExplorer run: all frequent patterns, the dataset-level
+/// tallies, and lookup/ranking utilities.
+///
+/// By Theorem 5.1 the pattern set is *sound and complete*: it contains
+/// exactly the itemsets with support ≥ the threshold, each with its exact
+/// divergence.
+#[derive(Debug, Clone)]
+pub struct DivergenceReport {
+    schema: Schema,
+    metrics: Vec<Metric>,
+    n_rows: usize,
+    min_support_count: u64,
+    dataset_counts: MultiCounts,
+    patterns: Vec<Pattern>,
+    index: FxHashMap<Box<[ItemId]>, u32>,
+}
+
+impl DivergenceReport {
+    pub(crate) fn new(
+        schema: Schema,
+        metrics: Vec<Metric>,
+        n_rows: usize,
+        min_support_count: u64,
+        dataset_counts: MultiCounts,
+        patterns: Vec<Pattern>,
+    ) -> Self {
+        let mut index = FxHashMap::default();
+        index.reserve(patterns.len());
+        for (i, p) in patterns.iter().enumerate() {
+            index.insert(p.items.clone().into_boxed_slice(), i as u32);
+        }
+        DivergenceReport { schema, metrics, n_rows, min_support_count, dataset_counts, patterns, index }
+    }
+
+    /// The schema of the analyzed dataset.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The metrics analyzed, in tally order.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// The tally index of a metric, if it was analyzed.
+    pub fn metric_index(&self, metric: Metric) -> Option<usize> {
+        self.metrics.iter().position(|&m| m == metric)
+    }
+
+    /// Number of dataset instances `|D|`.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// The absolute support-count threshold used by the exploration.
+    pub fn min_support_count(&self) -> u64 {
+        self.min_support_count
+    }
+
+    /// Number of frequent patterns found.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True iff no pattern met the support threshold.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// All patterns, in mining output order.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// Index of the pattern with exactly these (sorted) items.
+    ///
+    /// Returns `None` for the empty itemset, which is not stored; use
+    /// [`DivergenceReport::divergence_of`] for divergence lookups that
+    /// handle ∅.
+    pub fn find(&self, items: &[ItemId]) -> Option<usize> {
+        self.index.get(items).map(|&i| i as usize)
+    }
+
+    /// The dataset-level tallies of metric `m`.
+    pub fn dataset_counts(&self, m: usize) -> OutcomeCounts {
+        self.dataset_counts.get(m)
+    }
+
+    /// The overall rate `f(D)` of metric `m`.
+    pub fn dataset_rate(&self, m: usize) -> f64 {
+        self.dataset_counts.get(m).rate()
+    }
+
+    /// The rate `f(I)` of metric `m` on pattern `idx`.
+    pub fn rate(&self, idx: usize, m: usize) -> f64 {
+        self.patterns[idx].counts.get(m).rate()
+    }
+
+    /// The divergence `Δ_f(I) = f(I) − f(D)` of pattern `idx` (Eq. 1).
+    ///
+    /// `NaN` when `f(I)` is undefined (empty reference class).
+    pub fn divergence(&self, idx: usize, m: usize) -> f64 {
+        self.rate(idx, m) - self.dataset_rate(m)
+    }
+
+    /// The divergence of an arbitrary (sorted) itemset: `Some(0.0)` for the
+    /// empty itemset (by definition `Δ(∅) = 0`), the stored value for a
+    /// frequent itemset, `None` for an infrequent one.
+    pub fn divergence_of(&self, items: &[ItemId], m: usize) -> Option<f64> {
+        if items.is_empty() {
+            return Some(0.0);
+        }
+        self.find(items).map(|idx| self.divergence(idx, m))
+    }
+
+    /// Support fraction `sup(I)` of pattern `idx`.
+    pub fn support_fraction(&self, idx: usize) -> f64 {
+        self.patterns[idx].support as f64 / self.n_rows as f64
+    }
+
+    /// Welch t-statistic between the Beta posteriors of the pattern's rate
+    /// and the dataset's rate (§3.3).
+    pub fn t_statistic(&self, idx: usize, m: usize) -> f64 {
+        let pi = self.patterns[idx].counts.get(m).posterior();
+        let pd = self.dataset_counts.get(m).posterior();
+        pi.welch_t(&pd)
+    }
+
+    /// Two-sided p-value of the pattern's divergence (normal approximation
+    /// of the Welch test on the Beta posteriors).
+    pub fn p_value(&self, idx: usize, m: usize) -> f64 {
+        crate::stats::p_value_two_sided(self.t_statistic(idx, m))
+    }
+
+    /// Pattern indices whose divergence is significant under
+    /// Benjamini–Hochberg false-discovery-rate control at level `q` —
+    /// the multiple-comparisons-aware way to screen an exhaustive
+    /// exploration. Sorted by ascending p-value.
+    pub fn significant_at_fdr(&self, m: usize, q: f64) -> Vec<usize> {
+        let p_values: Vec<f64> = (0..self.len()).map(|idx| self.p_value(idx, m)).collect();
+        crate::stats::benjamini_hochberg(&p_values, q)
+    }
+
+    /// Pattern indices ranked by the requested order for metric `m`.
+    /// Patterns whose divergence is undefined (`NaN`) are excluded from
+    /// divergence-based orders.
+    pub fn ranked(&self, m: usize, order: SortBy) -> Vec<usize> {
+        let key = |idx: usize| -> f64 {
+            match order {
+                SortBy::Divergence => self.divergence(idx, m),
+                SortBy::NegativeDivergence => -self.divergence(idx, m),
+                SortBy::AbsDivergence => self.divergence(idx, m).abs(),
+                SortBy::Support => self.patterns[idx].support as f64,
+                SortBy::TStatistic => self.t_statistic(idx, m),
+            }
+        };
+        let mut idxs: Vec<usize> =
+            (0..self.patterns.len()).filter(|&i| !key(i).is_nan()).collect();
+        idxs.sort_by(|&a, &b| {
+            key(b)
+                .partial_cmp(&key(a))
+                .unwrap()
+                // Deterministic tie-break: shorter, then lexicographic.
+                .then_with(|| self.patterns[a].items.len().cmp(&self.patterns[b].items.len()))
+                .then_with(|| self.patterns[a].items.cmp(&self.patterns[b].items))
+        });
+        idxs
+    }
+
+    /// The first `k` patterns of [`DivergenceReport::ranked`].
+    pub fn top_k(&self, m: usize, k: usize, order: SortBy) -> Vec<usize> {
+        let mut r = self.ranked(m, order);
+        r.truncate(k);
+        r
+    }
+
+    /// Renders an itemset with the schema's display names.
+    pub fn display_itemset(&self, items: &[ItemId]) -> String {
+        self.schema.display_itemset(items)
+    }
+
+    /// Derives the report that exploring at a *higher* support threshold
+    /// would produce, by filtering this one — no re-mining (monotonicity of
+    /// support makes this exact). Useful for threshold sweeps like the
+    /// paper's Figures 6–7: mine once at the lowest threshold, refine
+    /// upward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_support` resolves to a threshold below this report's
+    /// (the refinement would be incomplete).
+    pub fn refine_to_support(&self, min_support: f64) -> DivergenceReport {
+        let count = ((min_support * self.n_rows as f64).ceil() as u64).max(1);
+        assert!(
+            count >= self.min_support_count,
+            "cannot refine downward: {} < {}",
+            count,
+            self.min_support_count
+        );
+        let patterns: Vec<Pattern> = self
+            .patterns
+            .iter()
+            .filter(|p| p.support >= count)
+            .cloned()
+            .collect();
+        DivergenceReport::new(
+            self.schema.clone(),
+            self.metrics.clone(),
+            self.n_rows,
+            count,
+            self.dataset_counts,
+            patterns,
+        )
+    }
+}
+
+impl std::ops::Index<usize> for DivergenceReport {
+    type Output = Pattern;
+    fn index(&self, idx: usize) -> &Pattern {
+        &self.patterns[idx]
+    }
+}
+
+/// Serializable snapshot of a report (see [`DivergenceReport::export`]).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ReportExport {
+    /// Metric short names, in tally order.
+    pub metrics: Vec<String>,
+    /// Dataset size `|D|`.
+    pub n_rows: usize,
+    /// Absolute support-count threshold.
+    pub min_support_count: u64,
+    /// Overall rate `f(D)` per metric (`None` where undefined).
+    pub dataset_rates: Vec<Option<f64>>,
+    /// One entry per frequent pattern.
+    pub patterns: Vec<PatternExport>,
+}
+
+/// One exported pattern row.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PatternExport {
+    /// Display form, e.g. `"sex=Male, #prior=>3"`.
+    pub itemset: String,
+    /// Raw item ids (schema-dependent).
+    pub items: Vec<ItemId>,
+    /// Support count.
+    pub support: u64,
+    /// Support fraction.
+    pub support_fraction: f64,
+    /// Per-metric rate, divergence and t-statistic (`None` where undefined).
+    pub rates: Vec<Option<f64>>,
+    /// Per-metric divergence.
+    pub divergences: Vec<Option<f64>>,
+    /// Per-metric Welch t-statistic.
+    pub t_statistics: Vec<f64>,
+}
+
+fn noneify(x: f64) -> Option<f64> {
+    if x.is_nan() {
+        None
+    } else {
+        Some(x)
+    }
+}
+
+impl DivergenceReport {
+    /// Exports the report into a plain serializable structure (rates and
+    /// divergences materialized), e.g. for JSON dashboards:
+    ///
+    /// ```
+    /// # use divexplorer::{DatasetBuilder, DivExplorer, Metric};
+    /// # let mut b = DatasetBuilder::new();
+    /// # b.categorical("g", &["a", "b"], &[0, 0, 1, 1]);
+    /// # let data = b.build().unwrap();
+    /// # let report = DivExplorer::new(0.5)
+    /// #     .explore(&data, &[false; 4], &[true, false, false, false],
+    /// #              &[Metric::FalsePositiveRate]).unwrap();
+    /// let json = serde_json::to_string_pretty(&report.export()).unwrap();
+    /// assert!(json.contains("\"metrics\""));
+    /// ```
+    pub fn export(&self) -> ReportExport {
+        let n_metrics = self.metrics.len();
+        ReportExport {
+            metrics: self.metrics.iter().map(|m| m.short_name().to_string()).collect(),
+            n_rows: self.n_rows,
+            min_support_count: self.min_support_count,
+            dataset_rates: (0..n_metrics).map(|m| noneify(self.dataset_rate(m))).collect(),
+            patterns: (0..self.len())
+                .map(|idx| PatternExport {
+                    itemset: self.display_itemset(&self.patterns[idx].items),
+                    items: self.patterns[idx].items.clone(),
+                    support: self.patterns[idx].support,
+                    support_fraction: self.support_fraction(idx),
+                    rates: (0..n_metrics).map(|m| noneify(self.rate(idx, m))).collect(),
+                    divergences: (0..n_metrics)
+                        .map(|m| noneify(self.divergence(idx, m)))
+                        .collect(),
+                    t_statistics: (0..n_metrics).map(|m| self.t_statistic(idx, m)).collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::explorer::DivExplorer;
+    use crate::Metric;
+
+    fn report() -> DivergenceReport {
+        let g = [0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1u16];
+        let mut b = DatasetBuilder::new();
+        b.categorical("g", &["a", "b"], &g);
+        let data = b.build().unwrap();
+        let v = vec![false; 12];
+        let u = vec![
+            true, true, true, true, true, false, // g=a: FPR 5/6
+            false, false, false, false, false, false, // g=b: FPR 0
+        ];
+        DivExplorer::new(0.2)
+            .explore(&data, &v, &u, &[Metric::FalsePositiveRate])
+            .unwrap()
+    }
+
+    #[test]
+    fn p_values_track_t_statistics() {
+        let r = report();
+        let ga = r.schema().item_by_name("g", "a").unwrap();
+        let gb = r.schema().item_by_name("g", "b").unwrap();
+        let ia = r.find(&[ga]).unwrap();
+        let ib = r.find(&[gb]).unwrap();
+        assert!(r.t_statistic(ia, 0) > 0.0);
+        assert!(r.p_value(ia, 0) < 1.0);
+        // Larger |t| -> smaller p.
+        if r.t_statistic(ia, 0) > r.t_statistic(ib, 0) {
+            assert!(r.p_value(ia, 0) <= r.p_value(ib, 0));
+        }
+    }
+
+    #[test]
+    fn fdr_screen_returns_sorted_significant_subset() {
+        let r = report();
+        let flagged = r.significant_at_fdr(0, 0.5);
+        // Whatever is flagged must have small p-values, ascending.
+        let ps: Vec<f64> = flagged.iter().map(|&i| r.p_value(i, 0)).collect();
+        assert!(ps.windows(2).all(|w| w[0] <= w[1]));
+        // A strict level flags no more than a loose one.
+        assert!(r.significant_at_fdr(0, 0.01).len() <= flagged.len());
+    }
+
+    #[test]
+    fn export_round_trips_through_json() {
+        let r = report();
+        let export = r.export();
+        assert_eq!(export.metrics, vec!["FPR"]);
+        assert_eq!(export.n_rows, 12);
+        assert_eq!(export.patterns.len(), r.len());
+        let json = serde_json::to_string(&export).unwrap();
+        let back: ReportExport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.patterns.len(), export.patterns.len());
+        assert_eq!(back.patterns[0].itemset, export.patterns[0].itemset);
+    }
+
+    #[test]
+    fn refinement_matches_a_fresh_exploration() {
+        let g = [0, 0, 0, 0, 0, 1, 1, 2u16];
+        let mut b = DatasetBuilder::new();
+        b.categorical("g", &["a", "b", "c"], &g);
+        let data = b.build().unwrap();
+        let v = vec![false; 8];
+        let u = vec![true, false, true, false, false, true, false, false];
+        let coarse = DivExplorer::new(0.1)
+            .explore(&data, &v, &u, &[Metric::FalsePositiveRate])
+            .unwrap();
+        for s in [0.2, 0.3, 0.6] {
+            let refined = coarse.refine_to_support(s);
+            let fresh = DivExplorer::new(s)
+                .explore(&data, &v, &u, &[Metric::FalsePositiveRate])
+                .unwrap();
+            assert_eq!(refined.len(), fresh.len(), "s={s}");
+            assert_eq!(refined.min_support_count(), fresh.min_support_count());
+            for p in fresh.patterns() {
+                let idx = refined.find(&p.items).unwrap();
+                assert_eq!(refined[idx].support, p.support);
+            }
+            // Dataset-level statistics are untouched by refinement.
+            assert_eq!(refined.dataset_rate(0), coarse.dataset_rate(0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot refine downward")]
+    fn refining_downward_panics() {
+        let r = report();
+        let _ = r.refine_to_support(0.01);
+    }
+
+    #[test]
+    fn export_materializes_consistent_values() {
+        let r = report();
+        let export = r.export();
+        for (idx, p) in export.patterns.iter().enumerate() {
+            assert_eq!(p.support, r[idx].support);
+            if let Some(d) = p.divergences[0] {
+                assert!((d - r.divergence(idx, 0)).abs() < 1e-12);
+            }
+        }
+    }
+}

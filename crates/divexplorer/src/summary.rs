@@ -1,0 +1,132 @@
+//! Human-readable report summaries: the library-side rendering used by the
+//! CLI and examples, so downstream code gets consistent formatting without
+//! reimplementing table layout.
+
+use crate::report::{DivergenceReport, SortBy};
+
+/// Options controlling [`render_summary`].
+#[derive(Debug, Clone)]
+pub struct SummaryOptions {
+    /// Patterns shown per metric.
+    pub top_k: usize,
+    /// Ranking order.
+    pub order: SortBy,
+    /// Decimal places for rates/divergences.
+    pub precision: usize,
+}
+
+impl Default for SummaryOptions {
+    fn default() -> Self {
+        SummaryOptions { top_k: 5, order: SortBy::Divergence, precision: 3 }
+    }
+}
+
+/// Renders a one-line description of pattern `idx` under metric `m`:
+/// `itemset  sup=…  Δ=…  t=…`.
+pub fn render_pattern(report: &DivergenceReport, idx: usize, m: usize, precision: usize) -> String {
+    let delta = report.divergence(idx, m);
+    let delta_str = if delta.is_nan() {
+        "Δ=undef".to_string()
+    } else {
+        format!("Δ={delta:+.precision$}")
+    };
+    format!(
+        "{}  sup={:.2}  {delta_str}  t={:.1}",
+        report.display_itemset(&report[idx].items),
+        report.support_fraction(idx),
+        report.t_statistic(idx, m),
+    )
+}
+
+/// Renders a multi-metric summary of the report: per metric, the overall
+/// rate and the top patterns under the chosen order.
+pub fn render_summary(report: &DivergenceReport, options: &SummaryOptions) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} patterns over {} rows (support >= {})\n",
+        report.len(),
+        report.n_rows(),
+        report.min_support_count(),
+    ));
+    for (m, metric) in report.metrics().iter().enumerate() {
+        let overall = report.dataset_rate(m);
+        if overall.is_nan() {
+            out.push_str(&format!("\n{metric}: overall rate undefined\n"));
+            continue;
+        }
+        out.push_str(&format!("\n{metric}: overall {overall:.prec$}\n", prec = options.precision));
+        for idx in report.top_k(m, options.top_k, options.order) {
+            out.push_str("  ");
+            out.push_str(&render_pattern(report, idx, m, options.precision));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::explorer::DivExplorer;
+    use crate::Metric;
+
+    fn report() -> DivergenceReport {
+        let g = [0, 0, 0, 0, 1, 1, 1, 1u16];
+        let mut b = DatasetBuilder::new();
+        b.categorical("g", &["a", "b"], &g);
+        let data = b.build().unwrap();
+        let v = vec![false; 8];
+        let u = vec![true, true, true, false, false, false, false, false];
+        DivExplorer::new(0.25)
+            .explore(&data, &v, &u, &[Metric::FalsePositiveRate, Metric::ErrorRate])
+            .unwrap()
+    }
+
+    #[test]
+    fn summary_mentions_every_metric_and_the_top_pattern() {
+        let r = report();
+        let s = render_summary(&r, &SummaryOptions::default());
+        assert!(s.contains("FPR: overall 0.375"));
+        assert!(s.contains("ER: overall"));
+        assert!(s.contains("g=a"));
+        assert!(s.contains("Δ=+0.375"));
+    }
+
+    #[test]
+    fn pattern_rendering_is_stable() {
+        let r = report();
+        let ga = r.schema().item_by_name("g", "a").unwrap();
+        let idx = r.find(&[ga]).unwrap();
+        let line = render_pattern(&r, idx, 0, 3);
+        assert!(line.starts_with("g=a  sup=0.50  Δ=+0.375  t="), "got {line}");
+    }
+
+    #[test]
+    fn options_control_count_and_precision() {
+        let r = report();
+        let s = render_summary(
+            &r,
+            &SummaryOptions { top_k: 1, precision: 1, ..Default::default() },
+        );
+        // Only one pattern line per metric (2 metrics + overall lines).
+        let pattern_lines = s.lines().filter(|l| l.starts_with("  ")).count();
+        assert_eq!(pattern_lines, 2);
+        assert!(s.contains("Δ=+0.4"));
+    }
+
+    #[test]
+    fn undefined_divergences_render_gracefully() {
+        let mut b = DatasetBuilder::new();
+        b.categorical("g", &["a", "b"], &[0, 0, 1, 1]);
+        let data = b.build().unwrap();
+        // Everything positive ground truth: FPR undefined everywhere.
+        let v = vec![true; 4];
+        let u = vec![true, false, true, false];
+        let r = DivExplorer::new(0.25)
+            .explore(&data, &v, &u, &[Metric::FalsePositiveRate])
+            .unwrap();
+        let s = render_summary(&r, &SummaryOptions::default());
+        assert!(s.contains("overall rate undefined"));
+    }
+}

@@ -1,0 +1,21 @@
+//! # Per-instance explanation substrate
+//!
+//! Two classic post-hoc explainers, implemented from scratch:
+//!
+//! - [`lime`] — simplified tabular LIME (Ribeiro et al., KDD 2016): a
+//!   locally-weighted linear surrogate fit on perturbations around the
+//!   instance. The third comparison tool in the paper's §6.6 user study.
+//! - [`shap`] — Kernel SHAP (Lundberg & Lee, NeurIPS 2017): Shapley-value
+//!   feature attributions via the Shapley-kernel regression. The paper
+//!   contrasts its subgroup-level Shapley usage with SHAP's instance-level
+//!   one (§2); having both here lets examples compare the granularities.
+//!
+//! Both explainers treat the model as a black box through the
+//! [`models::Classifier`] trait.
+
+pub mod lime;
+mod linalg;
+pub mod shap;
+
+pub use lime::{explain_instance, LimeExplanation, LimeParams};
+pub use shap::{shap_values, ShapExplanation, ShapParams};

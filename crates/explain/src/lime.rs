@@ -1,0 +1,211 @@
+//! Simplified tabular LIME (Ribeiro, Singh, Guestrin — KDD 2016).
+//!
+//! See the crate docs for the method outline.
+
+use crate::linalg::weighted_ridge;
+use models::{Classifier, FeatureMatrix};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Parameters of [`explain_instance`].
+#[derive(Debug, Clone)]
+pub struct LimeParams {
+    /// Number of perturbed samples.
+    pub n_samples: usize,
+    /// Kernel width (in units of normalized hamming distance). LIME's
+    /// default is `0.75 √d`; here distances are already normalized to
+    /// `[0, 1]`, so 0.75 of that scale works well.
+    pub kernel_width: f64,
+    /// Ridge regularization strength.
+    pub ridge: f64,
+    /// Probability of keeping `x`'s value per feature.
+    pub keep_probability: f64,
+}
+
+impl Default for LimeParams {
+    fn default() -> Self {
+        LimeParams { n_samples: 1000, kernel_width: 0.75, ridge: 1.0, keep_probability: 0.5 }
+    }
+}
+
+/// A per-instance explanation: one weight per feature, plus the surrogate's
+/// intercept and the black box's prediction at `x`.
+#[derive(Debug, Clone)]
+pub struct LimeExplanation {
+    /// Per-feature surrogate weights (positive = keeping this feature's
+    /// value pushes toward the positive class).
+    pub weights: Vec<f64>,
+    /// Surrogate intercept.
+    pub intercept: f64,
+    /// The black box probability at `x`.
+    pub predicted: f64,
+}
+
+impl LimeExplanation {
+    /// The `k` features with the largest absolute weight, as
+    /// `(feature index, weight)` pairs, most influential first.
+    pub fn top_features(&self, k: usize) -> Vec<(usize, f64)> {
+        let mut idx: Vec<(usize, f64)> =
+            self.weights.iter().copied().enumerate().collect();
+        idx.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
+        idx.truncate(k);
+        idx
+    }
+}
+
+/// Explains a single prediction of `classifier` at `x`, perturbing with
+/// values drawn from rows of `background`.
+///
+/// # Panics
+///
+/// Panics if `x`'s length differs from `background`'s column count, the
+/// background is empty, or `n_samples == 0`.
+pub fn explain_instance<C: Classifier>(
+    classifier: &C,
+    background: &FeatureMatrix,
+    x: &[f64],
+    params: &LimeParams,
+    seed: u64,
+) -> LimeExplanation {
+    assert_eq!(x.len(), background.n_cols(), "instance/background shape mismatch");
+    assert!(background.n_rows() > 0, "background must be non-empty");
+    assert!(params.n_samples > 0, "need at least one sample");
+    let d = x.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Design matrix (binary z), targets and kernel weights.
+    let mut zs: Vec<Vec<f64>> = Vec::with_capacity(params.n_samples + 1);
+    let mut ys: Vec<f64> = Vec::with_capacity(params.n_samples + 1);
+    let mut ws: Vec<f64> = Vec::with_capacity(params.n_samples + 1);
+
+    // Include x itself (z = all ones, weight 1).
+    zs.push(vec![1.0; d]);
+    let predicted = classifier.predict_proba(x);
+    ys.push(predicted);
+    ws.push(1.0);
+
+    let mut sample = vec![0.0; d];
+    for _ in 0..params.n_samples {
+        let mut z = vec![0.0; d];
+        let mut changed = 0usize;
+        for i in 0..d {
+            if rng.gen::<f64>() < params.keep_probability {
+                sample[i] = x[i];
+                z[i] = 1.0;
+            } else {
+                let r = rng.gen_range(0..background.n_rows());
+                sample[i] = background.get(r, i);
+                // Resampling may coincide with x's value.
+                if sample[i] == x[i] {
+                    z[i] = 1.0;
+                } else {
+                    changed += 1;
+                }
+            }
+        }
+        let dist = changed as f64 / d as f64;
+        let w = (-dist * dist / (params.kernel_width * params.kernel_width)).exp();
+        zs.push(z);
+        ys.push(classifier.predict_proba(&sample));
+        ws.push(w);
+    }
+
+    let (weights, intercept) = weighted_ridge(&zs, &ys, &ws, params.ridge);
+    LimeExplanation { weights, intercept, predicted }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A transparent "classifier": probability = 0.9 if feature 0 == 1,
+    /// else 0.1; other features ignored.
+    struct Feature0;
+    impl Classifier for Feature0 {
+        fn predict_proba(&self, row: &[f64]) -> f64 {
+            if row[0] == 1.0 {
+                0.9
+            } else {
+                0.1
+            }
+        }
+    }
+
+    fn background() -> FeatureMatrix {
+        // Balanced binary background over 3 features.
+        let rows: Vec<Vec<f64>> = (0..32)
+            .map(|i| vec![(i & 1) as f64, ((i >> 1) & 1) as f64, ((i >> 2) & 1) as f64])
+            .collect();
+        FeatureMatrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn attributes_the_deciding_feature() {
+        let exp = explain_instance(&Feature0, &background(), &[1.0, 0.0, 1.0], &LimeParams::default(), 0);
+        assert_eq!(exp.predicted, 0.9);
+        let top = exp.top_features(1);
+        assert_eq!(top[0].0, 0, "feature 0 should dominate: {:?}", exp.weights);
+        // Keeping feature 0 = 1 pushes positive.
+        assert!(top[0].1 > 0.0);
+        // Irrelevant features get near-zero weight.
+        assert!(exp.weights[1].abs() < 0.1);
+        assert!(exp.weights[2].abs() < 0.1);
+    }
+
+    #[test]
+    fn negative_instances_get_negative_weight() {
+        // At x with feature0 = 0, keeping it keeps probability low.
+        let exp = explain_instance(&Feature0, &background(), &[0.0, 1.0, 0.0], &LimeParams::default(), 1);
+        let top = exp.top_features(1);
+        assert_eq!(top[0].0, 0);
+        assert!(top[0].1 < 0.0);
+    }
+
+    #[test]
+    fn explanation_is_deterministic_per_seed() {
+        let a = explain_instance(&Feature0, &background(), &[1.0, 1.0, 1.0], &LimeParams::default(), 7);
+        let b = explain_instance(&Feature0, &background(), &[1.0, 1.0, 1.0], &LimeParams::default(), 7);
+        assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let loose = explain_instance(
+            &Feature0,
+            &background(),
+            &[1.0, 0.0, 0.0],
+            &LimeParams { ridge: 0.01, ..Default::default() },
+            3,
+        );
+        let tight = explain_instance(
+            &Feature0,
+            &background(),
+            &[1.0, 0.0, 0.0],
+            &LimeParams { ridge: 100.0, ..Default::default() },
+            3,
+        );
+        assert!(tight.weights[0].abs() < loose.weights[0].abs());
+    }
+
+    #[test]
+    fn additive_black_box_recovers_both_features() {
+        struct TwoFeature;
+        impl Classifier for TwoFeature {
+            fn predict_proba(&self, row: &[f64]) -> f64 {
+                0.2 + 0.4 * row[0] + 0.3 * row[1]
+            }
+        }
+        let exp = explain_instance(
+            &TwoFeature,
+            &background(),
+            &[1.0, 1.0, 0.0],
+            &LimeParams { ridge: 0.01, n_samples: 4000, ..Default::default() },
+            5,
+        );
+        assert!(exp.weights[0] > exp.weights[1]);
+        assert!(exp.weights[1] > 0.05);
+        assert!(exp.weights[2].abs() < 0.05);
+    }
+}

@@ -1,0 +1,124 @@
+//! Small dense linear algebra shared by the explainers: weighted ridge
+//! regression via the normal equations and Gaussian elimination.
+
+/// Solves weighted ridge regression with an unpenalized intercept via the
+/// normal equations; returns `(coefficients, intercept)`.
+pub(crate) fn weighted_ridge(zs: &[Vec<f64>], ys: &[f64], ws: &[f64], ridge: f64) -> (Vec<f64>, f64) {
+    let d = zs[0].len();
+    let m = d + 1; // + intercept column
+    // Normal matrix A = XᵀWX + λI (no penalty on intercept), b = XᵀWy.
+    let mut a = vec![0.0f64; m * m];
+    let mut b = vec![0.0f64; m];
+    for ((z, &y), &w) in zs.iter().zip(ys).zip(ws) {
+        for i in 0..m {
+            let xi = if i < d { z[i] } else { 1.0 };
+            if xi == 0.0 {
+                continue;
+            }
+            b[i] += w * xi * y;
+            for j in i..m {
+                let xj = if j < d { z[j] } else { 1.0 };
+                a[i * m + j] += w * xi * xj;
+            }
+        }
+    }
+    // Mirror the upper triangle and add the ridge.
+    for i in 0..m {
+        for j in 0..i {
+            a[i * m + j] = a[j * m + i];
+        }
+        if i < d {
+            a[i * m + i] += ridge;
+        }
+    }
+    let solution = solve(a, b, m);
+    let intercept = solution[d];
+    (solution[..d].to_vec(), intercept)
+}
+
+/// Gaussian elimination with partial pivoting (the systems here are tiny:
+/// one row/column per feature).
+pub(crate) fn solve(mut a: Vec<f64>, mut b: Vec<f64>, m: usize) -> Vec<f64> {
+    for col in 0..m {
+        // Pivot.
+        let mut pivot = col;
+        for r in (col + 1)..m {
+            if a[r * m + col].abs() > a[pivot * m + col].abs() {
+                pivot = r;
+            }
+        }
+        if a[pivot * m + col].abs() < 1e-12 {
+            continue; // singular direction: leave coefficient at 0
+        }
+        if pivot != col {
+            for j in 0..m {
+                a.swap(col * m + j, pivot * m + j);
+            }
+            b.swap(col, pivot);
+        }
+        let diag = a[col * m + col];
+        for r in (col + 1)..m {
+            let factor = a[r * m + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..m {
+                a[r * m + j] -= factor * a[col * m + j];
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; m];
+    for col in (0..m).rev() {
+        let mut acc = b[col];
+        for j in (col + 1)..m {
+            acc -= a[col * m + j] * x[j];
+        }
+        let diag = a[col * m + col];
+        x[col] = if diag.abs() < 1e-12 { 0.0 } else { acc / diag };
+    }
+    x
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_handles_identity_system() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![3.0, 4.0];
+        assert_eq!(solve(a, b, 2), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solver_handles_singular_direction() {
+        // Second row/col all zeros: coefficient defaults to 0.
+        let a = vec![2.0, 0.0, 0.0, 0.0];
+        let b = vec![4.0, 0.0];
+        assert_eq!(solve(a, b, 2), vec![2.0, 0.0]);
+    }
+
+    #[test]
+    fn solver_inverts_a_general_system() {
+        // [[2,1],[1,3]] x = [5,10] -> x = [1,3].
+        let a = vec![2.0, 1.0, 1.0, 3.0];
+        let b = vec![5.0, 10.0];
+        let x = solve(a, b, 2);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ridge_recovers_a_linear_relationship() {
+        // y = 2*z0 + 1 with unit weights.
+        let zs = vec![vec![0.0], vec![1.0], vec![0.0], vec![1.0]];
+        let ys = vec![1.0, 3.0, 1.0, 3.0];
+        let ws = vec![1.0; 4];
+        let (coef, intercept) = weighted_ridge(&zs, &ys, &ws, 1e-9);
+        assert!((coef[0] - 2.0).abs() < 1e-6);
+        assert!((intercept - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,163 @@
+//! Closed and maximal frequent itemsets — condensed representations of a
+//! mining result.
+//!
+//! An itemset is **closed** if no proper superset has the same support, and
+//! **maximal** if no proper superset is frequent at all. Closed itemsets
+//! preserve every support value losslessly; maximal itemsets preserve only
+//! the frequent/infrequent boundary. Both are standard condensations of the
+//! (often huge) frequent-itemset collection and pair naturally with
+//! DivExplorer's redundancy pruning: an itemset that is not closed has a
+//! superset over the *same* support set and hence the same divergence.
+
+use rustc_hash::FxHashMap;
+
+use crate::itemset::FrequentItemset;
+use crate::transaction::ItemId;
+
+/// Flags per input itemset: whether it is closed / maximal within the given
+/// (complete) mining result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CondensationFlags {
+    /// `closed[i]` iff `found[i]` is a closed frequent itemset.
+    pub closed: Vec<bool>,
+    /// `maximal[i]` iff `found[i]` is a maximal frequent itemset.
+    pub maximal: Vec<bool>,
+}
+
+/// Computes closed/maximal flags in one pass over the result.
+///
+/// Requires `found` to be the *complete* set of frequent itemsets (as
+/// produced by any miner in this crate without a `max_len` cap): the
+/// algorithm walks each itemset's immediate subsets, so a frequent itemset
+/// marks its sub-itemsets as non-maximal (and non-closed on support ties).
+pub fn condensation_flags<P>(found: &[FrequentItemset<P>]) -> CondensationFlags {
+    let index: FxHashMap<&[ItemId], usize> =
+        found.iter().enumerate().map(|(i, fi)| (fi.items.as_slice(), i)).collect();
+
+    let mut closed = vec![true; found.len()];
+    let mut maximal = vec![true; found.len()];
+    let mut buf: Vec<ItemId> = Vec::new();
+    for fi in found {
+        if fi.items.len() < 2 && fi.items.is_empty() {
+            continue;
+        }
+        // Every immediate subset of a frequent itemset has a frequent
+        // proper superset (this one).
+        for skip in 0..fi.items.len() {
+            buf.clear();
+            buf.extend(
+                fi.items
+                    .iter()
+                    .enumerate()
+                    .filter(|&(k, _)| k != skip)
+                    .map(|(_, &x)| x),
+            );
+            if buf.is_empty() {
+                continue;
+            }
+            if let Some(&sub) = index.get(buf.as_slice()) {
+                maximal[sub] = false;
+                if found[sub].support == fi.support {
+                    closed[sub] = false;
+                }
+            }
+        }
+    }
+    CondensationFlags { closed, maximal }
+}
+
+/// Filters a mining result down to its closed itemsets.
+pub fn closed_itemsets<P: Clone>(found: &[FrequentItemset<P>]) -> Vec<FrequentItemset<P>> {
+    let flags = condensation_flags(found);
+    found
+        .iter()
+        .zip(flags.closed)
+        .filter(|(_, keep)| *keep)
+        .map(|(fi, _)| fi.clone())
+        .collect()
+}
+
+/// Filters a mining result down to its maximal itemsets.
+pub fn maximal_itemsets<P: Clone>(found: &[FrequentItemset<P>]) -> Vec<FrequentItemset<P>> {
+    let flags = condensation_flags(found);
+    found
+        .iter()
+        .zip(flags.maximal)
+        .filter(|(_, keep)| *keep)
+        .map(|(fi, _)| fi.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::TransactionDb;
+    use crate::{mine_counts, Algorithm, MiningParams};
+
+    /// Textbook instance: items 0 and 1 always co-occur, so {0} and {1} are
+    /// not closed (their closure is {0,1}).
+    fn db() -> TransactionDb {
+        TransactionDb::from_rows(
+            3,
+            &[vec![0, 1], vec![0, 1], vec![0, 1, 2], vec![2]],
+        )
+    }
+
+    fn found() -> Vec<FrequentItemset<()>> {
+        mine_counts(Algorithm::FpGrowth, &db(), &MiningParams::with_min_support_count(1))
+    }
+
+    fn items_of(set: &[FrequentItemset<()>]) -> Vec<Vec<u32>> {
+        let mut v: Vec<Vec<u32>> = set.iter().map(|fi| fi.items.clone()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn closed_itemsets_match_definition() {
+        let all = found();
+        let closed = closed_itemsets(&all);
+        // {0}, {1} absorbed by {0,1}; {0,2}, {1,2} absorbed by {0,1,2}.
+        assert_eq!(
+            items_of(&closed),
+            vec![vec![0, 1], vec![0, 1, 2], vec![2]]
+        );
+    }
+
+    #[test]
+    fn maximal_itemsets_match_definition() {
+        let all = found();
+        let maximal = maximal_itemsets(&all);
+        assert_eq!(items_of(&maximal), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn maximal_implies_closed() {
+        let all = found();
+        let flags = condensation_flags(&all);
+        for (i, fi) in all.iter().enumerate() {
+            if flags.maximal[i] {
+                assert!(flags.closed[i], "{:?} maximal but not closed", fi.items);
+            }
+        }
+    }
+
+    #[test]
+    fn every_itemset_has_a_closed_superset_with_equal_support() {
+        let all = found();
+        let closed = closed_itemsets(&all);
+        for fi in &all {
+            let superset = closed.iter().find(|c| fi.is_subset_of(c) && c.support == fi.support);
+            assert!(superset.is_some(), "no closure for {:?}", fi.items);
+        }
+    }
+
+    #[test]
+    fn singleton_result_is_closed_and_maximal() {
+        let db = TransactionDb::from_rows(1, &[vec![0]]);
+        let all = mine_counts(Algorithm::Apriori, &db, &MiningParams::with_min_support_count(1));
+        let flags = condensation_flags(&all);
+        assert_eq!(flags.closed, vec![true]);
+        assert_eq!(flags.maximal, vec![true]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Eclat: depth-first vertical mining over tid-lists (Zaki et al., 1997),
+//! with fused payload aggregation.
+//!
+//! Each itemset is represented by the sorted list of transaction ids that
+//! contain it; extending an itemset intersects two tid-lists. The payload of
+//! an itemset is the merge of the payloads of its tids, accumulated during
+//! the intersection so no extra pass is needed.
+
+use crate::itemset::FrequentItemset;
+use crate::payload::Payload;
+use crate::transaction::{ItemId, TransactionDb};
+use crate::MiningParams;
+
+/// Mines all frequent itemsets depth-first over vertical tid-lists.
+pub fn mine<P: Payload>(
+    db: &TransactionDb,
+    payloads: &[P],
+    params: &MiningParams,
+) -> Vec<FrequentItemset<P>> {
+    let threshold = params.threshold();
+    let max_len = params.max_len.unwrap_or(usize::MAX);
+    let mut out = Vec::new();
+    if max_len == 0 || db.is_empty() {
+        return out;
+    }
+
+    // Vertical representation: tid-list per item.
+    let n_items = db.n_items() as usize;
+    let mut tidlists: Vec<Vec<u32>> = vec![Vec::new(); n_items];
+    for (t, row) in db.iter().enumerate() {
+        for &item in row {
+            tidlists[item as usize].push(t as u32);
+        }
+    }
+
+    // Frequent 1-itemsets, each with (item, tidlist, payload).
+    let roots: Vec<(ItemId, Vec<u32>)> = tidlists
+        .into_iter()
+        .enumerate()
+        .filter(|(_, tids)| tids.len() as u64 >= threshold)
+        .map(|(item, tids)| (item as ItemId, tids))
+        .collect();
+
+    let mut prefix: Vec<ItemId> = Vec::new();
+    // Depth-first: extend each root with the roots to its right.
+    for i in 0..roots.len() {
+        let (item, ref tids) = roots[i];
+        let payload = sum_payloads(tids, payloads);
+        extend(
+            &roots[i + 1..],
+            item,
+            tids,
+            payload,
+            payloads,
+            threshold,
+            max_len,
+            &mut prefix,
+            &mut out,
+        );
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend<P: Payload>(
+    siblings: &[(ItemId, Vec<u32>)],
+    item: ItemId,
+    tids: &[u32],
+    payload: P,
+    payloads: &[P],
+    threshold: u64,
+    max_len: usize,
+    prefix: &mut Vec<ItemId>,
+    out: &mut Vec<FrequentItemset<P>>,
+) {
+    prefix.push(item);
+    out.push(FrequentItemset {
+        items: prefix.clone(),
+        support: tids.len() as u64,
+        payload,
+    });
+    if prefix.len() < max_len {
+        // Intersect with each sibling's tid-list; recurse on frequent ones.
+        let mut next: Vec<(ItemId, Vec<u32>, P)> = Vec::new();
+        for (sib_item, sib_tids) in siblings {
+            let (inter, pay) = intersect_with_payload(tids, sib_tids, payloads);
+            if inter.len() as u64 >= threshold {
+                next.push((*sib_item, inter, pay));
+            }
+        }
+        let kept: Vec<(ItemId, Vec<u32>)> =
+            next.iter().map(|(i, t, _)| (*i, t.clone())).collect();
+        for (pos, (sib_item, inter, pay)) in next.into_iter().enumerate() {
+            extend(
+                &kept[pos + 1..],
+                sib_item,
+                &inter,
+                pay,
+                payloads,
+                threshold,
+                max_len,
+                prefix,
+                out,
+            );
+        }
+    }
+    prefix.pop();
+}
+
+/// Intersects two sorted tid-lists, merging the payloads of shared tids.
+fn intersect_with_payload<P: Payload>(
+    a: &[u32],
+    b: &[u32],
+    payloads: &[P],
+) -> (Vec<u32>, P) {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let mut payload = P::zero();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                payload.merge(&payloads[a[i] as usize]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    (out, payload)
+}
+
+fn sum_payloads<P: Payload>(tids: &[u32], payloads: &[P]) -> P {
+    let mut total = P::zero();
+    for &t in tids {
+        total.merge(&payloads[t as usize]);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::itemset::sort_canonical;
+    use crate::naive;
+    use crate::payload::CountPayload;
+
+    #[test]
+    fn agrees_with_naive_including_payloads() {
+        let db = TransactionDb::from_rows(
+            5,
+            &[
+                vec![0, 1, 2],
+                vec![0, 1],
+                vec![0, 3],
+                vec![1, 2, 4],
+                vec![0, 1, 2],
+                vec![2, 3],
+            ],
+        );
+        let payloads: Vec<CountPayload> =
+            (0..db.len()).map(|t| CountPayload(3 * t as u64 + 1)).collect();
+        for min_support in 1..=3 {
+            for max_len in [None, Some(1), Some(2)] {
+                let mut params = MiningParams::with_min_support_count(min_support);
+                params.max_len = max_len;
+                let mut expected = naive::mine(&db, &payloads, &params);
+                let mut got = mine(&db, &payloads, &params);
+                sort_canonical(&mut expected);
+                sort_canonical(&mut got);
+                assert_eq!(got, expected, "s={min_support} max_len={max_len:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_payload_merges_only_shared_tids() {
+        let payloads = [CountPayload(1), CountPayload(2), CountPayload(4)];
+        let (tids, pay) = intersect_with_payload(&[0, 1, 2], &[1, 2], &payloads);
+        assert_eq!(tids, vec![1, 2]);
+        assert_eq!(pay, CountPayload(6));
+    }
+}

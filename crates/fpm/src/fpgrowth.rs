@@ -1,0 +1,287 @@
+//! FP-growth pattern mining (Han, Pei & Yin, SIGMOD 2000) with fused payload
+//! aggregation.
+//!
+//! This is the backend the DivExplorer paper couples with in every reported
+//! experiment: the database is compressed into an [`FpTree`], then patterns
+//! grow recursively over conditional trees. Payloads propagate through node
+//! accumulation and conditional pattern bases, so the merged payload of every
+//! frequent itemset is available with no extra scan of the data.
+
+use crate::fptree::FpTree;
+use crate::itemset::FrequentItemset;
+use crate::payload::Payload;
+use crate::transaction::{ItemId, TransactionDb};
+use crate::MiningParams;
+
+/// Mines all frequent itemsets with FP-growth.
+pub fn mine<P: Payload>(
+    db: &TransactionDb,
+    payloads: &[P],
+    params: &MiningParams,
+) -> Vec<FrequentItemset<P>> {
+    let threshold = params.threshold();
+    let max_len = params.max_len.unwrap_or(usize::MAX);
+    let mut out = Vec::new();
+    if max_len == 0 || db.is_empty() {
+        return out;
+    }
+
+    // First scan: global item frequencies -> descending-frequency rank.
+    let counts = db.item_support_counts();
+    let rank = frequency_rank(&counts, threshold);
+
+    // Second scan: build the FP-tree over rank-ordered frequent items.
+    let mut tree: FpTree<P> = FpTree::new();
+    let mut buf: Vec<ItemId> = Vec::new();
+    for (t, row) in db.iter().enumerate() {
+        buf.clear();
+        buf.extend(row.iter().copied().filter(|&i| rank[i as usize].is_some()));
+        buf.sort_unstable_by_key(|&i| rank[i as usize].unwrap());
+        tree.insert(&buf, 1, &payloads[t]);
+    }
+
+    let mut prefix: Vec<ItemId> = Vec::new();
+    grow(&tree, threshold, max_len, &mut prefix, &mut out);
+    out
+}
+
+/// Maps each item to its position in descending-frequency order, or `None`
+/// if infrequent. Ties break by item id for determinism.
+fn frequency_rank(counts: &[u64], threshold: u64) -> Vec<Option<u32>> {
+    let mut frequent: Vec<u32> = (0..counts.len() as u32)
+        .filter(|&i| counts[i as usize] >= threshold)
+        .collect();
+    frequent.sort_unstable_by(|&a, &b| {
+        counts[b as usize]
+            .cmp(&counts[a as usize])
+            .then(a.cmp(&b))
+    });
+    let mut rank = vec![None; counts.len()];
+    for (r, &item) in frequent.iter().enumerate() {
+        rank[item as usize] = Some(r as u32);
+    }
+    rank
+}
+
+/// Recursive pattern growth over conditional trees.
+fn grow<P: Payload>(
+    tree: &FpTree<P>,
+    threshold: u64,
+    max_len: usize,
+    prefix: &mut Vec<ItemId>,
+    out: &mut Vec<FrequentItemset<P>>,
+) {
+    // Single-path shortcut (Han, Pei & Yin §3.3): a chain tree's frequent
+    // itemsets are exactly the subsets of the chain, each with the support
+    // and payload of its deepest node — no recursion needed.
+    if let Some(path) = tree.single_path() {
+        debug_assert!(path.iter().all(|&(_, c, _)| c >= threshold));
+        let mut selected: Vec<usize> = Vec::new();
+        emit_path_combinations(&path, 0, max_len, prefix, &mut selected, out);
+        return;
+    }
+
+    // Deterministic visitation order (the set of frequent itemsets is
+    // independent of it, but stable output helps tests and diffing).
+    let mut items: Vec<(ItemId, u64)> = tree.items().collect();
+    items.sort_unstable();
+
+    for (item, count) in items {
+        if count < threshold {
+            continue;
+        }
+        let mut items_vec = Vec::with_capacity(prefix.len() + 1);
+        items_vec.extend_from_slice(prefix);
+        items_vec.push(item);
+        items_vec.sort_unstable();
+        out.push(FrequentItemset {
+            items: items_vec,
+            support: count,
+            payload: tree.item_payload(item),
+        });
+
+        if prefix.len() + 1 >= max_len {
+            continue;
+        }
+        let base = tree.conditional_pattern_base(item);
+        let cond = build_conditional_tree(&base, threshold);
+        if !cond.is_empty() {
+            prefix.push(item);
+            grow(&cond, threshold, max_len, prefix, out);
+            prefix.pop();
+        }
+    }
+}
+
+/// Emits `prefix ∪ S` for every non-empty subset `S` of `path[start..]`
+/// (respecting `max_len`); the subset's support and payload are those of
+/// its deepest selected chain node.
+fn emit_path_combinations<P: Payload>(
+    path: &[(ItemId, u64, P)],
+    start: usize,
+    max_len: usize,
+    prefix: &mut Vec<ItemId>,
+    selected: &mut Vec<usize>,
+    out: &mut Vec<FrequentItemset<P>>,
+) {
+    if prefix.len() + selected.len() >= max_len || start == path.len() {
+        return;
+    }
+    for pos in start..path.len() {
+        selected.push(pos);
+        let (_, count, ref payload) = path[pos];
+        let mut items: Vec<ItemId> = prefix.to_vec();
+        items.extend(selected.iter().map(|&i| path[i].0));
+        items.sort_unstable();
+        out.push(FrequentItemset { items, support: count, payload: payload.clone() });
+        emit_path_combinations(path, pos + 1, max_len, prefix, selected, out);
+        selected.pop();
+    }
+}
+
+/// Builds the conditional FP-tree for a pattern base, filtering items that
+/// are infrequent *within the base* and re-ranking by conditional frequency.
+fn build_conditional_tree<P: Payload>(
+    base: &[(Vec<ItemId>, u64, P)],
+    threshold: u64,
+) -> FpTree<P> {
+    use rustc_hash::FxHashMap;
+    let mut cond_counts: FxHashMap<ItemId, u64> = FxHashMap::default();
+    for (path, count, _) in base {
+        for &item in path {
+            *cond_counts.entry(item).or_insert(0) += count;
+        }
+    }
+    let mut frequent: Vec<ItemId> = cond_counts
+        .iter()
+        .filter(|&(_, &c)| c >= threshold)
+        .map(|(&i, _)| i)
+        .collect();
+    frequent.sort_unstable_by(|&a, &b| {
+        cond_counts[&b].cmp(&cond_counts[&a]).then(a.cmp(&b))
+    });
+    let rank: FxHashMap<ItemId, u32> =
+        frequent.iter().enumerate().map(|(r, &i)| (i, r as u32)).collect();
+
+    let mut tree = FpTree::new();
+    let mut buf: Vec<ItemId> = Vec::new();
+    for (path, count, payload) in base {
+        buf.clear();
+        buf.extend(path.iter().copied().filter(|i| rank.contains_key(i)));
+        buf.sort_unstable_by_key(|i| rank[i]);
+        if !buf.is_empty() {
+            tree.insert(&buf, *count, payload);
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::itemset::sort_canonical;
+    use crate::naive;
+    use crate::payload::CountPayload;
+
+    fn assert_matches_naive(db: &TransactionDb, min_support: u64, max_len: Option<usize>) {
+        let payloads: Vec<CountPayload> =
+            (0..db.len()).map(|t| CountPayload(1 << (t % 16))).collect();
+        let mut params = MiningParams::with_min_support_count(min_support);
+        params.max_len = max_len;
+        let mut expected = naive::mine(db, &payloads, &params);
+        let mut got = mine(db, &payloads, &params);
+        sort_canonical(&mut expected);
+        sort_canonical(&mut got);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn agrees_with_naive_including_payloads() {
+        let db = TransactionDb::from_rows(
+            7,
+            &[
+                vec![0, 1, 2, 4],
+                vec![1, 2, 3],
+                vec![0, 2, 3],
+                vec![0, 1, 2, 3],
+                vec![3],
+                vec![0, 1, 5, 6],
+                vec![0, 2, 5],
+            ],
+        );
+        for min_support in 1..=4 {
+            assert_matches_naive(&db, min_support, None);
+            assert_matches_naive(&db, min_support, Some(2));
+        }
+    }
+
+    #[test]
+    fn textbook_example_han_pei_yin() {
+        // The classic example from the FP-growth paper (items renamed 0..5):
+        // f=0 c=1 a=2 b=3 m=4 p=5, min support 3.
+        let db = TransactionDb::from_rows(
+            6,
+            &[
+                vec![0, 1, 2, 4, 5],
+                vec![0, 1, 2, 3, 4],
+                vec![0, 3],
+                vec![1, 3, 5],
+                vec![0, 1, 2, 4, 5],
+            ],
+        );
+        let params = MiningParams::with_min_support_count(3);
+        let found = mine_counts(&db, &params);
+        let support = |items: &[u32]| {
+            found.iter().find(|f| f.items == items).map(|f| f.support)
+        };
+        assert_eq!(support(&[0]), Some(4)); // f
+        assert_eq!(support(&[1]), Some(4)); // c
+        assert_eq!(support(&[0, 1, 2, 4]), Some(3)); // fcam
+        assert_eq!(support(&[1, 5]), Some(3)); // cp
+        assert_eq!(support(&[0, 3]), None); // fb infrequent (2)
+    }
+
+    fn mine_counts(db: &TransactionDb, params: &MiningParams) -> Vec<FrequentItemset<()>> {
+        mine(db, &vec![(); db.len()], params)
+    }
+
+    #[test]
+    fn single_path_shortcut_handles_a_pure_chain_db() {
+        // Every transaction is a prefix of 0 < 1 < 2 < 3: the top-level
+        // tree is already a single path, exercising the shortcut directly.
+        let db = TransactionDb::from_rows(
+            4,
+            &[vec![0], vec![0, 1], vec![0, 1, 2], vec![0, 1, 2, 3]],
+        );
+        let params = MiningParams::with_min_support_count(1);
+        let payloads: Vec<CountPayload> =
+            (0..4).map(|t| CountPayload(1 << t)).collect();
+        let mut expected = naive::mine(&db, &payloads, &params);
+        let mut got = mine(&db, &payloads, &params);
+        sort_canonical(&mut expected);
+        sort_canonical(&mut got);
+        assert_eq!(got, expected);
+        // All 15 non-empty subsets of the chain are frequent.
+        assert_eq!(got.len(), 15);
+        // And max_len is honored on the shortcut path too.
+        let capped = mine(&db, &payloads, &MiningParams::with_min_support_count(1).max_len(2));
+        assert!(capped.iter().all(|fi| fi.items.len() <= 2));
+        assert_eq!(capped.len(), 4 + 6);
+    }
+
+    #[test]
+    fn single_transaction() {
+        let db = TransactionDb::from_rows(3, &[vec![0, 1, 2]]);
+        let params = MiningParams::with_min_support_count(1);
+        let found = mine_counts(&db, &params);
+        assert_eq!(found.len(), 7); // all non-empty subsets
+        assert!(found.iter().all(|f| f.support == 1));
+    }
+
+    #[test]
+    fn threshold_above_db_size_yields_nothing() {
+        let db = TransactionDb::from_rows(2, &[vec![0], vec![1]]);
+        let params = MiningParams::with_min_support_count(3);
+        assert!(mine_counts(&db, &params).is_empty());
+    }
+}

@@ -1,0 +1,242 @@
+//! The FP-tree: a prefix-tree compression of a transaction database
+//! (Han, Pei & Yin, SIGMOD 2000), extended so every node carries a merged
+//! [`Payload`] in addition to its count.
+
+use rustc_hash::FxHashMap;
+
+use crate::payload::Payload;
+use crate::transaction::ItemId;
+
+/// Index of a node inside an [`FpTree`]'s arena. Node `0` is the root.
+pub type NodeIdx = u32;
+
+/// One FP-tree node.
+#[derive(Debug, Clone)]
+pub struct FpNode<P> {
+    /// The item labelling this node (undefined for the root).
+    pub item: ItemId,
+    /// Number of (weighted) transactions whose path passes through this node.
+    pub count: u64,
+    /// Merged payload of those transactions.
+    pub payload: P,
+    /// Parent node index (the root is its own parent).
+    pub parent: NodeIdx,
+}
+
+/// An FP-tree over weighted, payload-carrying transactions.
+///
+/// Construction requires item sequences already filtered to frequent items
+/// and sorted by descending global frequency (the canonical FP-tree insertion
+/// order); [`crate::fpgrowth`] prepares that ordering.
+#[derive(Debug)]
+pub struct FpTree<P> {
+    nodes: Vec<FpNode<P>>,
+    /// Per-node child lookup, used only during construction.
+    children: Vec<FxHashMap<ItemId, NodeIdx>>,
+    /// All nodes labelled with a given item (the "header table").
+    headers: FxHashMap<ItemId, Vec<NodeIdx>>,
+    /// Total (weighted) count per item in the tree.
+    item_counts: FxHashMap<ItemId, u64>,
+}
+
+impl<P: Payload> FpTree<P> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        let root = FpNode { item: ItemId::MAX, count: 0, payload: P::zero(), parent: 0 };
+        FpTree {
+            nodes: vec![root],
+            children: vec![FxHashMap::default()],
+            headers: FxHashMap::default(),
+            item_counts: FxHashMap::default(),
+        }
+    }
+
+    /// Inserts one weighted transaction whose items are in insertion order.
+    pub fn insert(&mut self, items: &[ItemId], count: u64, payload: &P) {
+        let mut current: NodeIdx = 0;
+        for &item in items {
+            current = match self.children[current as usize].get(&item) {
+                Some(&child) => {
+                    self.nodes[child as usize].count += count;
+                    self.nodes[child as usize].payload.merge(payload);
+                    child
+                }
+                None => {
+                    let idx = self.nodes.len() as NodeIdx;
+                    self.nodes.push(FpNode {
+                        item,
+                        count,
+                        payload: payload.clone(),
+                        parent: current,
+                    });
+                    self.children.push(FxHashMap::default());
+                    self.children[current as usize].insert(item, idx);
+                    self.headers.entry(item).or_default().push(idx);
+                    idx
+                }
+            };
+            *self.item_counts.entry(item).or_insert(0) += count;
+        }
+    }
+
+    /// Number of nodes, including the root.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the tree holds no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Items present in the tree, each with its total weighted count.
+    pub fn items(&self) -> impl Iterator<Item = (ItemId, u64)> + '_ {
+        self.item_counts.iter().map(|(&item, &count)| (item, count))
+    }
+
+    /// Total weighted count of `item` in the tree (0 if absent).
+    pub fn item_count(&self, item: ItemId) -> u64 {
+        self.item_counts.get(&item).copied().unwrap_or(0)
+    }
+
+    /// Merged payload over every node labelled `item`.
+    pub fn item_payload(&self, item: ItemId) -> P {
+        let mut total = P::zero();
+        if let Some(nodes) = self.headers.get(&item) {
+            for &n in nodes {
+                total.merge(&self.nodes[n as usize].payload);
+            }
+        }
+        total
+    }
+
+    /// If the tree is a single chain from the root, returns its nodes in
+    /// root-to-leaf order as `(item, count, payload)`; `None` otherwise.
+    ///
+    /// Single-path trees admit FP-growth's classic shortcut: every subset
+    /// of the chain is frequent with the support/payload of its *deepest*
+    /// selected node (any transaction reaching a node passed through all
+    /// its ancestors).
+    pub fn single_path(&self) -> Option<Vec<(ItemId, u64, P)>> {
+        let mut path = Vec::new();
+        let mut current: NodeIdx = 0;
+        loop {
+            let children = &self.children[current as usize];
+            match children.len() {
+                0 => return Some(path),
+                1 => {
+                    let (_, &child) = children.iter().next().expect("len checked");
+                    let node = &self.nodes[child as usize];
+                    path.push((node.item, node.count, node.payload.clone()));
+                    current = child;
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// The conditional pattern base of `item`: for every node labelled
+    /// `item`, the path of items from (excluding) the root down to (excluding)
+    /// the node, weighted by the node's count and payload.
+    ///
+    /// Paths are returned root-first, i.e. still in descending-frequency
+    /// insertion order, so they can be re-inserted into a conditional tree
+    /// directly.
+    pub fn conditional_pattern_base(&self, item: ItemId) -> Vec<(Vec<ItemId>, u64, P)> {
+        let mut base = Vec::new();
+        let Some(nodes) = self.headers.get(&item) else {
+            return base;
+        };
+        for &n in nodes {
+            let node = &self.nodes[n as usize];
+            let mut path = Vec::new();
+            let mut cur = node.parent;
+            while cur != 0 {
+                path.push(self.nodes[cur as usize].item);
+                cur = self.nodes[cur as usize].parent;
+            }
+            path.reverse();
+            base.push((path, node.count, node.payload.clone()));
+        }
+        base
+    }
+}
+
+impl<P: Payload> Default for FpTree<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::CountPayload;
+
+    #[test]
+    fn shared_prefixes_share_nodes() {
+        let mut tree: FpTree<()> = FpTree::new();
+        tree.insert(&[0, 1, 2], 1, &());
+        tree.insert(&[0, 1, 3], 1, &());
+        // root + {0, 1, 2, 3}
+        assert_eq!(tree.n_nodes(), 5);
+        assert_eq!(tree.item_count(0), 2);
+        assert_eq!(tree.item_count(1), 2);
+        assert_eq!(tree.item_count(2), 1);
+    }
+
+    #[test]
+    fn payloads_accumulate_along_paths() {
+        let mut tree: FpTree<CountPayload> = FpTree::new();
+        tree.insert(&[0, 1], 1, &CountPayload(5));
+        tree.insert(&[0], 1, &CountPayload(7));
+        assert_eq!(tree.item_payload(0), CountPayload(12));
+        assert_eq!(tree.item_payload(1), CountPayload(5));
+    }
+
+    #[test]
+    fn conditional_pattern_base_extracts_weighted_paths() {
+        let mut tree: FpTree<CountPayload> = FpTree::new();
+        tree.insert(&[0, 1, 2], 2, &CountPayload(20));
+        tree.insert(&[1, 2], 1, &CountPayload(3));
+        tree.insert(&[0, 2], 1, &CountPayload(4));
+        let mut base = tree.conditional_pattern_base(2);
+        base.sort();
+        assert_eq!(
+            base,
+            vec![
+                (vec![0], 1, CountPayload(4)),
+                (vec![0, 1], 2, CountPayload(20)),
+                (vec![1], 1, CountPayload(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn single_path_detection() {
+        let mut chain: FpTree<CountPayload> = FpTree::new();
+        chain.insert(&[0, 1, 2], 2, &CountPayload(7));
+        chain.insert(&[0, 1], 1, &CountPayload(3));
+        let path = chain.single_path().expect("chain tree");
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[0], (0, 3, CountPayload(10)));
+        assert_eq!(path[1], (1, 3, CountPayload(10)));
+        assert_eq!(path[2], (2, 2, CountPayload(7)));
+
+        let mut branchy: FpTree<CountPayload> = FpTree::new();
+        branchy.insert(&[0, 1], 1, &CountPayload(1));
+        branchy.insert(&[0, 2], 1, &CountPayload(1));
+        assert!(branchy.single_path().is_none());
+
+        let empty: FpTree<CountPayload> = FpTree::new();
+        assert_eq!(empty.single_path(), Some(vec![]));
+    }
+
+    #[test]
+    fn empty_tree_reports_empty() {
+        let tree: FpTree<()> = FpTree::new();
+        assert!(tree.is_empty());
+        assert_eq!(tree.item_count(0), 0);
+        assert!(tree.conditional_pattern_base(0).is_empty());
+    }
+}

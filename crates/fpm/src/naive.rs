@@ -1,0 +1,146 @@
+//! Exhaustive reference miner used as a differential-testing oracle.
+//!
+//! Enumerates candidate itemsets depth-first in lexicographic order and
+//! computes each candidate's support by intersecting explicit tid-lists.
+//! Simple and obviously correct, but keeps no compressed structures, so it is
+//! only suitable for small inputs.
+
+use crate::itemset::FrequentItemset;
+use crate::payload::Payload;
+use crate::transaction::{ItemId, TransactionDb};
+use crate::MiningParams;
+
+/// Mines all frequent itemsets (length >= 1) by exhaustive enumeration.
+pub fn mine<P: Payload>(
+    db: &TransactionDb,
+    payloads: &[P],
+    params: &MiningParams,
+) -> Vec<FrequentItemset<P>> {
+    let threshold = params.threshold();
+    let max_len = params.max_len.unwrap_or(usize::MAX);
+    if max_len == 0 {
+        return Vec::new();
+    }
+
+    // tid-lists per item.
+    let n_items = db.n_items() as usize;
+    let mut tidlists: Vec<Vec<u32>> = vec![Vec::new(); n_items];
+    for (t, row) in db.iter().enumerate() {
+        for &item in row {
+            tidlists[item as usize].push(t as u32);
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut prefix: Vec<ItemId> = Vec::new();
+    for item in 0..n_items as u32 {
+        let tids = tidlists[item as usize].clone();
+        extend(db, payloads, threshold, max_len, item, tids, &mut prefix, &tidlists, &mut out);
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend<P: Payload>(
+    db: &TransactionDb,
+    payloads: &[P],
+    threshold: u64,
+    max_len: usize,
+    item: ItemId,
+    tids: Vec<u32>,
+    prefix: &mut Vec<ItemId>,
+    tidlists: &[Vec<u32>],
+    out: &mut Vec<FrequentItemset<P>>,
+) {
+    if (tids.len() as u64) < threshold {
+        return;
+    }
+    prefix.push(item);
+    let mut payload = P::zero();
+    for &t in &tids {
+        payload.merge(&payloads[t as usize]);
+    }
+    out.push(FrequentItemset {
+        items: prefix.clone(),
+        support: tids.len() as u64,
+        payload,
+    });
+    if prefix.len() < max_len {
+        for next in (item + 1)..db.n_items() {
+            let next_tids = intersect(&tids, &tidlists[next as usize]);
+            extend(db, payloads, threshold, max_len, next, next_tids, prefix, tidlists, out);
+        }
+    }
+    prefix.pop();
+}
+
+/// Intersects two sorted tid-lists.
+pub(crate) fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::CountPayload;
+
+    #[test]
+    fn finds_expected_itemsets() {
+        let db = TransactionDb::from_rows(
+            3,
+            &[vec![0, 1], vec![0, 1], vec![0, 2], vec![1]],
+        );
+        let params = MiningParams::with_min_support_count(2);
+        let found = mine(&db, &[(); 4], &params);
+        let items: Vec<_> = found.iter().map(|f| f.items.clone()).collect();
+        assert!(items.contains(&vec![0]));
+        assert!(items.contains(&vec![1]));
+        assert!(items.contains(&vec![0, 1]));
+        assert!(!items.contains(&vec![2]));
+        assert!(!items.contains(&vec![0, 2]));
+    }
+
+    #[test]
+    fn payload_sums_match_covering_transactions() {
+        let db = TransactionDb::from_rows(2, &[vec![0, 1], vec![0], vec![1]]);
+        let payloads = [CountPayload(1), CountPayload(10), CountPayload(100)];
+        let params = MiningParams::with_min_support_count(1);
+        let found = mine(&db, &payloads, &params);
+        let get = |items: &[u32]| {
+            found
+                .iter()
+                .find(|f| f.items == items)
+                .map(|f| f.payload)
+                .unwrap()
+        };
+        assert_eq!(get(&[0]), CountPayload(11));
+        assert_eq!(get(&[1]), CountPayload(101));
+        assert_eq!(get(&[0, 1]), CountPayload(1));
+    }
+
+    #[test]
+    fn intersect_sorted_lists() {
+        assert_eq!(intersect(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
+        assert_eq!(intersect(&[], &[1]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn max_len_zero_yields_nothing() {
+        let db = TransactionDb::from_rows(2, &[vec![0, 1]]);
+        let params = MiningParams::with_min_support_count(1).max_len(0);
+        assert!(mine(&db, &[(); 1], &params).is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! Thread-parallel vertical mining.
+//!
+//! The paper's DivExplorer "does not enforce parallel execution" (§6.5);
+//! this backend shows the exploration parallelizes naturally: each frequent
+//! item's subtree of the search space is independent given the shared
+//! vertical representation, so subtrees are distributed over a scoped
+//! thread pool with work-stealing-free static partitioning (round-robin by
+//! root, which balances well because item frequencies are interleaved).
+//!
+//! Results are identical to [`crate::eclat`] up to output order (the public
+//! [`mine`] sorts canonically, and the differential tests enforce equality).
+
+use crate::itemset::{sort_canonical, FrequentItemset};
+use crate::naive::intersect;
+use crate::payload::Payload;
+use crate::transaction::{ItemId, TransactionDb};
+use crate::MiningParams;
+
+/// Mines all frequent itemsets using `n_threads` worker threads
+/// (`n_threads = 1` degenerates to sequential Eclat). Output is in
+/// canonical order.
+///
+/// # Panics
+///
+/// Panics if `n_threads == 0` or `payloads.len() != db.len()`.
+pub fn mine<P: Payload + Send + Sync>(
+    db: &TransactionDb,
+    payloads: &[P],
+    params: &MiningParams,
+    n_threads: usize,
+) -> Vec<FrequentItemset<P>> {
+    assert!(n_threads > 0, "need at least one thread");
+    assert_eq!(payloads.len(), db.len(), "payload length mismatch");
+    let threshold = params.threshold();
+    let max_len = params.max_len.unwrap_or(usize::MAX);
+    if max_len == 0 || db.is_empty() {
+        return Vec::new();
+    }
+
+    // Shared vertical representation.
+    let n_items = db.n_items() as usize;
+    let mut tidlists: Vec<Vec<u32>> = vec![Vec::new(); n_items];
+    for (t, row) in db.iter().enumerate() {
+        for &item in row {
+            tidlists[item as usize].push(t as u32);
+        }
+    }
+    let roots: Vec<(ItemId, Vec<u32>)> = tidlists
+        .into_iter()
+        .enumerate()
+        .filter(|(_, tids)| tids.len() as u64 >= threshold)
+        .map(|(item, tids)| (item as ItemId, tids))
+        .collect();
+    let roots = &roots;
+
+    let mut out: Vec<FrequentItemset<P>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n_threads);
+        for worker in 0..n_threads {
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::new();
+                let mut prefix: Vec<ItemId> = Vec::new();
+                // Round-robin partition of the root items.
+                let mut pos = worker;
+                while pos < roots.len() {
+                    subtree(roots, pos, payloads, threshold, max_len, &mut prefix, &mut local);
+                    pos += n_threads;
+                }
+                local
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    sort_canonical(&mut out);
+    out
+}
+
+/// Sequential Eclat over the subtree rooted at `siblings[pos]`.
+fn subtree<P: Payload>(
+    siblings: &[(ItemId, Vec<u32>)],
+    pos: usize,
+    payloads: &[P],
+    threshold: u64,
+    max_len: usize,
+    prefix: &mut Vec<ItemId>,
+    out: &mut Vec<FrequentItemset<P>>,
+) {
+    let (item, ref tids) = siblings[pos];
+    prefix.push(item);
+    let mut payload = P::zero();
+    for &t in tids {
+        payload.merge(&payloads[t as usize]);
+    }
+    out.push(FrequentItemset { items: prefix.clone(), support: tids.len() as u64, payload });
+    if prefix.len() < max_len {
+        let mut children: Vec<(ItemId, Vec<u32>)> = Vec::new();
+        for (sib_item, sib_tids) in &siblings[pos + 1..] {
+            let inter = intersect(tids, sib_tids);
+            if inter.len() as u64 >= threshold {
+                children.push((*sib_item, inter));
+            }
+        }
+        for child_pos in 0..children.len() {
+            subtree(&children, child_pos, payloads, threshold, max_len, prefix, out);
+        }
+    }
+    prefix.pop();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::CountPayload;
+    use crate::{mine as mine_with, Algorithm};
+
+    fn db() -> TransactionDb {
+        let rows: Vec<Vec<u32>> = (0..40)
+            .map(|t| {
+                let mut row = vec![t % 5];
+                if t % 2 == 0 {
+                    row.push(5);
+                }
+                if t % 3 == 0 {
+                    row.push(6);
+                }
+                row
+            })
+            .collect();
+        TransactionDb::from_rows(7, &rows)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_any_thread_count() {
+        let db = db();
+        let payloads: Vec<CountPayload> =
+            (0..db.len()).map(|t| CountPayload(t as u64)).collect();
+        let params = MiningParams::with_min_support_count(3);
+        let mut reference = mine_with(Algorithm::Eclat, &db, &payloads, &params);
+        sort_canonical(&mut reference);
+        for n_threads in [1, 2, 3, 8] {
+            let got = mine(&db, &payloads, &params, n_threads);
+            assert_eq!(got, reference, "n_threads={n_threads}");
+        }
+    }
+
+    #[test]
+    fn respects_max_len_and_thresholds() {
+        let db = db();
+        let params = MiningParams::with_min_support_count(5).max_len(2);
+        let found = mine(&db, &vec![(); db.len()], &params, 4);
+        assert!(found.iter().all(|fi| fi.items.len() <= 2));
+        assert!(found.iter().all(|fi| fi.support >= 5));
+    }
+
+    #[test]
+    fn more_threads_than_roots_is_fine() {
+        let db = TransactionDb::from_rows(2, &[vec![0], vec![1], vec![0, 1]]);
+        let params = MiningParams::with_min_support_count(1);
+        let found = mine(&db, &[(); 3], &params, 16);
+        assert_eq!(found.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let db = db();
+        let _ = mine(&db, &vec![(); db.len()], &MiningParams::with_min_support_count(1), 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Per-transaction payloads fused into support counting.
+//!
+//! Algorithm 1 of the DivExplorer paper augments frequent-pattern mining so
+//! that the `(T, F, ⊥)` outcome tallies of every itemset are computed during
+//! the mining pass itself. This module abstracts that mechanism: a
+//! [`Payload`] is any commutative-monoid value attached to each transaction;
+//! miners merge the payloads of the covering transactions of every itemset
+//! they count.
+
+/// A commutative monoid merged alongside support counting.
+///
+/// Laws (relied upon by the miners, checked by property tests):
+/// - `zero` is an identity: `merge(x, zero()) == x`;
+/// - `merge` is commutative and associative, so the merge order chosen by a
+///   particular algorithm (horizontal scan, FP-tree accumulation, tid-list
+///   intersection) does not affect the result.
+pub trait Payload: Clone {
+    /// The identity element.
+    fn zero() -> Self;
+    /// Merges `other` into `self`.
+    fn merge(&mut self, other: &Self);
+}
+
+/// The trivial payload: plain frequent-itemset mining.
+impl Payload for () {
+    fn zero() -> Self {}
+    fn merge(&mut self, _other: &Self) {}
+}
+
+/// A payload carrying a single `u64` counter (e.g. a weighted support).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash)]
+pub struct CountPayload(pub u64);
+
+impl Payload for CountPayload {
+    fn zero() -> Self {
+        CountPayload(0)
+    }
+    fn merge(&mut self, other: &Self) {
+        self.0 += other.0;
+    }
+}
+
+/// Pairs compose: merged component-wise.
+impl<A: Payload, B: Payload> Payload for (A, B) {
+    fn zero() -> Self {
+        (A::zero(), B::zero())
+    }
+    fn merge(&mut self, other: &Self) {
+        self.0.merge(&other.0);
+        self.1.merge(&other.1);
+    }
+}
+
+/// Fixed-size arrays compose: merged element-wise.
+impl<P: Payload, const N: usize> Payload for [P; N] {
+    fn zero() -> Self {
+        std::array::from_fn(|_| P::zero())
+    }
+    fn merge(&mut self, other: &Self) {
+        for (a, b) in self.iter_mut().zip(other.iter()) {
+            a.merge(b);
+        }
+    }
+}
+
+/// Merges all payloads of an iterator starting from the identity.
+pub fn merge_all<P: Payload>(iter: impl IntoIterator<Item = P>) -> P {
+    let mut acc = P::zero();
+    for p in iter {
+        acc.merge(&p);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_payload_is_a_monoid() {
+        let mut a = CountPayload(3);
+        a.merge(&CountPayload::zero());
+        assert_eq!(a, CountPayload(3));
+        a.merge(&CountPayload(4));
+        assert_eq!(a, CountPayload(7));
+    }
+
+    #[test]
+    fn pair_payload_merges_componentwise() {
+        let mut p = (CountPayload(1), CountPayload(10));
+        p.merge(&(CountPayload(2), CountPayload(20)));
+        assert_eq!(p, (CountPayload(3), CountPayload(30)));
+    }
+
+    #[test]
+    fn array_payload_merges_elementwise() {
+        let mut p = [CountPayload(1), CountPayload(2)];
+        p.merge(&[CountPayload(10), CountPayload(20)]);
+        assert_eq!(p, [CountPayload(11), CountPayload(22)]);
+    }
+
+    #[test]
+    fn merge_all_folds_from_zero() {
+        let total = merge_all((1..=4).map(CountPayload));
+        assert_eq!(total, CountPayload(10));
+    }
+}

@@ -1,0 +1,95 @@
+//! Differential property tests: every production miner must agree with the
+//! naive oracle on arbitrary small databases, for both supports and payloads,
+//! and the output must satisfy structural invariants of frequent-itemset
+//! mining (anti-monotonicity, canonical ordering, no duplicates).
+
+use fpm::itemset::sort_canonical;
+use fpm::{mine, Algorithm, CountPayload, FrequentItemset, MiningParams, TransactionDb};
+use proptest::prelude::*;
+use rustc_hash::FxHashMap;
+
+/// Strategy: a small random database over up to 8 items and up to 14 rows.
+fn small_db() -> impl Strategy<Value = TransactionDb> {
+    let row = proptest::collection::vec(0u32..8, 0..6);
+    proptest::collection::vec(row, 0..14)
+        .prop_map(|rows| TransactionDb::from_rows(8, &rows))
+}
+
+fn payloads_for(db: &TransactionDb) -> Vec<CountPayload> {
+    (0..db.len()).map(|t| CountPayload(t as u64 + 1)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn miners_agree_with_oracle(db in small_db(), min_support in 1u64..5, max_len in prop::option::of(1usize..4)) {
+        let payloads = payloads_for(&db);
+        let mut params = MiningParams::with_min_support_count(min_support);
+        params.max_len = max_len;
+        let mut expected = mine(Algorithm::Naive, &db, &payloads, &params);
+        sort_canonical(&mut expected);
+        for algo in Algorithm::ALL {
+            let mut got = mine(algo, &db, &payloads, &params);
+            sort_canonical(&mut got);
+            prop_assert_eq!(&got, &expected, "{} disagrees with oracle", algo);
+        }
+    }
+
+    #[test]
+    fn support_is_antimonotone(db in small_db(), min_support in 1u64..4) {
+        let params = MiningParams::with_min_support_count(min_support);
+        let found = mine(Algorithm::FpGrowth, &db, &vec![(); db.len()], &params);
+        let by_items: FxHashMap<&[u32], u64> =
+            found.iter().map(|f| (f.items.as_slice(), f.support)).collect();
+        for fi in &found {
+            // Every immediate subset of a frequent itemset is frequent with
+            // support at least as large.
+            for skip in 0..fi.items.len() {
+                if fi.items.len() == 1 { break; }
+                let sub: Vec<u32> = fi.items.iter().enumerate()
+                    .filter(|&(i, _)| i != skip).map(|(_, &x)| x).collect();
+                let sub_support = by_items.get(sub.as_slice());
+                prop_assert!(sub_support.is_some(), "closure violated for {:?}", sub);
+                prop_assert!(*sub_support.unwrap() >= fi.support);
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_duplicate_free_and_canonical(db in small_db(), min_support in 1u64..4) {
+        let params = MiningParams::with_min_support_count(min_support);
+        for algo in Algorithm::ALL {
+            let found = mine(algo, &db, &vec![(); db.len()], &params);
+            let mut seen = std::collections::HashSet::new();
+            for fi in &found {
+                prop_assert!(fi.items.windows(2).all(|w| w[0] < w[1]),
+                    "{}: items not strictly sorted: {:?}", algo, fi.items);
+                prop_assert!(seen.insert(fi.items.clone()),
+                    "{}: duplicate itemset {:?}", algo, fi.items);
+                prop_assert!(fi.support >= min_support.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn payload_equals_scan_of_covering_transactions(db in small_db(), min_support in 1u64..4) {
+        let payloads = payloads_for(&db);
+        let params = MiningParams::with_min_support_count(min_support);
+        let found: Vec<FrequentItemset<CountPayload>> =
+            mine(Algorithm::Eclat, &db, &payloads, &params);
+        for fi in &found {
+            let mut expected = 0u64;
+            let mut support = 0u64;
+            #[allow(clippy::needless_range_loop)] // t indexes both db and payloads
+            for t in 0..db.len() {
+                if db.covers(t, &fi.items) {
+                    expected += payloads[t].0;
+                    support += 1;
+                }
+            }
+            prop_assert_eq!(fi.payload.0, expected);
+            prop_assert_eq!(fi.support, support);
+        }
+    }
+}

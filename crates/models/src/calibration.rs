@@ -1,0 +1,134 @@
+//! Probability-calibration diagnostics: Brier score, reliability bins and
+//! expected calibration error (ECE). Slice Finder's loss-based search and
+//! the LIME/SHAP explainers both consume predicted probabilities; these
+//! utilities quantify how trustworthy those probabilities are.
+
+/// One bin of a reliability diagram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationBin {
+    /// Lower edge of the predicted-probability bin (upper = lower + width).
+    pub lower: f64,
+    /// Number of instances in the bin.
+    pub count: usize,
+    /// Mean predicted probability in the bin.
+    pub mean_predicted: f64,
+    /// Observed positive fraction in the bin.
+    pub observed: f64,
+}
+
+/// The calibration summary of a set of probabilistic predictions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// Mean squared error of probabilities vs outcomes.
+    pub brier_score: f64,
+    /// Reliability bins (empty bins omitted).
+    pub bins: Vec<CalibrationBin>,
+    /// Expected calibration error: count-weighted mean of
+    /// `|observed − mean_predicted|` over the bins.
+    pub ece: f64,
+}
+
+/// Computes the Brier score, a reliability diagram with `n_bins` equal-width
+/// bins, and the ECE.
+///
+/// # Panics
+///
+/// Panics if lengths mismatch, inputs are empty, `n_bins == 0`, or a
+/// probability is outside `[0, 1]`.
+pub fn calibration(proba: &[f64], y: &[bool], n_bins: usize) -> Calibration {
+    assert_eq!(proba.len(), y.len(), "probability/label length mismatch");
+    assert!(!proba.is_empty(), "need at least one prediction");
+    assert!(n_bins > 0, "need at least one bin");
+    assert!(
+        proba.iter().all(|p| (0.0..=1.0).contains(p)),
+        "probabilities must be in [0, 1]"
+    );
+
+    let brier_score = proba
+        .iter()
+        .zip(y)
+        .map(|(&p, &t)| {
+            let target = if t { 1.0 } else { 0.0 };
+            (p - target) * (p - target)
+        })
+        .sum::<f64>()
+        / proba.len() as f64;
+
+    let width = 1.0 / n_bins as f64;
+    let mut counts = vec![0usize; n_bins];
+    let mut sum_pred = vec![0.0; n_bins];
+    let mut sum_obs = vec![0.0; n_bins];
+    for (&p, &t) in proba.iter().zip(y) {
+        let bin = ((p / width) as usize).min(n_bins - 1);
+        counts[bin] += 1;
+        sum_pred[bin] += p;
+        sum_obs[bin] += t as u8 as f64;
+    }
+    let mut bins = Vec::new();
+    let mut ece = 0.0;
+    for b in 0..n_bins {
+        if counts[b] == 0 {
+            continue;
+        }
+        let mean_predicted = sum_pred[b] / counts[b] as f64;
+        let observed = sum_obs[b] / counts[b] as f64;
+        ece += counts[b] as f64 / proba.len() as f64 * (observed - mean_predicted).abs();
+        bins.push(CalibrationBin { lower: b as f64 * width, count: counts[b], mean_predicted, observed });
+    }
+    Calibration { brier_score, bins, ece }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_have_zero_brier_and_ece() {
+        let proba = [1.0, 0.0, 1.0, 0.0];
+        let y = [true, false, true, false];
+        let c = calibration(&proba, &y, 10);
+        assert_eq!(c.brier_score, 0.0);
+        assert!(c.ece < 1e-12);
+    }
+
+    #[test]
+    fn constant_half_on_balanced_data_is_calibrated_but_unsharp() {
+        let proba = [0.5; 100];
+        let y: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let c = calibration(&proba, &y, 10);
+        // Perfectly calibrated (observed == predicted in the single bin)…
+        assert!(c.ece < 1e-12);
+        // …but the Brier score shows no sharpness.
+        assert!((c.brier_score - 0.25).abs() < 1e-12);
+        assert_eq!(c.bins.len(), 1);
+        assert_eq!(c.bins[0].count, 100);
+    }
+
+    #[test]
+    fn overconfident_predictions_show_up_in_ece() {
+        // Predicts 0.9 but only 50% positives: |0.5 − 0.9| = 0.4 ECE.
+        let proba = [0.9; 40];
+        let y: Vec<bool> = (0..40).map(|i| i % 2 == 0).collect();
+        let c = calibration(&proba, &y, 10);
+        assert!((c.ece - 0.4).abs() < 1e-9);
+        assert_eq!(c.bins.len(), 1);
+        assert!((c.bins[0].observed - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_edges_and_counts_are_consistent() {
+        let proba = [0.05, 0.15, 0.95, 1.0];
+        let y = [false, false, true, true];
+        let c = calibration(&proba, &y, 10);
+        let total: usize = c.bins.iter().map(|b| b.count).sum();
+        assert_eq!(total, 4);
+        // p = 1.0 falls in the last bin, not out of range.
+        assert!(c.bins.iter().any(|b| (b.lower - 0.9).abs() < 1e-12 && b.count == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn out_of_range_probability_panics() {
+        let _ = calibration(&[1.5], &[true], 10);
+    }
+}

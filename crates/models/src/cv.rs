@@ -1,0 +1,147 @@
+//! K-fold cross-validation utilities.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::matrix::FeatureMatrix;
+use crate::metrics::ConfusionMatrix;
+use crate::Classifier;
+
+/// The row partition of a k-fold split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KFold {
+    folds: Vec<Vec<usize>>,
+}
+
+impl KFold {
+    /// Shuffles `0..n` into `k` near-equal folds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= k <= n`.
+    pub fn new(n: usize, k: usize, seed: u64) -> Self {
+        assert!(k >= 2, "need at least two folds");
+        assert!(k <= n, "more folds than rows");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut indices: Vec<usize> = (0..n).collect();
+        indices.shuffle(&mut rng);
+        let mut folds: Vec<Vec<usize>> = vec![Vec::with_capacity(n / k + 1); k];
+        for (i, idx) in indices.into_iter().enumerate() {
+            folds[i % k].push(idx);
+        }
+        for fold in &mut folds {
+            fold.sort_unstable();
+        }
+        KFold { folds }
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// The `(train, test)` index pair for fold `i`.
+    pub fn split(&self, i: usize) -> (Vec<usize>, Vec<usize>) {
+        let test = self.folds[i].clone();
+        let mut train = Vec::new();
+        for (j, fold) in self.folds.iter().enumerate() {
+            if j != i {
+                train.extend_from_slice(fold);
+            }
+        }
+        train.sort_unstable();
+        (train, test)
+    }
+}
+
+/// Per-fold evaluation of a learner under k-fold cross-validation.
+///
+/// `fit` receives the training `(x, y)` of each fold and returns a trained
+/// classifier; the returned confusion matrices are measured on the held-out
+/// folds, in fold order.
+pub fn cross_validate<C: Classifier>(
+    x: &FeatureMatrix,
+    y: &[bool],
+    k: usize,
+    seed: u64,
+    mut fit: impl FnMut(&FeatureMatrix, &[bool]) -> C,
+) -> Vec<ConfusionMatrix> {
+    assert_eq!(x.n_rows(), y.len(), "feature/label length mismatch");
+    let kfold = KFold::new(x.n_rows(), k, seed);
+    (0..k)
+        .map(|i| {
+            let (train, test) = kfold.split(i);
+            let x_train = x.select_rows(&train);
+            let y_train: Vec<bool> = train.iter().map(|&r| y[r]).collect();
+            let model = fit(&x_train, &y_train);
+            let x_test = x.select_rows(&test);
+            let y_test: Vec<bool> = test.iter().map(|&r| y[r]).collect();
+            ConfusionMatrix::from_labels(&y_test, &model.predict_batch(&x_test))
+        })
+        .collect()
+}
+
+/// Mean accuracy across folds (convenience over [`cross_validate`]).
+pub fn cv_accuracy<C: Classifier>(
+    x: &FeatureMatrix,
+    y: &[bool],
+    k: usize,
+    seed: u64,
+    fit: impl FnMut(&FeatureMatrix, &[bool]) -> C,
+) -> f64 {
+    let folds = cross_validate(x, y, k, seed, fit);
+    folds.iter().map(|cm| cm.accuracy()).sum::<f64>() / folds.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{DecisionTree, DecisionTreeParams};
+
+    #[test]
+    fn folds_partition_the_rows() {
+        let kf = KFold::new(23, 5, 1);
+        let mut all: Vec<usize> = kf.folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+        // Sizes differ by at most one.
+        let sizes: Vec<usize> = kf.folds.iter().map(Vec::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn split_keeps_train_and_test_disjoint() {
+        let kf = KFold::new(20, 4, 2);
+        for i in 0..4 {
+            let (train, test) = kf.split(i);
+            assert_eq!(train.len() + test.len(), 20);
+            for t in &test {
+                assert!(!train.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn cross_validation_scores_a_learnable_problem_highly() {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64]).collect();
+        let y: Vec<bool> = (0..60).map(|i| i >= 30).collect();
+        let x = FeatureMatrix::from_rows(&rows);
+        let acc = cv_accuracy(&x, &y, 5, 3, |xt, yt| {
+            DecisionTree::fit(xt, yt, &DecisionTreeParams::default(), 0)
+        });
+        assert!(acc > 0.9, "cv accuracy {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two folds")]
+    fn one_fold_panics() {
+        let _ = KFold::new(10, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more folds than rows")]
+    fn too_many_folds_panics() {
+        let _ = KFold::new(3, 5, 0);
+    }
+}

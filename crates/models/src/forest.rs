@@ -1,0 +1,178 @@
+//! Random forest: bagged CART trees with per-split feature subsampling
+//! (Breiman, 2001). The paper's tabular experiments use "a random forest
+//! classifier with default parameters" as the black box.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::matrix::FeatureMatrix;
+use crate::tree::{DecisionTree, DecisionTreeParams};
+use crate::Classifier;
+
+/// Hyper-parameters of [`RandomForest::fit`].
+#[derive(Debug, Clone)]
+pub struct RandomForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree depth cap (`None` = unbounded, the sklearn default).
+    pub max_depth: Option<usize>,
+    /// Minimum samples to split a node.
+    pub min_samples_split: usize,
+    /// Features considered per split (`None` = `⌈√n_features⌉`, the
+    /// conventional default).
+    pub max_features: Option<usize>,
+    /// Draw a bootstrap sample per tree (with replacement).
+    pub bootstrap: bool,
+}
+
+impl Default for RandomForestParams {
+    fn default() -> Self {
+        RandomForestParams {
+            n_trees: 100,
+            max_depth: None,
+            min_samples_split: 2,
+            max_features: None,
+            bootstrap: true,
+        }
+    }
+}
+
+impl RandomForestParams {
+    /// A smaller forest for fast experiments: 20 trees, depth ≤ 12.
+    /// Accuracy on the synthetic datasets is indistinguishable from the
+    /// full default forest, at a fraction of the training cost.
+    pub fn fast() -> Self {
+        RandomForestParams {
+            n_trees: 20,
+            max_depth: Some(12),
+            ..Default::default()
+        }
+    }
+}
+
+/// A trained random forest (probability = mean of leaf probabilities).
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Fits `params.n_trees` trees on bootstrap samples of `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty, lengths mismatch, or `n_trees == 0`.
+    pub fn fit(x: &FeatureMatrix, y: &[bool], params: &RandomForestParams, seed: u64) -> Self {
+        assert!(params.n_trees > 0, "need at least one tree");
+        assert!(x.n_rows() > 0, "cannot fit on an empty matrix");
+        assert_eq!(x.n_rows(), y.len(), "feature/label length mismatch");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max_features = params
+            .max_features
+            .unwrap_or_else(|| (x.n_cols() as f64).sqrt().ceil() as usize)
+            .clamp(1, x.n_cols());
+        let tree_params = DecisionTreeParams {
+            max_depth: params.max_depth,
+            min_samples_split: params.min_samples_split,
+            min_samples_leaf: 1,
+            max_features: Some(max_features),
+        };
+        let n = x.n_rows();
+        let mut trees = Vec::with_capacity(params.n_trees);
+        for _ in 0..params.n_trees {
+            let rows: Vec<usize> = if params.bootstrap {
+                (0..n).map(|_| rng.gen_range(0..n)).collect()
+            } else {
+                (0..n).collect()
+            };
+            let tree_seed: u64 = rng.gen();
+            trees.push(DecisionTree::fit_on_rows(x, y, &rows, &tree_params, tree_seed));
+        }
+        RandomForest { trees }
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn predict_proba(&self, row: &[f64]) -> f64 {
+        let total: f64 = self.trees.iter().map(|t| t.predict_proba(row)).sum();
+        total / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_linear(n: usize, seed: u64) -> (FeatureMatrix, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a: f64 = rng.gen();
+            let b: f64 = rng.gen();
+            rows.push(vec![a, b]);
+            y.push(a + b + rng.gen_range(-0.1..0.1) > 1.0);
+        }
+        (FeatureMatrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn beats_chance_on_noisy_data() {
+        let (x, y) = noisy_linear(400, 1);
+        let forest = RandomForest::fit(&x, &y, &RandomForestParams::fast(), 7);
+        let pred = forest.predict_batch(&x);
+        let correct = pred.iter().zip(&y).filter(|(p, t)| p == t).count();
+        assert!(correct as f64 / y.len() as f64 > 0.9, "train accuracy {correct}/400");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = noisy_linear(100, 2);
+        let params = RandomForestParams { n_trees: 5, ..RandomForestParams::fast() };
+        let f1 = RandomForest::fit(&x, &y, &params, 11);
+        let f2 = RandomForest::fit(&x, &y, &params, 11);
+        assert_eq!(f1.predict_proba_batch(&x), f2.predict_proba_batch(&x));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (x, y) = noisy_linear(100, 2);
+        let params = RandomForestParams { n_trees: 5, ..RandomForestParams::fast() };
+        let f1 = RandomForest::fit(&x, &y, &params, 1);
+        let f2 = RandomForest::fit(&x, &y, &params, 2);
+        assert_ne!(f1.predict_proba_batch(&x), f2.predict_proba_batch(&x));
+    }
+
+    #[test]
+    fn probabilities_are_in_unit_interval() {
+        let (x, y) = noisy_linear(100, 3);
+        let forest = RandomForest::fit(&x, &y, &RandomForestParams::fast(), 0);
+        for p in forest.predict_proba_batch(&x) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn no_bootstrap_uses_all_rows() {
+        let (x, y) = noisy_linear(50, 4);
+        let params = RandomForestParams {
+            n_trees: 3,
+            bootstrap: false,
+            max_features: Some(2),
+            ..Default::default()
+        };
+        // With all rows and all features, every tree is identical.
+        let forest = RandomForest::fit(&x, &y, &params, 0);
+        let p = forest.predict_proba_batch(&x);
+        let t0 = &forest.trees[0];
+        for (r, &pr) in p.iter().enumerate() {
+            assert!((pr - t0.predict_proba(x.row(r))).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Permutation feature importance (Breiman, 2001): how much a model's
+//! accuracy degrades when one feature column is shuffled, breaking its
+//! relationship with the label. Model-agnostic — works through the
+//! [`Classifier`] trait — and the standard first question before a
+//! subgroup-level divergence analysis: *which features matter at all?*
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::matrix::FeatureMatrix;
+use crate::Classifier;
+
+/// Per-feature importances: mean accuracy drop over shuffle repetitions.
+#[derive(Debug, Clone)]
+pub struct FeatureImportance {
+    /// Baseline accuracy on `(x, y)`.
+    pub baseline_accuracy: f64,
+    /// `importances[f]` = baseline − mean shuffled accuracy for feature `f`.
+    pub importances: Vec<f64>,
+}
+
+impl FeatureImportance {
+    /// Features ranked by importance, largest drop first.
+    pub fn ranking(&self) -> Vec<(usize, f64)> {
+        let mut idx: Vec<(usize, f64)> =
+            self.importances.iter().copied().enumerate().collect();
+        idx.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        idx
+    }
+}
+
+/// Computes permutation importance of every feature with `n_repeats`
+/// shuffles each.
+///
+/// # Panics
+///
+/// Panics on empty input, length mismatch, or `n_repeats == 0`.
+pub fn permutation_importance<C: Classifier>(
+    model: &C,
+    x: &FeatureMatrix,
+    y: &[bool],
+    n_repeats: usize,
+    seed: u64,
+) -> FeatureImportance {
+    assert!(x.n_rows() > 0, "need at least one row");
+    assert_eq!(x.n_rows(), y.len(), "feature/label length mismatch");
+    assert!(n_repeats > 0, "need at least one repeat");
+    let n = x.n_rows();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let accuracy = |predictions: &[bool]| -> f64 {
+        predictions.iter().zip(y).filter(|(p, t)| p == t).count() as f64 / n as f64
+    };
+    let baseline_accuracy = accuracy(&model.predict_batch(x));
+
+    let mut importances = Vec::with_capacity(x.n_cols());
+    let mut row_buf = vec![0.0; x.n_cols()];
+    let mut permuted: Vec<usize> = (0..n).collect();
+    for feature in 0..x.n_cols() {
+        let mut total_drop = 0.0;
+        for _ in 0..n_repeats {
+            permuted.shuffle(&mut rng);
+            let mut predictions = Vec::with_capacity(n);
+            #[allow(clippy::needless_range_loop)] // r indexes both x.row and permuted
+            for r in 0..n {
+                row_buf.copy_from_slice(x.row(r));
+                row_buf[feature] = x.get(permuted[r], feature);
+                predictions.push(model.predict_row(&row_buf));
+            }
+            total_drop += baseline_accuracy - accuracy(&predictions);
+        }
+        importances.push(total_drop / n_repeats as f64);
+    }
+    FeatureImportance { baseline_accuracy, importances }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{DecisionTree, DecisionTreeParams};
+
+    /// Label depends on feature 0 only; feature 1 is noise.
+    fn fixture() -> (FeatureMatrix, Vec<bool>, DecisionTree) {
+        let rows: Vec<Vec<f64>> =
+            (0..80).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let y: Vec<bool> = (0..80).map(|i| i >= 40).collect();
+        let x = FeatureMatrix::from_rows(&rows);
+        let tree = DecisionTree::fit(&x, &y, &DecisionTreeParams::default(), 0);
+        (x, y, tree)
+    }
+
+    #[test]
+    fn informative_feature_dominates() {
+        let (x, y, tree) = fixture();
+        let fi = permutation_importance(&tree, &x, &y, 5, 1);
+        assert!((fi.baseline_accuracy - 1.0).abs() < 1e-12);
+        assert!(fi.importances[0] > 0.3, "{:?}", fi.importances);
+        assert!(fi.importances[1].abs() < 0.05, "{:?}", fi.importances);
+        assert_eq!(fi.ranking()[0].0, 0);
+    }
+
+    #[test]
+    fn importance_is_deterministic_per_seed() {
+        let (x, y, tree) = fixture();
+        let a = permutation_importance(&tree, &x, &y, 3, 7);
+        let b = permutation_importance(&tree, &x, &y, 3, 7);
+        assert_eq!(a.importances, b.importances);
+    }
+
+    #[test]
+    fn constant_model_has_zero_importance_everywhere() {
+        struct AlwaysTrue;
+        impl Classifier for AlwaysTrue {
+            fn predict_proba(&self, _row: &[f64]) -> f64 {
+                1.0
+            }
+        }
+        let (x, y, _) = fixture();
+        let fi = permutation_importance(&AlwaysTrue, &x, &y, 3, 0);
+        assert!(fi.importances.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repeat")]
+    fn zero_repeats_panics() {
+        let (x, y, tree) = fixture();
+        let _ = permutation_importance(&tree, &x, &y, 0, 0);
+    }
+}

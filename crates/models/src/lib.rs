@@ -1,0 +1,103 @@
+//! Classifier substrate for the DivExplorer reproduction.
+//!
+//! The paper analyzes classifiers as *black boxes*: all DivExplorer needs is
+//! the vector of predicted labels `u`. This crate supplies the learners used
+//! in the paper's experiments — a random forest "with default parameters"
+//! for the tabular benchmarks (§6.1) and a multi-layer perceptron for the
+//! bias-injection user study (§6.6) — plus a CART decision tree and logistic
+//! regression, all implemented from scratch.
+//!
+//! # Example
+//!
+//! ```
+//! use models::{Classifier, FeatureMatrix, RandomForest, RandomForestParams};
+//!
+//! // XOR-ish data: class is x0 > 0.5.
+//! let x = FeatureMatrix::from_rows(&[
+//!     vec![0.1, 0.0], vec![0.2, 1.0], vec![0.8, 0.0], vec![0.9, 1.0],
+//!     vec![0.3, 0.5], vec![0.7, 0.5], vec![0.4, 0.2], vec![0.6, 0.8],
+//! ]);
+//! let y = vec![false, false, true, true, false, true, false, true];
+//! let forest = RandomForest::fit(&x, &y, &RandomForestParams::default(), 42);
+//! let predictions = forest.predict_batch(&x);
+//! assert_eq!(predictions, y);
+//! ```
+
+pub mod calibration;
+pub mod cv;
+pub mod forest;
+pub mod gbdt;
+pub mod importance;
+pub mod logistic;
+pub mod matrix;
+pub mod metrics;
+pub mod mlp;
+pub mod naive_bayes;
+pub mod roc;
+pub mod split;
+pub mod tree;
+
+pub use calibration::{calibration, Calibration, CalibrationBin};
+pub use cv::{cross_validate, cv_accuracy, KFold};
+pub use forest::{RandomForest, RandomForestParams};
+pub use gbdt::{GbdtParams, GradientBoostedTrees};
+pub use importance::{permutation_importance, FeatureImportance};
+pub use logistic::{LogisticRegression, LogisticRegressionParams};
+pub use matrix::FeatureMatrix;
+pub use metrics::ConfusionMatrix;
+pub use mlp::{Mlp, MlpParams};
+pub use naive_bayes::GaussianNaiveBayes;
+pub use roc::{auc, RocCurve, RocPoint};
+pub use split::{train_test_split, TrainTestSplit};
+pub use tree::{DecisionTree, DecisionTreeParams};
+
+/// A trained binary classifier: the "black box" analyzed by DivExplorer.
+pub trait Classifier {
+    /// Estimated probability of the positive class for one feature row.
+    fn predict_proba(&self, row: &[f64]) -> f64;
+
+    /// Hard prediction with the conventional 0.5 threshold.
+    fn predict_row(&self, row: &[f64]) -> bool {
+        self.predict_proba(row) >= 0.5
+    }
+
+    /// Hard predictions for every row of `x`.
+    fn predict_batch(&self, x: &FeatureMatrix) -> Vec<bool> {
+        (0..x.n_rows()).map(|r| self.predict_row(x.row(r))).collect()
+    }
+
+    /// Probabilities for every row of `x`.
+    fn predict_proba_batch(&self, x: &FeatureMatrix) -> Vec<f64> {
+        (0..x.n_rows()).map(|r| self.predict_proba(x.row(r))).collect()
+    }
+}
+
+/// Per-instance log loss (binary cross-entropy), clipped for stability —
+/// the classifier loss Slice Finder compares between a slice and its
+/// complement.
+pub fn log_loss(y_true: bool, proba: f64) -> f64 {
+    let p = proba.clamp(1e-12, 1.0 - 1e-12);
+    if y_true {
+        -p.ln()
+    } else {
+        -(1.0 - p).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_loss_rewards_confident_correct_predictions() {
+        assert!(log_loss(true, 0.99) < log_loss(true, 0.6));
+        assert!(log_loss(false, 0.01) < log_loss(false, 0.4));
+        assert!(log_loss(true, 0.01) > log_loss(true, 0.99));
+    }
+
+    #[test]
+    fn log_loss_is_finite_at_extremes() {
+        assert!(log_loss(true, 0.0).is_finite());
+        assert!(log_loss(false, 1.0).is_finite());
+    }
+}

@@ -1,0 +1,166 @@
+//! A dense row-major feature matrix.
+
+/// A dense `n_rows × n_cols` matrix of `f64` features, stored row-major in a
+/// single allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    data: Vec<f64>,
+}
+
+impl FeatureMatrix {
+    /// An empty matrix with a fixed column count.
+    pub fn new(n_cols: usize) -> Self {
+        FeatureMatrix { n_rows: 0, n_cols, data: Vec::new() }
+    }
+
+    /// Builds a matrix from explicit rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths or `rows` is empty.
+    pub fn from_rows<R: AsRef<[f64]>>(rows: &[R]) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        let n_cols = rows[0].as_ref().len();
+        let mut m = FeatureMatrix::new(n_cols);
+        for row in rows {
+            m.push_row(row.as_ref());
+        }
+        m
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length is not a multiple of `n_cols`.
+    pub fn from_flat(n_cols: usize, data: Vec<f64>) -> Self {
+        assert!(n_cols > 0, "need at least one column");
+        assert_eq!(data.len() % n_cols, 0, "ragged buffer");
+        FeatureMatrix { n_rows: data.len() / n_cols, n_cols, data }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the column count.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.n_cols, "row length mismatch");
+        self.data.extend_from_slice(row);
+        self.n_rows += 1;
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// The row at index `r`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.n_cols..(r + 1) * self.n_cols]
+    }
+
+    /// The value at `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.n_cols + c]
+    }
+
+    /// A new matrix containing the selected rows, in order.
+    pub fn select_rows(&self, indices: &[usize]) -> FeatureMatrix {
+        let mut out = FeatureMatrix::new(self.n_cols);
+        out.data.reserve(indices.len() * self.n_cols);
+        for &r in indices {
+            out.push_row(self.row(r));
+        }
+        out
+    }
+
+    /// Per-column means.
+    pub fn column_means(&self) -> Vec<f64> {
+        let mut means = vec![0.0; self.n_cols];
+        for r in 0..self.n_rows {
+            for (c, &v) in self.row(r).iter().enumerate() {
+                means[c] += v;
+            }
+        }
+        for m in &mut means {
+            *m /= self.n_rows.max(1) as f64;
+        }
+        means
+    }
+
+    /// Per-column standard deviations (population; zero-variance columns
+    /// report 1.0 so standardization is a no-op on them).
+    pub fn column_stds(&self) -> Vec<f64> {
+        let means = self.column_means();
+        let mut vars = vec![0.0; self.n_cols];
+        for r in 0..self.n_rows {
+            for (c, &v) in self.row(r).iter().enumerate() {
+                let d = v - means[c];
+                vars[c] += d * d;
+            }
+        }
+        vars.iter()
+            .map(|&v| {
+                let s = (v / self.n_rows.max(1) as f64).sqrt();
+                if s == 0.0 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_round_trips() {
+        let m = FeatureMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.n_cols(), 2);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.get(0, 1), 2.0);
+    }
+
+    #[test]
+    fn select_rows_preserves_order() {
+        let m = FeatureMatrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.row(0), &[2.0]);
+        assert_eq!(s.row(1), &[0.0]);
+    }
+
+    #[test]
+    fn means_and_stds() {
+        let m = FeatureMatrix::from_rows(&[vec![0.0, 5.0], vec![2.0, 5.0]]);
+        assert_eq!(m.column_means(), vec![1.0, 5.0]);
+        let stds = m.column_stds();
+        assert_eq!(stds[0], 1.0);
+        assert_eq!(stds[1], 1.0); // zero variance -> 1.0 sentinel
+    }
+
+    #[test]
+    #[should_panic(expected = "row length mismatch")]
+    fn ragged_push_panics() {
+        let mut m = FeatureMatrix::new(2);
+        m.push_row(&[1.0]);
+    }
+
+    #[test]
+    fn from_flat_validates_shape() {
+        let m = FeatureMatrix::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+}

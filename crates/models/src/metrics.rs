@@ -1,0 +1,131 @@
+//! Classifier evaluation metrics: the confusion matrix and the rates
+//! derived from it.
+
+/// A binary confusion matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// True positives: `v ∧ u`.
+    pub tp: u64,
+    /// True negatives: `¬v ∧ ¬u`.
+    pub tn: u64,
+    /// False positives: `¬v ∧ u`.
+    pub fp: u64,
+    /// False negatives: `v ∧ ¬u`.
+    pub fn_: u64,
+}
+
+impl ConfusionMatrix {
+    /// Tallies predictions `u` against ground truth `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn from_labels(v: &[bool], u: &[bool]) -> Self {
+        assert_eq!(v.len(), u.len(), "label length mismatch");
+        let mut m = ConfusionMatrix::default();
+        for (&vi, &ui) in v.iter().zip(u) {
+            match (vi, ui) {
+                (true, true) => m.tp += 1,
+                (false, false) => m.tn += 1,
+                (false, true) => m.fp += 1,
+                (true, false) => m.fn_ += 1,
+            }
+        }
+        m
+    }
+
+    /// Total instances.
+    pub fn total(&self) -> u64 {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+
+    /// `(TP + TN) / N`.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// `(FP + FN) / N`.
+    pub fn error_rate(&self) -> f64 {
+        ratio(self.fp + self.fn_, self.total())
+    }
+
+    /// `FP / (FP + TN)` — NaN when there are no true negatives.
+    pub fn false_positive_rate(&self) -> f64 {
+        ratio(self.fp, self.fp + self.tn)
+    }
+
+    /// `FN / (FN + TP)` — NaN when there are no true positives.
+    pub fn false_negative_rate(&self) -> f64 {
+        ratio(self.fn_, self.fn_ + self.tp)
+    }
+
+    /// `TP / (TP + FN)` — recall.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// `TP / (TP + FP)` — precision.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Harmonic mean of precision and recall; `0` when either is undefined
+    /// or both are zero (no true positives).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p.is_nan() || r.is_nan() || p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        f64::NAN
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_match_hand_count() {
+        let v = [true, true, false, false, true];
+        let u = [true, false, true, false, true];
+        let m = ConfusionMatrix::from_labels(&v, &u);
+        assert_eq!(m, ConfusionMatrix { tp: 2, tn: 1, fp: 1, fn_: 1 });
+        assert!((m.accuracy() - 0.6).abs() < 1e-12);
+        assert!((m.error_rate() - 0.4).abs() < 1e-12);
+        assert!((m.false_positive_rate() - 0.5).abs() < 1e-12);
+        assert!((m.false_negative_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_are_nan_when_undefined() {
+        let m = ConfusionMatrix::from_labels(&[true, true], &[true, false]);
+        assert!(m.false_positive_rate().is_nan());
+        assert!(!m.false_negative_rate().is_nan());
+    }
+
+    #[test]
+    fn f1_handles_degenerate_case() {
+        let m = ConfusionMatrix::from_labels(&[true], &[false]);
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_plus_error_is_one() {
+        let v = [true, false, true, false];
+        let u = [false, false, true, true];
+        let m = ConfusionMatrix::from_labels(&v, &u);
+        assert!((m.accuracy() + m.error_rate() - 1.0).abs() < 1e-12);
+    }
+}

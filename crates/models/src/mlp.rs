@@ -1,0 +1,228 @@
+//! A multi-layer perceptron (one ReLU hidden layer, sigmoid output,
+//! mini-batch SGD with momentum). The paper's §6.6 user study trains an MLP
+//! on a bias-injected training set.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::matrix::FeatureMatrix;
+use crate::Classifier;
+
+/// Hyper-parameters of [`Mlp::fit`].
+#[derive(Debug, Clone)]
+pub struct MlpParams {
+    /// Hidden layer width.
+    pub hidden: usize,
+    /// SGD step size.
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Training epochs.
+    pub epochs: usize,
+}
+
+impl Default for MlpParams {
+    fn default() -> Self {
+        MlpParams { hidden: 16, learning_rate: 0.05, momentum: 0.9, batch_size: 32, epochs: 60 }
+    }
+}
+
+/// A trained MLP. Features are standardized internally.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    // Layer 1: hidden × d weights + hidden biases.
+    w1: Vec<f64>,
+    b1: Vec<f64>,
+    // Layer 2: hidden weights + 1 bias.
+    w2: Vec<f64>,
+    b2: f64,
+    hidden: usize,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Mlp {
+    /// Trains the network on `(x, y)` with the given seed (weight
+    /// initialization and batch shuffling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty, lengths mismatch, or `hidden == 0`.
+    pub fn fit(x: &FeatureMatrix, y: &[bool], params: &MlpParams, seed: u64) -> Self {
+        assert!(x.n_rows() > 0, "cannot fit on an empty matrix");
+        assert_eq!(x.n_rows(), y.len(), "feature/label length mismatch");
+        assert!(params.hidden > 0, "hidden width must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = x.n_cols();
+        let h = params.hidden;
+        let means = x.column_means();
+        let stds = x.column_stds();
+
+        // He initialization for the ReLU layer.
+        let scale1 = (2.0 / d as f64).sqrt();
+        let mut w1: Vec<f64> = (0..h * d).map(|_| rng.gen_range(-scale1..scale1)).collect();
+        let mut b1 = vec![0.0; h];
+        let scale2 = (2.0 / h as f64).sqrt();
+        let mut w2: Vec<f64> = (0..h).map(|_| rng.gen_range(-scale2..scale2)).collect();
+        let mut b2 = 0.0;
+
+        let mut vel_w1 = vec![0.0; h * d];
+        let mut vel_b1 = vec![0.0; h];
+        let mut vel_w2 = vec![0.0; h];
+        let mut vel_b2 = 0.0;
+
+        let n = x.n_rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut z = vec![0.0; d];
+        let mut act = vec![0.0; h];
+        let mut g_w1 = vec![0.0; h * d];
+        let mut g_b1 = vec![0.0; h];
+        let mut g_w2 = vec![0.0; h];
+
+        for _ in 0..params.epochs {
+            order.shuffle(&mut rng);
+            for batch in order.chunks(params.batch_size.max(1)) {
+                g_w1.iter_mut().for_each(|g| *g = 0.0);
+                g_b1.iter_mut().for_each(|g| *g = 0.0);
+                g_w2.iter_mut().for_each(|g| *g = 0.0);
+                let mut g_b2 = 0.0;
+                for &r in batch {
+                    standardize(x.row(r), &means, &stds, &mut z);
+                    // Forward.
+                    for j in 0..h {
+                        let s: f64 =
+                            dot(&w1[j * d..(j + 1) * d], &z) + b1[j];
+                        act[j] = s.max(0.0);
+                    }
+                    let out = sigmoid(dot(&w2, &act) + b2);
+                    // Backward (cross-entropy + sigmoid -> simple delta).
+                    let delta = out - if y[r] { 1.0 } else { 0.0 };
+                    for j in 0..h {
+                        g_w2[j] += delta * act[j];
+                        if act[j] > 0.0 {
+                            let dj = delta * w2[j];
+                            for (g, &zi) in
+                                g_w1[j * d..(j + 1) * d].iter_mut().zip(z.iter())
+                            {
+                                *g += dj * zi;
+                            }
+                            g_b1[j] += dj;
+                        }
+                    }
+                    g_b2 += delta;
+                }
+                let lr = params.learning_rate / batch.len() as f64;
+                let m = params.momentum;
+                for (i, g) in g_w1.iter().enumerate() {
+                    vel_w1[i] = m * vel_w1[i] - lr * g;
+                    w1[i] += vel_w1[i];
+                }
+                for (i, g) in g_b1.iter().enumerate() {
+                    vel_b1[i] = m * vel_b1[i] - lr * g;
+                    b1[i] += vel_b1[i];
+                }
+                for (i, g) in g_w2.iter().enumerate() {
+                    vel_w2[i] = m * vel_w2[i] - lr * g;
+                    w2[i] += vel_w2[i];
+                }
+                vel_b2 = m * vel_b2 - lr * g_b2;
+                b2 += vel_b2;
+            }
+        }
+        Mlp { w1, b1, w2, b2, hidden: h, means, stds }
+    }
+}
+
+impl Classifier for Mlp {
+    fn predict_proba(&self, row: &[f64]) -> f64 {
+        let d = row.len();
+        let mut z = vec![0.0; d];
+        standardize(row, &self.means, &self.stds, &mut z);
+        let mut act = 0.0;
+        let mut total = self.b2;
+        for j in 0..self.hidden {
+            act = (dot(&self.w1[j * d..(j + 1) * d], &z) + self.b1[j]).max(0.0);
+            total += self.w2[j] * act;
+        }
+        let _ = act;
+        sigmoid(total)
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn standardize(row: &[f64], means: &[f64], stds: &[f64], out: &mut [f64]) {
+    for i in 0..row.len() {
+        out[i] = (row[i] - means[i]) / stds[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_xor() {
+        let x = FeatureMatrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ]);
+        let y = vec![false, true, true, false];
+        // XOR needs the hidden layer; replicate rows so batches help.
+        let mut xr = FeatureMatrix::new(2);
+        let mut yr = Vec::new();
+        for _ in 0..32 {
+            #[allow(clippy::needless_range_loop)] // r indexes both x.row and y
+            for r in 0..4 {
+                xr.push_row(x.row(r));
+                yr.push(y[r]);
+            }
+        }
+        let params = MlpParams { hidden: 8, epochs: 200, ..Default::default() };
+        let mlp = Mlp::fit(&xr, &yr, &params, 3);
+        assert_eq!(mlp.predict_batch(&x), y);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = FeatureMatrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let y = vec![false, false, true, true];
+        let p = MlpParams { epochs: 10, ..Default::default() };
+        let a = Mlp::fit(&x, &y, &p, 5);
+        let b = Mlp::fit(&x, &y, &p, 5);
+        assert_eq!(a.predict_proba_batch(&x), b.predict_proba_batch(&x));
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let x = FeatureMatrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let y = vec![false, false, true, true];
+        let mlp = Mlp::fit(&x, &y, &MlpParams::default(), 1);
+        for p in mlp.predict_proba_batch(&x) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn learns_a_simple_threshold() {
+        let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<bool> = (0..64).map(|i| i >= 32).collect();
+        let x = FeatureMatrix::from_rows(&rows);
+        let mlp = Mlp::fit(&x, &y, &MlpParams::default(), 2);
+        let pred = mlp.predict_batch(&x);
+        let correct = pred.iter().zip(&y).filter(|(p, t)| p == t).count();
+        assert!(correct >= 60, "accuracy {correct}/64");
+    }
+}

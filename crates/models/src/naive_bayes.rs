@@ -1,0 +1,149 @@
+//! Gaussian naive Bayes for binary classification: cheap, calibrated-ish
+//! probabilities, a useful contrast to the tree ensembles in model-
+//! comparison studies.
+
+use crate::matrix::FeatureMatrix;
+use crate::Classifier;
+
+/// A trained Gaussian naive Bayes model: per-class feature means/variances
+/// plus the class prior.
+#[derive(Debug, Clone)]
+pub struct GaussianNaiveBayes {
+    prior_pos: f64,
+    mean_pos: Vec<f64>,
+    var_pos: Vec<f64>,
+    mean_neg: Vec<f64>,
+    var_neg: Vec<f64>,
+}
+
+/// Variance floor guarding against zero-variance features.
+const VAR_FLOOR: f64 = 1e-9;
+
+impl GaussianNaiveBayes {
+    /// Fits the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty, lengths mismatch, or one class is absent
+    /// (a single-class problem has nothing to classify).
+    pub fn fit(x: &FeatureMatrix, y: &[bool]) -> Self {
+        assert!(x.n_rows() > 0, "cannot fit on an empty matrix");
+        assert_eq!(x.n_rows(), y.len(), "feature/label length mismatch");
+        let n_pos = y.iter().filter(|&&l| l).count();
+        let n_neg = y.len() - n_pos;
+        assert!(n_pos > 0 && n_neg > 0, "both classes must be present");
+
+        let d = x.n_cols();
+        let stats = |class: bool, n: usize| -> (Vec<f64>, Vec<f64>) {
+            let mut mean = vec![0.0; d];
+            #[allow(clippy::needless_range_loop)] // r indexes both x.row and y
+            for r in 0..x.n_rows() {
+                if y[r] == class {
+                    for (c, &v) in x.row(r).iter().enumerate() {
+                        mean[c] += v;
+                    }
+                }
+            }
+            for m in &mut mean {
+                *m /= n as f64;
+            }
+            let mut var = vec![0.0; d];
+            #[allow(clippy::needless_range_loop)] // r indexes both x.row and y
+            for r in 0..x.n_rows() {
+                if y[r] == class {
+                    for (c, &v) in x.row(r).iter().enumerate() {
+                        let dlt = v - mean[c];
+                        var[c] += dlt * dlt;
+                    }
+                }
+            }
+            for v in &mut var {
+                *v = (*v / n as f64).max(VAR_FLOOR);
+            }
+            (mean, var)
+        };
+        let (mean_pos, var_pos) = stats(true, n_pos);
+        let (mean_neg, var_neg) = stats(false, n_neg);
+        GaussianNaiveBayes {
+            prior_pos: n_pos as f64 / y.len() as f64,
+            mean_pos,
+            var_pos,
+            mean_neg,
+            var_neg,
+        }
+    }
+}
+
+/// Log density of `N(mean, var)` at `v`, up to the shared constant.
+fn log_gauss(v: f64, mean: f64, var: f64) -> f64 {
+    let d = v - mean;
+    -0.5 * (var.ln() + d * d / var)
+}
+
+impl Classifier for GaussianNaiveBayes {
+    fn predict_proba(&self, row: &[f64]) -> f64 {
+        let mut log_pos = self.prior_pos.ln();
+        let mut log_neg = (1.0 - self.prior_pos).ln();
+        for (c, &v) in row.iter().enumerate() {
+            log_pos += log_gauss(v, self.mean_pos[c], self.var_pos[c]);
+            log_neg += log_gauss(v, self.mean_neg[c], self.var_neg[c]);
+        }
+        // Softmax over the two log-joints.
+        let m = log_pos.max(log_neg);
+        let ep = (log_pos - m).exp();
+        let en = (log_neg - m).exp();
+        ep / (ep + en)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_shifted_gaussians() {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..100 {
+            let jitter = (i % 10) as f64 * 0.05;
+            rows.push(vec![0.0 + jitter, 1.0 - jitter]);
+            y.push(false);
+            rows.push(vec![3.0 + jitter, 4.0 - jitter]);
+            y.push(true);
+        }
+        let x = FeatureMatrix::from_rows(&rows);
+        let model = GaussianNaiveBayes::fit(&x, &y);
+        let pred = model.predict_batch(&x);
+        assert_eq!(pred, y);
+        assert!(model.predict_proba(&[3.0, 4.0]) > 0.99);
+        assert!(model.predict_proba(&[0.0, 1.0]) < 0.01);
+    }
+
+    #[test]
+    fn prior_dominates_with_uninformative_features() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![(i % 2) as f64]).collect();
+        // 8 positives, 2 negatives, feature independent of class.
+        let y = vec![true, true, true, true, false, true, true, false, true, true];
+        let x = FeatureMatrix::from_rows(&rows);
+        let model = GaussianNaiveBayes::fit(&x, &y);
+        assert!(model.predict_proba(&[0.0]) > 0.5);
+        assert!(model.predict_proba(&[1.0]) > 0.5);
+    }
+
+    #[test]
+    fn zero_variance_features_do_not_blow_up() {
+        let x = FeatureMatrix::from_rows(&[vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0], vec![4.0, 5.0]]);
+        let y = vec![false, false, true, true];
+        let model = GaussianNaiveBayes::fit(&x, &y);
+        let p = model.predict_proba(&[3.5, 5.0]);
+        assert!(p.is_finite());
+        assert!(p > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn single_class_panics() {
+        let x = FeatureMatrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let _ = GaussianNaiveBayes::fit(&x, &[true, true]);
+    }
+}

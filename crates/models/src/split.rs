@@ -1,0 +1,107 @@
+//! Train/test splitting.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Row indices of a train/test partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainTestSplit {
+    /// Training row indices.
+    pub train: Vec<usize>,
+    /// Test row indices.
+    pub test: Vec<usize>,
+}
+
+/// Randomly partitions `0..n` into train and test sets, with
+/// `round(n · test_fraction)` test rows.
+///
+/// # Panics
+///
+/// Panics if `test_fraction` is outside `[0, 1]` or `n == 0`.
+pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> TrainTestSplit {
+    assert!(n > 0, "need at least one row");
+    assert!(
+        (0.0..=1.0).contains(&test_fraction),
+        "test fraction must be in [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut rng);
+    let n_test = (n as f64 * test_fraction).round() as usize;
+    let test = indices[..n_test].to_vec();
+    let train = indices[n_test..].to_vec();
+    TrainTestSplit { train, test }
+}
+
+/// Stratified variant: the positive fraction of `labels` is preserved
+/// (within one instance) in both sides.
+pub fn stratified_split(labels: &[bool], test_fraction: f64, seed: u64) -> TrainTestSplit {
+    assert!(!labels.is_empty(), "need at least one row");
+    assert!(
+        (0.0..=1.0).contains(&test_fraction),
+        "test fraction must be in [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pos: Vec<usize> = (0..labels.len()).filter(|&i| labels[i]).collect();
+    let mut neg: Vec<usize> = (0..labels.len()).filter(|&i| !labels[i]).collect();
+    pos.shuffle(&mut rng);
+    neg.shuffle(&mut rng);
+    let n_pos_test = (pos.len() as f64 * test_fraction).round() as usize;
+    let n_neg_test = (neg.len() as f64 * test_fraction).round() as usize;
+    let mut test: Vec<usize> = pos[..n_pos_test].to_vec();
+    test.extend_from_slice(&neg[..n_neg_test]);
+    let mut train: Vec<usize> = pos[n_pos_test..].to_vec();
+    train.extend_from_slice(&neg[n_neg_test..]);
+    test.sort_unstable();
+    train.sort_unstable();
+    TrainTestSplit { train, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_a_partition() {
+        let s = train_test_split(100, 0.3, 7);
+        assert_eq!(s.test.len(), 30);
+        assert_eq!(s.train.len(), 70);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        assert_eq!(train_test_split(50, 0.2, 1), train_test_split(50, 0.2, 1));
+        assert_ne!(train_test_split(50, 0.2, 1), train_test_split(50, 0.2, 2));
+    }
+
+    #[test]
+    fn stratified_preserves_class_balance() {
+        let labels: Vec<bool> = (0..100).map(|i| i < 20).collect();
+        let s = stratified_split(&labels, 0.25, 3);
+        let test_pos = s.test.iter().filter(|&&i| labels[i]).count();
+        assert_eq!(test_pos, 5);
+        assert_eq!(s.test.len(), 25);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let s = train_test_split(10, 0.0, 0);
+        assert!(s.test.is_empty());
+        assert_eq!(s.train.len(), 10);
+        let s = train_test_split(10, 1.0, 0);
+        assert!(s.train.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "test fraction")]
+    fn invalid_fraction_panics() {
+        let _ = train_test_split(10, 1.5, 0);
+    }
+}

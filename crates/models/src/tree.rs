@@ -1,0 +1,302 @@
+//! A CART decision tree for binary classification (gini impurity, axis-
+//! aligned threshold splits).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::matrix::FeatureMatrix;
+use crate::Classifier;
+
+/// Hyper-parameters of [`DecisionTree::fit`].
+#[derive(Debug, Clone)]
+pub struct DecisionTreeParams {
+    /// Maximum tree depth (`None` = grow until pure/exhausted).
+    pub max_depth: Option<usize>,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples in each child of a split.
+    pub min_samples_leaf: usize,
+    /// Number of features considered per split (`None` = all). Random
+    /// forests pass `⌈√n_features⌉` here.
+    pub max_features: Option<usize>,
+}
+
+impl Default for DecisionTreeParams {
+    fn default() -> Self {
+        DecisionTreeParams {
+            max_depth: None,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Fraction of positive training samples at the leaf.
+        proba: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Index of the `< threshold` child.
+        left: u32,
+        /// Index of the `>= threshold` child.
+        right: u32,
+    },
+}
+
+/// A trained CART decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree on `(x, y)`. `seed` controls feature subsampling (only
+    /// relevant when `max_features` is set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or `y.len() != x.n_rows()`.
+    pub fn fit(x: &FeatureMatrix, y: &[bool], params: &DecisionTreeParams, seed: u64) -> Self {
+        assert!(x.n_rows() > 0, "cannot fit on an empty matrix");
+        assert_eq!(x.n_rows(), y.len(), "feature/label length mismatch");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tree = DecisionTree { nodes: Vec::new(), n_features: x.n_cols() };
+        let indices: Vec<usize> = (0..x.n_rows()).collect();
+        tree.grow(x, y, indices, params, 0, &mut rng);
+        tree
+    }
+
+    /// Fits a tree on a bootstrap/selected subset of rows.
+    pub fn fit_on_rows(
+        x: &FeatureMatrix,
+        y: &[bool],
+        rows: &[usize],
+        params: &DecisionTreeParams,
+        seed: u64,
+    ) -> Self {
+        assert!(!rows.is_empty(), "cannot fit on zero rows");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tree = DecisionTree { nodes: Vec::new(), n_features: x.n_cols() };
+        tree.grow(x, y, rows.to_vec(), params, 0, &mut rng);
+        tree
+    }
+
+    /// Number of nodes in the tree.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Grows the subtree for `indices`, returning its root node index.
+    fn grow(
+        &mut self,
+        x: &FeatureMatrix,
+        y: &[bool],
+        indices: Vec<usize>,
+        params: &DecisionTreeParams,
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> u32 {
+        let n = indices.len();
+        let n_pos = indices.iter().filter(|&&i| y[i]).count();
+        let proba = n_pos as f64 / n as f64;
+
+        let stop = n < params.min_samples_split
+            || n_pos == 0
+            || n_pos == n
+            || params.max_depth.is_some_and(|d| depth >= d);
+        if !stop {
+            if let Some((feature, threshold)) = self.best_split(x, y, &indices, params, rng) {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    indices.iter().partition(|&&i| x.get(i, feature) < threshold);
+                if left_idx.len() >= params.min_samples_leaf
+                    && right_idx.len() >= params.min_samples_leaf
+                {
+                    let node = self.nodes.len() as u32;
+                    self.nodes.push(Node::Split { feature, threshold, left: 0, right: 0 });
+                    let left = self.grow(x, y, left_idx, params, depth + 1, rng);
+                    let right = self.grow(x, y, right_idx, params, depth + 1, rng);
+                    if let Node::Split { left: l, right: r, .. } = &mut self.nodes[node as usize] {
+                        *l = left;
+                        *r = right;
+                    }
+                    return node;
+                }
+            }
+        }
+        let node = self.nodes.len() as u32;
+        self.nodes.push(Node::Leaf { proba });
+        node
+    }
+
+    /// The gini-optimal `(feature, threshold)` over a (possibly subsampled)
+    /// feature set, or `None` if no split reduces impurity.
+    fn best_split(
+        &self,
+        x: &FeatureMatrix,
+        y: &[bool],
+        indices: &[usize],
+        params: &DecisionTreeParams,
+        rng: &mut StdRng,
+    ) -> Option<(usize, f64)> {
+        let mut features: Vec<usize> = (0..x.n_cols()).collect();
+        if let Some(k) = params.max_features {
+            features.shuffle(rng);
+            features.truncate(k.clamp(1, x.n_cols()));
+        }
+
+        let n = indices.len() as f64;
+        let n_pos_total = indices.iter().filter(|&&i| y[i]).count() as f64;
+        let parent_gini = gini(n_pos_total, n);
+
+        // Like sklearn's default CART, accept the best split even at zero
+        // impurity decrease (necessary for XOR-like targets where the first
+        // split alone has no gain); recursion still terminates because every
+        // split strictly shrinks both children.
+        let mut best: Option<(usize, f64)> = None;
+        let mut best_gain = f64::NEG_INFINITY;
+        let mut sorted: Vec<(f64, bool)> = Vec::with_capacity(indices.len());
+        for &feature in &features {
+            sorted.clear();
+            sorted.extend(indices.iter().map(|&i| (x.get(i, feature), y[i])));
+            sorted.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+
+            // Scan split positions between distinct consecutive values.
+            let mut pos_left = 0.0;
+            for k in 1..sorted.len() {
+                if sorted[k - 1].1 {
+                    pos_left += 1.0;
+                }
+                if sorted[k].0 == sorted[k - 1].0 {
+                    continue;
+                }
+                let n_left = k as f64;
+                let n_right = n - n_left;
+                let gini_left = gini(pos_left, n_left);
+                let gini_right = gini(n_pos_total - pos_left, n_right);
+                let weighted = (n_left * gini_left + n_right * gini_right) / n;
+                let gain = parent_gini - weighted;
+                if gain > best_gain {
+                    best_gain = gain;
+                    best = Some((feature, (sorted[k - 1].0 + sorted[k].0) / 2.0));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Gini impurity of a node with `pos` positives out of `n` samples.
+fn gini(pos: f64, n: f64) -> f64 {
+    if n == 0.0 {
+        return 0.0;
+    }
+    let p = pos / n;
+    2.0 * p * (1.0 - p)
+}
+
+impl Classifier for DecisionTree {
+    fn predict_proba(&self, row: &[f64]) -> f64 {
+        debug_assert_eq!(row.len(), self.n_features);
+        let mut node = 0u32;
+        loop {
+            match &self.nodes[node as usize] {
+                Node::Leaf { proba } => return *proba,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if row[*feature] < *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable() -> (FeatureMatrix, Vec<bool>) {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, (i % 3) as f64]).collect();
+        let y: Vec<bool> = (0..20).map(|i| i >= 10).collect();
+        (FeatureMatrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn fits_a_separable_problem_exactly() {
+        let (x, y) = separable();
+        let tree = DecisionTree::fit(&x, &y, &DecisionTreeParams::default(), 0);
+        assert_eq!(tree.predict_batch(&x), y);
+        // A single split suffices: 1 split node + 2 leaves.
+        assert_eq!(tree.n_nodes(), 3);
+    }
+
+    #[test]
+    fn learns_xor_with_depth_two() {
+        let x = FeatureMatrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ]);
+        let y = vec![false, true, true, false];
+        let tree = DecisionTree::fit(&x, &y, &DecisionTreeParams::default(), 0);
+        assert_eq!(tree.predict_batch(&x), y);
+    }
+
+    #[test]
+    fn max_depth_limits_growth() {
+        let (x, y) = separable();
+        let params = DecisionTreeParams { max_depth: Some(0), ..Default::default() };
+        let tree = DecisionTree::fit(&x, &y, &params, 0);
+        assert_eq!(tree.n_nodes(), 1);
+        // Root leaf probability = positive fraction.
+        assert!((tree.predict_proba(&[0.0, 0.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let (x, y) = separable();
+        let params = DecisionTreeParams { min_samples_leaf: 8, ..Default::default() };
+        let tree = DecisionTree::fit(&x, &y, &params, 0);
+        // Splits still possible (10/10), but not arbitrarily deep.
+        assert!(tree.n_nodes() <= 7);
+    }
+
+    #[test]
+    fn pure_node_does_not_split() {
+        let x = FeatureMatrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let y = vec![true, true, true];
+        let tree = DecisionTree::fit(&x, &y, &DecisionTreeParams::default(), 0);
+        assert_eq!(tree.n_nodes(), 1);
+        assert_eq!(tree.predict_proba(&[9.0]), 1.0);
+    }
+
+    #[test]
+    fn constant_features_yield_single_leaf() {
+        let x = FeatureMatrix::from_rows(&[vec![5.0], vec![5.0], vec![5.0], vec![5.0]]);
+        let y = vec![true, false, true, false];
+        let tree = DecisionTree::fit(&x, &y, &DecisionTreeParams::default(), 0);
+        assert_eq!(tree.n_nodes(), 1);
+    }
+
+    #[test]
+    fn fit_on_rows_restricts_training_data() {
+        let (x, y) = separable();
+        // Train only on the positive half: everything predicts positive.
+        let rows: Vec<usize> = (10..20).collect();
+        let tree = DecisionTree::fit_on_rows(&x, &y, &rows, &DecisionTreeParams::default(), 0);
+        assert!(tree.predict_row(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn gini_is_maximal_at_balanced() {
+        assert_eq!(gini(0.0, 10.0), 0.0);
+        assert_eq!(gini(10.0, 10.0), 0.0);
+        assert!((gini(5.0, 10.0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,137 @@
+//! Cross-module integration tests for the classifier substrate: every
+//! learner through the same train/evaluate pipeline with ROC, calibration,
+//! cross-validation and permutation importance.
+
+use models::{
+    auc, calibration, cross_validate, permutation_importance, Classifier, ConfusionMatrix,
+    DecisionTree, DecisionTreeParams, FeatureMatrix, GaussianNaiveBayes, GbdtParams,
+    GradientBoostedTrees, LogisticRegression, LogisticRegressionParams, Mlp, MlpParams,
+    RandomForest, RandomForestParams, RocCurve,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A noisy two-cluster problem every learner should handle.
+fn problem(n: usize, seed: u64) -> (FeatureMatrix, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let label = rng.gen::<bool>();
+        let center = if label { 1.5 } else { 0.0 };
+        rows.push(vec![
+            center + rng.gen_range(-1.0..1.0),
+            center + rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0), // noise feature
+        ]);
+        y.push(label);
+    }
+    (FeatureMatrix::from_rows(&rows), y)
+}
+
+fn all_models(x: &FeatureMatrix, y: &[bool]) -> Vec<(&'static str, Box<dyn Classifier>)> {
+    vec![
+        (
+            "tree",
+            Box::new(DecisionTree::fit(
+                x,
+                y,
+                &DecisionTreeParams { max_depth: Some(6), ..Default::default() },
+                1,
+            )),
+        ),
+        (
+            "forest",
+            Box::new(RandomForest::fit(
+                x,
+                y,
+                &RandomForestParams { n_trees: 10, max_depth: Some(6), ..Default::default() },
+                1,
+            )),
+        ),
+        ("gbdt", Box::new(GradientBoostedTrees::fit(x, y, &GbdtParams::default()))),
+        (
+            "logistic",
+            Box::new(LogisticRegression::fit(x, y, &LogisticRegressionParams::default())),
+        ),
+        (
+            "mlp",
+            Box::new(Mlp::fit(x, y, &MlpParams { epochs: 30, ..Default::default() }, 1)),
+        ),
+        ("bayes", Box::new(GaussianNaiveBayes::fit(x, y))),
+    ]
+}
+
+#[test]
+fn every_learner_beats_chance_with_sane_probabilities() {
+    let (x, y) = problem(600, 10);
+    for (name, model) in all_models(&x, &y) {
+        let proba = model.predict_proba_batch(&x);
+        assert!(
+            proba.iter().all(|p| (0.0..=1.0).contains(p)),
+            "{name}: probability out of range"
+        );
+        let model_auc = auc(&proba, &y);
+        assert!(model_auc > 0.75, "{name}: AUC {model_auc}");
+        let cm = ConfusionMatrix::from_labels(&y, &model.predict_batch(&x));
+        assert!(cm.accuracy() > 0.7, "{name}: accuracy {}", cm.accuracy());
+    }
+}
+
+#[test]
+fn roc_curves_are_monotone_for_every_learner() {
+    let (x, y) = problem(400, 11);
+    for (name, model) in all_models(&x, &y) {
+        let proba = model.predict_proba_batch(&x);
+        let curve = RocCurve::new(&proba, &y);
+        assert!(
+            curve
+                .points
+                .windows(2)
+                .all(|w| w[1].fpr >= w[0].fpr && w[1].tpr >= w[0].tpr),
+            "{name}: non-monotone ROC"
+        );
+    }
+}
+
+#[test]
+fn calibration_is_reasonable_for_probabilistic_learners() {
+    let (x, y) = problem(800, 12);
+    for (name, model) in all_models(&x, &y) {
+        let proba = model.predict_proba_batch(&x);
+        let c = calibration(&proba, &y, 10);
+        assert!(c.brier_score < 0.25, "{name}: Brier {}", c.brier_score);
+        assert!(c.ece < 0.5, "{name}: ECE {}", c.ece);
+        let total: usize = c.bins.iter().map(|b| b.count).sum();
+        assert_eq!(total, y.len(), "{name}: bins must cover all instances");
+    }
+}
+
+#[test]
+fn cross_validation_generalization_is_close_to_training_fit() {
+    let (x, y) = problem(500, 13);
+    let folds = cross_validate(&x, &y, 5, 13, |xt, yt| {
+        DecisionTree::fit(xt, yt, &DecisionTreeParams { max_depth: Some(5), ..Default::default() }, 0)
+    });
+    assert_eq!(folds.len(), 5);
+    let mean_acc = folds.iter().map(|cm| cm.accuracy()).sum::<f64>() / 5.0;
+    assert!(mean_acc > 0.7, "cv accuracy {mean_acc}");
+}
+
+#[test]
+fn permutation_importance_ignores_the_noise_feature() {
+    let (x, y) = problem(500, 14);
+    let forest = RandomForest::fit(
+        &x,
+        &y,
+        &RandomForestParams { n_trees: 10, max_depth: Some(6), ..Default::default() },
+        2,
+    );
+    let fi = permutation_importance(&forest, &x, &y, 5, 2);
+    let ranking = fi.ranking();
+    // The noise feature (index 2) must rank last.
+    assert_eq!(ranking[2].0, 2, "ranking: {ranking:?}");
+    assert!(fi.importances[0] > fi.importances[2]);
+    assert!(fi.importances[1] > fi.importances[2]);
+}

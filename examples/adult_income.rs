@@ -1,0 +1,59 @@
+//! The paper's §6.1 protocol end-to-end: train a random forest on the
+//! adult census data, then analyze *its* errors with DivExplorer, including
+//! a lattice exploration around a divergent pattern.
+//!
+//! Run with: `cargo run --release --example adult_income`
+//! (a smaller instance keeps the forest training quick)
+
+use datasets::DatasetId;
+use divexplorer::{lattice::sublattice, DivExplorer, Metric, SortBy};
+use models::{ConfusionMatrix, RandomForestParams};
+
+fn main() {
+    let mut gd = DatasetId::Adult.generate_sized(12_000, 3);
+    println!("training a random forest on {} census rows …", gd.n_rows());
+    let _forest = gd.train_rf(&RandomForestParams::fast(), 3);
+
+    let cm = ConfusionMatrix::from_labels(&gd.v, &gd.u);
+    println!(
+        "forest: accuracy = {:.3}  FPR = {:.3}  FNR = {:.3}\n",
+        cm.accuracy(),
+        cm.false_positive_rate(),
+        cm.false_negative_rate()
+    );
+
+    let report = DivExplorer::new(0.05)
+        .explore(&gd.data, &gd.v, &gd.u, &[Metric::FalsePositiveRate, Metric::FalseNegativeRate])
+        .expect("explore");
+
+    println!("-- where the forest over-predicts income (FPR divergence) --");
+    for idx in report.top_k(0, 3, SortBy::Divergence) {
+        println!(
+            "  {:<60} Δ={:+.3}",
+            report.display_itemset(&report[idx].items),
+            report.divergence(idx, 0)
+        );
+    }
+    println!("\n-- where it under-predicts (FNR divergence) --");
+    for idx in report.top_k(1, 3, SortBy::Divergence) {
+        println!(
+            "  {:<60} Δ={:+.3}",
+            report.display_itemset(&report[idx].items),
+            report.divergence(idx, 1)
+        );
+    }
+
+    // Explore the lattice below a moderately long divergent pattern.
+    let target_idx = report
+        .ranked(0, SortBy::Divergence)
+        .into_iter()
+        .find(|&i| (2..=3).contains(&report[i].items.len()))
+        .expect("a short divergent pattern exists");
+    let target = report[target_idx].items.clone();
+    println!(
+        "\n-- lattice below {} (T = 0.1) --\n",
+        report.display_itemset(&target)
+    );
+    let lattice = sublattice(&report, &target, 0, 0.1).expect("frequent target");
+    print!("{}", lattice.to_ascii());
+}

@@ -1,0 +1,79 @@
+//! Fairness audit of a black-box risk score, COMPAS-style — the paper's
+//! running example as an end-to-end scenario: overall rates, top divergent
+//! subgroups, Shapley drill-down, corrective items, global item divergence,
+//! and an ε-pruned executive summary.
+//!
+//! Run with: `cargo run --release --example compas_audit`
+
+use datasets::compas;
+use divexplorer::{
+    corrective::top_corrective, explorer::dataset_outcome_counts,
+    global_div::global_item_divergence, pruning::prune_redundant,
+    shapley::item_contributions, DivExplorer, Metric, SortBy,
+};
+
+fn main() {
+    let d = compas::generate(6172, 7).into_dataset();
+    println!("auditing a black-box risk score on {} defendants\n", d.n_rows());
+
+    let fpr = dataset_outcome_counts(&d.v, &d.u, Metric::FalsePositiveRate).rate();
+    let fnr = dataset_outcome_counts(&d.v, &d.u, Metric::FalseNegativeRate).rate();
+    println!("overall: FPR = {fpr:.3}  FNR = {fnr:.3}\n");
+
+    let metrics = [Metric::FalsePositiveRate, Metric::FalseNegativeRate];
+    let report = DivExplorer::new(0.05)
+        .explore(&d.data, &d.v, &d.u, &metrics)
+        .expect("explore");
+    println!("explored {} subgroups with support >= 5%\n", report.len());
+
+    for (m, metric) in metrics.iter().enumerate() {
+        println!("-- most {metric}-divergent subgroups --");
+        for idx in report.top_k(m, 3, SortBy::Divergence) {
+            println!(
+                "  {:<55} Δ={:+.3} t={:.1}",
+                report.display_itemset(&report[idx].items),
+                report.divergence(idx, m),
+                report.t_statistic(idx, m),
+            );
+        }
+        println!();
+    }
+
+    // Drill-down: which items drive the top FPR pattern?
+    let top = report.top_k(0, 1, SortBy::Divergence)[0];
+    let items = report[top].items.clone();
+    println!("-- Shapley drill-down: {} --", report.display_itemset(&items));
+    let mut contributions = item_contributions(&report, &items, 0).expect("complete report");
+    contributions.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (item, c) in contributions {
+        println!("  {:<22} {:+.3}", report.schema().display_item(item), c);
+    }
+
+    // Items that *reduce* divergence when added.
+    println!("\n-- corrective items (FPR) --");
+    for c in top_corrective(&report, 0, 3, Some(2.0)) {
+        println!(
+            "  {} + {:<14}  |Δ| {:.3} → {:.3}",
+            report.display_itemset(&c.base),
+            report.schema().display_item(c.item),
+            c.delta_base.abs(),
+            c.delta_extended.abs(),
+        );
+    }
+
+    // Which attribute values drive divergence across *all* subgroups?
+    println!("\n-- global item divergence (FPR), top 5 --");
+    let mut globals = global_item_divergence(&report, 0);
+    globals.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (item, g) in globals.into_iter().take(5) {
+        println!("  {:<22} {:+.5}", report.schema().display_item(item), g);
+    }
+
+    // Executive summary after redundancy pruning.
+    let retained = prune_redundant(&report, 0, 0.05);
+    println!(
+        "\nε-pruned summary: {} of {} subgroups carry non-redundant FPR divergence",
+        retained.len(),
+        report.len()
+    );
+}

@@ -1,0 +1,60 @@
+//! Intersectional fairness audit: score every sufficiently-large subgroup
+//! against the four classic group-fairness criteria in one pass, then
+//! narrow to patterns involving a protected attribute with the query API.
+//!
+//! Run with: `cargo run --release --example fairness_audit`
+
+use datasets::compas;
+use divexplorer::{
+    fairness::{audit_fairness, Criterion},
+    query::PatternQuery,
+    Metric, SortBy,
+};
+
+fn main() {
+    let d = compas::generate(6172, 23).into_dataset();
+    println!("auditing a risk score on {} defendants (s = 0.05)\n", d.n_rows());
+
+    let audit = audit_fairness(&d.data, &d.v, &d.u, 0.05).expect("explore");
+    println!("{} subgroups scored against 4 criteria\n", audit.violations.len());
+
+    for criterion in Criterion::ALL {
+        println!("-- worst subgroups by {} --", criterion.name());
+        for violation in audit.worst(criterion, 3) {
+            println!(
+                "  {:<52} deviation {:+.3}  (sup {:.2})",
+                audit.report.display_itemset(&violation.items),
+                violation.deviation(criterion),
+                violation.support,
+            );
+        }
+        println!();
+    }
+
+    let fair = audit.fair_within(0.05);
+    println!(
+        "{} of {} subgroups satisfy all four criteria within ±0.05\n",
+        fair.len(),
+        audit.violations.len()
+    );
+
+    // Focus: subgroups that mention race, ranked by equalized-odds gap.
+    let race = audit.report.schema().attribute_index("race").expect("race attribute");
+    println!("-- race-involving subgroups with the largest |Δ_FPR| --");
+    // Metric index 2 of the audit's report is FPR (PPR, TPR, FPR, PPV).
+    let hits = PatternQuery::new()
+        .require_attribute(race)
+        .min_t(2.0)
+        .order_by(SortBy::AbsDivergence)
+        .limit(4)
+        .run(&audit.report, 2);
+    for idx in hits {
+        println!(
+            "  {:<52} Δ_FPR {:+.3}  t={:.1}",
+            audit.report.display_itemset(&audit.report[idx].items),
+            audit.report.divergence(idx, 2),
+            audit.report.t_statistic(idx, 2),
+        );
+    }
+    let _ = Metric::FalsePositiveRate; // (metric constants documented above)
+}

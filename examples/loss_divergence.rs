@@ -1,0 +1,60 @@
+//! Beyond Boolean outcomes: explore the divergence of a *continuous*
+//! statistic (per-instance log loss of a trained model), and screen the
+//! Boolean exploration with false-discovery-rate control — two extensions
+//! on top of the paper's core machinery.
+//!
+//! Run with: `cargo run --release --example loss_divergence`
+
+use datasets::DatasetId;
+use divexplorer::{continuous::explore_statistic, DivExplorer, Metric};
+use models::{log_loss, Classifier, RandomForest, RandomForestParams};
+
+fn main() {
+    let gd = DatasetId::Compas.generate_sized(4_000, 13);
+    let x = gd.features();
+    let split = models::split::stratified_split(&gd.v, 0.3, 13);
+    let x_train = x.select_rows(&split.train);
+    let y_train: Vec<bool> = split.train.iter().map(|&i| gd.v[i]).collect();
+    let forest = RandomForest::fit(&x_train, &y_train, &RandomForestParams::fast(), 13);
+
+    // Per-instance log loss — a continuous "how wrong was the model here".
+    let proba = forest.predict_proba_batch(&x);
+    let losses: Vec<f64> = gd.v.iter().zip(&proba).map(|(&v, &p)| log_loss(v, p)).collect();
+    let mean_loss = losses.iter().sum::<f64>() / losses.len() as f64;
+    println!("mean log loss = {mean_loss:.3}\n");
+
+    println!("-- subgroups with the most divergent mean loss (support >= 10%) --");
+    let report = explore_statistic(&gd.data, &losses, 0.1, fpm::Algorithm::FpGrowth);
+    for idx in report.ranked().into_iter().take(5) {
+        let p = &report.patterns()[idx];
+        println!(
+            "  {:<48} mean loss {:+.3} vs dataset ({:+.3} divergence, t={:.1})",
+            report.display_itemset(&p.items),
+            p.moments.mean(),
+            report.divergence(idx),
+            report.t_statistic(idx),
+        );
+    }
+
+    // Boolean exploration with FDR screening: exhaustive search over
+    // thousands of subgroups is a multiple-comparisons minefield;
+    // Benjamini-Hochberg keeps the discovery list honest.
+    let u = forest.predict_batch(&x);
+    let bool_report = DivExplorer::new(0.05)
+        .explore(&gd.data, &gd.v, &u, &[Metric::ErrorRate])
+        .expect("explore");
+    let flagged = bool_report.significant_at_fdr(0, 0.05);
+    println!(
+        "\n-- FDR screening (q = 0.05): {} of {} subgroups survive --",
+        flagged.len(),
+        bool_report.len()
+    );
+    for &idx in flagged.iter().take(5) {
+        println!(
+            "  {:<48} Δ_ER={:+.3}  p={:.2e}",
+            bool_report.display_itemset(&bool_report[idx].items),
+            bool_report.divergence(idx, 0),
+            bool_report.p_value(idx, 0),
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: build a small dataset, explore divergence, drill into the
+//! most divergent pattern with Shapley values.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use divexplorer::{shapley::item_contributions, DatasetBuilder, DivExplorer, Metric, SortBy};
+
+fn main() {
+    // A toy hiring dataset: two attributes, ground truth v (qualified) and
+    // a screening model's predictions u.
+    let dept = [0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1u16];
+    let level = [0, 0, 1, 1, 0, 1, 0, 0, 1, 1, 0, 1u16];
+    let mut builder = DatasetBuilder::new();
+    builder.categorical("dept", &["eng", "sales"], &dept);
+    builder.categorical("level", &["junior", "senior"], &level);
+    let data = builder.build().expect("consistent columns");
+
+    let v = [false, false, false, true, true, true, false, false, true, true, false, true];
+    //       the model wrongly accepts several unqualified eng candidates:
+    let u = [true, true, false, true, true, true, false, false, true, true, false, false];
+
+    // Explore every subgroup with support >= 25%, tracking FPR and FNR.
+    let report = DivExplorer::new(0.25)
+        .explore(&data, &v, &u, &[Metric::FalsePositiveRate, Metric::FalseNegativeRate])
+        .expect("valid inputs");
+
+    println!("overall FPR = {:.2}", report.dataset_rate(0));
+    println!("frequent patterns: {}\n", report.len());
+
+    println!("subgroups ranked by FPR divergence:");
+    for idx in report.top_k(0, 5, SortBy::Divergence) {
+        println!(
+            "  {:<28} sup={:.2}  Δ_FPR={:+.2}  t={:.1}",
+            report.display_itemset(&report[idx].items),
+            report.support_fraction(idx),
+            report.divergence(idx, 0),
+            report.t_statistic(idx, 0),
+        );
+    }
+
+    // Attribute the top pattern's divergence to its items.
+    let top = report.top_k(0, 1, SortBy::Divergence)[0];
+    let items = report[top].items.clone();
+    println!(
+        "\nShapley attribution for {}:",
+        report.display_itemset(&items)
+    );
+    for (item, contribution) in item_contributions(&report, &items, 0).expect("complete report") {
+        println!("  {:<20} {:+.3}", report.schema().display_item(item), contribution);
+    }
+}

@@ -1,0 +1,191 @@
+//! Integration tests for the paper's formal claims, exercised on generated
+//! data rather than hand-built fixtures.
+
+use datasets::{compas, DatasetId};
+use divexplorer::{
+    global_div, item::for_each_subset, pruning::prune_redundant,
+    shapley::item_contributions, DivExplorer, Metric, SortBy,
+};
+
+/// Property 3.1: refining a discretization never hides divergence — for the
+/// coarse item `#prior>3`, at least one of its refined bins has divergence
+/// of equal or greater absolute value.
+#[test]
+fn property_3_1_refinement_never_hides_divergence() {
+    let raw = compas::generate(3000, 1);
+    let coarse = raw.discretize_with_priors(false);
+    let fine = raw.discretize_with_priors(true);
+
+    let report_c = DivExplorer::new(0.01)
+        .explore(&coarse, &raw.v, &raw.u, &[Metric::FalsePositiveRate])
+        .unwrap();
+    let report_f = DivExplorer::new(0.01)
+        .explore(&fine, &raw.v, &raw.u, &[Metric::FalsePositiveRate])
+        .unwrap();
+
+    // For EVERY coarse prior item, check the property against its refined
+    // partition ({0}->{0}, {[1,3]}->{1,2,3}, {>3}->{[4,7],>7}).
+    let partitions: [(&str, &[&str]); 3] = [
+        ("0", &["0"]),
+        ("[1,3]", &["1", "2", "3"]),
+        (">3", &["[4,7]", ">7"]),
+    ];
+    for (coarse_val, fine_vals) in partitions {
+        let coarse_item = coarse.schema().item_by_name("#prior", coarse_val).unwrap();
+        let Some(idx) = report_c.find(&[coarse_item]) else { continue };
+        let coarse_delta = report_c.divergence(idx, 0);
+        if coarse_delta.is_nan() {
+            continue;
+        }
+        let max_fine = fine_vals
+            .iter()
+            .filter_map(|val| {
+                let item = fine.schema().item_by_name("#prior", val)?;
+                let idx = report_f.find(&[item])?;
+                let d = report_f.divergence(idx, 0);
+                (!d.is_nan()).then_some(d.abs())
+            })
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            max_fine >= coarse_delta.abs() - 1e-9,
+            "#prior={coarse_val}: coarse |Δ|={:.4} but best refinement {:.4}",
+            coarse_delta.abs(),
+            max_fine
+        );
+    }
+}
+
+/// Theorem 5.1 (soundness and completeness) against brute-force enumeration
+/// on a generated COMPAS sample.
+#[test]
+fn theorem_5_1_soundness_and_completeness() {
+    let d = compas::generate(400, 2).into_dataset();
+    let s = 0.1;
+    let report = DivExplorer::new(s)
+        .explore(&d.data, &d.v, &d.u, &[Metric::ErrorRate])
+        .unwrap();
+
+    // Brute force: enumerate all well-formed itemsets over the schema.
+    let schema = d.data.schema();
+    let all_items: Vec<u32> = (0..schema.n_items()).collect();
+    let mut n_checked = 0usize;
+    for_each_subset(&all_items, |subset| {
+        if subset.is_empty() || subset.len() > 3 {
+            return; // cap the brute-force length for test speed
+        }
+        if schema.itemset_attributes(subset).len() != subset.len() {
+            return; // ill-formed: repeated attribute
+        }
+        n_checked += 1;
+        let support = d.data.support_set(subset).len();
+        let frequent = support as f64 / d.data.n_rows() as f64 >= s;
+        match report.find(subset) {
+            Some(idx) => {
+                assert!(frequent, "sound: reported itemset must be frequent");
+                assert_eq!(report[idx].support, support as u64, "exact support");
+            }
+            None => assert!(!frequent, "complete: frequent itemset missing"),
+        }
+    });
+    assert!(n_checked > 500, "brute force actually ran ({n_checked})");
+}
+
+/// Shapley efficiency (Σ item contributions = Δ) on every frequent pattern
+/// of a real exploration.
+#[test]
+fn shapley_efficiency_on_generated_data() {
+    let d = compas::generate(1500, 3).into_dataset();
+    let report = DivExplorer::new(0.05)
+        .explore(&d.data, &d.v, &d.u, &[Metric::FalseNegativeRate])
+        .unwrap();
+    let mut checked = 0;
+    for idx in 0..report.len() {
+        let delta = report.divergence(idx, 0);
+        if delta.is_nan() {
+            continue;
+        }
+        if let Ok(contributions) = item_contributions(&report, &report[idx].items, 0) {
+            let total: f64 = contributions.iter().map(|(_, c)| c).sum();
+            assert!(
+                (total - delta).abs() < 1e-9,
+                "efficiency violated on {}",
+                report.display_itemset(&report[idx].items)
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 50, "checked only {checked} patterns");
+}
+
+/// Divergence is not monotone (§4.2): generated data must contain a pattern
+/// whose extension has strictly smaller |Δ| — i.e. corrective items exist.
+#[test]
+fn divergence_is_not_monotone_on_generated_data() {
+    let d = compas::generate(2000, 4).into_dataset();
+    let report = DivExplorer::new(0.05)
+        .explore(&d.data, &d.v, &d.u, &[Metric::FalsePositiveRate])
+        .unwrap();
+    let corrective = divexplorer::corrective::corrective_items(&report, 0);
+    assert!(
+        !corrective.is_empty(),
+        "COMPAS-like data must exhibit corrective items"
+    );
+    // And spot-check the definition on the top one.
+    let top = &corrective[0];
+    assert!(top.delta_extended.abs() < top.delta_base.abs());
+}
+
+/// Theorem 4.2's phenomenon end-to-end: on the artificial dataset, items of
+/// a, b, c have near-zero individual divergence but dominant global
+/// divergence.
+#[test]
+fn global_divergence_separates_joint_causes() {
+    let d = DatasetId::Artificial.generate_sized(20_000, 5);
+    let report = DivExplorer::new(0.01)
+        .explore(&d.data, &d.v, &d.u, &[Metric::FalsePositiveRate])
+        .unwrap();
+    let globals = global_div::global_item_divergence(&report, 0);
+    let schema = report.schema();
+    let is_abc = |item: u32| {
+        let name = schema.display_item(item);
+        name.starts_with("a=") || name.starts_with("b=") || name.starts_with("c=")
+    };
+    let abc_min = globals
+        .iter()
+        .filter(|&&(i, _)| is_abc(i))
+        .map(|&(_, g)| g)
+        .fold(f64::INFINITY, f64::min);
+    let rest_max = globals
+        .iter()
+        .filter(|&&(i, _)| !is_abc(i))
+        .map(|&(_, g)| g.abs())
+        .fold(0.0, f64::max);
+    assert!(
+        abc_min > rest_max,
+        "every a/b/c item ({abc_min:.5}) should outrank every other item ({rest_max:.5})"
+    );
+}
+
+/// Pruning + ranking interplay: the ε-pruned top pattern must be a compact
+/// core whose every item matters.
+#[test]
+fn pruning_yields_minimal_cores() {
+    let d = compas::generate(2000, 6).into_dataset();
+    let report = DivExplorer::new(0.05)
+        .explore(&d.data, &d.v, &d.u, &[Metric::FalsePositiveRate])
+        .unwrap();
+    let eps = 0.03;
+    let retained = prune_redundant(&report, 0, eps);
+    assert!(!retained.is_empty());
+    assert!(retained.len() < report.len());
+    for &idx in retained.iter().take(20) {
+        let items = &report[idx].items;
+        let delta = report.divergence(idx, 0);
+        for &alpha in items {
+            let base = divexplorer::item::without(items, alpha);
+            let base_delta = report.divergence_of(&base, 0).unwrap();
+            assert!((delta - base_delta).abs() > eps);
+        }
+    }
+    let _ = report.ranked(0, SortBy::Divergence);
+}

@@ -1,0 +1,155 @@
+//! Property-based integration tests over random datasets and labelings:
+//! the exploration must match brute force, and the analysis layers must
+//! satisfy their invariants regardless of the input.
+
+use divexplorer::{
+    item::{for_each_subset, without},
+    shapley::item_contributions,
+    DatasetBuilder, DiscreteDataset, DivExplorer, Metric,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random discrete dataset over 3 attributes with 2–3 values
+/// each, plus random ground truth and predictions.
+fn random_input() -> impl Strategy<Value = (DiscreteDataset, Vec<bool>, Vec<bool>)> {
+    (2u16..4, 2u16..4, 8usize..26).prop_flat_map(|(card_a, card_b, n)| {
+        let col_a = proptest::collection::vec(0..card_a, n);
+        let col_b = proptest::collection::vec(0..card_b, n);
+        let col_c = proptest::collection::vec(0..2u16, n);
+        let v = proptest::collection::vec(any::<bool>(), n);
+        let u = proptest::collection::vec(any::<bool>(), n);
+        (col_a, col_b, col_c, v, u).prop_map(move |(a, b, c, v, u)| {
+            let labels_a: Vec<&str> = ["a0", "a1", "a2"][..card_a as usize].to_vec();
+            let labels_b: Vec<&str> = ["b0", "b1", "b2"][..card_b as usize].to_vec();
+            let mut builder = DatasetBuilder::new();
+            builder.categorical("A", &labels_a, &a);
+            builder.categorical("B", &labels_b, &b);
+            builder.categorical("C", &["c0", "c1"], &c);
+            (builder.build().unwrap(), v, u)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exploration_matches_brute_force((data, v, u) in random_input(), s in 0.05f64..0.6) {
+        let report = DivExplorer::new(s)
+            .explore(&data, &v, &u, &[Metric::ErrorRate])
+            .unwrap();
+        let schema = data.schema();
+        let all_items: Vec<u32> = (0..schema.n_items()).collect();
+        for_each_subset(&all_items, |subset| {
+            if subset.is_empty() || schema.itemset_attributes(subset).len() != subset.len() {
+                return;
+            }
+            let support = data.support_set(subset).len();
+            let frequent = support as f64 / data.n_rows() as f64 >= s;
+            assert_eq!(report.find(subset).is_some(), frequent,
+                "itemset {:?} support {}", subset, support);
+            if let Some(idx) = report.find(subset) {
+                assert_eq!(report.patterns()[idx].support, support as u64);
+            }
+        });
+    }
+
+    #[test]
+    fn shapley_efficiency_holds_for_every_pattern((data, v, u) in random_input()) {
+        let report = DivExplorer::new(0.05)
+            .explore(&data, &v, &u, &[Metric::ErrorRate])
+            .unwrap();
+        for idx in 0..report.len() {
+            let delta = report.divergence(idx, 0);
+            if delta.is_nan() { continue; }
+            if let Ok(contributions) = item_contributions(&report, &report[idx].items, 0) {
+                let total: f64 = contributions.iter().map(|(_, c)| c).sum();
+                prop_assert!((total - delta).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rates_are_bounded_and_divergences_consistent((data, v, u) in random_input()) {
+        let report = DivExplorer::new(0.1)
+            .explore(&data, &v, &u, &[Metric::FalsePositiveRate, Metric::Accuracy])
+            .unwrap();
+        for idx in 0..report.len() {
+            for m in 0..2 {
+                let rate = report.rate(idx, m);
+                if !rate.is_nan() {
+                    prop_assert!((0.0..=1.0).contains(&rate));
+                    let delta = report.divergence(idx, m);
+                    prop_assert!((delta - (rate - report.dataset_rate(m))).abs() < 1e-12);
+                }
+                // t-statistics are always finite and non-negative thanks to
+                // the Beta posterior.
+                let t = report.t_statistic(idx, m);
+                prop_assert!(t.is_finite() && t >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_is_sound_and_monotone((data, v, u) in random_input()) {
+        let report = DivExplorer::new(0.05)
+            .explore(&data, &v, &u, &[Metric::ErrorRate])
+            .unwrap();
+        let mut previous = usize::MAX;
+        for eps in [0.0, 0.05, 0.1, 0.3] {
+            let retained = divexplorer::pruning::prune_redundant(&report, 0, eps);
+            prop_assert!(retained.len() <= previous, "retention must shrink with ε");
+            previous = retained.len();
+            for &idx in &retained {
+                let items = &report[idx].items;
+                let delta = report.divergence(idx, 0);
+                for &alpha in items {
+                    let base_delta =
+                        report.divergence_of(&without(items, alpha), 0).unwrap();
+                    prop_assert!((delta - base_delta).abs() > eps);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrective_items_satisfy_their_definition((data, v, u) in random_input()) {
+        let report = DivExplorer::new(0.05)
+            .explore(&data, &v, &u, &[Metric::ErrorRate])
+            .unwrap();
+        for c in divexplorer::corrective::corrective_items(&report, 0) {
+            prop_assert!(c.delta_extended.abs() < c.delta_base.abs());
+            prop_assert!(c.corrective_factor > 0.0);
+            // The extended itemset must be frequent and contain the item.
+            let extended = divexplorer::item::with(&c.base, c.item);
+            prop_assert!(report.find(&extended).is_some());
+        }
+    }
+
+    #[test]
+    fn lattice_nodes_mirror_the_report((data, v, u) in random_input()) {
+        let report = DivExplorer::new(0.05)
+            .explore(&data, &v, &u, &[Metric::ErrorRate])
+            .unwrap();
+        // Take the longest frequent pattern as the lattice target.
+        let Some(idx) = (0..report.len()).max_by_key(|&i| report[i].items.len()) else {
+            return Ok(());
+        };
+        let target = report[idx].items.clone();
+        let lattice = divexplorer::lattice::sublattice(&report, &target, 0, 0.1).unwrap();
+        prop_assert_eq!(lattice.nodes.len(), 1 << target.len());
+        for node in &lattice.nodes {
+            if node.items.is_empty() {
+                prop_assert_eq!(node.delta, 0.0);
+            } else {
+                let i = report.find(&node.items).unwrap();
+                let expected = report.divergence(i, 0);
+                if expected.is_nan() {
+                    prop_assert!(node.delta.is_nan());
+                } else {
+                    prop_assert!((node.delta - expected).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Integration test for the §6.6 bias-injection pipeline (the machinery
+//! behind Figure 12): poison a subgroup, train the MLP, verify the bias is
+//! learned, and verify DivExplorer surfaces the injected pattern.
+
+use datasets::{bias::inject_bias_in_rows, compas};
+use divexplorer::{DivExplorer, Metric, SortBy};
+use models::{train_test_split, Classifier, Mlp, MlpParams};
+
+#[test]
+fn injected_bias_is_learned_and_recovered() {
+    let raw = compas::generate(3000, 21);
+    let data = raw.discretize();
+    let mut v = raw.v.clone();
+    let schema = data.schema();
+    let mut injected = vec![
+        schema.item_by_name("age", ">45").unwrap(),
+        schema.item_by_name("charge", "M").unwrap(),
+    ];
+    injected.sort_unstable();
+
+    let split = train_test_split(data.n_rows(), 0.4, 21);
+    let affected = inject_bias_in_rows(&data, &mut v, &injected, true, &split.train);
+    assert!(affected.len() > 50, "subgroup too small: {}", affected.len());
+
+    // Train on poisoned labels with one-hot features.
+    let gd = datasets::GeneratedDataset {
+        name: "t".into(),
+        data: data.clone(),
+        v: v.clone(),
+        u: vec![false; data.n_rows()],
+    };
+    let features = gd.features_one_hot();
+    let x_train = features.select_rows(&split.train);
+    let y_train: Vec<bool> = split.train.iter().map(|&r| v[r]).collect();
+    let mlp = Mlp::fit(&x_train, &y_train, &MlpParams { epochs: 40, ..Default::default() }, 21);
+
+    // The model must have absorbed the bias: near-total positive
+    // prediction inside the subgroup on the *test* split.
+    let test_data = data.select_rows(&split.test);
+    let x_test = features.select_rows(&split.test);
+    let u_test = mlp.predict_batch(&x_test);
+    let v_test: Vec<bool> = split.test.iter().map(|&r| raw.v[r]).collect();
+    let in_group: Vec<usize> = (0..test_data.n_rows())
+        .filter(|&r| test_data.covers(r, &injected))
+        .collect();
+    assert!(in_group.len() > 20);
+    let positive_rate = in_group.iter().filter(|&&r| u_test[r]).count() as f64
+        / in_group.len() as f64;
+    assert!(positive_rate > 0.9, "bias not learned: {positive_rate}");
+
+    // DivExplorer on the unpoisoned test split: the injected pattern must
+    // rank at the very top of the FPR divergence (among its Δ-ties).
+    let report = DivExplorer::new(0.04)
+        .explore(&test_data, &v_test, &u_test, &[Metric::FalsePositiveRate])
+        .unwrap();
+    let idx = report.find(&injected).expect("injected pattern frequent");
+    let delta = report.divergence(idx, 0);
+    assert!(delta > 0.3, "injected pattern should be strongly divergent: {delta}");
+
+    let ranked = report.ranked(0, SortBy::Divergence);
+    let rank = ranked.iter().position(|&i| i == idx).unwrap();
+    let top_delta = report.divergence(ranked[0], 0);
+    assert!(
+        delta >= top_delta - 1e-9 || rank < 25,
+        "injected pattern buried at rank {rank} (Δ={delta:.3} vs top {top_delta:.3})"
+    );
+}
