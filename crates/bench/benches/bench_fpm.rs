@@ -12,7 +12,11 @@ fn bench_backends(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    for (id, s) in [(DatasetId::Compas, 0.05), (DatasetId::Bank, 0.1), (DatasetId::German, 0.1)] {
+    for (id, s) in [
+        (DatasetId::Compas, 0.05),
+        (DatasetId::Bank, 0.1),
+        (DatasetId::German, 0.1),
+    ] {
         let gd = id.generate(42);
         for algo in Algorithm::ALL {
             group.bench_with_input(

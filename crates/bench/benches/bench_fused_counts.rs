@@ -15,9 +15,7 @@ fn bench_fused_vs_posthoc(c: &mut Criterion) {
         .v
         .iter()
         .zip(&gd.u)
-        .map(|(&vi, &ui)| {
-            OutcomeCounts::from_outcome(Metric::FalsePositiveRate.outcome(vi, ui))
-        })
+        .map(|(&vi, &ui)| OutcomeCounts::from_outcome(Metric::FalsePositiveRate.outcome(vi, ui)))
         .collect();
 
     let mut group = c.benchmark_group("fused_counts");

@@ -7,8 +7,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datasets::DatasetId;
 use divexplorer::{
-    corrective::corrective_items, global_div::global_item_divergence,
-    pruning::prune_redundant, shapley::item_contributions, DivExplorer, Metric,
+    corrective::corrective_items, global_div::global_item_divergence, pruning::prune_redundant,
+    shapley::item_contributions, DivExplorer, Metric,
 };
 
 fn bench_analysis(c: &mut Criterion) {
@@ -22,8 +22,8 @@ fn bench_analysis(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     for len in 1..=5usize {
-        if let Some(idx) = (0..report.len()).find(|&i| report[i].items.len() == len) {
-            let items = report[idx].items.clone();
+        if let Some(idx) = (0..report.len()).find(|&i| report.items(i).len() == len) {
+            let items = report.items(idx).to_vec();
             group.bench_with_input(BenchmarkId::from_parameter(len), &items, |b, items| {
                 b.iter(|| item_contributions(&report, items, 0).unwrap())
             });
@@ -36,7 +36,9 @@ fn bench_analysis(c: &mut Criterion) {
     group.bench_function("global_item_divergence", |b| {
         b.iter(|| global_item_divergence(&report, 0))
     });
-    group.bench_function("corrective_items", |b| b.iter(|| corrective_items(&report, 0)));
+    group.bench_function("corrective_items", |b| {
+        b.iter(|| corrective_items(&report, 0))
+    });
     group.bench_function("redundancy_pruning", |b| {
         b.iter(|| prune_redundant(&report, 0, 0.05))
     });

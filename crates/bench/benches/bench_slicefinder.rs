@@ -10,12 +10,11 @@ use slicefinder::{find_slices, SliceFinderParams};
 fn bench_comparison(c: &mut Criterion) {
     // A 20k-row instance keeps iterations fast while preserving the shape.
     let d = artificial::generate(20_000, 42);
-    let losses: Vec<f64> = d
-        .v
-        .iter()
-        .zip(&d.u)
-        .map(|(&vi, &ui)| log_loss(vi, if ui { 0.99 } else { 0.01 }))
-        .collect();
+    let losses: Vec<f64> =
+        d.v.iter()
+            .zip(&d.u)
+            .map(|(&vi, &ui)| log_loss(vi, if ui { 0.99 } else { 0.01 }))
+            .collect();
 
     let mut group = c.benchmark_group("vs_slicefinder");
     group.sample_size(10);

@@ -14,7 +14,10 @@ use divexplorer::{
 };
 
 fn main() {
-    banner("Ablation", "Exact vs sampled Shapley attribution (adult FPR, s=0.05)");
+    banner(
+        "Ablation",
+        "Exact vs sampled Shapley attribution (adult FPR, s=0.05)",
+    );
     let gd = DatasetId::Adult.generate_sized(20_000, 42);
     let report = DivExplorer::new(0.05)
         .explore(&gd.data, &gd.v, &gd.u, &[Metric::FalsePositiveRate])
@@ -29,7 +32,7 @@ fn main() {
     ]);
     for len in 1..=7usize {
         let sample: Vec<usize> = (0..report.len())
-            .filter(|&i| report[i].items.len() == len)
+            .filter(|&i| report.items(i).len() == len)
             .take(30)
             .collect();
         if sample.is_empty() {
@@ -38,14 +41,14 @@ fn main() {
         let (exact_all, t_exact) = timed(|| {
             sample
                 .iter()
-                .filter_map(|&i| item_contributions(&report, &report[i].items, 0).ok())
+                .filter_map(|&i| item_contributions(&report, report.items(i), 0).ok())
                 .collect::<Vec<_>>()
         });
         let (sampled_all, t_sampled) = timed(|| {
             sample
                 .iter()
                 .filter_map(|&i| {
-                    item_contributions_sampled(&report, &report[i].items, 0, 200, 42).ok()
+                    item_contributions_sampled(&report, report.items(i), 0, 200, 42).ok()
                 })
                 .collect::<Vec<_>>()
         });

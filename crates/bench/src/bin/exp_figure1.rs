@@ -7,7 +7,10 @@ use datasets::compas;
 use divexplorer::{DivExplorer, Metric};
 
 fn main() {
-    banner("Figure 1", "#prior item divergence under 3-bin vs 6-bin discretization (s=0.05)");
+    banner(
+        "Figure 1",
+        "#prior item divergence under 3-bin vs 6-bin discretization (s=0.05)",
+    );
     let raw = compas::generate(6172, 42);
 
     let mut max_coarse_over3 = f64::NEG_INFINITY;

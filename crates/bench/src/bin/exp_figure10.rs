@@ -7,7 +7,10 @@ use datasets::DatasetId;
 use divexplorer::{pruning::pruning_curve, DivExplorer, Metric};
 
 fn main() {
-    banner("Figure 10", "Retained itemsets vs pruning threshold ε (FPR divergence)");
+    banner(
+        "Figure 10",
+        "Retained itemsets vs pruning threshold ε (FPR divergence)",
+    );
     let epsilons = [0.0, 0.01, 0.02, 0.05, 0.1, 0.2];
 
     for (id, supports) in [

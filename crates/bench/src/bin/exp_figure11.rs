@@ -5,10 +5,15 @@
 
 use bench::{banner, fmt_f};
 use datasets::DatasetId;
-use divexplorer::{corrective::top_corrective, item::with, lattice::sublattice, DivExplorer, Metric};
+use divexplorer::{
+    corrective::top_corrective, item::with, lattice::sublattice, DivExplorer, Metric,
+};
 
 fn main() {
-    banner("Figure 11", "Lattice with a corrective phenomenon, adult FNR (s=0.05, T=0.15)");
+    banner(
+        "Figure 11",
+        "Lattice with a corrective phenomenon, adult FNR (s=0.05, T=0.15)",
+    );
     let gd = DatasetId::Adult.generate(42);
     let report = DivExplorer::new(0.05)
         .explore(&gd.data, &gd.v, &gd.u, &[Metric::FalseNegativeRate])
@@ -41,7 +46,10 @@ fn main() {
         n_corrective,
         n_highlighted
     );
-    assert!(n_corrective > 0, "the lattice should exhibit the corrective phenomenon");
+    assert!(
+        n_corrective > 0,
+        "the lattice should exhibit the corrective phenomenon"
+    );
 
     println!("\nGraphviz DOT (paste into `dot -Tpng`):\n");
     println!("{}", lattice.to_dot());

@@ -11,20 +11,20 @@ use bench::userstudy::{prepare, run_study};
 use bench::{banner, fmt_f, TextTable};
 
 fn main() {
-    banner("Figure 12", "Simulated user study: recovering injected bias {age>45, charge=M}");
+    banner(
+        "Figure 12",
+        "Simulated user study: recovering injected bias {age>45, charge=M}",
+    );
     let setup = prepare(6172, 42);
     println!(
         "test split: {} rows; biased-model test error = {:.3}",
         setup.data.n_rows(),
-        setup
-            .v
-            .iter()
-            .zip(&setup.u)
-            .filter(|(a, b)| a != b)
-            .count() as f64
-            / setup.v.len() as f64
+        setup.v.iter().zip(&setup.u).filter(|(a, b)| a != b).count() as f64 / setup.v.len() as f64
     );
-    println!("injected pattern: {}\n", setup.data.schema().display_itemset(&setup.injected));
+    println!(
+        "injected pattern: {}\n",
+        setup.data.schema().display_itemset(&setup.injected)
+    );
 
     let users_per_group = std::env::var("DIVEXP_USERS")
         .ok()

@@ -6,7 +6,10 @@ use datasets::compas;
 use divexplorer::{shapley::item_contributions, DivExplorer, Metric, SortBy};
 
 fn main() {
-    banner("Figure 2", "Item contributions to the top FPR/FNR COMPAS patterns (s=0.1)");
+    banner(
+        "Figure 2",
+        "Item contributions to the top FPR/FNR COMPAS patterns (s=0.1)",
+    );
     let d = compas::generate(6172, 42).into_dataset();
     let metrics = [Metric::FalsePositiveRate, Metric::FalseNegativeRate];
     let report = DivExplorer::new(0.1)
@@ -15,7 +18,7 @@ fn main() {
 
     for (m, metric) in metrics.iter().enumerate() {
         let top = report.top_k(m, 1, SortBy::Divergence)[0];
-        let items = report[top].items.clone();
+        let items = report.items(top).to_vec();
         let delta = report.divergence(top, m);
         println!(
             "top Δ_{metric} pattern: {}  (Δ = {})",
@@ -23,7 +26,10 @@ fn main() {
             fmt_f(delta, 3)
         );
         let contributions = item_contributions(&report, &items, m).expect("shapley");
-        let max_abs = contributions.iter().map(|(_, c)| c.abs()).fold(0.0, f64::max);
+        let max_abs = contributions
+            .iter()
+            .map(|(_, c)| c.abs())
+            .fold(0.0, f64::max);
         let mut table = TextTable::new(["item", "Δ(α|I)", ""]);
         let mut total = 0.0;
         for (item, c) in &contributions {

@@ -8,7 +8,10 @@ use divexplorer::{
 };
 
 fn main() {
-    banner("Figure 3", "Shapley contributions inside a corrected itemset (COMPAS FPR, s=0.05)");
+    banner(
+        "Figure 3",
+        "Shapley contributions inside a corrected itemset (COMPAS FPR, s=0.05)",
+    );
     let d = compas::generate(6172, 42).into_dataset();
     let report = DivExplorer::new(0.05)
         .explore(&d.data, &d.v, &d.u, &[Metric::FalsePositiveRate])
@@ -30,10 +33,17 @@ fn main() {
     );
 
     let contributions = item_contributions(&report, &extended, 0).expect("shapley");
-    let max_abs = contributions.iter().map(|(_, c)| c.abs()).fold(0.0, f64::max);
+    let max_abs = contributions
+        .iter()
+        .map(|(_, c)| c.abs())
+        .fold(0.0, f64::max);
     let mut table = TextTable::new(["item", "Δ(α|I)", ""]);
     for (item, c) in &contributions {
-        table.row([report.schema().display_item(*item), fmt_f(*c, 3), bar(*c, max_abs, 30)]);
+        table.row([
+            report.schema().display_item(*item),
+            fmt_f(*c, 3),
+            bar(*c, max_abs, 30),
+        ]);
     }
     table.print();
 

@@ -7,7 +7,10 @@ use datasets::artificial;
 use divexplorer::{global_div::global_item_divergence, DivExplorer, Metric};
 
 fn main() {
-    banner("Figure 4", "Global vs individual item divergence, artificial dataset (s=0.01)");
+    banner(
+        "Figure 4",
+        "Global vs individual item divergence, artificial dataset (s=0.01)",
+    );
     let d = artificial::generate(50_000, 42);
     let report = DivExplorer::new(0.01)
         .explore(&d.data, &d.v, &d.u, &[Metric::FalsePositiveRate])

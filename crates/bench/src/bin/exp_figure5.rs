@@ -7,7 +7,10 @@ use datasets::compas;
 use divexplorer::{global_div::global_item_divergence, DivExplorer, Metric};
 
 fn main() {
-    banner("Figure 5", "Global vs individual item divergence, COMPAS FPR (s=0.1)");
+    banner(
+        "Figure 5",
+        "Global vs individual item divergence, COMPAS FPR (s=0.1)",
+    );
     let d = compas::generate(6172, 42).into_dataset();
     let report = DivExplorer::new(0.1)
         .explore(&d.data, &d.v, &d.u, &[Metric::FalsePositiveRate])

@@ -11,7 +11,10 @@ use divexplorer::{DivExplorer, Metric};
 
 fn main() {
     banner("Figure 6", "Execution time vs minimum support threshold");
-    let reps: usize = std::env::var("DIVEXP_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let reps: usize = std::env::var("DIVEXP_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
     let supports = [0.01, 0.05, 0.1, 0.15, 0.2];
 
     let mut table = TextTable::new(["dataset", "s=0.01", "s=0.05", "s=0.1", "s=0.15", "s=0.2"]);
@@ -42,6 +45,8 @@ fn main() {
         );
     }
     table.print();
-    println!("\nShape check (paper): runtime decreases as the support threshold grows;\n\
-              german is the most expensive dataset at s=0.01.");
+    println!(
+        "\nShape check (paper): runtime decreases as the support threshold grows;\n\
+              german is the most expensive dataset at s=0.01."
+    );
 }

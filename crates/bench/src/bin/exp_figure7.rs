@@ -6,7 +6,10 @@ use datasets::DatasetId;
 use divexplorer::{DivExplorer, Metric};
 
 fn main() {
-    banner("Figure 7", "Number of frequent itemsets vs minimum support threshold");
+    banner(
+        "Figure 7",
+        "Number of frequent itemsets vs minimum support threshold",
+    );
     let supports = [0.01, 0.05, 0.1, 0.15, 0.2];
 
     let mut table = TextTable::new(["dataset", "s=0.01", "s=0.05", "s=0.1", "s=0.15", "s=0.2"]);
@@ -40,5 +43,8 @@ fn main() {
         "\nShape check (paper): german explodes at low support \
          ({german_at_low} vs at most {others_max_at_low} for the others at s=0.01)."
     );
-    assert!(german_at_low > others_max_at_low, "german should dominate at s=0.01");
+    assert!(
+        german_at_low > others_max_at_low,
+        "german should dominate at s=0.01"
+    );
 }

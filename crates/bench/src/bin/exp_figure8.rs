@@ -6,7 +6,10 @@ use datasets::DatasetId;
 use divexplorer::{shapley::item_contributions, DivExplorer, Metric, SortBy};
 
 fn main() {
-    banner("Figure 8", "Item contributions to the top adult FPR/FNR patterns (s=0.05)");
+    banner(
+        "Figure 8",
+        "Item contributions to the top adult FPR/FNR patterns (s=0.05)",
+    );
     let gd = DatasetId::Adult.generate(42);
     let metrics = [Metric::FalsePositiveRate, Metric::FalseNegativeRate];
     let report = DivExplorer::new(0.05)
@@ -15,17 +18,24 @@ fn main() {
 
     for (m, metric) in metrics.iter().enumerate() {
         let top = report.top_k(m, 1, SortBy::Divergence)[0];
-        let items = report[top].items.clone();
+        let items = report.items(top).to_vec();
         println!(
             "top Δ_{metric} pattern: {}  (Δ = {})",
             report.display_itemset(&items),
             fmt_f(report.divergence(top, m), 3)
         );
         let contributions = item_contributions(&report, &items, m).expect("shapley");
-        let max_abs = contributions.iter().map(|(_, c)| c.abs()).fold(0.0, f64::max);
+        let max_abs = contributions
+            .iter()
+            .map(|(_, c)| c.abs())
+            .fold(0.0, f64::max);
         let mut table = TextTable::new(["item", "Δ(α|I)", ""]);
         for (item, c) in &contributions {
-            table.row([report.schema().display_item(*item), fmt_f(*c, 3), bar(*c, max_abs, 30)]);
+            table.row([
+                report.schema().display_item(*item),
+                fmt_f(*c, 3),
+                bar(*c, max_abs, 30),
+            ]);
         }
         table.print();
         println!();

@@ -9,7 +9,10 @@ use datasets::DatasetId;
 use divexplorer::{global_div::global_item_divergence, DivExplorer, Metric};
 
 fn main() {
-    banner("Figure 9", "Global vs individual item divergence, adult FPR (s=0.05), top 12");
+    banner(
+        "Figure 9",
+        "Global vs individual item divergence, adult FPR (s=0.05), top 12",
+    );
     let gd = DatasetId::Adult.generate(42);
     let report = DivExplorer::new(0.05)
         .explore(&gd.data, &gd.v, &gd.u, &[Metric::FalsePositiveRate])
@@ -24,13 +27,15 @@ fn main() {
     let individuals: Vec<f64> = globals
         .iter()
         .map(|&(item, _)| {
-            report.find(&[item]).map(|idx| report.divergence(idx, 0)).unwrap_or(f64::NAN)
+            report
+                .find(&[item])
+                .map(|idx| report.divergence(idx, 0))
+                .unwrap_or(f64::NAN)
         })
         .collect();
     let i_max = individuals.iter().map(|d| d.abs()).fold(0.0, f64::max);
 
-    let mut table =
-        TextTable::new(["item", "global Δᵍ", "(rel)", "individual Δ", "(rel)"]);
+    let mut table = TextTable::new(["item", "global Δᵍ", "(rel)", "individual Δ", "(rel)"]);
     for (&(item, g), &ind) in globals.iter().zip(&individuals) {
         table.row([
             schema.display_item(item),
@@ -44,17 +49,22 @@ fn main() {
 
     // The edu=Masters contrast.
     if let Some(masters) = schema.item_by_name("edu", "Masters") {
-        let ind = report.find(&[masters]).map(|i| report.divergence(i, 0)).unwrap_or(f64::NAN);
+        let ind = report
+            .find(&[masters])
+            .map(|i| report.divergence(i, 0))
+            .unwrap_or(f64::NAN);
         let all_globals = global_item_divergence(&report, 0);
-        let glob = all_globals.iter().find(|(i, _)| *i == masters).map(|(_, g)| *g).unwrap_or(0.0);
+        let glob = all_globals
+            .iter()
+            .find(|(i, _)| *i == masters)
+            .map(|(_, g)| *g)
+            .unwrap_or(0.0);
         println!(
             "\nedu=Masters: individual Δ = {} (rank it among the columns above) vs \
              global Δᵍ = {}",
             fmt_f(ind, 3),
             fmt_f(glob, 5)
         );
-        println!(
-            "Shape check (paper): its individual divergence is high, its global role minor."
-        );
+        println!("Shape check (paper): its individual divergence is high, its global role minor.");
     }
 }

@@ -13,7 +13,10 @@ use models::log_loss;
 use slicefinder::{find_slices, SliceFinderParams};
 
 fn main() {
-    banner("§6.5", "DivExplorer vs Slice Finder on the artificial dataset");
+    banner(
+        "§6.5",
+        "DivExplorer vs Slice Finder on the artificial dataset",
+    );
     let d = artificial::generate(50_000, 42);
 
     // --- DivExplorer, s = 0.01. ---
@@ -22,36 +25,44 @@ fn main() {
             .explore(&d.data, &d.v, &d.u, &[Metric::FalsePositiveRate])
             .expect("explore")
     });
-    println!("DivExplorer (s=0.01): {:.2}s, {} itemsets", t_div.as_secs_f64(), report.len());
+    println!(
+        "DivExplorer (s=0.01): {:.2}s, {} itemsets",
+        t_div.as_secs_f64(),
+        report.len()
+    );
     let mut table = TextTable::new(["rank", "itemset", "Δ_FPR", "len"]);
     let top = report.top_k(0, 2, SortBy::Divergence);
     for (rank, &idx) in top.iter().enumerate() {
         table.row([
             (rank + 1).to_string(),
-            report.display_itemset(&report[idx].items),
+            report.display_itemset(report.items(idx)),
             fmt_f(report.divergence(idx, 0), 3),
-            report[idx].items.len().to_string(),
+            report.items(idx).len().to_string(),
         ]);
     }
     table.print();
-    let top_names: Vec<String> =
-        top.iter().map(|&i| report.display_itemset(&report[i].items)).collect();
+    let top_names: Vec<String> = top
+        .iter()
+        .map(|&i| report.display_itemset(report.items(i)))
+        .collect();
     let found_abc = top_names.iter().all(|n| {
         (n.contains("a=0") && n.contains("b=0") && n.contains("c=0"))
             || (n.contains("a=1") && n.contains("b=1") && n.contains("c=1"))
     });
-    assert!(found_abc, "DivExplorer must rank a=b=c itemsets first, got {top_names:?}");
+    assert!(
+        found_abc,
+        "DivExplorer must rank a=b=c itemsets first, got {top_names:?}"
+    );
     println!("=> DivExplorer identifies both a=b=c itemsets as the top divergences.\n");
 
     // --- Slice Finder: losses from the same predictions (0/1 loss through
     // log loss on hard labels, as its published code does with predicted
     // probabilities; hard labels keep the comparison tool-agnostic). ---
-    let losses: Vec<f64> = d
-        .v
-        .iter()
-        .zip(&d.u)
-        .map(|(&vi, &ui)| log_loss(vi, if ui { 0.99 } else { 0.01 }))
-        .collect();
+    let losses: Vec<f64> =
+        d.v.iter()
+            .zip(&d.u)
+            .map(|(&vi, &ui)| log_loss(vi, if ui { 0.99 } else { 0.01 }))
+            .collect();
 
     // The paper raises T to 1.65 on its loss scale; with our hard-label log
     // loss the a=b=c triples sit at Cohen's d ≈ 1.1 and their length-2

@@ -14,7 +14,12 @@ fn main() {
     println!("overall FPR = {fpr:.3}   overall FNR = {fnr:.3}   (paper: 0.088 / 0.698)\n");
 
     let report = DivExplorer::new(0.01)
-        .explore(&d.data, &d.v, &d.u, &[Metric::FalsePositiveRate, Metric::FalseNegativeRate])
+        .explore(
+            &d.data,
+            &d.v,
+            &d.u,
+            &[Metric::FalsePositiveRate, Metric::FalseNegativeRate],
+        )
         .expect("explore");
     let schema = report.schema().clone();
     let item = |attr: &str, value: &str| {
@@ -26,19 +31,40 @@ fn main() {
     // The table's example patterns.
     let examples: Vec<(Vec<divexplorer::ItemId>, Metric, usize)> = vec![
         (
-            vec![item("age", "25-45"), item("#prior", ">3"), item("race", "Afr-Am"), item("sex", "Male")],
-            Metric::FalsePositiveRate,
-            0,
-        ),
-        (vec![item("age", ">45"), item("race", "Cauc")], Metric::FalseNegativeRate, 1),
-        (vec![item("race", "Afr-Am"), item("sex", "Male")], Metric::FalsePositiveRate, 0),
-        (
-            vec![item("race", "Afr-Am"), item("sex", "Male"), item("#prior", ">3")],
+            vec![
+                item("age", "25-45"),
+                item("#prior", ">3"),
+                item("race", "Afr-Am"),
+                item("sex", "Male"),
+            ],
             Metric::FalsePositiveRate,
             0,
         ),
         (
-            vec![item("race", "Afr-Am"), item("sex", "Male"), item("#prior", "0")],
+            vec![item("age", ">45"), item("race", "Cauc")],
+            Metric::FalseNegativeRate,
+            1,
+        ),
+        (
+            vec![item("race", "Afr-Am"), item("sex", "Male")],
+            Metric::FalsePositiveRate,
+            0,
+        ),
+        (
+            vec![
+                item("race", "Afr-Am"),
+                item("sex", "Male"),
+                item("#prior", ">3"),
+            ],
+            Metric::FalsePositiveRate,
+            0,
+        ),
+        (
+            vec![
+                item("race", "Afr-Am"),
+                item("sex", "Male"),
+                item("#prior", "0"),
+            ],
             Metric::FalsePositiveRate,
             0,
         ),
@@ -51,7 +77,11 @@ fn main() {
             .find(&items)
             .map(|idx| report.rate(idx, m))
             .unwrap_or(f64::NAN);
-        table.row([report.display_itemset(&items), metric.short_name().to_string(), fmt_f(rate, 3)]);
+        table.row([
+            report.display_itemset(&items),
+            metric.short_name().to_string(),
+            fmt_f(rate, 3),
+        ]);
     }
     table.print();
     println!(

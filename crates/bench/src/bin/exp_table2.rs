@@ -6,7 +6,10 @@ use datasets::compas;
 use divexplorer::{DivExplorer, Metric};
 
 fn main() {
-    banner("Table 2", "Top-3 divergent COMPAS patterns per metric (s=0.1)");
+    banner(
+        "Table 2",
+        "Top-3 divergent COMPAS patterns per metric (s=0.1)",
+    );
     let d = compas::generate(6172, 42).into_dataset();
     let metrics = [
         Metric::FalsePositiveRate,

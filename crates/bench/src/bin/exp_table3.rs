@@ -5,7 +5,10 @@ use datasets::compas;
 use divexplorer::{corrective::top_corrective, DivExplorer, Metric};
 
 fn main() {
-    banner("Table 3", "Top corrective items for FPR/FNR, COMPAS (s=0.05)");
+    banner(
+        "Table 3",
+        "Top corrective items for FPR/FNR, COMPAS (s=0.05)",
+    );
     let d = compas::generate(6172, 42).into_dataset();
     let metrics = [Metric::FalsePositiveRate, Metric::FalseNegativeRate];
     let report = DivExplorer::new(0.05)
@@ -14,8 +17,7 @@ fn main() {
 
     for (m, metric) in metrics.iter().enumerate() {
         println!("{metric}:");
-        let mut table =
-            TextTable::new(["I", "corr. item", "Δ(I)", "Δ(I∪α)", "c_f", "t"]);
+        let mut table = TextTable::new(["I", "corr. item", "Δ(I)", "Δ(I∪α)", "c_f", "t"]);
         // Require a minimally significant corrective effect, as the paper's
         // table does (its reported t values are ≥ 2.8).
         for c in top_corrective(&report, m, 3, Some(2.0)) {

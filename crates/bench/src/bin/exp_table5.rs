@@ -10,7 +10,10 @@ use divexplorer::{DivExplorer, Metric};
 use models::RandomForestParams;
 
 fn main() {
-    banner("Table 5", "Top-3 divergent adult itemsets for FPR/FNR (s=0.05)");
+    banner(
+        "Table 5",
+        "Top-3 divergent adult itemsets for FPR/FNR (s=0.05)",
+    );
     let mut gd = DatasetId::Adult.generate(42);
     if std::env::var("DIVEXP_TRAIN_RF").is_ok() {
         println!("(training random forest for predictions …)");

@@ -7,7 +7,10 @@ use datasets::DatasetId;
 use divexplorer::{pruning::prune_redundant, DivExplorer, Metric, SortBy};
 
 fn main() {
-    banner("Table 6", "Top-3 adult FPR itemsets with redundancy pruning (ε=0.05, s=0.05)");
+    banner(
+        "Table 6",
+        "Top-3 adult FPR itemsets with redundancy pruning (ε=0.05, s=0.05)",
+    );
     let gd = DatasetId::Adult.generate(42);
     let report = DivExplorer::new(0.05)
         .explore(&gd.data, &gd.v, &gd.u, &[Metric::FalsePositiveRate])
@@ -19,7 +22,10 @@ fn main() {
         report.len(),
         retained.len()
     );
-    assert!(retained.len() * 10 < report.len(), "pruning should collapse the output");
+    assert!(
+        retained.len() * 10 < report.len(),
+        "pruning should collapse the output"
+    );
 
     let retained_set: std::collections::HashSet<usize> = retained.iter().copied().collect();
     let mut table = TextTable::new(["Itemset", "Sup", "Δ_FPR", "t"]);
@@ -29,7 +35,7 @@ fn main() {
             continue;
         }
         table.row([
-            report.display_itemset(&report[idx].items),
+            report.display_itemset(report.items(idx)),
             fmt_f(report.support_fraction(idx), 2),
             fmt_f(report.divergence(idx, 0), 3),
             fmt_f(report.t_statistic(idx, 0), 1),

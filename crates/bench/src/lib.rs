@@ -17,7 +17,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
-        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row (must match the header arity).
@@ -92,7 +95,7 @@ pub fn top_pattern_rows(report: &DivergenceReport, m: usize, k: usize) -> Vec<[S
         .into_iter()
         .map(|idx| {
             [
-                report.display_itemset(&report[idx].items),
+                report.display_itemset(report.items(idx)),
                 fmt_f(report.support_fraction(idx), 2),
                 fmt_f(report.divergence(idx, m), 3),
                 fmt_f(report.t_statistic(idx, m), 1),

@@ -16,7 +16,7 @@
 
 use datasets::bias::inject_bias_in_rows;
 use datasets::compas;
-use divexplorer::{DivExplorer, DiscreteDataset, ItemId, Metric, SortBy};
+use divexplorer::{DiscreteDataset, DivExplorer, ItemId, Metric, SortBy};
 use explain::{explain_instance, LimeParams};
 use models::{log_loss, train_test_split, Classifier, FeatureMatrix, Mlp, MlpParams};
 use rand::rngs::StdRng;
@@ -141,7 +141,12 @@ pub fn candidates(setup: &StudySetup, group: Group, seed: u64) -> Vec<Vec<ItemId
 /// redundant supersets down to the core patterns.
 fn divexplorer_candidates(setup: &StudySetup) -> Vec<Vec<ItemId>> {
     let report = DivExplorer::new(0.05)
-        .explore(&setup.data, &setup.v, &setup.u, &[Metric::FalsePositiveRate])
+        .explore(
+            &setup.data,
+            &setup.v,
+            &setup.u,
+            &[Metric::FalsePositiveRate],
+        )
         .expect("explore");
     let retained: std::collections::HashSet<usize> =
         divexplorer::pruning::prune_redundant(&report, 0, 0.05)
@@ -152,7 +157,7 @@ fn divexplorer_candidates(setup: &StudySetup) -> Vec<Vec<ItemId>> {
         .into_iter()
         .filter(|idx| retained.contains(idx))
         .take(6)
-        .map(|idx| report[idx].items.clone())
+        .map(|idx| report.items(idx).to_vec())
         .collect();
     // Global item divergence, most positive first, as single-item patterns.
     let mut globals = divexplorer::global_div::global_item_divergence(&report, 0);
@@ -186,10 +191,16 @@ fn slicefinder_candidates(setup: &StudySetup) -> Vec<Vec<ItemId>> {
 /// ones and reads off the most blamed attribute values.
 fn lime_candidates(setup: &StudySetup, seed: u64) -> Vec<Vec<ItemId>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mis: Vec<usize> = (0..setup.data.n_rows()).filter(|&r| setup.v[r] != setup.u[r]).collect();
-    let ok: Vec<usize> = (0..setup.data.n_rows()).filter(|&r| setup.v[r] == setup.u[r]).collect();
+    let mis: Vec<usize> = (0..setup.data.n_rows())
+        .filter(|&r| setup.v[r] != setup.u[r])
+        .collect();
+    let ok: Vec<usize> = (0..setup.data.n_rows())
+        .filter(|&r| setup.v[r] == setup.u[r])
+        .collect();
     let pick = |pool: &[usize], k: usize, rng: &mut StdRng| -> Vec<usize> {
-        (0..k.min(pool.len())).map(|_| pool[rng.gen_range(0..pool.len())]).collect()
+        (0..k.min(pool.len()))
+            .map(|_| pool[rng.gen_range(0..pool.len())])
+            .collect()
     };
     let schema = setup.data.schema();
     let n_items = schema.n_items() as usize;
@@ -199,7 +210,10 @@ fn lime_candidates(setup: &StudySetup, seed: u64) -> Vec<Vec<ItemId>> {
             &setup.model,
             &setup.features,
             setup.features.row(r),
-            &LimeParams { n_samples: 300, ..Default::default() },
+            &LimeParams {
+                n_samples: 300,
+                ..Default::default()
+            },
             seed ^ r as u64,
         );
         // One-hot features map 1:1 to items; weight only the active ones.
@@ -214,7 +228,10 @@ fn lime_candidates(setup: &StudySetup, seed: u64) -> Vec<Vec<ItemId>> {
             &setup.model,
             &setup.features,
             setup.features.row(r),
-            &LimeParams { n_samples: 300, ..Default::default() },
+            &LimeParams {
+                n_samples: 300,
+                ..Default::default()
+            },
             seed ^ (r as u64) << 1,
         );
         for &item in &setup.data.row_items(r) {
@@ -223,8 +240,11 @@ fn lime_candidates(setup: &StudySetup, seed: u64) -> Vec<Vec<ItemId>> {
     }
     let mut ranked: Vec<(usize, f64)> = blame.into_iter().enumerate().collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    let singles: Vec<Vec<ItemId>> =
-        ranked.iter().take(6).map(|&(i, _)| vec![i as ItemId]).collect();
+    let singles: Vec<Vec<ItemId>> = ranked
+        .iter()
+        .take(6)
+        .map(|&(i, _)| vec![i as ItemId])
+        .collect();
     // Users may combine the top two blamed values into a pattern guess.
     let mut out = singles;
     if out.len() >= 2 && out[0][0] != out[1][0] {
@@ -239,17 +259,27 @@ fn lime_candidates(setup: &StudySetup, seed: u64) -> Vec<Vec<ItemId>> {
 /// that appear more among the misclassified than the correct ones.
 fn examples_only_candidates(setup: &StudySetup, seed: u64) -> Vec<Vec<ItemId>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mis: Vec<usize> = (0..setup.data.n_rows()).filter(|&r| setup.v[r] != setup.u[r]).collect();
-    let ok: Vec<usize> = (0..setup.data.n_rows()).filter(|&r| setup.v[r] == setup.u[r]).collect();
+    let mis: Vec<usize> = (0..setup.data.n_rows())
+        .filter(|&r| setup.v[r] != setup.u[r])
+        .collect();
+    let ok: Vec<usize> = (0..setup.data.n_rows())
+        .filter(|&r| setup.v[r] == setup.u[r])
+        .collect();
     let n_items = setup.data.schema().n_items() as usize;
     let mut score = vec![0.0f64; n_items];
     for _ in 0..8 {
-        if let Some(&r) = mis.get(rng.gen_range(0..mis.len().max(1)).min(mis.len().saturating_sub(1))) {
+        if let Some(&r) = mis.get(
+            rng.gen_range(0..mis.len().max(1))
+                .min(mis.len().saturating_sub(1)),
+        ) {
             for &item in &setup.data.row_items(r) {
                 score[item as usize] += 1.0;
             }
         }
-        if let Some(&r) = ok.get(rng.gen_range(0..ok.len().max(1)).min(ok.len().saturating_sub(1))) {
+        if let Some(&r) = ok.get(
+            rng.gen_range(0..ok.len().max(1))
+                .min(ok.len().saturating_sub(1)),
+        ) {
             for &item in &setup.data.row_items(r) {
                 score[item as usize] -= 1.0;
             }
@@ -257,8 +287,11 @@ fn examples_only_candidates(setup: &StudySetup, seed: u64) -> Vec<Vec<ItemId>> {
     }
     let mut ranked: Vec<(usize, f64)> = score.into_iter().enumerate().collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    let mut out: Vec<Vec<ItemId>> =
-        ranked.iter().take(6).map(|&(i, _)| vec![i as ItemId]).collect();
+    let mut out: Vec<Vec<ItemId>> = ranked
+        .iter()
+        .take(6)
+        .map(|&(i, _)| vec![i as ItemId])
+        .collect();
     if out.len() >= 2 {
         let mut pair = vec![out[0][0], out[1][0]];
         pair.sort_unstable();
@@ -282,8 +315,7 @@ pub fn simulate_user(
     let mut available: Vec<usize> = (0..candidates.len()).collect();
     while picks.len() < 5 && !available.is_empty() {
         // Geometric attention decay over rank.
-        let weights: Vec<f64> =
-            available.iter().map(|&i| 0.6f64.powi(i as i32)).collect();
+        let weights: Vec<f64> = available.iter().map(|&i| 0.6f64.powi(i as i32)).collect();
         let total: f64 = weights.iter().sum();
         let mut draw = rng.gen::<f64>() * total;
         let mut chosen = 0;
@@ -307,11 +339,7 @@ pub fn simulate_user(
 
 /// Runs the full simulated study: `users_per_group` respondents per group.
 /// Returns `(group, hit %, partial-hit %)` rows.
-pub fn run_study(
-    setup: &StudySetup,
-    users_per_group: usize,
-    seed: u64,
-) -> Vec<(Group, f64, f64)> {
+pub fn run_study(setup: &StudySetup, users_per_group: usize, seed: u64) -> Vec<(Group, f64, f64)> {
     let mut out = Vec::new();
     for group in Group::ALL {
         let mut hits = 0usize;

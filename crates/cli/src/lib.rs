@@ -154,7 +154,8 @@ impl Args {
         };
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<String, CliError> {
-                it.next().ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+                it.next()
+                    .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
             };
             match flag.as_str() {
                 "--input" => args.input = value("--input")?,
@@ -177,17 +178,22 @@ impl Args {
             return Err(CliError::Usage("--input is required".to_string()));
         }
         if args.label.is_empty() || args.pred.is_empty() {
-            return Err(CliError::Usage("--label and --pred are required".to_string()));
+            return Err(CliError::Usage(
+                "--label and --pred are required".to_string(),
+            ));
         }
         if matches!(command, Command::Shapley | Command::Lattice) && args.itemset.is_empty() {
-            return Err(CliError::Usage("--itemset is required for this command".to_string()));
+            return Err(CliError::Usage(
+                "--itemset is required for this command".to_string(),
+            ));
         }
         Ok(args)
     }
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, CliError> {
-    s.parse().map_err(|_| CliError::Usage(format!("{flag}: cannot parse '{s}'")))
+    s.parse()
+        .map_err(|_| CliError::Usage(format!("{flag}: cannot parse '{s}'")))
 }
 
 fn parse_metrics(s: &str) -> Result<Vec<Metric>, CliError> {
@@ -284,9 +290,9 @@ fn resolve_itemset(
     let mut items: Vec<ItemId> = spec
         .iter()
         .map(|(attr, value)| {
-            data.schema().item_by_name(attr, value).ok_or_else(|| {
-                CliError::Input(format!("unknown item {attr}={value}"))
-            })
+            data.schema()
+                .item_by_name(attr, value)
+                .ok_or_else(|| CliError::Input(format!("unknown item {attr}={value}")))
         })
         .collect::<Result<_, _>>()?;
     items.sort_unstable();
@@ -307,8 +313,7 @@ pub fn run_with_content(args: &Args, content: &str, out: &mut String) -> Result<
         Command::Explore => {
             if args.json {
                 let export = report.export();
-                let json = serde_json::to_string_pretty(&export)
-                    .expect("report export serializes");
+                let json = serde_json::to_string_pretty(&export).expect("report export serializes");
                 out.push_str(&json);
                 out.push('\n');
                 return Ok(());
@@ -320,8 +325,7 @@ pub fn run_with_content(args: &Args, content: &str, out: &mut String) -> Result<
                     report.dataset_rate(m),
                     report.len()
                 );
-                let kept: Option<std::collections::HashSet<usize>> = match (args.prune, args.fdr)
-                {
+                let kept: Option<std::collections::HashSet<usize>> = match (args.prune, args.fdr) {
                     (Some(eps), _) => Some(prune_redundant(&report, m, eps).into_iter().collect()),
                     (None, Some(q)) => Some(report.significant_at_fdr(m, q).into_iter().collect()),
                     (None, None) => None,
@@ -336,7 +340,7 @@ pub fn run_with_content(args: &Args, content: &str, out: &mut String) -> Result<
                     let _ = writeln!(
                         out,
                         "  {:<55} sup={:.2} Δ={:+.3} t={:.1}",
-                        report.display_itemset(&report[idx].items),
+                        report.display_itemset(report.items(idx)),
                         report.support_fraction(idx),
                         report.divergence(idx, m),
                         report.t_statistic(idx, m),
@@ -390,7 +394,11 @@ pub fn run_with_content(args: &Args, content: &str, out: &mut String) -> Result<
             let items = resolve_itemset(&prepared.data, &args.itemset)?;
             let lattice = sublattice(&report, &items, 0, args.threshold)
                 .map_err(|e| CliError::Input(e.to_string()))?;
-            out.push_str(&if args.dot { lattice.to_dot() } else { lattice.to_ascii() });
+            out.push_str(&if args.dot {
+                lattice.to_dot()
+            } else {
+                lattice.to_ascii()
+            });
         }
         Command::Fairness => unreachable!("dispatched before exploration"),
     }
@@ -400,7 +408,11 @@ pub fn run_with_content(args: &Args, content: &str, out: &mut String) -> Result<
 fn run_fairness(args: &Args, prepared: &Prepared, out: &mut String) -> Result<(), CliError> {
     let audit = audit_fairness(&prepared.data, &prepared.v, &prepared.u, args.support)
         .map_err(|e| CliError::Input(e.to_string()))?;
-    let _ = writeln!(out, "{} subgroups scored against 4 criteria", audit.violations.len());
+    let _ = writeln!(
+        out,
+        "{} subgroups scored against 4 criteria",
+        audit.violations.len()
+    );
     for criterion in Criterion::ALL {
         let _ = writeln!(out, "\nworst by {}:", criterion.name());
         for violation in audit.worst(criterion, args.top.min(5)) {
@@ -442,15 +454,28 @@ b,y,0,1
 ";
 
     fn base_args(command: &str) -> Vec<String> {
-        [command, "--input", "mem.csv", "--label", "y", "--pred", "yhat", "--support", "0.25"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect()
+        [
+            command,
+            "--input",
+            "mem.csv",
+            "--label",
+            "y",
+            "--pred",
+            "yhat",
+            "--support",
+            "0.25",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
     }
 
     #[test]
     fn parse_requires_command_and_io_flags() {
-        assert!(matches!(Args::parse(Vec::<String>::new()), Err(CliError::Usage(_))));
+        assert!(matches!(
+            Args::parse(Vec::<String>::new()),
+            Err(CliError::Usage(_))
+        ));
         assert!(matches!(
             Args::parse(vec!["explore".to_string()]),
             Err(CliError::Usage(_))

@@ -146,7 +146,10 @@ pub fn generate(n: usize, seed: u64) -> GeneratedDataset {
     // thing). FP mass concentrates in Married∧Prof, FN mass in young
     // unmarried no-gain instances.
     let fp_model = EffectModel::with_base(-3.0)
-        .joint_effect(&[(attr::STATUS, STATUS_MARRIED), (attr::OCCUP, OCCUP_PROF)], 2.1)
+        .joint_effect(
+            &[(attr::STATUS, STATUS_MARRIED), (attr::OCCUP, OCCUP_PROF)],
+            2.1,
+        )
         .effect(attr::STATUS, STATUS_MARRIED, 0.9)
         .effect(attr::OCCUP, OCCUP_PROF, 0.4)
         .effect(attr::OCCUP, OCCUP_EXEC, 0.6)
@@ -175,13 +178,28 @@ pub fn generate(n: usize, seed: u64) -> GeneratedDataset {
 
     let mut b = DatasetBuilder::new();
     b.categorical("age", &["<=28", "29-40", ">40"], &cols[attr::AGE]);
-    b.categorical("workclass", &["Private", "Self-emp", "Gov", "Other"], &cols[attr::WORKCLASS]);
+    b.categorical(
+        "workclass",
+        &["Private", "Self-emp", "Gov", "Other"],
+        &cols[attr::WORKCLASS],
+    );
     b.categorical(
         "edu",
-        &["HS", "Some-coll", "Bachelors", "Masters", "Doctorate", "Other"],
+        &[
+            "HS",
+            "Some-coll",
+            "Bachelors",
+            "Masters",
+            "Doctorate",
+            "Other",
+        ],
         &cols[attr::EDU],
     );
-    b.categorical("status", &["Married", "Unmarried", "Divorced"], &cols[attr::STATUS]);
+    b.categorical(
+        "status",
+        &["Married", "Unmarried", "Divorced"],
+        &cols[attr::STATUS],
+    );
     b.categorical(
         "occup",
         &["Prof", "Exec", "Sales", "Service", "Craft", "Other"],
@@ -192,13 +210,22 @@ pub fn generate(n: usize, seed: u64) -> GeneratedDataset {
         &["Husband", "Wife", "Own-child", "Not-in-family", "Other"],
         &cols[attr::RELATION],
     );
-    b.categorical("race", &["White", "Black", "Asian", "Other"], &cols[attr::RACE]);
+    b.categorical(
+        "race",
+        &["White", "Black", "Asian", "Other"],
+        &cols[attr::RACE],
+    );
     b.categorical("sex", &["Male", "Female"], &cols[attr::SEX]);
     b.categorical("gain", &["0", ">0"], &cols[attr::GAIN]);
     b.categorical("loss", &["0", ">0"], &cols[attr::LOSS]);
     b.categorical("hoursXW", &["<=40", ">40"], &cols[attr::HOURS]);
 
-    GeneratedDataset { name: "adult".to_string(), data: b.build().unwrap(), v, u }
+    GeneratedDataset {
+        name: "adult".to_string(),
+        data: b.build().unwrap(),
+        v,
+        u,
+    }
 }
 
 #[cfg(test)]
@@ -219,8 +246,17 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "age", "workclass", "edu", "status", "occup", "relation", "race", "sex",
-                "gain", "loss", "hoursXW"
+                "age",
+                "workclass",
+                "edu",
+                "status",
+                "occup",
+                "relation",
+                "race",
+                "sex",
+                "gain",
+                "loss",
+                "hoursXW"
             ]
         );
     }

@@ -57,7 +57,10 @@ pub fn generate(n: usize, seed: u64) -> GeneratedDataset {
     let tree = DecisionTree::fit(
         &x,
         &clean,
-        &DecisionTreeParams { max_depth: Some(16), ..Default::default() },
+        &DecisionTreeParams {
+            max_depth: Some(16),
+            ..Default::default()
+        },
         seed,
     );
     let u = tree.predict_batch(&x);
@@ -77,7 +80,12 @@ pub fn generate(n: usize, seed: u64) -> GeneratedDataset {
     for (a, name) in ATTRS.iter().enumerate() {
         b.categorical(*name, &["0", "1"], &columns[a]);
     }
-    GeneratedDataset { name: "artificial".to_string(), data: b.build().unwrap(), v, u }
+    GeneratedDataset {
+        name: "artificial".to_string(),
+        data: b.build().unwrap(),
+        v,
+        u,
+    }
 }
 
 #[cfg(test)]
@@ -119,7 +127,10 @@ mod tests {
         }
         // Exactly every other positive flipped: 50% remain.
         let frac = abc_positive as f64 / abc_total as f64;
-        assert!((frac - 0.5).abs() < 0.02, "positive fraction in abc: {frac}");
+        assert!(
+            (frac - 0.5).abs() < 0.02,
+            "positive fraction in abc: {frac}"
+        );
     }
 
     #[test]

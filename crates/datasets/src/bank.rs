@@ -14,32 +14,84 @@ use crate::GeneratedDataset;
 use divexplorer::DatasetBuilder;
 
 const SPECS: &[AttrSpec] = &[
-    AttrSpec { name: "age", values: &["<30", "30-40", "41-55", ">55"], weights: &[0.2, 0.35, 0.3, 0.15] },
+    AttrSpec {
+        name: "age",
+        values: &["<30", "30-40", "41-55", ">55"],
+        weights: &[0.2, 0.35, 0.3, 0.15],
+    },
     AttrSpec {
         name: "job",
-        values: &["admin", "blue-collar", "technician", "services", "management", "retired", "other"],
+        values: &[
+            "admin",
+            "blue-collar",
+            "technician",
+            "services",
+            "management",
+            "retired",
+            "other",
+        ],
         weights: &[0.2, 0.2, 0.16, 0.1, 0.12, 0.08, 0.14],
     },
-    AttrSpec { name: "marital", values: &["married", "single", "divorced"], weights: &[0.57, 0.31, 0.12] },
+    AttrSpec {
+        name: "marital",
+        values: &["married", "single", "divorced"],
+        weights: &[0.57, 0.31, 0.12],
+    },
     AttrSpec {
         name: "education",
         values: &["primary", "secondary", "tertiary", "unknown"],
         weights: &[0.14, 0.5, 0.3, 0.06],
     },
-    AttrSpec { name: "default", values: &["no", "yes"], weights: &[0.98, 0.02] },
-    AttrSpec { name: "balance", values: &["<0", "0-1k", "1k-5k", ">5k"], weights: &[0.08, 0.5, 0.32, 0.1] },
-    AttrSpec { name: "housing", values: &["no", "yes"], weights: &[0.45, 0.55] },
-    AttrSpec { name: "loan", values: &["no", "yes"], weights: &[0.85, 0.15] },
-    AttrSpec { name: "contact", values: &["cellular", "telephone", "unknown"], weights: &[0.65, 0.07, 0.28] },
-    AttrSpec { name: "day", values: &["early", "mid", "late"], weights: &[0.33, 0.34, 0.33] },
+    AttrSpec {
+        name: "default",
+        values: &["no", "yes"],
+        weights: &[0.98, 0.02],
+    },
+    AttrSpec {
+        name: "balance",
+        values: &["<0", "0-1k", "1k-5k", ">5k"],
+        weights: &[0.08, 0.5, 0.32, 0.1],
+    },
+    AttrSpec {
+        name: "housing",
+        values: &["no", "yes"],
+        weights: &[0.45, 0.55],
+    },
+    AttrSpec {
+        name: "loan",
+        values: &["no", "yes"],
+        weights: &[0.85, 0.15],
+    },
+    AttrSpec {
+        name: "contact",
+        values: &["cellular", "telephone", "unknown"],
+        weights: &[0.65, 0.07, 0.28],
+    },
+    AttrSpec {
+        name: "day",
+        values: &["early", "mid", "late"],
+        weights: &[0.33, 0.34, 0.33],
+    },
     AttrSpec {
         name: "month",
         values: &["q1", "q2", "q3", "q4"],
         weights: &[0.15, 0.4, 0.3, 0.15],
     },
-    AttrSpec { name: "duration", values: &["<2m", "2-5m", "5-10m", ">10m"], weights: &[0.3, 0.37, 0.23, 0.1] },
-    AttrSpec { name: "campaign", values: &["1", "2-3", ">3"], weights: &[0.44, 0.38, 0.18] },
-    AttrSpec { name: "pdays", values: &["never", "<90", ">=90"], weights: &[0.75, 0.1, 0.15] },
+    AttrSpec {
+        name: "duration",
+        values: &["<2m", "2-5m", "5-10m", ">10m"],
+        weights: &[0.3, 0.37, 0.23, 0.1],
+    },
+    AttrSpec {
+        name: "campaign",
+        values: &["1", "2-3", ">3"],
+        weights: &[0.44, 0.38, 0.18],
+    },
+    AttrSpec {
+        name: "pdays",
+        values: &["never", "<90", ">=90"],
+        weights: &[0.75, 0.1, 0.15],
+    },
     AttrSpec {
         name: "poutcome",
         values: &["unknown", "failure", "success", "other"],
@@ -86,13 +138,24 @@ pub fn generate(n: usize, seed: u64) -> GeneratedDataset {
         .joint_effect(&[(A_DURATION, 0), (A_POUTCOME, 0)], 1.4)
         .effect(A_DURATION, 0, 0.6)
         .effect(A_HOUSING, 1, 0.4);
-    let u = inject_errors((0..n).map(|r| rows_of(&cols, r)), &v, &fp_model, &fn_model, &mut rng);
+    let u = inject_errors(
+        (0..n).map(|r| rows_of(&cols, r)),
+        &v,
+        &fp_model,
+        &fn_model,
+        &mut rng,
+    );
 
     let mut b = DatasetBuilder::new();
     for (spec, col) in SPECS.iter().zip(&cols) {
         b.categorical(spec.name, spec.values, col);
     }
-    GeneratedDataset { name: "bank".to_string(), data: b.build().unwrap(), v, u }
+    GeneratedDataset {
+        name: "bank".to_string(),
+        data: b.build().unwrap(),
+        v,
+        u,
+    }
 }
 
 #[cfg(test)]

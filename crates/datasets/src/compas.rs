@@ -118,10 +118,20 @@ pub fn generate(n: usize, seed: u64) -> CompasRaw {
         let priors_i = (-rng.gen::<f64>().max(1e-12).ln() * prior_mean).floor();
         // Charge degree: felonies more likely with more priors.
         let p_felony = 0.55 + 0.03 * priors_i.min(8.0);
-        let charge_i = if rng.gen::<f64>() < p_felony { code::CHARGE_F } else { code::CHARGE_M };
+        let charge_i = if rng.gen::<f64>() < p_felony {
+            code::CHARGE_F
+        } else {
+            code::CHARGE_M
+        };
         // Stay: longer for felonies and long records.
-        let w_long = 0.12 + 0.02 * priors_i.min(8.0) + if charge_i == code::CHARGE_F { 0.1 } else { 0.0 };
-        let w_mid = 0.3 + if charge_i == code::CHARGE_F { 0.05 } else { 0.0 };
+        let w_long =
+            0.12 + 0.02 * priors_i.min(8.0) + if charge_i == code::CHARGE_F { 0.1 } else { 0.0 };
+        let w_mid = 0.3
+            + if charge_i == code::CHARGE_F {
+                0.05
+            } else {
+                0.0
+            };
         let stay_i = sample_weighted(&mut rng, &[1.0 - w_mid - w_long, w_mid, w_long]);
 
         age.push(age_i);
@@ -154,7 +164,10 @@ pub fn generate(n: usize, seed: u64) -> CompasRaw {
         .effect(attr::AGE, code::AGE_GT45, -0.6)
         .effect(attr::SEX, code::SEX_MALE, 0.25)
         .effect(attr::CHARGE, code::CHARGE_F, 0.1);
-    let v: Vec<bool> = coded.iter().map(|row| v_model.sample(row, &mut rng)).collect();
+    let v: Vec<bool> = coded
+        .iter()
+        .map(|row| v_model.sample(row, &mut rng))
+        .collect();
 
     // The synthetic risk score's error structure (see module docs).
     // P(u=1 | v=0): false-positive injection.
@@ -164,7 +177,10 @@ pub fn generate(n: usize, seed: u64) -> CompasRaw {
         .effect(attr::RACE, code::RACE_AFR_AM, 0.35)
         .effect(attr::CHARGE, code::CHARGE_F, 0.2)
         .effect(attr::STAY, code::STAY_GT_3M, 0.3)
-        .joint_effect(&[(attr::RACE, code::RACE_AFR_AM), (attr::SEX, code::SEX_MALE)], 0.25)
+        .joint_effect(
+            &[(attr::RACE, code::RACE_AFR_AM), (attr::SEX, code::SEX_MALE)],
+            0.25,
+        )
         .joint_effect(
             &[
                 (attr::AGE, code::AGE_25_45),
@@ -182,9 +198,24 @@ pub fn generate(n: usize, seed: u64) -> CompasRaw {
         .effect(attr::AGE, code::AGE_GT45, 0.5)
         .effect(attr::RACE, code::RACE_CAUC, 0.4)
         .effect(attr::PRIOR, code::PRIOR_GT3, -1.3)
-        .joint_effect(&[(attr::AGE, code::AGE_GT45), (attr::RACE, code::RACE_CAUC)], 0.9)
-        .joint_effect(&[(attr::PRIOR, code::PRIOR_0), (attr::STAY, code::STAY_LT_WEEK)], 0.8)
-        .joint_effect(&[(attr::CHARGE, code::CHARGE_M), (attr::STAY, code::STAY_LT_WEEK)], 0.7);
+        .joint_effect(
+            &[(attr::AGE, code::AGE_GT45), (attr::RACE, code::RACE_CAUC)],
+            0.9,
+        )
+        .joint_effect(
+            &[
+                (attr::PRIOR, code::PRIOR_0),
+                (attr::STAY, code::STAY_LT_WEEK),
+            ],
+            0.8,
+        )
+        .joint_effect(
+            &[
+                (attr::CHARGE, code::CHARGE_M),
+                (attr::STAY, code::STAY_LT_WEEK),
+            ],
+            0.7,
+        );
 
     // Error injection with an extra continuous term in the raw prior count,
     // so that *finer* prior bins separate FP rates (Figure 1's Property 3.1
@@ -200,7 +231,16 @@ pub fn generate(n: usize, seed: u64) -> CompasRaw {
         u.push(v[r] != flipped);
     }
 
-    CompasRaw { age, priors, charge, race, sex, stay, v, u }
+    CompasRaw {
+        age,
+        priors,
+        charge,
+        race,
+        sex,
+        stay,
+        v,
+        u,
+    }
 }
 
 /// The paper's 3-interval prior binning: `0`, `[1,3]`, `>3`.
@@ -256,7 +296,13 @@ impl CompasRaw {
         let prior_codes: Vec<u16> = self
             .priors
             .iter()
-            .map(|&p| if fine_priors { prior_code6(p) } else { prior_code3(p) })
+            .map(|&p| {
+                if fine_priors {
+                    prior_code6(p)
+                } else {
+                    prior_code3(p)
+                }
+            })
             .collect();
         let prior_labels: &[&str] = if fine_priors {
             &["0", "1", "2", "3", "[4,7]", ">7"]
@@ -277,7 +323,12 @@ impl CompasRaw {
     /// Packages the standard discretization as a [`GeneratedDataset`].
     pub fn into_dataset(self) -> GeneratedDataset {
         let data = self.discretize();
-        GeneratedDataset { name: "COMPAS".to_string(), data, v: self.v, u: self.u }
+        GeneratedDataset {
+            name: "COMPAS".to_string(),
+            data,
+            v: self.v,
+            u: self.u,
+        }
     }
 }
 

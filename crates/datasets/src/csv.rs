@@ -34,7 +34,11 @@ impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CsvError::Empty => write!(f, "empty input"),
-            CsvError::RaggedRow { line, got, expected } => {
+            CsvError::RaggedRow {
+                line,
+                got,
+                expected,
+            } => {
                 write!(f, "line {line}: {got} fields, expected {expected}")
             }
             CsvError::UnterminatedQuote { line } => {
@@ -71,8 +75,10 @@ impl CsvTable {
         }
         let mut b = DatasetBuilder::new();
         for (name, column) in self.header.iter().zip(&self.columns) {
-            let numeric: Option<Vec<f64>> =
-                column.iter().map(|cell| cell.trim().parse::<f64>().ok()).collect();
+            let numeric: Option<Vec<f64>> = column
+                .iter()
+                .map(|cell| cell.trim().parse::<f64>().ok())
+                .collect();
             match numeric {
                 Some(values) if values.iter().all(|v| !v.is_nan()) => {
                     b.continuous(name, &values, &BinningStrategy::Quantile(numeric_bins));
@@ -132,7 +138,10 @@ pub fn write_csv(
 
 /// Parses CSV text with the given separator.
 pub fn parse_csv(text: &str, separator: char) -> Result<CsvTable, CsvError> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
     let (_, header_line) = lines.next().ok_or(CsvError::Empty)?;
     let header = split_line(header_line, separator, 1)?;
     let expected = header.len();
@@ -140,7 +149,11 @@ pub fn parse_csv(text: &str, separator: char) -> Result<CsvTable, CsvError> {
     for (i, line) in lines {
         let fields = split_line(line, separator, i + 1)?;
         if fields.len() != expected {
-            return Err(CsvError::RaggedRow { line: i + 1, got: fields.len(), expected });
+            return Err(CsvError::RaggedRow {
+                line: i + 1,
+                got: fields.len(),
+                expected,
+            });
         }
         for (c, field) in fields.into_iter().enumerate() {
             columns[c].push(field);
@@ -211,7 +224,14 @@ mod tests {
     #[test]
     fn ragged_rows_error_with_line_number() {
         let err = parse_csv("a,b\n1\n", ',').unwrap_err();
-        assert_eq!(err, CsvError::RaggedRow { line: 2, got: 1, expected: 2 });
+        assert_eq!(
+            err,
+            CsvError::RaggedRow {
+                line: 2,
+                got: 1,
+                expected: 2
+            }
+        );
     }
 
     #[test]
@@ -260,7 +280,10 @@ mod tests {
         // Categorical cells match the schema labels.
         let schema = d.data.schema();
         for r in 0..5 {
-            assert_eq!(table.columns[0][r], schema.attribute(0).values[d.data.value(r, 0) as usize]);
+            assert_eq!(
+                table.columns[0][r],
+                schema.attribute(0).values[d.data.value(r, 0) as usize]
+            );
         }
     }
 

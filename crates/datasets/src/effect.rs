@@ -54,7 +54,10 @@ pub struct EffectModel {
 impl EffectModel {
     /// A model with only a base logit.
     pub fn with_base(base: f64) -> Self {
-        EffectModel { base, ..Default::default() }
+        EffectModel {
+            base,
+            ..Default::default()
+        }
     }
 
     /// Adds a singleton effect (builder style).

@@ -14,27 +14,118 @@ use crate::GeneratedDataset;
 use divexplorer::DatasetBuilder;
 
 const SPECS: &[AttrSpec] = &[
-    AttrSpec { name: "checking_account", values: &["<0", "0-200", ">200", "none"], weights: &[0.27, 0.27, 0.06, 0.4] },
-    AttrSpec { name: "duration", values: &["<12m", "12-24m", "24-48m", ">48m"], weights: &[0.25, 0.4, 0.28, 0.07] },
-    AttrSpec { name: "credit_history", values: &["critical", "delayed", "existing", "paid", "none"], weights: &[0.29, 0.09, 0.53, 0.05, 0.04] },
-    AttrSpec { name: "purpose", values: &["car", "furniture", "radio/tv", "business", "education", "other"], weights: &[0.33, 0.18, 0.28, 0.1, 0.05, 0.06] },
-    AttrSpec { name: "credit_amount", values: &["<2k", "2k-5k", "5k-10k", ">10k"], weights: &[0.45, 0.35, 0.15, 0.05] },
-    AttrSpec { name: "savings", values: &["<100", "100-500", "500-1000", ">1000", "none"], weights: &[0.6, 0.1, 0.06, 0.05, 0.19] },
-    AttrSpec { name: "employment_since", values: &["unemployed", "<1y", "1-4y", "4-7y", ">7y"], weights: &[0.06, 0.17, 0.34, 0.17, 0.26] },
-    AttrSpec { name: "installment_rate", values: &["1", "2", "3", "4"], weights: &[0.14, 0.23, 0.16, 0.47] },
-    AttrSpec { name: "sex", values: &["male", "female"], weights: &[0.69, 0.31] },
-    AttrSpec { name: "civil_status", values: &["single", "married", "divorced"], weights: &[0.55, 0.33, 0.12] },
-    AttrSpec { name: "other_debtors", values: &["none", "co-applicant", "guarantor"], weights: &[0.91, 0.04, 0.05] },
-    AttrSpec { name: "residence_since", values: &["<1y", "1-2y", "2-3y", ">3y"], weights: &[0.13, 0.31, 0.15, 0.41] },
-    AttrSpec { name: "property", values: &["real_estate", "savings_ins", "car", "none"], weights: &[0.28, 0.23, 0.33, 0.16] },
-    AttrSpec { name: "age", values: &["<26", "26-35", "36-50", ">50"], weights: &[0.19, 0.37, 0.29, 0.15] },
-    AttrSpec { name: "other_installments", values: &["bank", "stores", "none"], weights: &[0.14, 0.05, 0.81] },
-    AttrSpec { name: "housing", values: &["rent", "own", "free"], weights: &[0.18, 0.71, 0.11] },
-    AttrSpec { name: "existing_credits", values: &["1", "2", "3+"], weights: &[0.63, 0.33, 0.04] },
-    AttrSpec { name: "job", values: &["unskilled", "skilled", "management", "unemployed"], weights: &[0.2, 0.63, 0.15, 0.02] },
-    AttrSpec { name: "people_liable", values: &["1", "2+"], weights: &[0.85, 0.15] },
-    AttrSpec { name: "telephone", values: &["no", "yes"], weights: &[0.6, 0.4] },
-    AttrSpec { name: "foreign_worker", values: &["yes", "no"], weights: &[0.96, 0.04] },
+    AttrSpec {
+        name: "checking_account",
+        values: &["<0", "0-200", ">200", "none"],
+        weights: &[0.27, 0.27, 0.06, 0.4],
+    },
+    AttrSpec {
+        name: "duration",
+        values: &["<12m", "12-24m", "24-48m", ">48m"],
+        weights: &[0.25, 0.4, 0.28, 0.07],
+    },
+    AttrSpec {
+        name: "credit_history",
+        values: &["critical", "delayed", "existing", "paid", "none"],
+        weights: &[0.29, 0.09, 0.53, 0.05, 0.04],
+    },
+    AttrSpec {
+        name: "purpose",
+        values: &[
+            "car",
+            "furniture",
+            "radio/tv",
+            "business",
+            "education",
+            "other",
+        ],
+        weights: &[0.33, 0.18, 0.28, 0.1, 0.05, 0.06],
+    },
+    AttrSpec {
+        name: "credit_amount",
+        values: &["<2k", "2k-5k", "5k-10k", ">10k"],
+        weights: &[0.45, 0.35, 0.15, 0.05],
+    },
+    AttrSpec {
+        name: "savings",
+        values: &["<100", "100-500", "500-1000", ">1000", "none"],
+        weights: &[0.6, 0.1, 0.06, 0.05, 0.19],
+    },
+    AttrSpec {
+        name: "employment_since",
+        values: &["unemployed", "<1y", "1-4y", "4-7y", ">7y"],
+        weights: &[0.06, 0.17, 0.34, 0.17, 0.26],
+    },
+    AttrSpec {
+        name: "installment_rate",
+        values: &["1", "2", "3", "4"],
+        weights: &[0.14, 0.23, 0.16, 0.47],
+    },
+    AttrSpec {
+        name: "sex",
+        values: &["male", "female"],
+        weights: &[0.69, 0.31],
+    },
+    AttrSpec {
+        name: "civil_status",
+        values: &["single", "married", "divorced"],
+        weights: &[0.55, 0.33, 0.12],
+    },
+    AttrSpec {
+        name: "other_debtors",
+        values: &["none", "co-applicant", "guarantor"],
+        weights: &[0.91, 0.04, 0.05],
+    },
+    AttrSpec {
+        name: "residence_since",
+        values: &["<1y", "1-2y", "2-3y", ">3y"],
+        weights: &[0.13, 0.31, 0.15, 0.41],
+    },
+    AttrSpec {
+        name: "property",
+        values: &["real_estate", "savings_ins", "car", "none"],
+        weights: &[0.28, 0.23, 0.33, 0.16],
+    },
+    AttrSpec {
+        name: "age",
+        values: &["<26", "26-35", "36-50", ">50"],
+        weights: &[0.19, 0.37, 0.29, 0.15],
+    },
+    AttrSpec {
+        name: "other_installments",
+        values: &["bank", "stores", "none"],
+        weights: &[0.14, 0.05, 0.81],
+    },
+    AttrSpec {
+        name: "housing",
+        values: &["rent", "own", "free"],
+        weights: &[0.18, 0.71, 0.11],
+    },
+    AttrSpec {
+        name: "existing_credits",
+        values: &["1", "2", "3+"],
+        weights: &[0.63, 0.33, 0.04],
+    },
+    AttrSpec {
+        name: "job",
+        values: &["unskilled", "skilled", "management", "unemployed"],
+        weights: &[0.2, 0.63, 0.15, 0.02],
+    },
+    AttrSpec {
+        name: "people_liable",
+        values: &["1", "2+"],
+        weights: &[0.85, 0.15],
+    },
+    AttrSpec {
+        name: "telephone",
+        values: &["no", "yes"],
+        weights: &[0.6, 0.4],
+    },
+    AttrSpec {
+        name: "foreign_worker",
+        values: &["yes", "no"],
+        weights: &[0.96, 0.04],
+    },
 ];
 
 const A_CHECKING: usize = 0;
@@ -69,13 +160,24 @@ pub fn generate(n: usize, seed: u64) -> GeneratedDataset {
     let fn_model = EffectModel::with_base(-0.9)
         .joint_effect(&[(A_CHECKING, 3), (A_HISTORY, 2)], 1.2)
         .effect(A_AGE, 3, 0.5);
-    let u = inject_errors((0..n).map(|r| rows_of(&cols, r)), &v, &fp_model, &fn_model, &mut rng);
+    let u = inject_errors(
+        (0..n).map(|r| rows_of(&cols, r)),
+        &v,
+        &fp_model,
+        &fn_model,
+        &mut rng,
+    );
 
     let mut b = DatasetBuilder::new();
     for (spec, col) in SPECS.iter().zip(&cols) {
         b.categorical(spec.name, spec.values, col);
     }
-    GeneratedDataset { name: "german".to_string(), data: b.build().unwrap(), v, u }
+    GeneratedDataset {
+        name: "german".to_string(),
+        data: b.build().unwrap(),
+        v,
+        u,
+    }
 }
 
 #[cfg(test)]

@@ -13,19 +13,71 @@ use crate::GeneratedDataset;
 use divexplorer::DatasetBuilder;
 
 const SPECS: &[AttrSpec] = &[
-    AttrSpec { name: "age", values: &["<45", "45-55", "56-65", ">65"], weights: &[0.2, 0.3, 0.35, 0.15] },
-    AttrSpec { name: "sex", values: &["male", "female"], weights: &[0.68, 0.32] },
-    AttrSpec { name: "cp", values: &["typical", "atypical", "non-anginal", "asymptomatic"], weights: &[0.08, 0.17, 0.28, 0.47] },
-    AttrSpec { name: "trestbps", values: &["<120", "120-140", ">140"], weights: &[0.25, 0.45, 0.3] },
-    AttrSpec { name: "chol", values: &["<200", "200-240", ">240"], weights: &[0.15, 0.35, 0.5] },
-    AttrSpec { name: "fbs", values: &["<=120", ">120"], weights: &[0.85, 0.15] },
-    AttrSpec { name: "restecg", values: &["normal", "st-t", "lvh"], weights: &[0.5, 0.02, 0.48] },
-    AttrSpec { name: "thalach", values: &["<120", "120-150", ">150"], weights: &[0.2, 0.4, 0.4] },
-    AttrSpec { name: "exang", values: &["no", "yes"], weights: &[0.67, 0.33] },
-    AttrSpec { name: "oldpeak", values: &["0", "0-2", ">2"], weights: &[0.33, 0.47, 0.2] },
-    AttrSpec { name: "slope", values: &["up", "flat", "down"], weights: &[0.47, 0.46, 0.07] },
-    AttrSpec { name: "ca", values: &["0", "1", "2", "3"], weights: &[0.59, 0.22, 0.13, 0.06] },
-    AttrSpec { name: "thal", values: &["normal", "fixed", "reversible"], weights: &[0.55, 0.06, 0.39] },
+    AttrSpec {
+        name: "age",
+        values: &["<45", "45-55", "56-65", ">65"],
+        weights: &[0.2, 0.3, 0.35, 0.15],
+    },
+    AttrSpec {
+        name: "sex",
+        values: &["male", "female"],
+        weights: &[0.68, 0.32],
+    },
+    AttrSpec {
+        name: "cp",
+        values: &["typical", "atypical", "non-anginal", "asymptomatic"],
+        weights: &[0.08, 0.17, 0.28, 0.47],
+    },
+    AttrSpec {
+        name: "trestbps",
+        values: &["<120", "120-140", ">140"],
+        weights: &[0.25, 0.45, 0.3],
+    },
+    AttrSpec {
+        name: "chol",
+        values: &["<200", "200-240", ">240"],
+        weights: &[0.15, 0.35, 0.5],
+    },
+    AttrSpec {
+        name: "fbs",
+        values: &["<=120", ">120"],
+        weights: &[0.85, 0.15],
+    },
+    AttrSpec {
+        name: "restecg",
+        values: &["normal", "st-t", "lvh"],
+        weights: &[0.5, 0.02, 0.48],
+    },
+    AttrSpec {
+        name: "thalach",
+        values: &["<120", "120-150", ">150"],
+        weights: &[0.2, 0.4, 0.4],
+    },
+    AttrSpec {
+        name: "exang",
+        values: &["no", "yes"],
+        weights: &[0.67, 0.33],
+    },
+    AttrSpec {
+        name: "oldpeak",
+        values: &["0", "0-2", ">2"],
+        weights: &[0.33, 0.47, 0.2],
+    },
+    AttrSpec {
+        name: "slope",
+        values: &["up", "flat", "down"],
+        weights: &[0.47, 0.46, 0.07],
+    },
+    AttrSpec {
+        name: "ca",
+        values: &["0", "1", "2", "3"],
+        weights: &[0.59, 0.22, 0.13, 0.06],
+    },
+    AttrSpec {
+        name: "thal",
+        values: &["normal", "fixed", "reversible"],
+        weights: &[0.55, 0.06, 0.39],
+    },
 ];
 
 const A_AGE: usize = 0;
@@ -63,13 +115,24 @@ pub fn generate(n: usize, seed: u64) -> GeneratedDataset {
     let fn_model = EffectModel::with_base(-1.4)
         .joint_effect(&[(A_SEX, 1), (A_CP, 1)], 1.3)
         .effect(A_THALACH, 2, 0.5);
-    let u = inject_errors((0..n).map(|r| rows_of(&cols, r)), &v, &fp_model, &fn_model, &mut rng);
+    let u = inject_errors(
+        (0..n).map(|r| rows_of(&cols, r)),
+        &v,
+        &fp_model,
+        &fn_model,
+        &mut rng,
+    );
 
     let mut b = DatasetBuilder::new();
     for (spec, col) in SPECS.iter().zip(&cols) {
         b.categorical(spec.name, spec.values, col);
     }
-    GeneratedDataset { name: "heart".to_string(), data: b.build().unwrap(), v, u }
+    GeneratedDataset {
+        name: "heart".to_string(),
+        data: b.build().unwrap(),
+        v,
+        u,
+    }
 }
 
 #[cfg(test)]

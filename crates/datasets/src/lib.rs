@@ -234,7 +234,11 @@ mod tests {
     fn train_rf_replaces_predictions() {
         let mut gd = DatasetId::Heart.generate_sized(200, 3);
         let before = gd.u.clone();
-        let params = RandomForestParams { n_trees: 5, max_depth: Some(6), ..Default::default() };
+        let params = RandomForestParams {
+            n_trees: 5,
+            max_depth: Some(6),
+            ..Default::default()
+        };
         let _forest = gd.train_rf(&params, 0);
         assert_eq!(gd.u.len(), 200);
         // The forest should track the ground truth better than chance.

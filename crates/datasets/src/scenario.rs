@@ -118,9 +118,18 @@ impl ScenarioBuilder {
         ScenarioBuilder {
             name: name.into(),
             attributes: Vec::new(),
-            label: NamedEffects { base: 0.0, ..Default::default() },
-            fp: NamedEffects { base: -3.0, ..Default::default() },
-            fn_: NamedEffects { base: -3.0, ..Default::default() },
+            label: NamedEffects {
+                base: 0.0,
+                ..Default::default()
+            },
+            fp: NamedEffects {
+                base: -3.0,
+                ..Default::default()
+            },
+            fn_: NamedEffects {
+                base: -3.0,
+                ..Default::default()
+            },
         }
     }
 
@@ -142,7 +151,9 @@ impl ScenarioBuilder {
 
     /// Additive label effect of one attribute value.
     pub fn label_effect(mut self, attr: &str, value: &str, delta: f64) -> Self {
-        self.label.single.push(((attr.to_string(), value.to_string()), delta));
+        self.label
+            .single
+            .push(((attr.to_string(), value.to_string()), delta));
         self
     }
 
@@ -154,7 +165,9 @@ impl ScenarioBuilder {
 
     /// Singleton false-positive effect.
     pub fn fp_effect(mut self, attr: &str, value: &str, delta: f64) -> Self {
-        self.fp.single.push(((attr.to_string(), value.to_string()), delta));
+        self.fp
+            .single
+            .push(((attr.to_string(), value.to_string()), delta));
         self
     }
 
@@ -162,7 +175,10 @@ impl ScenarioBuilder {
     /// detector should find.
     pub fn fp_joint_effect(mut self, conditions: &[(&str, &str)], delta: f64) -> Self {
         self.fp.joint.push((
-            conditions.iter().map(|(a, v)| (a.to_string(), v.to_string())).collect(),
+            conditions
+                .iter()
+                .map(|(a, v)| (a.to_string(), v.to_string()))
+                .collect(),
             delta,
         ));
         self
@@ -176,14 +192,19 @@ impl ScenarioBuilder {
 
     /// Singleton false-negative effect.
     pub fn fn_effect(mut self, attr: &str, value: &str, delta: f64) -> Self {
-        self.fn_.single.push(((attr.to_string(), value.to_string()), delta));
+        self.fn_
+            .single
+            .push(((attr.to_string(), value.to_string()), delta));
         self
     }
 
     /// Joint false-negative effect.
     pub fn fn_joint_effect(mut self, conditions: &[(&str, &str)], delta: f64) -> Self {
         self.fn_.joint.push((
-            conditions.iter().map(|(a, v)| (a.to_string(), v.to_string())).collect(),
+            conditions
+                .iter()
+                .map(|(a, v)| (a.to_string(), v.to_string()))
+                .collect(),
             delta,
         ));
         self
@@ -205,9 +226,14 @@ impl ScenarioBuilder {
                 attribute: name.clone(),
                 value: value.clone(),
             })?;
-            let c = self.attributes[a].values.iter().position(|v| v == value).ok_or_else(|| {
-                ScenarioError::UnknownItem { attribute: name.clone(), value: value.clone() }
-            })?;
+            let c = self.attributes[a]
+                .values
+                .iter()
+                .position(|v| v == value)
+                .ok_or_else(|| ScenarioError::UnknownItem {
+                    attribute: name.clone(),
+                    value: value.clone(),
+                })?;
             Ok((a, c as u16))
         };
         let build_model = |effects: &NamedEffects| -> Result<EffectModel, ScenarioError> {
@@ -229,8 +255,9 @@ impl ScenarioBuilder {
 
         // Sample columns.
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut columns: Vec<Vec<u16>> =
-            (0..self.attributes.len()).map(|_| Vec::with_capacity(n)).collect();
+        let mut columns: Vec<Vec<u16>> = (0..self.attributes.len())
+            .map(|_| Vec::with_capacity(n))
+            .collect();
         for _ in 0..n {
             for (a, attr) in self.attributes.iter().enumerate() {
                 columns[a].push(sample_weighted(&mut rng, &attr.weights));
@@ -269,7 +296,12 @@ impl ScenarioBuilder {
         let planted_fn_groups = self.fn_.joint.iter().map(|(c, _)| to_items(c)).collect();
 
         Ok(Scenario {
-            dataset: GeneratedDataset { name: self.name, data, v, u },
+            dataset: GeneratedDataset {
+                name: self.name,
+                data,
+                v,
+                u,
+            },
             planted_fp_groups,
             planted_fn_groups,
         })
@@ -300,10 +332,21 @@ mod tests {
         let s = scenario();
         assert_eq!(s.planted_fp_groups.len(), 1);
         let report = DivExplorer::new(0.05)
-            .explore(&s.dataset.data, &s.dataset.v, &s.dataset.u, &[Metric::FalsePositiveRate])
+            .explore(
+                &s.dataset.data,
+                &s.dataset.v,
+                &s.dataset.u,
+                &[Metric::FalsePositiveRate],
+            )
             .unwrap();
-        let idx = report.find(&s.planted_fp_groups[0]).expect("planted group frequent");
-        assert!(report.divergence(idx, 0) > 0.1, "Δ = {}", report.divergence(idx, 0));
+        let idx = report
+            .find(&s.planted_fp_groups[0])
+            .expect("planted group frequent");
+        assert!(
+            report.divergence(idx, 0) > 0.1,
+            "Δ = {}",
+            report.divergence(idx, 0)
+        );
         // It ranks at (or essentially at) the top.
         let rank = report
             .ranked(0, SortBy::Divergence)

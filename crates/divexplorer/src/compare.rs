@@ -79,15 +79,14 @@ impl ModelComparison {
         let mut gaps: Vec<DivergenceGap> = self
             .report_a
             .patterns()
-            .iter()
             .filter_map(|p| {
-                let delta_a = self.report_a.divergence_of(&p.items, m)?;
-                let delta_b = self.report_b.divergence_of(&p.items, m)?;
+                let delta_a = self.report_a.divergence_of(p.items, m)?;
+                let delta_b = self.report_b.divergence_of(p.items, m)?;
                 if delta_a.is_nan() || delta_b.is_nan() {
                     return None;
                 }
                 Some(DivergenceGap {
-                    items: p.items.clone(),
+                    items: p.items.to_vec(),
                     delta_a,
                     delta_b,
                     gap: delta_a - delta_b,
@@ -139,8 +138,8 @@ mod tests {
     #[test]
     fn gap_ranks_where_models_differ() {
         let (data, v, u_a, u_b) = fixture();
-        let cmp = compare_models(&data, &v, &u_a, &u_b, &[Metric::FalsePositiveRate], 0.25)
-            .unwrap();
+        let cmp =
+            compare_models(&data, &v, &u_a, &u_b, &[Metric::FalsePositiveRate], 0.25).unwrap();
         let gaps = cmp.top_gaps(0, 2);
         assert_eq!(gaps.len(), 2);
         // Both subgroups differ with symmetric gap: |Δ_A − Δ_B| = 0.5.
@@ -155,8 +154,8 @@ mod tests {
     #[test]
     fn gap_of_handles_empty_and_missing() {
         let (data, v, u_a, u_b) = fixture();
-        let cmp = compare_models(&data, &v, &u_a, &u_b, &[Metric::FalsePositiveRate], 0.25)
-            .unwrap();
+        let cmp =
+            compare_models(&data, &v, &u_a, &u_b, &[Metric::FalsePositiveRate], 0.25).unwrap();
         assert_eq!(cmp.gap_of(&[], 0), Some(0.0));
         assert_eq!(cmp.gap_of(&[99], 0), None);
     }
@@ -167,7 +166,7 @@ mod tests {
         let cmp = compare_models(&data, &v, &u_a, &u_b, &[Metric::ErrorRate], 0.25).unwrap();
         assert_eq!(cmp.report_a.len(), cmp.report_b.len());
         for p in cmp.report_a.patterns() {
-            assert!(cmp.report_b.find(&p.items).is_some());
+            assert!(cmp.report_b.find(p.items).is_some());
         }
     }
 

@@ -38,7 +38,11 @@ pub struct MomentCounts {
 impl MomentCounts {
     /// Moments of a single value.
     pub fn from_value(v: f64) -> Self {
-        MomentCounts { n: 1, sum: v, sum_sq: v * v }
+        MomentCounts {
+            n: 1,
+            sum: v,
+            sum_sq: v * v,
+        }
     }
 
     /// The mean (NaN when empty).
@@ -107,11 +111,19 @@ pub fn explore_statistic(
 ) -> ContinuousReport {
     assert_eq!(values.len(), data.n_rows(), "value vector length mismatch");
     assert!(data.n_rows() > 0, "empty dataset");
-    assert!(values.iter().all(|v| !v.is_nan()), "NaN values are not supported");
-    assert!((0.0..=1.0).contains(&min_support), "support must be in [0, 1]");
+    assert!(
+        values.iter().all(|v| !v.is_nan()),
+        "NaN values are not supported"
+    );
+    assert!(
+        (0.0..=1.0).contains(&min_support),
+        "support must be in [0, 1]"
+    );
 
-    let payloads: Vec<MomentCounts> =
-        values.iter().map(|&v| MomentCounts::from_value(v)).collect();
+    let payloads: Vec<MomentCounts> = values
+        .iter()
+        .map(|&v| MomentCounts::from_value(v))
+        .collect();
     let mut dataset_moments = MomentCounts::default();
     for p in &payloads {
         fpm::Payload::merge(&mut dataset_moments, p);
@@ -121,7 +133,11 @@ pub fn explore_statistic(
     let found = fpm::mine(algorithm, &db, &payloads, &params);
     let patterns: Vec<ContinuousPattern> = found
         .into_iter()
-        .map(|fi| ContinuousPattern { items: fi.items, support: fi.support, moments: fi.payload })
+        .map(|fi| ContinuousPattern {
+            items: fi.items,
+            support: fi.support,
+            moments: fi.payload,
+        })
         .collect();
     let mut index = FxHashMap::default();
     for (i, p) in patterns.iter().enumerate() {

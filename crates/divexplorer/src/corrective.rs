@@ -37,7 +37,7 @@ pub struct CorrectiveItem {
 pub fn corrective_items(report: &DivergenceReport, m: usize) -> Vec<CorrectiveItem> {
     let mut out = Vec::new();
     for k_idx in 0..report.len() {
-        let extended = &report[k_idx];
+        let extended = report.pattern(k_idx);
         if extended.items.is_empty() {
             continue;
         }
@@ -45,8 +45,8 @@ pub fn corrective_items(report: &DivergenceReport, m: usize) -> Vec<CorrectiveIt
         if delta_ext.is_nan() {
             continue;
         }
-        for &alpha in &extended.items {
-            let base = without(&extended.items, alpha);
+        for &alpha in extended.items {
+            let base = without(extended.items, alpha);
             if base.is_empty() {
                 // Correcting the empty pattern (Δ=0) is impossible:
                 // |Δ({α})| ≥ 0 = |Δ(∅)|.
@@ -62,7 +62,7 @@ pub fn corrective_items(report: &DivergenceReport, m: usize) -> Vec<CorrectiveIt
             }
             let factor = delta_base.abs() - delta_ext.abs();
             if factor > 0.0 {
-                let p_base = report[base_idx].counts.get(m).posterior();
+                let p_base = report.counts(base_idx).get(m).posterior();
                 let p_ext = extended.counts.get(m).posterior();
                 out.push(CorrectiveItem {
                     base,
@@ -157,8 +157,7 @@ mod tests {
             assert!(c.delta_extended.abs() < c.delta_base.abs());
             assert!(c.corrective_factor > 0.0);
             assert!(
-                (c.corrective_factor - (c.delta_base.abs() - c.delta_extended.abs())).abs()
-                    < 1e-12
+                (c.corrective_factor - (c.delta_base.abs() - c.delta_extended.abs())).abs() < 1e-12
             );
             assert!(!c.base.contains(&c.item));
         }

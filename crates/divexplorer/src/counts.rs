@@ -93,8 +93,14 @@ impl MultiCounts {
     ///
     /// Panics if `n_metrics > MAX_METRICS`.
     pub fn empty(n_metrics: usize) -> Self {
-        assert!(n_metrics <= MAX_METRICS, "at most {MAX_METRICS} metrics per pass");
-        MultiCounts { counts: [OutcomeCounts::default(); MAX_METRICS], len: n_metrics as u8 }
+        assert!(
+            n_metrics <= MAX_METRICS,
+            "at most {MAX_METRICS} metrics per pass"
+        );
+        MultiCounts {
+            counts: [OutcomeCounts::default(); MAX_METRICS],
+            len: n_metrics as u8,
+        }
     }
 
     /// Tally of a single instance under each metric's outcome.
@@ -131,7 +137,10 @@ impl MultiCounts {
 impl fpm::Payload for MultiCounts {
     fn zero() -> Self {
         // The zero of the monoid adapts its arity on first merge.
-        MultiCounts { counts: [OutcomeCounts::default(); MAX_METRICS], len: 0 }
+        MultiCounts {
+            counts: [OutcomeCounts::default(); MAX_METRICS],
+            len: 0,
+        }
     }
     fn merge(&mut self, other: &Self) {
         if self.len == 0 {
@@ -158,7 +167,11 @@ mod tests {
 
     #[test]
     fn rate_and_posterior_agree_in_the_large_sample_limit() {
-        let c = OutcomeCounts { t: 300, f: 100, bot: 0 };
+        let c = OutcomeCounts {
+            t: 300,
+            f: 100,
+            bot: 0,
+        };
         assert!((c.rate() - 0.75).abs() < 1e-12);
         assert!((c.posterior().mean() - 0.75).abs() < 0.01);
     }
@@ -166,8 +179,19 @@ mod tests {
     #[test]
     fn outcome_counts_merge_is_componentwise() {
         let mut a = OutcomeCounts { t: 1, f: 2, bot: 3 };
-        a.merge(&OutcomeCounts { t: 10, f: 20, bot: 30 });
-        assert_eq!(a, OutcomeCounts { t: 11, f: 22, bot: 33 });
+        a.merge(&OutcomeCounts {
+            t: 10,
+            f: 20,
+            bot: 30,
+        });
+        assert_eq!(
+            a,
+            OutcomeCounts {
+                t: 11,
+                f: 22,
+                bot: 33
+            }
+        );
     }
 
     #[test]

@@ -39,7 +39,11 @@ impl DiscreteDataset {
                 schema.attribute(a).name
             );
         }
-        DiscreteDataset { schema, n_rows, codes }
+        DiscreteDataset {
+            schema,
+            n_rows,
+            codes,
+        }
     }
 
     /// The schema.
@@ -90,7 +94,9 @@ impl DiscreteDataset {
 
     /// The support set `D(I)`: indices of rows covered by the itemset.
     pub fn support_set(&self, items: &[ItemId]) -> Vec<usize> {
-        (0..self.n_rows).filter(|&r| self.covers(r, items)).collect()
+        (0..self.n_rows)
+            .filter(|&r| self.covers(r, items))
+            .collect()
     }
 
     /// A new dataset containing the selected rows, in order (same schema).
@@ -100,7 +106,11 @@ impl DiscreteDataset {
         for &r in rows {
             codes.extend_from_slice(self.row(r));
         }
-        DiscreteDataset { schema: self.schema.clone(), n_rows: rows.len(), codes }
+        DiscreteDataset {
+            schema: self.schema.clone(),
+            n_rows: rows.len(),
+            codes,
+        }
     }
 
     /// Converts the dataset into the mining substrate's transaction form:
@@ -148,7 +158,11 @@ impl std::fmt::Display for BuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BuildError::Empty => write!(f, "no columns were added"),
-            BuildError::RaggedColumns { column, len, expected } => write!(
+            BuildError::RaggedColumns {
+                column,
+                len,
+                expected,
+            } => write!(
                 f,
                 "column '{column}' has {len} rows but {expected} were expected"
             ),
@@ -183,7 +197,8 @@ impl DatasetBuilder {
         labels: &[&str],
         codes: &[u16],
     ) -> &mut Self {
-        self.attributes.push(Attribute::new(name, labels.iter().copied()));
+        self.attributes
+            .push(Attribute::new(name, labels.iter().copied()));
         self.columns.push(codes.to_vec());
         self
     }
@@ -207,7 +222,10 @@ impl DatasetBuilder {
             };
             codes.push(code as u16);
         }
-        self.attributes.push(Attribute { name: name.into(), values: labels });
+        self.attributes.push(Attribute {
+            name: name.into(),
+            values: labels,
+        });
         self.columns.push(codes);
         self
     }
@@ -263,7 +281,10 @@ impl DatasetBuilder {
                 codes[r * n_attrs + a] = c;
             }
         }
-        Ok(DiscreteDataset::from_codes(Schema::new(self.attributes.clone()), codes))
+        Ok(DiscreteDataset::from_codes(
+            Schema::new(self.attributes.clone()),
+            codes,
+        ))
     }
 }
 
@@ -274,7 +295,11 @@ mod tests {
     fn small() -> DiscreteDataset {
         let mut b = DatasetBuilder::new();
         b.categorical("sex", &["M", "F"], &[0, 1, 0, 1]);
-        b.continuous("age", &[20.0, 30.0, 50.0, 60.0], &BinningStrategy::Custom(vec![40.0]));
+        b.continuous(
+            "age",
+            &[20.0, 30.0, 50.0, 60.0],
+            &BinningStrategy::Custom(vec![40.0]),
+        );
         b.build().unwrap()
     }
 
@@ -338,11 +363,21 @@ mod tests {
         let mut b = DatasetBuilder::new();
         b.categorical("a", &["x", "y"], &[0, 2]);
         let err = b.build().unwrap_err();
-        assert!(matches!(err, BuildError::CodeOutOfDomain { row: 1, code: 2, .. }));
+        assert!(matches!(
+            err,
+            BuildError::CodeOutOfDomain {
+                row: 1,
+                code: 2,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn empty_builder_errors() {
-        assert_eq!(DatasetBuilder::new().build().unwrap_err(), BuildError::Empty);
+        assert_eq!(
+            DatasetBuilder::new().build().unwrap_err(),
+            BuildError::Empty
+        );
     }
 }

@@ -38,7 +38,10 @@ pub struct Discretized {
 /// zero bins / non-ascending custom cuts.
 pub fn discretize(values: &[f64], strategy: &BinningStrategy) -> Discretized {
     assert!(!values.is_empty(), "cannot discretize an empty column");
-    assert!(values.iter().all(|v| !v.is_nan()), "NaN values are not supported");
+    assert!(
+        values.iter().all(|v| !v.is_nan()),
+        "NaN values are not supported"
+    );
     let cuts = match strategy {
         BinningStrategy::UniformWidth(k) => uniform_cuts(values, *k),
         BinningStrategy::Quantile(k) => quantile_cuts(values, *k),
@@ -52,7 +55,11 @@ pub fn discretize(values: &[f64], strategy: &BinningStrategy) -> Discretized {
     };
     let labels = bin_labels(&cuts);
     let codes = values.iter().map(|&v| bin_of(v, &cuts)).collect();
-    Discretized { codes, labels, cuts }
+    Discretized {
+        codes,
+        labels,
+        cuts,
+    }
 }
 
 /// The bin index of `v` given ascending cut points: the number of cuts ≤ v.

@@ -92,22 +92,22 @@ impl DriftReport {
         let mut out: Vec<PatternDrift> = self
             .baseline
             .patterns()
-            .iter()
             .filter_map(|p| {
-                let b_idx = self.baseline.find(&p.items)?;
-                let c_idx = self.current.find(&p.items)?;
+                let b_idx = self.baseline.find(p.items)?;
+                let c_idx = self.current.find(p.items)?;
                 let delta_baseline = self.baseline.divergence(b_idx, 0);
                 let delta_current = self.current.divergence(c_idx, 0);
                 if delta_baseline.is_nan() || delta_current.is_nan() {
                     return None;
                 }
-                let t = self.baseline.patterns()[b_idx]
-                    .counts
+                let t = self
+                    .baseline
+                    .counts(b_idx)
                     .get(0)
                     .posterior()
-                    .welch_t(&self.current.patterns()[c_idx].counts.get(0).posterior());
+                    .welch_t(&self.current.counts(c_idx).get(0).posterior());
                 Some(PatternDrift {
-                    items: p.items.clone(),
+                    items: p.items.to_vec(),
                     delta_baseline,
                     delta_current,
                     drift: delta_current - delta_baseline,
@@ -130,11 +130,10 @@ impl DriftReport {
     pub fn emerged(&self) -> Vec<(Vec<ItemId>, f64)> {
         self.current
             .patterns()
-            .iter()
-            .filter(|p| self.baseline.find(&p.items).is_none())
+            .filter(|p| self.baseline.find(p.items).is_none())
             .map(|p| {
-                let idx = self.current.find(&p.items).expect("own pattern");
-                (p.items.clone(), self.current.divergence(idx, 0))
+                let idx = self.current.find(p.items).expect("own pattern");
+                (p.items.to_vec(), self.current.divergence(idx, 0))
             })
             .collect()
     }
@@ -144,11 +143,10 @@ impl DriftReport {
     pub fn vanished(&self) -> Vec<(Vec<ItemId>, f64)> {
         self.baseline
             .patterns()
-            .iter()
-            .filter(|p| self.current.find(&p.items).is_none())
+            .filter(|p| self.current.find(p.items).is_none())
             .map(|p| {
-                let idx = self.baseline.find(&p.items).expect("own pattern");
-                (p.items.clone(), self.baseline.divergence(idx, 0))
+                let idx = self.baseline.find(p.items).expect("own pattern");
+                (p.items.to_vec(), self.baseline.divergence(idx, 0))
             })
             .collect()
     }
@@ -177,9 +175,17 @@ mod tests {
     fn detects_a_shifted_error_subgroup() {
         let (d1, v1, u1) = period(true);
         let (d2, v2, u2) = period(false);
-        let report =
-            drift_between(&d1, &v1, &u1, &d2, &v2, &u2, Metric::FalsePositiveRate, 0.25)
-                .unwrap();
+        let report = drift_between(
+            &d1,
+            &v1,
+            &u1,
+            &d2,
+            &v2,
+            &u2,
+            Metric::FalsePositiveRate,
+            0.25,
+        )
+        .unwrap();
         let drifts = report.pattern_drift();
         assert_eq!(drifts.len(), 2);
         // g=a: Δ went from +0.25 to −0.25 (drift −0.5); g=b the reverse.
@@ -194,9 +200,17 @@ mod tests {
     #[test]
     fn stable_model_has_zero_drift() {
         let (d1, v1, u1) = period(true);
-        let report =
-            drift_between(&d1, &v1, &u1, &d1, &v1, &u1, Metric::FalsePositiveRate, 0.25)
-                .unwrap();
+        let report = drift_between(
+            &d1,
+            &v1,
+            &u1,
+            &d1,
+            &v1,
+            &u1,
+            Metric::FalsePositiveRate,
+            0.25,
+        )
+        .unwrap();
         for d in report.pattern_drift() {
             assert_eq!(d.drift, 0.0);
             assert_eq!(d.t, 0.0);

@@ -15,9 +15,9 @@
 
 use crate::counts::{MultiCounts, OutcomeCounts, MAX_METRICS};
 use crate::dataset::DiscreteDataset;
-use crate::report::{DivergenceReport, Pattern};
+use crate::report::DivergenceReport;
 use crate::{Metric, Outcome};
-use fpm::Payload;
+use fpm::{ItemsetArena, ItemsetSink, Payload};
 
 /// Errors from [`DivExplorer::explore`].
 #[derive(Debug, Clone, PartialEq)]
@@ -46,12 +46,22 @@ pub enum ExploreError {
 impl std::fmt::Display for ExploreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ExploreError::LengthMismatch { which, got, expected } => {
-                write!(f, "{which} has {got} entries but the dataset has {expected} rows")
+            ExploreError::LengthMismatch {
+                which,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "{which} has {got} entries but the dataset has {expected} rows"
+                )
             }
             ExploreError::NoMetrics => write!(f, "at least one metric is required"),
             ExploreError::TooManyMetrics(n) => {
-                write!(f, "{n} metrics requested but at most {MAX_METRICS} fit one pass")
+                write!(
+                    f,
+                    "{n} metrics requested but at most {MAX_METRICS} fit one pass"
+                )
             }
             ExploreError::DuplicateMetric(m) => write!(f, "metric {m} requested twice"),
             ExploreError::EmptyDataset => write!(f, "the dataset has no rows"),
@@ -119,6 +129,9 @@ impl DivExplorer {
 
     /// Runs the exploration: mines every itemset with support ≥ the
     /// threshold and tallies each metric's outcomes over it.
+    ///
+    /// The miners stream straight into the report's [`ItemsetArena`] —
+    /// no intermediate per-pattern `Vec` is materialized.
     pub fn explore(
         &self,
         data: &DiscreteDataset,
@@ -130,42 +143,66 @@ impl DivExplorer {
 
         // Line 1–2: outcome functions, one-hot encoded per instance.
         let n = data.n_rows();
-        let mut outcome_buf: Vec<Outcome> = Vec::with_capacity(metrics.len());
-        let mut payloads: Vec<MultiCounts> = Vec::with_capacity(n);
-        let mut dataset_counts = MultiCounts::empty(metrics.len());
-        for r in 0..n {
-            outcome_buf.clear();
-            outcome_buf.extend(metrics.iter().map(|m| m.outcome(v[r], u[r])));
-            let mc = MultiCounts::from_outcomes(&outcome_buf);
-            dataset_counts.merge(&mc);
-            payloads.push(mc);
-        }
+        let (payloads, dataset_counts) = tally_outcomes(v, u, metrics);
 
-        // Lines 4–12: frequent-pattern mining with fused tallies.
+        // Lines 4–12: frequent-pattern mining with fused tallies, emitted
+        // directly into the arena that backs the report.
         let db = data.to_transactions();
         let mut params = fpm::MiningParams::with_min_support_fraction(self.min_support, n);
         params.max_len = self.max_len;
         let min_support_count = params.min_support_count;
-        let found = if self.threads > 1 {
-            fpm::parallel::mine(&db, &payloads, &params, self.threads)
+        let store = if self.threads > 1 {
+            fpm::parallel::mine_arena(&db, &payloads, &params, self.threads)
         } else {
-            fpm::mine(self.algorithm, &db, &payloads, &params)
+            fpm::mine_arena(self.algorithm, &db, &payloads, &params)
         };
 
-        // Lines 13–15: package tallies; rates/divergences are computed
-        // lazily by the report.
-        let patterns = found
-            .into_iter()
-            .map(|fi| Pattern { items: fi.items, support: fi.support, counts: fi.payload })
-            .collect();
-        Ok(DivergenceReport::new(
+        // Lines 13–15: rates/divergences are computed lazily by the report.
+        Ok(DivergenceReport::from_store(
             data.schema().clone(),
             metrics.to_vec(),
             n,
             min_support_count,
             dataset_counts,
-            patterns,
+            store,
         ))
+    }
+
+    /// Streams the exploration into a caller-supplied [`ItemsetSink`]
+    /// instead of building a report.
+    ///
+    /// This is the composable form of [`DivExplorer::explore`]: stack
+    /// filters (e.g. [`crate::SignificanceSink`] or
+    /// [`crate::DivergenceFilterSink`]) over an [`ItemsetArena`] and pass
+    /// the result to [`DivergenceReport::from_store`] together with the
+    /// returned [`ExplorationStats`]. With `threads > 1` the sink receives
+    /// the merged canonical result after the parallel search (its
+    /// `wants_extensions` hook is not consulted — see
+    /// [`fpm::parallel::mine_into`]).
+    pub fn explore_into<S: ItemsetSink<MultiCounts>>(
+        &self,
+        data: &DiscreteDataset,
+        v: &[bool],
+        u: &[bool],
+        metrics: &[Metric],
+        sink: &mut S,
+    ) -> Result<ExplorationStats, ExploreError> {
+        self.validate(data, v, u, metrics)?;
+        let n = data.n_rows();
+        let (payloads, dataset_counts) = tally_outcomes(v, u, metrics);
+        let db = data.to_transactions();
+        let mut params = fpm::MiningParams::with_min_support_fraction(self.min_support, n);
+        params.max_len = self.max_len;
+        if self.threads > 1 {
+            fpm::parallel::mine_into(&db, &payloads, &params, self.threads, sink);
+        } else {
+            fpm::mine_into(self.algorithm, &db, &payloads, &params, sink);
+        }
+        Ok(ExplorationStats {
+            n_rows: n,
+            min_support_count: params.min_support_count,
+            dataset_counts,
+        })
     }
 
     /// Like [`DivExplorer::explore`], but mines only the itemsets that
@@ -187,33 +224,27 @@ impl DivExplorer {
     ) -> Result<DivergenceReport, ExploreError> {
         self.validate(data, v, u, metrics)?;
         let n = data.n_rows();
-        let mut outcome_buf: Vec<Outcome> = Vec::with_capacity(metrics.len());
-        let mut payloads: Vec<MultiCounts> = Vec::with_capacity(n);
-        let mut dataset_counts = MultiCounts::empty(metrics.len());
-        for r in 0..n {
-            outcome_buf.clear();
-            outcome_buf.extend(metrics.iter().map(|m| m.outcome(v[r], u[r])));
-            let mc = MultiCounts::from_outcomes(&outcome_buf);
-            dataset_counts.merge(&mc);
-            payloads.push(mc);
-        }
+        let (payloads, dataset_counts) = tally_outcomes(v, u, metrics);
         let db = data.to_transactions();
         let mut params = fpm::MiningParams::with_min_support_fraction(self.min_support, n);
         params.max_len = self.max_len;
         let min_support_count = params.min_support_count;
-        let found =
-            fpm::anchored::mine_containing(self.algorithm, &db, &payloads, &params, anchor);
-        let patterns = found
-            .into_iter()
-            .map(|fi| Pattern { items: fi.items, support: fi.support, counts: fi.payload })
-            .collect();
-        Ok(DivergenceReport::new(
+        let mut store = ItemsetArena::new();
+        fpm::anchored::mine_containing_into(
+            self.algorithm,
+            &db,
+            &payloads,
+            &params,
+            anchor,
+            &mut store,
+        );
+        Ok(DivergenceReport::from_store(
             data.schema().clone(),
             metrics.to_vec(),
             n,
             min_support_count,
             dataset_counts,
-            patterns,
+            store,
         ))
     }
 
@@ -257,6 +288,35 @@ impl DivExplorer {
         }
         Ok(())
     }
+}
+
+/// Dataset-level facts of one exploration pass, returned by
+/// [`DivExplorer::explore_into`] — exactly what
+/// [`DivergenceReport::from_store`] needs besides the mined store.
+#[derive(Debug, Clone)]
+pub struct ExplorationStats {
+    /// Number of dataset instances `|D|`.
+    pub n_rows: usize,
+    /// The absolute support-count threshold used.
+    pub min_support_count: u64,
+    /// Tallies of every metric over the whole dataset.
+    pub dataset_counts: MultiCounts,
+}
+
+/// Lines 1–2 of Algorithm 1: per-instance one-hot outcome tallies plus
+/// their dataset-level sum.
+fn tally_outcomes(v: &[bool], u: &[bool], metrics: &[Metric]) -> (Vec<MultiCounts>, MultiCounts) {
+    let mut outcome_buf: Vec<Outcome> = Vec::with_capacity(metrics.len());
+    let mut payloads: Vec<MultiCounts> = Vec::with_capacity(v.len());
+    let mut dataset_counts = MultiCounts::empty(metrics.len());
+    for r in 0..v.len() {
+        outcome_buf.clear();
+        outcome_buf.extend(metrics.iter().map(|m| m.outcome(v[r], u[r])));
+        let mc = MultiCounts::from_outcomes(&outcome_buf);
+        dataset_counts.merge(&mc);
+        payloads.push(mc);
+    }
+    (payloads, dataset_counts)
 }
 
 /// Computes dataset-level outcome tallies without mining — useful for
@@ -320,9 +380,9 @@ mod tests {
                 .unwrap();
             assert_eq!(report.len(), reference.len(), "{algo}");
             for p in reference.patterns() {
-                let idx = report.find(&p.items).unwrap();
-                assert_eq!(report[idx].support, p.support, "{algo}");
-                assert_eq!(report[idx].counts, p.counts, "{algo}");
+                let idx = report.find(p.items).unwrap();
+                assert_eq!(report.support(idx), p.support, "{algo}");
+                assert_eq!(report.counts(idx), p.counts, "{algo}");
             }
         }
     }
@@ -394,11 +454,17 @@ mod tests {
         let m = [Metric::ErrorRate];
         assert!(matches!(
             DivExplorer::new(0.1).explore(&data, &v[..3], &u, &m),
-            Err(ExploreError::LengthMismatch { which: "ground truth", .. })
+            Err(ExploreError::LengthMismatch {
+                which: "ground truth",
+                ..
+            })
         ));
         assert!(matches!(
             DivExplorer::new(0.1).explore(&data, &v, &u[..3], &m),
-            Err(ExploreError::LengthMismatch { which: "predictions", .. })
+            Err(ExploreError::LengthMismatch {
+                which: "predictions",
+                ..
+            })
         ));
         assert!(matches!(
             DivExplorer::new(0.1).explore(&data, &v, &u, &[]),
@@ -418,21 +484,19 @@ mod tests {
     fn anchored_exploration_matches_filtered_full_exploration() {
         let (data, v, u) = fixture();
         let metrics = [Metric::FalsePositiveRate];
-        let full = DivExplorer::new(0.1).explore(&data, &v, &u, &metrics).unwrap();
+        let full = DivExplorer::new(0.1)
+            .explore(&data, &v, &u, &metrics)
+            .unwrap();
         let ga = data.schema().item_by_name("g", "a").unwrap();
         let anchored = DivExplorer::new(0.1)
             .explore_containing(&data, &v, &u, &metrics, ga)
             .unwrap();
-        let expected: Vec<_> = full
-            .patterns()
-            .iter()
-            .filter(|p| p.items.contains(&ga))
-            .collect();
+        let expected: Vec<_> = full.patterns().filter(|p| p.items.contains(&ga)).collect();
         assert_eq!(anchored.len(), expected.len());
         for p in expected {
-            let idx = anchored.find(&p.items).unwrap();
-            assert_eq!(anchored[idx].support, p.support);
-            assert_eq!(anchored[idx].counts, p.counts);
+            let idx = anchored.find(p.items).unwrap();
+            assert_eq!(anchored.support(idx), p.support);
+            assert_eq!(anchored.counts(idx), p.counts);
         }
         // Dataset-level rates are the true global ones, not conditional.
         assert_eq!(anchored.dataset_rate(0), full.dataset_rate(0));
@@ -442,7 +506,9 @@ mod tests {
     fn threaded_exploration_matches_sequential() {
         let (data, v, u) = fixture();
         let metrics = [Metric::FalsePositiveRate, Metric::ErrorRate];
-        let sequential = DivExplorer::new(0.1).explore(&data, &v, &u, &metrics).unwrap();
+        let sequential = DivExplorer::new(0.1)
+            .explore(&data, &v, &u, &metrics)
+            .unwrap();
         for threads in [2, 4] {
             let parallel = DivExplorer::new(0.1)
                 .with_threads(threads)
@@ -450,8 +516,8 @@ mod tests {
                 .unwrap();
             assert_eq!(parallel.len(), sequential.len(), "threads={threads}");
             for p in sequential.patterns() {
-                let idx = parallel.find(&p.items).unwrap();
-                assert_eq!(parallel[idx].counts, p.counts);
+                let idx = parallel.find(p.items).unwrap();
+                assert_eq!(parallel.counts(idx), p.counts);
             }
         }
     }
@@ -464,11 +530,39 @@ mod tests {
         let report = DivExplorer::new(0.3)
             .explore(&data, &v, &u, &[Metric::ErrorRate])
             .unwrap();
-        assert!(report.patterns().iter().all(|p| p.len() == 1));
+        assert!(report.patterns().all(|p| p.len() == 1));
         let report = DivExplorer::new(0.25)
             .explore(&data, &v, &u, &[Metric::ErrorRate])
             .unwrap();
-        assert!(report.patterns().iter().any(|p| p.len() == 2));
+        assert!(report.patterns().any(|p| p.len() == 2));
+    }
+
+    #[test]
+    fn explore_into_an_arena_reproduces_explore() {
+        let (data, v, u) = fixture();
+        let metrics = [Metric::FalsePositiveRate, Metric::ErrorRate];
+        let report = DivExplorer::new(0.1)
+            .explore(&data, &v, &u, &metrics)
+            .unwrap();
+        let mut store = ItemsetArena::new();
+        let stats = DivExplorer::new(0.1)
+            .explore_into(&data, &v, &u, &metrics, &mut store)
+            .unwrap();
+        let rebuilt = DivergenceReport::from_store(
+            data.schema().clone(),
+            metrics.to_vec(),
+            stats.n_rows,
+            stats.min_support_count,
+            stats.dataset_counts,
+            store,
+        );
+        assert_eq!(rebuilt.len(), report.len());
+        for p in report.patterns() {
+            let idx = rebuilt.find(p.items).unwrap();
+            assert_eq!(rebuilt.support(idx), p.support);
+            assert_eq!(rebuilt.counts(idx), p.counts);
+            assert_eq!(rebuilt.dataset_rate(0), report.dataset_rate(0));
+        }
     }
 
     #[test]

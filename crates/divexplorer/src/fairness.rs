@@ -112,7 +112,7 @@ pub fn audit_fairness(
             let tpr_gap = report.divergence(idx, 1);
             let fpr_gap = report.divergence(idx, 2);
             FairnessViolation {
-                items: report[idx].items.clone(),
+                items: report.items(idx).to_vec(),
                 support: report.support_fraction(idx),
                 demographic_parity: report.divergence(idx, 0),
                 equal_opportunity: tpr_gap,
@@ -185,7 +185,11 @@ mod tests {
         let (data, v, u) = fixture();
         let audit = audit_fairness(&data, &v, &u, 0.25).unwrap();
         let ga = audit.report.schema().item_by_name("g", "a").unwrap();
-        let violation = audit.violations.iter().find(|f| f.items == vec![ga]).unwrap();
+        let violation = audit
+            .violations
+            .iter()
+            .find(|f| f.items == vec![ga])
+            .unwrap();
         // PPR(g=a)=1.0, overall=5/8: deviation +0.375.
         assert!((violation.demographic_parity - 0.375).abs() < 1e-12);
     }

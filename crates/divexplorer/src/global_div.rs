@@ -62,17 +62,16 @@ pub fn global_item_divergence_of(
     }
 
     for k_idx in 0..report.len() {
-        let k_pattern = &report[k_idx];
-        let delta_k = delta_of(report, &k_pattern.items).unwrap_or(f64::NAN);
+        let k_items = report.items(k_idx);
+        let delta_k = delta_of(report, k_items).unwrap_or(f64::NAN);
         if delta_k.is_nan() {
             continue;
         }
         // Π_{b ∈ attr(K)} m_b — shared by all items of K.
-        let domain_product = report.schema().domain_product(&k_pattern.items);
-        let w = weights[k_pattern.items.len() - 1] / domain_product;
-        for &alpha in &k_pattern.items {
-            let j: Vec<ItemId> =
-                k_pattern.items.iter().copied().filter(|&i| i != alpha).collect();
+        let domain_product = report.schema().domain_product(k_items);
+        let w = weights[k_items.len() - 1] / domain_product;
+        for &alpha in k_items {
+            let j: Vec<ItemId> = k_items.iter().copied().filter(|&i| i != alpha).collect();
             let delta_j = if j.is_empty() {
                 delta_of(report, &j).unwrap_or(0.0)
             } else {
@@ -113,16 +112,15 @@ pub fn global_itemset_divergence(
 
     let mut total = 0.0;
     for k_idx in 0..report.len() {
-        let k_pattern = &report[k_idx];
-        if k_pattern.items.len() < i_len || !is_subset(items, &k_pattern.items) {
+        let k_items = report.items(k_idx);
+        if k_items.len() < i_len || !is_subset(items, k_items) {
             continue;
         }
         let delta_k = report.divergence(k_idx, m);
         if delta_k.is_nan() {
             continue;
         }
-        let j: Vec<ItemId> = k_pattern
-            .items
+        let j: Vec<ItemId> = k_items
             .iter()
             .copied()
             .filter(|i| !items.contains(i))
@@ -133,7 +131,7 @@ pub fn global_itemset_divergence(
         if delta_j.is_nan() {
             continue;
         }
-        let domain_product = report.schema().domain_product(&k_pattern.items);
+        let domain_product = report.schema().domain_product(k_items);
         total += weights[j.len()] / domain_product * (delta_k - delta_j);
     }
     Some(total)
@@ -181,8 +179,7 @@ pub fn mean_complete_divergence(report: &DivergenceReport, m: usize) -> f64 {
         .product();
     let mut total = 0.0;
     for idx in 0..report.len() {
-        let p = &report[idx];
-        if p.items.len() == n_attrs {
+        if report.items(idx).len() == n_attrs {
             let d = report.divergence(idx, m);
             if !d.is_nan() {
                 total += d;
@@ -335,7 +332,12 @@ mod tests {
         // Δ = γ1·Δ_FPR + γ2·Δ_ER  =>  Δᵍ = γ1·Δᵍ_FPR + γ2·Δᵍ_ER.
         let (data, v, u) = full_coverage_fixture();
         let report = DivExplorer::new(0.0)
-            .explore(&data, &v, &u, &[Metric::FalsePositiveRate, Metric::ErrorRate])
+            .explore(
+                &data,
+                &v,
+                &u,
+                &[Metric::FalsePositiveRate, Metric::ErrorRate],
+            )
             .unwrap();
         let (g1, g2) = (2.0, -0.5);
         let combined = global_item_divergence_of(&report, |r, items| {
@@ -397,7 +399,10 @@ mod tests {
                 .find(|(i, _)| *i == schema.item_by_name("y", val).unwrap())
                 .unwrap()
                 .1;
-            assert!((gx - gy).abs() < 1e-12, "symmetry violated at {val}: {gx} vs {gy}");
+            assert!(
+                (gx - gy).abs() < 1e-12,
+                "symmetry violated at {val}: {gx} vs {gy}"
+            );
         }
     }
 

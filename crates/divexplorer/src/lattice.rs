@@ -96,7 +96,7 @@ pub fn sublattice(
                 .ok_or_else(|| LatticeError::NotFrequent(items.clone()))?;
             (
                 report.divergence(idx, m),
-                report.patterns()[idx].support,
+                report.support(idx),
                 report.t_statistic(idx, m),
             )
         };
@@ -117,8 +117,7 @@ pub fn sublattice(
             continue;
         }
         for (pi, parent) in nodes.iter().enumerate() {
-            if parent.items.len() + 1 == child.items.len()
-                && is_subset(&parent.items, &child.items)
+            if parent.items.len() + 1 == child.items.len() && is_subset(&parent.items, &child.items)
             {
                 edges.push((pi, ci));
             }
@@ -131,13 +130,20 @@ pub fn sublattice(
             corrective_flags[ci] = true;
         }
     }
-    let labels: Vec<String> =
-        nodes.iter().map(|n| report.display_itemset(&n.items)).collect();
+    let labels: Vec<String> = nodes
+        .iter()
+        .map(|n| report.display_itemset(&n.items))
+        .collect();
     for (node, flag) in nodes.iter_mut().zip(corrective_flags) {
         node.corrective = flag;
     }
 
-    Ok(Lattice { nodes, edges, threshold, labels })
+    Ok(Lattice {
+        nodes,
+        edges,
+        threshold,
+        labels,
+    })
 }
 
 impl Lattice {

@@ -61,8 +61,7 @@
 //!
 //! // Males have FPR 0.75 vs 0.375 overall: divergence +0.375.
 //! let top = report.ranked(0, divexplorer::SortBy::Divergence);
-//! let best = &report[top[0]];
-//! assert_eq!(report.display_itemset(&best.items), "sex=M");
+//! assert_eq!(report.display_itemset(report.items(top[0])), "sex=M");
 //! let delta = report.divergence(top[0], 0);
 //! assert!((delta - 0.375).abs() < 1e-12);
 //! ```
@@ -88,21 +87,22 @@ pub mod shapley;
 pub mod stats;
 pub mod summary;
 
+pub use compare::{compare_models, disagreement_report, ModelComparison};
 pub use continuous::{explore_statistic, ContinuousReport, MomentCounts};
 pub use counts::{MultiCounts, OutcomeCounts, MAX_METRICS};
 pub use dataset::{DatasetBuilder, DiscreteDataset};
 pub use discretize::BinningStrategy;
 pub use drift::{drift_between, DriftReport, PatternDrift};
-pub use explorer::{DivExplorer, ExploreError};
+pub use explorer::{DivExplorer, ExplorationStats, ExploreError};
 pub use fairness::{audit_fairness, FairnessAudit};
 pub use item::{Item, ItemId};
-pub use compare::{compare_models, disagreement_report, ModelComparison};
 pub use lattice::{Lattice, LatticeNode};
 pub use neighborhood::{neighborhood, Neighborhood};
+pub use pruning::DivergenceFilterSink;
 pub use query::PatternQuery;
-pub use report::{DivergenceReport, Pattern, SortBy};
+pub use report::{DivergenceReport, PatternRef, SortBy};
 pub use schema::{Attribute, Schema};
-pub use stats::BetaPosterior;
+pub use stats::{BetaPosterior, SignificanceSink};
 pub use summary::{render_summary, SummaryOptions};
 
 use serde::{Deserialize, Serialize};

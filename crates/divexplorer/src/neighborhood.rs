@@ -43,11 +43,7 @@ pub struct Neighborhood {
 ///
 /// Returns `None` if `items` is empty or not frequent, or its divergence is
 /// undefined. Specializations with undefined divergence are skipped.
-pub fn neighborhood(
-    report: &DivergenceReport,
-    items: &[ItemId],
-    m: usize,
-) -> Option<Neighborhood> {
+pub fn neighborhood(report: &DivergenceReport, items: &[ItemId], m: usize) -> Option<Neighborhood> {
     let idx = report.find(items)?;
     let delta = report.divergence(idx, m);
     if delta.is_nan() {
@@ -61,7 +57,7 @@ pub fn neighborhood(
             (0.0, report.n_rows() as u64)
         } else {
             let p_idx = report.find(&parent)?;
-            (report.divergence(p_idx, m), report[p_idx].support)
+            (report.divergence(p_idx, m), report.support(p_idx))
         };
         if parent_delta.is_nan() {
             continue;
@@ -78,8 +74,8 @@ pub fn neighborhood(
     // Specializations: every frequent superset with exactly one more item.
     let mut specializations = Vec::new();
     for c_idx in 0..report.len() {
-        let candidate = &report[c_idx];
-        if candidate.items.len() != items.len() + 1 || !is_subset(items, &candidate.items) {
+        let candidate = report.pattern(c_idx);
+        if candidate.items.len() != items.len() + 1 || !is_subset(items, candidate.items) {
             continue;
         }
         let added = *candidate
@@ -94,7 +90,7 @@ pub fn neighborhood(
         }
         specializations.push(Step {
             item: added,
-            items: candidate.items.clone(),
+            items: candidate.items.to_vec(),
             delta: c_delta,
             delta_change: c_delta - delta,
             support: candidate.support,
@@ -108,7 +104,12 @@ pub fn neighborhood(
             .then_with(|| a.item.cmp(&b.item))
     });
 
-    Some(Neighborhood { items: items.to_vec(), delta, generalizations, specializations })
+    Some(Neighborhood {
+        items: items.to_vec(),
+        delta,
+        generalizations,
+        specializations,
+    })
 }
 
 impl Neighborhood {

@@ -5,8 +5,22 @@
 //! already captures the divergence of `I`. The paper shows (Table 6,
 //! Figure 10) that even small `ε` collapses thousands of patterns to a few
 //! diverse representatives.
+//!
+//! Two layers operate here:
+//!
+//! - [`DivergenceFilterSink`], a streaming [`fpm::ItemsetSink`] that keeps
+//!   only patterns with `|Δ| ≥ t` *during* mining — compose it with
+//!   [`crate::DivExplorer::explore_into`] to avoid ever storing the
+//!   uninteresting bulk of the lattice;
+//! - [`prune_redundant`], which must run *post hoc* over a complete
+//!   report: the ε-marginal rule compares each pattern against its
+//!   immediate sub-patterns, so it needs the whole lattice present
+//!   (a streaming form would have to buffer everything anyway).
 
-use crate::item::without;
+use fpm::ItemsetSink;
+
+use crate::counts::MultiCounts;
+use crate::item::{without, ItemId};
 use crate::report::DivergenceReport;
 
 /// Indices of the patterns that survive ε-redundancy pruning for metric `m`.
@@ -20,13 +34,13 @@ pub fn prune_redundant(report: &DivergenceReport, m: usize, epsilon: f64) -> Vec
     assert!(epsilon >= 0.0, "epsilon must be non-negative");
     let mut retained = Vec::new();
     'patterns: for idx in 0..report.len() {
-        let pattern = &report[idx];
+        let items = report.items(idx);
         let delta = report.divergence(idx, m);
         if delta.is_nan() {
             continue;
         }
-        for &alpha in &pattern.items {
-            let base = without(&pattern.items, alpha);
+        for &alpha in items {
+            let base = without(items, alpha);
             let Some(delta_base) = report.divergence_of(&base, m) else {
                 // Missing sub-pattern (max_len cap): treat conservatively as
                 // redundant, matching the paper's requirement of a complete
@@ -49,6 +63,59 @@ pub fn pruning_curve(report: &DivergenceReport, m: usize, epsilons: &[f64]) -> V
         .iter()
         .map(|&eps| (eps, prune_redundant(report, m, eps).len()))
         .collect()
+}
+
+/// A streaming sink keeping only patterns with `|Δ(I)| ≥ threshold` for
+/// some tallied metric, forwarding them to `inner`.
+///
+/// Divergence is computed against fixed dataset-level tallies supplied at
+/// construction (obtainable without mining via
+/// [`crate::explorer::dataset_outcome_counts`] per metric, or from
+/// [`crate::ExplorationStats`]). Because a pattern's extensions can be
+/// *more* divergent than the pattern itself, `wants_extensions` always
+/// answers true — only emission is filtered, so mining completeness for
+/// the surviving patterns is preserved.
+#[derive(Debug)]
+pub struct DivergenceFilterSink<S> {
+    inner: S,
+    dataset_counts: MultiCounts,
+    threshold: f64,
+}
+
+impl<S> DivergenceFilterSink<S> {
+    /// Filters at `|Δ| ≥ threshold` under any of the metrics tallied in
+    /// `dataset_counts`.
+    pub fn new(inner: S, dataset_counts: MultiCounts, threshold: f64) -> Self {
+        assert!(threshold >= 0.0, "threshold must be non-negative");
+        DivergenceFilterSink {
+            inner,
+            dataset_counts,
+            threshold,
+        }
+    }
+
+    /// Consumes the filter, returning the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: ItemsetSink<MultiCounts>> ItemsetSink<MultiCounts> for DivergenceFilterSink<S> {
+    fn emit(&mut self, items: &[ItemId], support: u64, payload: &MultiCounts) {
+        let passes = (0..self.dataset_counts.len()).any(|m| {
+            let delta = payload.get(m).rate() - self.dataset_counts.get(m).rate();
+            delta.abs() >= self.threshold
+        });
+        if passes {
+            self.inner.emit(items, support, payload);
+        }
+    }
+
+    fn wants_extensions(&mut self, items: &[ItemId], support: u64) -> bool {
+        // |Δ| is not anti-monotone: extensions of a filtered-out pattern
+        // may pass, so never prune the search.
+        self.inner.wants_extensions(items, support)
+    }
 }
 
 #[cfg(test)]
@@ -91,7 +158,7 @@ mod tests {
         // Only the two g-patterns survive: every h-item adds nothing.
         let names: Vec<String> = retained
             .iter()
-            .map(|&i| report.display_itemset(&report[i].items))
+            .map(|&i| report.display_itemset(report.items(i)))
             .collect();
         assert_eq!(names, vec!["g=a", "g=b"]);
     }
@@ -105,7 +172,7 @@ mod tests {
         let retained = prune_redundant(&report, 0, 0.0);
         // h alone has Δ=0 — equal to Δ(∅): marginal contribution 0 ≤ ε.
         for &idx in &retained {
-            assert!(!report.display_itemset(&report[idx].items).starts_with("h="));
+            assert!(!report.display_itemset(report.items(idx)).starts_with("h="));
         }
     }
 
@@ -129,7 +196,7 @@ mod tests {
             .unwrap();
         let eps = 0.02;
         for &idx in &prune_redundant(&report, 0, eps) {
-            let items = &report[idx].items;
+            let items = report.items(idx);
             let delta = report.divergence(idx, 0);
             for &alpha in items {
                 let base = without(items, alpha);
@@ -148,7 +215,59 @@ mod tests {
         let retained = prune_redundant(&report, 0, 0.05);
         let ranked = report.ranked(0, SortBy::Divergence);
         let best_retained = ranked.iter().find(|i| retained.contains(i)).unwrap();
-        assert_eq!(report.display_itemset(&report[*best_retained].items), "g=a");
+        assert_eq!(report.display_itemset(report.items(*best_retained)), "g=a");
+    }
+
+    #[test]
+    fn divergence_filter_sink_matches_post_hoc_filtering() {
+        let (data, v, u) = fixture();
+        let explorer = DivExplorer::new(0.1);
+        let metrics = [Metric::FalsePositiveRate];
+        let full = explorer.explore(&data, &v, &u, &metrics).unwrap();
+        let threshold = 0.1;
+
+        // Dataset tallies are available without mining (line 2 of Alg. 1).
+        let mut dataset_counts = MultiCounts::empty(1);
+        for (&vi, &ui) in v.iter().zip(&u) {
+            let mc = MultiCounts::from_outcomes(&[Metric::FalsePositiveRate.outcome(vi, ui)]);
+            fpm::Payload::merge(&mut dataset_counts, &mc);
+        }
+        let mut sink =
+            DivergenceFilterSink::new(fpm::ItemsetArena::new(), dataset_counts, threshold);
+        let stats = explorer
+            .explore_into(&data, &v, &u, &metrics, &mut sink)
+            .unwrap();
+        let filtered = DivergenceReport::from_store(
+            data.schema().clone(),
+            metrics.to_vec(),
+            stats.n_rows,
+            stats.min_support_count,
+            stats.dataset_counts,
+            sink.into_inner(),
+        );
+
+        let expected: Vec<&[crate::ItemId]> = (0..full.len())
+            .filter(|&i| full.divergence(i, 0).abs() >= threshold)
+            .map(|i| full.items(i))
+            .collect();
+        assert!(!expected.is_empty() && expected.len() < full.len());
+        assert_eq!(filtered.len(), expected.len());
+        for items in expected {
+            let idx = filtered.find(items).unwrap();
+            let reference = full.find(items).unwrap();
+            assert_eq!(filtered.support(idx), full.support(reference));
+            assert!((filtered.divergence(idx, 0) - full.divergence(reference, 0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_filter_threshold_panics() {
+        let _ = DivergenceFilterSink::new(
+            fpm::VecSink::<MultiCounts>::new(),
+            MultiCounts::empty(1),
+            -0.5,
+        );
     }
 
     #[test]

@@ -113,7 +113,7 @@ impl PatternQuery {
 
     /// True iff pattern `idx` of `report` matches under metric `m`.
     pub fn matches(&self, report: &DivergenceReport, idx: usize, m: usize) -> bool {
-        let pattern = &report[idx];
+        let pattern = report.pattern(idx);
         let delta = report.divergence(idx, m);
         if delta.is_nan() {
             return false;
@@ -143,11 +143,15 @@ impl PatternQuery {
                 return false;
             }
         }
-        if !self.require_items.iter().all(|item| pattern.items.contains(item)) {
+        if !self
+            .require_items
+            .iter()
+            .all(|item| pattern.items.contains(item))
+        {
             return false;
         }
         if !self.require_attributes.is_empty() || !self.forbid_attributes.is_empty() {
-            let attrs = report.schema().itemset_attributes(&pattern.items);
+            let attrs = report.schema().itemset_attributes(pattern.items);
             if !self.require_attributes.iter().all(|a| attrs.contains(a)) {
                 return false;
             }
@@ -201,7 +205,7 @@ mod tests {
         let hits = PatternQuery::new().require_attribute(race).run(&r, 0);
         assert!(!hits.is_empty());
         for idx in hits {
-            let attrs = r.schema().itemset_attributes(&r[idx].items);
+            let attrs = r.schema().itemset_attributes(r.items(idx));
             assert!(attrs.contains(&race));
         }
     }
@@ -213,7 +217,7 @@ mod tests {
         let hits = PatternQuery::new().forbid_attribute(sex).run(&r, 0);
         assert!(!hits.is_empty());
         for idx in hits {
-            assert!(!r.schema().itemset_attributes(&r[idx].items).contains(&sex));
+            assert!(!r.schema().itemset_attributes(r.items(idx)).contains(&sex));
         }
     }
 
@@ -227,7 +231,7 @@ mod tests {
             .min_abs_divergence(0.01)
             .run(&r, 0);
         for idx in &hits {
-            assert_eq!(r[*idx].items.len(), 2);
+            assert_eq!(r.items(*idx).len(), 2);
             assert!(r.support_fraction(*idx) >= 0.2);
             assert!(r.divergence(*idx, 0).abs() >= 0.01);
         }
@@ -240,16 +244,19 @@ mod tests {
         let hits = PatternQuery::new().require_item(race_a).run(&r, 0);
         assert!(!hits.is_empty());
         for idx in hits {
-            assert!(r[idx].items.contains(&race_a));
+            assert!(r.items(idx).contains(&race_a));
         }
     }
 
     #[test]
     fn limit_and_order_apply() {
         let r = report();
-        let hits = PatternQuery::new().order_by(SortBy::Support).limit(2).run(&r, 0);
+        let hits = PatternQuery::new()
+            .order_by(SortBy::Support)
+            .limit(2)
+            .run(&r, 0);
         assert_eq!(hits.len(), 2);
-        assert!(r[hits[0]].support >= r[hits[1]].support);
+        assert!(r.support(hits[0]) >= r.support(hits[1]));
     }
 
     #[test]

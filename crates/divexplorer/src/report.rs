@@ -1,25 +1,34 @@
 //! The output of an exploration: every frequent pattern with its outcome
 //! tallies, divergences and significance, indexed for `O(1)` lookup.
+//!
+//! Patterns live in an [`ItemsetArena`] — one flat item buffer plus a
+//! record per pattern — so building a report from a mining run moves the
+//! arena in without copying a single itemset, and lookups share the
+//! arena's lazily built itemset → id index.
 
-use rustc_hash::FxHashMap;
+use fpm::ItemsetArena;
 
 use crate::counts::{MultiCounts, OutcomeCounts};
 use crate::item::ItemId;
 use crate::schema::Schema;
 use crate::Metric;
 
-/// One frequent pattern (itemset) with its per-metric outcome tallies.
-#[derive(Debug, Clone)]
-pub struct Pattern {
+/// A borrowed view of one frequent pattern (itemset) in a report.
+///
+/// Obtained from [`DivergenceReport::pattern`] or by iterating
+/// [`DivergenceReport::patterns`]; the items point into the report's
+/// arena, so no per-pattern allocation happens on access.
+#[derive(Debug, Clone, Copy)]
+pub struct PatternRef<'a> {
     /// Canonical (sorted) item ids.
-    pub items: Vec<ItemId>,
+    pub items: &'a [ItemId],
     /// Support count `|D(I)|`.
     pub support: u64,
     /// Per-metric `(T, F, ⊥)` tallies accumulated during mining.
-    pub counts: MultiCounts,
+    pub counts: &'a MultiCounts,
 }
 
-impl Pattern {
+impl PatternRef<'_> {
     /// The itemset length (number of conjuncts).
     pub fn len(&self) -> usize {
         self.items.len()
@@ -59,25 +68,34 @@ pub struct DivergenceReport {
     n_rows: usize,
     min_support_count: u64,
     dataset_counts: MultiCounts,
-    patterns: Vec<Pattern>,
-    index: FxHashMap<Box<[ItemId]>, u32>,
+    store: ItemsetArena<MultiCounts>,
 }
 
 impl DivergenceReport {
-    pub(crate) fn new(
+    /// Assembles a report from an already-mined arena of tallies.
+    ///
+    /// [`crate::DivExplorer::explore`] is the usual way to get a report;
+    /// this constructor exists for callers that stream mining through
+    /// their own [`fpm::ItemsetSink`] stack (e.g. a significance or
+    /// divergence filter) into an arena and want the full report API over
+    /// the filtered result. `dataset_counts` must be the tallies over the
+    /// whole dataset and `store` must hold canonical itemsets.
+    pub fn from_store(
         schema: Schema,
         metrics: Vec<Metric>,
         n_rows: usize,
         min_support_count: u64,
         dataset_counts: MultiCounts,
-        patterns: Vec<Pattern>,
+        store: ItemsetArena<MultiCounts>,
     ) -> Self {
-        let mut index = FxHashMap::default();
-        index.reserve(patterns.len());
-        for (i, p) in patterns.iter().enumerate() {
-            index.insert(p.items.clone().into_boxed_slice(), i as u32);
+        DivergenceReport {
+            schema,
+            metrics,
+            n_rows,
+            min_support_count,
+            dataset_counts,
+            store,
         }
-        DivergenceReport { schema, metrics, n_rows, min_support_count, dataset_counts, patterns, index }
     }
 
     /// The schema of the analyzed dataset.
@@ -107,26 +125,52 @@ impl DivergenceReport {
 
     /// Number of frequent patterns found.
     pub fn len(&self) -> usize {
-        self.patterns.len()
+        self.store.len()
     }
 
     /// True iff no pattern met the support threshold.
     pub fn is_empty(&self) -> bool {
-        self.patterns.is_empty()
+        self.store.is_empty()
     }
 
-    /// All patterns, in mining output order.
-    pub fn patterns(&self) -> &[Pattern] {
-        &self.patterns
+    /// The pattern at index `idx` (mining output order).
+    pub fn pattern(&self, idx: usize) -> PatternRef<'_> {
+        let entry = self.store.entry(idx);
+        PatternRef {
+            items: entry.items,
+            support: entry.support,
+            counts: entry.payload,
+        }
+    }
+
+    /// Iterates all patterns in mining output order.
+    pub fn patterns(&self) -> impl Iterator<Item = PatternRef<'_>> + '_ {
+        (0..self.store.len()).map(move |idx| self.pattern(idx))
+    }
+
+    /// The items of pattern `idx`.
+    pub fn items(&self, idx: usize) -> &[ItemId] {
+        self.store.items(idx)
+    }
+
+    /// The support count of pattern `idx`.
+    pub fn support(&self, idx: usize) -> u64 {
+        self.store.support(idx)
+    }
+
+    /// The per-metric tallies of pattern `idx`.
+    pub fn counts(&self, idx: usize) -> &MultiCounts {
+        self.store.payload(idx)
     }
 
     /// Index of the pattern with exactly these (sorted) items.
     ///
-    /// Returns `None` for the empty itemset, which is not stored; use
-    /// [`DivergenceReport::divergence_of`] for divergence lookups that
-    /// handle ∅.
+    /// Served by the arena's shared hash index (built once, `O(1)` per
+    /// lookup). Returns `None` for the empty itemset, which is not
+    /// stored; use [`DivergenceReport::divergence_of`] for divergence
+    /// lookups that handle ∅.
     pub fn find(&self, items: &[ItemId]) -> Option<usize> {
-        self.index.get(items).map(|&i| i as usize)
+        self.store.find(items)
     }
 
     /// The dataset-level tallies of metric `m`.
@@ -141,7 +185,7 @@ impl DivergenceReport {
 
     /// The rate `f(I)` of metric `m` on pattern `idx`.
     pub fn rate(&self, idx: usize, m: usize) -> f64 {
-        self.patterns[idx].counts.get(m).rate()
+        self.counts(idx).get(m).rate()
     }
 
     /// The divergence `Δ_f(I) = f(I) − f(D)` of pattern `idx` (Eq. 1).
@@ -163,13 +207,13 @@ impl DivergenceReport {
 
     /// Support fraction `sup(I)` of pattern `idx`.
     pub fn support_fraction(&self, idx: usize) -> f64 {
-        self.patterns[idx].support as f64 / self.n_rows as f64
+        self.support(idx) as f64 / self.n_rows as f64
     }
 
     /// Welch t-statistic between the Beta posteriors of the pattern's rate
     /// and the dataset's rate (§3.3).
     pub fn t_statistic(&self, idx: usize, m: usize) -> f64 {
-        let pi = self.patterns[idx].counts.get(m).posterior();
+        let pi = self.counts(idx).get(m).posterior();
         let pd = self.dataset_counts.get(m).posterior();
         pi.welch_t(&pd)
     }
@@ -198,19 +242,18 @@ impl DivergenceReport {
                 SortBy::Divergence => self.divergence(idx, m),
                 SortBy::NegativeDivergence => -self.divergence(idx, m),
                 SortBy::AbsDivergence => self.divergence(idx, m).abs(),
-                SortBy::Support => self.patterns[idx].support as f64,
+                SortBy::Support => self.support(idx) as f64,
                 SortBy::TStatistic => self.t_statistic(idx, m),
             }
         };
-        let mut idxs: Vec<usize> =
-            (0..self.patterns.len()).filter(|&i| !key(i).is_nan()).collect();
+        let mut idxs: Vec<usize> = (0..self.len()).filter(|&i| !key(i).is_nan()).collect();
         idxs.sort_by(|&a, &b| {
             key(b)
                 .partial_cmp(&key(a))
                 .unwrap()
                 // Deterministic tie-break: shorter, then lexicographic.
-                .then_with(|| self.patterns[a].items.len().cmp(&self.patterns[b].items.len()))
-                .then_with(|| self.patterns[a].items.cmp(&self.patterns[b].items))
+                .then_with(|| self.items(a).len().cmp(&self.items(b).len()))
+                .then_with(|| self.items(a).cmp(self.items(b)))
         });
         idxs
     }
@@ -245,27 +288,20 @@ impl DivergenceReport {
             count,
             self.min_support_count
         );
-        let patterns: Vec<Pattern> = self
-            .patterns
-            .iter()
-            .filter(|p| p.support >= count)
-            .cloned()
-            .collect();
-        DivergenceReport::new(
+        let mut store = ItemsetArena::new();
+        for entry in self.store.iter() {
+            if entry.support >= count {
+                store.push(entry.items, entry.support, *entry.payload);
+            }
+        }
+        DivergenceReport::from_store(
             self.schema.clone(),
             self.metrics.clone(),
             self.n_rows,
             count,
             self.dataset_counts,
-            patterns,
+            store,
         )
-    }
-}
-
-impl std::ops::Index<usize> for DivergenceReport {
-    type Output = Pattern;
-    fn index(&self, idx: usize) -> &Pattern {
-        &self.patterns[idx]
     }
 }
 
@@ -329,15 +365,21 @@ impl DivergenceReport {
     pub fn export(&self) -> ReportExport {
         let n_metrics = self.metrics.len();
         ReportExport {
-            metrics: self.metrics.iter().map(|m| m.short_name().to_string()).collect(),
+            metrics: self
+                .metrics
+                .iter()
+                .map(|m| m.short_name().to_string())
+                .collect(),
             n_rows: self.n_rows,
             min_support_count: self.min_support_count,
-            dataset_rates: (0..n_metrics).map(|m| noneify(self.dataset_rate(m))).collect(),
+            dataset_rates: (0..n_metrics)
+                .map(|m| noneify(self.dataset_rate(m)))
+                .collect(),
             patterns: (0..self.len())
                 .map(|idx| PatternExport {
-                    itemset: self.display_itemset(&self.patterns[idx].items),
-                    items: self.patterns[idx].items.clone(),
-                    support: self.patterns[idx].support,
+                    itemset: self.display_itemset(self.items(idx)),
+                    items: self.items(idx).to_vec(),
+                    support: self.support(idx),
                     support_fraction: self.support_fraction(idx),
                     rates: (0..n_metrics).map(|m| noneify(self.rate(idx, m))).collect(),
                     divergences: (0..n_metrics)
@@ -430,8 +472,8 @@ mod tests {
             assert_eq!(refined.len(), fresh.len(), "s={s}");
             assert_eq!(refined.min_support_count(), fresh.min_support_count());
             for p in fresh.patterns() {
-                let idx = refined.find(&p.items).unwrap();
-                assert_eq!(refined[idx].support, p.support);
+                let idx = refined.find(p.items).unwrap();
+                assert_eq!(refined.support(idx), p.support);
             }
             // Dataset-level statistics are untouched by refinement.
             assert_eq!(refined.dataset_rate(0), coarse.dataset_rate(0));
@@ -446,11 +488,24 @@ mod tests {
     }
 
     #[test]
+    fn pattern_views_share_the_arena() {
+        let r = report();
+        assert!(r.len() >= 2);
+        let p = r.pattern(0);
+        assert_eq!(p.items, r.items(0));
+        assert_eq!(p.support, r.support(0));
+        assert_eq!(p.counts, r.counts(0));
+        assert!(!p.is_empty());
+        assert_eq!(p.len(), p.items.len());
+        assert_eq!(r.patterns().count(), r.len());
+    }
+
+    #[test]
     fn export_materializes_consistent_values() {
         let r = report();
         let export = r.export();
         for (idx, p) in export.patterns.iter().enumerate() {
-            assert_eq!(p.support, r[idx].support);
+            assert_eq!(p.support, r.support(idx));
             if let Some(d) = p.divergences[0] {
                 assert!((d - r.divergence(idx, 0)).abs() < 1e-12);
             }

@@ -18,7 +18,10 @@ pub struct Attribute {
 
 impl Attribute {
     /// Creates an attribute from string-like parts.
-    pub fn new(name: impl Into<String>, values: impl IntoIterator<Item = impl Into<String>>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
         Attribute {
             name: name.into(),
             values: values.into_iter().map(Into::into).collect(),
@@ -57,7 +60,10 @@ impl Schema {
             total += attr.cardinality() as u32;
             offsets.push(total);
         }
-        Schema { attributes, offsets }
+        Schema {
+            attributes,
+            offsets,
+        }
     }
 
     /// Number of attributes `|A|`.
@@ -105,7 +111,10 @@ impl Schema {
             Ok(pos) => pos - 1,
             Err(pos) => pos - 1,
         };
-        Item { attribute: a as u16, value: (id - self.offsets[a]) as u16 }
+        Item {
+            attribute: a as u16,
+            value: (id - self.offsets[a]) as u16,
+        }
     }
 
     /// Looks up the item id for `"attr"` and `"value"` display names.
@@ -137,8 +146,10 @@ impl Schema {
 
     /// The set of attribute indices referenced by an itemset (`attr(I)`).
     pub fn itemset_attributes(&self, items: &[ItemId]) -> Vec<usize> {
-        let mut attrs: Vec<usize> =
-            items.iter().map(|&id| self.decode(id).attribute as usize).collect();
+        let mut attrs: Vec<usize> = items
+            .iter()
+            .map(|&id| self.decode(id).attribute as usize)
+            .collect();
         attrs.sort_unstable();
         attrs.dedup();
         attrs

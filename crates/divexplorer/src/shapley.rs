@@ -30,10 +30,16 @@ impl std::fmt::Display for ShapleyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ShapleyError::MissingSubset(items) => {
-                write!(f, "subset {items:?} is not in the report (incomplete exploration?)")
+                write!(
+                    f,
+                    "subset {items:?} is not in the report (incomplete exploration?)"
+                )
             }
             ShapleyError::UndefinedDivergence(items) => {
-                write!(f, "subset {items:?} has undefined divergence for this metric")
+                write!(
+                    f,
+                    "subset {items:?} has undefined divergence for this metric"
+                )
             }
             ShapleyError::BadMetric(m) => write!(f, "metric index {m} out of range"),
         }
@@ -224,14 +230,14 @@ mod tests {
             .explore(&data, &v, &u, &[Metric::FalsePositiveRate])
             .unwrap();
         for p in report.patterns() {
-            let idx = report.find(&p.items).unwrap();
+            let idx = report.find(p.items).unwrap();
             let delta = report.divergence(idx, 0);
-            let contributions = item_contributions(&report, &p.items, 0).unwrap();
+            let contributions = item_contributions(&report, p.items, 0).unwrap();
             let total: f64 = contributions.iter().map(|(_, c)| c).sum();
             assert!(
                 (total - delta).abs() < 1e-12,
                 "efficiency violated for {}: {total} vs {delta}",
-                report.display_itemset(&p.items)
+                report.display_itemset(p.items)
             );
         }
     }

@@ -6,7 +6,11 @@
 //! are then compared with a Welch t-statistic over the posterior means and
 //! variances, which stays numerically stable even when `k⁺ + k⁻ = 0`.
 
+use fpm::ItemsetSink;
 use serde::{Deserialize, Serialize};
+
+use crate::counts::MultiCounts;
+use crate::item::ItemId;
 
 /// A Beta distribution used as the posterior of a Bernoulli positive rate.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -24,7 +28,10 @@ impl BetaPosterior {
     ///
     /// Panics if either parameter is not strictly positive.
     pub fn new(alpha: f64, beta: f64) -> Self {
-        assert!(alpha > 0.0 && beta > 0.0, "Beta parameters must be positive");
+        assert!(
+            alpha > 0.0 && beta > 0.0,
+            "Beta parameters must be positive"
+        );
         BetaPosterior { alpha, beta }
     }
 
@@ -87,7 +94,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -127,6 +135,61 @@ pub fn benjamini_hochberg(p_values: &[f64], q: f64) -> Vec<usize> {
     }
     ranked.truncate(cutoff);
     ranked.into_iter().map(|(i, _)| i).collect()
+}
+
+/// A streaming sink keeping only patterns whose Welch t-statistic against
+/// the dataset rate reaches `min_t` for some tallied metric (§3.3's
+/// significance screen applied *during* mining), forwarding them to
+/// `inner`.
+///
+/// Compose with [`crate::DivExplorer::explore_into`] and an
+/// [`fpm::ItemsetArena`] to build a significance-screened
+/// [`crate::DivergenceReport`] without ever materializing the
+/// insignificant patterns. `wants_extensions` always answers true:
+/// significance is not anti-monotone (a noisy pattern can have a sharply
+/// significant extension), so only emission is filtered.
+#[derive(Debug)]
+pub struct SignificanceSink<S> {
+    inner: S,
+    dataset_counts: MultiCounts,
+    min_t: f64,
+}
+
+impl<S> SignificanceSink<S> {
+    /// Keeps patterns with `t ≥ min_t` under any tallied metric, judged
+    /// against the fixed dataset-level tallies.
+    pub fn new(inner: S, dataset_counts: MultiCounts, min_t: f64) -> Self {
+        assert!(min_t >= 0.0, "t threshold must be non-negative");
+        SignificanceSink {
+            inner,
+            dataset_counts,
+            min_t,
+        }
+    }
+
+    /// Consumes the filter, returning the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: ItemsetSink<MultiCounts>> ItemsetSink<MultiCounts> for SignificanceSink<S> {
+    fn emit(&mut self, items: &[ItemId], support: u64, payload: &MultiCounts) {
+        let passes = (0..self.dataset_counts.len()).any(|m| {
+            let t = payload
+                .get(m)
+                .posterior()
+                .welch_t(&self.dataset_counts.get(m).posterior());
+            t >= self.min_t
+        });
+        if passes {
+            self.inner.emit(items, support, payload);
+        }
+    }
+
+    fn wants_extensions(&mut self, items: &[ItemId], support: u64) -> bool {
+        self.inner.wants_extensions(items, support)
+    }
 }
 
 #[cfg(test)]

@@ -17,7 +17,11 @@ pub struct SummaryOptions {
 
 impl Default for SummaryOptions {
     fn default() -> Self {
-        SummaryOptions { top_k: 5, order: SortBy::Divergence, precision: 3 }
+        SummaryOptions {
+            top_k: 5,
+            order: SortBy::Divergence,
+            precision: 3,
+        }
     }
 }
 
@@ -32,7 +36,7 @@ pub fn render_pattern(report: &DivergenceReport, idx: usize, m: usize, precision
     };
     format!(
         "{}  sup={:.2}  {delta_str}  t={:.1}",
-        report.display_itemset(&report[idx].items),
+        report.display_itemset(report.items(idx)),
         report.support_fraction(idx),
         report.t_statistic(idx, m),
     )
@@ -54,7 +58,10 @@ pub fn render_summary(report: &DivergenceReport, options: &SummaryOptions) -> St
             out.push_str(&format!("\n{metric}: overall rate undefined\n"));
             continue;
         }
-        out.push_str(&format!("\n{metric}: overall {overall:.prec$}\n", prec = options.precision));
+        out.push_str(&format!(
+            "\n{metric}: overall {overall:.prec$}\n",
+            prec = options.precision
+        ));
         for idx in report.top_k(m, options.top_k, options.order) {
             out.push_str("  ");
             out.push_str(&render_pattern(report, idx, m, options.precision));
@@ -79,7 +86,12 @@ mod tests {
         let v = vec![false; 8];
         let u = vec![true, true, true, false, false, false, false, false];
         DivExplorer::new(0.25)
-            .explore(&data, &v, &u, &[Metric::FalsePositiveRate, Metric::ErrorRate])
+            .explore(
+                &data,
+                &v,
+                &u,
+                &[Metric::FalsePositiveRate, Metric::ErrorRate],
+            )
             .unwrap()
     }
 
@@ -99,7 +111,10 @@ mod tests {
         let ga = r.schema().item_by_name("g", "a").unwrap();
         let idx = r.find(&[ga]).unwrap();
         let line = render_pattern(&r, idx, 0, 3);
-        assert!(line.starts_with("g=a  sup=0.50  Δ=+0.375  t="), "got {line}");
+        assert!(
+            line.starts_with("g=a  sup=0.50  Δ=+0.375  t="),
+            "got {line}"
+        );
     }
 
     #[test]
@@ -107,7 +122,11 @@ mod tests {
         let r = report();
         let s = render_summary(
             &r,
-            &SummaryOptions { top_k: 1, precision: 1, ..Default::default() },
+            &SummaryOptions {
+                top_k: 1,
+                precision: 1,
+                ..Default::default()
+            },
         );
         // Only one pattern line per metric (2 metrics + overall lines).
         let pattern_lines = s.lines().filter(|l| l.starts_with("  ")).count();

@@ -11,40 +11,38 @@ use proptest::prelude::*;
 /// schema (each cell with multiplicity ≥ 1), plus random labels — the
 /// regime where the support-restricted Eq. 8 equals the exact Eq. 6.
 fn full_coverage_input() -> impl Strategy<Value = (DiscreteDataset, Vec<bool>, Vec<bool>)> {
-    (2u16..3, 2u16..4, 2u16..3, 1usize..3, any::<u64>()).prop_map(
-        |(ca, cb, cc, mult, seed)| {
-            let mut a = Vec::new();
-            let mut b = Vec::new();
-            let mut c = Vec::new();
-            for ai in 0..ca {
-                for bi in 0..cb {
-                    for ci in 0..cc {
-                        for _ in 0..mult {
-                            a.push(ai);
-                            b.push(bi);
-                            c.push(ci);
-                        }
+    (2u16..3, 2u16..4, 2u16..3, 1usize..3, any::<u64>()).prop_map(|(ca, cb, cc, mult, seed)| {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut c = Vec::new();
+        for ai in 0..ca {
+            for bi in 0..cb {
+                for ci in 0..cc {
+                    for _ in 0..mult {
+                        a.push(ai);
+                        b.push(bi);
+                        c.push(ci);
                     }
                 }
             }
-            let n = a.len();
-            // Deterministic pseudo-random labels from the seed.
-            let mut state = seed | 1;
-            let mut next = move || {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                state
-            };
-            let v: Vec<bool> = (0..n).map(|_| next() % 2 == 0).collect();
-            let u: Vec<bool> = (0..n).map(|_| next() % 3 == 0).collect();
-            let mut builder = DatasetBuilder::new();
-            builder.categorical("A", &["0", "1", "2"][..ca as usize], &a);
-            builder.categorical("B", &["0", "1", "2"][..cb as usize], &b);
-            builder.categorical("C", &["0", "1", "2"][..cc as usize], &c);
-            (builder.build().unwrap(), v, u)
-        },
-    )
+        }
+        let n = a.len();
+        // Deterministic pseudo-random labels from the seed.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let v: Vec<bool> = (0..n).map(|_| next() % 2 == 0).collect();
+        let u: Vec<bool> = (0..n).map(|_| next() % 3 == 0).collect();
+        let mut builder = DatasetBuilder::new();
+        builder.categorical("A", &["0", "1", "2"][..ca as usize], &a);
+        builder.categorical("B", &["0", "1", "2"][..cb as usize], &b);
+        builder.categorical("C", &["0", "1", "2"][..cc as usize], &c);
+        (builder.build().unwrap(), v, u)
+    })
 }
 
 proptest! {
@@ -120,7 +118,7 @@ proptest! {
             .unwrap();
         let c_attr = report.schema().attribute_index("C").unwrap();
         for idx in 0..report.len() {
-            let items = report[idx].items.clone();
+            let items = report.items(idx).to_vec();
             let Ok(contributions) = item_contributions(&report, &items, 0) else { continue };
             for (item, contribution) in contributions {
                 if report.schema().decode(item).attribute as usize == c_attr {
@@ -147,8 +145,8 @@ proptest! {
         let continuous = explore_statistic(&data, &values, 0.1, fpm::Algorithm::FpGrowth);
         prop_assert_eq!(boolean.len(), continuous.len());
         for p in boolean.patterns() {
-            let c_idx = continuous.find(&p.items).unwrap();
-            let b_idx = boolean.find(&p.items).unwrap();
+            let c_idx = continuous.find(p.items).unwrap();
+            let b_idx = boolean.find(p.items).unwrap();
             let bd = boolean.divergence(b_idx, 0);
             let cd = continuous.divergence(c_idx);
             prop_assert!((bd - cd).abs() < 1e-12, "{bd} vs {cd}");

@@ -1,0 +1,98 @@
+//! Property tests for the algebra the streaming miners rely on: the payload
+//! types must be commutative monoids under `merge` with `zero` as identity,
+//! or the order in which a sink receives partial tallies (depth-first,
+//! breadth-first, per-thread shards) would change the result.
+
+use divexplorer::{MultiCounts, Outcome, OutcomeCounts};
+use fpm::Payload;
+use proptest::prelude::*;
+
+fn outcome() -> impl Strategy<Value = Outcome> {
+    (0u8..3).prop_map(|i| match i {
+        0 => Outcome::T,
+        1 => Outcome::F,
+        _ => Outcome::Bot,
+    })
+}
+
+/// A random `OutcomeCounts` built the only way production code builds them:
+/// merging per-row outcomes.
+fn outcome_counts() -> impl Strategy<Value = OutcomeCounts> {
+    proptest::collection::vec(outcome(), 0..20).prop_map(|outcomes| {
+        let mut acc = OutcomeCounts::zero();
+        for o in outcomes {
+            acc.merge(&OutcomeCounts::from_outcome(o));
+        }
+        acc
+    })
+}
+
+/// A random `MultiCounts` over a fixed number of metrics.
+fn multi_counts(n_metrics: usize) -> impl Strategy<Value = MultiCounts> {
+    proptest::collection::vec(proptest::collection::vec(outcome(), n_metrics), 0..20).prop_map(
+        move |rows| {
+            let mut acc = MultiCounts::empty(n_metrics);
+            for row in rows {
+                Payload::merge(&mut acc, &MultiCounts::from_outcomes(&row));
+            }
+            acc
+        },
+    )
+}
+
+fn merged<P: Payload>(a: &P, b: &P) -> P {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn outcome_counts_identity(a in outcome_counts()) {
+        prop_assert_eq!(merged(&OutcomeCounts::zero(), &a), a);
+        prop_assert_eq!(merged(&a, &OutcomeCounts::zero()), a);
+    }
+
+    #[test]
+    fn outcome_counts_commutativity(a in outcome_counts(), b in outcome_counts()) {
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn outcome_counts_associativity(
+        a in outcome_counts(), b in outcome_counts(), c in outcome_counts()
+    ) {
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    #[test]
+    fn multi_counts_identity(a in multi_counts(3)) {
+        // `Payload::zero()` has no metric count; identity must hold against
+        // the width-matched empty value the explorer actually uses.
+        prop_assert_eq!(merged(&MultiCounts::empty(3), &a), a);
+        prop_assert_eq!(merged(&a, &MultiCounts::empty(3)), a);
+    }
+
+    #[test]
+    fn multi_counts_commutativity(a in multi_counts(2), b in multi_counts(2)) {
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn multi_counts_associativity(
+        a in multi_counts(2), b in multi_counts(2), c in multi_counts(2)
+    ) {
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    /// Merging per-metric is exactly the product monoid of `OutcomeCounts`.
+    #[test]
+    fn multi_counts_is_the_product_monoid(a in multi_counts(3), b in multi_counts(3)) {
+        let ab = merged(&a, &b);
+        for m in 0..3 {
+            prop_assert_eq!(ab.get(m), merged(&a.get(m), &b.get(m)));
+        }
+    }
+}

@@ -25,7 +25,12 @@ pub struct LimeParams {
 
 impl Default for LimeParams {
     fn default() -> Self {
-        LimeParams { n_samples: 1000, kernel_width: 0.75, ridge: 1.0, keep_probability: 0.5 }
+        LimeParams {
+            n_samples: 1000,
+            kernel_width: 0.75,
+            ridge: 1.0,
+            keep_probability: 0.5,
+        }
     }
 }
 
@@ -46,8 +51,7 @@ impl LimeExplanation {
     /// The `k` features with the largest absolute weight, as
     /// `(feature index, weight)` pairs, most influential first.
     pub fn top_features(&self, k: usize) -> Vec<(usize, f64)> {
-        let mut idx: Vec<(usize, f64)> =
-            self.weights.iter().copied().enumerate().collect();
+        let mut idx: Vec<(usize, f64)> = self.weights.iter().copied().enumerate().collect();
         idx.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
         idx.truncate(k);
         idx
@@ -68,7 +72,11 @@ pub fn explain_instance<C: Classifier>(
     params: &LimeParams,
     seed: u64,
 ) -> LimeExplanation {
-    assert_eq!(x.len(), background.n_cols(), "instance/background shape mismatch");
+    assert_eq!(
+        x.len(),
+        background.n_cols(),
+        "instance/background shape mismatch"
+    );
     assert!(background.n_rows() > 0, "background must be non-empty");
     assert!(params.n_samples > 0, "need at least one sample");
     let d = x.len();
@@ -112,9 +120,12 @@ pub fn explain_instance<C: Classifier>(
     }
 
     let (weights, intercept) = weighted_ridge(&zs, &ys, &ws, params.ridge);
-    LimeExplanation { weights, intercept, predicted }
+    LimeExplanation {
+        weights,
+        intercept,
+        predicted,
+    }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -143,7 +154,13 @@ mod tests {
 
     #[test]
     fn attributes_the_deciding_feature() {
-        let exp = explain_instance(&Feature0, &background(), &[1.0, 0.0, 1.0], &LimeParams::default(), 0);
+        let exp = explain_instance(
+            &Feature0,
+            &background(),
+            &[1.0, 0.0, 1.0],
+            &LimeParams::default(),
+            0,
+        );
         assert_eq!(exp.predicted, 0.9);
         let top = exp.top_features(1);
         assert_eq!(top[0].0, 0, "feature 0 should dominate: {:?}", exp.weights);
@@ -157,7 +174,13 @@ mod tests {
     #[test]
     fn negative_instances_get_negative_weight() {
         // At x with feature0 = 0, keeping it keeps probability low.
-        let exp = explain_instance(&Feature0, &background(), &[0.0, 1.0, 0.0], &LimeParams::default(), 1);
+        let exp = explain_instance(
+            &Feature0,
+            &background(),
+            &[0.0, 1.0, 0.0],
+            &LimeParams::default(),
+            1,
+        );
         let top = exp.top_features(1);
         assert_eq!(top[0].0, 0);
         assert!(top[0].1 < 0.0);
@@ -165,8 +188,20 @@ mod tests {
 
     #[test]
     fn explanation_is_deterministic_per_seed() {
-        let a = explain_instance(&Feature0, &background(), &[1.0, 1.0, 1.0], &LimeParams::default(), 7);
-        let b = explain_instance(&Feature0, &background(), &[1.0, 1.0, 1.0], &LimeParams::default(), 7);
+        let a = explain_instance(
+            &Feature0,
+            &background(),
+            &[1.0, 1.0, 1.0],
+            &LimeParams::default(),
+            7,
+        );
+        let b = explain_instance(
+            &Feature0,
+            &background(),
+            &[1.0, 1.0, 1.0],
+            &LimeParams::default(),
+            7,
+        );
         assert_eq!(a.weights, b.weights);
     }
 
@@ -176,14 +211,20 @@ mod tests {
             &Feature0,
             &background(),
             &[1.0, 0.0, 0.0],
-            &LimeParams { ridge: 0.01, ..Default::default() },
+            &LimeParams {
+                ridge: 0.01,
+                ..Default::default()
+            },
             3,
         );
         let tight = explain_instance(
             &Feature0,
             &background(),
             &[1.0, 0.0, 0.0],
-            &LimeParams { ridge: 100.0, ..Default::default() },
+            &LimeParams {
+                ridge: 100.0,
+                ..Default::default()
+            },
             3,
         );
         assert!(tight.weights[0].abs() < loose.weights[0].abs());
@@ -201,7 +242,11 @@ mod tests {
             &TwoFeature,
             &background(),
             &[1.0, 1.0, 0.0],
-            &LimeParams { ridge: 0.01, n_samples: 4000, ..Default::default() },
+            &LimeParams {
+                ridge: 0.01,
+                n_samples: 4000,
+                ..Default::default()
+            },
             5,
         );
         assert!(exp.weights[0] > exp.weights[1]);

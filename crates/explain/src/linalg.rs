@@ -3,10 +3,15 @@
 
 /// Solves weighted ridge regression with an unpenalized intercept via the
 /// normal equations; returns `(coefficients, intercept)`.
-pub(crate) fn weighted_ridge(zs: &[Vec<f64>], ys: &[f64], ws: &[f64], ridge: f64) -> (Vec<f64>, f64) {
+pub(crate) fn weighted_ridge(
+    zs: &[Vec<f64>],
+    ys: &[f64],
+    ws: &[f64],
+    ridge: f64,
+) -> (Vec<f64>, f64) {
     let d = zs[0].len();
     let m = d + 1; // + intercept column
-    // Normal matrix A = XᵀWX + λI (no penalty on intercept), b = XᵀWy.
+                   // Normal matrix A = XᵀWX + λI (no penalty on intercept), b = XᵀWy.
     let mut a = vec![0.0f64; m * m];
     let mut b = vec![0.0f64; m];
     for ((z, &y), &w) in zs.iter().zip(ys).zip(ws) {
@@ -80,7 +85,6 @@ pub(crate) fn solve(mut a: Vec<f64>, mut b: Vec<f64>, m: usize) -> Vec<f64> {
     }
     x
 }
-
 
 #[cfg(test)]
 mod tests {

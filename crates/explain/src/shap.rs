@@ -30,7 +30,11 @@ pub struct ShapParams {
 
 impl Default for ShapParams {
     fn default() -> Self {
-        ShapParams { n_samples: 512, n_imputations: 4, ridge: 1e-6 }
+        ShapParams {
+            n_samples: 512,
+            n_imputations: 4,
+            ridge: 1e-6,
+        }
     }
 }
 
@@ -69,7 +73,11 @@ pub fn shap_values<C: Classifier>(
     params: &ShapParams,
     seed: u64,
 ) -> ShapExplanation {
-    assert_eq!(x.len(), background.n_cols(), "instance/background shape mismatch");
+    assert_eq!(
+        x.len(),
+        background.n_cols(),
+        "instance/background shape mismatch"
+    );
     assert!(background.n_rows() > 0, "background must be non-empty");
     assert!(params.n_samples > 0, "need at least one sample");
     let d = x.len();
@@ -88,7 +96,14 @@ pub fn shap_values<C: Classifier>(
     ys.push(predicted);
     ws.push(ANCHOR_WEIGHT);
     zs.push(vec![0.0; d]);
-    ys.push(expected_value(classifier, background, x, &[false; 64][..d.min(64)], &mut rng, params));
+    ys.push(expected_value(
+        classifier,
+        background,
+        x,
+        &[false; 64][..d.min(64)],
+        &mut rng,
+        params,
+    ));
     ws.push(ANCHOR_WEIGHT);
 
     let mut mask = vec![false; d];
@@ -113,7 +128,11 @@ pub fn shap_values<C: Classifier>(
     }
 
     let (values, base_value) = weighted_ridge(&zs, &ys, &ws, params.ridge);
-    ShapExplanation { values, base_value, predicted }
+    ShapExplanation {
+        values,
+        base_value,
+        predicted,
+    }
 }
 
 /// Mean model output with `x`'s values where `mask` is set and background
@@ -184,7 +203,13 @@ mod tests {
         // For an additive model over independent features, SHAP values are
         // the per-feature deviations from the background mean: for x=1 with
         // mean 0.5, φ0 = 0.4*(1−0.5) = 0.2, φ1 = 0.2*0.5 = 0.1, φ2 = 0.
-        let exp = shap_values(&Additive, &background(), &[1.0, 1.0, 0.0], &ShapParams::default(), 3);
+        let exp = shap_values(
+            &Additive,
+            &background(),
+            &[1.0, 1.0, 0.0],
+            &ShapParams::default(),
+            3,
+        );
         assert!((exp.values[0] - 0.2).abs() < 0.05, "{:?}", exp.values);
         assert!((exp.values[1] - 0.1).abs() < 0.05, "{:?}", exp.values);
         assert!(exp.values[2].abs() < 0.05, "{:?}", exp.values);
@@ -192,9 +217,19 @@ mod tests {
 
     #[test]
     fn local_accuracy_base_plus_values_is_prediction() {
-        let exp = shap_values(&Additive, &background(), &[1.0, 0.0, 1.0], &ShapParams::default(), 5);
+        let exp = shap_values(
+            &Additive,
+            &background(),
+            &[1.0, 0.0, 1.0],
+            &ShapParams::default(),
+            5,
+        );
         let total: f64 = exp.base_value + exp.values.iter().sum::<f64>();
-        assert!((total - exp.predicted).abs() < 0.02, "{total} vs {}", exp.predicted);
+        assert!(
+            (total - exp.predicted).abs() < 0.02,
+            "{total} vs {}",
+            exp.predicted
+        );
     }
 
     #[test]
@@ -212,14 +247,32 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = shap_values(&Additive, &background(), &[1.0, 1.0, 1.0], &ShapParams::default(), 11);
-        let b = shap_values(&Additive, &background(), &[1.0, 1.0, 1.0], &ShapParams::default(), 11);
+        let a = shap_values(
+            &Additive,
+            &background(),
+            &[1.0, 1.0, 1.0],
+            &ShapParams::default(),
+            11,
+        );
+        let b = shap_values(
+            &Additive,
+            &background(),
+            &[1.0, 1.0, 1.0],
+            &ShapParams::default(),
+            11,
+        );
         assert_eq!(a.values, b.values);
     }
 
     #[test]
     fn top_features_orders_by_magnitude() {
-        let exp = shap_values(&Additive, &background(), &[1.0, 1.0, 0.0], &ShapParams::default(), 7);
+        let exp = shap_values(
+            &Additive,
+            &background(),
+            &[1.0, 1.0, 0.0],
+            &ShapParams::default(),
+            7,
+        );
         let top = exp.top_features(2);
         assert_eq!(top[0].0, 0);
         assert_eq!(top[1].0, 1);

@@ -7,8 +7,10 @@
 //! covering transactions (a conditional database), mine it over the
 //! remaining items, and prepend the anchor to every result.
 
+use crate::arena::ItemsetArena;
 use crate::itemset::FrequentItemset;
 use crate::payload::Payload;
+use crate::sink::ItemsetSink;
 use crate::transaction::{ItemId, TransactionDb, TransactionDbBuilder};
 use crate::{Algorithm, MiningParams};
 
@@ -29,6 +31,53 @@ pub fn mine_containing<P: Payload>(
     params: &MiningParams,
     anchor: ItemId,
 ) -> Vec<FrequentItemset<P>> {
+    let mut arena = ItemsetArena::new();
+    mine_containing_into(algorithm, db, payloads, params, anchor, &mut arena);
+    arena.into_itemsets()
+}
+
+/// Wraps a sink, re-inserting the anchor into every conditional itemset
+/// before forwarding.
+struct AnchorSink<'a, S> {
+    inner: &'a mut S,
+    anchor: ItemId,
+    buf: Vec<ItemId>,
+}
+
+/// Writes `items` with `anchor` spliced in at its canonical position
+/// into `buf`.
+fn splice_anchor(buf: &mut Vec<ItemId>, items: &[ItemId], anchor: ItemId) {
+    let pos = items.partition_point(|&i| i < anchor);
+    debug_assert!(items.get(pos) != Some(&anchor), "anchor in conditional db");
+    buf.clear();
+    buf.extend_from_slice(&items[..pos]);
+    buf.push(anchor);
+    buf.extend_from_slice(&items[pos..]);
+}
+
+impl<P: Payload, S: ItemsetSink<P>> ItemsetSink<P> for AnchorSink<'_, S> {
+    fn emit(&mut self, items: &[ItemId], support: u64, payload: &P) {
+        splice_anchor(&mut self.buf, items, self.anchor);
+        self.inner.emit(&self.buf, support, payload);
+    }
+
+    fn wants_extensions(&mut self, items: &[ItemId], support: u64) -> bool {
+        splice_anchor(&mut self.buf, items, self.anchor);
+        self.inner.wants_extensions(&self.buf, support)
+    }
+}
+
+/// Streams all frequent itemsets of `db` that contain `anchor` into
+/// `sink`. The sink sees full itemsets (anchor included, canonical
+/// order); `{anchor}` itself is emitted first when frequent.
+pub fn mine_containing_into<P: Payload, S: ItemsetSink<P>>(
+    algorithm: Algorithm,
+    db: &TransactionDb,
+    payloads: &[P],
+    params: &MiningParams,
+    anchor: ItemId,
+    sink: &mut S,
+) {
     assert!(anchor < db.n_items(), "anchor out of the item universe");
     assert_eq!(payloads.len(), db.len(), "payload length mismatch");
     let threshold = params.threshold();
@@ -50,33 +99,34 @@ pub fn mine_containing<P: Payload>(
             cond_payloads.push(payloads[t].clone());
         }
     }
-    let mut out = Vec::new();
     if anchor_support < threshold {
-        return out;
+        return;
     }
-    out.push(FrequentItemset {
-        items: vec![anchor],
-        support: anchor_support,
-        payload: anchor_payload,
-    });
+    sink.emit(&[anchor], anchor_support, &anchor_payload);
+    if !sink.wants_extensions(&[anchor], anchor_support) {
+        return;
+    }
 
     let cond_db = builder.build();
     let mut cond_params = params.clone();
     if let Some(max_len) = params.max_len {
         if max_len <= 1 {
-            return out;
+            return;
         }
         cond_params.max_len = Some(max_len - 1);
     }
-    for fi in crate::mine(algorithm, &cond_db, &cond_payloads, &cond_params) {
-        let mut items = fi.items;
-        match items.binary_search(&anchor) {
-            Ok(_) => unreachable!("anchor was removed from the conditional db"),
-            Err(pos) => items.insert(pos, anchor),
-        }
-        out.push(FrequentItemset { items, support: fi.support, payload: fi.payload });
-    }
-    out
+    let mut anchor_sink = AnchorSink {
+        inner: sink,
+        anchor,
+        buf: Vec::new(),
+    };
+    crate::mine_into(
+        algorithm,
+        &cond_db,
+        &cond_payloads,
+        &cond_params,
+        &mut anchor_sink,
+    );
 }
 
 #[cfg(test)]
@@ -84,6 +134,7 @@ mod tests {
     use super::*;
     use crate::itemset::sort_canonical;
     use crate::payload::CountPayload;
+    use crate::sink::VecSink;
 
     fn db() -> TransactionDb {
         TransactionDb::from_rows(
@@ -101,8 +152,7 @@ mod tests {
     #[test]
     fn matches_post_filtered_full_mining() {
         let db = db();
-        let payloads: Vec<CountPayload> =
-            (0..db.len()).map(|t| CountPayload(1 << t)).collect();
+        let payloads: Vec<CountPayload> = (0..db.len()).map(|t| CountPayload(1 << t)).collect();
         for anchor in 0..4u32 {
             for min_support in 1..=3u64 {
                 let params = MiningParams::with_min_support_count(min_support);
@@ -121,10 +171,30 @@ mod tests {
     }
 
     #[test]
+    fn sink_sees_full_anchored_itemsets() {
+        let db = db();
+        let params = MiningParams::with_min_support_count(1);
+        let mut sink = VecSink::new();
+        mine_containing_into(Algorithm::Eclat, &db, &[(); 5], &params, 2, &mut sink);
+        assert!(!sink.found.is_empty());
+        assert!(sink.found.iter().all(|fi| fi.items.contains(&2)));
+        assert!(sink
+            .found
+            .iter()
+            .all(|fi| fi.items.windows(2).all(|w| w[0] < w[1])));
+        let expected = mine_containing(Algorithm::Eclat, &db, &[(); 5], &params, 2);
+        let mut got = sink.found;
+        sort_canonical(&mut got);
+        let mut want = expected;
+        sort_canonical(&mut want);
+        assert_eq!(got, want);
+    }
+
+    #[test]
     fn infrequent_anchor_yields_nothing() {
         let db = db();
         let params = MiningParams::with_min_support_count(4);
-        let found = mine_containing(Algorithm::Eclat, &db, &vec![(); 5], &params, 3);
+        let found = mine_containing(Algorithm::Eclat, &db, &[(); 5], &params, 3);
         assert!(found.is_empty());
     }
 
@@ -132,12 +202,12 @@ mod tests {
     fn max_len_counts_the_anchor() {
         let db = db();
         let params = MiningParams::with_min_support_count(1).max_len(2);
-        let found = mine_containing(Algorithm::Apriori, &db, &vec![(); 5], &params, 0);
+        let found = mine_containing(Algorithm::Apriori, &db, &[(); 5], &params, 0);
         assert!(found.iter().all(|fi| fi.items.len() <= 2));
         assert!(found.iter().all(|fi| fi.items.contains(&0)));
         // With max_len 1, only the anchor itself.
         let params = MiningParams::with_min_support_count(1).max_len(1);
-        let found = mine_containing(Algorithm::Apriori, &db, &vec![(); 5], &params, 0);
+        let found = mine_containing(Algorithm::Apriori, &db, &[(); 5], &params, 0);
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].items, vec![0]);
     }
@@ -149,7 +219,7 @@ mod tests {
         let _ = mine_containing(
             Algorithm::FpGrowth,
             &db,
-            &vec![(); 5],
+            &[(); 5],
             &MiningParams::with_min_support_count(1),
             99,
         );

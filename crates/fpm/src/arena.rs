@@ -1,0 +1,371 @@
+//! Arena-backed itemset store: the default collecting sink.
+//!
+//! [`ItemsetArena`] keeps every stored itemset's items in one flat
+//! `Vec<ItemId>`, with a per-itemset record of `(offset, len, support,
+//! payload)`. Compared to `Vec<FrequentItemset<P>>` this removes the
+//! per-itemset heap allocation (the seed's dominant allocation hot
+//! path), keeps items contiguous for cache-friendly iteration, and
+//! supports `O(1)` id-based access plus an itemset → id hash index that
+//! is built once and shared by every lookup (closed/maximal extraction,
+//! subset queries in the explorer).
+
+use std::sync::OnceLock;
+
+use crate::itemset::FrequentItemset;
+use crate::payload::Payload;
+use crate::sink::ItemsetSink;
+use crate::transaction::ItemId;
+
+/// One stored itemset: a view into the arena's flat item buffer.
+#[derive(Debug, Clone)]
+struct Record<P> {
+    offset: usize,
+    len: u32,
+    support: u64,
+    payload: P,
+}
+
+/// A borrowed view of one stored itemset.
+#[derive(Debug, Clone, Copy)]
+pub struct ArenaEntry<'a, P> {
+    /// Canonical (sorted ascending) item ids.
+    pub items: &'a [ItemId],
+    pub support: u64,
+    pub payload: &'a P,
+}
+
+/// Flat store of itemsets with supports and payloads.
+///
+/// Ids are assigned in insertion order (`0..len`). [`Self::sort_canonical`]
+/// permutes the records (not the item buffer) into canonical order —
+/// by length, then lexicographically — renumbering ids accordingly.
+#[derive(Debug, Default)]
+pub struct ItemsetArena<P> {
+    items: Vec<ItemId>,
+    recs: Vec<Record<P>>,
+    /// Lazily built itemset → id index; invalidated by any mutation.
+    index: OnceLock<SliceIndex>,
+}
+
+impl<P> ItemsetArena<P> {
+    pub fn new() -> Self {
+        ItemsetArena {
+            items: Vec::new(),
+            recs: Vec::new(),
+            index: OnceLock::new(),
+        }
+    }
+
+    /// Pre-sizes for `n_itemsets` records over ~`n_items` total items.
+    pub fn with_capacity(n_itemsets: usize, n_items: usize) -> Self {
+        ItemsetArena {
+            items: Vec::with_capacity(n_items),
+            recs: Vec::with_capacity(n_itemsets),
+            index: OnceLock::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.recs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.recs.is_empty()
+    }
+
+    /// Total items stored across all itemsets.
+    pub fn total_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Appends an itemset (`items` must be in canonical order) and
+    /// returns its id.
+    pub fn push(&mut self, items: &[ItemId], support: u64, payload: P) -> usize {
+        debug_assert!(
+            items.windows(2).all(|w| w[0] < w[1]),
+            "items must be canonical"
+        );
+        self.index.take();
+        let offset = self.items.len();
+        self.items.extend_from_slice(items);
+        self.recs.push(Record {
+            offset,
+            len: items.len() as u32,
+            support,
+            payload,
+        });
+        self.recs.len() - 1
+    }
+
+    /// The items of itemset `id`.
+    pub fn items(&self, id: usize) -> &[ItemId] {
+        let rec = &self.recs[id];
+        &self.items[rec.offset..rec.offset + rec.len as usize]
+    }
+
+    pub fn support(&self, id: usize) -> u64 {
+        self.recs[id].support
+    }
+
+    pub fn payload(&self, id: usize) -> &P {
+        &self.recs[id].payload
+    }
+
+    /// Replaces the payload of itemset `id`, returning the old one.
+    pub fn set_payload(&mut self, id: usize, payload: P) -> P {
+        std::mem::replace(&mut self.recs[id].payload, payload)
+    }
+
+    pub fn entry(&self, id: usize) -> ArenaEntry<'_, P> {
+        let rec = &self.recs[id];
+        ArenaEntry {
+            items: &self.items[rec.offset..rec.offset + rec.len as usize],
+            support: rec.support,
+            payload: &rec.payload,
+        }
+    }
+
+    /// Iterates entries in id order.
+    pub fn iter(&self) -> impl Iterator<Item = ArenaEntry<'_, P>> + '_ {
+        (0..self.recs.len()).map(move |id| self.entry(id))
+    }
+
+    /// Sorts records into canonical order (length, then lexicographic
+    /// items). Only the records permute; the flat item buffer stays
+    /// put. Ids refer to the new order afterwards.
+    pub fn sort_canonical(&mut self) {
+        self.index.take();
+        let items = std::mem::take(&mut self.items);
+        self.recs.sort_by(|a, b| {
+            let ia = &items[a.offset..a.offset + a.len as usize];
+            let ib = &items[b.offset..b.offset + b.len as usize];
+            ia.len().cmp(&ib.len()).then_with(|| ia.cmp(ib))
+        });
+        self.items = items;
+    }
+
+    /// Appends every record of `other`, preserving their order. Ids of
+    /// `self` are unchanged; `other`'s itemsets get the next ids.
+    pub fn absorb(&mut self, other: ItemsetArena<P>) {
+        self.index.take();
+        let shift = self.items.len();
+        self.items.extend_from_slice(&other.items);
+        self.recs.extend(other.recs.into_iter().map(|mut rec| {
+            rec.offset += shift;
+            rec
+        }));
+    }
+
+    /// Looks up an itemset (canonical item order) and returns its id.
+    ///
+    /// The first lookup builds a hash index over all stored itemsets;
+    /// subsequent lookups are `O(1)`. Any mutation invalidates the
+    /// index, and the next `find` rebuilds it.
+    pub fn find(&self, items: &[ItemId]) -> Option<usize> {
+        let index = self.index.get_or_init(|| SliceIndex::build(self));
+        index.find(self, items)
+    }
+
+    /// Materializes the arena into the seed representation (one `Vec`
+    /// per itemset), consuming it.
+    pub fn into_itemsets(self) -> Vec<FrequentItemset<P>> {
+        let items = self.items;
+        self.recs
+            .into_iter()
+            .map(|rec| FrequentItemset {
+                items: items[rec.offset..rec.offset + rec.len as usize].to_vec(),
+                support: rec.support,
+                payload: rec.payload,
+            })
+            .collect()
+    }
+
+    /// Builds an arena from the seed representation.
+    pub fn from_itemsets(found: &[FrequentItemset<P>]) -> Self
+    where
+        P: Clone,
+    {
+        let total: usize = found.iter().map(|fi| fi.items.len()).sum();
+        let mut arena = ItemsetArena::with_capacity(found.len(), total);
+        for fi in found {
+            arena.push(&fi.items, fi.support, fi.payload.clone());
+        }
+        arena
+    }
+}
+
+// Manual impl: `OnceLock<SliceIndex>` is not `Clone`; the copy starts
+// with an empty index and rebuilds it on its first `find`.
+impl<P: Clone> Clone for ItemsetArena<P> {
+    fn clone(&self) -> Self {
+        ItemsetArena {
+            items: self.items.clone(),
+            recs: self.recs.clone(),
+            index: OnceLock::new(),
+        }
+    }
+}
+
+impl<P: Payload> ItemsetSink<P> for ItemsetArena<P> {
+    fn emit(&mut self, items: &[ItemId], support: u64, payload: &P) {
+        self.push(items, support, payload.clone());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Slice index
+
+/// Open-addressing hash table mapping an itemset slice to its arena id.
+///
+/// Stored as `id + 1` (0 = empty slot) so the table is a plain `Vec<u32>`
+/// with no self-referential borrows into the arena.
+#[derive(Debug)]
+struct SliceIndex {
+    slots: Vec<u32>,
+    mask: usize,
+}
+
+fn hash_items(items: &[ItemId]) -> u64 {
+    use std::hash::Hasher;
+    let mut h = rustc_hash::FxHasher::default();
+    for &i in items {
+        h.write_u32(i);
+    }
+    h.finish()
+}
+
+impl SliceIndex {
+    fn build<P>(arena: &ItemsetArena<P>) -> Self {
+        let capacity = (arena.len() * 2).next_power_of_two().max(8);
+        let mut index = SliceIndex {
+            slots: vec![0; capacity],
+            mask: capacity - 1,
+        };
+        for id in 0..arena.len() {
+            index.insert(arena, id);
+        }
+        index
+    }
+
+    fn insert<P>(&mut self, arena: &ItemsetArena<P>, id: usize) {
+        let items = arena.items(id);
+        let mut slot = hash_items(items) as usize & self.mask;
+        loop {
+            match self.slots[slot] {
+                0 => {
+                    self.slots[slot] = (id + 1) as u32;
+                    return;
+                }
+                occupied => {
+                    // Duplicates keep the first id, matching the seed's
+                    // index_by_itemset insert-wins-last... the seed used
+                    // HashMap::insert (last wins); keep last for parity.
+                    if arena.items((occupied - 1) as usize) == items {
+                        self.slots[slot] = (id + 1) as u32;
+                        return;
+                    }
+                }
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    fn find<P>(&self, arena: &ItemsetArena<P>, items: &[ItemId]) -> Option<usize> {
+        let mut slot = hash_items(items) as usize & self.mask;
+        loop {
+            match self.slots[slot] {
+                0 => return None,
+                occupied => {
+                    let id = (occupied - 1) as usize;
+                    if arena.items(id) == items {
+                        return Some(id);
+                    }
+                }
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::CountPayload;
+    use crate::transaction::TransactionDb;
+    use crate::{Algorithm, MiningParams};
+
+    fn sample_arena() -> ItemsetArena<CountPayload> {
+        let mut arena = ItemsetArena::new();
+        arena.push(&[0], 5, CountPayload(1));
+        arena.push(&[1], 4, CountPayload(2));
+        arena.push(&[0, 1], 3, CountPayload(3));
+        arena.push(&[0, 2], 2, CountPayload(4));
+        arena
+    }
+
+    #[test]
+    fn push_and_access() {
+        let arena = sample_arena();
+        assert_eq!(arena.len(), 4);
+        assert_eq!(arena.total_items(), 6);
+        assert_eq!(arena.items(2), &[0, 1]);
+        assert_eq!(arena.support(2), 3);
+        assert_eq!(*arena.payload(3), CountPayload(4));
+        let entry = arena.entry(0);
+        assert_eq!((entry.items, entry.support), (&[0u32][..], 5));
+    }
+
+    #[test]
+    fn find_uses_the_shared_index() {
+        let arena = sample_arena();
+        assert_eq!(arena.find(&[0, 1]), Some(2));
+        assert_eq!(arena.find(&[1]), Some(1));
+        assert_eq!(arena.find(&[2]), None);
+        assert_eq!(arena.find(&[]), None);
+    }
+
+    #[test]
+    fn mutation_invalidates_the_index() {
+        let mut arena = sample_arena();
+        assert_eq!(arena.find(&[0, 2]), Some(3));
+        arena.push(&[1, 2], 1, CountPayload(9));
+        assert_eq!(arena.find(&[1, 2]), Some(4));
+        assert_eq!(arena.find(&[0, 1]), Some(2));
+    }
+
+    #[test]
+    fn sort_canonical_matches_vec_sort() {
+        let mut arena = ItemsetArena::new();
+        arena.push(&[2], 1, ());
+        arena.push(&[0, 1], 1, ());
+        arena.push(&[0], 1, ());
+        arena.push(&[0, 2], 1, ());
+        arena.sort_canonical();
+        let order: Vec<&[ItemId]> = arena.iter().map(|e| e.items).collect();
+        assert_eq!(order, vec![&[0][..], &[2], &[0, 1], &[0, 2]]);
+        assert_eq!(arena.find(&[0, 1]), Some(2));
+    }
+
+    #[test]
+    fn absorb_appends_with_shifted_offsets() {
+        let mut a = sample_arena();
+        let mut b = ItemsetArena::new();
+        b.push(&[7], 9, CountPayload(7));
+        b.push(&[7, 8], 8, CountPayload(8));
+        a.absorb(b);
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.items(4), &[7]);
+        assert_eq!(a.items(5), &[7, 8]);
+        assert_eq!(a.find(&[7, 8]), Some(5));
+    }
+
+    #[test]
+    fn roundtrip_through_itemsets() {
+        let db = TransactionDb::from_rows(4, &[vec![0, 1, 2], vec![0, 1], vec![0, 3], vec![1, 2]]);
+        let params = MiningParams::with_min_support_count(1);
+        let payloads: Vec<CountPayload> = (0..db.len()).map(|t| CountPayload(1 << t)).collect();
+        let found = crate::mine(Algorithm::Eclat, &db, &payloads, &params);
+        let arena = ItemsetArena::from_itemsets(&found);
+        assert_eq!(arena.into_itemsets(), found);
+    }
+}

@@ -6,8 +6,10 @@
 //! merge-based intersection; this backend trades the tid-lists of
 //! [`crate::eclat`] for packed `u64` bit vectors.
 
+use crate::arena::ItemsetArena;
 use crate::itemset::FrequentItemset;
 use crate::payload::Payload;
+use crate::sink::ItemsetSink;
 use crate::transaction::{ItemId, TransactionDb};
 use crate::MiningParams;
 
@@ -20,7 +22,9 @@ pub struct Bitset {
 impl Bitset {
     /// An all-zero bitset for `n` transactions.
     pub fn zeros(n: usize) -> Self {
-        Bitset { words: vec![0; n.div_ceil(64)] }
+        Bitset {
+            words: vec![0; n.div_ceil(64)],
+        }
     }
 
     /// Sets bit `i`.
@@ -42,7 +46,12 @@ impl Bitset {
     pub fn and(&self, other: &Bitset) -> Bitset {
         debug_assert_eq!(self.words.len(), other.words.len());
         Bitset {
-            words: self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect(),
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
         }
     }
 
@@ -77,11 +86,23 @@ pub fn mine<P: Payload>(
     payloads: &[P],
     params: &MiningParams,
 ) -> Vec<FrequentItemset<P>> {
+    let mut arena = ItemsetArena::new();
+    mine_into(db, payloads, params, &mut arena);
+    arena.into_itemsets()
+}
+
+/// Streams all frequent itemsets into `sink`, depth-first over bit
+/// vectors.
+pub fn mine_into<P: Payload, S: ItemsetSink<P>>(
+    db: &TransactionDb,
+    payloads: &[P],
+    params: &MiningParams,
+    sink: &mut S,
+) {
     let threshold = params.threshold();
     let max_len = params.max_len.unwrap_or(usize::MAX);
-    let mut out = Vec::new();
     if max_len == 0 || db.is_empty() {
-        return out;
+        return;
     }
 
     let n = db.len();
@@ -102,19 +123,18 @@ pub fn mine<P: Payload>(
 
     let mut prefix: Vec<ItemId> = Vec::new();
     for i in 0..roots.len() {
-        extend(&roots, i, payloads, threshold, max_len, &mut prefix, &mut out);
+        extend(&roots, i, payloads, threshold, max_len, &mut prefix, sink);
     }
-    out
 }
 
-fn extend<P: Payload>(
+fn extend<P: Payload, S: ItemsetSink<P>>(
     siblings: &[(ItemId, Bitset)],
     pos: usize,
     payloads: &[P],
     threshold: u64,
     max_len: usize,
     prefix: &mut Vec<ItemId>,
-    out: &mut Vec<FrequentItemset<P>>,
+    sink: &mut S,
 ) {
     let (item, ref bs) = siblings[pos];
     prefix.push(item);
@@ -122,12 +142,9 @@ fn extend<P: Payload>(
     for t in bs.iter_ones() {
         payload.merge(&payloads[t]);
     }
-    out.push(FrequentItemset {
-        items: prefix.clone(),
-        support: bs.count(),
-        payload,
-    });
-    if prefix.len() < max_len {
+    let support = bs.count();
+    sink.emit(prefix, support, &payload);
+    if prefix.len() < max_len && sink.wants_extensions(prefix, support) {
         // Children: intersect with each right sibling, keep the frequent.
         let mut children: Vec<(ItemId, Bitset)> = Vec::new();
         for (sib_item, sib_bs) in &siblings[pos + 1..] {
@@ -136,7 +153,9 @@ fn extend<P: Payload>(
             }
         }
         for child_pos in 0..children.len() {
-            extend(&children, child_pos, payloads, threshold, max_len, prefix, out);
+            extend(
+                &children, child_pos, payloads, threshold, max_len, prefix, sink,
+            );
         }
     }
     prefix.pop();
@@ -192,8 +211,9 @@ mod tests {
                 vec![0, 2],
             ],
         );
-        let payloads: Vec<CountPayload> =
-            (0..db.len()).map(|t| CountPayload(5 * t as u64 + 1)).collect();
+        let payloads: Vec<CountPayload> = (0..db.len())
+            .map(|t| CountPayload(5 * t as u64 + 1))
+            .collect();
         for min_support in 1..=3 {
             for max_len in [None, Some(2)] {
                 let mut params = MiningParams::with_min_support_count(min_support);

@@ -8,9 +8,13 @@
 //! (often huge) frequent-itemset collection and pair naturally with
 //! DivExplorer's redundancy pruning: an itemset that is not closed has a
 //! superset over the *same* support set and hence the same divergence.
+//!
+//! Lookups go through [`ItemsetArena::find`], so the itemset → id index is
+//! built once per arena and shared across [`condensation_flags_arena`],
+//! [`closed_itemsets`], and [`maximal_itemsets`] — the seed rebuilt a
+//! `FxHashMap<&[ItemId], usize>` on every call.
 
-use rustc_hash::FxHashMap;
-
+use crate::arena::ItemsetArena;
 use crate::itemset::FrequentItemset;
 use crate::transaction::ItemId;
 
@@ -18,35 +22,35 @@ use crate::transaction::ItemId;
 /// (complete) mining result.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CondensationFlags {
-    /// `closed[i]` iff `found[i]` is a closed frequent itemset.
+    /// `closed[i]` iff itemset `i` is a closed frequent itemset.
     pub closed: Vec<bool>,
-    /// `maximal[i]` iff `found[i]` is a maximal frequent itemset.
+    /// `maximal[i]` iff itemset `i` is a maximal frequent itemset.
     pub maximal: Vec<bool>,
 }
 
-/// Computes closed/maximal flags in one pass over the result.
+/// Computes closed/maximal flags in one pass over an arena-stored result,
+/// using the arena's cached itemset index for subset lookups.
 ///
-/// Requires `found` to be the *complete* set of frequent itemsets (as
+/// Requires the arena to hold the *complete* set of frequent itemsets (as
 /// produced by any miner in this crate without a `max_len` cap): the
 /// algorithm walks each itemset's immediate subsets, so a frequent itemset
 /// marks its sub-itemsets as non-maximal (and non-closed on support ties).
-pub fn condensation_flags<P>(found: &[FrequentItemset<P>]) -> CondensationFlags {
-    let index: FxHashMap<&[ItemId], usize> =
-        found.iter().enumerate().map(|(i, fi)| (fi.items.as_slice(), i)).collect();
-
-    let mut closed = vec![true; found.len()];
-    let mut maximal = vec![true; found.len()];
+pub fn condensation_flags_arena<P>(arena: &ItemsetArena<P>) -> CondensationFlags {
+    let n = arena.len();
+    let mut closed = vec![true; n];
+    let mut maximal = vec![true; n];
     let mut buf: Vec<ItemId> = Vec::new();
-    for fi in found {
-        if fi.items.len() < 2 && fi.items.is_empty() {
+    for id in 0..n {
+        let items = arena.items(id);
+        if items.len() < 2 && items.is_empty() {
             continue;
         }
         // Every immediate subset of a frequent itemset has a frequent
         // proper superset (this one).
-        for skip in 0..fi.items.len() {
+        for skip in 0..items.len() {
             buf.clear();
             buf.extend(
-                fi.items
+                items
                     .iter()
                     .enumerate()
                     .filter(|&(k, _)| k != skip)
@@ -55,15 +59,24 @@ pub fn condensation_flags<P>(found: &[FrequentItemset<P>]) -> CondensationFlags 
             if buf.is_empty() {
                 continue;
             }
-            if let Some(&sub) = index.get(buf.as_slice()) {
+            if let Some(sub) = arena.find(&buf) {
                 maximal[sub] = false;
-                if found[sub].support == fi.support {
+                if arena.support(sub) == arena.support(id) {
                     closed[sub] = false;
                 }
             }
         }
     }
     CondensationFlags { closed, maximal }
+}
+
+/// Computes closed/maximal flags for a `Vec`-form mining result.
+///
+/// Adapter over [`condensation_flags_arena`]; callers holding several
+/// queries against the same result should build the arena themselves
+/// (via [`ItemsetArena::from_itemsets`]) to share its index.
+pub fn condensation_flags<P: Clone>(found: &[FrequentItemset<P>]) -> CondensationFlags {
+    condensation_flags_arena(&ItemsetArena::from_itemsets(found))
 }
 
 /// Filters a mining result down to its closed itemsets.
@@ -91,20 +104,22 @@ pub fn maximal_itemsets<P: Clone>(found: &[FrequentItemset<P>]) -> Vec<FrequentI
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::payload::CountPayload;
     use crate::transaction::TransactionDb;
-    use crate::{mine_counts, Algorithm, MiningParams};
+    use crate::{mine, mine_arena, mine_counts, Algorithm, MiningParams};
 
     /// Textbook instance: items 0 and 1 always co-occur, so {0} and {1} are
     /// not closed (their closure is {0,1}).
     fn db() -> TransactionDb {
-        TransactionDb::from_rows(
-            3,
-            &[vec![0, 1], vec![0, 1], vec![0, 1, 2], vec![2]],
-        )
+        TransactionDb::from_rows(3, &[vec![0, 1], vec![0, 1], vec![0, 1, 2], vec![2]])
     }
 
     fn found() -> Vec<FrequentItemset<()>> {
-        mine_counts(Algorithm::FpGrowth, &db(), &MiningParams::with_min_support_count(1))
+        mine_counts(
+            Algorithm::FpGrowth,
+            &db(),
+            &MiningParams::with_min_support_count(1),
+        )
     }
 
     fn items_of(set: &[FrequentItemset<()>]) -> Vec<Vec<u32>> {
@@ -118,10 +133,7 @@ mod tests {
         let all = found();
         let closed = closed_itemsets(&all);
         // {0}, {1} absorbed by {0,1}; {0,2}, {1,2} absorbed by {0,1,2}.
-        assert_eq!(
-            items_of(&closed),
-            vec![vec![0, 1], vec![0, 1, 2], vec![2]]
-        );
+        assert_eq!(items_of(&closed), vec![vec![0, 1], vec![0, 1, 2], vec![2]]);
     }
 
     #[test]
@@ -147,7 +159,9 @@ mod tests {
         let all = found();
         let closed = closed_itemsets(&all);
         for fi in &all {
-            let superset = closed.iter().find(|c| fi.is_subset_of(c) && c.support == fi.support);
+            let superset = closed
+                .iter()
+                .find(|c| fi.is_subset_of(c) && c.support == fi.support);
             assert!(superset.is_some(), "no closure for {:?}", fi.items);
         }
     }
@@ -155,9 +169,36 @@ mod tests {
     #[test]
     fn singleton_result_is_closed_and_maximal() {
         let db = TransactionDb::from_rows(1, &[vec![0]]);
-        let all = mine_counts(Algorithm::Apriori, &db, &MiningParams::with_min_support_count(1));
+        let all = mine_counts(
+            Algorithm::Apriori,
+            &db,
+            &MiningParams::with_min_support_count(1),
+        );
         let flags = condensation_flags(&all);
         assert_eq!(flags.closed, vec![true]);
         assert_eq!(flags.maximal, vec![true]);
+    }
+
+    #[test]
+    fn arena_flags_agree_with_vec_flags_on_payload_results() {
+        // Regression: condensation over payload-carrying results must not
+        // disturb payloads, and the arena-index path must agree with the
+        // slice adapter for every algorithm.
+        let db = db();
+        let payloads: Vec<CountPayload> = (0..db.len()).map(|t| CountPayload(1 << t)).collect();
+        let params = MiningParams::with_min_support_count(1);
+        for algo in Algorithm::ALL {
+            let found = mine(algo, &db, &payloads, &params);
+            let via_slices = condensation_flags(&found);
+            let arena = mine_arena(algo, &db, &payloads, &params);
+            let via_arena = condensation_flags_arena(&arena);
+            assert_eq!(via_arena, via_slices, "{algo}");
+            // Closed filtering keeps payloads intact.
+            let closed = closed_itemsets(&found);
+            for fi in &closed {
+                let original = found.iter().find(|f| f.items == fi.items).unwrap();
+                assert_eq!(fi.payload, original.payload, "{algo}");
+            }
+        }
     }
 }

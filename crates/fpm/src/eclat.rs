@@ -6,9 +6,12 @@
 //! an itemset is the merge of the payloads of its tids, accumulated during
 //! the intersection so no extra pass is needed.
 
+use crate::arena::ItemsetArena;
 use crate::itemset::FrequentItemset;
 use crate::payload::Payload;
+use crate::sink::ItemsetSink;
 use crate::transaction::{ItemId, TransactionDb};
+use crate::vertical;
 use crate::MiningParams;
 
 /// Mines all frequent itemsets depth-first over vertical tid-lists.
@@ -17,24 +20,27 @@ pub fn mine<P: Payload>(
     payloads: &[P],
     params: &MiningParams,
 ) -> Vec<FrequentItemset<P>> {
+    let mut arena = ItemsetArena::new();
+    mine_into(db, payloads, params, &mut arena);
+    arena.into_itemsets()
+}
+
+/// Streams all frequent itemsets into `sink`, depth-first over vertical
+/// tid-lists.
+pub fn mine_into<P: Payload, S: ItemsetSink<P>>(
+    db: &TransactionDb,
+    payloads: &[P],
+    params: &MiningParams,
+    sink: &mut S,
+) {
     let threshold = params.threshold();
     let max_len = params.max_len.unwrap_or(usize::MAX);
-    let mut out = Vec::new();
     if max_len == 0 || db.is_empty() {
-        return out;
+        return;
     }
 
-    // Vertical representation: tid-list per item.
-    let n_items = db.n_items() as usize;
-    let mut tidlists: Vec<Vec<u32>> = vec![Vec::new(); n_items];
-    for (t, row) in db.iter().enumerate() {
-        for &item in row {
-            tidlists[item as usize].push(t as u32);
-        }
-    }
-
-    // Frequent 1-itemsets, each with (item, tidlist, payload).
-    let roots: Vec<(ItemId, Vec<u32>)> = tidlists
+    // Frequent 1-itemsets, each with (item, tidlist).
+    let roots: Vec<(ItemId, Vec<u32>)> = vertical::tid_lists(db)
         .into_iter()
         .enumerate()
         .filter(|(_, tids)| tids.len() as u64 >= threshold)
@@ -45,7 +51,7 @@ pub fn mine<P: Payload>(
     // Depth-first: extend each root with the roots to its right.
     for i in 0..roots.len() {
         let (item, ref tids) = roots[i];
-        let payload = sum_payloads(tids, payloads);
+        let payload = vertical::sum_payloads(tids, payloads);
         extend(
             &roots[i + 1..],
             item,
@@ -55,14 +61,13 @@ pub fn mine<P: Payload>(
             threshold,
             max_len,
             &mut prefix,
-            &mut out,
+            sink,
         );
     }
-    out
 }
 
 #[allow(clippy::too_many_arguments)]
-fn extend<P: Payload>(
+fn extend<P: Payload, S: ItemsetSink<P>>(
     siblings: &[(ItemId, Vec<u32>)],
     item: ItemId,
     tids: &[u32],
@@ -71,25 +76,21 @@ fn extend<P: Payload>(
     threshold: u64,
     max_len: usize,
     prefix: &mut Vec<ItemId>,
-    out: &mut Vec<FrequentItemset<P>>,
+    sink: &mut S,
 ) {
     prefix.push(item);
-    out.push(FrequentItemset {
-        items: prefix.clone(),
-        support: tids.len() as u64,
-        payload,
-    });
-    if prefix.len() < max_len {
+    let support = tids.len() as u64;
+    sink.emit(prefix, support, &payload);
+    if prefix.len() < max_len && sink.wants_extensions(prefix, support) {
         // Intersect with each sibling's tid-list; recurse on frequent ones.
         let mut next: Vec<(ItemId, Vec<u32>, P)> = Vec::new();
         for (sib_item, sib_tids) in siblings {
-            let (inter, pay) = intersect_with_payload(tids, sib_tids, payloads);
+            let (inter, pay) = vertical::intersect_with_payload(tids, sib_tids, payloads);
             if inter.len() as u64 >= threshold {
                 next.push((*sib_item, inter, pay));
             }
         }
-        let kept: Vec<(ItemId, Vec<u32>)> =
-            next.iter().map(|(i, t, _)| (*i, t.clone())).collect();
+        let kept: Vec<(ItemId, Vec<u32>)> = next.iter().map(|(i, t, _)| (*i, t.clone())).collect();
         for (pos, (sib_item, inter, pay)) in next.into_iter().enumerate() {
             extend(
                 &kept[pos + 1..],
@@ -100,43 +101,11 @@ fn extend<P: Payload>(
                 threshold,
                 max_len,
                 prefix,
-                out,
+                sink,
             );
         }
     }
     prefix.pop();
-}
-
-/// Intersects two sorted tid-lists, merging the payloads of shared tids.
-fn intersect_with_payload<P: Payload>(
-    a: &[u32],
-    b: &[u32],
-    payloads: &[P],
-) -> (Vec<u32>, P) {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
-    let mut payload = P::zero();
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                payload.merge(&payloads[a[i] as usize]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    (out, payload)
-}
-
-fn sum_payloads<P: Payload>(tids: &[u32], payloads: &[P]) -> P {
-    let mut total = P::zero();
-    for &t in tids {
-        total.merge(&payloads[t as usize]);
-    }
-    total
 }
 
 #[cfg(test)]
@@ -159,8 +128,9 @@ mod tests {
                 vec![2, 3],
             ],
         );
-        let payloads: Vec<CountPayload> =
-            (0..db.len()).map(|t| CountPayload(3 * t as u64 + 1)).collect();
+        let payloads: Vec<CountPayload> = (0..db.len())
+            .map(|t| CountPayload(3 * t as u64 + 1))
+            .collect();
         for min_support in 1..=3 {
             for max_len in [None, Some(1), Some(2)] {
                 let mut params = MiningParams::with_min_support_count(min_support);
@@ -172,13 +142,5 @@ mod tests {
                 assert_eq!(got, expected, "s={min_support} max_len={max_len:?}");
             }
         }
-    }
-
-    #[test]
-    fn intersect_payload_merges_only_shared_tids() {
-        let payloads = [CountPayload(1), CountPayload(2), CountPayload(4)];
-        let (tids, pay) = intersect_with_payload(&[0, 1, 2], &[1, 2], &payloads);
-        assert_eq!(tids, vec![1, 2]);
-        assert_eq!(pay, CountPayload(6));
     }
 }

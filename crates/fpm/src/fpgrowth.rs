@@ -6,10 +6,17 @@
 //! grow recursively over conditional trees. Payloads propagate through node
 //! accumulation and conditional pattern bases, so the merged payload of every
 //! frequent itemset is available with no extra scan of the data.
+//!
+//! Results stream into an [`crate::sink::ItemsetSink`] from a reused scratch
+//! buffer — nothing is allocated per emitted itemset. The
+//! [`ItemsetSink::wants_extensions`] hook gates both conditional-tree
+//! recursion and the single-path subset enumeration.
 
+use crate::arena::ItemsetArena;
 use crate::fptree::FpTree;
 use crate::itemset::FrequentItemset;
 use crate::payload::Payload;
+use crate::sink::ItemsetSink;
 use crate::transaction::{ItemId, TransactionDb};
 use crate::MiningParams;
 
@@ -19,11 +26,22 @@ pub fn mine<P: Payload>(
     payloads: &[P],
     params: &MiningParams,
 ) -> Vec<FrequentItemset<P>> {
+    let mut arena = ItemsetArena::new();
+    mine_into(db, payloads, params, &mut arena);
+    arena.into_itemsets()
+}
+
+/// Streams all frequent itemsets into `sink` with FP-growth.
+pub fn mine_into<P: Payload, S: ItemsetSink<P>>(
+    db: &TransactionDb,
+    payloads: &[P],
+    params: &MiningParams,
+    sink: &mut S,
+) {
     let threshold = params.threshold();
     let max_len = params.max_len.unwrap_or(usize::MAX);
-    let mut out = Vec::new();
     if max_len == 0 || db.is_empty() {
-        return out;
+        return;
     }
 
     // First scan: global item frequencies -> descending-frequency rank.
@@ -41,8 +59,8 @@ pub fn mine<P: Payload>(
     }
 
     let mut prefix: Vec<ItemId> = Vec::new();
-    grow(&tree, threshold, max_len, &mut prefix, &mut out);
-    out
+    let mut scratch: Vec<ItemId> = Vec::new();
+    grow(&tree, threshold, max_len, &mut prefix, &mut scratch, sink);
 }
 
 /// Maps each item to its position in descending-frequency order, or `None`
@@ -51,11 +69,7 @@ fn frequency_rank(counts: &[u64], threshold: u64) -> Vec<Option<u32>> {
     let mut frequent: Vec<u32> = (0..counts.len() as u32)
         .filter(|&i| counts[i as usize] >= threshold)
         .collect();
-    frequent.sort_unstable_by(|&a, &b| {
-        counts[b as usize]
-            .cmp(&counts[a as usize])
-            .then(a.cmp(&b))
-    });
+    frequent.sort_unstable_by(|&a, &b| counts[b as usize].cmp(&counts[a as usize]).then(a.cmp(&b)));
     let mut rank = vec![None; counts.len()];
     for (r, &item) in frequent.iter().enumerate() {
         rank[item as usize] = Some(r as u32);
@@ -64,12 +78,13 @@ fn frequency_rank(counts: &[u64], threshold: u64) -> Vec<Option<u32>> {
 }
 
 /// Recursive pattern growth over conditional trees.
-fn grow<P: Payload>(
+fn grow<P: Payload, S: ItemsetSink<P>>(
     tree: &FpTree<P>,
     threshold: u64,
     max_len: usize,
     prefix: &mut Vec<ItemId>,
-    out: &mut Vec<FrequentItemset<P>>,
+    scratch: &mut Vec<ItemId>,
+    sink: &mut S,
 ) {
     // Single-path shortcut (Han, Pei & Yin §3.3): a chain tree's frequent
     // itemsets are exactly the subsets of the chain, each with the support
@@ -77,7 +92,7 @@ fn grow<P: Payload>(
     if let Some(path) = tree.single_path() {
         debug_assert!(path.iter().all(|&(_, c, _)| c >= threshold));
         let mut selected: Vec<usize> = Vec::new();
-        emit_path_combinations(&path, 0, max_len, prefix, &mut selected, out);
+        emit_path_combinations(&path, 0, max_len, prefix, &mut selected, scratch, sink);
         return;
     }
 
@@ -90,24 +105,21 @@ fn grow<P: Payload>(
         if count < threshold {
             continue;
         }
-        let mut items_vec = Vec::with_capacity(prefix.len() + 1);
-        items_vec.extend_from_slice(prefix);
-        items_vec.push(item);
-        items_vec.sort_unstable();
-        out.push(FrequentItemset {
-            items: items_vec,
-            support: count,
-            payload: tree.item_payload(item),
-        });
+        scratch.clear();
+        scratch.extend_from_slice(prefix);
+        scratch.push(item);
+        scratch.sort_unstable();
+        let payload = tree.item_payload(item);
+        sink.emit(scratch, count, &payload);
 
-        if prefix.len() + 1 >= max_len {
+        if prefix.len() + 1 >= max_len || !sink.wants_extensions(scratch, count) {
             continue;
         }
         let base = tree.conditional_pattern_base(item);
         let cond = build_conditional_tree(&base, threshold);
         if !cond.is_empty() {
             prefix.push(item);
-            grow(&cond, threshold, max_len, prefix, out);
+            grow(&cond, threshold, max_len, prefix, scratch, sink);
             prefix.pop();
         }
     }
@@ -116,13 +128,15 @@ fn grow<P: Payload>(
 /// Emits `prefix ∪ S` for every non-empty subset `S` of `path[start..]`
 /// (respecting `max_len`); the subset's support and payload are those of
 /// its deepest selected chain node.
-fn emit_path_combinations<P: Payload>(
+#[allow(clippy::too_many_arguments)]
+fn emit_path_combinations<P: Payload, S: ItemsetSink<P>>(
     path: &[(ItemId, u64, P)],
     start: usize,
     max_len: usize,
     prefix: &mut Vec<ItemId>,
     selected: &mut Vec<usize>,
-    out: &mut Vec<FrequentItemset<P>>,
+    scratch: &mut Vec<ItemId>,
+    sink: &mut S,
 ) {
     if prefix.len() + selected.len() >= max_len || start == path.len() {
         return;
@@ -130,21 +144,21 @@ fn emit_path_combinations<P: Payload>(
     for pos in start..path.len() {
         selected.push(pos);
         let (_, count, ref payload) = path[pos];
-        let mut items: Vec<ItemId> = prefix.to_vec();
-        items.extend(selected.iter().map(|&i| path[i].0));
-        items.sort_unstable();
-        out.push(FrequentItemset { items, support: count, payload: payload.clone() });
-        emit_path_combinations(path, pos + 1, max_len, prefix, selected, out);
+        scratch.clear();
+        scratch.extend_from_slice(prefix);
+        scratch.extend(selected.iter().map(|&i| path[i].0));
+        scratch.sort_unstable();
+        sink.emit(scratch, count, payload);
+        if sink.wants_extensions(scratch, count) {
+            emit_path_combinations(path, pos + 1, max_len, prefix, selected, scratch, sink);
+        }
         selected.pop();
     }
 }
 
 /// Builds the conditional FP-tree for a pattern base, filtering items that
 /// are infrequent *within the base* and re-ranking by conditional frequency.
-fn build_conditional_tree<P: Payload>(
-    base: &[(Vec<ItemId>, u64, P)],
-    threshold: u64,
-) -> FpTree<P> {
+fn build_conditional_tree<P: Payload>(base: &[(Vec<ItemId>, u64, P)], threshold: u64) -> FpTree<P> {
     use rustc_hash::FxHashMap;
     let mut cond_counts: FxHashMap<ItemId, u64> = FxHashMap::default();
     for (path, count, _) in base {
@@ -157,11 +171,12 @@ fn build_conditional_tree<P: Payload>(
         .filter(|&(_, &c)| c >= threshold)
         .map(|(&i, _)| i)
         .collect();
-    frequent.sort_unstable_by(|&a, &b| {
-        cond_counts[&b].cmp(&cond_counts[&a]).then(a.cmp(&b))
-    });
-    let rank: FxHashMap<ItemId, u32> =
-        frequent.iter().enumerate().map(|(r, &i)| (i, r as u32)).collect();
+    frequent.sort_unstable_by(|&a, &b| cond_counts[&b].cmp(&cond_counts[&a]).then(a.cmp(&b)));
+    let rank: FxHashMap<ItemId, u32> = frequent
+        .iter()
+        .enumerate()
+        .map(|(r, &i)| (i, r as u32))
+        .collect();
 
     let mut tree = FpTree::new();
     let mut buf: Vec<ItemId> = Vec::new();
@@ -231,9 +246,7 @@ mod tests {
         );
         let params = MiningParams::with_min_support_count(3);
         let found = mine_counts(&db, &params);
-        let support = |items: &[u32]| {
-            found.iter().find(|f| f.items == items).map(|f| f.support)
-        };
+        let support = |items: &[u32]| found.iter().find(|f| f.items == items).map(|f| f.support);
         assert_eq!(support(&[0]), Some(4)); // f
         assert_eq!(support(&[1]), Some(4)); // c
         assert_eq!(support(&[0, 1, 2, 4]), Some(3)); // fcam
@@ -249,13 +262,10 @@ mod tests {
     fn single_path_shortcut_handles_a_pure_chain_db() {
         // Every transaction is a prefix of 0 < 1 < 2 < 3: the top-level
         // tree is already a single path, exercising the shortcut directly.
-        let db = TransactionDb::from_rows(
-            4,
-            &[vec![0], vec![0, 1], vec![0, 1, 2], vec![0, 1, 2, 3]],
-        );
+        let db =
+            TransactionDb::from_rows(4, &[vec![0], vec![0, 1], vec![0, 1, 2], vec![0, 1, 2, 3]]);
         let params = MiningParams::with_min_support_count(1);
-        let payloads: Vec<CountPayload> =
-            (0..4).map(|t| CountPayload(1 << t)).collect();
+        let payloads: Vec<CountPayload> = (0..4).map(|t| CountPayload(1 << t)).collect();
         let mut expected = naive::mine(&db, &payloads, &params);
         let mut got = mine(&db, &payloads, &params);
         sort_canonical(&mut expected);
@@ -264,7 +274,11 @@ mod tests {
         // All 15 non-empty subsets of the chain are frequent.
         assert_eq!(got.len(), 15);
         // And max_len is honored on the shortcut path too.
-        let capped = mine(&db, &payloads, &MiningParams::with_min_support_count(1).max_len(2));
+        let capped = mine(
+            &db,
+            &payloads,
+            &MiningParams::with_min_support_count(1).max_len(2),
+        );
         assert!(capped.iter().all(|fi| fi.items.len() <= 2));
         assert_eq!(capped.len(), 4 + 6);
     }

@@ -42,7 +42,12 @@ pub struct FpTree<P> {
 impl<P: Payload> FpTree<P> {
     /// Creates an empty tree.
     pub fn new() -> Self {
-        let root = FpNode { item: ItemId::MAX, count: 0, payload: P::zero(), parent: 0 };
+        let root = FpNode {
+            item: ItemId::MAX,
+            count: 0,
+            payload: P::zero(),
+            parent: 0,
+        };
         FpTree {
             nodes: vec![root],
             children: vec![FxHashMap::default()],

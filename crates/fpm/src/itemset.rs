@@ -19,7 +19,11 @@ impl<P> FrequentItemset<P> {
     pub fn new(mut items: Vec<ItemId>, support: u64, payload: P) -> Self {
         items.sort_unstable();
         items.dedup();
-        Self { items, support, payload }
+        Self {
+            items,
+            support,
+            payload,
+        }
     }
 
     /// Number of items (the paper's itemset *length*).
@@ -48,7 +52,11 @@ impl<P> FrequentItemset<P> {
 
     /// Maps the payload, keeping items and support.
     pub fn map_payload<Q>(self, f: impl FnOnce(P) -> Q) -> FrequentItemset<Q> {
-        FrequentItemset { items: self.items, support: self.support, payload: f(self.payload) }
+        FrequentItemset {
+            items: self.items,
+            support: self.support,
+            payload: f(self.payload),
+        }
     }
 }
 

@@ -14,6 +14,47 @@
 //! divergence of every frequent itemset is known the moment mining ends,
 //! without a second scan of the data.
 //!
+//! # Streaming sinks and the arena store
+//!
+//! Every miner has two entry points:
+//!
+//! - [`mine`] (and per-module `mine`) materializes the result as
+//!   `Vec<FrequentItemset<P>>` — the original API, kept as a thin adapter.
+//! - [`mine_into`] (and per-module `mine_into`) *streams* each frequent
+//!   itemset into an [`ItemsetSink`] as soon as its support is known. The
+//!   itemset is passed as a borrowed slice, so sinks that filter, count, or
+//!   aggregate never pay a per-itemset allocation.
+//!
+//! The default collecting sink is [`ItemsetArena`]: all itemsets live in one
+//! flat buffer with `O(1)` id-based access and a shared itemset → id index.
+//! `mine` is literally `mine_into` + [`ItemsetArena::into_itemsets`].
+//!
+//! Sinks compose. For example, a sink that keeps only itemsets whose
+//! payload-derived statistic clears a threshold:
+//!
+//! ```
+//! use fpm::{Algorithm, ItemsetSink, MiningParams, TransactionDb};
+//! use fpm::sink::{FilterSink, VecSink};
+//!
+//! let db = TransactionDb::from_rows(3, &[
+//!     vec![0, 1], vec![0, 1], vec![0, 2], vec![1, 2],
+//! ]);
+//! // Keep only itemsets covering at least 3 of the 4 transactions.
+//! let mut sink = FilterSink::new(VecSink::new(), |_items: &[u32], support, _p: &()| {
+//!     support >= 3
+//! });
+//! fpm::mine_into(
+//!     Algorithm::FpGrowth,
+//!     &db,
+//!     &vec![(); db.len()],
+//!     &MiningParams::with_min_support_count(1),
+//!     &mut sink,
+//! );
+//! let kept = sink.into_inner().found;
+//! assert!(kept.iter().all(|fi| fi.support >= 3));
+//! assert_eq!(kept.len(), 2); // {0} and {1}
+//! ```
+//!
 //! # Example
 //!
 //! ```
@@ -34,6 +75,7 @@
 
 pub mod anchored;
 pub mod apriori;
+pub mod arena;
 pub mod bitset_eclat;
 pub mod closed;
 pub mod eclat;
@@ -44,10 +86,14 @@ pub mod naive;
 pub mod parallel;
 pub mod payload;
 pub mod rules;
+pub mod sink;
 pub mod transaction;
+pub mod vertical;
 
+pub use arena::{ArenaEntry, ItemsetArena};
 pub use itemset::FrequentItemset;
 pub use payload::{CountPayload, Payload};
+pub use sink::{CountingSink, FilterSink, ItemsetSink, TopKBySupportSink, VecSink};
 pub use transaction::{ItemId, TransactionDb, TransactionDbBuilder};
 
 use rustc_hash::FxHashMap;
@@ -68,7 +114,10 @@ pub struct MiningParams {
 impl MiningParams {
     /// Parameters with an absolute support-count threshold and no length cap.
     pub fn with_min_support_count(min_support_count: u64) -> Self {
-        Self { min_support_count, max_len: None }
+        Self {
+            min_support_count,
+            max_len: None,
+        }
     }
 
     /// Parameters with a relative support threshold `s` in `[0, 1]`, resolved
@@ -79,7 +128,10 @@ impl MiningParams {
     /// `>= ceil(s * |D|)`.
     pub fn with_min_support_fraction(s: f64, n_transactions: usize) -> Self {
         let count = (s * n_transactions as f64).ceil() as u64;
-        Self { min_support_count: count.max(1), max_len: None }
+        Self {
+            min_support_count: count.max(1),
+            max_len: None,
+        }
     }
 
     /// Builder-style setter for the maximum itemset length.
@@ -120,8 +172,12 @@ pub enum Algorithm {
 
 impl Algorithm {
     /// Every production algorithm (excludes [`Algorithm::Naive`]).
-    pub const ALL: [Algorithm; 4] =
-        [Algorithm::Apriori, Algorithm::FpGrowth, Algorithm::Eclat, Algorithm::EclatBitset];
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::Apriori,
+        Algorithm::FpGrowth,
+        Algorithm::Eclat,
+        Algorithm::EclatBitset,
+    ];
 }
 
 impl std::fmt::Display for Algorithm {
@@ -151,17 +207,57 @@ pub fn mine<P: Payload>(
     payloads: &[P],
     params: &MiningParams,
 ) -> Vec<FrequentItemset<P>> {
+    let mut arena = ItemsetArena::new();
+    mine_into(algorithm, db, payloads, params, &mut arena);
+    arena.into_itemsets()
+}
+
+/// Mines all frequent itemsets of `db` into an [`ItemsetArena`] — the
+/// streaming path with the default collecting store, no per-itemset
+/// `Vec` allocations.
+///
+/// # Panics
+///
+/// Panics if `payloads.len() != db.len()`.
+pub fn mine_arena<P: Payload>(
+    algorithm: Algorithm,
+    db: &TransactionDb,
+    payloads: &[P],
+    params: &MiningParams,
+) -> ItemsetArena<P> {
+    let mut arena = ItemsetArena::new();
+    mine_into(algorithm, db, payloads, params, &mut arena);
+    arena
+}
+
+/// Streams all frequent itemsets of `db` into `sink`, merging
+/// `payloads[t]` into the aggregate of every itemset that transaction
+/// `t` supports.
+///
+/// Emission order is algorithm-specific; the *set* of emissions (itemset,
+/// support, payload) is identical across algorithms.
+///
+/// # Panics
+///
+/// Panics if `payloads.len() != db.len()`.
+pub fn mine_into<P: Payload, S: ItemsetSink<P>>(
+    algorithm: Algorithm,
+    db: &TransactionDb,
+    payloads: &[P],
+    params: &MiningParams,
+    sink: &mut S,
+) {
     assert_eq!(
         payloads.len(),
         db.len(),
         "payload slice length must match transaction count"
     );
     match algorithm {
-        Algorithm::Apriori => apriori::mine(db, payloads, params),
-        Algorithm::FpGrowth => fpgrowth::mine(db, payloads, params),
-        Algorithm::Eclat => eclat::mine(db, payloads, params),
-        Algorithm::EclatBitset => bitset_eclat::mine(db, payloads, params),
-        Algorithm::Naive => naive::mine(db, payloads, params),
+        Algorithm::Apriori => apriori::mine_into(db, payloads, params, sink),
+        Algorithm::FpGrowth => fpgrowth::mine_into(db, payloads, params, sink),
+        Algorithm::Eclat => eclat::mine_into(db, payloads, params, sink),
+        Algorithm::EclatBitset => bitset_eclat::mine_into(db, payloads, params, sink),
+        Algorithm::Naive => naive::mine_into(db, payloads, params, sink),
     }
 }
 
@@ -178,9 +274,7 @@ pub fn mine_counts(
 /// Indexes a mining result by itemset for `O(1)` lookup.
 ///
 /// Keys are the canonical (sorted) item slices of each frequent itemset.
-pub fn index_by_itemset<P: Payload>(
-    found: &[FrequentItemset<P>],
-) -> FxHashMap<&[ItemId], usize> {
+pub fn index_by_itemset<P: Payload>(found: &[FrequentItemset<P>]) -> FxHashMap<&[ItemId], usize> {
     let mut map = FxHashMap::default();
     map.reserve(found.len());
     for (i, fi) in found.iter().enumerate() {

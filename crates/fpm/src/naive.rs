@@ -5,9 +5,12 @@
 //! Simple and obviously correct, but keeps no compressed structures, so it is
 //! only suitable for small inputs.
 
+use crate::arena::ItemsetArena;
 use crate::itemset::FrequentItemset;
 use crate::payload::Payload;
+use crate::sink::ItemsetSink;
 use crate::transaction::{ItemId, TransactionDb};
+use crate::vertical;
 use crate::MiningParams;
 
 /// Mines all frequent itemsets (length >= 1) by exhaustive enumeration.
@@ -16,32 +19,45 @@ pub fn mine<P: Payload>(
     payloads: &[P],
     params: &MiningParams,
 ) -> Vec<FrequentItemset<P>> {
+    let mut arena = ItemsetArena::new();
+    mine_into(db, payloads, params, &mut arena);
+    arena.into_itemsets()
+}
+
+/// Streams all frequent itemsets into `sink`, depth-first in
+/// lexicographic order.
+pub fn mine_into<P: Payload, S: ItemsetSink<P>>(
+    db: &TransactionDb,
+    payloads: &[P],
+    params: &MiningParams,
+    sink: &mut S,
+) {
     let threshold = params.threshold();
     let max_len = params.max_len.unwrap_or(usize::MAX);
     if max_len == 0 {
-        return Vec::new();
+        return;
     }
 
-    // tid-lists per item.
-    let n_items = db.n_items() as usize;
-    let mut tidlists: Vec<Vec<u32>> = vec![Vec::new(); n_items];
-    for (t, row) in db.iter().enumerate() {
-        for &item in row {
-            tidlists[item as usize].push(t as u32);
-        }
-    }
-
-    let mut out = Vec::new();
+    let tidlists = vertical::tid_lists(db);
     let mut prefix: Vec<ItemId> = Vec::new();
-    for item in 0..n_items as u32 {
+    for item in 0..db.n_items() {
         let tids = tidlists[item as usize].clone();
-        extend(db, payloads, threshold, max_len, item, tids, &mut prefix, &tidlists, &mut out);
+        extend(
+            db,
+            payloads,
+            threshold,
+            max_len,
+            item,
+            tids,
+            &mut prefix,
+            &tidlists,
+            sink,
+        );
     }
-    out
 }
 
 #[allow(clippy::too_many_arguments)]
-fn extend<P: Payload>(
+fn extend<P: Payload, S: ItemsetSink<P>>(
     db: &TransactionDb,
     payloads: &[P],
     threshold: u64,
@@ -50,46 +66,24 @@ fn extend<P: Payload>(
     tids: Vec<u32>,
     prefix: &mut Vec<ItemId>,
     tidlists: &[Vec<u32>],
-    out: &mut Vec<FrequentItemset<P>>,
+    sink: &mut S,
 ) {
     if (tids.len() as u64) < threshold {
         return;
     }
     prefix.push(item);
-    let mut payload = P::zero();
-    for &t in &tids {
-        payload.merge(&payloads[t as usize]);
-    }
-    out.push(FrequentItemset {
-        items: prefix.clone(),
-        support: tids.len() as u64,
-        payload,
-    });
-    if prefix.len() < max_len {
+    let support = tids.len() as u64;
+    let payload = vertical::sum_payloads(&tids, payloads);
+    sink.emit(prefix, support, &payload);
+    if prefix.len() < max_len && sink.wants_extensions(prefix, support) {
         for next in (item + 1)..db.n_items() {
-            let next_tids = intersect(&tids, &tidlists[next as usize]);
-            extend(db, payloads, threshold, max_len, next, next_tids, prefix, tidlists, out);
+            let next_tids = vertical::intersect(&tids, &tidlists[next as usize]);
+            extend(
+                db, payloads, threshold, max_len, next, next_tids, prefix, tidlists, sink,
+            );
         }
     }
     prefix.pop();
-}
-
-/// Intersects two sorted tid-lists.
-pub(crate) fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -99,10 +93,7 @@ mod tests {
 
     #[test]
     fn finds_expected_itemsets() {
-        let db = TransactionDb::from_rows(
-            3,
-            &[vec![0, 1], vec![0, 1], vec![0, 2], vec![1]],
-        );
+        let db = TransactionDb::from_rows(3, &[vec![0, 1], vec![0, 1], vec![0, 2], vec![1]]);
         let params = MiningParams::with_min_support_count(2);
         let found = mine(&db, &[(); 4], &params);
         let items: Vec<_> = found.iter().map(|f| f.items.clone()).collect();
@@ -132,15 +123,38 @@ mod tests {
     }
 
     #[test]
-    fn intersect_sorted_lists() {
-        assert_eq!(intersect(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
-        assert_eq!(intersect(&[], &[1]), Vec::<u32>::new());
-    }
-
-    #[test]
     fn max_len_zero_yields_nothing() {
         let db = TransactionDb::from_rows(2, &[vec![0, 1]]);
         let params = MiningParams::with_min_support_count(1).max_len(0);
         assert!(mine(&db, &[(); 1], &params).is_empty());
+    }
+
+    #[test]
+    fn wants_extensions_prunes_the_whole_subtree() {
+        // Sink that refuses extensions of [0]: no itemset containing 0
+        // with length > 1 may be emitted, but [1], [1,2], … still are.
+        struct NoZeroExtensions {
+            seen: Vec<Vec<ItemId>>,
+        }
+        impl ItemsetSink<()> for NoZeroExtensions {
+            fn emit(&mut self, items: &[ItemId], _support: u64, _payload: &()) {
+                self.seen.push(items.to_vec());
+            }
+            fn wants_extensions(&mut self, items: &[ItemId], _support: u64) -> bool {
+                items != [0]
+            }
+        }
+        let db =
+            TransactionDb::from_rows(3, &[vec![0, 1, 2], vec![0, 1, 2], vec![0, 1], vec![1, 2]]);
+        let mut sink = NoZeroExtensions { seen: Vec::new() };
+        mine_into(
+            &db,
+            &[(); 4],
+            &MiningParams::with_min_support_count(1),
+            &mut sink,
+        );
+        assert!(sink.seen.contains(&vec![0]));
+        assert!(sink.seen.contains(&vec![1, 2]));
+        assert!(!sink.seen.iter().any(|s| s.len() > 1 && s[0] == 0));
     }
 }

@@ -7,13 +7,22 @@
 //! thread pool with work-stealing-free static partitioning (round-robin by
 //! root, which balances well because item frequencies are interleaved).
 //!
+//! Each worker streams its subtrees into a thread-local
+//! [`ItemsetArena`]; the arenas are merged at join, sorted canonically,
+//! and replayed into the caller's sink. Because emission happens after
+//! the parallel search completes, [`ItemsetSink::wants_extensions`] is
+//! *not* consulted during the search — a sink needing suppression must
+//! filter in `emit` (see the [`crate::sink`] contract).
+//!
 //! Results are identical to [`crate::eclat`] up to output order (the public
 //! [`mine`] sorts canonically, and the differential tests enforce equality).
 
-use crate::itemset::{sort_canonical, FrequentItemset};
-use crate::naive::intersect;
+use crate::arena::ItemsetArena;
+use crate::itemset::FrequentItemset;
 use crate::payload::Payload;
+use crate::sink::ItemsetSink;
 use crate::transaction::{ItemId, TransactionDb};
+use crate::vertical;
 use crate::MiningParams;
 
 /// Mines all frequent itemsets using `n_threads` worker threads
@@ -29,23 +38,46 @@ pub fn mine<P: Payload + Send + Sync>(
     params: &MiningParams,
     n_threads: usize,
 ) -> Vec<FrequentItemset<P>> {
+    mine_arena(db, payloads, params, n_threads).into_itemsets()
+}
+
+/// Streams all frequent itemsets into `sink` in canonical order.
+///
+/// The search itself runs on `n_threads` workers collecting into
+/// per-thread arenas; `sink` receives the merged, canonically sorted
+/// result. `wants_extensions` is not consulted (see the module docs).
+pub fn mine_into<P: Payload + Send + Sync, S: ItemsetSink<P>>(
+    db: &TransactionDb,
+    payloads: &[P],
+    params: &MiningParams,
+    n_threads: usize,
+    sink: &mut S,
+) {
+    let arena = mine_arena(db, payloads, params, n_threads);
+    for entry in arena.iter() {
+        sink.emit(entry.items, entry.support, entry.payload);
+    }
+}
+
+/// Parallel mining into a canonically sorted arena — the shared engine
+/// behind [`mine`] and [`mine_into`]. Exposed so callers that keep the
+/// arena form (e.g. the explorer's report) skip the replay entirely.
+pub fn mine_arena<P: Payload + Send + Sync>(
+    db: &TransactionDb,
+    payloads: &[P],
+    params: &MiningParams,
+    n_threads: usize,
+) -> ItemsetArena<P> {
     assert!(n_threads > 0, "need at least one thread");
     assert_eq!(payloads.len(), db.len(), "payload length mismatch");
     let threshold = params.threshold();
     let max_len = params.max_len.unwrap_or(usize::MAX);
     if max_len == 0 || db.is_empty() {
-        return Vec::new();
+        return ItemsetArena::new();
     }
 
     // Shared vertical representation.
-    let n_items = db.n_items() as usize;
-    let mut tidlists: Vec<Vec<u32>> = vec![Vec::new(); n_items];
-    for (t, row) in db.iter().enumerate() {
-        for &item in row {
-            tidlists[item as usize].push(t as u32);
-        }
-    }
-    let roots: Vec<(ItemId, Vec<u32>)> = tidlists
+    let roots: Vec<(ItemId, Vec<u32>)> = vertical::tid_lists(db)
         .into_iter()
         .enumerate()
         .filter(|(_, tids)| tids.len() as u64 >= threshold)
@@ -53,28 +85,37 @@ pub fn mine<P: Payload + Send + Sync>(
         .collect();
     let roots = &roots;
 
-    let mut out: Vec<FrequentItemset<P>> = std::thread::scope(|scope| {
+    let mut merged: ItemsetArena<P> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n_threads);
         for worker in 0..n_threads {
             handles.push(scope.spawn(move || {
-                let mut local = Vec::new();
+                let mut local = ItemsetArena::new();
                 let mut prefix: Vec<ItemId> = Vec::new();
                 // Round-robin partition of the root items.
                 let mut pos = worker;
                 while pos < roots.len() {
-                    subtree(roots, pos, payloads, threshold, max_len, &mut prefix, &mut local);
+                    subtree(
+                        roots,
+                        pos,
+                        payloads,
+                        threshold,
+                        max_len,
+                        &mut prefix,
+                        &mut local,
+                    );
                     pos += n_threads;
                 }
                 local
             }));
         }
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker panicked"))
-            .collect()
+        let mut merged = ItemsetArena::new();
+        for handle in handles {
+            merged.absorb(handle.join().expect("worker panicked"));
+        }
+        merged
     });
-    sort_canonical(&mut out);
-    out
+    merged.sort_canonical();
+    merged
 }
 
 /// Sequential Eclat over the subtree rooted at `siblings[pos]`.
@@ -85,25 +126,24 @@ fn subtree<P: Payload>(
     threshold: u64,
     max_len: usize,
     prefix: &mut Vec<ItemId>,
-    out: &mut Vec<FrequentItemset<P>>,
+    out: &mut ItemsetArena<P>,
 ) {
     let (item, ref tids) = siblings[pos];
     prefix.push(item);
-    let mut payload = P::zero();
-    for &t in tids {
-        payload.merge(&payloads[t as usize]);
-    }
-    out.push(FrequentItemset { items: prefix.clone(), support: tids.len() as u64, payload });
+    let payload = vertical::sum_payloads(tids, payloads);
+    out.push(prefix, tids.len() as u64, payload);
     if prefix.len() < max_len {
         let mut children: Vec<(ItemId, Vec<u32>)> = Vec::new();
         for (sib_item, sib_tids) in &siblings[pos + 1..] {
-            let inter = intersect(tids, sib_tids);
+            let inter = vertical::intersect(tids, sib_tids);
             if inter.len() as u64 >= threshold {
                 children.push((*sib_item, inter));
             }
         }
         for child_pos in 0..children.len() {
-            subtree(&children, child_pos, payloads, threshold, max_len, prefix, out);
+            subtree(
+                &children, child_pos, payloads, threshold, max_len, prefix, out,
+            );
         }
     }
     prefix.pop();
@@ -112,7 +152,9 @@ fn subtree<P: Payload>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::itemset::sort_canonical;
     use crate::payload::CountPayload;
+    use crate::sink::VecSink;
     use crate::{mine as mine_with, Algorithm};
 
     fn db() -> TransactionDb {
@@ -134,8 +176,7 @@ mod tests {
     #[test]
     fn parallel_matches_sequential_for_any_thread_count() {
         let db = db();
-        let payloads: Vec<CountPayload> =
-            (0..db.len()).map(|t| CountPayload(t as u64)).collect();
+        let payloads: Vec<CountPayload> = (0..db.len()).map(|t| CountPayload(t as u64)).collect();
         let params = MiningParams::with_min_support_count(3);
         let mut reference = mine_with(Algorithm::Eclat, &db, &payloads, &params);
         sort_canonical(&mut reference);
@@ -143,6 +184,17 @@ mod tests {
             let got = mine(&db, &payloads, &params, n_threads);
             assert_eq!(got, reference, "n_threads={n_threads}");
         }
+    }
+
+    #[test]
+    fn sink_path_replays_the_canonical_order() {
+        let db = db();
+        let payloads: Vec<CountPayload> = (0..db.len()).map(|t| CountPayload(t as u64)).collect();
+        let params = MiningParams::with_min_support_count(3);
+        let expected = mine(&db, &payloads, &params, 4);
+        let mut sink = VecSink::new();
+        mine_into(&db, &payloads, &params, 4, &mut sink);
+        assert_eq!(sink.found, expected);
     }
 
     #[test]
@@ -166,6 +218,11 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_panics() {
         let db = db();
-        let _ = mine(&db, &vec![(); db.len()], &MiningParams::with_min_support_count(1), 0);
+        let _ = mine(
+            &db,
+            &vec![(); db.len()],
+            &MiningParams::with_min_support_count(1),
+            0,
+        );
     }
 }

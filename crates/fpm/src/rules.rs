@@ -43,17 +43,19 @@ pub struct RuleParams {
 ///
 /// Every rule's antecedent and consequent are frequent by closure, so all
 /// statistics come from lookups — no data re-scan.
-pub fn generate_rules<P>(
-    found: &[FrequentItemset<P>],
-    params: &RuleParams,
-) -> Vec<Rule> {
-    assert!(params.n_transactions > 0, "need a positive transaction count");
+pub fn generate_rules<P>(found: &[FrequentItemset<P>], params: &RuleParams) -> Vec<Rule> {
+    assert!(
+        params.n_transactions > 0,
+        "need a positive transaction count"
+    );
     assert!(
         (0.0..=1.0).contains(&params.min_confidence),
         "confidence must be in [0, 1]"
     );
-    let support_of: FxHashMap<&[ItemId], u64> =
-        found.iter().map(|fi| (fi.items.as_slice(), fi.support)).collect();
+    let support_of: FxHashMap<&[ItemId], u64> = found
+        .iter()
+        .map(|fi| (fi.items.as_slice(), fi.support))
+        .collect();
     let n = params.n_transactions as f64;
 
     let mut rules = Vec::new();
@@ -127,8 +129,18 @@ mod tests {
                 vec![],
             ],
         );
-        let found = mine_counts(Algorithm::FpGrowth, &db, &MiningParams::with_min_support_count(1));
-        generate_rules(&found, &RuleParams { min_confidence: 0.0, n_transactions: db.len() })
+        let found = mine_counts(
+            Algorithm::FpGrowth,
+            &db,
+            &MiningParams::with_min_support_count(1),
+        );
+        generate_rules(
+            &found,
+            &RuleParams {
+                min_confidence: 0.0,
+                n_transactions: db.len(),
+            },
+        )
     }
 
     fn find<'a>(rules: &'a [Rule], a: &[u32], c: &[u32]) -> &'a Rule {
@@ -160,10 +172,17 @@ mod tests {
     #[test]
     fn confidence_threshold_filters() {
         let db = TransactionDb::from_rows(2, &[vec![0, 1], vec![0], vec![0], vec![0]]);
-        let found = mine_counts(Algorithm::Apriori, &db, &MiningParams::with_min_support_count(1));
+        let found = mine_counts(
+            Algorithm::Apriori,
+            &db,
+            &MiningParams::with_min_support_count(1),
+        );
         let strict = generate_rules(
             &found,
-            &RuleParams { min_confidence: 0.9, n_transactions: 4 },
+            &RuleParams {
+                min_confidence: 0.9,
+                n_transactions: 4,
+            },
         );
         // 0 => 1 has confidence 0.25 (dropped); 1 => 0 has confidence 1.
         assert_eq!(strict.len(), 1);

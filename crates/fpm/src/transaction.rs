@@ -108,7 +108,12 @@ pub struct TransactionDbBuilder {
 impl TransactionDbBuilder {
     /// Starts an empty database over the universe `0..n_items`.
     pub fn new(n_items: u32) -> Self {
-        Self { n_items, offsets: vec![0], items: Vec::new(), scratch: Vec::new() }
+        Self {
+            n_items,
+            offsets: vec![0],
+            items: Vec::new(),
+            scratch: Vec::new(),
+        }
     }
 
     /// Appends one transaction. The row is copied, sorted and deduplicated.
@@ -122,7 +127,11 @@ impl TransactionDbBuilder {
         self.scratch.sort_unstable();
         self.scratch.dedup();
         if let Some(&max) = self.scratch.last() {
-            assert!(max < self.n_items, "item id {max} out of universe 0..{}", self.n_items);
+            assert!(
+                max < self.n_items,
+                "item id {max} out of universe 0..{}",
+                self.n_items
+            );
         }
         self.items.extend_from_slice(&self.scratch);
         self.offsets.push(self.items.len());
@@ -140,7 +149,11 @@ impl TransactionDbBuilder {
 
     /// Finalizes the database.
     pub fn build(self) -> TransactionDb {
-        TransactionDb { n_items: self.n_items, offsets: self.offsets, items: self.items }
+        TransactionDb {
+            n_items: self.n_items,
+            offsets: self.offsets,
+            items: self.items,
+        }
     }
 }
 

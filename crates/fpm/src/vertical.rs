@@ -1,0 +1,101 @@
+//! Shared vertical-representation helpers: tid-lists and their
+//! intersections, with optional fused payload aggregation.
+//!
+//! [`crate::eclat`], [`crate::naive`], and [`crate::parallel`] all work
+//! over per-item transaction-id lists; this module is the single home
+//! for building them and intersecting them.
+
+use crate::payload::Payload;
+use crate::transaction::TransactionDb;
+
+/// Builds the vertical representation: one sorted tid-list per item.
+pub fn tid_lists(db: &TransactionDb) -> Vec<Vec<u32>> {
+    let mut tidlists: Vec<Vec<u32>> = vec![Vec::new(); db.n_items() as usize];
+    for (t, row) in db.iter().enumerate() {
+        for &item in row {
+            tidlists[item as usize].push(t as u32);
+        }
+    }
+    tidlists
+}
+
+/// Intersects two sorted tid-lists.
+pub fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Intersects two sorted tid-lists, merging the payloads of shared tids
+/// in the same pass.
+pub fn intersect_with_payload<P: Payload>(a: &[u32], b: &[u32], payloads: &[P]) -> (Vec<u32>, P) {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let mut payload = P::zero();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                payload.merge(&payloads[a[i] as usize]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    (out, payload)
+}
+
+/// Merges the payloads of all listed tids.
+pub fn sum_payloads<P: Payload>(tids: &[u32], payloads: &[P]) -> P {
+    let mut total = P::zero();
+    for &t in tids {
+        total.merge(&payloads[t as usize]);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::CountPayload;
+
+    #[test]
+    fn intersect_sorted_lists() {
+        assert_eq!(intersect(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
+        assert_eq!(intersect(&[], &[1]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn intersect_payload_merges_only_shared_tids() {
+        let payloads = [CountPayload(1), CountPayload(2), CountPayload(4)];
+        let (tids, pay) = intersect_with_payload(&[0, 1, 2], &[1, 2], &payloads);
+        assert_eq!(tids, vec![1, 2]);
+        assert_eq!(pay, CountPayload(6));
+    }
+
+    #[test]
+    fn tid_lists_cover_every_occurrence() {
+        let db = TransactionDb::from_rows(3, &[vec![0, 1], vec![0, 2], vec![1]]);
+        let lists = tid_lists(&db);
+        assert_eq!(lists, vec![vec![0, 1], vec![0, 2], vec![1]]);
+    }
+
+    #[test]
+    fn sum_payloads_merges_listed_tids() {
+        let payloads = [CountPayload(1), CountPayload(10), CountPayload(100)];
+        assert_eq!(sum_payloads(&[0, 2], &payloads), CountPayload(101));
+    }
+}

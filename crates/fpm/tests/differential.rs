@@ -11,8 +11,7 @@ use rustc_hash::FxHashMap;
 /// Strategy: a small random database over up to 8 items and up to 14 rows.
 fn small_db() -> impl Strategy<Value = TransactionDb> {
     let row = proptest::collection::vec(0u32..8, 0..6);
-    proptest::collection::vec(row, 0..14)
-        .prop_map(|rows| TransactionDb::from_rows(8, &rows))
+    proptest::collection::vec(row, 0..14).prop_map(|rows| TransactionDb::from_rows(8, &rows))
 }
 
 fn payloads_for(db: &TransactionDb) -> Vec<CountPayload> {
@@ -33,6 +32,49 @@ proptest! {
             let mut got = mine(algo, &db, &payloads, &params);
             sort_canonical(&mut got);
             prop_assert_eq!(&got, &expected, "{} disagrees with oracle", algo);
+        }
+    }
+
+    /// Tentpole acceptance: for every algorithm, mining into an
+    /// [`fpm::ItemsetArena`] sink yields exactly the itemsets, supports and
+    /// payloads of the materializing `mine()` API on arbitrary databases.
+    #[test]
+    fn sink_mining_equals_vec_mining(db in small_db(), min_support in 1u64..5, max_len in prop::option::of(1usize..4)) {
+        let payloads = payloads_for(&db);
+        let mut params = MiningParams::with_min_support_count(min_support);
+        params.max_len = max_len;
+        for algo in Algorithm::ALL {
+            let mut expected = mine(algo, &db, &payloads, &params);
+            sort_canonical(&mut expected);
+            let mut arena = fpm::mine_arena(algo, &db, &payloads, &params);
+            arena.sort_canonical();
+            prop_assert_eq!(arena.len(), expected.len(), "{}: cardinality", algo);
+            for (entry, fi) in arena.iter().zip(&expected) {
+                prop_assert_eq!(entry.items, fi.items.as_slice(), "{}: items", algo);
+                prop_assert_eq!(entry.support, fi.support, "{}: support", algo);
+                prop_assert_eq!(*entry.payload, fi.payload, "{}: payload", algo);
+            }
+            // The arena's hash index resolves every mined itemset.
+            for fi in &expected {
+                prop_assert!(arena.find(&fi.items).is_some(), "{}: find", algo);
+            }
+        }
+    }
+
+    /// A `VecSink` driven through `mine_into` reproduces `mine()` verbatim —
+    /// the adapters really are thin.
+    #[test]
+    fn vec_sink_equals_vec_mining(db in small_db(), min_support in 1u64..5) {
+        let payloads = payloads_for(&db);
+        let params = MiningParams::with_min_support_count(min_support);
+        for algo in Algorithm::ALL {
+            let mut expected = mine(algo, &db, &payloads, &params);
+            sort_canonical(&mut expected);
+            let mut sink = fpm::VecSink::new();
+            fpm::mine_into(algo, &db, &payloads, &params, &mut sink);
+            let mut got = sink.found;
+            sort_canonical(&mut got);
+            prop_assert_eq!(&got, &expected, "{} via VecSink", algo);
         }
     }
 

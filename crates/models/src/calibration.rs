@@ -73,9 +73,18 @@ pub fn calibration(proba: &[f64], y: &[bool], n_bins: usize) -> Calibration {
         let mean_predicted = sum_pred[b] / counts[b] as f64;
         let observed = sum_obs[b] / counts[b] as f64;
         ece += counts[b] as f64 / proba.len() as f64 * (observed - mean_predicted).abs();
-        bins.push(CalibrationBin { lower: b as f64 * width, count: counts[b], mean_predicted, observed });
+        bins.push(CalibrationBin {
+            lower: b as f64 * width,
+            count: counts[b],
+            mean_predicted,
+            observed,
+        });
     }
-    Calibration { brier_score, bins, ece }
+    Calibration {
+        brier_score,
+        bins,
+        ece,
+    }
 }
 
 #[cfg(test)]
@@ -123,7 +132,10 @@ mod tests {
         let total: usize = c.bins.iter().map(|b| b.count).sum();
         assert_eq!(total, 4);
         // p = 1.0 falls in the last bin, not out of range.
-        assert!(c.bins.iter().any(|b| (b.lower - 0.9).abs() < 1e-12 && b.count == 2));
+        assert!(c
+            .bins
+            .iter()
+            .any(|b| (b.lower - 0.9).abs() < 1e-12 && b.count == 2));
     }
 
     #[test]

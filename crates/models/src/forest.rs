@@ -87,7 +87,13 @@ impl RandomForest {
                 (0..n).collect()
             };
             let tree_seed: u64 = rng.gen();
-            trees.push(DecisionTree::fit_on_rows(x, y, &rows, &tree_params, tree_seed));
+            trees.push(DecisionTree::fit_on_rows(
+                x,
+                y,
+                &rows,
+                &tree_params,
+                tree_seed,
+            ));
         }
         RandomForest { trees }
     }
@@ -128,13 +134,19 @@ mod tests {
         let forest = RandomForest::fit(&x, &y, &RandomForestParams::fast(), 7);
         let pred = forest.predict_batch(&x);
         let correct = pred.iter().zip(&y).filter(|(p, t)| p == t).count();
-        assert!(correct as f64 / y.len() as f64 > 0.9, "train accuracy {correct}/400");
+        assert!(
+            correct as f64 / y.len() as f64 > 0.9,
+            "train accuracy {correct}/400"
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
         let (x, y) = noisy_linear(100, 2);
-        let params = RandomForestParams { n_trees: 5, ..RandomForestParams::fast() };
+        let params = RandomForestParams {
+            n_trees: 5,
+            ..RandomForestParams::fast()
+        };
         let f1 = RandomForest::fit(&x, &y, &params, 11);
         let f2 = RandomForest::fit(&x, &y, &params, 11);
         assert_eq!(f1.predict_proba_batch(&x), f2.predict_proba_batch(&x));
@@ -143,7 +155,10 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let (x, y) = noisy_linear(100, 2);
-        let params = RandomForestParams { n_trees: 5, ..RandomForestParams::fast() };
+        let params = RandomForestParams {
+            n_trees: 5,
+            ..RandomForestParams::fast()
+        };
         let f1 = RandomForest::fit(&x, &y, &params, 1);
         let f2 = RandomForest::fit(&x, &y, &params, 2);
         assert_ne!(f1.predict_proba_batch(&x), f2.predict_proba_batch(&x));

@@ -21,15 +21,27 @@ pub struct GbdtParams {
 
 impl Default for GbdtParams {
     fn default() -> Self {
-        GbdtParams { n_rounds: 50, learning_rate: 0.2, max_depth: 3, min_samples_leaf: 5 }
+        GbdtParams {
+            n_rounds: 50,
+            learning_rate: 0.2,
+            max_depth: 3,
+            min_samples_leaf: 5,
+        }
     }
 }
 
 /// One node of a regression tree (arena layout).
 #[derive(Debug, Clone)]
 enum RegNode {
-    Leaf { value: f64 },
-    Split { feature: usize, threshold: f64, left: u32, right: u32 },
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: u32,
+        right: u32,
+    },
 }
 
 /// A regression tree fit to gradients.
@@ -44,8 +56,17 @@ impl RegressionTree {
         loop {
             match &self.nodes[node as usize] {
                 RegNode::Leaf { value } => return *value,
-                RegNode::Split { feature, threshold, left, right } => {
-                    node = if row[*feature] < *threshold { *left } else { *right };
+                RegNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -53,12 +74,7 @@ impl RegressionTree {
 
     /// Fits a depth-bounded least-squares tree on `(x, residuals)` and
     /// converts leaf means into logistic Newton-step values.
-    fn fit(
-        x: &FeatureMatrix,
-        gradients: &[f64],
-        hessians: &[f64],
-        params: &GbdtParams,
-    ) -> Self {
+    fn fit(x: &FeatureMatrix, gradients: &[f64], hessians: &[f64], params: &GbdtParams) -> Self {
         let mut tree = RegressionTree { nodes: Vec::new() };
         let indices: Vec<usize> = (0..x.n_rows()).collect();
         tree.grow(x, gradients, hessians, indices, params, 0);
@@ -94,7 +110,11 @@ impl RegressionTree {
         let mut sorted: Vec<(f64, f64, f64)> = Vec::with_capacity(indices.len());
         for feature in 0..x.n_cols() {
             sorted.clear();
-            sorted.extend(indices.iter().map(|&i| (x.get(i, feature), gradients[i], hessians[i])));
+            sorted.extend(
+                indices
+                    .iter()
+                    .map(|&i| (x.get(i, feature), gradients[i], hessians[i])),
+            );
             sorted.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
             let mut gl = 0.0;
             let mut hl = 0.0;
@@ -123,13 +143,22 @@ impl RegressionTree {
                 node
             }
             Some((feature, threshold, _)) => {
-                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-                    indices.iter().partition(|&&i| x.get(i, feature) < threshold);
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| x.get(i, feature) < threshold);
                 let node = self.nodes.len() as u32;
-                self.nodes.push(RegNode::Split { feature, threshold, left: 0, right: 0 });
+                self.nodes.push(RegNode::Split {
+                    feature,
+                    threshold,
+                    left: 0,
+                    right: 0,
+                });
                 let left = self.grow(x, gradients, hessians, left_idx, params, depth + 1);
                 let right = self.grow(x, gradients, hessians, right_idx, params, depth + 1);
-                if let RegNode::Split { left: l, right: r, .. } = &mut self.nodes[node as usize] {
+                if let RegNode::Split {
+                    left: l, right: r, ..
+                } = &mut self.nodes[node as usize]
+                {
                     *l = left;
                     *r = right;
                 }
@@ -176,7 +205,11 @@ impl GradientBoostedTrees {
             }
             trees.push(tree);
         }
-        GradientBoostedTrees { base_score, trees, learning_rate: params.learning_rate }
+        GradientBoostedTrees {
+            base_score,
+            trees,
+            learning_rate: params.learning_rate,
+        }
     }
 
     /// Number of boosting rounds.
@@ -223,7 +256,12 @@ mod tests {
             }
         }
         let x = FeatureMatrix::from_rows(&rows);
-        let params = GbdtParams { max_depth: 2, n_rounds: 80, min_samples_leaf: 1, ..Default::default() };
+        let params = GbdtParams {
+            max_depth: 2,
+            n_rounds: 80,
+            min_samples_leaf: 1,
+            ..Default::default()
+        };
         let model = GradientBoostedTrees::fit(&x, &y, &params);
         let pred = model.predict_batch(&x);
         let correct = pred.iter().zip(&y).filter(|(p, t)| p == t).count();
@@ -234,7 +272,10 @@ mod tests {
     fn base_score_matches_prior_with_zero_rounds() {
         let x = FeatureMatrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
         let y = vec![true, true, true, false];
-        let params = GbdtParams { n_rounds: 0, ..Default::default() };
+        let params = GbdtParams {
+            n_rounds: 0,
+            ..Default::default()
+        };
         let model = GradientBoostedTrees::fit(&x, &y, &params);
         assert!((model.predict_proba(&[9.0]) - 0.75).abs() < 1e-9);
     }
@@ -249,15 +290,26 @@ mod tests {
         let shallow = GradientBoostedTrees::fit(
             &x,
             &y,
-            &GbdtParams { n_rounds: 2, ..Default::default() },
+            &GbdtParams {
+                n_rounds: 2,
+                ..Default::default()
+            },
         );
         let deep = GradientBoostedTrees::fit(
             &x,
             &y,
-            &GbdtParams { n_rounds: 100, min_samples_leaf: 1, ..Default::default() },
+            &GbdtParams {
+                n_rounds: 100,
+                min_samples_leaf: 1,
+                ..Default::default()
+            },
         );
         let acc = |m: &GradientBoostedTrees| {
-            m.predict_batch(&x).iter().zip(&y).filter(|(p, t)| p == t).count()
+            m.predict_batch(&x)
+                .iter()
+                .zip(&y)
+                .filter(|(p, t)| p == t)
+                .count()
         };
         assert!(acc(&deep) >= acc(&shallow));
         assert!(acc(&deep) as f64 / y.len() as f64 > 0.9);

@@ -23,8 +23,7 @@ pub struct FeatureImportance {
 impl FeatureImportance {
     /// Features ranked by importance, largest drop first.
     pub fn ranking(&self) -> Vec<(usize, f64)> {
-        let mut idx: Vec<(usize, f64)> =
-            self.importances.iter().copied().enumerate().collect();
+        let mut idx: Vec<(usize, f64)> = self.importances.iter().copied().enumerate().collect();
         idx.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         idx
     }
@@ -72,7 +71,10 @@ pub fn permutation_importance<C: Classifier>(
         }
         importances.push(total_drop / n_repeats as f64);
     }
-    FeatureImportance { baseline_accuracy, importances }
+    FeatureImportance {
+        baseline_accuracy,
+        importances,
+    }
 }
 
 #[cfg(test)]
@@ -82,8 +84,7 @@ mod tests {
 
     /// Label depends on feature 0 only; feature 1 is noise.
     fn fixture() -> (FeatureMatrix, Vec<bool>, DecisionTree) {
-        let rows: Vec<Vec<f64>> =
-            (0..80).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64, (i % 7) as f64]).collect();
         let y: Vec<bool> = (0..80).map(|i| i >= 40).collect();
         let x = FeatureMatrix::from_rows(&rows);
         let tree = DecisionTree::fit(&x, &y, &DecisionTreeParams::default(), 0);

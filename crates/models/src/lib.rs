@@ -63,12 +63,16 @@ pub trait Classifier {
 
     /// Hard predictions for every row of `x`.
     fn predict_batch(&self, x: &FeatureMatrix) -> Vec<bool> {
-        (0..x.n_rows()).map(|r| self.predict_row(x.row(r))).collect()
+        (0..x.n_rows())
+            .map(|r| self.predict_row(x.row(r)))
+            .collect()
     }
 
     /// Probabilities for every row of `x`.
     fn predict_proba_batch(&self, x: &FeatureMatrix) -> Vec<f64> {
-        (0..x.n_rows()).map(|r| self.predict_proba(x.row(r))).collect()
+        (0..x.n_rows())
+            .map(|r| self.predict_proba(x.row(r)))
+            .collect()
     }
 }
 

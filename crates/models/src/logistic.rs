@@ -17,7 +17,11 @@ pub struct LogisticRegressionParams {
 
 impl Default for LogisticRegressionParams {
     fn default() -> Self {
-        LogisticRegressionParams { learning_rate: 0.5, epochs: 200, l2: 1e-4 }
+        LogisticRegressionParams {
+            learning_rate: 0.5,
+            epochs: 200,
+            l2: 1e-4,
+        }
     }
 }
 
@@ -68,7 +72,12 @@ impl LogisticRegression {
             }
             bias -= scale * grad_bias;
         }
-        LogisticRegression { weights, bias, means, stds }
+        LogisticRegression {
+            weights,
+            bias,
+            means,
+            stds,
+        }
     }
 
     /// The learned weights (standardized feature space).
@@ -140,12 +149,18 @@ mod tests {
         let loose = LogisticRegression::fit(
             &x,
             &y,
-            &LogisticRegressionParams { l2: 0.0, ..Default::default() },
+            &LogisticRegressionParams {
+                l2: 0.0,
+                ..Default::default()
+            },
         );
         let tight = LogisticRegression::fit(
             &x,
             &y,
-            &LogisticRegressionParams { l2: 1.0, ..Default::default() },
+            &LogisticRegressionParams {
+                l2: 1.0,
+                ..Default::default()
+            },
         );
         assert!(tight.weights()[0].abs() < loose.weights()[0].abs());
     }

@@ -12,7 +12,11 @@ pub struct FeatureMatrix {
 impl FeatureMatrix {
     /// An empty matrix with a fixed column count.
     pub fn new(n_cols: usize) -> Self {
-        FeatureMatrix { n_rows: 0, n_cols, data: Vec::new() }
+        FeatureMatrix {
+            n_rows: 0,
+            n_cols,
+            data: Vec::new(),
+        }
     }
 
     /// Builds a matrix from explicit rows.
@@ -38,7 +42,11 @@ impl FeatureMatrix {
     pub fn from_flat(n_cols: usize, data: Vec<f64>) -> Self {
         assert!(n_cols > 0, "need at least one column");
         assert_eq!(data.len() % n_cols, 0, "ragged buffer");
-        FeatureMatrix { n_rows: data.len() / n_cols, n_cols, data }
+        FeatureMatrix {
+            n_rows: data.len() / n_cols,
+            n_cols,
+            data,
+        }
     }
 
     /// Appends one row.

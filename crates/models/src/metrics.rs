@@ -99,7 +99,15 @@ mod tests {
         let v = [true, true, false, false, true];
         let u = [true, false, true, false, true];
         let m = ConfusionMatrix::from_labels(&v, &u);
-        assert_eq!(m, ConfusionMatrix { tp: 2, tn: 1, fp: 1, fn_: 1 });
+        assert_eq!(
+            m,
+            ConfusionMatrix {
+                tp: 2,
+                tn: 1,
+                fp: 1,
+                fn_: 1
+            }
+        );
         assert!((m.accuracy() - 0.6).abs() < 1e-12);
         assert!((m.error_rate() - 0.4).abs() < 1e-12);
         assert!((m.false_positive_rate() - 0.5).abs() < 1e-12);

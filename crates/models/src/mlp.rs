@@ -27,7 +27,13 @@ pub struct MlpParams {
 
 impl Default for MlpParams {
     fn default() -> Self {
-        MlpParams { hidden: 16, learning_rate: 0.05, momentum: 0.9, batch_size: 32, epochs: 60 }
+        MlpParams {
+            hidden: 16,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            batch_size: 32,
+            epochs: 60,
+        }
     }
 }
 
@@ -94,8 +100,7 @@ impl Mlp {
                     standardize(x.row(r), &means, &stds, &mut z);
                     // Forward.
                     for j in 0..h {
-                        let s: f64 =
-                            dot(&w1[j * d..(j + 1) * d], &z) + b1[j];
+                        let s: f64 = dot(&w1[j * d..(j + 1) * d], &z) + b1[j];
                         act[j] = s.max(0.0);
                     }
                     let out = sigmoid(dot(&w2, &act) + b2);
@@ -105,9 +110,7 @@ impl Mlp {
                         g_w2[j] += delta * act[j];
                         if act[j] > 0.0 {
                             let dj = delta * w2[j];
-                            for (g, &zi) in
-                                g_w1[j * d..(j + 1) * d].iter_mut().zip(z.iter())
-                            {
+                            for (g, &zi) in g_w1[j * d..(j + 1) * d].iter_mut().zip(z.iter()) {
                                 *g += dj * zi;
                             }
                             g_b1[j] += dj;
@@ -133,7 +136,15 @@ impl Mlp {
                 b2 += vel_b2;
             }
         }
-        Mlp { w1, b1, w2, b2, hidden: h, means, stds }
+        Mlp {
+            w1,
+            b1,
+            w2,
+            b2,
+            hidden: h,
+            means,
+            stds,
+        }
     }
 }
 
@@ -190,7 +201,11 @@ mod tests {
                 yr.push(y[r]);
             }
         }
-        let params = MlpParams { hidden: 8, epochs: 200, ..Default::default() };
+        let params = MlpParams {
+            hidden: 8,
+            epochs: 200,
+            ..Default::default()
+        };
         let mlp = Mlp::fit(&xr, &yr, &params, 3);
         assert_eq!(mlp.predict_batch(&x), y);
     }
@@ -199,7 +214,10 @@ mod tests {
     fn deterministic_given_seed() {
         let x = FeatureMatrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
         let y = vec![false, false, true, true];
-        let p = MlpParams { epochs: 10, ..Default::default() };
+        let p = MlpParams {
+            epochs: 10,
+            ..Default::default()
+        };
         let a = Mlp::fit(&x, &y, &p, 5);
         let b = Mlp::fit(&x, &y, &p, 5);
         assert_eq!(a.predict_proba_batch(&x), b.predict_proba_batch(&x));

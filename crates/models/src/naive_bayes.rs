@@ -132,7 +132,12 @@ mod tests {
 
     #[test]
     fn zero_variance_features_do_not_blow_up() {
-        let x = FeatureMatrix::from_rows(&[vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0], vec![4.0, 5.0]]);
+        let x = FeatureMatrix::from_rows(&[
+            vec![1.0, 5.0],
+            vec![2.0, 5.0],
+            vec![3.0, 5.0],
+            vec![4.0, 5.0],
+        ]);
         let y = vec![false, false, true, true];
         let model = GaussianNaiveBayes::fit(&x, &y);
         let p = model.predict_proba(&[3.5, 5.0]);

@@ -37,7 +37,11 @@ impl RocCurve {
         let mut order: Vec<usize> = (0..proba.len()).collect();
         order.sort_by(|&a, &b| proba[b].partial_cmp(&proba[a]).unwrap());
 
-        let mut points = vec![RocPoint { threshold: f64::INFINITY, fpr: 0.0, tpr: 0.0 }];
+        let mut points = vec![RocPoint {
+            threshold: f64::INFINITY,
+            fpr: 0.0,
+            tpr: 0.0,
+        }];
         let mut tp = 0usize;
         let mut fp = 0usize;
         let mut i = 0;
@@ -120,7 +124,10 @@ mod tests {
         assert_eq!(curve.points.first().unwrap().tpr, 0.0);
         assert_eq!(curve.points.last().unwrap().tpr, 1.0);
         assert_eq!(curve.points.last().unwrap().fpr, 1.0);
-        assert!(curve.points.windows(2).all(|w| w[1].fpr >= w[0].fpr && w[1].tpr >= w[0].tpr));
+        assert!(curve
+            .points
+            .windows(2)
+            .all(|w| w[1].fpr >= w[0].fpr && w[1].tpr >= w[0].tpr));
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl DecisionTree {
         assert!(x.n_rows() > 0, "cannot fit on an empty matrix");
         assert_eq!(x.n_rows(), y.len(), "feature/label length mismatch");
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut tree = DecisionTree { nodes: Vec::new(), n_features: x.n_cols() };
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_features: x.n_cols(),
+        };
         let indices: Vec<usize> = (0..x.n_rows()).collect();
         tree.grow(x, y, indices, params, 0, &mut rng);
         tree
@@ -83,7 +86,10 @@ impl DecisionTree {
     ) -> Self {
         assert!(!rows.is_empty(), "cannot fit on zero rows");
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut tree = DecisionTree { nodes: Vec::new(), n_features: x.n_cols() };
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_features: x.n_cols(),
+        };
         tree.grow(x, y, rows.to_vec(), params, 0, &mut rng);
         tree
     }
@@ -113,16 +119,25 @@ impl DecisionTree {
             || params.max_depth.is_some_and(|d| depth >= d);
         if !stop {
             if let Some((feature, threshold)) = self.best_split(x, y, &indices, params, rng) {
-                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-                    indices.iter().partition(|&&i| x.get(i, feature) < threshold);
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| x.get(i, feature) < threshold);
                 if left_idx.len() >= params.min_samples_leaf
                     && right_idx.len() >= params.min_samples_leaf
                 {
                     let node = self.nodes.len() as u32;
-                    self.nodes.push(Node::Split { feature, threshold, left: 0, right: 0 });
+                    self.nodes.push(Node::Split {
+                        feature,
+                        threshold,
+                        left: 0,
+                        right: 0,
+                    });
                     let left = self.grow(x, y, left_idx, params, depth + 1, rng);
                     let right = self.grow(x, y, right_idx, params, depth + 1, rng);
-                    if let Node::Split { left: l, right: r, .. } = &mut self.nodes[node as usize] {
+                    if let Node::Split {
+                        left: l, right: r, ..
+                    } = &mut self.nodes[node as usize]
+                    {
                         *l = left;
                         *r = right;
                     }
@@ -208,8 +223,17 @@ impl Classifier for DecisionTree {
         loop {
             match &self.nodes[node as usize] {
                 Node::Leaf { proba } => return *proba,
-                Node::Split { feature, threshold, left, right } => {
-                    node = if row[*feature] < *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -251,7 +275,10 @@ mod tests {
     #[test]
     fn max_depth_limits_growth() {
         let (x, y) = separable();
-        let params = DecisionTreeParams { max_depth: Some(0), ..Default::default() };
+        let params = DecisionTreeParams {
+            max_depth: Some(0),
+            ..Default::default()
+        };
         let tree = DecisionTree::fit(&x, &y, &params, 0);
         assert_eq!(tree.n_nodes(), 1);
         // Root leaf probability = positive fraction.
@@ -261,7 +288,10 @@ mod tests {
     #[test]
     fn min_samples_leaf_is_respected() {
         let (x, y) = separable();
-        let params = DecisionTreeParams { min_samples_leaf: 8, ..Default::default() };
+        let params = DecisionTreeParams {
+            min_samples_leaf: 8,
+            ..Default::default()
+        };
         let tree = DecisionTree::fit(&x, &y, &params, 0);
         // Splits still possible (10/10), but not arbitrarily deep.
         assert!(tree.n_nodes() <= 7);

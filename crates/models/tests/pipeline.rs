@@ -37,7 +37,10 @@ fn all_models(x: &FeatureMatrix, y: &[bool]) -> Vec<(&'static str, Box<dyn Class
             Box::new(DecisionTree::fit(
                 x,
                 y,
-                &DecisionTreeParams { max_depth: Some(6), ..Default::default() },
+                &DecisionTreeParams {
+                    max_depth: Some(6),
+                    ..Default::default()
+                },
                 1,
             )),
         ),
@@ -46,18 +49,37 @@ fn all_models(x: &FeatureMatrix, y: &[bool]) -> Vec<(&'static str, Box<dyn Class
             Box::new(RandomForest::fit(
                 x,
                 y,
-                &RandomForestParams { n_trees: 10, max_depth: Some(6), ..Default::default() },
+                &RandomForestParams {
+                    n_trees: 10,
+                    max_depth: Some(6),
+                    ..Default::default()
+                },
                 1,
             )),
         ),
-        ("gbdt", Box::new(GradientBoostedTrees::fit(x, y, &GbdtParams::default()))),
+        (
+            "gbdt",
+            Box::new(GradientBoostedTrees::fit(x, y, &GbdtParams::default())),
+        ),
         (
             "logistic",
-            Box::new(LogisticRegression::fit(x, y, &LogisticRegressionParams::default())),
+            Box::new(LogisticRegression::fit(
+                x,
+                y,
+                &LogisticRegressionParams::default(),
+            )),
         ),
         (
             "mlp",
-            Box::new(Mlp::fit(x, y, &MlpParams { epochs: 30, ..Default::default() }, 1)),
+            Box::new(Mlp::fit(
+                x,
+                y,
+                &MlpParams {
+                    epochs: 30,
+                    ..Default::default()
+                },
+                1,
+            )),
         ),
         ("bayes", Box::new(GaussianNaiveBayes::fit(x, y))),
     ]
@@ -112,7 +134,15 @@ fn calibration_is_reasonable_for_probabilistic_learners() {
 fn cross_validation_generalization_is_close_to_training_fit() {
     let (x, y) = problem(500, 13);
     let folds = cross_validate(&x, &y, 5, 13, |xt, yt| {
-        DecisionTree::fit(xt, yt, &DecisionTreeParams { max_depth: Some(5), ..Default::default() }, 0)
+        DecisionTree::fit(
+            xt,
+            yt,
+            &DecisionTreeParams {
+                max_depth: Some(5),
+                ..Default::default()
+            },
+            0,
+        )
     });
     assert_eq!(folds.len(), 5);
     let mean_acc = folds.iter().map(|cm| cm.accuracy()).sum::<f64>() / 5.0;
@@ -125,7 +155,11 @@ fn permutation_importance_ignores_the_noise_feature() {
     let forest = RandomForest::fit(
         &x,
         &y,
-        &RandomForestParams { n_trees: 10, max_depth: Some(6), ..Default::default() },
+        &RandomForestParams {
+            n_trees: 10,
+            max_depth: Some(6),
+            ..Default::default()
+        },
         2,
     );
     let fi = permutation_importance(&forest, &x, &y, 5, 2);

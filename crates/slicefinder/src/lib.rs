@@ -138,8 +138,7 @@ pub fn find_slices(
             }
             stats.evaluated += 1;
             let slice = evaluate(&items, &tids, losses, &total);
-            if slice.effect_size >= params.effect_size_threshold && slice.t >= params.t_critical
-            {
+            if slice.effect_size >= params.effect_size_threshold && slice.t >= params.t_critical {
                 // Problematic: take it, do not expand (the pruning that
                 // DivExplorer's §6.5 comparison highlights).
                 results.push(slice);
@@ -175,7 +174,10 @@ pub fn find_slices(
         frontier = next;
     }
 
-    SliceFinderResult { slices: results, stats }
+    SliceFinderResult {
+        slices: results,
+        stats,
+    }
 }
 
 fn evaluate(items: &[ItemId], tids: &[u32], losses: &[f64], total: &Welford) -> Slice {
@@ -298,7 +300,13 @@ mod tests {
         b.categorical("h", &["x", "y"], &h);
         let data = b.build().unwrap();
         let losses: Vec<f64> = (0..n)
-            .map(|i| if i % 2 == 0 { 2.0 + (i % 5) as f64 * 0.01 } else { 0.1 })
+            .map(|i| {
+                if i % 2 == 0 {
+                    2.0 + (i % 5) as f64 * 0.01
+                } else {
+                    0.1
+                }
+            })
             .collect();
         (data, losses)
     }
@@ -306,7 +314,10 @@ mod tests {
     #[test]
     fn finds_the_high_loss_slice() {
         let (data, losses) = fixture();
-        let params = SliceFinderParams { min_size: 50, ..Default::default() };
+        let params = SliceFinderParams {
+            min_size: 50,
+            ..Default::default()
+        };
         let result = find_slices(&data, &losses, &params);
         assert!(!result.slices.is_empty());
         let top = &result.slices[0];
@@ -319,7 +330,11 @@ mod tests {
     #[test]
     fn problematic_slices_are_not_expanded() {
         let (data, losses) = fixture();
-        let params = SliceFinderParams { min_size: 50, k: 1, ..Default::default() };
+        let params = SliceFinderParams {
+            min_size: 50,
+            k: 1,
+            ..Default::default()
+        };
         let result = find_slices(&data, &losses, &params);
         // g=a is problematic at level 1 and taken; with k=1 the search
         // stops there — no slice of length 2 is returned.
@@ -346,7 +361,10 @@ mod tests {
     #[test]
     fn min_size_filters_small_slices() {
         let (data, losses) = fixture();
-        let params = SliceFinderParams { min_size: 250, ..Default::default() };
+        let params = SliceFinderParams {
+            min_size: 250,
+            ..Default::default()
+        };
         let result = find_slices(&data, &losses, &params);
         // Each literal covers 200 rows: nothing clears min_size 250.
         assert!(result.slices.is_empty());
@@ -356,7 +374,11 @@ mod tests {
     #[test]
     fn degree_caps_slice_length() {
         let (data, losses) = fixture();
-        let params = SliceFinderParams { min_size: 10, degree: 1, ..Default::default() };
+        let params = SliceFinderParams {
+            min_size: 10,
+            degree: 1,
+            ..Default::default()
+        };
         let result = find_slices(&data, &losses, &params);
         assert!(result.slices.iter().all(|s| s.items.len() == 1));
     }
@@ -364,7 +386,10 @@ mod tests {
     #[test]
     fn effect_size_matches_direct_computation() {
         let (data, losses) = fixture();
-        let params = SliceFinderParams { min_size: 50, ..Default::default() };
+        let params = SliceFinderParams {
+            min_size: 50,
+            ..Default::default()
+        };
         let result = find_slices(&data, &losses, &params);
         let top = &result.slices[0];
         // Recompute by hand.
@@ -385,7 +410,10 @@ mod tests {
     #[test]
     fn low_loss_slices_are_not_problematic() {
         let (data, losses) = fixture();
-        let params = SliceFinderParams { min_size: 50, ..Default::default() };
+        let params = SliceFinderParams {
+            min_size: 50,
+            ..Default::default()
+        };
         let result = find_slices(&data, &losses, &params);
         // g=b has *lower* loss than its complement: must never be returned.
         let gb = data.schema().item_by_name("g", "b").unwrap();

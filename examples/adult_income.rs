@@ -23,14 +23,19 @@ fn main() {
     );
 
     let report = DivExplorer::new(0.05)
-        .explore(&gd.data, &gd.v, &gd.u, &[Metric::FalsePositiveRate, Metric::FalseNegativeRate])
+        .explore(
+            &gd.data,
+            &gd.v,
+            &gd.u,
+            &[Metric::FalsePositiveRate, Metric::FalseNegativeRate],
+        )
         .expect("explore");
 
     println!("-- where the forest over-predicts income (FPR divergence) --");
     for idx in report.top_k(0, 3, SortBy::Divergence) {
         println!(
             "  {:<60} Δ={:+.3}",
-            report.display_itemset(&report[idx].items),
+            report.display_itemset(report.items(idx)),
             report.divergence(idx, 0)
         );
     }
@@ -38,7 +43,7 @@ fn main() {
     for idx in report.top_k(1, 3, SortBy::Divergence) {
         println!(
             "  {:<60} Δ={:+.3}",
-            report.display_itemset(&report[idx].items),
+            report.display_itemset(report.items(idx)),
             report.divergence(idx, 1)
         );
     }
@@ -47,9 +52,9 @@ fn main() {
     let target_idx = report
         .ranked(0, SortBy::Divergence)
         .into_iter()
-        .find(|&i| (2..=3).contains(&report[i].items.len()))
+        .find(|&i| (2..=3).contains(&report.items(i).len()))
         .expect("a short divergent pattern exists");
-    let target = report[target_idx].items.clone();
+    let target = report.items(target_idx).to_vec();
     println!(
         "\n-- lattice below {} (T = 0.1) --\n",
         report.display_itemset(&target)

@@ -8,13 +8,16 @@
 use datasets::compas;
 use divexplorer::{
     corrective::top_corrective, explorer::dataset_outcome_counts,
-    global_div::global_item_divergence, pruning::prune_redundant,
-    shapley::item_contributions, DivExplorer, Metric, SortBy,
+    global_div::global_item_divergence, pruning::prune_redundant, shapley::item_contributions,
+    DivExplorer, Metric, SortBy,
 };
 
 fn main() {
     let d = compas::generate(6172, 7).into_dataset();
-    println!("auditing a black-box risk score on {} defendants\n", d.n_rows());
+    println!(
+        "auditing a black-box risk score on {} defendants\n",
+        d.n_rows()
+    );
 
     let fpr = dataset_outcome_counts(&d.v, &d.u, Metric::FalsePositiveRate).rate();
     let fnr = dataset_outcome_counts(&d.v, &d.u, Metric::FalseNegativeRate).rate();
@@ -31,7 +34,7 @@ fn main() {
         for idx in report.top_k(m, 3, SortBy::Divergence) {
             println!(
                 "  {:<55} Δ={:+.3} t={:.1}",
-                report.display_itemset(&report[idx].items),
+                report.display_itemset(report.items(idx)),
                 report.divergence(idx, m),
                 report.t_statistic(idx, m),
             );
@@ -41,8 +44,11 @@ fn main() {
 
     // Drill-down: which items drive the top FPR pattern?
     let top = report.top_k(0, 1, SortBy::Divergence)[0];
-    let items = report[top].items.clone();
-    println!("-- Shapley drill-down: {} --", report.display_itemset(&items));
+    let items = report.items(top).to_vec();
+    println!(
+        "-- Shapley drill-down: {} --",
+        report.display_itemset(&items)
+    );
     let mut contributions = item_contributions(&report, &items, 0).expect("complete report");
     contributions.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     for (item, c) in contributions {

@@ -13,10 +13,16 @@ use divexplorer::{
 
 fn main() {
     let d = compas::generate(6172, 23).into_dataset();
-    println!("auditing a risk score on {} defendants (s = 0.05)\n", d.n_rows());
+    println!(
+        "auditing a risk score on {} defendants (s = 0.05)\n",
+        d.n_rows()
+    );
 
     let audit = audit_fairness(&d.data, &d.v, &d.u, 0.05).expect("explore");
-    println!("{} subgroups scored against 4 criteria\n", audit.violations.len());
+    println!(
+        "{} subgroups scored against 4 criteria\n",
+        audit.violations.len()
+    );
 
     for criterion in Criterion::ALL {
         println!("-- worst subgroups by {} --", criterion.name());
@@ -39,7 +45,11 @@ fn main() {
     );
 
     // Focus: subgroups that mention race, ranked by equalized-odds gap.
-    let race = audit.report.schema().attribute_index("race").expect("race attribute");
+    let race = audit
+        .report
+        .schema()
+        .attribute_index("race")
+        .expect("race attribute");
     println!("-- race-involving subgroups with the largest |Δ_FPR| --");
     // Metric index 2 of the audit's report is FPR (PPR, TPR, FPR, PPV).
     let hits = PatternQuery::new()
@@ -51,7 +61,7 @@ fn main() {
     for idx in hits {
         println!(
             "  {:<52} Δ_FPR {:+.3}  t={:.1}",
-            audit.report.display_itemset(&audit.report[idx].items),
+            audit.report.display_itemset(audit.report.items(idx)),
             audit.report.divergence(idx, 2),
             audit.report.t_statistic(idx, 2),
         );

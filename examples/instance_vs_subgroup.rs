@@ -33,7 +33,11 @@ fn main() {
     println!("-- Kernel SHAP: why did the model score THIS person high? --");
     let shap = shap_values(&forest, &x, x.row(fp), &ShapParams::default(), 17);
     for (feature, value) in shap.top_features(5) {
-        println!("  {:<24} {:+.3}", schema.display_item(feature as u32), value);
+        println!(
+            "  {:<24} {:+.3}",
+            schema.display_item(feature as u32),
+            value
+        );
     }
     println!(
         "  (base {:.3} + contributions ≈ prediction {:.3})",
@@ -48,17 +52,15 @@ fn main() {
     let covering = report
         .ranked(0, SortBy::Divergence)
         .into_iter()
-        .find(|&idx| gd.data.covers(fp, &report[idx].items))
+        .find(|&idx| gd.data.covers(fp, report.items(idx)))
         .expect("a covering frequent pattern exists");
-    let items = report[covering].items.clone();
-    println!(
-        "\n-- DivExplorer: why does the model over-predict for this person's GROUP? --"
-    );
+    let items = report.items(covering).to_vec();
+    println!("\n-- DivExplorer: why does the model over-predict for this person's GROUP? --");
     println!(
         "most divergent covering subgroup: {}  (Δ_FPR = {:+.3}, {} people)",
         report.display_itemset(&items),
         report.divergence(covering, 0),
-        report[covering].support,
+        report.support(covering),
     );
     for (item, c) in item_contributions(&report, &items, 0).expect("complete report") {
         println!("  {:<24} {:+.3}", schema.display_item(item), c);

@@ -19,7 +19,11 @@ fn main() {
 
     // Per-instance log loss — a continuous "how wrong was the model here".
     let proba = forest.predict_proba_batch(&x);
-    let losses: Vec<f64> = gd.v.iter().zip(&proba).map(|(&v, &p)| log_loss(v, p)).collect();
+    let losses: Vec<f64> =
+        gd.v.iter()
+            .zip(&proba)
+            .map(|(&v, &p)| log_loss(v, p))
+            .collect();
     let mean_loss = losses.iter().sum::<f64>() / losses.len() as f64;
     println!("mean log loss = {mean_loss:.3}\n");
 
@@ -52,7 +56,7 @@ fn main() {
     for &idx in flagged.iter().take(5) {
         println!(
             "  {:<48} Δ_ER={:+.3}  p={:.2e}",
-            bool_report.display_itemset(&bool_report[idx].items),
+            bool_report.display_itemset(bool_report.items(idx)),
             bool_report.divergence(idx, 0),
             bool_report.p_value(idx, 0),
         );

@@ -12,9 +12,9 @@ use divexplorer::{
     DivExplorer, Metric, SortBy,
 };
 use models::{
-    Classifier, ConfusionMatrix, DecisionTree, DecisionTreeParams, GaussianNaiveBayes,
-    GbdtParams, GradientBoostedTrees, LogisticRegression, LogisticRegressionParams,
-    RandomForest, RandomForestParams,
+    Classifier, ConfusionMatrix, DecisionTree, DecisionTreeParams, GaussianNaiveBayes, GbdtParams,
+    GradientBoostedTrees, LogisticRegression, LogisticRegressionParams, RandomForest,
+    RandomForestParams,
 };
 
 fn main() {
@@ -27,7 +27,10 @@ fn main() {
     let tree = DecisionTree::fit(
         &x_train,
         &y_train,
-        &DecisionTreeParams { max_depth: Some(4), ..Default::default() },
+        &DecisionTreeParams {
+            max_depth: Some(4),
+            ..Default::default()
+        },
         11,
     );
     let forest = RandomForest::fit(&x_train, &y_train, &RandomForestParams::fast(), 11);
@@ -54,7 +57,7 @@ fn main() {
         for idx in report.top_k(0, 3, SortBy::Divergence) {
             println!(
                 "  {:<50} Δ_ER={:+.3}  t={:.1}",
-                report.display_itemset(&report[idx].items),
+                report.display_itemset(report.items(idx)),
                 report.divergence(idx, 0),
                 report.t_statistic(idx, 0),
             );
@@ -65,8 +68,15 @@ fn main() {
     // differently, even at similar accuracies?
     let u_forest = &predictions[1].1;
     let u_boost = &predictions[2].1;
-    let cmp = compare_models(&gd.data, &gd.v, u_forest, u_boost, &[Metric::ErrorRate], 0.1)
-        .expect("compare");
+    let cmp = compare_models(
+        &gd.data,
+        &gd.v,
+        u_forest,
+        u_boost,
+        &[Metric::ErrorRate],
+        0.1,
+    )
+    .expect("compare");
     println!("\n=== forest vs boosting: largest error-divergence gaps ===");
     for gap in cmp.top_gaps(0, 3) {
         println!(
@@ -86,7 +96,7 @@ fn main() {
     for idx in disagreement.top_k(0, 3, SortBy::Divergence) {
         println!(
             "  {:<50} disagreement Δ={:+.3}",
-            disagreement.display_itemset(&disagreement[idx].items),
+            disagreement.display_itemset(disagreement.items(idx)),
             disagreement.divergence(idx, 0),
         );
     }

@@ -15,13 +15,22 @@ fn main() {
     builder.categorical("level", &["junior", "senior"], &level);
     let data = builder.build().expect("consistent columns");
 
-    let v = [false, false, false, true, true, true, false, false, true, true, false, true];
+    let v = [
+        false, false, false, true, true, true, false, false, true, true, false, true,
+    ];
     //       the model wrongly accepts several unqualified eng candidates:
-    let u = [true, true, false, true, true, true, false, false, true, true, false, false];
+    let u = [
+        true, true, false, true, true, true, false, false, true, true, false, false,
+    ];
 
     // Explore every subgroup with support >= 25%, tracking FPR and FNR.
     let report = DivExplorer::new(0.25)
-        .explore(&data, &v, &u, &[Metric::FalsePositiveRate, Metric::FalseNegativeRate])
+        .explore(
+            &data,
+            &v,
+            &u,
+            &[Metric::FalsePositiveRate, Metric::FalseNegativeRate],
+        )
         .expect("valid inputs");
 
     println!("overall FPR = {:.2}", report.dataset_rate(0));
@@ -31,7 +40,7 @@ fn main() {
     for idx in report.top_k(0, 5, SortBy::Divergence) {
         println!(
             "  {:<28} sup={:.2}  Δ_FPR={:+.2}  t={:.1}",
-            report.display_itemset(&report[idx].items),
+            report.display_itemset(report.items(idx)),
             report.support_fraction(idx),
             report.divergence(idx, 0),
             report.t_statistic(idx, 0),
@@ -40,12 +49,16 @@ fn main() {
 
     // Attribute the top pattern's divergence to its items.
     let top = report.top_k(0, 1, SortBy::Divergence)[0];
-    let items = report[top].items.clone();
+    let items = report.items(top).to_vec();
     println!(
         "\nShapley attribution for {}:",
         report.display_itemset(&items)
     );
     for (item, contribution) in item_contributions(&report, &items, 0).expect("complete report") {
-        println!("  {:<20} {:+.3}", report.schema().display_item(item), contribution);
+        println!(
+            "  {:<20} {:+.3}",
+            report.schema().display_item(item),
+            contribution
+        );
     }
 }

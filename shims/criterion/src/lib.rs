@@ -1,0 +1,298 @@
+//! Offline drop-in replacement for the subset of `criterion` this
+//! workspace uses: `criterion_group!`/`criterion_main!`, benchmark
+//! groups with `sample_size`/`warm_up_time`/`measurement_time`,
+//! `bench_function`/`bench_with_input`, `BenchmarkId`, and
+//! `Bencher::iter`.
+//!
+//! Semantics: each benchmark runs a short warm-up, then `sample_size`
+//! timed samples, and prints mean/min/max wall-clock per iteration.
+//! When invoked by `cargo test` (a `--test` argument, as cargo passes
+//! to `harness = false` bench targets), every benchmark body runs
+//! exactly once as a smoke test so the tier-1 suite stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// True when cargo is running this bench binary in test mode.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Substring filter passed on the command line (`cargo bench -- foo`).
+fn cli_filter() -> Option<String> {
+    std::env::args().skip(1).find(|a| !a.starts_with('-'))
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything acceptable as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+pub struct Bencher {
+    /// Mean/min/max nanoseconds per iteration, filled by `iter`.
+    stats: Option<(f64, f64, f64)>,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    smoke_only: bool,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.smoke_only {
+            black_box(routine());
+            self.stats = Some((0.0, 0.0, 0.0));
+            return;
+        }
+
+        // Warm-up: estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Choose iterations per sample so all samples fit the
+        // measurement window.
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() / iters as f64 * 1e9);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        self.stats = Some((mean, min, max));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(
+    full_name: &str,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    f: impl FnOnce(&mut Bencher),
+) {
+    if let Some(filter) = cli_filter() {
+        if !full_name.contains(&filter) {
+            return;
+        }
+    }
+    let smoke = test_mode();
+    let mut bencher = Bencher {
+        stats: None,
+        sample_size,
+        warm_up_time,
+        measurement_time,
+        smoke_only: smoke,
+    };
+    f(&mut bencher);
+    match bencher.stats {
+        Some(_) if smoke => println!("{full_name}: ok (smoke)"),
+        Some((mean, min, max)) => println!(
+            "{full_name:<50} time: [{} {} {}]",
+            format_ns(min),
+            format_ns(mean),
+            format_ns(max)
+        ),
+        None => println!("{full_name}: no measurement (iter was not called)"),
+    }
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (sample_size, warm_up_time, measurement_time) =
+            (self.sample_size, self.warm_up_time, self.measurement_time);
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+            warm_up_time,
+            measurement_time,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &id.into_id(),
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            |b| f(b),
+        );
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(
+            &full,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            |b| f(b),
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(
+            &full,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

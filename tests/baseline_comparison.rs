@@ -10,12 +10,11 @@ use slicefinder::{find_slices, SliceFinderParams};
 
 fn setup() -> (datasets::GeneratedDataset, Vec<f64>) {
     let d = artificial::generate(12_000, 7);
-    let losses: Vec<f64> = d
-        .v
-        .iter()
-        .zip(&d.u)
-        .map(|(&vi, &ui)| log_loss(vi, if ui { 0.99 } else { 0.01 }))
-        .collect();
+    let losses: Vec<f64> =
+        d.v.iter()
+            .zip(&d.u)
+            .map(|(&vi, &ui)| log_loss(vi, if ui { 0.99 } else { 0.01 }))
+            .collect();
     (d, losses)
 }
 
@@ -24,8 +23,12 @@ fn is_abc_triple(schema: &divexplorer::Schema, items: &[u32]) -> bool {
         return false;
     }
     let names: Vec<String> = items.iter().map(|&i| schema.display_item(i)).collect();
-    let zeros = names.iter().all(|n| ["a=0", "b=0", "c=0"].contains(&n.as_str()));
-    let ones = names.iter().all(|n| ["a=1", "b=1", "c=1"].contains(&n.as_str()));
+    let zeros = names
+        .iter()
+        .all(|n| ["a=0", "b=0", "c=0"].contains(&n.as_str()));
+    let ones = names
+        .iter()
+        .all(|n| ["a=1", "b=1", "c=1"].contains(&n.as_str()));
     zeros || ones
 }
 
@@ -38,9 +41,9 @@ fn divexplorer_finds_the_true_sources() {
     let top = report.top_k(0, 2, SortBy::Divergence);
     for idx in top {
         assert!(
-            is_abc_triple(report.schema(), &report[idx].items),
+            is_abc_triple(report.schema(), report.items(idx)),
             "expected an a=b=c triple, got {}",
-            report.display_itemset(&report[idx].items)
+            report.display_itemset(report.items(idx))
         );
     }
 }
@@ -48,7 +51,11 @@ fn divexplorer_finds_the_true_sources() {
 #[test]
 fn slicefinder_default_prunes_at_the_subsets() {
     let (d, losses) = setup();
-    let params = SliceFinderParams { degree: 3, min_size: 120, ..Default::default() };
+    let params = SliceFinderParams {
+        degree: 3,
+        min_size: 120,
+        ..Default::default()
+    };
     let result = find_slices(&d.data, &losses, &params);
     assert!(!result.slices.is_empty(), "default run should flag slices");
     assert!(
@@ -62,7 +69,9 @@ fn slicefinder_default_prunes_at_the_subsets() {
         assert!(
             names.iter().all(|n| {
                 ["a=0", "b=0", "c=0"].contains(&n.as_str())
-                    || names.iter().all(|m| ["a=1", "b=1", "c=1"].contains(&m.as_str()))
+                    || names
+                        .iter()
+                        .all(|m| ["a=1", "b=1", "c=1"].contains(&m.as_str()))
             }),
             "unexpected slice {names:?}"
         );
@@ -94,7 +103,11 @@ fn exhaustive_exploration_evaluates_more_than_pruned_search() {
     let report = DivExplorer::new(0.01)
         .explore(&d.data, &d.v, &d.u, &[Metric::FalsePositiveRate])
         .unwrap();
-    let params = SliceFinderParams { degree: 3, min_size: 120, ..Default::default() };
+    let params = SliceFinderParams {
+        degree: 3,
+        min_size: 120,
+        ..Default::default()
+    };
     let result = find_slices(&d.data, &losses, &params);
     // Completeness has a price DivExplorer pays gladly: it covers the full
     // frequent lattice while Slice Finder touches a fraction.

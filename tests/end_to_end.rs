@@ -16,13 +16,21 @@ fn full_pipeline_dataset_model_explorer() {
     let forest = RandomForest::fit(
         &x_train,
         &y_train,
-        &RandomForestParams { n_trees: 8, max_depth: Some(8), ..Default::default() },
+        &RandomForestParams {
+            n_trees: 8,
+            max_depth: Some(8),
+            ..Default::default()
+        },
         5,
     );
     let u = forest.predict_batch(&x);
 
     let cm = ConfusionMatrix::from_labels(&gd.v, &u);
-    assert!(cm.accuracy() > 0.6, "forest should beat chance: {}", cm.accuracy());
+    assert!(
+        cm.accuracy() > 0.6,
+        "forest should beat chance: {}",
+        cm.accuracy()
+    );
 
     let report = DivExplorer::new(0.1)
         .explore(&gd.data, &gd.v, &u, &[Metric::ErrorRate])
@@ -31,8 +39,8 @@ fn full_pipeline_dataset_model_explorer() {
 
     // Every reported pattern's tallies must equal a direct scan.
     for idx in report.top_k(0, 10, SortBy::AbsDivergence) {
-        let pattern = &report[idx];
-        let rows = gd.data.support_set(&pattern.items);
+        let pattern = report.pattern(idx);
+        let rows = gd.data.support_set(pattern.items);
         assert_eq!(rows.len() as u64, pattern.support);
         let mut t = 0u32;
         let mut f = 0u32;
@@ -53,20 +61,30 @@ fn all_mining_backends_agree_on_generated_data() {
     let gd = DatasetId::Compas.generate_sized(800, 9);
     let reference = DivExplorer::new(0.08)
         .with_algorithm(fpm::Algorithm::FpGrowth)
-        .explore(&gd.data, &gd.v, &gd.u, &[Metric::FalsePositiveRate, Metric::FalseNegativeRate])
+        .explore(
+            &gd.data,
+            &gd.v,
+            &gd.u,
+            &[Metric::FalsePositiveRate, Metric::FalseNegativeRate],
+        )
         .unwrap();
     for algo in [fpm::Algorithm::Apriori, fpm::Algorithm::Eclat] {
         let report = DivExplorer::new(0.08)
             .with_algorithm(algo)
-            .explore(&gd.data, &gd.v, &gd.u, &[Metric::FalsePositiveRate, Metric::FalseNegativeRate])
+            .explore(
+                &gd.data,
+                &gd.v,
+                &gd.u,
+                &[Metric::FalsePositiveRate, Metric::FalseNegativeRate],
+            )
             .unwrap();
         assert_eq!(report.len(), reference.len(), "{algo}");
         for p in reference.patterns() {
-            let idx = report.find(&p.items).unwrap_or_else(|| {
-                panic!("{algo} missing {:?}", reference.display_itemset(&p.items))
+            let idx = report.find(p.items).unwrap_or_else(|| {
+                panic!("{algo} missing {:?}", reference.display_itemset(p.items))
             });
-            assert_eq!(report[idx].support, p.support);
-            assert_eq!(report[idx].counts, p.counts);
+            assert_eq!(report.support(idx), p.support);
+            assert_eq!(report.counts(idx), p.counts);
         }
     }
 }
@@ -89,8 +107,8 @@ fn multi_metric_pass_equals_single_metric_passes() {
             .unwrap();
         assert_eq!(single.len(), combined.len());
         for p in single.patterns() {
-            let idx = combined.find(&p.items).unwrap();
-            assert_eq!(combined[idx].counts.get(m), p.counts.get(0), "{metric}");
+            let idx = combined.find(p.items).unwrap();
+            assert_eq!(combined.counts(idx).get(m), p.counts.get(0), "{metric}");
         }
     }
 }
@@ -99,7 +117,12 @@ fn multi_metric_pass_equals_single_metric_passes() {
 fn error_rate_and_accuracy_divergences_are_opposite() {
     let gd = DatasetId::German.generate_sized(500, 3);
     let report = DivExplorer::new(0.1)
-        .explore(&gd.data, &gd.v, &gd.u, &[Metric::ErrorRate, Metric::Accuracy])
+        .explore(
+            &gd.data,
+            &gd.v,
+            &gd.u,
+            &[Metric::ErrorRate, Metric::Accuracy],
+        )
         .unwrap();
     for idx in 0..report.len() {
         let er = report.divergence(idx, 0);

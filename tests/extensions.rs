@@ -22,13 +22,20 @@ fn trained_pair() -> (datasets::GeneratedDataset, Vec<bool>, Vec<bool>) {
     let forest = RandomForest::fit(
         &x,
         &gd.v,
-        &RandomForestParams { n_trees: 6, max_depth: Some(6), ..Default::default() },
+        &RandomForestParams {
+            n_trees: 6,
+            max_depth: Some(6),
+            ..Default::default()
+        },
         31,
     );
     let boosted = GradientBoostedTrees::fit(
         &x,
         &gd.v,
-        &GbdtParams { n_rounds: 15, ..Default::default() },
+        &GbdtParams {
+            n_rounds: 15,
+            ..Default::default()
+        },
     );
     let u_a = forest.predict_batch(&x);
     let u_b = boosted.predict_batch(&x);
@@ -38,8 +45,7 @@ fn trained_pair() -> (datasets::GeneratedDataset, Vec<bool>, Vec<bool>) {
 #[test]
 fn model_comparison_pipeline_on_trained_models() {
     let (gd, u_a, u_b) = trained_pair();
-    let cmp =
-        compare_models(&gd.data, &gd.v, &u_a, &u_b, &[Metric::ErrorRate], 0.15).unwrap();
+    let cmp = compare_models(&gd.data, &gd.v, &u_a, &u_b, &[Metric::ErrorRate], 0.15).unwrap();
     assert_eq!(cmp.report_a.len(), cmp.report_b.len());
     let gaps = cmp.top_gaps(0, 10);
     assert!(!gaps.is_empty());
@@ -63,7 +69,7 @@ fn neighborhood_navigation_is_consistent_with_the_report() {
         .explore(&gd.data, &gd.v, &gd.u, &[Metric::FalsePositiveRate])
         .unwrap();
     let top = report.top_k(0, 1, SortBy::Divergence)[0];
-    let items = report[top].items.clone();
+    let items = report.items(top).to_vec();
     let n = neighborhood(&report, &items, 0).expect("frequent focus");
     assert_eq!(n.generalizations.len(), items.len());
     for step in &n.generalizations {
@@ -90,7 +96,7 @@ fn sampled_shapley_tracks_exact_on_real_patterns() {
         .unwrap();
     let mut checked = 0;
     for idx in report.top_k(0, 5, SortBy::AbsDivergence) {
-        let items = report[idx].items.clone();
+        let items = report.items(idx).to_vec();
         let (Ok(exact), Ok(sampled)) = (
             item_contributions(&report, &items, 0),
             item_contributions_sampled(&report, &items, 0, 600, 42),
@@ -99,7 +105,10 @@ fn sampled_shapley_tracks_exact_on_real_patterns() {
         };
         for ((i1, c1), (i2, c2)) in exact.iter().zip(&sampled) {
             assert_eq!(i1, i2);
-            assert!((c1 - c2).abs() < 0.05, "item {i1}: exact {c1} vs sampled {c2}");
+            assert!(
+                (c1 - c2).abs() < 0.05,
+                "item {i1}: exact {c1} vs sampled {c2}"
+            );
         }
         checked += 1;
     }
@@ -146,7 +155,11 @@ fn condensation_flags_on_a_real_exploration() {
     for fi in closed.iter().take(10) {
         for other in &found {
             if fi.items.len() + 1 == other.items.len() && fi.is_subset_of(other) {
-                assert!(other.support < fi.support, "closure violated for {:?}", fi.items);
+                assert!(
+                    other.support < fi.support,
+                    "closure violated for {:?}",
+                    fi.items
+                );
             }
         }
     }
@@ -164,11 +177,7 @@ fn shap_and_lime_agree_on_the_dominant_feature() {
             0.15 + 0.7 * row[self.0]
         }
     }
-    let feature = gd
-        .data
-        .schema()
-        .item_by_name("#prior", ">3")
-        .unwrap() as usize;
+    let feature = gd.data.schema().item_by_name("#prior", ">3").unwrap() as usize;
     let model = OneFeature(feature);
     let instance = (0..gd.n_rows())
         .find(|&r| x.get(r, feature) == 1.0)

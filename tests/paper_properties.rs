@@ -3,8 +3,8 @@
 
 use datasets::{compas, DatasetId};
 use divexplorer::{
-    global_div, item::for_each_subset, pruning::prune_redundant,
-    shapley::item_contributions, DivExplorer, Metric, SortBy,
+    global_div, item::for_each_subset, pruning::prune_redundant, shapley::item_contributions,
+    DivExplorer, Metric, SortBy,
 };
 
 /// Property 3.1: refining a discretization never hides divergence — for the
@@ -32,7 +32,9 @@ fn property_3_1_refinement_never_hides_divergence() {
     ];
     for (coarse_val, fine_vals) in partitions {
         let coarse_item = coarse.schema().item_by_name("#prior", coarse_val).unwrap();
-        let Some(idx) = report_c.find(&[coarse_item]) else { continue };
+        let Some(idx) = report_c.find(&[coarse_item]) else {
+            continue;
+        };
         let coarse_delta = report_c.divergence(idx, 0);
         if coarse_delta.is_nan() {
             continue;
@@ -82,7 +84,7 @@ fn theorem_5_1_soundness_and_completeness() {
         match report.find(subset) {
             Some(idx) => {
                 assert!(frequent, "sound: reported itemset must be frequent");
-                assert_eq!(report[idx].support, support as u64, "exact support");
+                assert_eq!(report.support(idx), support as u64, "exact support");
             }
             None => assert!(!frequent, "complete: frequent itemset missing"),
         }
@@ -104,12 +106,12 @@ fn shapley_efficiency_on_generated_data() {
         if delta.is_nan() {
             continue;
         }
-        if let Ok(contributions) = item_contributions(&report, &report[idx].items, 0) {
+        if let Ok(contributions) = item_contributions(&report, report.items(idx), 0) {
             let total: f64 = contributions.iter().map(|(_, c)| c).sum();
             assert!(
                 (total - delta).abs() < 1e-9,
                 "efficiency violated on {}",
-                report.display_itemset(&report[idx].items)
+                report.display_itemset(report.items(idx))
             );
             checked += 1;
         }
@@ -179,7 +181,7 @@ fn pruning_yields_minimal_cores() {
     assert!(!retained.is_empty());
     assert!(retained.len() < report.len());
     for &idx in retained.iter().take(20) {
-        let items = &report[idx].items;
+        let items = report.items(idx);
         let delta = report.divergence(idx, 0);
         for &alpha in items {
             let base = divexplorer::item::without(items, alpha);

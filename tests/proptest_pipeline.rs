@@ -49,7 +49,7 @@ proptest! {
             assert_eq!(report.find(subset).is_some(), frequent,
                 "itemset {:?} support {}", subset, support);
             if let Some(idx) = report.find(subset) {
-                assert_eq!(report.patterns()[idx].support, support as u64);
+                assert_eq!(report.support(idx), support as u64);
             }
         });
     }
@@ -62,7 +62,7 @@ proptest! {
         for idx in 0..report.len() {
             let delta = report.divergence(idx, 0);
             if delta.is_nan() { continue; }
-            if let Ok(contributions) = item_contributions(&report, &report[idx].items, 0) {
+            if let Ok(contributions) = item_contributions(&report, report.items(idx), 0) {
                 let total: f64 = contributions.iter().map(|(_, c)| c).sum();
                 prop_assert!((total - delta).abs() < 1e-9);
             }
@@ -101,7 +101,7 @@ proptest! {
             prop_assert!(retained.len() <= previous, "retention must shrink with ε");
             previous = retained.len();
             for &idx in &retained {
-                let items = &report[idx].items;
+                let items = report.items(idx);
                 let delta = report.divergence(idx, 0);
                 for &alpha in items {
                     let base_delta =
@@ -132,10 +132,10 @@ proptest! {
             .explore(&data, &v, &u, &[Metric::ErrorRate])
             .unwrap();
         // Take the longest frequent pattern as the lattice target.
-        let Some(idx) = (0..report.len()).max_by_key(|&i| report[i].items.len()) else {
+        let Some(idx) = (0..report.len()).max_by_key(|&i| report.items(i).len()) else {
             return Ok(());
         };
-        let target = report[idx].items.clone();
+        let target = report.items(idx).to_vec();
         let lattice = divexplorer::lattice::sublattice(&report, &target, 0, 0.1).unwrap();
         prop_assert_eq!(lattice.nodes.len(), 1 << target.len());
         for node in &lattice.nodes {

@@ -20,7 +20,11 @@ fn injected_bias_is_learned_and_recovered() {
 
     let split = train_test_split(data.n_rows(), 0.4, 21);
     let affected = inject_bias_in_rows(&data, &mut v, &injected, true, &split.train);
-    assert!(affected.len() > 50, "subgroup too small: {}", affected.len());
+    assert!(
+        affected.len() > 50,
+        "subgroup too small: {}",
+        affected.len()
+    );
 
     // Train on poisoned labels with one-hot features.
     let gd = datasets::GeneratedDataset {
@@ -32,7 +36,15 @@ fn injected_bias_is_learned_and_recovered() {
     let features = gd.features_one_hot();
     let x_train = features.select_rows(&split.train);
     let y_train: Vec<bool> = split.train.iter().map(|&r| v[r]).collect();
-    let mlp = Mlp::fit(&x_train, &y_train, &MlpParams { epochs: 40, ..Default::default() }, 21);
+    let mlp = Mlp::fit(
+        &x_train,
+        &y_train,
+        &MlpParams {
+            epochs: 40,
+            ..Default::default()
+        },
+        21,
+    );
 
     // The model must have absorbed the bias: near-total positive
     // prediction inside the subgroup on the *test* split.
@@ -44,8 +56,8 @@ fn injected_bias_is_learned_and_recovered() {
         .filter(|&r| test_data.covers(r, &injected))
         .collect();
     assert!(in_group.len() > 20);
-    let positive_rate = in_group.iter().filter(|&&r| u_test[r]).count() as f64
-        / in_group.len() as f64;
+    let positive_rate =
+        in_group.iter().filter(|&&r| u_test[r]).count() as f64 / in_group.len() as f64;
     assert!(positive_rate > 0.9, "bias not learned: {positive_rate}");
 
     // DivExplorer on the unpoisoned test split: the injected pattern must
@@ -55,7 +67,10 @@ fn injected_bias_is_learned_and_recovered() {
         .unwrap();
     let idx = report.find(&injected).expect("injected pattern frequent");
     let delta = report.divergence(idx, 0);
-    assert!(delta > 0.3, "injected pattern should be strongly divergent: {delta}");
+    assert!(
+        delta > 0.3,
+        "injected pattern should be strongly divergent: {delta}"
+    );
 
     let ranked = report.ranked(0, SortBy::Divergence);
     let rank = ranked.iter().position(|&i| i == idx).unwrap();
