@@ -25,6 +25,10 @@ fn main() {
             .explore(&d.data, &d.v, &d.u, &[Metric::FalsePositiveRate])
             .expect("explore")
     });
+    assert!(
+        report.is_exploration_complete(),
+        "comparison needs the complete frequent lattice"
+    );
     println!(
         "DivExplorer (s=0.01): {:.2}s, {} itemsets",
         t_div.as_secs_f64(),
@@ -82,6 +86,12 @@ fn main() {
             t_sf.as_secs_f64(),
             result.slices.len(),
             result.stats.evaluated
+        );
+        // An unbudgeted run must never report truncation; the comparison
+        // below is only meaningful against the fully-terminated search.
+        assert!(
+            !result.stats.truncated,
+            "Slice Finder search was truncated; comparison invalid"
         );
         let mut table = TextTable::new(["slice", "len", "effect size"]);
         for s in &result.slices {

@@ -24,7 +24,7 @@ use datasets::csv::{parse_csv, CsvTable};
 use divexplorer::{
     corrective::top_corrective,
     fairness::{audit_fairness, Criterion},
-    global_div::global_item_divergence,
+    global_div::global_item_divergence_checked,
     lattice::sublattice,
     pruning::prune_redundant,
     shapley::item_contributions,
@@ -62,6 +62,12 @@ pub struct Args {
     pub threshold: f64,
     /// Emit Graphviz DOT (lattice only).
     pub dot: bool,
+    /// Wall-clock budget for the exploration, in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Cap on the number of mined itemsets.
+    pub max_itemsets: Option<u64>,
+    /// Cap on the itemset length explored.
+    pub max_depth: Option<usize>,
 }
 
 /// The supported subcommands.
@@ -88,6 +94,21 @@ pub enum CliError {
     Usage(String),
     /// Input processing failed.
     Input(String),
+    /// The analysis needs a complete exploration but the budget truncated
+    /// it (closure-dependent commands: shapley, global).
+    Truncated(fpm::TruncationReason),
+}
+
+impl CliError {
+    /// The process exit code for this error: usage errors exit 2, bad
+    /// input exits 3, budget truncation exits 4.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Input(_) => 3,
+            CliError::Truncated(_) => 4,
+        }
+    }
 }
 
 impl std::fmt::Display for CliError {
@@ -95,11 +116,36 @@ impl std::fmt::Display for CliError {
         match self {
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
             CliError::Input(msg) => write!(f, "input error: {msg}"),
+            CliError::Truncated(reason) => write!(
+                f,
+                "exploration truncated ({reason}): this analysis needs the complete \
+                 frequent lattice — raise the budget or the support threshold"
+            ),
         }
     }
 }
 
 impl std::error::Error for CliError {}
+
+/// What a successful run saw of the frequent lattice: [`RunStatus::Truncated`]
+/// means the printed results are a valid but partial view (exit code 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The exploration covered the whole frequent lattice.
+    Complete,
+    /// The budget cut the exploration short; results are partial.
+    Truncated(fpm::TruncationReason),
+}
+
+impl RunStatus {
+    /// The process exit code: 0 for complete runs, 4 for truncated ones.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            RunStatus::Complete => 0,
+            RunStatus::Truncated(_) => 4,
+        }
+    }
+}
 
 /// The usage banner printed on `--help` or bad usage.
 pub const USAGE: &str = "\
@@ -120,6 +166,13 @@ OPTIONS:
   --itemset SPEC     target pattern, e.g. \"sex=Male,#prior=>3\" (shapley, lattice)
   --threshold T      lattice highlight threshold [0.1]
   --dot              emit Graphviz DOT (lattice)
+  --timeout-ms MS    wall-clock budget for the exploration; on expiry the
+                     partial results found so far are printed (exit code 4)
+  --max-itemsets N   stop after mining N itemsets (exit code 4 when hit)
+  --max-depth D      do not explore itemsets longer than D (exit code 4)
+
+EXIT CODES:
+  0 success    2 usage error    3 bad input    4 truncated by budget
 ";
 
 impl Args {
@@ -151,6 +204,9 @@ impl Args {
             itemset: Vec::new(),
             threshold: 0.1,
             dot: false,
+            timeout_ms: None,
+            max_itemsets: None,
+            max_depth: None,
         };
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<String, CliError> {
@@ -171,6 +227,16 @@ impl Args {
                 "--itemset" => args.itemset = parse_itemset_spec(&value("--itemset")?)?,
                 "--threshold" => args.threshold = parse_num(&value("--threshold")?, "--threshold")?,
                 "--dot" => args.dot = true,
+                "--timeout-ms" => {
+                    args.timeout_ms = Some(parse_num(&value("--timeout-ms")?, "--timeout-ms")?)
+                }
+                "--max-itemsets" => {
+                    args.max_itemsets =
+                        Some(parse_num(&value("--max-itemsets")?, "--max-itemsets")?)
+                }
+                "--max-depth" => {
+                    args.max_depth = Some(parse_num(&value("--max-depth")?, "--max-depth")?)
+                }
                 other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
             }
         }
@@ -299,24 +365,55 @@ fn resolve_itemset(
     Ok(items)
 }
 
+/// The [`fpm::Budget`] requested on the command line.
+fn budget_from_args(args: &Args) -> fpm::Budget {
+    let mut budget = fpm::Budget::unlimited();
+    if let Some(ms) = args.timeout_ms {
+        budget = budget.with_timeout(std::time::Duration::from_millis(ms));
+    }
+    if let Some(n) = args.max_itemsets {
+        budget = budget.with_max_itemsets(n);
+    }
+    if let Some(d) = args.max_depth {
+        budget = budget.with_max_depth(d);
+    }
+    budget
+}
+
 /// Runs the command against CSV content, writing the report to `out`.
-pub fn run_with_content(args: &Args, content: &str, out: &mut String) -> Result<(), CliError> {
+///
+/// Commands that tolerate a budget-truncated exploration (explore,
+/// corrective, lattice) print the partial results and return
+/// [`RunStatus::Truncated`]; closure-dependent commands (shapley, global)
+/// refuse truncated input with [`CliError::Truncated`].
+pub fn run_with_content(
+    args: &Args,
+    content: &str,
+    out: &mut String,
+) -> Result<RunStatus, CliError> {
     let prepared = prepare(content, args)?;
     if args.command == Command::Fairness {
-        return run_fairness(args, &prepared, out);
+        run_fairness(args, &prepared, out)?;
+        return Ok(RunStatus::Complete);
     }
     let report = DivExplorer::new(args.support)
+        .with_budget(budget_from_args(args))
         .explore(&prepared.data, &prepared.v, &prepared.u, &args.metrics)
         .map_err(|e| CliError::Input(e.to_string()))?;
+    let truncation = report.completeness().truncation_reason();
 
     match args.command {
         Command::Explore => {
             if args.json {
                 let export = report.export();
-                let json = serde_json::to_string_pretty(&export).expect("report export serializes");
+                let json = serde_json::to_string_pretty(&export)
+                    .map_err(|e| CliError::Input(format!("cannot serialize report: {e}")))?;
                 out.push_str(&json);
                 out.push('\n');
-                return Ok(());
+                return Ok(match truncation {
+                    Some(reason) => RunStatus::Truncated(reason),
+                    None => RunStatus::Complete,
+                });
             }
             for (m, metric) in args.metrics.iter().enumerate() {
                 let _ = writeln!(
@@ -353,6 +450,9 @@ pub fn run_with_content(args: &Args, content: &str, out: &mut String) -> Result<
             }
         }
         Command::Shapley => {
+            if let Some(reason) = truncation {
+                return Err(CliError::Truncated(reason));
+            }
             let items = resolve_itemset(&prepared.data, &args.itemset)?;
             let idx = report
                 .find(&items)
@@ -384,8 +484,9 @@ pub fn run_with_content(args: &Args, content: &str, out: &mut String) -> Result<
             }
         }
         Command::Global => {
-            let mut globals = global_item_divergence(&report, 0);
-            globals.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            let mut globals =
+                global_item_divergence_checked(&report, 0).map_err(CliError::Truncated)?;
+            globals.sort_by(|a, b| b.1.total_cmp(&a.1));
             for (item, g) in globals.into_iter().take(args.top) {
                 let _ = writeln!(out, "  {:<40} {g:+.5}", report.schema().display_item(item));
             }
@@ -402,7 +503,16 @@ pub fn run_with_content(args: &Args, content: &str, out: &mut String) -> Result<
         }
         Command::Fairness => unreachable!("dispatched before exploration"),
     }
-    Ok(())
+    match truncation {
+        Some(reason) => {
+            let _ = writeln!(
+                out,
+                "warning: exploration truncated ({reason}) — results above are partial"
+            );
+            Ok(RunStatus::Truncated(reason))
+        }
+        None => Ok(RunStatus::Complete),
+    }
 }
 
 fn run_fairness(args: &Args, prepared: &Prepared, out: &mut String) -> Result<(), CliError> {
@@ -429,12 +539,13 @@ fn run_fairness(args: &Args, prepared: &Prepared, out: &mut String) -> Result<()
 }
 
 /// Entry point for the binary: reads the input file and runs the command.
-pub fn run(args: &Args) -> Result<String, CliError> {
+/// Returns the rendered output together with the run's [`RunStatus`].
+pub fn run(args: &Args) -> Result<(String, RunStatus), CliError> {
     let content = std::fs::read_to_string(&args.input)
         .map_err(|e| CliError::Input(format!("{}: {e}", args.input)))?;
     let mut out = String::new();
-    run_with_content(args, &content, &mut out)?;
-    Ok(out)
+    let status = run_with_content(args, &content, &mut out)?;
+    Ok((out, status))
 }
 
 #[cfg(test)]
@@ -590,6 +701,88 @@ b,y,0,1
             let mut out = String::new();
             run_with_content(&args, CSV, &mut out).unwrap();
         }
+    }
+
+    #[test]
+    fn budget_flags_parse() {
+        let mut argv = base_args("explore");
+        argv.extend([
+            "--timeout-ms".to_string(),
+            "250".to_string(),
+            "--max-itemsets".to_string(),
+            "100".to_string(),
+            "--max-depth".to_string(),
+            "2".to_string(),
+        ]);
+        let args = Args::parse(argv).unwrap();
+        assert_eq!(args.timeout_ms, Some(250));
+        assert_eq!(args.max_itemsets, Some(100));
+        assert_eq!(args.max_depth, Some(2));
+
+        let mut argv = base_args("explore");
+        argv.extend(["--timeout-ms".to_string(), "soon".to_string()]);
+        assert!(matches!(Args::parse(argv), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn unbudgeted_run_reports_complete_status() {
+        let args = Args::parse(base_args("explore")).unwrap();
+        let mut out = String::new();
+        let status = run_with_content(&args, CSV, &mut out).unwrap();
+        assert_eq!(status, RunStatus::Complete);
+        assert_eq!(status.exit_code(), 0);
+        assert!(!out.contains("warning"));
+    }
+
+    #[test]
+    fn truncated_explore_prints_partial_results_and_a_warning() {
+        let mut argv = base_args("explore");
+        argv.extend(["--max-itemsets".to_string(), "2".to_string()]);
+        let args = Args::parse(argv).unwrap();
+        let mut out = String::new();
+        let status = run_with_content(&args, CSV, &mut out).unwrap();
+        assert_eq!(
+            status,
+            RunStatus::Truncated(fpm::TruncationReason::ItemsetLimit)
+        );
+        assert_eq!(status.exit_code(), 4);
+        assert!(out.contains("2 patterns"), "got: {out}");
+        assert!(out.contains("warning: exploration truncated"), "got: {out}");
+    }
+
+    #[test]
+    fn closure_dependent_commands_refuse_truncated_input() {
+        for cmd in ["shapley", "global"] {
+            let mut argv = base_args(cmd);
+            argv.extend(["--max-itemsets".to_string(), "2".to_string()]);
+            if cmd == "shapley" {
+                argv.extend(["--itemset".to_string(), "grp=a".to_string()]);
+            }
+            let args = Args::parse(argv).unwrap();
+            let mut out = String::new();
+            let err = run_with_content(&args, CSV, &mut out).unwrap_err();
+            assert_eq!(
+                err,
+                CliError::Truncated(fpm::TruncationReason::ItemsetLimit),
+                "{cmd}"
+            );
+            assert_eq!(err.exit_code(), 4, "{cmd}");
+        }
+    }
+
+    #[test]
+    fn depth_capped_explore_shows_only_short_patterns() {
+        let mut argv = base_args("explore");
+        argv.extend(["--max-depth".to_string(), "1".to_string()]);
+        let args = Args::parse(argv).unwrap();
+        let mut out = String::new();
+        let status = run_with_content(&args, CSV, &mut out).unwrap();
+        assert_eq!(
+            status,
+            RunStatus::Truncated(fpm::TruncationReason::DepthLimit)
+        );
+        // No pattern line mentions two attributes.
+        assert!(!out.contains("grp=a, other="), "got: {out}");
     }
 
     #[test]

@@ -1,4 +1,7 @@
 //! The `divexplorer` command-line binary (thin wrapper over [`cli`]).
+//!
+//! Exit codes: 0 success, 2 usage error, 3 bad input, 4 truncated by
+//! budget. All diagnostics go to stderr; this wrapper never panics.
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -14,10 +17,16 @@ fn main() {
         }
     };
     match cli::run(&args) {
-        Ok(output) => print!("{output}"),
+        Ok((output, status)) => {
+            print!("{output}");
+            if let cli::RunStatus::Truncated(reason) = status {
+                eprintln!("warning: exploration truncated ({reason}); exiting 4");
+            }
+            std::process::exit(status.exit_code());
+        }
         Err(e) => {
             eprintln!("{e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         }
     }
 }

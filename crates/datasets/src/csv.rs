@@ -7,6 +7,11 @@
 
 use divexplorer::{BinningStrategy, DatasetBuilder, DiscreteDataset};
 
+/// Widest table accepted by [`parse_csv`]: a guard against malformed or
+/// adversarial input (e.g. a long binary blob on one line) allocating one
+/// `Vec` per "column" of garbage.
+pub const MAX_COLUMNS: usize = 10_000;
+
 /// Errors from CSV parsing.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CsvError {
@@ -28,6 +33,25 @@ pub enum CsvError {
     },
     /// The file has a header but no data rows.
     NoRows,
+    /// A line contains a NUL byte — the input is binary, not CSV.
+    EmbeddedNul {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A line contains a bare carriage return: either CR-only (classic
+    /// Mac) line endings, which would silently collapse the whole file
+    /// into one row, or a CR embedded in a field.
+    BareCarriageReturn {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The header declares more than [`MAX_COLUMNS`] columns.
+    TooManyColumns {
+        /// Columns declared.
+        got: usize,
+    },
+    /// The parsed table cannot be assembled into a dataset.
+    InvalidTable(String),
 }
 
 impl std::fmt::Display for CsvError {
@@ -45,6 +69,19 @@ impl std::fmt::Display for CsvError {
                 write!(f, "line {line}: unterminated quoted field")
             }
             CsvError::NoRows => write!(f, "no data rows"),
+            CsvError::EmbeddedNul { line } => {
+                write!(f, "line {line}: embedded NUL byte (binary input?)")
+            }
+            CsvError::BareCarriageReturn { line } => {
+                write!(
+                    f,
+                    "line {line}: bare carriage return (CR-only line endings are not supported)"
+                )
+            }
+            CsvError::TooManyColumns { got } => {
+                write!(f, "header declares {got} columns (limit {MAX_COLUMNS})")
+            }
+            CsvError::InvalidTable(msg) => write!(f, "invalid table: {msg}"),
         }
     }
 }
@@ -89,7 +126,10 @@ impl CsvTable {
                 }
             }
         }
-        Ok(b.build().expect("columns are rectangular by construction"))
+        // Rectangularity is guaranteed by `parse_csv`, but a hand-built
+        // table can violate it — surface the builder's error instead of
+        // panicking.
+        b.build().map_err(|e| CsvError::InvalidTable(e.to_string()))
     }
 }
 
@@ -145,6 +185,9 @@ pub fn parse_csv(text: &str, separator: char) -> Result<CsvTable, CsvError> {
     let (_, header_line) = lines.next().ok_or(CsvError::Empty)?;
     let header = split_line(header_line, separator, 1)?;
     let expected = header.len();
+    if expected > MAX_COLUMNS {
+        return Err(CsvError::TooManyColumns { got: expected });
+    }
     let mut columns: Vec<Vec<String>> = vec![Vec::new(); expected];
     for (i, line) in lines {
         let fields = split_line(line, separator, i + 1)?;
@@ -165,6 +208,15 @@ pub fn parse_csv(text: &str, separator: char) -> Result<CsvTable, CsvError> {
 /// Splits one line into fields, honoring double-quoted fields with `""`
 /// escapes.
 fn split_line(line: &str, separator: char, line_no: usize) -> Result<Vec<String>, CsvError> {
+    if line.contains('\0') {
+        return Err(CsvError::EmbeddedNul { line: line_no });
+    }
+    // `str::lines` strips `\r\n`; any carriage return still present means
+    // CR-only line endings (the whole file would parse as one row) or a CR
+    // inside a field — reject both explicitly.
+    if line.contains('\r') {
+        return Err(CsvError::BareCarriageReturn { line: line_no });
+    }
     let mut fields = Vec::new();
     let mut field = String::new();
     let mut chars = line.chars().peekable();
@@ -245,6 +297,52 @@ mod tests {
         assert_eq!(parse_csv("", ',').unwrap_err(), CsvError::Empty);
         let t = parse_csv("a,b\n", ',').unwrap();
         assert_eq!(t.into_dataset(3).unwrap_err(), CsvError::NoRows);
+    }
+
+    #[test]
+    fn embedded_nul_is_rejected() {
+        let err = parse_csv("a,b\n1,\0\n", ',').unwrap_err();
+        assert_eq!(err, CsvError::EmbeddedNul { line: 2 });
+        let err = parse_csv("a\0b\nx\n", ',').unwrap_err();
+        assert_eq!(err, CsvError::EmbeddedNul { line: 1 });
+    }
+
+    #[test]
+    fn cr_only_line_endings_are_rejected() {
+        // Classic-Mac endings: `lines()` sees one line with embedded CRs —
+        // without the guard this would parse as a single ragged row.
+        let err = parse_csv("a,b\r1,x\r2,y\r", ',').unwrap_err();
+        assert_eq!(err, CsvError::BareCarriageReturn { line: 1 });
+        // CRLF endings stay fine.
+        let t = parse_csv("a,b\r\n1,x\r\n", ',').unwrap();
+        assert_eq!(t.columns[1][0], "x");
+    }
+
+    #[test]
+    fn too_many_columns_is_rejected() {
+        let header = vec!["c"; MAX_COLUMNS + 1].join(",");
+        let err = parse_csv(&format!("{header}\n"), ',').unwrap_err();
+        assert_eq!(
+            err,
+            CsvError::TooManyColumns {
+                got: MAX_COLUMNS + 1
+            }
+        );
+    }
+
+    #[test]
+    fn hand_built_ragged_table_errors_instead_of_panicking() {
+        let table = CsvTable {
+            header: vec!["a".to_string(), "b".to_string()],
+            columns: vec![
+                vec!["1".to_string(), "2".to_string()],
+                vec!["x".to_string()],
+            ],
+        };
+        assert!(matches!(
+            table.into_dataset(3),
+            Err(CsvError::InvalidTable(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Fuzz-style property tests for the CSV parser: no input — textual or
+//! binary garbage — may panic, and every `Ok` parse must uphold the
+//! rectangularity invariant that `into_dataset` relies on.
+
+use datasets::csv::{parse_csv, CsvTable, MAX_COLUMNS};
+use proptest::prelude::*;
+
+/// Arbitrary bytes decoded leniently — exercises NUL bytes, bare CRs,
+/// invalid UTF-8 replacement chars, and unstructured garbage.
+fn arbitrary_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..300)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// CSV-flavored garbage: drawn from a small alphabet rich in the parser's
+/// structural characters, reaching the quote/escape/ragged-row paths far
+/// more often than uniform bytes do.
+fn csv_flavored_text() -> impl Strategy<Value = String> {
+    const ALPHABET: &[char] = &[
+        ',', '"', '\n', '\r', ';', 'a', 'b', '1', '2', '.', ' ', '\t', '\0', '=',
+    ];
+    proptest::collection::vec(0usize..ALPHABET.len(), 0..200)
+        .prop_map(|picks| picks.into_iter().map(|i| ALPHABET[i]).collect())
+}
+
+fn assert_parse_is_safe(text: &str) -> Result<(), proptest::test_runner::TestCaseError> {
+    for sep in [',', ';'] {
+        // The call itself is the property: any panic fails the test.
+        if let Ok(table) = parse_csv(text, sep) {
+            prop_assert!(table.header.len() <= MAX_COLUMNS);
+            for column in &table.columns {
+                prop_assert_eq!(column.len(), table.n_rows());
+            }
+            // A well-formed parse must survive dataset conversion without
+            // panicking (NoRows/InvalidTable errors are fine).
+            let _ = table.into_dataset(3);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn no_panic_on_arbitrary_bytes(text in arbitrary_text()) {
+        assert_parse_is_safe(&text)?;
+    }
+
+    #[test]
+    fn no_panic_on_csv_flavored_garbage(text in csv_flavored_text()) {
+        assert_parse_is_safe(&text)?;
+    }
+}
+
+#[test]
+fn hand_picked_adversarial_inputs() {
+    for text in [
+        "\0",
+        "\r",
+        "a,b\rc,d",
+        "\"",
+        "\"\"\"",
+        "a,,\n,,a\n",
+        "a\n\"x\0\"\n",
+        ",\n,\n",
+        "h\n\u{FFFD}\n",
+    ] {
+        let _ = parse_csv(text, ',').map(|t| t.into_dataset(2));
+    }
+}
+
+#[test]
+fn rectangular_hand_built_table_still_converts() {
+    let table = CsvTable {
+        header: vec!["n".to_string()],
+        columns: vec![vec!["1".to_string(), "2".to_string()]],
+    };
+    assert!(table.into_dataset(2).is_ok());
+}

@@ -17,7 +17,7 @@ use crate::counts::{MultiCounts, OutcomeCounts, MAX_METRICS};
 use crate::dataset::DiscreteDataset;
 use crate::report::DivergenceReport;
 use crate::{Metric, Outcome};
-use fpm::{ItemsetArena, ItemsetSink, Payload};
+use fpm::{Budget, BudgetSink, CancelToken, Completeness, ItemsetArena, ItemsetSink, Payload};
 
 /// Errors from [`DivExplorer::explore`].
 #[derive(Debug, Clone, PartialEq)]
@@ -83,6 +83,8 @@ pub struct DivExplorer {
     algorithm: fpm::Algorithm,
     max_len: Option<usize>,
     threads: usize,
+    budget: Budget,
+    cancel: Option<CancelToken>,
 }
 
 impl DivExplorer {
@@ -94,6 +96,8 @@ impl DivExplorer {
             algorithm: fpm::Algorithm::FpGrowth,
             max_len: None,
             threads: 1,
+            budget: Budget::unlimited(),
+            cancel: None,
         }
     }
 
@@ -119,6 +123,23 @@ impl DivExplorer {
     pub fn with_threads(mut self, n: usize) -> Self {
         assert!(n > 0, "need at least one thread");
         self.threads = n;
+        self
+    }
+
+    /// Bounds the exploration by a [`Budget`] (wall clock, emitted
+    /// itemsets, store bytes, lattice depth). An exhausted budget never
+    /// fails the run: the report holds the patterns mined so far, tagged
+    /// [`Completeness::Truncated`].
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches a [`CancelToken`]: firing it (from any thread) stops the
+    /// exploration at its next checkpoint with a partial, truncated
+    /// result.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -151,11 +172,7 @@ impl DivExplorer {
         let mut params = fpm::MiningParams::with_min_support_fraction(self.min_support, n);
         params.max_len = self.max_len;
         let min_support_count = params.min_support_count;
-        let store = if self.threads > 1 {
-            fpm::parallel::mine_arena(&db, &payloads, &params, self.threads)
-        } else {
-            fpm::mine_arena(self.algorithm, &db, &payloads, &params)
-        };
+        let (store, completeness) = self.mine_bounded(&db, &payloads, &params);
 
         // Lines 13–15: rates/divergences are computed lazily by the report.
         Ok(DivergenceReport::from_store(
@@ -165,7 +182,40 @@ impl DivExplorer {
             min_support_count,
             dataset_counts,
             store,
-        ))
+        )
+        .with_completeness(completeness))
+    }
+
+    /// The shared bounded mining step: dispatches to the parallel or
+    /// sequential engine under the configured budget and cancel token.
+    fn mine_bounded(
+        &self,
+        db: &fpm::TransactionDb,
+        payloads: &[MultiCounts],
+        params: &fpm::MiningParams,
+    ) -> (ItemsetArena<MultiCounts>, Completeness) {
+        if self.threads > 1 {
+            fpm::parallel::mine_arena_bounded(
+                db,
+                payloads,
+                params,
+                self.threads,
+                &self.budget,
+                self.cancel.as_ref(),
+            )
+        } else {
+            let mut store = ItemsetArena::new();
+            let completeness = fpm::mine_into_bounded(
+                self.algorithm,
+                db,
+                payloads,
+                params,
+                &self.budget,
+                self.cancel.as_ref(),
+                &mut store,
+            );
+            (store, completeness)
+        }
     }
 
     /// Streams the exploration into a caller-supplied [`ItemsetSink`]
@@ -193,15 +243,35 @@ impl DivExplorer {
         let db = data.to_transactions();
         let mut params = fpm::MiningParams::with_min_support_fraction(self.min_support, n);
         params.max_len = self.max_len;
-        if self.threads > 1 {
-            fpm::parallel::mine_into(&db, &payloads, &params, self.threads, sink);
+        let completeness = if self.threads > 1 {
+            let (arena, completeness) = fpm::parallel::mine_arena_bounded(
+                &db,
+                &payloads,
+                &params,
+                self.threads,
+                &self.budget,
+                self.cancel.as_ref(),
+            );
+            for entry in arena.iter() {
+                sink.emit(entry.items, entry.support, entry.payload);
+            }
+            completeness
         } else {
-            fpm::mine_into(self.algorithm, &db, &payloads, &params, sink);
-        }
+            fpm::mine_into_bounded(
+                self.algorithm,
+                &db,
+                &payloads,
+                &params,
+                &self.budget,
+                self.cancel.as_ref(),
+                sink,
+            )
+        };
         Ok(ExplorationStats {
             n_rows: n,
             min_support_count: params.min_support_count,
             dataset_counts,
+            completeness,
         })
     }
 
@@ -230,14 +300,21 @@ impl DivExplorer {
         params.max_len = self.max_len;
         let min_support_count = params.min_support_count;
         let mut store = ItemsetArena::new();
-        fpm::anchored::mine_containing_into(
-            self.algorithm,
-            &db,
-            &payloads,
-            &params,
-            anchor,
-            &mut store,
-        );
+        let completeness = {
+            let mut bounded = BudgetSink::new(&mut store, self.budget);
+            if let Some(token) = &self.cancel {
+                bounded = bounded.with_cancel(token.clone());
+            }
+            fpm::anchored::mine_containing_into(
+                self.algorithm,
+                &db,
+                &payloads,
+                &params,
+                anchor,
+                &mut bounded,
+            );
+            bounded.verdict()
+        };
         Ok(DivergenceReport::from_store(
             data.schema().clone(),
             metrics.to_vec(),
@@ -245,7 +322,8 @@ impl DivExplorer {
             min_support_count,
             dataset_counts,
             store,
-        ))
+        )
+        .with_completeness(completeness))
     }
 
     fn validate(
@@ -301,6 +379,10 @@ pub struct ExplorationStats {
     pub min_support_count: u64,
     /// Tallies of every metric over the whole dataset.
     pub dataset_counts: MultiCounts,
+    /// Whether the mining pass saw the whole frequent lattice; pass this
+    /// on via [`DivergenceReport::with_completeness`] when assembling a
+    /// report from the sink's contents.
+    pub completeness: Completeness,
 }
 
 /// Lines 1–2 of Algorithm 1: per-instance one-hot outcome tallies plus
@@ -571,5 +653,124 @@ mod tests {
         let u = [true, true, false, false];
         let c = dataset_outcome_counts(&v, &u, Metric::FalsePositiveRate);
         assert_eq!((c.t, c.f, c.bot), (1, 1, 2));
+    }
+
+    #[test]
+    fn unlimited_budget_reports_complete() {
+        let (data, v, u) = fixture();
+        let report = DivExplorer::new(0.1)
+            .explore(&data, &v, &u, &[Metric::ErrorRate])
+            .unwrap();
+        assert!(report.is_exploration_complete());
+        assert_eq!(*report.completeness(), Completeness::Complete);
+    }
+
+    #[test]
+    fn itemset_budget_truncates_and_patterns_match_full_run() {
+        let (data, v, u) = fixture();
+        let metrics = [Metric::FalsePositiveRate];
+        let full = DivExplorer::new(0.1)
+            .explore(&data, &v, &u, &metrics)
+            .unwrap();
+        assert!(full.len() > 3);
+        for threads in [1, 2] {
+            let capped = DivExplorer::new(0.1)
+                .with_threads(threads)
+                .with_budget(Budget::unlimited().with_max_itemsets(3))
+                .explore(&data, &v, &u, &metrics)
+                .unwrap();
+            assert_eq!(capped.len(), 3, "threads={threads}");
+            assert_eq!(
+                capped.completeness().truncation_reason(),
+                Some(fpm::TruncationReason::ItemsetLimit),
+                "threads={threads}"
+            );
+            // Every retained pattern carries its exact counts.
+            for p in capped.patterns() {
+                let idx = full.find(p.items).unwrap();
+                assert_eq!(full.support(idx), p.support, "threads={threads}");
+                assert_eq!(full.counts(idx), p.counts, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn pre_fired_cancel_token_yields_an_empty_truncated_report() {
+        let (data, v, u) = fixture();
+        let token = CancelToken::new();
+        token.cancel();
+        for threads in [1, 2] {
+            let report = DivExplorer::new(0.1)
+                .with_threads(threads)
+                .with_cancel_token(token.clone())
+                .explore(&data, &v, &u, &[Metric::ErrorRate])
+                .unwrap();
+            assert_eq!(
+                report.completeness().truncation_reason(),
+                Some(fpm::TruncationReason::Cancelled),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_budget_caps_pattern_length() {
+        let (data, v, u) = fixture();
+        let report = DivExplorer::new(0.1)
+            .with_budget(Budget::unlimited().with_max_depth(1))
+            .explore(&data, &v, &u, &[Metric::ErrorRate])
+            .unwrap();
+        assert!(report.patterns().all(|p| p.len() == 1));
+        assert_eq!(
+            report.completeness().truncation_reason(),
+            Some(fpm::TruncationReason::DepthLimit)
+        );
+    }
+
+    #[test]
+    fn explore_into_surfaces_completeness_in_stats() {
+        let (data, v, u) = fixture();
+        let metrics = [Metric::ErrorRate];
+        let mut store = ItemsetArena::new();
+        let stats = DivExplorer::new(0.1)
+            .with_budget(Budget::unlimited().with_max_itemsets(2))
+            .explore_into(&data, &v, &u, &metrics, &mut store)
+            .unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(
+            stats.completeness.truncation_reason(),
+            Some(fpm::TruncationReason::ItemsetLimit)
+        );
+    }
+
+    #[test]
+    fn anchored_exploration_respects_the_budget() {
+        let (data, v, u) = fixture();
+        let ga = data.schema().item_by_name("g", "a").unwrap();
+        let report = DivExplorer::new(0.1)
+            .with_budget(Budget::unlimited().with_max_itemsets(1))
+            .explore_containing(&data, &v, &u, &[Metric::ErrorRate], ga)
+            .unwrap();
+        assert_eq!(report.len(), 1);
+        assert_eq!(
+            report.completeness().truncation_reason(),
+            Some(fpm::TruncationReason::ItemsetLimit)
+        );
+    }
+
+    #[test]
+    fn truncated_report_is_refused_by_shapley() {
+        let (data, v, u) = fixture();
+        let report = DivExplorer::new(0.1)
+            .with_budget(Budget::unlimited().with_max_itemsets(2))
+            .explore(&data, &v, &u, &[Metric::ErrorRate])
+            .unwrap();
+        let ga = data.schema().item_by_name("g", "a").unwrap();
+        assert!(matches!(
+            crate::shapley::item_contributions(&report, &[ga], 0),
+            Err(crate::shapley::ShapleyError::TruncatedReport(
+                fpm::TruncationReason::ItemsetLimit
+            ))
+        ));
     }
 }

@@ -18,8 +18,44 @@ use rustc_hash::FxHashMap;
 use crate::item::{is_subset, ItemId};
 use crate::report::DivergenceReport;
 
+/// Checked form of [`global_item_divergence`]: refuses a report produced by
+/// a budget-truncated exploration.
+///
+/// Eq. 8 approximates `Δᵍ` by summing marginal contributions over the
+/// *complete* frequent lattice at support `s`; a truncated report is missing
+/// an unknown subset of frequent patterns, so the sum is silently biased
+/// rather than merely less precise. Use this entry point when the report may
+/// come from a bounded run (see [`fpm::Budget`]).
+pub fn global_item_divergence_checked(
+    report: &DivergenceReport,
+    m: usize,
+) -> Result<Vec<(ItemId, f64)>, fpm::TruncationReason> {
+    match report.completeness().truncation_reason() {
+        Some(reason) => Err(reason),
+        None => Ok(global_item_divergence(report, m)),
+    }
+}
+
+/// Checked form of [`global_itemset_divergence`]: refuses a report produced
+/// by a budget-truncated exploration (see [`global_item_divergence_checked`]
+/// for why truncation silently biases Eq. 8).
+pub fn global_itemset_divergence_checked(
+    report: &DivergenceReport,
+    items: &[ItemId],
+    m: usize,
+) -> Result<Option<f64>, fpm::TruncationReason> {
+    match report.completeness().truncation_reason() {
+        Some(reason) => Err(reason),
+        None => Ok(global_itemset_divergence(report, items, m)),
+    }
+}
+
 /// The approximate global divergence `Δ̃ᵍ({α}, s)` of every frequent single
 /// item, computed in one scan over the report.
+///
+/// Assumes `report` covers the complete frequent lattice at its support
+/// threshold; for reports that may be budget-truncated, prefer
+/// [`global_item_divergence_checked`].
 ///
 /// For each frequent pattern `K ∋ α` with `J = K ∖ {α}` (frequent by
 /// closure), the term weight is
@@ -404,6 +440,33 @@ mod tests {
                 "symmetry violated at {val}: {gx} vs {gy}"
             );
         }
+    }
+
+    #[test]
+    fn checked_forms_refuse_truncated_reports() {
+        let (data, v, u) = full_coverage_fixture();
+        let report = DivExplorer::new(0.0)
+            .explore(&data, &v, &u, &[Metric::FalsePositiveRate])
+            .unwrap();
+        assert!(global_item_divergence_checked(&report, 0).is_ok());
+
+        let truncated = report
+            .clone()
+            .with_completeness(fpm::Completeness::Truncated {
+                reason: fpm::TruncationReason::Timeout,
+                emitted: 3,
+                elapsed: std::time::Duration::from_millis(7),
+            });
+        assert_eq!(
+            global_item_divergence_checked(&truncated, 0),
+            Err(fpm::TruncationReason::Timeout)
+        );
+        let schema = truncated.schema();
+        let item = schema.item_by_name("x", "1").unwrap();
+        assert_eq!(
+            global_itemset_divergence_checked(&truncated, &[item], 0),
+            Err(fpm::TruncationReason::Timeout)
+        );
     }
 
     #[test]

@@ -116,6 +116,10 @@ impl<S: ItemsetSink<MultiCounts>> ItemsetSink<MultiCounts> for DivergenceFilterS
         // may pass, so never prune the search.
         self.inner.wants_extensions(items, support)
     }
+
+    fn should_stop(&mut self) -> bool {
+        self.inner.should_stop()
+    }
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! arena in without copying a single itemset, and lookups share the
 //! arena's lazily built itemset → id index.
 
-use fpm::ItemsetArena;
+use fpm::{Completeness, ItemsetArena};
 
 use crate::counts::{MultiCounts, OutcomeCounts};
 use crate::item::ItemId;
@@ -60,7 +60,11 @@ pub enum SortBy {
 ///
 /// By Theorem 5.1 the pattern set is *sound and complete*: it contains
 /// exactly the itemsets with support ≥ the threshold, each with its exact
-/// divergence.
+/// divergence — *provided* [`DivergenceReport::completeness`] is
+/// [`Completeness::Complete`]. A budget-truncated exploration produces a
+/// report over a subset of the frequent lattice (every stored pattern
+/// still carries its exact tallies); closure-dependent analyses (Shapley,
+/// global divergence) must refuse or warn on such a report.
 #[derive(Debug, Clone)]
 pub struct DivergenceReport {
     schema: Schema,
@@ -69,6 +73,7 @@ pub struct DivergenceReport {
     min_support_count: u64,
     dataset_counts: MultiCounts,
     store: ItemsetArena<MultiCounts>,
+    completeness: Completeness,
 }
 
 impl DivergenceReport {
@@ -95,7 +100,28 @@ impl DivergenceReport {
             min_support_count,
             dataset_counts,
             store,
+            completeness: Completeness::Complete,
         }
+    }
+
+    /// Tags the report with the exploration's [`Completeness`] verdict
+    /// (builder-style; [`DivergenceReport::from_store`] defaults to
+    /// [`Completeness::Complete`]).
+    pub fn with_completeness(mut self, completeness: Completeness) -> Self {
+        self.completeness = completeness;
+        self
+    }
+
+    /// Whether the exploration saw the whole frequent lattice. Truncated
+    /// reports hold exact tallies for a *subset* of the frequent
+    /// patterns; Theorem 5.1's completeness half does not apply to them.
+    pub fn completeness(&self) -> &Completeness {
+        &self.completeness
+    }
+
+    /// Shorthand: true iff the exploration was not truncated.
+    pub fn is_exploration_complete(&self) -> bool {
+        self.completeness.is_complete()
     }
 
     /// The schema of the analyzed dataset.
@@ -302,6 +328,8 @@ impl DivergenceReport {
             self.dataset_counts,
             store,
         )
+        // A subset of a truncated lattice is still truncated.
+        .with_completeness(self.completeness)
     }
 }
 

@@ -24,6 +24,11 @@ pub enum ShapleyError {
     UndefinedDivergence(Vec<ItemId>),
     /// The metric index is out of range.
     BadMetric(usize),
+    /// The report comes from a budget-truncated exploration: subset
+    /// closure does not hold, so attribution would silently mix missing
+    /// and present terms. Re-run the exploration without (or within) the
+    /// budget.
+    TruncatedReport(fpm::TruncationReason),
 }
 
 impl std::fmt::Display for ShapleyError {
@@ -42,7 +47,23 @@ impl std::fmt::Display for ShapleyError {
                 )
             }
             ShapleyError::BadMetric(m) => write!(f, "metric index {m} out of range"),
+            ShapleyError::TruncatedReport(reason) => {
+                write!(
+                    f,
+                    "report is from a truncated exploration ({reason}); \
+                     Shapley attribution needs the complete frequent lattice"
+                )
+            }
         }
+    }
+}
+
+/// Shapley attribution requires subset closure, which only a complete
+/// exploration guarantees.
+fn require_complete(report: &DivergenceReport) -> Result<(), ShapleyError> {
+    match report.completeness().truncation_reason() {
+        Some(reason) => Err(ShapleyError::TruncatedReport(reason)),
+        None => Ok(()),
     }
 }
 
@@ -62,6 +83,7 @@ pub fn item_contributions(
     if m >= report.metrics().len() {
         return Err(ShapleyError::BadMetric(m));
     }
+    require_complete(report)?;
     let k = items.len();
     if k == 0 {
         return Ok(Vec::new());
@@ -138,6 +160,7 @@ pub fn item_contributions_sampled(
     if m >= report.metrics().len() {
         return Err(ShapleyError::BadMetric(m));
     }
+    require_complete(report)?;
     let k = items.len();
     if k == 0 {
         return Ok(Vec::new());

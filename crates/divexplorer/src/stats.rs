@@ -190,6 +190,10 @@ impl<S: ItemsetSink<MultiCounts>> ItemsetSink<MultiCounts> for SignificanceSink<
     fn wants_extensions(&mut self, items: &[ItemId], support: u64) -> bool {
         self.inner.wants_extensions(items, support)
     }
+
+    fn should_stop(&mut self) -> bool {
+        self.inner.should_stop()
+    }
 }
 
 #[cfg(test)]

@@ -65,6 +65,10 @@ impl<P: Payload, S: ItemsetSink<P>> ItemsetSink<P> for AnchorSink<'_, S> {
         splice_anchor(&mut self.buf, items, self.anchor);
         self.inner.wants_extensions(&self.buf, support)
     }
+
+    fn should_stop(&mut self) -> bool {
+        self.inner.should_stop()
+    }
 }
 
 /// Streams all frequent itemsets of `db` that contain `anchor` into

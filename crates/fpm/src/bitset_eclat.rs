@@ -123,6 +123,11 @@ pub fn mine_into<P: Payload, S: ItemsetSink<P>>(
 
     let mut prefix: Vec<ItemId> = Vec::new();
     for i in 0..roots.len() {
+        // Checkpoint between root subtrees; within a subtree the sink's
+        // emit/wants_extensions hooks fire at every node.
+        if sink.should_stop() {
+            return;
+        }
         extend(&roots, i, payloads, threshold, max_len, &mut prefix, sink);
     }
 }
@@ -145,6 +150,12 @@ fn extend<P: Payload, S: ItemsetSink<P>>(
     let support = bs.count();
     sink.emit(prefix, support, &payload);
     if prefix.len() < max_len && sink.wants_extensions(prefix, support) {
+        // The sibling intersections below run before any child emission;
+        // checkpoint so an exhausted budget skips them.
+        if sink.should_stop() {
+            prefix.pop();
+            return;
+        }
         // Children: intersect with each right sibling, keep the frequent.
         let mut children: Vec<(ItemId, Bitset)> = Vec::new();
         for (sib_item, sib_bs) in &siblings[pos + 1..] {

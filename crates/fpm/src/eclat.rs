@@ -50,6 +50,11 @@ pub fn mine_into<P: Payload, S: ItemsetSink<P>>(
     let mut prefix: Vec<ItemId> = Vec::new();
     // Depth-first: extend each root with the roots to its right.
     for i in 0..roots.len() {
+        // Checkpoint between root subtrees; within a subtree the sink's
+        // emit/wants_extensions hooks fire at every node.
+        if sink.should_stop() {
+            return;
+        }
         let (item, ref tids) = roots[i];
         let payload = vertical::sum_payloads(tids, payloads);
         extend(
@@ -83,6 +88,13 @@ fn extend<P: Payload, S: ItemsetSink<P>>(
     sink.emit(prefix, support, &payload);
     if prefix.len() < max_len && sink.wants_extensions(prefix, support) {
         // Intersect with each sibling's tid-list; recurse on frequent ones.
+        // The intersections are the expensive step (long tid-lists at low
+        // thresholds) and happen before any child emission, so checkpoint
+        // here rather than relying on emit-side polling alone.
+        if sink.should_stop() {
+            prefix.pop();
+            return;
+        }
         let mut next: Vec<(ItemId, Vec<u32>, P)> = Vec::new();
         for (sib_item, sib_tids) in siblings {
             let (inter, pay) = vertical::intersect_with_payload(tids, sib_tids, payloads);

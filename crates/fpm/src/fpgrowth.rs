@@ -52,9 +52,16 @@ pub fn mine_into<P: Payload, S: ItemsetSink<P>>(
     let mut tree: FpTree<P> = FpTree::new();
     let mut buf: Vec<ItemId> = Vec::new();
     for (t, row) in db.iter().enumerate() {
+        // Budget/cancellation checkpoint: tree construction precedes any
+        // emission, so emit-side polling cannot fire during this scan.
+        if t & 0x3FF == 0 && sink.should_stop() {
+            return;
+        }
         buf.clear();
         buf.extend(row.iter().copied().filter(|&i| rank[i as usize].is_some()));
-        buf.sort_unstable_by_key(|&i| rank[i as usize].unwrap());
+        // The filter above keeps ranked items only, so every rank lookup
+        // is Some; u32::MAX is an unreachable fallback, not a panic site.
+        buf.sort_unstable_by_key(|&i| rank[i as usize].unwrap_or(u32::MAX));
         tree.insert(&buf, 1, &payloads[t]);
     }
 
@@ -105,6 +112,12 @@ fn grow<P: Payload, S: ItemsetSink<P>>(
         if count < threshold {
             continue;
         }
+        // Checkpoint before each conditional subtree: building a
+        // conditional tree is the expensive step and happens between
+        // emissions.
+        if sink.should_stop() {
+            return;
+        }
         scratch.clear();
         scratch.extend_from_slice(prefix);
         scratch.push(item);
@@ -139,6 +152,11 @@ fn emit_path_combinations<P: Payload, S: ItemsetSink<P>>(
     sink: &mut S,
 ) {
     if prefix.len() + selected.len() >= max_len || start == path.len() {
+        return;
+    }
+    // A chain of length L expands to 2^L − 1 subsets; checkpoint once per
+    // recursion level so an exhausted budget escapes the blow-up.
+    if sink.should_stop() {
         return;
     }
     for pos in start..path.len() {

@@ -130,7 +130,12 @@ impl<P: Payload> FpTree<P> {
             match children.len() {
                 0 => return Some(path),
                 1 => {
-                    let (_, &child) = children.iter().next().expect("len checked");
+                    let Some((_, &child)) = children.iter().next() else {
+                        // Unreachable (len == 1), but a broken invariant
+                        // here should degrade to "not a single path", not
+                        // panic mid-mine.
+                        return None;
+                    };
                     let node = &self.nodes[child as usize];
                     path.push((node.item, node.count, node.payload.clone()));
                     current = child;

@@ -77,6 +77,7 @@ pub mod anchored;
 pub mod apriori;
 pub mod arena;
 pub mod bitset_eclat;
+pub mod budget;
 pub mod closed;
 pub mod eclat;
 pub mod fpgrowth;
@@ -91,6 +92,7 @@ pub mod transaction;
 pub mod vertical;
 
 pub use arena::{ArenaEntry, ItemsetArena};
+pub use budget::{Budget, BudgetSink, CancelToken, Completeness, TruncationReason};
 pub use itemset::FrequentItemset;
 pub use payload::{CountPayload, Payload};
 pub use sink::{CountingSink, FilterSink, ItemsetSink, TopKBySupportSink, VecSink};
@@ -259,6 +261,37 @@ pub fn mine_into<P: Payload, S: ItemsetSink<P>>(
         Algorithm::EclatBitset => bitset_eclat::mine_into(db, payloads, params, sink),
         Algorithm::Naive => naive::mine_into(db, payloads, params, sink),
     }
+}
+
+/// Streams all frequent itemsets of `db` into `sink` under a [`Budget`]
+/// and an optional [`CancelToken`], returning the run's [`Completeness`]
+/// verdict.
+///
+/// This is [`mine_into`] with a [`BudgetSink`] wrapped around `sink`:
+/// exhausting any budget axis (or firing the token) stops the run at its
+/// next checkpoint and returns [`Completeness::Truncated`] — the sink
+/// keeps every itemset emitted before the cut, and each one carries its
+/// exact support and payload. Never panics on exhaustion.
+///
+/// # Panics
+///
+/// Panics if `payloads.len() != db.len()` (a caller bug, not a resource
+/// condition).
+pub fn mine_into_bounded<P: Payload, S: ItemsetSink<P>>(
+    algorithm: Algorithm,
+    db: &TransactionDb,
+    payloads: &[P],
+    params: &MiningParams,
+    budget: &Budget,
+    cancel: Option<&CancelToken>,
+    sink: &mut S,
+) -> Completeness {
+    let mut bounded = BudgetSink::new(&mut *sink, *budget);
+    if let Some(token) = cancel {
+        bounded = bounded.with_cancel(token.clone());
+    }
+    mine_into(algorithm, db, payloads, params, &mut bounded);
+    bounded.verdict()
 }
 
 /// Mines frequent itemsets with support counting only (payload `()`).

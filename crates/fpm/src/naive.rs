@@ -41,6 +41,10 @@ pub fn mine_into<P: Payload, S: ItemsetSink<P>>(
     let tidlists = vertical::tid_lists(db);
     let mut prefix: Vec<ItemId> = Vec::new();
     for item in 0..db.n_items() {
+        // Checkpoint between root subtrees (budget/cancellation hook).
+        if sink.should_stop() {
+            return;
+        }
         let tids = tidlists[item as usize].clone();
         extend(
             db,
@@ -76,6 +80,10 @@ fn extend<P: Payload, S: ItemsetSink<P>>(
     let payload = vertical::sum_payloads(&tids, payloads);
     sink.emit(prefix, support, &payload);
     if prefix.len() < max_len && sink.wants_extensions(prefix, support) {
+        if sink.should_stop() {
+            prefix.pop();
+            return;
+        }
         for next in (item + 1)..db.n_items() {
             let next_tids = vertical::intersect(&tids, &tidlists[next as usize]);
             extend(

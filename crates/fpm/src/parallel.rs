@@ -17,7 +17,12 @@
 //! Results are identical to [`crate::eclat`] up to output order (the public
 //! [`mine`] sorts canonically, and the differential tests enforce equality).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::time::Instant;
+
 use crate::arena::ItemsetArena;
+use crate::budget::{Budget, CancelToken, Completeness, TruncationReason};
 use crate::itemset::FrequentItemset;
 use crate::payload::Payload;
 use crate::sink::ItemsetSink;
@@ -62,19 +67,166 @@ pub fn mine_into<P: Payload + Send + Sync, S: ItemsetSink<P>>(
 /// Parallel mining into a canonically sorted arena — the shared engine
 /// behind [`mine`] and [`mine_into`]. Exposed so callers that keep the
 /// arena form (e.g. the explorer's report) skip the replay entirely.
+///
+/// # Panics
+///
+/// Panics if `n_threads == 0`, `payloads.len() != db.len()`, or a worker
+/// subtree panics (use [`mine_arena_bounded`] for contained degradation).
 pub fn mine_arena<P: Payload + Send + Sync>(
     db: &TransactionDb,
     payloads: &[P],
     params: &MiningParams,
     n_threads: usize,
 ) -> ItemsetArena<P> {
+    let (arena, completeness) =
+        mine_arena_bounded(db, payloads, params, n_threads, &Budget::unlimited(), None);
+    if completeness.truncation_reason() == Some(TruncationReason::WorkerPanic) {
+        panic!("worker panicked");
+    }
+    arena
+}
+
+/// Atomic encoding of `Option<TruncationReason>` (0 = none); first trip
+/// wins so the verdict names the limit that actually stopped the run.
+fn encode(reason: TruncationReason) -> u8 {
+    match reason {
+        TruncationReason::Timeout => 1,
+        TruncationReason::ItemsetLimit => 2,
+        TruncationReason::MemoryLimit => 3,
+        TruncationReason::DepthLimit => 4,
+        TruncationReason::Cancelled => 5,
+        TruncationReason::WorkerPanic => 6,
+    }
+}
+
+fn decode(code: u8) -> Option<TruncationReason> {
+    Some(match code {
+        1 => TruncationReason::Timeout,
+        2 => TruncationReason::ItemsetLimit,
+        3 => TruncationReason::MemoryLimit,
+        4 => TruncationReason::DepthLimit,
+        5 => TruncationReason::Cancelled,
+        6 => TruncationReason::WorkerPanic,
+        _ => return None,
+    })
+}
+
+/// Budget state shared by all workers. Kept separate from the sink
+/// machinery: here enforcement is global (the caps bound the *merged*
+/// result, not each worker's shard).
+struct SharedLimits<'a> {
+    stop: AtomicBool,
+    reason: AtomicU8,
+    emitted: AtomicU64,
+    bytes: AtomicU64,
+    panicked: AtomicUsize,
+    depth_pruned: AtomicBool,
+    deadline: Option<Instant>,
+    cancel: Option<&'a CancelToken>,
+    max_itemsets: Option<u64>,
+    max_bytes: Option<u64>,
+}
+
+impl SharedLimits<'_> {
+    fn trip(&self, reason: TruncationReason) {
+        let _ =
+            self.reason
+                .compare_exchange(0, encode(reason), Ordering::Relaxed, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Re-checks the cancel token and deadline; true iff the run is over.
+    fn poll(&self) -> bool {
+        if self.stopped() {
+            return true;
+        }
+        if self.cancel.is_some_and(CancelToken::is_cancelled) {
+            self.trip(TruncationReason::Cancelled);
+            return true;
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.trip(TruncationReason::Timeout);
+            return true;
+        }
+        false
+    }
+
+    /// Claims one emission slot of `n_items` items; `false` means a cap
+    /// is exhausted and the itemset must not be stored. With no caps set
+    /// this takes no atomic at all (the unbounded fast path).
+    fn admit(&self, n_items: usize) -> bool {
+        if let Some(max) = self.max_itemsets {
+            if self.emitted.fetch_add(1, Ordering::Relaxed) >= max {
+                self.trip(TruncationReason::ItemsetLimit);
+                return false;
+            }
+        }
+        if let Some(max) = self.max_bytes {
+            let cost = (n_items * std::mem::size_of::<ItemId>() + 24) as u64;
+            if self.bytes.fetch_add(cost, Ordering::Relaxed) + cost > max {
+                self.trip(TruncationReason::MemoryLimit);
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Parallel mining under a [`Budget`] and optional [`CancelToken`],
+/// returning the merged (canonically sorted) partial result and its
+/// [`Completeness`] verdict.
+///
+/// Enforcement is global across workers: the itemset/byte caps bound the
+/// merged result, every worker honors the deadline and the token at
+/// per-node checkpoints, and each root subtree runs under
+/// `catch_unwind`, so one poisoned shard degrades the run (verdict
+/// [`TruncationReason::WorkerPanic`], that subtree's itemsets missing)
+/// instead of aborting it. Never panics on exhaustion; the returned
+/// arena always holds every itemset admitted before the cut.
+///
+/// Note that [`crate::ItemsetSink::wants_extensions`]-style sink pruning
+/// still does not apply here (see the module docs) — budgets are the
+/// supported way to bound this engine.
+///
+/// # Panics
+///
+/// Panics if `n_threads == 0` or `payloads.len() != db.len()` (caller
+/// bugs, not resource conditions).
+pub fn mine_arena_bounded<P: Payload + Send + Sync>(
+    db: &TransactionDb,
+    payloads: &[P],
+    params: &MiningParams,
+    n_threads: usize,
+    budget: &Budget,
+    cancel: Option<&CancelToken>,
+) -> (ItemsetArena<P>, Completeness) {
     assert!(n_threads > 0, "need at least one thread");
     assert_eq!(payloads.len(), db.len(), "payload length mismatch");
+    let start = Instant::now();
     let threshold = params.threshold();
     let max_len = params.max_len.unwrap_or(usize::MAX);
-    if max_len == 0 || db.is_empty() {
-        return ItemsetArena::new();
+    let depth_cap = budget.max_depth.unwrap_or(usize::MAX);
+    if max_len == 0 || depth_cap == 0 || db.is_empty() {
+        return (ItemsetArena::new(), Completeness::Complete);
     }
+
+    let shared = SharedLimits {
+        stop: AtomicBool::new(false),
+        reason: AtomicU8::new(0),
+        emitted: AtomicU64::new(0),
+        bytes: AtomicU64::new(0),
+        panicked: AtomicUsize::new(0),
+        depth_pruned: AtomicBool::new(false),
+        deadline: budget.timeout.map(|t| start + t),
+        cancel,
+        max_itemsets: budget.max_itemsets,
+        max_bytes: budget.max_bytes,
+    };
+    let shared = &shared;
 
     // Shared vertical representation.
     let roots: Vec<(ItemId, Vec<u32>)> = vertical::tid_lists(db)
@@ -91,18 +243,34 @@ pub fn mine_arena<P: Payload + Send + Sync>(
             handles.push(scope.spawn(move || {
                 let mut local = ItemsetArena::new();
                 let mut prefix: Vec<ItemId> = Vec::new();
+                let mut ticks = 0u32;
                 // Round-robin partition of the root items.
                 let mut pos = worker;
                 while pos < roots.len() {
-                    subtree(
-                        roots,
-                        pos,
-                        payloads,
-                        threshold,
-                        max_len,
-                        &mut prefix,
-                        &mut local,
-                    );
+                    if shared.poll() {
+                        break;
+                    }
+                    // Contain a poisoned subtree: record the panic, drop
+                    // whatever state it left in `prefix`, keep mining the
+                    // worker's remaining roots.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        subtree(
+                            roots,
+                            pos,
+                            payloads,
+                            threshold,
+                            max_len,
+                            depth_cap,
+                            shared,
+                            &mut ticks,
+                            &mut prefix,
+                            &mut local,
+                        )
+                    }));
+                    if outcome.is_err() {
+                        shared.panicked.fetch_add(1, Ordering::Relaxed);
+                        prefix.clear();
+                    }
                     pos += n_threads;
                 }
                 local
@@ -110,40 +278,91 @@ pub fn mine_arena<P: Payload + Send + Sync>(
         }
         let mut merged = ItemsetArena::new();
         for handle in handles {
-            merged.absorb(handle.join().expect("worker panicked"));
+            // A panic escaping the catch_unwind (e.g. in the loop glue)
+            // loses that worker's shard but still degrades gracefully.
+            match handle.join() {
+                Ok(local) => merged.absorb(local),
+                Err(_) => {
+                    shared.panicked.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
         merged
     });
     merged.sort_canonical();
-    merged
+
+    let reason = decode(shared.reason.load(Ordering::Relaxed))
+        .or_else(|| {
+            (shared.panicked.load(Ordering::Relaxed) > 0).then_some(TruncationReason::WorkerPanic)
+        })
+        .or_else(|| {
+            shared
+                .depth_pruned
+                .load(Ordering::Relaxed)
+                .then_some(TruncationReason::DepthLimit)
+        });
+    let completeness = match reason {
+        None => Completeness::Complete,
+        Some(reason) => Completeness::Truncated {
+            reason,
+            emitted: merged.len() as u64,
+            elapsed: start.elapsed(),
+        },
+    };
+    (merged, completeness)
 }
 
-/// Sequential Eclat over the subtree rooted at `siblings[pos]`.
+/// Sequential Eclat over the subtree rooted at `siblings[pos]`, honoring
+/// the shared limits at every node.
+#[allow(clippy::too_many_arguments)]
 fn subtree<P: Payload>(
     siblings: &[(ItemId, Vec<u32>)],
     pos: usize,
     payloads: &[P],
     threshold: u64,
     max_len: usize,
+    depth_cap: usize,
+    shared: &SharedLimits<'_>,
+    ticks: &mut u32,
     prefix: &mut Vec<ItemId>,
     out: &mut ItemsetArena<P>,
 ) {
+    if shared.stopped() {
+        return;
+    }
+    // Time-based limits are re-polled every 64 nodes; the stop flag
+    // (itemset/byte caps tripped by any worker) is checked every node.
+    *ticks = ticks.wrapping_add(1);
+    if *ticks & 63 == 0 && shared.poll() {
+        return;
+    }
     let (item, ref tids) = siblings[pos];
     prefix.push(item);
     let payload = vertical::sum_payloads(tids, payloads);
+    if !shared.admit(prefix.len()) {
+        prefix.pop();
+        return;
+    }
     out.push(prefix, tids.len() as u64, payload);
     if prefix.len() < max_len {
-        let mut children: Vec<(ItemId, Vec<u32>)> = Vec::new();
-        for (sib_item, sib_tids) in &siblings[pos + 1..] {
-            let inter = vertical::intersect(tids, sib_tids);
-            if inter.len() as u64 >= threshold {
-                children.push((*sib_item, inter));
+        if prefix.len() >= depth_cap {
+            // The budget's depth cap (not the caller's max_len) gated
+            // this subtree: the result may be missing deeper itemsets.
+            shared.depth_pruned.store(true, Ordering::Relaxed);
+        } else {
+            let mut children: Vec<(ItemId, Vec<u32>)> = Vec::new();
+            for (sib_item, sib_tids) in &siblings[pos + 1..] {
+                let inter = vertical::intersect(tids, sib_tids);
+                if inter.len() as u64 >= threshold {
+                    children.push((*sib_item, inter));
+                }
             }
-        }
-        for child_pos in 0..children.len() {
-            subtree(
-                &children, child_pos, payloads, threshold, max_len, prefix, out,
-            );
+            for child_pos in 0..children.len() {
+                subtree(
+                    &children, child_pos, payloads, threshold, max_len, depth_cap, shared, ticks,
+                    prefix, out,
+                );
+            }
         }
     }
     prefix.pop();
@@ -224,5 +443,120 @@ mod tests {
             &MiningParams::with_min_support_count(1),
             0,
         );
+    }
+
+    #[test]
+    fn unlimited_bounded_run_is_complete_and_identical() {
+        let db = db();
+        let payloads: Vec<CountPayload> = (0..db.len()).map(|t| CountPayload(t as u64)).collect();
+        let params = MiningParams::with_min_support_count(2);
+        let plain = mine(&db, &payloads, &params, 4);
+        let (arena, completeness) =
+            mine_arena_bounded(&db, &payloads, &params, 4, &Budget::unlimited(), None);
+        assert_eq!(completeness, Completeness::Complete);
+        assert_eq!(arena.into_itemsets(), plain);
+    }
+
+    #[test]
+    fn itemset_cap_yields_a_subset_with_exact_supports() {
+        let db = db();
+        let payloads: Vec<CountPayload> = (0..db.len()).map(|t| CountPayload(t as u64)).collect();
+        let params = MiningParams::with_min_support_count(1);
+        let full = mine(&db, &payloads, &params, 4);
+        assert!(full.len() > 5);
+        let budget = Budget::unlimited().with_max_itemsets(5);
+        let (arena, completeness) = mine_arena_bounded(&db, &payloads, &params, 3, &budget, None);
+        assert_eq!(
+            completeness.truncation_reason(),
+            Some(TruncationReason::ItemsetLimit)
+        );
+        let partial = arena.into_itemsets();
+        assert_eq!(partial.len(), 5);
+        for fi in &partial {
+            let reference = full
+                .iter()
+                .find(|r| r.items == fi.items)
+                .expect("partial result must be a subset of the full run");
+            assert_eq!(
+                (fi.support, fi.payload),
+                (reference.support, reference.payload)
+            );
+        }
+    }
+
+    #[test]
+    fn fired_token_stops_all_workers() {
+        let db = db();
+        let params = MiningParams::with_min_support_count(1);
+        let token = CancelToken::new();
+        token.cancel();
+        let (arena, completeness) = mine_arena_bounded(
+            &db,
+            &vec![(); db.len()],
+            &params,
+            4,
+            &Budget::unlimited(),
+            Some(&token),
+        );
+        assert_eq!(
+            completeness.truncation_reason(),
+            Some(TruncationReason::Cancelled)
+        );
+        assert!(arena.len() < mine(&db, &vec![(); db.len()], &params, 4).len());
+    }
+
+    #[test]
+    fn depth_cap_bounds_lengths_and_reports() {
+        let db = db();
+        let params = MiningParams::with_min_support_count(1);
+        let budget = Budget::unlimited().with_max_depth(1);
+        let (arena, completeness) =
+            mine_arena_bounded(&db, &vec![(); db.len()], &params, 4, &budget, None);
+        assert_eq!(
+            completeness.truncation_reason(),
+            Some(TruncationReason::DepthLimit)
+        );
+        assert!(arena.iter().all(|e| e.items.len() <= 1));
+    }
+
+    /// A payload whose merge panics on a poisoned transaction, simulating
+    /// a corrupted shard.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Poison(bool);
+    impl Payload for Poison {
+        fn zero() -> Self {
+            Poison(false)
+        }
+        fn merge(&mut self, other: &Self) {
+            assert!(!other.0, "poisoned payload");
+        }
+    }
+
+    #[test]
+    fn poisoned_shard_degrades_instead_of_aborting() {
+        let db = db();
+        // Poison one transaction: every subtree whose tid-list covers it
+        // panics in sum_payloads; the rest of the lattice must survive.
+        let payloads: Vec<Poison> = (0..db.len()).map(|t| Poison(t == 0)).collect();
+        let params = MiningParams::with_min_support_count(1);
+        let (arena, completeness) =
+            mine_arena_bounded(&db, &payloads, &params, 4, &Budget::unlimited(), None);
+        assert_eq!(
+            completeness.truncation_reason(),
+            Some(TruncationReason::WorkerPanic)
+        );
+        // Transaction 0 is {0, 5, 6}; subtrees rooted at items untouched
+        // by it still produce results.
+        assert!(!arena.is_empty());
+    }
+
+    #[test]
+    fn unbounded_wrapper_still_panics_on_worker_panic() {
+        let db = db();
+        let payloads: Vec<Poison> = (0..db.len()).map(|t| Poison(t == 0)).collect();
+        let outcome = std::panic::catch_unwind(|| {
+            mine_arena(&db, &payloads, &MiningParams::with_min_support_count(1), 2)
+        });
+        assert!(outcome.is_err());
     }
 }

@@ -44,6 +44,18 @@ pub trait ItemsetSink<P: Payload> {
     fn wants_extensions(&mut self, _items: &[ItemId], _support: u64) -> bool {
         true
     }
+
+    /// Cooperative-cancellation checkpoint: `true` tells the miner to
+    /// abandon the run as soon as its traversal allows, keeping whatever
+    /// has already been emitted. Miners poll this at periodic
+    /// checkpoints (per level, per subtree, every N transactions of a
+    /// counting pass) — the hook that makes wall-clock budgets and
+    /// [`crate::budget::CancelToken`] effective even where
+    /// `wants_extensions` is only advisory. Defaults to `false` (never
+    /// stop); implementations must be cheap, as hot loops call this.
+    fn should_stop(&mut self) -> bool {
+        false
+    }
 }
 
 /// Sinks compose by mutable reference.
@@ -54,6 +66,10 @@ impl<P: Payload, S: ItemsetSink<P> + ?Sized> ItemsetSink<P> for &mut S {
 
     fn wants_extensions(&mut self, items: &[ItemId], support: u64) -> bool {
         (**self).wants_extensions(items, support)
+    }
+
+    fn should_stop(&mut self) -> bool {
+        (**self).should_stop()
     }
 }
 
@@ -138,6 +154,10 @@ where
 
     fn wants_extensions(&mut self, items: &[ItemId], support: u64) -> bool {
         self.inner.wants_extensions(items, support)
+    }
+
+    fn should_stop(&mut self) -> bool {
+        self.inner.should_stop()
     }
 }
 

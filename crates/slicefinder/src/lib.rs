@@ -38,6 +38,13 @@ pub struct SliceFinderParams {
     /// Critical value of the Welch t-statistic for significance
     /// (≈1.96 for α = 0.05).
     pub t_critical: f64,
+    /// Wall-clock budget for the whole search. When it expires the search
+    /// returns the slices found so far with [`SearchStats::truncated`] set;
+    /// it never panics or discards partial results.
+    pub timeout: Option<std::time::Duration>,
+    /// Cap on the number of slice evaluations (the dominant cost). Like
+    /// `timeout`, exceeding it truncates the search gracefully.
+    pub max_evaluations: Option<usize>,
 }
 
 impl Default for SliceFinderParams {
@@ -48,6 +55,8 @@ impl Default for SliceFinderParams {
             degree: 3,
             min_size: 100,
             t_critical: 1.96,
+            timeout: None,
+            max_evaluations: None,
         }
     }
 }
@@ -78,6 +87,11 @@ pub struct SearchStats {
     pub expanded: usize,
     /// Lattice levels visited.
     pub levels: usize,
+    /// Whether the search was cut short by `timeout` or `max_evaluations`.
+    /// A truncated run may miss problematic slices it would otherwise
+    /// find; the §6.5 comparison should flag (or re-run) such results
+    /// rather than treating them as the pruned-but-terminated baseline.
+    pub truncated: bool,
 }
 
 /// The outcome of a Slice Finder run.
@@ -104,6 +118,9 @@ pub fn find_slices(
     assert_eq!(losses.len(), data.n_rows(), "loss vector length mismatch");
     assert!(data.n_rows() > 0, "empty dataset");
 
+    let deadline = params.timeout.map(|t| std::time::Instant::now() + t);
+    let past_deadline = || deadline.is_some_and(|d| std::time::Instant::now() >= d);
+
     let total: Welford = losses.iter().copied().collect();
 
     // tid-lists per item.
@@ -126,7 +143,7 @@ pub fn find_slices(
         .collect();
     frontier.sort_by_key(|(_, tids)| std::cmp::Reverse(tids.len()));
 
-    for level in 1..=params.degree {
+    'search: for level in 1..=params.degree {
         if frontier.is_empty() || results.len() >= params.k {
             break;
         }
@@ -135,6 +152,14 @@ pub fn find_slices(
         for (items, tids) in frontier {
             if results.len() >= params.k {
                 break;
+            }
+            if params
+                .max_evaluations
+                .is_some_and(|cap| stats.evaluated >= cap)
+                || past_deadline()
+            {
+                stats.truncated = true;
+                break 'search;
             }
             stats.evaluated += 1;
             let slice = evaluate(&items, &tids, losses, &total);
@@ -150,6 +175,12 @@ pub fn find_slices(
         let mut next: Vec<(Vec<ItemId>, Vec<u32>)> = Vec::new();
         let mut seen: std::collections::HashSet<Vec<ItemId>> = std::collections::HashSet::new();
         for (items, tids) in &to_expand {
+            // Expansion is the other hot loop (one tid-list intersection
+            // per candidate child): honor the deadline between parents.
+            if past_deadline() {
+                stats.truncated = true;
+                break 'search;
+            }
             stats.expanded += 1;
             let slice_attrs = data.schema().itemset_attributes(items);
             for item in 0..n_items as u32 {
@@ -405,6 +436,74 @@ mod tests {
         // tolerance, since the two computations accumulate sums in
         // different orders.
         assert!((top.effect_size - d).abs() < 1e-6 * d.abs());
+    }
+
+    #[test]
+    fn evaluation_cap_truncates_with_partial_results() {
+        let (data, losses) = fixture();
+        let full = find_slices(
+            &data,
+            &losses,
+            &SliceFinderParams {
+                min_size: 50,
+                effect_size_threshold: f64::INFINITY,
+                ..Default::default()
+            },
+        );
+        assert!(!full.stats.truncated);
+        assert!(full.stats.evaluated > 3);
+
+        let capped = find_slices(
+            &data,
+            &losses,
+            &SliceFinderParams {
+                min_size: 50,
+                effect_size_threshold: f64::INFINITY,
+                max_evaluations: Some(3),
+                ..Default::default()
+            },
+        );
+        assert!(capped.stats.truncated);
+        assert_eq!(capped.stats.evaluated, 3);
+    }
+
+    #[test]
+    fn expired_timeout_truncates_immediately() {
+        let (data, losses) = fixture();
+        let params = SliceFinderParams {
+            min_size: 50,
+            timeout: Some(std::time::Duration::ZERO),
+            ..Default::default()
+        };
+        let result = find_slices(&data, &losses, &params);
+        assert!(result.stats.truncated);
+        assert_eq!(result.stats.evaluated, 0);
+        assert!(result.slices.is_empty());
+    }
+
+    #[test]
+    fn generous_budget_changes_nothing() {
+        let (data, losses) = fixture();
+        let base = find_slices(
+            &data,
+            &losses,
+            &SliceFinderParams {
+                min_size: 50,
+                ..Default::default()
+            },
+        );
+        let budgeted = find_slices(
+            &data,
+            &losses,
+            &SliceFinderParams {
+                min_size: 50,
+                timeout: Some(std::time::Duration::from_secs(3600)),
+                max_evaluations: Some(1_000_000),
+                ..Default::default()
+            },
+        );
+        assert_eq!(base.slices, budgeted.slices);
+        assert_eq!(base.stats, budgeted.stats);
     }
 
     #[test]
