@@ -6,7 +6,7 @@
 //! worst-case estimation error, justifying the exact default at the paper's
 //! typical pattern lengths (≤ 6) and the sampled fallback beyond.
 
-use bench::{banner, fmt_f, timed, TextTable};
+use bench::{banner, fmt_f, telemetry, timed, TextTable};
 use datasets::DatasetId;
 use divexplorer::{
     shapley::{item_contributions, item_contributions_sampled},
@@ -19,6 +19,9 @@ fn main() {
         "Exact vs sampled Shapley attribution (adult FPR, s=0.05)",
     );
     let gd = DatasetId::Adult.generate_sized(20_000, 42);
+    // The session spans mining plus every attribution below, so the
+    // report compares shapley.subset_evals against shapley.permutations.
+    let session = telemetry::Session::start();
     let report = DivExplorer::new(0.05)
         .explore(&gd.data, &gd.v, &gd.u, &[Metric::FalsePositiveRate])
         .expect("explore");
@@ -72,4 +75,14 @@ fn main() {
         "\nReading: exact cost grows as 2^len; the sampled estimator's cost is flat in\n\
          len with bounded error — the fallback for long patterns."
     );
+
+    let (snapshot, total) = session.finish();
+    let mut run = obs::RunReport::new("ablation_shapley", "adult", "fp-growth")
+        .with_snapshot(&snapshot, "fpm.itemset_support");
+    run.n_rows = 20_000;
+    run.min_support = 0.05;
+    run.patterns = report.len() as u64;
+    run.total_us = total.as_micros() as u64;
+    telemetry::apply_verdict(&mut run, report.completeness());
+    telemetry::write(&run);
 }

@@ -1,7 +1,7 @@
 //! Figure 2: Shapley contributions of individual items to the divergence of
 //! the COMPAS patterns with greatest FPR and FNR divergence.
 
-use bench::{banner, bar, fmt_f, TextTable};
+use bench::{banner, bar, fmt_f, telemetry, TextTable};
 use datasets::compas;
 use divexplorer::{shapley::item_contributions, DivExplorer, Metric, SortBy};
 
@@ -12,6 +12,9 @@ fn main() {
     );
     let d = compas::generate(6172, 42).into_dataset();
     let metrics = [Metric::FalsePositiveRate, Metric::FalseNegativeRate];
+    // The session covers exploration AND the Shapley attributions, so
+    // the report carries both mining counters and shapley.subset_evals.
+    let session = telemetry::Session::start();
     let report = DivExplorer::new(0.1)
         .explore(&d.data, &d.v, &d.u, &metrics)
         .expect("explore");
@@ -44,4 +47,14 @@ fn main() {
         println!("Σ contributions = {} (= Δ, efficiency)\n", fmt_f(total, 3));
         assert!((total - delta).abs() < 1e-9, "Shapley efficiency violated");
     }
+
+    let (snapshot, total) = session.finish();
+    let mut run = obs::RunReport::new("figure2", "compas", "fp-growth")
+        .with_snapshot(&snapshot, "fpm.itemset_support");
+    run.n_rows = 6172;
+    run.min_support = 0.1;
+    run.patterns = report.len() as u64;
+    run.total_us = total.as_micros() as u64;
+    telemetry::apply_verdict(&mut run, report.completeness());
+    telemetry::write(&run);
 }

@@ -6,7 +6,7 @@
 //! "problematic"); raising the effect-size threshold to 1.65 lets it reach
 //! the true length-3 sources. Timings for both tools are reported.
 
-use bench::{banner, fmt_f, timed, TextTable};
+use bench::{banner, fmt_f, telemetry, timed, TextTable};
 use datasets::artificial;
 use divexplorer::{DivExplorer, Metric, SortBy};
 use models::log_loss;
@@ -18,6 +18,9 @@ fn main() {
         "DivExplorer vs Slice Finder on the artificial dataset",
     );
     let d = artificial::generate(50_000, 42);
+    // One session over both tools: the report carries the miner's
+    // counters next to slicefinder.evaluated / slicefinder.expanded.
+    let session = telemetry::Session::start();
 
     // --- DivExplorer, s = 0.01. ---
     let (report, t_div) = timed(|| {
@@ -122,4 +125,14 @@ fn main() {
          absolute ratios here depend on this machine and implementation, the completeness\n\
          contrast is the reproduced result."
     );
+
+    let (snapshot, total) = session.finish();
+    let mut run = obs::RunReport::new("slicefinder", "artificial", "fp-growth")
+        .with_snapshot(&snapshot, "fpm.itemset_support");
+    run.n_rows = 50_000;
+    run.min_support = 0.01;
+    run.patterns = report.len() as u64;
+    run.total_us = total.as_micros() as u64;
+    telemetry::apply_verdict(&mut run, report.completeness());
+    telemetry::write(&run);
 }

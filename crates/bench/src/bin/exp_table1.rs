@@ -1,7 +1,7 @@
 //! Table 1: example patterns in the COMPAS dataset along with their FPR or
 //! FNR, against the overall rates.
 
-use bench::{banner, fmt_f, TextTable};
+use bench::{banner, fmt_f, telemetry, TextTable};
 use datasets::compas;
 use divexplorer::{explorer::dataset_outcome_counts, DivExplorer, Metric};
 
@@ -13,6 +13,7 @@ fn main() {
     let fnr = dataset_outcome_counts(&d.v, &d.u, Metric::FalseNegativeRate).rate();
     println!("overall FPR = {fpr:.3}   overall FNR = {fnr:.3}   (paper: 0.088 / 0.698)\n");
 
+    let session = telemetry::Session::start();
     let report = DivExplorer::new(0.01)
         .explore(
             &d.data,
@@ -21,6 +22,7 @@ fn main() {
             &[Metric::FalsePositiveRate, Metric::FalseNegativeRate],
         )
         .expect("explore");
+    let (snapshot, total) = session.finish();
     let schema = report.schema().clone();
     let item = |attr: &str, value: &str| {
         schema
@@ -88,4 +90,13 @@ fn main() {
         "\nShape check (paper): the 4-item pattern has the highest FPR; adding #prior=0 \
          instead of #prior>3 drops the Afr-Am/Male FPR below the pair's rate."
     );
+
+    let mut run = obs::RunReport::new("table1", "compas", "fp-growth")
+        .with_snapshot(&snapshot, "fpm.itemset_support");
+    run.n_rows = 6172;
+    run.min_support = 0.01;
+    run.patterns = report.len() as u64;
+    run.total_us = total.as_micros() as u64;
+    telemetry::apply_verdict(&mut run, report.completeness());
+    telemetry::write(&run);
 }

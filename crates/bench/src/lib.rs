@@ -109,6 +109,89 @@ pub fn banner(id: &str, description: &str) {
     println!("\n=== {id}: {description} ===\n");
 }
 
+/// Telemetry plumbing shared by the experiment binaries: record a run
+/// on the global [`obs`] facade, flatten the miner's verdict, and write
+/// the `BENCH_<experiment>.json` run report.
+pub mod telemetry {
+    use fpm::{Completeness, TruncationReason};
+    use obs::{RunReport, StatsRecorder, StatsSnapshot};
+    use std::path::PathBuf;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    /// Where run reports land: `$BENCH_REPORT_DIR`, or
+    /// `target/bench-reports` relative to the working directory.
+    pub fn report_dir() -> PathBuf {
+        std::env::var_os("BENCH_REPORT_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target/bench-reports"))
+    }
+
+    /// An installed [`StatsRecorder`] plus the wall clock since
+    /// [`Session::start`]. Finish it before writing a report.
+    pub struct Session {
+        recorder: Arc<StatsRecorder>,
+        start: Instant,
+    }
+
+    impl Session {
+        /// Installs a fresh aggregating recorder on the global facade.
+        pub fn start() -> Session {
+            let recorder = Arc::new(StatsRecorder::new());
+            obs::install(recorder.clone());
+            Session {
+                recorder,
+                start: Instant::now(),
+            }
+        }
+
+        /// Uninstalls the recorder and returns what it aggregated
+        /// together with the session's wall clock.
+        pub fn finish(self) -> (StatsSnapshot, Duration) {
+            obs::uninstall();
+            (self.recorder.snapshot(), self.start.elapsed())
+        }
+    }
+
+    /// The stable slug a truncation reason gets in `RunReport::verdict`.
+    pub fn verdict_slug(reason: TruncationReason) -> &'static str {
+        match reason {
+            TruncationReason::Timeout => "timeout",
+            TruncationReason::ItemsetLimit => "itemset-limit",
+            TruncationReason::MemoryLimit => "memory-limit",
+            TruncationReason::DepthLimit => "depth-limit",
+            TruncationReason::Cancelled => "cancelled",
+            TruncationReason::WorkerPanic => "worker-panic",
+        }
+    }
+
+    /// Flattens a miner verdict into the report's verdict fields.
+    pub fn apply_verdict(report: &mut RunReport, completeness: &Completeness) {
+        match *completeness {
+            Completeness::Complete => report.verdict = "complete".to_string(),
+            Completeness::Truncated {
+                reason,
+                emitted,
+                elapsed,
+            } => {
+                report.verdict = verdict_slug(reason).to_string();
+                report.truncated_emitted = Some(emitted);
+                report.truncated_elapsed_us = Some(elapsed.as_micros() as u64);
+            }
+        }
+    }
+
+    /// Writes the report to [`report_dir`] and prints where it went.
+    /// A write failure is reported, not fatal — the experiment's stdout
+    /// output is still the primary artifact.
+    pub fn write(report: &RunReport) {
+        match report.write_to_dir(&report_dir()) {
+            Ok(path) => println!("run report: {}", path.display()),
+            Err(e) => println!("run report: write failed: {e}"),
+        }
+    }
+}
+
 /// Renders a magnitude as a unicode bar (for the figure-style outputs).
 pub fn bar(value: f64, max: f64, width: usize) -> String {
     if max <= 0.0 || value.is_nan() {

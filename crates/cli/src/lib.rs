@@ -68,6 +68,11 @@ pub struct Args {
     pub max_itemsets: Option<u64>,
     /// Cap on the itemset length explored.
     pub max_depth: Option<usize>,
+    /// Stream telemetry events (spans, counters, histograms) as NDJSON
+    /// to this path.
+    pub trace_json: Option<String>,
+    /// Print an aggregated telemetry summary to stderr after the run.
+    pub stats: bool,
 }
 
 /// The supported subcommands.
@@ -170,6 +175,9 @@ OPTIONS:
                      partial results found so far are printed (exit code 4)
   --max-itemsets N   stop after mining N itemsets (exit code 4 when hit)
   --max-depth D      do not explore itemsets longer than D (exit code 4)
+  --trace-json FILE  stream telemetry (spans, counters, histograms) to FILE
+                     as newline-delimited JSON
+  --stats            print an aggregated telemetry summary to stderr
 
 EXIT CODES:
   0 success    2 usage error    3 bad input    4 truncated by budget
@@ -207,6 +215,8 @@ impl Args {
             timeout_ms: None,
             max_itemsets: None,
             max_depth: None,
+            trace_json: None,
+            stats: false,
         };
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<String, CliError> {
@@ -237,6 +247,8 @@ impl Args {
                 "--max-depth" => {
                     args.max_depth = Some(parse_num(&value("--max-depth")?, "--max-depth")?)
                 }
+                "--trace-json" => args.trace_json = Some(value("--trace-json")?),
+                "--stats" => args.stats = true,
                 other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
             }
         }
@@ -363,6 +375,57 @@ fn resolve_itemset(
         .collect::<Result<_, _>>()?;
     items.sort_unstable();
     Ok(items)
+}
+
+/// Telemetry sinks requested on the command line (`--trace-json`,
+/// `--stats`), installed on the global [`obs`] facade for the duration
+/// of one run.
+pub struct Telemetry {
+    stats: Option<std::sync::Arc<obs::StatsRecorder>>,
+    installed: bool,
+}
+
+impl Telemetry {
+    /// Opens the trace file (if any) and installs the requested
+    /// recorders. With neither flag set this is a no-op and telemetry
+    /// stays disabled — the zero-overhead path.
+    pub fn install(args: &Args) -> Result<Telemetry, CliError> {
+        use std::sync::Arc;
+        let mut recorders: Vec<Arc<dyn obs::Recorder>> = Vec::new();
+        if let Some(path) = &args.trace_json {
+            let file =
+                std::fs::File::create(path).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+            recorders.push(Arc::new(obs::NdjsonRecorder::new(std::io::BufWriter::new(
+                file,
+            ))));
+        }
+        let stats = if args.stats {
+            let recorder = Arc::new(obs::StatsRecorder::new());
+            recorders.push(recorder.clone());
+            Some(recorder)
+        } else {
+            None
+        };
+        let installed = !recorders.is_empty();
+        if installed {
+            let recorder: Arc<dyn obs::Recorder> = if recorders.len() == 1 {
+                recorders.pop().expect("just checked non-empty")
+            } else {
+                Arc::new(obs::Tee(recorders))
+            };
+            obs::install(recorder);
+        }
+        Ok(Telemetry { stats, installed })
+    }
+
+    /// Uninstalls the recorders (flushing the trace file) and renders
+    /// the `--stats` summary, if one was requested.
+    pub fn finish(self) -> Option<String> {
+        if self.installed {
+            obs::uninstall();
+        }
+        self.stats.map(|recorder| recorder.snapshot().render())
+    }
 }
 
 /// The [`fpm::Budget`] requested on the command line.
@@ -503,15 +566,23 @@ pub fn run_with_content(
         }
         Command::Fairness => unreachable!("dispatched before exploration"),
     }
-    match truncation {
-        Some(reason) => {
+    match *report.completeness() {
+        fpm::Completeness::Truncated {
+            reason,
+            emitted,
+            elapsed,
+        } => {
+            // Report the miner's own verdict verbatim (reason, itemsets
+            // kept, wall clock) so partial results are auditable.
             let _ = writeln!(
                 out,
-                "warning: exploration truncated ({reason}) — results above are partial"
+                "warning: exploration truncated ({reason}) after {emitted} itemsets \
+                 in {:.1}ms — results above are partial",
+                elapsed.as_secs_f64() * 1e3
             );
             Ok(RunStatus::Truncated(reason))
         }
-        None => Ok(RunStatus::Complete),
+        fpm::Completeness::Complete => Ok(RunStatus::Complete),
     }
 }
 
@@ -538,14 +609,20 @@ fn run_fairness(args: &Args, prepared: &Prepared, out: &mut String) -> Result<()
     Ok(())
 }
 
-/// Entry point for the binary: reads the input file and runs the command.
-/// Returns the rendered output together with the run's [`RunStatus`].
-pub fn run(args: &Args) -> Result<(String, RunStatus), CliError> {
-    let content = std::fs::read_to_string(&args.input)
-        .map_err(|e| CliError::Input(format!("{}: {e}", args.input)))?;
-    let mut out = String::new();
-    let status = run_with_content(args, &content, &mut out)?;
-    Ok((out, status))
+/// Entry point for the binary: installs the requested telemetry, reads
+/// the input file and runs the command. Returns the rendered output,
+/// the run's [`RunStatus`] and the `--stats` summary (if requested) —
+/// the telemetry recorders are always uninstalled before returning.
+pub fn run(args: &Args) -> Result<(String, RunStatus, Option<String>), CliError> {
+    let telemetry = Telemetry::install(args)?;
+    let outcome = std::fs::read_to_string(&args.input)
+        .map_err(|e| CliError::Input(format!("{}: {e}", args.input)))
+        .and_then(|content| {
+            let mut out = String::new();
+            run_with_content(args, &content, &mut out).map(|status| (out, status))
+        });
+    let summary = telemetry.finish();
+    outcome.map(|(out, status)| (out, status, summary))
 }
 
 #[cfg(test)]
@@ -748,6 +825,32 @@ b,y,0,1
         assert_eq!(status.exit_code(), 4);
         assert!(out.contains("2 patterns"), "got: {out}");
         assert!(out.contains("warning: exploration truncated"), "got: {out}");
+    }
+
+    #[test]
+    fn truncation_warning_reports_the_miner_emitted_count() {
+        // The warning's itemset count must come from the miner's own
+        // Completeness verdict and agree with the patterns printed:
+        // the exit-4 path must not under- or over-report what was kept.
+        for limit in [1usize, 2, 3] {
+            let mut argv = base_args("explore");
+            argv.extend(["--max-itemsets".to_string(), limit.to_string()]);
+            let args = Args::parse(argv).unwrap();
+            let mut out = String::new();
+            let status = run_with_content(&args, CSV, &mut out).unwrap();
+            assert_eq!(
+                status,
+                RunStatus::Truncated(fpm::TruncationReason::ItemsetLimit)
+            );
+            assert!(
+                out.contains(&format!("{limit} patterns")),
+                "limit {limit}: got: {out}"
+            );
+            assert!(
+                out.contains(&format!("after {limit} itemsets")),
+                "limit {limit}: got: {out}"
+            );
+        }
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The `divexplorer` command-line binary (thin wrapper over [`cli`]).
 //!
 //! Exit codes: 0 success, 2 usage error, 3 bad input, 4 truncated by
-//! budget. All diagnostics go to stderr; this wrapper never panics.
+//! budget. All diagnostics go to stderr with a `divexplorer: ` prefix;
+//! this wrapper never panics.
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -12,20 +13,23 @@ fn main() {
     let args = match cli::Args::parse(argv) {
         Ok(args) => args,
         Err(e) => {
-            eprintln!("{e}\n\n{}", cli::USAGE);
+            eprintln!("divexplorer: {e}\n\n{}", cli::USAGE);
             std::process::exit(2);
         }
     };
     match cli::run(&args) {
-        Ok((output, status)) => {
+        Ok((output, status, stats)) => {
             print!("{output}");
+            if let Some(summary) = stats {
+                eprintln!("{}", summary.trim_end());
+            }
             if let cli::RunStatus::Truncated(reason) = status {
-                eprintln!("warning: exploration truncated ({reason}); exiting 4");
+                eprintln!("divexplorer: exploration truncated ({reason}); exiting 4");
             }
             std::process::exit(status.exit_code());
         }
         Err(e) => {
-            eprintln!("{e}");
+            eprintln!("divexplorer: {e}");
             std::process::exit(e.exit_code());
         }
     }

@@ -13,11 +13,15 @@
 //! The result is *sound and complete* (Theorem 5.1): it contains exactly the
 //! itemsets with support ≥ `s`, each with its exact divergence.
 
+use std::time::Instant;
+
 use crate::counts::{MultiCounts, OutcomeCounts, MAX_METRICS};
 use crate::dataset::DiscreteDataset;
 use crate::report::DivergenceReport;
 use crate::{Metric, Outcome};
-use fpm::{Budget, BudgetSink, CancelToken, Completeness, ItemsetArena, ItemsetSink, Payload};
+use fpm::{
+    Budget, BudgetSink, CancelToken, Completeness, ItemsetArena, ItemsetSink, Payload, TracingSink,
+};
 
 /// Errors from [`DivExplorer::explore`].
 #[derive(Debug, Clone, PartialEq)]
@@ -164,15 +168,24 @@ impl DivExplorer {
 
         // Line 1–2: outcome functions, one-hot encoded per instance.
         let n = data.n_rows();
-        let (payloads, dataset_counts) = tally_outcomes(v, u, metrics);
+        let (payloads, dataset_counts) = {
+            let _span = obs::span("explore.tally");
+            tally_outcomes(v, u, metrics)
+        };
 
         // Lines 4–12: frequent-pattern mining with fused tallies, emitted
         // directly into the arena that backs the report.
-        let db = data.to_transactions();
+        let db = {
+            let _span = obs::span("explore.encode");
+            data.to_transactions()
+        };
         let mut params = fpm::MiningParams::with_min_support_fraction(self.min_support, n);
         params.max_len = self.max_len;
         let min_support_count = params.min_support_count;
-        let (store, completeness) = self.mine_bounded(&db, &payloads, &params);
+        let (store, completeness) = {
+            let _span = obs::span("explore.mine");
+            self.mine_bounded(&db, &payloads, &params)
+        };
 
         // Lines 13–15: rates/divergences are computed lazily by the report.
         Ok(DivergenceReport::from_store(
@@ -194,17 +207,32 @@ impl DivExplorer {
         payloads: &[MultiCounts],
         params: &fpm::MiningParams,
     ) -> (ItemsetArena<MultiCounts>, Completeness) {
-        if self.threads > 1 {
-            fpm::parallel::mine_arena_bounded(
+        let (store, completeness) = if self.threads > 1 {
+            let (arena, completeness) = fpm::parallel::mine_arena_bounded(
                 db,
                 payloads,
                 params,
                 self.threads,
                 &self.budget,
                 self.cancel.as_ref(),
-            )
+            );
+            // The parallel engine bypasses the sink during the search, so
+            // the stream counters are reconstructed from the merged arena
+            // (one extra pass, taken only when telemetry is on).
+            if obs::enabled() {
+                let mut hist = obs::Histogram::new();
+                let mut total_items = 0u64;
+                for entry in arena.iter() {
+                    hist.record(entry.support);
+                    total_items += entry.items.len() as u64;
+                }
+                obs::counter("fpm.itemsets_emitted", arena.len() as u64);
+                obs::counter("fpm.itemset_items", total_items);
+                obs::merge_histogram("fpm.itemset_support", &hist);
+            }
+            (arena, completeness)
         } else {
-            let mut store = ItemsetArena::new();
+            let mut traced = TracingSink::new(ItemsetArena::new());
             let completeness = fpm::mine_into_bounded(
                 self.algorithm,
                 db,
@@ -212,10 +240,12 @@ impl DivExplorer {
                 params,
                 &self.budget,
                 self.cancel.as_ref(),
-                &mut store,
+                &mut traced,
             );
-            (store, completeness)
-        }
+            (traced.into_inner(), completeness)
+        };
+        obs::counter("fpm.arena_bytes", store.approx_bytes());
+        (store, completeness)
     }
 
     /// Streams the exploration into a caller-supplied [`ItemsetSink`]
@@ -238,11 +268,25 @@ impl DivExplorer {
         sink: &mut S,
     ) -> Result<ExplorationStats, ExploreError> {
         self.validate(data, v, u, metrics)?;
+        let total = Instant::now();
         let n = data.n_rows();
-        let (payloads, dataset_counts) = tally_outcomes(v, u, metrics);
-        let db = data.to_transactions();
+        let tally_start = Instant::now();
+        let (payloads, dataset_counts) = {
+            let _span = obs::span("explore.tally");
+            tally_outcomes(v, u, metrics)
+        };
+        let tally_us = tally_start.elapsed().as_micros() as u64;
+        let encode_start = Instant::now();
+        let db = {
+            let _span = obs::span("explore.encode");
+            data.to_transactions()
+        };
+        let encode_us = encode_start.elapsed().as_micros() as u64;
         let mut params = fpm::MiningParams::with_min_support_fraction(self.min_support, n);
         params.max_len = self.max_len;
+        let mine_start = Instant::now();
+        let mine_span = obs::span("explore.mine");
+        let mut traced = TracingSink::new(sink);
         let completeness = if self.threads > 1 {
             let (arena, completeness) = fpm::parallel::mine_arena_bounded(
                 &db,
@@ -253,7 +297,7 @@ impl DivExplorer {
                 self.cancel.as_ref(),
             );
             for entry in arena.iter() {
-                sink.emit(entry.items, entry.support, entry.payload);
+                traced.emit(entry.items, entry.support, entry.payload);
             }
             completeness
         } else {
@@ -264,14 +308,25 @@ impl DivExplorer {
                 &params,
                 &self.budget,
                 self.cancel.as_ref(),
-                sink,
+                &mut traced,
             )
         };
+        let patterns_emitted = traced.emitted();
+        traced.publish();
+        drop(mine_span);
+        let mine_us = mine_start.elapsed().as_micros() as u64;
         Ok(ExplorationStats {
             n_rows: n,
             min_support_count: params.min_support_count,
             dataset_counts,
             completeness,
+            patterns_emitted,
+            stages: StageTimings {
+                tally_us,
+                encode_us,
+                mine_us,
+                total_us: total.elapsed().as_micros() as u64,
+            },
         })
     }
 
@@ -294,14 +349,22 @@ impl DivExplorer {
     ) -> Result<DivergenceReport, ExploreError> {
         self.validate(data, v, u, metrics)?;
         let n = data.n_rows();
-        let (payloads, dataset_counts) = tally_outcomes(v, u, metrics);
-        let db = data.to_transactions();
+        let (payloads, dataset_counts) = {
+            let _span = obs::span("explore.tally");
+            tally_outcomes(v, u, metrics)
+        };
+        let db = {
+            let _span = obs::span("explore.encode");
+            data.to_transactions()
+        };
         let mut params = fpm::MiningParams::with_min_support_fraction(self.min_support, n);
         params.max_len = self.max_len;
         let min_support_count = params.min_support_count;
         let mut store = ItemsetArena::new();
         let completeness = {
-            let mut bounded = BudgetSink::new(&mut store, self.budget);
+            let _span = obs::span("explore.mine");
+            let mut traced = TracingSink::new(&mut store);
+            let mut bounded = BudgetSink::new(&mut traced, self.budget);
             if let Some(token) = &self.cancel {
                 bounded = bounded.with_cancel(token.clone());
             }
@@ -313,8 +376,11 @@ impl DivExplorer {
                 anchor,
                 &mut bounded,
             );
-            bounded.verdict()
+            let verdict = bounded.verdict();
+            traced.publish();
+            verdict
         };
+        obs::counter("fpm.arena_bytes", store.approx_bytes());
         Ok(DivergenceReport::from_store(
             data.schema().clone(),
             metrics.to_vec(),
@@ -370,7 +436,8 @@ impl DivExplorer {
 
 /// Dataset-level facts of one exploration pass, returned by
 /// [`DivExplorer::explore_into`] — exactly what
-/// [`DivergenceReport::from_store`] needs besides the mined store.
+/// [`DivergenceReport::from_store`] needs besides the mined store, plus
+/// the pass's own telemetry (stage timings and the emission count).
 #[derive(Debug, Clone)]
 pub struct ExplorationStats {
     /// Number of dataset instances `|D|`.
@@ -383,6 +450,26 @@ pub struct ExplorationStats {
     /// on via [`DivergenceReport::with_completeness`] when assembling a
     /// report from the sink's contents.
     pub completeness: Completeness,
+    /// Itemsets streamed into the sink (after budget enforcement).
+    pub patterns_emitted: u64,
+    /// Wall-clock of each stage of the pass.
+    pub stages: StageTimings,
+}
+
+/// Per-stage wall-clock of one exploration pass, in microseconds. The
+/// same figures are recorded as `explore.*` spans on the global
+/// telemetry facade; this struct carries them in-band for callers that
+/// don't install a recorder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Outcome evaluation + one-hot tallies (Algorithm 1 lines 1–2).
+    pub tally_us: u64,
+    /// Dataset → transaction encoding.
+    pub encode_us: u64,
+    /// Frequent-pattern mining with fused tallies (lines 4–12).
+    pub mine_us: u64,
+    /// The whole pass, validation excluded.
+    pub total_us: u64,
 }
 
 /// Lines 1–2 of Algorithm 1: per-instance one-hot outcome tallies plus

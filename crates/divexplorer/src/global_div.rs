@@ -85,6 +85,7 @@ pub fn global_item_divergence_of(
     report: &DivergenceReport,
     delta_of: impl Fn(&DivergenceReport, &[ItemId]) -> Option<f64>,
 ) -> Vec<(ItemId, f64)> {
+    let _span = obs::span("global_div.item_divergence");
     let n_attrs = report.schema().n_attributes();
     let weights = positional_weights(n_attrs);
 

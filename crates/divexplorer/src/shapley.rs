@@ -88,6 +88,8 @@ pub fn item_contributions(
     if k == 0 {
         return Ok(Vec::new());
     }
+    let _span = obs::span("shapley.contributions");
+    obs::counter("shapley.subset_evals", 1u64 << k);
     // Precompute the permutation weights w(|J|) = |J|!(k−|J|−1)!/k!.
     let weights = subset_weights(k);
 
@@ -166,6 +168,8 @@ pub fn item_contributions_sampled(
         return Ok(Vec::new());
     }
     assert!(n_permutations > 0, "need at least one permutation");
+    let _span = obs::span("shapley.contributions_sampled");
+    obs::counter("shapley.permutations", n_permutations as u64);
 
     let delta = |subset: &[ItemId]| -> Result<f64, ShapleyError> {
         match report.divergence_of(subset, m) {

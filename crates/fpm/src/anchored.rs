@@ -88,6 +88,7 @@ pub fn mine_containing_into<P: Payload, S: ItemsetSink<P>>(
 
     // Conditional database: the anchor's covering transactions, with the
     // anchor removed from each row.
+    let cond_db_span = obs::span("fpm.anchored.cond_db");
     let mut builder = TransactionDbBuilder::new(db.n_items());
     let mut cond_payloads: Vec<P> = Vec::new();
     let mut anchor_support = 0u64;
@@ -112,6 +113,7 @@ pub fn mine_containing_into<P: Payload, S: ItemsetSink<P>>(
     }
 
     let cond_db = builder.build();
+    drop(cond_db_span);
     let mut cond_params = params.clone();
     if let Some(max_len) = params.max_len {
         if max_len <= 1 {

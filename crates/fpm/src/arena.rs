@@ -78,6 +78,13 @@ impl<P> ItemsetArena<P> {
         self.items.len()
     }
 
+    /// Approximate heap footprint: the flat item buffer plus the record
+    /// table, counted at capacity (what the allocator actually holds).
+    pub fn approx_bytes(&self) -> u64 {
+        (self.items.capacity() * std::mem::size_of::<ItemId>()
+            + self.recs.capacity() * std::mem::size_of::<Record<P>>()) as u64
+    }
+
     /// Appends an itemset (`items` must be in canonical order) and
     /// returns its id.
     pub fn push(&mut self, items: &[ItemId], support: u64, payload: P) -> usize {

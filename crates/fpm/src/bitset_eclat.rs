@@ -105,6 +105,7 @@ pub fn mine_into<P: Payload, S: ItemsetSink<P>>(
         return;
     }
 
+    let tid_build = obs::span("fpm.eclat.tid_build");
     let n = db.len();
     let n_items = db.n_items() as usize;
     let mut bitsets: Vec<Bitset> = vec![Bitset::zeros(n); n_items];
@@ -120,6 +121,7 @@ pub fn mine_into<P: Payload, S: ItemsetSink<P>>(
         .filter(|(_, bs)| bs.count() >= threshold)
         .map(|(item, bs)| (item as ItemId, bs))
         .collect();
+    drop(tid_build);
 
     let mut prefix: Vec<ItemId> = Vec::new();
     for i in 0..roots.len() {
@@ -158,11 +160,18 @@ fn extend<P: Payload, S: ItemsetSink<P>>(
         }
         // Children: intersect with each right sibling, keep the frequent.
         let mut children: Vec<(ItemId, Bitset)> = Vec::new();
+        let n_siblings = siblings.len() - pos - 1;
         for (sib_item, sib_bs) in &siblings[pos + 1..] {
             if bs.and_count(sib_bs) >= threshold {
                 children.push((*sib_item, bs.and(sib_bs)));
             }
         }
+        // One batched publish per node, not per intersection.
+        obs::counter("fpm.tid_intersections", n_siblings as u64);
+        obs::counter(
+            "fpm.candidates_pruned",
+            (n_siblings - children.len()) as u64,
+        );
         for child_pos in 0..children.len() {
             extend(
                 &children, child_pos, payloads, threshold, max_len, prefix, sink,

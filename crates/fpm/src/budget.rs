@@ -310,6 +310,7 @@ impl<S> BudgetSink<S> {
         if self.stopped.is_some() {
             return;
         }
+        obs::counter("fpm.budget_checkpoints", 1);
         if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
             self.stopped = Some(TruncationReason::Cancelled);
         } else if self.deadline.is_some_and(|d| Instant::now() >= d) {

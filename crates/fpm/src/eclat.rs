@@ -40,12 +40,14 @@ pub fn mine_into<P: Payload, S: ItemsetSink<P>>(
     }
 
     // Frequent 1-itemsets, each with (item, tidlist).
+    let tid_build = obs::span("fpm.eclat.tid_build");
     let roots: Vec<(ItemId, Vec<u32>)> = vertical::tid_lists(db)
         .into_iter()
         .enumerate()
         .filter(|(_, tids)| tids.len() as u64 >= threshold)
         .map(|(item, tids)| (item as ItemId, tids))
         .collect();
+    drop(tid_build);
 
     let mut prefix: Vec<ItemId> = Vec::new();
     // Depth-first: extend each root with the roots to its right.
@@ -102,6 +104,12 @@ fn extend<P: Payload, S: ItemsetSink<P>>(
                 next.push((*sib_item, inter, pay));
             }
         }
+        // One batched publish per node, not per intersection.
+        obs::counter("fpm.tid_intersections", siblings.len() as u64);
+        obs::counter(
+            "fpm.candidates_pruned",
+            (siblings.len() - next.len()) as u64,
+        );
         let kept: Vec<(ItemId, Vec<u32>)> = next.iter().map(|(i, t, _)| (*i, t.clone())).collect();
         for (pos, (sib_item, inter, pay)) in next.into_iter().enumerate() {
             extend(

@@ -49,6 +49,7 @@ pub fn mine_into<P: Payload, S: ItemsetSink<P>>(
     let rank = frequency_rank(&counts, threshold);
 
     // Second scan: build the FP-tree over rank-ordered frequent items.
+    let tree_build = obs::span("fpm.fpgrowth.tree_build");
     let mut tree: FpTree<P> = FpTree::new();
     let mut buf: Vec<ItemId> = Vec::new();
     for (t, row) in db.iter().enumerate() {
@@ -64,6 +65,7 @@ pub fn mine_into<P: Payload, S: ItemsetSink<P>>(
         buf.sort_unstable_by_key(|&i| rank[i as usize].unwrap_or(u32::MAX));
         tree.insert(&buf, 1, &payloads[t]);
     }
+    drop(tree_build);
 
     let mut prefix: Vec<ItemId> = Vec::new();
     let mut scratch: Vec<ItemId> = Vec::new();
@@ -98,6 +100,7 @@ fn grow<P: Payload, S: ItemsetSink<P>>(
     // and payload of its deepest node — no recursion needed.
     if let Some(path) = tree.single_path() {
         debug_assert!(path.iter().all(|&(_, c, _)| c >= threshold));
+        obs::counter("fpm.fpgrowth.single_paths", 1);
         let mut selected: Vec<usize> = Vec::new();
         emit_path_combinations(&path, 0, max_len, prefix, &mut selected, scratch, sink);
         return;
@@ -131,6 +134,7 @@ fn grow<P: Payload, S: ItemsetSink<P>>(
         let base = tree.conditional_pattern_base(item);
         let cond = build_conditional_tree(&base, threshold);
         if !cond.is_empty() {
+            obs::counter("fpm.fpgrowth.cond_trees", 1);
             prefix.push(item);
             grow(&cond, threshold, max_len, prefix, scratch, sink);
             prefix.pop();

@@ -88,6 +88,7 @@ pub mod parallel;
 pub mod payload;
 pub mod rules;
 pub mod sink;
+pub mod trace;
 pub mod transaction;
 pub mod vertical;
 
@@ -96,6 +97,7 @@ pub use budget::{Budget, BudgetSink, CancelToken, Completeness, TruncationReason
 pub use itemset::FrequentItemset;
 pub use payload::{CountPayload, Payload};
 pub use sink::{CountingSink, FilterSink, ItemsetSink, TopKBySupportSink, VecSink};
+pub use trace::TracingSink;
 pub use transaction::{ItemId, TransactionDb, TransactionDbBuilder};
 
 use rustc_hash::FxHashMap;
@@ -180,6 +182,18 @@ impl Algorithm {
         Algorithm::Eclat,
         Algorithm::EclatBitset,
     ];
+
+    /// The telemetry span name wrapping a [`mine_into`] run with this
+    /// backend.
+    pub fn span_name(&self) -> &'static str {
+        match self {
+            Algorithm::Apriori => "fpm.mine.apriori",
+            Algorithm::FpGrowth => "fpm.mine.fp-growth",
+            Algorithm::Eclat => "fpm.mine.eclat",
+            Algorithm::EclatBitset => "fpm.mine.eclat-bitset",
+            Algorithm::Naive => "fpm.mine.naive",
+        }
+    }
 }
 
 impl std::fmt::Display for Algorithm {
@@ -254,6 +268,7 @@ pub fn mine_into<P: Payload, S: ItemsetSink<P>>(
         db.len(),
         "payload slice length must match transaction count"
     );
+    let _span = obs::span(algorithm.span_name());
     match algorithm {
         Algorithm::Apriori => apriori::mine_into(db, payloads, params, sink),
         Algorithm::FpGrowth => fpgrowth::mine_into(db, payloads, params, sink),

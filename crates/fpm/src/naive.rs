@@ -38,7 +38,9 @@ pub fn mine_into<P: Payload, S: ItemsetSink<P>>(
         return;
     }
 
+    let tid_build = obs::span("fpm.eclat.tid_build");
     let tidlists = vertical::tid_lists(db);
+    drop(tid_build);
     let mut prefix: Vec<ItemId> = Vec::new();
     for item in 0..db.n_items() {
         // Checkpoint between root subtrees (budget/cancellation hook).
@@ -84,6 +86,7 @@ fn extend<P: Payload, S: ItemsetSink<P>>(
             prefix.pop();
             return;
         }
+        obs::counter("fpm.tid_intersections", (db.n_items() - item - 1) as u64);
         for next in (item + 1)..db.n_items() {
             let next_tids = vertical::intersect(&tids, &tidlists[next as usize]);
             extend(

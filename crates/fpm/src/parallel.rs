@@ -214,6 +214,8 @@ pub fn mine_arena_bounded<P: Payload + Send + Sync>(
         return (ItemsetArena::new(), Completeness::Complete);
     }
 
+    let mine_span = obs::span("fpm.parallel.mine");
+    obs::counter("fpm.workers", n_threads as u64);
     let shared = SharedLimits {
         stop: AtomicBool::new(false),
         reason: AtomicU8::new(0),
@@ -229,21 +231,27 @@ pub fn mine_arena_bounded<P: Payload + Send + Sync>(
     let shared = &shared;
 
     // Shared vertical representation.
+    let tid_build = obs::span("fpm.eclat.tid_build");
     let roots: Vec<(ItemId, Vec<u32>)> = vertical::tid_lists(db)
         .into_iter()
         .enumerate()
         .filter(|(_, tids)| tids.len() as u64 >= threshold)
         .map(|(item, tids)| (item as ItemId, tids))
         .collect();
+    drop(tid_build);
     let roots = &roots;
 
-    let mut merged: ItemsetArena<P> = std::thread::scope(|scope| {
+    let locals: Vec<ItemsetArena<P>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n_threads);
         for worker in 0..n_threads {
             handles.push(scope.spawn(move || {
                 let mut local = ItemsetArena::new();
                 let mut prefix: Vec<ItemId> = Vec::new();
                 let mut ticks = 0u32;
+                // Intersections are tallied locally and published once per
+                // worker: one facade call instead of one per node, so a
+                // lock-holding recorder never serializes the workers.
+                let mut inters = 0u64;
                 // Round-robin partition of the root items.
                 let mut pos = worker;
                 while pos < roots.len() {
@@ -263,6 +271,7 @@ pub fn mine_arena_bounded<P: Payload + Send + Sync>(
                             depth_cap,
                             shared,
                             &mut ticks,
+                            &mut inters,
                             &mut prefix,
                             &mut local,
                         )
@@ -273,24 +282,39 @@ pub fn mine_arena_bounded<P: Payload + Send + Sync>(
                     }
                     pos += n_threads;
                 }
+                obs::counter("fpm.tid_intersections", inters);
                 local
             }));
         }
-        let mut merged = ItemsetArena::new();
-        for handle in handles {
-            // A panic escaping the catch_unwind (e.g. in the loop glue)
-            // loses that worker's shard but still degrades gracefully.
-            match handle.join() {
-                Ok(local) => merged.absorb(local),
-                Err(_) => {
-                    shared.panicked.fetch_add(1, Ordering::Relaxed);
+        handles
+            .into_iter()
+            .filter_map(|handle| {
+                // A panic escaping the catch_unwind (e.g. in the loop glue)
+                // loses that worker's shard but still degrades gracefully.
+                match handle.join() {
+                    Ok(local) => Some(local),
+                    Err(_) => {
+                        shared.panicked.fetch_add(1, Ordering::Relaxed);
+                        None
+                    }
                 }
-            }
-        }
-        merged
+            })
+            .collect()
     });
-    merged.sort_canonical();
+    drop(mine_span);
 
+    let merge_span = obs::span("fpm.parallel.merge");
+    let mut merged = ItemsetArena::new();
+    for local in locals {
+        merged.absorb(local);
+    }
+    merged.sort_canonical();
+    drop(merge_span);
+
+    obs::counter(
+        "fpm.worker_panics",
+        shared.panicked.load(Ordering::Relaxed) as u64,
+    );
     let reason = decode(shared.reason.load(Ordering::Relaxed))
         .or_else(|| {
             (shared.panicked.load(Ordering::Relaxed) > 0).then_some(TruncationReason::WorkerPanic)
@@ -324,6 +348,7 @@ fn subtree<P: Payload>(
     depth_cap: usize,
     shared: &SharedLimits<'_>,
     ticks: &mut u32,
+    inters: &mut u64,
     prefix: &mut Vec<ItemId>,
     out: &mut ItemsetArena<P>,
 ) {
@@ -357,10 +382,11 @@ fn subtree<P: Payload>(
                     children.push((*sib_item, inter));
                 }
             }
+            *inters += (siblings.len() - pos - 1) as u64;
             for child_pos in 0..children.len() {
                 subtree(
                     &children, child_pos, payloads, threshold, max_len, depth_cap, shared, ticks,
-                    prefix, out,
+                    inters, prefix, out,
                 );
             }
         }

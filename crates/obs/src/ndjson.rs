@@ -1,0 +1,196 @@
+//! Newline-delimited JSON trace output (`--trace-json`).
+//!
+//! One JSON object per line. Schema (all objects carry `ev` and
+//! `ts_us`, microseconds since the recorder was created):
+//!
+//! ```text
+//! {"ev":"span_enter","name":"...","id":N,"ts_us":T}
+//! {"ev":"span_exit","name":"...","id":N,"ts_us":T,"dur_us":D}
+//! {"ev":"counter","name":"...","delta":N,"ts_us":T}
+//! {"ev":"histogram","name":"...","count":N,"min":M,"max":X,
+//!  "buckets":[[lo,hi,n],...],"ts_us":T}
+//! ```
+//!
+//! Timestamps are taken *inside* the writer lock, so `ts_us` is
+//! non-decreasing in file order even with parallel workers emitting
+//! concurrently.
+
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::hist::Histogram;
+use crate::Recorder;
+
+struct State<W> {
+    out: W,
+    epoch: Instant,
+}
+
+/// A [`Recorder`] that streams every event as one NDJSON line.
+pub struct NdjsonRecorder<W: Write + Send> {
+    state: Mutex<State<W>>,
+}
+
+/// Minimal JSON string escaping; event names are static identifiers,
+/// so this is belt-and-braces rather than a full escaper.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl<W: Write + Send> NdjsonRecorder<W> {
+    /// Wraps a writer; the timestamp epoch starts now.
+    pub fn new(out: W) -> Self {
+        NdjsonRecorder {
+            state: Mutex::new(State {
+                out,
+                epoch: Instant::now(),
+            }),
+        }
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        let mut state = self.state.into_inner().unwrap();
+        let _ = state.out.flush();
+        state.out
+    }
+
+    fn line(&self, render: impl FnOnce(u64) -> String) {
+        let mut state = self.state.lock().unwrap();
+        let ts_us = state.epoch.elapsed().as_micros() as u64;
+        let line = render(ts_us);
+        // Trace output is best-effort: a full disk must not abort mining.
+        let _ = writeln!(state.out, "{line}");
+    }
+}
+
+impl<W: Write + Send> Recorder for NdjsonRecorder<W> {
+    fn span_enter(&self, name: &'static str, id: u64) {
+        self.line(|ts| {
+            format!(
+                r#"{{"ev":"span_enter","name":"{}","id":{id},"ts_us":{ts}}}"#,
+                escape(name)
+            )
+        });
+    }
+
+    fn span_exit(&self, name: &'static str, id: u64, dur_us: u64) {
+        self.line(|ts| {
+            format!(
+                r#"{{"ev":"span_exit","name":"{}","id":{id},"ts_us":{ts},"dur_us":{dur_us}}}"#,
+                escape(name)
+            )
+        });
+    }
+
+    fn add_counter(&self, name: &'static str, delta: u64) {
+        self.line(|ts| {
+            format!(
+                r#"{{"ev":"counter","name":"{}","delta":{delta},"ts_us":{ts}}}"#,
+                escape(name)
+            )
+        });
+    }
+
+    fn merge_histogram(&self, name: &'static str, hist: &Histogram) {
+        self.line(|ts| {
+            let buckets: Vec<String> = hist
+                .nonzero_buckets()
+                .map(|(lo, hi, n)| format!("[{lo},{hi},{n}]"))
+                .collect();
+            format!(
+                r#"{{"ev":"histogram","name":"{}","count":{},"min":{},"max":{},"buckets":[{}],"ts_us":{ts}}}"#,
+                escape(name),
+                hist.count(),
+                hist.min().unwrap_or(0),
+                hist.max().unwrap_or(0),
+                buckets.join(",")
+            )
+        });
+    }
+
+    fn flush(&self) {
+        let _ = self.state.lock().unwrap().out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn lines(rec: NdjsonRecorder<Vec<u8>>) -> Vec<String> {
+        String::from_utf8(rec.into_inner())
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect()
+    }
+
+    #[test]
+    fn events_render_one_json_object_per_line() {
+        let rec = NdjsonRecorder::new(Vec::new());
+        rec.span_enter("mine", 1);
+        rec.add_counter("emitted", 42);
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(900);
+        rec.merge_histogram("support", &h);
+        rec.span_exit("mine", 1, 1234);
+        let lines = lines(rec);
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains(r#""ev":"span_enter""#));
+        assert!(lines[1].contains(r#""delta":42"#));
+        assert!(lines[2].contains(r#""buckets":[[2,3,1],[512,1023,1]]"#));
+        assert!(lines[3].contains(r#""dur_us":1234"#));
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn timestamps_are_monotone_under_concurrency() {
+        let rec = Arc::new(NdjsonRecorder::new(Vec::new()));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let rec = rec.clone();
+                scope.spawn(move || {
+                    for i in 0..250 {
+                        rec.span_enter("w", t * 1000 + i);
+                        rec.span_exit("w", t * 1000 + i, 0);
+                    }
+                });
+            }
+        });
+        let rec = Arc::into_inner(rec).unwrap();
+        let mut last = 0u64;
+        for line in lines(rec) {
+            let ts: u64 = line
+                .split(r#""ts_us":"#)
+                .nth(1)
+                .unwrap()
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .unwrap();
+            assert!(ts >= last, "ts_us must be non-decreasing in file order");
+            last = ts;
+        }
+    }
+
+    #[test]
+    fn escape_handles_control_and_quote() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+}

@@ -1,0 +1,253 @@
+//! In-memory aggregating recorder and its human-readable summary.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::hist::Histogram;
+use crate::Recorder;
+
+/// Aggregate wall-clock statistics of one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Completed spans with this name.
+    pub count: u64,
+    /// Sum of their durations, microseconds.
+    pub total_us: u64,
+    /// Longest single span, microseconds.
+    pub max_us: u64,
+}
+
+#[derive(Default)]
+struct Agg {
+    counters: BTreeMap<&'static str, u64>,
+    spans: BTreeMap<&'static str, SpanStat>,
+    open_spans: u64,
+    hists: BTreeMap<&'static str, Histogram>,
+}
+
+/// A [`Recorder`] that aggregates everything in memory: counters sum,
+/// spans collapse to per-name `count/total/max`, histograms merge.
+/// Cheap enough for production runs; the basis of `--stats` and
+/// [`crate::RunReport`].
+#[derive(Default)]
+pub struct StatsRecorder {
+    agg: Mutex<Agg>,
+}
+
+impl StatsRecorder {
+    pub fn new() -> Self {
+        StatsRecorder::default()
+    }
+
+    /// A point-in-time copy of everything aggregated so far.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let agg = self.agg.lock().unwrap();
+        StatsSnapshot {
+            counters: agg
+                .counters
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            spans: agg
+                .spans
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            open_spans: agg.open_spans,
+            hists: agg
+                .hists
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl Recorder for StatsRecorder {
+    fn span_enter(&self, _name: &'static str, _id: u64) {
+        self.agg.lock().unwrap().open_spans += 1;
+    }
+
+    fn span_exit(&self, name: &'static str, _id: u64, dur_us: u64) {
+        let mut agg = self.agg.lock().unwrap();
+        agg.open_spans = agg.open_spans.saturating_sub(1);
+        let stat = agg.spans.entry(name).or_default();
+        stat.count += 1;
+        stat.total_us += dur_us;
+        stat.max_us = stat.max_us.max(dur_us);
+    }
+
+    fn add_counter(&self, name: &'static str, delta: u64) {
+        *self.agg.lock().unwrap().counters.entry(name).or_default() += delta;
+    }
+
+    fn merge_histogram(&self, name: &'static str, hist: &Histogram) {
+        self.agg
+            .lock()
+            .unwrap()
+            .hists
+            .entry(name)
+            .or_default()
+            .merge(hist);
+    }
+}
+
+/// An owned copy of a [`StatsRecorder`]'s state, sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct StatsSnapshot {
+    /// `(name, total)` pairs, name-ascending.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, stat)` pairs, name-ascending.
+    pub spans: Vec<(String, SpanStat)>,
+    /// Spans entered but not yet exited at snapshot time.
+    pub open_spans: u64,
+    /// `(name, histogram)` pairs, name-ascending.
+    pub hists: Vec<(String, Histogram)>,
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}\u{b5}s")
+    }
+}
+
+impl StatsSnapshot {
+    /// Total of the named counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Aggregate stats of the named span, if it ever completed.
+    pub fn span(&self, name: &str) -> Option<SpanStat> {
+        self.spans.iter().find(|(n, _)| n == name).map(|&(_, s)| s)
+    }
+
+    /// The named histogram, if anything was merged into it.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Renders the multi-line human summary printed by `--stats`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("── telemetry ──────────────────────────────────────\n");
+        if !self.spans.is_empty() {
+            out.push_str("spans (wall clock):\n");
+            for (name, s) in &self.spans {
+                out.push_str(&format!(
+                    "  {name:<34} {:>6} \u{d7} {:>9}  (max {})\n",
+                    s.count,
+                    fmt_us(s.total_us),
+                    fmt_us(s.max_us)
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<34} {v}\n"));
+            }
+        }
+        if !self.hists.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.hists {
+                out.push_str(&format!(
+                    "  {name:<34} n={} min={} p50\u{2264}{} max={}\n",
+                    h.count(),
+                    h.min().unwrap_or(0),
+                    h.quantile_le(0.5).unwrap_or(0),
+                    h.max().unwrap_or(0)
+                ));
+            }
+        }
+        if self.spans.is_empty() && self.counters.is_empty() && self.hists.is_empty() {
+            out.push_str("  (no events recorded)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_merge_across_parallel_workers() {
+        // The satellite test: N workers hammer the same recorder; the
+        // aggregate must be the exact sum with no lost updates.
+        let rec = Arc::new(StatsRecorder::new());
+        const WORKERS: u64 = 8;
+        const PER_WORKER: u64 = 10_000;
+        std::thread::scope(|scope| {
+            for w in 0..WORKERS {
+                let rec = rec.clone();
+                scope.spawn(move || {
+                    let mut local = Histogram::new();
+                    for i in 0..PER_WORKER {
+                        rec.add_counter("work.items", 1);
+                        local.record(w * PER_WORKER + i);
+                    }
+                    rec.add_counter("work.batches", 1);
+                    rec.merge_histogram("work.values", &local);
+                });
+            }
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("work.items"), WORKERS * PER_WORKER);
+        assert_eq!(snap.counter("work.batches"), WORKERS);
+        let h = snap.histogram("work.values").unwrap();
+        assert_eq!(h.count(), WORKERS * PER_WORKER);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(WORKERS * PER_WORKER - 1));
+    }
+
+    #[test]
+    fn span_stats_aggregate_per_name() {
+        let rec = StatsRecorder::new();
+        rec.span_enter("phase", 1);
+        rec.span_exit("phase", 1, 100);
+        rec.span_enter("phase", 2);
+        rec.span_exit("phase", 2, 300);
+        rec.span_enter("other", 3);
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.span("phase"),
+            Some(SpanStat {
+                count: 2,
+                total_us: 400,
+                max_us: 300
+            })
+        );
+        assert_eq!(snap.span("other"), None, "unclosed spans don't aggregate");
+        assert_eq!(snap.open_spans, 1);
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let rec = StatsRecorder::new();
+        rec.add_counter("c.a", 7);
+        rec.span_enter("s.x", 1);
+        rec.span_exit("s.x", 1, 1_500);
+        let mut h = Histogram::new();
+        h.record(42);
+        rec.merge_histogram("h.y", &h);
+        let text = rec.snapshot().render();
+        assert!(text.contains("c.a"));
+        assert!(text.contains('7'));
+        assert!(text.contains("s.x"));
+        assert!(text.contains("1.5ms"));
+        assert!(text.contains("h.y"));
+        assert!(StatsRecorder::new()
+            .snapshot()
+            .render()
+            .contains("no events"));
+    }
+}

@@ -92,6 +92,8 @@ pub struct SearchStats {
     /// find; the §6.5 comparison should flag (or re-run) such results
     /// rather than treating them as the pruned-but-terminated baseline.
     pub truncated: bool,
+    /// Wall-clock of the whole search, in microseconds.
+    pub elapsed_us: u64,
 }
 
 /// The outcome of a Slice Finder run.
@@ -118,6 +120,8 @@ pub fn find_slices(
     assert_eq!(losses.len(), data.n_rows(), "loss vector length mismatch");
     assert!(data.n_rows() > 0, "empty dataset");
 
+    let _span = obs::span("slicefinder.search");
+    let start = std::time::Instant::now();
     let deadline = params.timeout.map(|t| std::time::Instant::now() + t);
     let past_deadline = || deadline.is_some_and(|d| std::time::Instant::now() >= d);
 
@@ -205,6 +209,9 @@ pub fn find_slices(
         frontier = next;
     }
 
+    stats.elapsed_us = start.elapsed().as_micros() as u64;
+    obs::counter("slicefinder.evaluated", stats.evaluated as u64);
+    obs::counter("slicefinder.expanded", stats.expanded as u64);
     SliceFinderResult {
         slices: results,
         stats,
@@ -503,7 +510,17 @@ mod tests {
             },
         );
         assert_eq!(base.slices, budgeted.slices);
-        assert_eq!(base.stats, budgeted.stats);
+        // Wall clock differs between runs; compare everything else.
+        assert_eq!(
+            SearchStats {
+                elapsed_us: 0,
+                ..base.stats
+            },
+            SearchStats {
+                elapsed_us: 0,
+                ..budgeted.stats
+            }
+        );
     }
 
     #[test]
