@@ -1,0 +1,124 @@
+//! Counting-engine benchmark: merge-based counting vs class-mask
+//! popcounts on a dense synthetic workload.
+//!
+//! Mines the same `(T, F, ⊥)`-carrying lattice with merge-based Eclat,
+//! bitset Eclat (word-AND supports, merge-based payloads), and the dense
+//! popcount engine (word-AND supports *and* payload counters), asserts
+//! the three results bit-identical — itemsets, supports, and every
+//! outcome tally — and requires the popcount engine to be at least 2×
+//! faster than merge-based Eclat.
+//!
+//! `--smoke` shrinks the dataset for CI and skips the speedup floor
+//! (timing on shared runners is noise); correctness is always asserted.
+
+use bench::{banner, telemetry};
+use divexplorer::{Metric, MultiCounts};
+use fpm::{Algorithm, MiningParams};
+use std::time::Instant;
+
+const METRICS: [Metric; 2] = [Metric::FalsePositiveRate, Metric::FalseNegativeRate];
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 2_000 } else { 50_000 };
+    banner(
+        "Counters",
+        "Merge-based vs popcount (T, F, \u{22a5}) counting (artificial dataset)",
+    );
+    let d = datasets::artificial::generate(n, 7);
+    let db = d.data.to_transactions();
+    let payloads: Vec<MultiCounts> = (0..db.len())
+        .map(|r| {
+            let outcomes: Vec<_> = METRICS.iter().map(|m| m.outcome(d.v[r], d.u[r])).collect();
+            MultiCounts::from_outcomes(&outcomes)
+        })
+        .collect();
+    let params = MiningParams::with_min_support_fraction(0.02, db.len());
+
+    // Best-of-N wall clock per engine; every run's arena is kept once for
+    // the bit-identical comparison.
+    let reps = if smoke { 2 } else { 3 };
+    let mut results = Vec::new();
+    let mut timings = Vec::new();
+    for algo in [Algorithm::Eclat, Algorithm::EclatBitset, Algorithm::Dense] {
+        let mut best_us = u64::MAX;
+        let mut arena = None;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let mut run = fpm::mine_arena(algo, &db, &payloads, &params);
+            let us = start.elapsed().as_micros() as u64;
+            best_us = best_us.min(us);
+            run.sort_canonical();
+            arena = Some(run);
+        }
+        let arena = arena.expect("at least one rep");
+        println!("{algo:<14} {best_us:>10} µs   {} itemsets", arena.len());
+        results.push((algo, arena));
+        timings.push((algo, best_us));
+    }
+
+    // (T, F, ⊥) counters must be bit-identical across all engines.
+    let (_, reference) = &results[0];
+    for (algo, arena) in &results[1..] {
+        assert_eq!(
+            arena.len(),
+            reference.len(),
+            "{algo}: itemset count differs from eclat"
+        );
+        for (got, want) in arena.iter().zip(reference.iter()) {
+            assert_eq!(got.items, want.items, "{algo}: itemsets differ");
+            assert_eq!(
+                got.support, want.support,
+                "{algo}: support differs on {:?}",
+                want.items
+            );
+            assert_eq!(
+                got.payload, want.payload,
+                "{algo}: (T, F, \u{22a5}) tallies differ on {:?}",
+                want.items
+            );
+        }
+    }
+    println!(
+        "counters bit-identical across all {} engines",
+        results.len()
+    );
+
+    let merge_us = timings[0].1;
+    let bitset_us = timings[1].1;
+    let dense_us = timings[2].1;
+    let speedup = merge_us as f64 / dense_us as f64;
+    println!("popcount speedup over merge-based eclat: {speedup:.2}x");
+    if !smoke {
+        assert!(
+            speedup >= 2.0,
+            "dense engine must be at least 2x faster than merge-based eclat \
+             (merge {merge_us} µs vs dense {dense_us} µs = {speedup:.2}x)"
+        );
+    }
+
+    let mut run = obs::RunReport::new("counters", "artificial", "dense");
+    run.n_rows = db.len() as u64;
+    run.min_support = 0.02;
+    run.patterns = reference.len() as u64;
+    run.total_us = dense_us;
+    run.counters = vec![
+        obs::CounterEntry {
+            name: "merge_eclat_us".to_string(),
+            value: merge_us,
+        },
+        obs::CounterEntry {
+            name: "bitset_eclat_us".to_string(),
+            value: bitset_us,
+        },
+        obs::CounterEntry {
+            name: "dense_us".to_string(),
+            value: dense_us,
+        },
+        obs::CounterEntry {
+            name: "speedup_x1000".to_string(),
+            value: (speedup * 1000.0) as u64,
+        },
+    ];
+    telemetry::write(&run);
+}

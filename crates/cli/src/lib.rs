@@ -73,6 +73,8 @@ pub struct Args {
     pub trace_json: Option<String>,
     /// Print an aggregated telemetry summary to stderr after the run.
     pub stats: bool,
+    /// Mining engine backing the exploration.
+    pub engine: fpm::Algorithm,
 }
 
 /// The supported subcommands.
@@ -178,6 +180,8 @@ OPTIONS:
   --trace-json FILE  stream telemetry (spans, counters, histograms) to FILE
                      as newline-delimited JSON
   --stats            print an aggregated telemetry summary to stderr
+  --engine NAME      mining engine: apriori, fp-growth, eclat, eclat-bitset,
+                     or dense (class-mask popcount counting) [fp-growth]
 
 EXIT CODES:
   0 success    2 usage error    3 bad input    4 truncated by budget
@@ -217,6 +221,7 @@ impl Args {
             max_depth: None,
             trace_json: None,
             stats: false,
+            engine: fpm::Algorithm::FpGrowth,
         };
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<String, CliError> {
@@ -249,6 +254,7 @@ impl Args {
                 }
                 "--trace-json" => args.trace_json = Some(value("--trace-json")?),
                 "--stats" => args.stats = true,
+                "--engine" => args.engine = parse_engine(&value("--engine")?)?,
                 other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
             }
         }
@@ -272,6 +278,20 @@ impl Args {
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, CliError> {
     s.parse()
         .map_err(|_| CliError::Usage(format!("{flag}: cannot parse '{s}'")))
+}
+
+fn parse_engine(s: &str) -> Result<fpm::Algorithm, CliError> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "apriori" => Ok(fpm::Algorithm::Apriori),
+        "fp-growth" => Ok(fpm::Algorithm::FpGrowth),
+        "eclat" => Ok(fpm::Algorithm::Eclat),
+        "eclat-bitset" => Ok(fpm::Algorithm::EclatBitset),
+        "dense" => Ok(fpm::Algorithm::Dense),
+        other => Err(CliError::Usage(format!(
+            "unknown engine '{other}' (expected apriori, fp-growth, eclat, \
+             eclat-bitset, or dense)"
+        ))),
+    }
 }
 
 fn parse_metrics(s: &str) -> Result<Vec<Metric>, CliError> {
@@ -460,6 +480,7 @@ pub fn run_with_content(
         return Ok(RunStatus::Complete);
     }
     let report = DivExplorer::new(args.support)
+        .with_algorithm(args.engine)
         .with_budget(budget_from_args(args))
         .explore(&prepared.data, &prepared.v, &prepared.u, &args.metrics)
         .map_err(|e| CliError::Input(e.to_string()))?;
@@ -799,6 +820,46 @@ b,y,0,1
         let mut argv = base_args("explore");
         argv.extend(["--timeout-ms".to_string(), "soon".to_string()]);
         assert!(matches!(Args::parse(argv), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn engine_flag_parses_and_rejects_unknown_names() {
+        let args = Args::parse(base_args("explore")).unwrap();
+        assert_eq!(args.engine, fpm::Algorithm::FpGrowth);
+
+        for (name, algo) in [
+            ("apriori", fpm::Algorithm::Apriori),
+            ("fp-growth", fpm::Algorithm::FpGrowth),
+            ("eclat", fpm::Algorithm::Eclat),
+            ("eclat-bitset", fpm::Algorithm::EclatBitset),
+            ("dense", fpm::Algorithm::Dense),
+        ] {
+            let mut argv = base_args("explore");
+            argv.extend(["--engine".to_string(), name.to_string()]);
+            assert_eq!(Args::parse(argv).unwrap().engine, algo, "{name}");
+        }
+
+        let mut argv = base_args("explore");
+        argv.extend(["--engine".to_string(), "quantum".to_string()]);
+        assert!(matches!(Args::parse(argv), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn every_engine_prints_the_same_explore_report() {
+        let reference = {
+            let args = Args::parse(base_args("explore")).unwrap();
+            let mut out = String::new();
+            run_with_content(&args, CSV, &mut out).unwrap();
+            out
+        };
+        for name in ["apriori", "eclat", "eclat-bitset", "dense"] {
+            let mut argv = base_args("explore");
+            argv.extend(["--engine".to_string(), name.to_string()]);
+            let args = Args::parse(argv).unwrap();
+            let mut out = String::new();
+            run_with_content(&args, CSV, &mut out).unwrap();
+            assert_eq!(out, reference, "engine {name}");
+        }
     }
 
     #[test]

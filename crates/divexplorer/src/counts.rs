@@ -2,6 +2,7 @@
 
 use crate::stats::BetaPosterior;
 use crate::Outcome;
+use fpm::MaskSpec;
 use serde::{Deserialize, Serialize};
 
 /// Maximum number of metrics that one mining pass can tally simultaneously.
@@ -72,6 +73,35 @@ impl fpm::Payload for OutcomeCounts {
         self.t += other.t;
         self.f += other.f;
         self.bot += other.bot;
+    }
+
+    /// Lowers to three counting classes — `T`, `F`, `⊥` — when every
+    /// per-transaction tally is a membership indicator (each field 0 or
+    /// 1), which is exactly the [`OutcomeCounts::from_outcome`] shape the
+    /// explorer fuses into mining.
+    fn mask_spec(payloads: &[Self]) -> Option<MaskSpec> {
+        payloads
+            .iter()
+            .all(|c| c.t <= 1 && c.f <= 1 && c.bot <= 1)
+            .then(|| MaskSpec::leaf(3))
+    }
+    fn encode_classes(&self, _spec: &MaskSpec, set: &mut dyn FnMut(usize)) {
+        if self.t == 1 {
+            set(0);
+        }
+        if self.f == 1 {
+            set(1);
+        }
+        if self.bot == 1 {
+            set(2);
+        }
+    }
+    fn decode_classes(_spec: &MaskSpec, counts: &[u64]) -> Self {
+        OutcomeCounts {
+            t: counts[0] as u32,
+            f: counts[1] as u32,
+            bot: counts[2] as u32,
+        }
     }
 }
 
@@ -151,6 +181,45 @@ impl fpm::Payload for MultiCounts {
             fpm::Payload::merge(&mut self.counts[i], &other.counts[i]);
         }
     }
+
+    /// Lowers to `3 × n_metrics` classes (metric `m`'s `T`/`F`/`⊥` are
+    /// classes `3m`, `3m+1`, `3m+2`) when the run's payloads share one
+    /// arity and every per-transaction tally is a membership indicator.
+    fn mask_spec(payloads: &[Self]) -> Option<MaskSpec> {
+        let len = payloads.first().map_or(0, |p| p.len());
+        let uniform_indicators = payloads.iter().all(|p| {
+            p.len() == len
+                && p.as_slice()
+                    .iter()
+                    .all(|c| c.t <= 1 && c.f <= 1 && c.bot <= 1)
+        });
+        uniform_indicators.then(|| MaskSpec::leaf(3 * len))
+    }
+    fn encode_classes(&self, _spec: &MaskSpec, set: &mut dyn FnMut(usize)) {
+        for (m, c) in self.as_slice().iter().enumerate() {
+            if c.t == 1 {
+                set(3 * m);
+            }
+            if c.f == 1 {
+                set(3 * m + 1);
+            }
+            if c.bot == 1 {
+                set(3 * m + 2);
+            }
+        }
+    }
+    fn decode_classes(spec: &MaskSpec, counts: &[u64]) -> Self {
+        let len = spec.n_classes() / 3;
+        let mut mc = MultiCounts::empty(len);
+        for m in 0..len {
+            mc.counts[m] = OutcomeCounts {
+                t: counts[3 * m] as u32,
+                f: counts[3 * m + 1] as u32,
+                bot: counts[3 * m + 2] as u32,
+            };
+        }
+        mc
+    }
 }
 
 #[cfg(test)]
@@ -217,5 +286,62 @@ mod tests {
     #[should_panic(expected = "at most")]
     fn too_many_metrics_panics() {
         let _ = MultiCounts::empty(MAX_METRICS + 1);
+    }
+
+    #[test]
+    fn outcome_counts_round_trip_through_class_masks() {
+        use crate::Outcome::{Bot, F, T};
+        let payloads: Vec<OutcomeCounts> = [T, F, Bot, T, T, F]
+            .into_iter()
+            .map(OutcomeCounts::from_outcome)
+            .collect();
+        let masks = fpm::ClassMasks::build(&payloads).expect("indicators are maskable");
+        assert_eq!(masks.n_classes(), 3);
+        let tids = [0u32, 2, 3, 5];
+        let mut counts = vec![0u64; 3];
+        masks.count_sparse(&tids, &mut counts);
+        let decoded: OutcomeCounts = masks.decode(&counts);
+        let mut expected = OutcomeCounts::zero();
+        for &t in &tids {
+            expected.merge(&payloads[t as usize]);
+        }
+        assert_eq!(decoded, expected);
+    }
+
+    #[test]
+    fn aggregated_outcome_counts_are_not_maskable() {
+        // A tally of 2 is not a class membership; the lowering must bail.
+        let payloads = [OutcomeCounts { t: 2, f: 0, bot: 0 }];
+        assert!(OutcomeCounts::mask_spec(&payloads).is_none());
+    }
+
+    #[test]
+    fn multi_counts_round_trip_through_class_masks() {
+        use crate::Outcome::{Bot, F, T};
+        let payloads: Vec<MultiCounts> = [[T, Bot], [F, T], [Bot, Bot], [T, F]]
+            .iter()
+            .map(|os| MultiCounts::from_outcomes(os))
+            .collect();
+        let masks = fpm::ClassMasks::build(&payloads).expect("indicators are maskable");
+        assert_eq!(masks.n_classes(), 6);
+        let tids = [1u32, 2, 3];
+        let mut counts = vec![0u64; 6];
+        masks.count_sparse(&tids, &mut counts);
+        let decoded: MultiCounts = masks.decode(&counts);
+        let mut expected = MultiCounts::zero();
+        for &t in &tids {
+            expected.merge(&payloads[t as usize]);
+        }
+        assert_eq!(decoded, expected);
+    }
+
+    #[test]
+    fn mixed_arity_multi_counts_are_not_maskable() {
+        use crate::Outcome::T;
+        let payloads = [
+            MultiCounts::from_outcomes(&[T, T]),
+            MultiCounts::from_outcomes(&[T]),
+        ];
+        assert!(MultiCounts::mask_spec(&payloads).is_none());
     }
 }

@@ -27,6 +27,21 @@ impl Bitset {
         }
     }
 
+    /// Wraps an existing word buffer (e.g. one recycled from a pool).
+    pub fn from_words(words: Vec<u64>) -> Self {
+        Bitset { words }
+    }
+
+    /// Unwraps into the word buffer, for recycling.
+    pub fn into_words(self) -> Vec<u64> {
+        self.words
+    }
+
+    /// Number of `u64` words backing the set.
+    pub fn n_words(&self) -> usize {
+        self.words.len()
+    }
+
     /// Sets bit `i`.
     pub fn set(&mut self, i: usize) {
         self.words[i / 64] |= 1u64 << (i % 64);
@@ -42,9 +57,26 @@ impl Bitset {
         self.words.iter().map(|w| w.count_ones() as u64).sum()
     }
 
+    /// Binary operations are only defined over bitsets of the same
+    /// universe; a `zip` over mismatched word buffers would silently
+    /// truncate to the shorter one.
+    #[track_caller]
+    fn check_len(&self, other: &Bitset) {
+        assert_eq!(
+            self.words.len(),
+            other.words.len(),
+            "bitset word lengths must match"
+        );
+    }
+
     /// The intersection `self & other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two bitsets have different word lengths.
+    #[track_caller]
     pub fn and(&self, other: &Bitset) -> Bitset {
-        debug_assert_eq!(self.words.len(), other.words.len());
+        self.check_len(other);
         Bitset {
             words: self
                 .words
@@ -56,12 +88,67 @@ impl Bitset {
     }
 
     /// Popcount of the intersection without materializing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two bitsets have different word lengths.
+    #[track_caller]
     pub fn and_count(&self, other: &Bitset) -> u64 {
+        self.check_len(other);
         self.words
             .iter()
             .zip(&other.words)
             .map(|(a, b)| (a & b).count_ones() as u64)
             .sum()
+    }
+
+    /// Writes the intersection `self & other` into `out` (cleared first),
+    /// reusing its capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two bitsets have different word lengths.
+    #[track_caller]
+    pub fn and_into(&self, other: &Bitset, out: &mut Vec<u64>) {
+        self.check_len(other);
+        out.clear();
+        out.extend(self.words.iter().zip(&other.words).map(|(a, b)| a & b));
+    }
+
+    /// Appends the indices of the set bits of `self & other` to `out`,
+    /// ascending, without materializing the intersection bitset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two bitsets have different word lengths.
+    #[track_caller]
+    pub fn and_collect(&self, other: &Bitset, out: &mut Vec<u32>) {
+        self.check_len(other);
+        for (wi, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
+            let mut w = a & b;
+            while w != 0 {
+                out.push((wi * 64) as u32 + w.trailing_zeros());
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// Appends the indices of the set bits of `self & !other` to `out`,
+    /// ascending — the dEclat diffset `t(self) \ t(other)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two bitsets have different word lengths.
+    #[track_caller]
+    pub fn and_not_collect(&self, other: &Bitset, out: &mut Vec<u32>) {
+        self.check_len(other);
+        for (wi, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
+            let mut w = a & !b;
+            while w != 0 {
+                out.push((wi * 64) as u32 + w.trailing_zeros());
+                w &= w - 1;
+            }
+        }
     }
 
     /// Iterates the indices of set bits, ascending.
@@ -199,6 +286,73 @@ mod tests {
         assert!(!bs.get(63));
         let ones: Vec<usize> = bs.iter_ones().collect();
         assert_eq!(ones, vec![0, 64, 129]);
+    }
+
+    #[test]
+    fn mismatched_word_lengths_panic_instead_of_truncating() {
+        // Regression: `and_count` used to zip-truncate to the shorter
+        // buffer and return a wrong count; `and` only checked in debug.
+        let mut a = Bitset::zeros(200);
+        let mut b = Bitset::zeros(64);
+        for i in 0..64 {
+            a.set(i);
+            b.set(i);
+        }
+        a.set(190); // lives in a word `b` does not have
+        for op in [
+            (|a: &Bitset, b: &Bitset| {
+                a.and_count(b);
+            }) as fn(&Bitset, &Bitset),
+            |a, b| {
+                a.and(b);
+            },
+            |a, b| {
+                a.and_into(b, &mut Vec::new());
+            },
+            |a, b| {
+                a.and_collect(b, &mut Vec::new());
+            },
+            |a, b| {
+                a.and_not_collect(b, &mut Vec::new());
+            },
+        ] {
+            let err = std::panic::catch_unwind(|| op(&a, &b)).unwrap_err();
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default();
+            assert!(msg.contains("word lengths"), "got panic: {msg:?}");
+        }
+    }
+
+    #[test]
+    fn collect_variants_match_materialized_ops() {
+        let mut a = Bitset::zeros(300);
+        let mut b = Bitset::zeros(300);
+        for i in (0..300).step_by(2) {
+            a.set(i);
+        }
+        for i in (0..300).step_by(3) {
+            b.set(i);
+        }
+        let mut inter = Vec::new();
+        a.and_collect(&b, &mut inter);
+        let expected: Vec<u32> = a.and(&b).iter_ones().map(|i| i as u32).collect();
+        assert_eq!(inter, expected);
+
+        let mut diff = Vec::new();
+        a.and_not_collect(&b, &mut diff);
+        let expected_diff: Vec<u32> = a
+            .iter_ones()
+            .filter(|&i| !b.get(i))
+            .map(|i| i as u32)
+            .collect();
+        assert_eq!(diff, expected_diff);
+
+        let mut words = vec![0xDEADu64; 1]; // stale content must be cleared
+        a.and_into(&b, &mut words);
+        assert_eq!(Bitset::from_words(words), a.and(&b));
     }
 
     #[test]

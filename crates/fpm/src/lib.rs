@@ -2,8 +2,10 @@
 //!
 //! This crate implements three classic frequent-itemset mining algorithms —
 //! level-wise [Apriori](apriori), [FP-growth](fpgrowth) over an FP-tree, and
-//! vertical [Eclat](eclat) — plus a [naive reference miner](naive) used for
-//! differential testing.
+//! vertical [Eclat](eclat) — plus the class-mask popcount engine
+//! [`dense`] (adaptive bitset / tid-list / dEclat-diffset representation
+//! with payload counters computed as `popcount(tidset & class_mask)`) and
+//! a [naive reference miner](naive) used for differential testing.
 //!
 //! The distinguishing feature, required by Algorithm 1 of the DivExplorer
 //! paper (Pastor et al., SIGMOD 2021), is that every miner is generic over a
@@ -79,10 +81,12 @@ pub mod arena;
 pub mod bitset_eclat;
 pub mod budget;
 pub mod closed;
+pub mod dense;
 pub mod eclat;
 pub mod fpgrowth;
 pub mod fptree;
 pub mod itemset;
+pub mod masks;
 pub mod naive;
 pub mod parallel;
 pub mod payload;
@@ -95,6 +99,7 @@ pub mod vertical;
 pub use arena::{ArenaEntry, ItemsetArena};
 pub use budget::{Budget, BudgetSink, CancelToken, Completeness, TruncationReason};
 pub use itemset::FrequentItemset;
+pub use masks::{ClassMasks, MaskSpec};
 pub use payload::{CountPayload, Payload};
 pub use sink::{CountingSink, FilterSink, ItemsetSink, TopKBySupportSink, VecSink};
 pub use trace::TracingSink;
@@ -169,6 +174,12 @@ pub enum Algorithm {
     /// Vertical mining over packed bit vectors — fastest on dense databases
     /// like DivExplorer's one-item-per-attribute transactions.
     EclatBitset,
+    /// Class-mask popcount counting with adaptive tidsets (bitsets,
+    /// sorted tid-lists, dEclat diffsets): payload counters are computed
+    /// as `popcount(tidset & class_mask)` instead of per-tid merges.
+    /// Payloads that don't lower into class masks fall back to
+    /// [`Algorithm::Eclat`] transparently.
+    Dense,
     /// Exhaustive depth-first enumeration with per-candidate scans. Only
     /// suitable for small inputs; used as the differential-testing oracle.
     Naive,
@@ -176,11 +187,12 @@ pub enum Algorithm {
 
 impl Algorithm {
     /// Every production algorithm (excludes [`Algorithm::Naive`]).
-    pub const ALL: [Algorithm; 4] = [
+    pub const ALL: [Algorithm; 5] = [
         Algorithm::Apriori,
         Algorithm::FpGrowth,
         Algorithm::Eclat,
         Algorithm::EclatBitset,
+        Algorithm::Dense,
     ];
 
     /// The telemetry span name wrapping a [`mine_into`] run with this
@@ -191,6 +203,7 @@ impl Algorithm {
             Algorithm::FpGrowth => "fpm.mine.fp-growth",
             Algorithm::Eclat => "fpm.mine.eclat",
             Algorithm::EclatBitset => "fpm.mine.eclat-bitset",
+            Algorithm::Dense => "fpm.mine.dense",
             Algorithm::Naive => "fpm.mine.naive",
         }
     }
@@ -203,6 +216,7 @@ impl std::fmt::Display for Algorithm {
             Algorithm::FpGrowth => "fp-growth",
             Algorithm::Eclat => "eclat",
             Algorithm::EclatBitset => "eclat-bitset",
+            Algorithm::Dense => "dense",
             Algorithm::Naive => "naive",
         };
         f.write_str(name)
@@ -274,6 +288,7 @@ pub fn mine_into<P: Payload, S: ItemsetSink<P>>(
         Algorithm::FpGrowth => fpgrowth::mine_into(db, payloads, params, sink),
         Algorithm::Eclat => eclat::mine_into(db, payloads, params, sink),
         Algorithm::EclatBitset => bitset_eclat::mine_into(db, payloads, params, sink),
+        Algorithm::Dense => dense::mine_into(db, payloads, params, sink),
         Algorithm::Naive => naive::mine_into(db, payloads, params, sink),
     }
 }

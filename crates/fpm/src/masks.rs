@@ -1,0 +1,211 @@
+//! Class-mask lowering: payload aggregation as `popcount(tidset & mask)`.
+//!
+//! Algorithm 1 of the paper fuses the `(T, F, ⊥)` outcome tallies into
+//! mining, and the merge-based miners realize that fusion as one
+//! [`Payload::merge`] call per covering transaction. For payloads whose
+//! aggregate is really a handful of *class counts* — "how many covering
+//! rows fall into class `c`" — there is a much cheaper realization: build
+//! one packed bitmask per class over the whole database once, and compute
+//! every counter as `popcount(tidset & class_mask)`. Counting an itemset
+//! then costs a few cache lines of word-wide ANDs instead of a per-tid
+//! merge walk.
+//!
+//! The lowering is described by a [`MaskSpec`] (how many classes, and how
+//! composite payloads nest) and materialized as [`ClassMasks`] (one
+//! [`Bitset`] per class). A payload type opts in by overriding the
+//! `mask_spec` / `encode_classes` / `decode_classes` hooks on
+//! [`Payload`]; types that keep the default (`mask_spec` → `None`) simply
+//! fall back to merge-based counting in [`crate::dense`].
+
+use crate::bitset_eclat::Bitset;
+use crate::payload::Payload;
+
+/// Shape of a payload type's lowering into counting classes.
+///
+/// A *leaf* spec says the payload decomposes into `n_classes` flat
+/// counters. A *composite* spec concatenates the class ranges of its
+/// children in order — how tuple and array payloads compose.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MaskSpec {
+    n_classes: usize,
+    children: Vec<MaskSpec>,
+}
+
+impl MaskSpec {
+    /// A flat spec with `n_classes` counting classes.
+    pub fn leaf(n_classes: usize) -> Self {
+        MaskSpec {
+            n_classes,
+            children: Vec::new(),
+        }
+    }
+
+    /// A composite spec: children own consecutive class ranges.
+    pub fn composite(children: Vec<MaskSpec>) -> Self {
+        MaskSpec {
+            n_classes: children.iter().map(|c| c.n_classes).sum(),
+            children,
+        }
+    }
+
+    /// Total number of counting classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Component specs of a composite payload (empty for leaves).
+    pub fn children(&self) -> &[MaskSpec] {
+        &self.children
+    }
+}
+
+/// One packed bitmask per counting class over the whole database:
+/// bit `t` of mask `c` is set iff transaction `t` belongs to class `c`.
+///
+/// Built once per mining run; read-only afterwards, so the parallel
+/// engine shares one instance across all workers.
+#[derive(Debug, Clone)]
+pub struct ClassMasks {
+    spec: MaskSpec,
+    n_rows: usize,
+    masks: Vec<Bitset>,
+}
+
+impl ClassMasks {
+    /// Lowers a run's per-transaction payloads into class masks.
+    ///
+    /// Returns `None` when the payload type does not support the
+    /// lowering, or when these particular values don't (e.g. a counts
+    /// payload where some per-row tally exceeds 1 and therefore is not
+    /// a class membership).
+    pub fn build<P: Payload>(payloads: &[P]) -> Option<ClassMasks> {
+        let spec = P::mask_spec(payloads)?;
+        let mut masks = vec![Bitset::zeros(payloads.len()); spec.n_classes()];
+        for (t, p) in payloads.iter().enumerate() {
+            p.encode_classes(&spec, &mut |class| masks[class].set(t));
+        }
+        Some(ClassMasks {
+            spec,
+            n_rows: payloads.len(),
+            masks,
+        })
+    }
+
+    /// The lowering shape these masks realize.
+    pub fn spec(&self) -> &MaskSpec {
+        &self.spec
+    }
+
+    /// Number of counting classes (= number of masks).
+    pub fn n_classes(&self) -> usize {
+        self.spec.n_classes
+    }
+
+    /// Number of transactions the masks cover.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Tallies a dense tidset: `counts[c] = popcount(tids & mask_c)`.
+    /// Returns the number of words ANDed (for telemetry).
+    pub fn count_dense(&self, tids: &Bitset, counts: &mut [u64]) -> u64 {
+        debug_assert_eq!(counts.len(), self.masks.len());
+        let mut words = 0u64;
+        for (mask, slot) in self.masks.iter().zip(counts.iter_mut()) {
+            *slot = tids.and_count(mask);
+            words += mask.n_words() as u64;
+        }
+        words
+    }
+
+    /// Tallies a sorted tid-list: `counts[c] = |{t ∈ tids : mask_c[t]}|`.
+    pub fn count_sparse(&self, tids: &[u32], counts: &mut [u64]) {
+        debug_assert_eq!(counts.len(), self.masks.len());
+        for (mask, slot) in self.masks.iter().zip(counts.iter_mut()) {
+            *slot = tids.iter().filter(|&&t| mask.get(t as usize)).count() as u64;
+        }
+    }
+
+    /// Subtracts the per-class membership of `tids` from `counts` —
+    /// the dEclat step: `counts(child) = counts(parent) − counts(diffset)`.
+    pub fn subtract_sparse(&self, tids: &[u32], counts: &mut [u64]) {
+        debug_assert_eq!(counts.len(), self.masks.len());
+        for (mask, slot) in self.masks.iter().zip(counts.iter_mut()) {
+            *slot -= tids.iter().filter(|&&t| mask.get(t as usize)).count() as u64;
+        }
+    }
+
+    /// Rebuilds an aggregate payload from per-class counts.
+    pub fn decode<P: Payload>(&self, counts: &[u64]) -> P {
+        P::decode_classes(&self.spec, counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::CountPayload;
+    use crate::vertical;
+
+    #[test]
+    fn composite_spec_concatenates_class_ranges() {
+        let spec = MaskSpec::composite(vec![MaskSpec::leaf(3), MaskSpec::leaf(2)]);
+        assert_eq!(spec.n_classes(), 5);
+        assert_eq!(spec.children().len(), 2);
+    }
+
+    #[test]
+    fn count_payload_round_trips_through_masks() {
+        // Values 0..6 need 3 bit-plane classes; popcount of each plane
+        // over any subset must decode to the subset's payload sum.
+        let payloads: Vec<CountPayload> = (0..10u64).map(|t| CountPayload(t % 6)).collect();
+        let masks = ClassMasks::build(&payloads).expect("CountPayload is maskable");
+        assert_eq!(masks.n_classes(), 3);
+
+        let tids: Vec<u32> = vec![1, 4, 7, 9];
+        let mut counts = vec![0u64; masks.n_classes()];
+        masks.count_sparse(&tids, &mut counts);
+        let decoded: CountPayload = masks.decode(&counts);
+        assert_eq!(decoded, vertical::sum_payloads(&tids, &payloads));
+    }
+
+    #[test]
+    fn dense_and_sparse_tallies_agree() {
+        let payloads: Vec<CountPayload> = (0..200u64).map(|t| CountPayload(t % 4)).collect();
+        let masks = ClassMasks::build(&payloads).unwrap();
+        let tids: Vec<u32> = (0..200).step_by(3).collect();
+        let mut bs = Bitset::zeros(200);
+        for &t in &tids {
+            bs.set(t as usize);
+        }
+        let mut dense = vec![0u64; masks.n_classes()];
+        let mut sparse = vec![0u64; masks.n_classes()];
+        masks.count_dense(&bs, &mut dense);
+        masks.count_sparse(&tids, &mut sparse);
+        assert_eq!(dense, sparse);
+    }
+
+    #[test]
+    fn subtract_sparse_implements_the_diffset_step() {
+        let payloads: Vec<CountPayload> = (0..50u64).map(|t| CountPayload(t % 3)).collect();
+        let masks = ClassMasks::build(&payloads).unwrap();
+        let parent: Vec<u32> = (0..50).collect();
+        let child: Vec<u32> = (0..50).filter(|t| t % 5 != 0).collect();
+        let diff: Vec<u32> = (0..50).step_by(5).collect();
+
+        let mut counts = vec![0u64; masks.n_classes()];
+        masks.count_sparse(&parent, &mut counts);
+        masks.subtract_sparse(&diff, &mut counts);
+        let mut expected = vec![0u64; masks.n_classes()];
+        masks.count_sparse(&child, &mut expected);
+        assert_eq!(counts, expected);
+    }
+
+    #[test]
+    fn unit_payload_lowers_to_zero_classes() {
+        let masks = ClassMasks::build(&[(), (), ()]).expect("() is trivially maskable");
+        assert_eq!(masks.n_classes(), 0);
+        let decoded: () = masks.decode(&[]);
+        let () = decoded;
+    }
+}

@@ -14,6 +14,13 @@
 //! *not* consulted during the search — a sink needing suppression must
 //! filter in `emit` (see the [`crate::sink`] contract).
 //!
+//! When the run's payloads lower into [`ClassMasks`] (see
+//! [`crate::masks`]), each worker runs the [`crate::dense`] popcount
+//! engine with its own buffer [`crate::dense::Pool`] over root nodes
+//! built once and shared read-only; otherwise the workers fall back to
+//! merge-based tid-list subtrees. Both paths honor the same shared
+//! limits.
+//!
 //! Results are identical to [`crate::eclat`] up to output order (the public
 //! [`mine`] sorts canonically, and the differential tests enforce equality).
 
@@ -23,7 +30,9 @@ use std::time::Instant;
 
 use crate::arena::ItemsetArena;
 use crate::budget::{Budget, CancelToken, Completeness, TruncationReason};
+use crate::dense;
 use crate::itemset::FrequentItemset;
+use crate::masks::ClassMasks;
 use crate::payload::Payload;
 use crate::sink::ItemsetSink;
 use crate::transaction::{ItemId, TransactionDb};
@@ -176,6 +185,64 @@ impl SharedLimits<'_> {
     }
 }
 
+/// Worker-local sink adapting the [`crate::dense`] engine's streaming
+/// hooks to the shared limits: `emit` admits into the worker's arena,
+/// `wants_extensions` enforces the budget's depth cap, and `should_stop`
+/// polls time-based limits every 64 nodes (mirroring the tid-list path).
+struct DenseWorkerSink<'a, 'b, P: Payload> {
+    shared: &'a SharedLimits<'b>,
+    arena: ItemsetArena<P>,
+    ticks: u32,
+    depth_cap: usize,
+}
+
+impl<P: Payload> ItemsetSink<P> for DenseWorkerSink<'_, '_, P> {
+    fn emit(&mut self, items: &[ItemId], support: u64, payload: &P) {
+        if self.shared.stopped() || !self.shared.admit(items.len()) {
+            return;
+        }
+        self.arena.push(items, support, payload.clone());
+    }
+
+    fn wants_extensions(&mut self, items: &[ItemId], _support: u64) -> bool {
+        if items.len() >= self.depth_cap {
+            // The budget's depth cap (not the caller's max_len) gated
+            // this subtree: the result may be missing deeper itemsets.
+            self.shared.depth_pruned.store(true, Ordering::Relaxed);
+            return false;
+        }
+        !self.shared.stopped()
+    }
+
+    fn should_stop(&mut self) -> bool {
+        self.ticks = self.ticks.wrapping_add(1);
+        if self.ticks & 63 == 0 {
+            self.shared.poll()
+        } else {
+            self.shared.stopped()
+        }
+    }
+}
+
+/// Joins the worker shards; a panic that escaped the per-root
+/// `catch_unwind` (e.g. in the loop glue) loses that worker's shard but
+/// still degrades gracefully.
+fn join_workers<'scope, P: Payload>(
+    handles: Vec<std::thread::ScopedJoinHandle<'scope, ItemsetArena<P>>>,
+    shared: &SharedLimits<'_>,
+) -> Vec<ItemsetArena<P>> {
+    handles
+        .into_iter()
+        .filter_map(|handle| match handle.join() {
+            Ok(local) => Some(local),
+            Err(_) => {
+                shared.panicked.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        })
+        .collect()
+}
+
 /// Parallel mining under a [`Budget`] and optional [`CancelToken`],
 /// returning the merged (canonically sorted) partial result and its
 /// [`Completeness`] verdict.
@@ -230,77 +297,130 @@ pub fn mine_arena_bounded<P: Payload + Send + Sync>(
     };
     let shared = &shared;
 
-    // Shared vertical representation.
-    let tid_build = obs::span("fpm.eclat.tid_build");
-    let roots: Vec<(ItemId, Vec<u32>)> = vertical::tid_lists(db)
-        .into_iter()
-        .enumerate()
-        .filter(|(_, tids)| tids.len() as u64 >= threshold)
-        .map(|(item, tids)| (item as ItemId, tids))
-        .collect();
-    drop(tid_build);
-    let roots = &roots;
-
-    let locals: Vec<ItemsetArena<P>> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(n_threads);
-        for worker in 0..n_threads {
-            handles.push(scope.spawn(move || {
-                let mut local = ItemsetArena::new();
-                let mut prefix: Vec<ItemId> = Vec::new();
-                let mut ticks = 0u32;
-                // Intersections are tallied locally and published once per
-                // worker: one facade call instead of one per node, so a
-                // lock-holding recorder never serializes the workers.
-                let mut inters = 0u64;
-                // Round-robin partition of the root items.
-                let mut pos = worker;
-                while pos < roots.len() {
-                    if shared.poll() {
-                        break;
+    let locals: Vec<ItemsetArena<P>> = if let Some(masks) = ClassMasks::build(payloads) {
+        // Dense path: popcount counting against the shared class masks.
+        // Root nodes are built once and shared read-only; each worker has
+        // its own buffer pool, stats, and arena.
+        let ctx = dense::Ctx {
+            masks: &masks,
+            threshold,
+            max_len,
+            n_rows: db.len(),
+            config: dense::Config::default(),
+        };
+        let mut root_pool = dense::Pool::new();
+        let mut root_stats = dense::EngineStats::default();
+        let roots = dense::build_roots(db, &ctx, &mut root_pool, &mut root_stats);
+        root_stats.publish(&root_pool);
+        let (roots, ctx) = (&roots, &ctx);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n_threads);
+            for worker in 0..n_threads {
+                handles.push(scope.spawn(move || {
+                    let mut pool = dense::Pool::new();
+                    let mut stats = dense::EngineStats::default();
+                    let mut prefix: Vec<ItemId> = Vec::new();
+                    let mut sink = DenseWorkerSink {
+                        shared,
+                        arena: ItemsetArena::new(),
+                        ticks: 0,
+                        depth_cap,
+                    };
+                    // Round-robin partition of the root items.
+                    let mut pos = worker;
+                    while pos < roots.len() {
+                        if shared.poll() {
+                            break;
+                        }
+                        // Contain a poisoned subtree: record the panic,
+                        // drop whatever state it left in `prefix`, keep
+                        // mining the worker's remaining roots.
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            dense::extend(
+                                ctx,
+                                roots,
+                                pos,
+                                &mut prefix,
+                                &mut pool,
+                                &mut stats,
+                                &mut sink,
+                            )
+                        }));
+                        if outcome.is_err() {
+                            shared.panicked.fetch_add(1, Ordering::Relaxed);
+                            prefix.clear();
+                        }
+                        pos += n_threads;
                     }
-                    // Contain a poisoned subtree: record the panic, drop
-                    // whatever state it left in `prefix`, keep mining the
-                    // worker's remaining roots.
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        subtree(
-                            roots,
-                            pos,
-                            payloads,
-                            threshold,
-                            max_len,
-                            depth_cap,
-                            shared,
-                            &mut ticks,
-                            &mut inters,
-                            &mut prefix,
-                            &mut local,
-                        )
-                    }));
-                    if outcome.is_err() {
-                        shared.panicked.fetch_add(1, Ordering::Relaxed);
-                        prefix.clear();
-                    }
-                    pos += n_threads;
-                }
-                obs::counter("fpm.tid_intersections", inters);
-                local
-            }));
-        }
-        handles
+                    // One batched publish per worker, so a lock-holding
+                    // recorder never serializes the workers.
+                    stats.publish(&pool);
+                    sink.arena
+                }));
+            }
+            join_workers(handles, shared)
+        })
+    } else {
+        // Merge path: shared vertical representation, per-tid payload
+        // merges.
+        let tid_build = obs::span("fpm.eclat.tid_build");
+        let roots: Vec<(ItemId, Vec<u32>)> = vertical::tid_lists(db)
             .into_iter()
-            .filter_map(|handle| {
-                // A panic escaping the catch_unwind (e.g. in the loop glue)
-                // loses that worker's shard but still degrades gracefully.
-                match handle.join() {
-                    Ok(local) => Some(local),
-                    Err(_) => {
-                        shared.panicked.fetch_add(1, Ordering::Relaxed);
-                        None
+            .enumerate()
+            .filter(|(_, tids)| tids.len() as u64 >= threshold)
+            .map(|(item, tids)| (item as ItemId, tids))
+            .collect();
+        drop(tid_build);
+        let roots = &roots;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n_threads);
+            for worker in 0..n_threads {
+                handles.push(scope.spawn(move || {
+                    let mut local = ItemsetArena::new();
+                    let mut prefix: Vec<ItemId> = Vec::new();
+                    let mut ticks = 0u32;
+                    // Intersections are tallied locally and published once
+                    // per worker: one facade call instead of one per node,
+                    // so a lock-holding recorder never serializes the
+                    // workers.
+                    let mut inters = 0u64;
+                    // Round-robin partition of the root items.
+                    let mut pos = worker;
+                    while pos < roots.len() {
+                        if shared.poll() {
+                            break;
+                        }
+                        // Contain a poisoned subtree: record the panic,
+                        // drop whatever state it left in `prefix`, keep
+                        // mining the worker's remaining roots.
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            subtree(
+                                roots,
+                                pos,
+                                payloads,
+                                threshold,
+                                max_len,
+                                depth_cap,
+                                shared,
+                                &mut ticks,
+                                &mut inters,
+                                &mut prefix,
+                                &mut local,
+                            )
+                        }));
+                        if outcome.is_err() {
+                            shared.panicked.fetch_add(1, Ordering::Relaxed);
+                            prefix.clear();
+                        }
+                        pos += n_threads;
                     }
-                }
-            })
-            .collect()
-    });
+                    obs::counter("fpm.tid_intersections", inters);
+                    local
+                }));
+            }
+            join_workers(handles, shared)
+        })
+    };
     drop(mine_span);
 
     let merge_span = obs::span("fpm.parallel.merge");

@@ -9,8 +9,15 @@ use crate::payload::Payload;
 use crate::transaction::TransactionDb;
 
 /// Builds the vertical representation: one sorted tid-list per item.
+///
+/// Each list is sized exactly from the per-item support histogram before
+/// the fill pass, so building the representation never reallocates.
 pub fn tid_lists(db: &TransactionDb) -> Vec<Vec<u32>> {
-    let mut tidlists: Vec<Vec<u32>> = vec![Vec::new(); db.n_items() as usize];
+    let mut tidlists: Vec<Vec<u32>> = db
+        .item_support_counts()
+        .into_iter()
+        .map(|c| Vec::with_capacity(c as usize))
+        .collect();
     for (t, row) in db.iter().enumerate() {
         for &item in row {
             tidlists[item as usize].push(t as u32);
@@ -91,6 +98,10 @@ mod tests {
         let db = TransactionDb::from_rows(3, &[vec![0, 1], vec![0, 2], vec![1]]);
         let lists = tid_lists(&db);
         assert_eq!(lists, vec![vec![0, 1], vec![0, 2], vec![1]]);
+        // Pre-sized from the counting pass: filled to exact capacity.
+        for list in &lists {
+            assert_eq!(list.capacity(), list.len());
+        }
     }
 
     #[test]

@@ -114,6 +114,76 @@ proptest! {
         }
     }
 
+    /// The dense popcount engine must agree with merge-based Eclat under
+    /// *every* representation mix — all-bitset, all-tid-list, diffsets at
+    /// the first opportunity, and a cutoff that lands mid-lattice so
+    /// recursions cross the dense/sparse boundary — for a composite
+    /// payload whose `(T, F, ⊥)`-style tallies ride through the class
+    /// masks.
+    #[test]
+    fn dense_configs_agree_with_eclat(db in small_db(), min_support in 1u64..5, max_len in prop::option::of(1usize..4)) {
+        use fpm::dense::{self, Config};
+        let payloads: Vec<(CountPayload, CountPayload)> = (0..db.len())
+            .map(|t| (CountPayload(t as u64 % 3), CountPayload(1 + t as u64 % 2)))
+            .collect();
+        let mut params = MiningParams::with_min_support_count(min_support);
+        params.max_len = max_len;
+        let mut expected = mine(Algorithm::Eclat, &db, &payloads, &params);
+        sort_canonical(&mut expected);
+        for config in [
+            Config::default(),
+            Config { sparse_cutoff: 0.0, diffset_ratio: 1.0 }, // all dense, no diffsets
+            Config { sparse_cutoff: 2.0, diffset_ratio: 1.0 }, // all sparse, no diffsets
+            Config { sparse_cutoff: 0.0, diffset_ratio: 0.0 }, // diffsets asap from bitsets
+            Config { sparse_cutoff: 2.0, diffset_ratio: 0.0 }, // diffsets asap from tid-lists
+            Config { sparse_cutoff: 0.5, diffset_ratio: 0.5 }, // boundary mid-lattice
+        ] {
+            let mut arena = fpm::ItemsetArena::new();
+            dense::mine_into_with(config, &db, &payloads, &params, &mut arena);
+            let mut got = arena.into_itemsets();
+            sort_canonical(&mut got);
+            prop_assert_eq!(&got, &expected, "config {:?}", config);
+        }
+    }
+
+    /// Dense under budgets and cancellation: a truncated run emits a
+    /// subset of the full run with bit-exact supports and payloads, and a
+    /// pre-fired token stops the run before any emission.
+    #[test]
+    fn dense_bounded_runs_emit_exact_subsets(db in small_db(), min_support in 1u64..4, cap in 1u64..8) {
+        let payloads: Vec<(CountPayload, CountPayload)> = (0..db.len())
+            .map(|t| (CountPayload(t as u64 % 3), CountPayload(t as u64 + 1)))
+            .collect();
+        let params = MiningParams::with_min_support_count(min_support);
+        let mut full = mine(Algorithm::Dense, &db, &payloads, &params);
+        sort_canonical(&mut full);
+
+        let mut sink = fpm::VecSink::new();
+        let budget = fpm::Budget::unlimited().with_max_itemsets(cap);
+        let verdict = fpm::mine_into_bounded(
+            Algorithm::Dense, &db, &payloads, &params, &budget, None, &mut sink);
+        prop_assert!(sink.found.len() as u64 <= cap);
+        if (full.len() as u64) > cap {
+            prop_assert!(verdict.truncation_reason().is_some());
+        }
+        for fi in &sink.found {
+            let reference = full.iter().find(|r| r.items == fi.items);
+            prop_assert_eq!(Some(fi), reference, "emitted itemset must match the full run");
+        }
+
+        let token = fpm::CancelToken::new();
+        token.cancel();
+        let mut sink = fpm::VecSink::new();
+        let verdict = fpm::mine_into_bounded(
+            Algorithm::Dense, &db, &payloads, &params,
+            &fpm::Budget::unlimited(), Some(&token), &mut sink);
+        if !full.is_empty() {
+            prop_assert_eq!(verdict.truncation_reason(),
+                Some(fpm::TruncationReason::Cancelled));
+        }
+        prop_assert!(sink.found.is_empty(), "pre-fired token must stop before emission");
+    }
+
     #[test]
     fn payload_equals_scan_of_covering_transactions(db in small_db(), min_support in 1u64..4) {
         let payloads = payloads_for(&db);

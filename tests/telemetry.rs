@@ -110,6 +110,7 @@ fn every_miner_emits_its_phase_span_and_matching_counters() {
         Algorithm::FpGrowth,
         Algorithm::Eclat,
         Algorithm::EclatBitset,
+        Algorithm::Dense,
         Algorithm::Naive,
     ] {
         let recorder = std::sync::Arc::new(obs::StatsRecorder::new());
