@@ -86,7 +86,10 @@ fn bench_anchored(c: &mut Criterion) {
     });
     group.bench_function("full_plus_filter", |b| {
         b.iter(|| {
-            fpm::mine_counts(Algorithm::FpGrowth, &db, &params)
+            fpm::MiningTask::with_params(&db, params.clone())
+                .algorithm(Algorithm::FpGrowth)
+                .run()
+                .into_itemsets()
                 .into_iter()
                 .filter(|fi| fi.items.contains(&anchor))
                 .count()

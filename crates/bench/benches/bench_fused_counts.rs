@@ -38,7 +38,10 @@ fn bench_fused_vs_posthoc(c: &mut Criterion) {
             b.iter(|| {
                 // Mine supports only, then tally outcomes by re-scanning
                 // the database once per frequent itemset.
-                let found = fpm::mine_counts(fpm::Algorithm::FpGrowth, &db, &params);
+                let found = fpm::MiningTask::with_params(&db, params.clone())
+                    .algorithm(fpm::Algorithm::FpGrowth)
+                    .run()
+                    .into_itemsets();
                 let mut total = 0u64;
                 for fi in &found {
                     let mut tally = OutcomeCounts::zero();

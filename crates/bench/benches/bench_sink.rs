@@ -59,12 +59,14 @@ fn report_allocations(db: &fpm::TransactionDb, payloads: &[fpm::CountPayload]) {
     );
     for s in [0.1, 0.05, 0.02] {
         let params = MiningParams::with_min_support_fraction(s, db.len());
-        let (mat, found) = allocations_of(|| fpm::mine(Algorithm::FpGrowth, db, payloads, &params));
-        let (arena, _) =
-            allocations_of(|| fpm::mine_arena(Algorithm::FpGrowth, db, payloads, &params));
+        let task = fpm::MiningTask::with_params(db, params.clone())
+            .payloads(payloads)
+            .algorithm(Algorithm::FpGrowth);
+        let (mat, found) = allocations_of(|| task.clone().run().into_itemsets());
+        let (arena, _) = allocations_of(|| task.clone().run().store);
         let (streaming, emitted) = allocations_of(|| {
             let mut sink = CountingSink::new();
-            fpm::mine_into(Algorithm::FpGrowth, db, payloads, &params, &mut sink);
+            task.clone().run_into(&mut sink);
             sink.emitted
         });
         assert_eq!(found.len() as u64, emitted);
@@ -103,19 +105,22 @@ fn bench_streamed_vs_materialized(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for s in [0.05, 0.02] {
         let params = MiningParams::with_min_support_fraction(s, db.len());
+        let task = fpm::MiningTask::with_params(&db, params)
+            .payloads(&payloads)
+            .algorithm(Algorithm::FpGrowth);
 
-        group.bench_with_input(BenchmarkId::new("materialized", s), &params, |b, params| {
-            b.iter(|| fpm::mine(Algorithm::FpGrowth, &db, &payloads, params).len())
+        group.bench_with_input(BenchmarkId::new("materialized", s), &task, |b, task| {
+            b.iter(|| task.clone().run().into_itemsets().len())
         });
 
-        group.bench_with_input(BenchmarkId::new("arena", s), &params, |b, params| {
-            b.iter(|| fpm::mine_arena(Algorithm::FpGrowth, &db, &payloads, params).len())
+        group.bench_with_input(BenchmarkId::new("arena", s), &task, |b, task| {
+            b.iter(|| task.clone().run().store.len())
         });
 
-        group.bench_with_input(BenchmarkId::new("streaming", s), &params, |b, params| {
+        group.bench_with_input(BenchmarkId::new("streaming", s), &task, |b, task| {
             b.iter(|| {
                 let mut sink = CountingSink::new();
-                fpm::mine_into(Algorithm::FpGrowth, &db, &payloads, params, &mut sink);
+                task.clone().run_into(&mut sink);
                 sink.emitted
             })
         });

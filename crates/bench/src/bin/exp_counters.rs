@@ -45,7 +45,11 @@ fn main() {
         let mut arena = None;
         for _ in 0..reps {
             let start = Instant::now();
-            let mut run = fpm::mine_arena(algo, &db, &payloads, &params);
+            let mut run = fpm::MiningTask::with_params(&db, params.clone())
+                .payloads(&payloads)
+                .algorithm(algo)
+                .run()
+                .store;
             let us = start.elapsed().as_micros() as u64;
             best_us = best_us.min(us);
             run.sort_canonical();

@@ -1,0 +1,132 @@
+//! Sharded two-pass mining benchmark: partitioned mining vs the dense
+//! one-pass engine on a synthetic workload.
+//!
+//! Mines the same `(T, F, ⊥)`-carrying lattice with the dense popcount
+//! engine and with the sharded engine at K ∈ {1, 2, 7} row shards,
+//! asserts every sharded run bit-identical to dense — itemsets,
+//! supports, and every outcome tally — and records the sharded engine's
+//! memory model (peak resident shard bytes + candidate-arena bytes) and
+//! per-phase wall clock in `BENCH_sharded.json`.
+//!
+//! `--smoke` shrinks the dataset for CI; correctness is always asserted.
+
+use bench::{banner, telemetry};
+use divexplorer::{Metric, MultiCounts};
+use fpm::{Algorithm, MiningParams, MiningTask};
+use std::time::Instant;
+
+const METRICS: [Metric; 2] = [Metric::FalsePositiveRate, Metric::FalseNegativeRate];
+const SHARD_COUNTS: [usize; 3] = [1, 2, 7];
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 2_000 } else { 50_000 };
+    banner(
+        "Sharded",
+        "Two-pass sharded mining vs dense one-pass (artificial dataset)",
+    );
+    let d = datasets::artificial::generate(n, 7);
+    let db = d.data.to_transactions();
+    let payloads: Vec<MultiCounts> = (0..db.len())
+        .map(|r| {
+            let outcomes: Vec<_> = METRICS.iter().map(|m| m.outcome(d.v[r], d.u[r])).collect();
+            MultiCounts::from_outcomes(&outcomes)
+        })
+        .collect();
+    let params = MiningParams::with_min_support_fraction(0.02, db.len());
+    let task = MiningTask::with_params(&db, params)
+        .payloads(&payloads)
+        .algorithm(Algorithm::Dense);
+
+    let start = Instant::now();
+    let mut reference = task.clone().run().store;
+    let dense_us = start.elapsed().as_micros() as u64;
+    reference.sort_canonical();
+    println!(
+        "{:<12} {dense_us:>10} µs   {} itemsets",
+        "dense",
+        reference.len()
+    );
+
+    let mut counters = vec![obs::CounterEntry {
+        name: "dense_us".to_string(),
+        value: dense_us,
+    }];
+    let mut worst_us = dense_us;
+    for k in SHARD_COUNTS {
+        let start = Instant::now();
+        let outcome = task.clone().shards(k).run();
+        let us = start.elapsed().as_micros() as u64;
+        worst_us = worst_us.max(us);
+        let stats = outcome.shards.expect("sharded run records stats");
+        let mut arena = outcome.store;
+        arena.sort_canonical();
+
+        // (T, F, ⊥) counters must be bit-identical to the dense run.
+        assert!(outcome.completeness.is_complete(), "K={k}: truncated");
+        assert_eq!(arena.len(), reference.len(), "K={k}: itemset count");
+        for (got, want) in arena.iter().zip(reference.iter()) {
+            assert_eq!(got.items, want.items, "K={k}: itemsets differ");
+            assert_eq!(
+                got.support, want.support,
+                "K={k}: support differs on {:?}",
+                want.items
+            );
+            assert_eq!(
+                got.payload, want.payload,
+                "K={k}: (T, F, \u{22a5}) tallies differ on {:?}",
+                want.items
+            );
+        }
+
+        // The memory model: peak resident mining state is one shard plus
+        // the candidate arena, both reported by the engine.
+        assert!(stats.peak_shard_bytes > 0, "K={k}: no shard bytes");
+        assert!(stats.candidate_bytes > 0, "K={k}: no candidate bytes");
+        assert_eq!(stats.shards_mined, k as u64, "K={k}: shards mined");
+        assert_eq!(stats.recount_rows, db.len() as u64, "K={k}: recount rows");
+        println!(
+            "sharded K={k:<3} {us:>10} µs   {} candidates, peak {} B shard + {} B candidates",
+            stats.candidates, stats.peak_shard_bytes, stats.candidate_bytes
+        );
+        counters.extend([
+            obs::CounterEntry {
+                name: format!("sharded_k{k}_us"),
+                value: us,
+            },
+            obs::CounterEntry {
+                name: format!("sharded_k{k}_mine_us"),
+                value: stats.mine_us,
+            },
+            obs::CounterEntry {
+                name: format!("sharded_k{k}_recount_us"),
+                value: stats.recount_us,
+            },
+            obs::CounterEntry {
+                name: format!("sharded_k{k}_candidates"),
+                value: stats.candidates,
+            },
+            obs::CounterEntry {
+                name: format!("sharded_k{k}_peak_shard_bytes"),
+                value: stats.peak_shard_bytes,
+            },
+            obs::CounterEntry {
+                name: format!("sharded_k{k}_candidate_bytes"),
+                value: stats.candidate_bytes,
+            },
+        ]);
+    }
+    println!(
+        "sharded results bit-identical to dense for K in {SHARD_COUNTS:?} \
+         ({} itemsets each)",
+        reference.len()
+    );
+
+    let mut run = obs::RunReport::new("sharded", "artificial", "sharded");
+    run.n_rows = db.len() as u64;
+    run.min_support = 0.02;
+    run.patterns = reference.len() as u64;
+    run.total_us = worst_us;
+    run.counters = counters;
+    telemetry::write(&run);
+}

@@ -75,6 +75,9 @@ pub struct Args {
     pub stats: bool,
     /// Mining engine backing the exploration.
     pub engine: fpm::Algorithm,
+    /// Mine through the sharded two-pass engine with this many row
+    /// shards (bit-identical results at a fraction of the peak memory).
+    pub shards: Option<usize>,
 }
 
 /// The supported subcommands.
@@ -181,7 +184,12 @@ OPTIONS:
                      as newline-delimited JSON
   --stats            print an aggregated telemetry summary to stderr
   --engine NAME      mining engine: apriori, fp-growth, eclat, eclat-bitset,
-                     or dense (class-mask popcount counting) [fp-growth]
+                     dense (class-mask popcount counting), or sharded
+                     (two-pass partitioned mining) [fp-growth]
+  --shards N         split the data into N row shards and mine through the
+                     sharded two-pass engine; results are bit-identical to
+                     a one-pass run but peak mining memory is roughly one
+                     shard plus the candidate set
 
 EXIT CODES:
   0 success    2 usage error    3 bad input    4 truncated by budget
@@ -222,6 +230,7 @@ impl Args {
             trace_json: None,
             stats: false,
             engine: fpm::Algorithm::FpGrowth,
+            shards: None,
         };
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<String, CliError> {
@@ -255,6 +264,13 @@ impl Args {
                 "--trace-json" => args.trace_json = Some(value("--trace-json")?),
                 "--stats" => args.stats = true,
                 "--engine" => args.engine = parse_engine(&value("--engine")?)?,
+                "--shards" => {
+                    let n = parse_num::<usize>(&value("--shards")?, "--shards")?;
+                    if n == 0 {
+                        return Err(CliError::Usage("--shards must be at least 1".to_string()));
+                    }
+                    args.shards = Some(n);
+                }
                 other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
             }
         }
@@ -287,9 +303,10 @@ fn parse_engine(s: &str) -> Result<fpm::Algorithm, CliError> {
         "eclat" => Ok(fpm::Algorithm::Eclat),
         "eclat-bitset" => Ok(fpm::Algorithm::EclatBitset),
         "dense" => Ok(fpm::Algorithm::Dense),
+        "sharded" => Ok(fpm::Algorithm::Sharded),
         other => Err(CliError::Usage(format!(
             "unknown engine '{other}' (expected apriori, fp-growth, eclat, \
-             eclat-bitset, or dense)"
+             eclat-bitset, dense, or sharded)"
         ))),
     }
 }
@@ -479,9 +496,13 @@ pub fn run_with_content(
         run_fairness(args, &prepared, out)?;
         return Ok(RunStatus::Complete);
     }
-    let report = DivExplorer::new(args.support)
+    let mut explorer = DivExplorer::new(args.support)
         .with_algorithm(args.engine)
-        .with_budget(budget_from_args(args))
+        .with_budget(budget_from_args(args));
+    if let Some(k) = args.shards {
+        explorer = explorer.with_shards(k);
+    }
+    let report = explorer
         .explore(&prepared.data, &prepared.v, &prepared.u, &args.metrics)
         .map_err(|e| CliError::Input(e.to_string()))?;
     let truncation = report.completeness().truncation_reason();
@@ -594,11 +615,19 @@ pub fn run_with_content(
             elapsed,
         } => {
             // Report the miner's own verdict verbatim (reason, itemsets
-            // kept, wall clock) so partial results are auditable.
+            // kept, wall clock) so partial results are auditable. A
+            // sharded run additionally names the phase the budget cut —
+            // a mine-phase cut lost candidates, a recount-phase cut lost
+            // every result (the engine never emits unverified counts).
+            let phase_note = report
+                .shard_stats()
+                .and_then(|s| s.truncated_phase)
+                .map(|phase| format!("; the {phase} phase was cut"))
+                .unwrap_or_default();
             let _ = writeln!(
                 out,
                 "warning: exploration truncated ({reason}) after {emitted} itemsets \
-                 in {:.1}ms — results above are partial",
+                 in {:.1}ms{phase_note} — results above are partial",
                 elapsed.as_secs_f64() * 1e3
             );
             Ok(RunStatus::Truncated(reason))
@@ -833,6 +862,7 @@ b,y,0,1
             ("eclat", fpm::Algorithm::Eclat),
             ("eclat-bitset", fpm::Algorithm::EclatBitset),
             ("dense", fpm::Algorithm::Dense),
+            ("sharded", fpm::Algorithm::Sharded),
         ] {
             let mut argv = base_args("explore");
             argv.extend(["--engine".to_string(), name.to_string()]);
@@ -852,7 +882,7 @@ b,y,0,1
             run_with_content(&args, CSV, &mut out).unwrap();
             out
         };
-        for name in ["apriori", "eclat", "eclat-bitset", "dense"] {
+        for name in ["apriori", "eclat", "eclat-bitset", "dense", "sharded"] {
             let mut argv = base_args("explore");
             argv.extend(["--engine".to_string(), name.to_string()]);
             let args = Args::parse(argv).unwrap();
@@ -947,6 +977,63 @@ b,y,0,1
         );
         // No pattern line mentions two attributes.
         assert!(!out.contains("grp=a, other="), "got: {out}");
+    }
+
+    #[test]
+    fn shards_flag_parses_and_rejects_zero() {
+        let mut argv = base_args("explore");
+        argv.extend(["--shards".to_string(), "3".to_string()]);
+        assert_eq!(Args::parse(argv).unwrap().shards, Some(3));
+
+        let mut argv = base_args("explore");
+        argv.extend(["--shards".to_string(), "0".to_string()]);
+        assert!(matches!(Args::parse(argv), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn sharded_explore_matches_the_default_engine() {
+        let reference = {
+            let args = Args::parse(base_args("explore")).unwrap();
+            let mut out = String::new();
+            run_with_content(&args, CSV, &mut out).unwrap();
+            out
+        };
+        for shards in ["1", "2", "5"] {
+            let mut argv = base_args("explore");
+            argv.extend(["--shards".to_string(), shards.to_string()]);
+            let args = Args::parse(argv).unwrap();
+            let mut out = String::new();
+            let status = run_with_content(&args, CSV, &mut out).unwrap();
+            assert_eq!(status, RunStatus::Complete, "shards {shards}");
+            assert_eq!(out, reference, "shards {shards}");
+        }
+    }
+
+    #[test]
+    fn truncated_sharded_run_names_the_cut_phase() {
+        // An already-expired deadline trips in the mine phase; the
+        // warning must say which phase was lost, not just the count.
+        let mut argv = base_args("explore");
+        argv.extend([
+            "--shards".to_string(),
+            "2".to_string(),
+            "--timeout-ms".to_string(),
+            "0".to_string(),
+        ]);
+        let args = Args::parse(argv).unwrap();
+        let mut out = String::new();
+        let status = run_with_content(&args, CSV, &mut out).unwrap();
+        assert_eq!(status, RunStatus::Truncated(fpm::TruncationReason::Timeout));
+        assert_eq!(status.exit_code(), 4);
+        assert!(out.contains("the mine phase was cut"), "got: {out}");
+
+        // A plain (unsharded) truncated run keeps the old message shape.
+        let mut argv = base_args("explore");
+        argv.extend(["--max-itemsets".to_string(), "2".to_string()]);
+        let args = Args::parse(argv).unwrap();
+        let mut out = String::new();
+        run_with_content(&args, CSV, &mut out).unwrap();
+        assert!(!out.contains("phase was cut"), "got: {out}");
     }
 
     #[test]

@@ -130,7 +130,11 @@ pub fn explore_statistic(
     }
     let db = data.to_transactions();
     let params = fpm::MiningParams::with_min_support_fraction(min_support, data.n_rows());
-    let found = fpm::mine(algorithm, &db, &payloads, &params);
+    let found = fpm::MiningTask::with_params(&db, params)
+        .payloads(&payloads)
+        .algorithm(algorithm)
+        .run()
+        .into_itemsets();
     let patterns: Vec<ContinuousPattern> = found
         .into_iter()
         .map(|fi| ContinuousPattern {

@@ -89,6 +89,7 @@ pub struct DivExplorer {
     threads: usize,
     budget: Budget,
     cancel: Option<CancelToken>,
+    shards: Option<usize>,
 }
 
 impl DivExplorer {
@@ -102,6 +103,7 @@ impl DivExplorer {
             threads: 1,
             budget: Budget::unlimited(),
             cancel: None,
+            shards: None,
         }
     }
 
@@ -127,6 +129,19 @@ impl DivExplorer {
     pub fn with_threads(mut self, n: usize) -> Self {
         assert!(n > 0, "need at least one thread");
         self.threads = n;
+        self
+    }
+
+    /// Mines through the sharded two-pass engine with `k` row shards
+    /// (see [`fpm::sharded`]): each shard is mined independently at a
+    /// proportionally scaled threshold, and a second exact counting pass
+    /// recovers global tallies. The report is bit-identical to a dense
+    /// exploration; peak resident mining memory drops to roughly one
+    /// shard plus the candidate arena. The resulting
+    /// [`DivergenceReport::shard_stats`] carries per-phase telemetry.
+    pub fn with_shards(mut self, k: usize) -> Self {
+        assert!(k > 0, "need at least one shard");
+        self.shards = Some(k);
         self
     }
 
@@ -182,7 +197,7 @@ impl DivExplorer {
         let mut params = fpm::MiningParams::with_min_support_fraction(self.min_support, n);
         params.max_len = self.max_len;
         let min_support_count = params.min_support_count;
-        let (store, completeness) = {
+        let (store, completeness, shard_stats) = {
             let _span = obs::span("explore.mine");
             self.mine_bounded(&db, &payloads, &params)
         };
@@ -196,56 +211,52 @@ impl DivExplorer {
             dataset_counts,
             store,
         )
-        .with_completeness(completeness))
+        .with_completeness(completeness)
+        .with_shard_stats(shard_stats))
     }
 
-    /// The shared bounded mining step: dispatches to the parallel or
-    /// sequential engine under the configured budget and cancel token.
+    /// Builds the configured [`fpm::MiningTask`] over `db` — the single
+    /// place where explorer knobs (backend, threads, shards, budget,
+    /// cancellation) are translated into the mining API.
+    fn mining_task<'a>(
+        &self,
+        db: &'a fpm::TransactionDb,
+        payloads: &'a [MultiCounts],
+        params: &fpm::MiningParams,
+    ) -> fpm::MiningTask<'a, MultiCounts> {
+        let mut task = fpm::MiningTask::with_params(db, params.clone())
+            .payloads(payloads)
+            .algorithm(self.algorithm)
+            .threads(self.threads)
+            .budget(self.budget);
+        if let Some(k) = self.shards {
+            task = task.shards(k);
+        }
+        if let Some(token) = &self.cancel {
+            task = task.cancel(token.clone());
+        }
+        task
+    }
+
+    /// The shared bounded mining step: one [`fpm::MiningTask`] run
+    /// (sequential, parallel or sharded) under the configured budget and
+    /// cancel token, streamed through a [`TracingSink`] so every engine
+    /// publishes the same `fpm.*` stream counters.
     fn mine_bounded(
         &self,
         db: &fpm::TransactionDb,
         payloads: &[MultiCounts],
         params: &fpm::MiningParams,
-    ) -> (ItemsetArena<MultiCounts>, Completeness) {
-        let (store, completeness) = if self.threads > 1 {
-            let (arena, completeness) = fpm::parallel::mine_arena_bounded(
-                db,
-                payloads,
-                params,
-                self.threads,
-                &self.budget,
-                self.cancel.as_ref(),
-            );
-            // The parallel engine bypasses the sink during the search, so
-            // the stream counters are reconstructed from the merged arena
-            // (one extra pass, taken only when telemetry is on).
-            if obs::enabled() {
-                let mut hist = obs::Histogram::new();
-                let mut total_items = 0u64;
-                for entry in arena.iter() {
-                    hist.record(entry.support);
-                    total_items += entry.items.len() as u64;
-                }
-                obs::counter("fpm.itemsets_emitted", arena.len() as u64);
-                obs::counter("fpm.itemset_items", total_items);
-                obs::merge_histogram("fpm.itemset_support", &hist);
-            }
-            (arena, completeness)
-        } else {
-            let mut traced = TracingSink::new(ItemsetArena::new());
-            let completeness = fpm::mine_into_bounded(
-                self.algorithm,
-                db,
-                payloads,
-                params,
-                &self.budget,
-                self.cancel.as_ref(),
-                &mut traced,
-            );
-            (traced.into_inner(), completeness)
-        };
+    ) -> (
+        ItemsetArena<MultiCounts>,
+        Completeness,
+        Option<fpm::ShardStats>,
+    ) {
+        let mut traced = TracingSink::new(ItemsetArena::new());
+        let verdict = self.mining_task(db, payloads, params).run_into(&mut traced);
+        let store = traced.into_inner();
         obs::counter("fpm.arena_bytes", store.approx_bytes());
-        (store, completeness)
+        (store, verdict.completeness, verdict.shards)
     }
 
     /// Streams the exploration into a caller-supplied [`ItemsetSink`]
@@ -287,30 +298,9 @@ impl DivExplorer {
         let mine_start = Instant::now();
         let mine_span = obs::span("explore.mine");
         let mut traced = TracingSink::new(sink);
-        let completeness = if self.threads > 1 {
-            let (arena, completeness) = fpm::parallel::mine_arena_bounded(
-                &db,
-                &payloads,
-                &params,
-                self.threads,
-                &self.budget,
-                self.cancel.as_ref(),
-            );
-            for entry in arena.iter() {
-                traced.emit(entry.items, entry.support, entry.payload);
-            }
-            completeness
-        } else {
-            fpm::mine_into_bounded(
-                self.algorithm,
-                &db,
-                &payloads,
-                &params,
-                &self.budget,
-                self.cancel.as_ref(),
-                &mut traced,
-            )
-        };
+        let verdict = self
+            .mining_task(&db, &payloads, &params)
+            .run_into(&mut traced);
         let patterns_emitted = traced.emitted();
         traced.publish();
         drop(mine_span);
@@ -319,8 +309,9 @@ impl DivExplorer {
             n_rows: n,
             min_support_count: params.min_support_count,
             dataset_counts,
-            completeness,
+            completeness: verdict.completeness,
             patterns_emitted,
+            shards: verdict.shards,
             stages: StageTimings {
                 tally_us,
                 encode_us,
@@ -452,6 +443,10 @@ pub struct ExplorationStats {
     pub completeness: Completeness,
     /// Itemsets streamed into the sink (after budget enforcement).
     pub patterns_emitted: u64,
+    /// The sharded engine's per-phase statistics (shard coverage,
+    /// candidate-union size, recount throughput, per-phase wall clock,
+    /// peak resident memory) when the pass ran sharded; `None` otherwise.
+    pub shards: Option<fpm::ShardStats>,
     /// Wall-clock of each stage of the pass.
     pub stages: StageTimings,
 }
@@ -689,6 +684,54 @@ mod tests {
                 assert_eq!(parallel.counts(idx), p.counts);
             }
         }
+    }
+
+    #[test]
+    fn sharded_exploration_matches_sequential_and_reports_stats() {
+        let (data, v, u) = fixture();
+        let metrics = [Metric::FalsePositiveRate, Metric::ErrorRate];
+        let sequential = DivExplorer::new(0.1)
+            .explore(&data, &v, &u, &metrics)
+            .unwrap();
+        assert!(sequential.shard_stats().is_none());
+        for shards in [1, 2, 5] {
+            let sharded = DivExplorer::new(0.1)
+                .with_shards(shards)
+                .explore(&data, &v, &u, &metrics)
+                .unwrap();
+            assert!(sharded.is_exploration_complete(), "shards={shards}");
+            assert_eq!(sharded.len(), sequential.len(), "shards={shards}");
+            for p in sequential.patterns() {
+                let idx = sharded.find(p.items).unwrap();
+                assert_eq!(sharded.support(idx), p.support, "shards={shards}");
+                assert_eq!(sharded.counts(idx), p.counts, "shards={shards}");
+            }
+            let stats = sharded.shard_stats().expect("sharded run records stats");
+            assert_eq!(stats.n_shards, shards);
+            assert_eq!(stats.shards_mined, shards as u64);
+            assert_eq!(stats.truncated_phase, None);
+            // The refinement inherits the mining pass's shard statistics.
+            let refined = sharded.refine_to_support(0.3);
+            assert_eq!(refined.shard_stats(), Some(stats));
+        }
+    }
+
+    #[test]
+    fn sharded_explore_into_surfaces_shard_stats() {
+        let (data, v, u) = fixture();
+        let mut store = ItemsetArena::new();
+        let stats = DivExplorer::new(0.1)
+            .with_shards(3)
+            .explore_into(&data, &v, &u, &[Metric::ErrorRate], &mut store)
+            .unwrap();
+        let shard_stats = stats.shards.expect("sharded pass records stats");
+        assert_eq!(shard_stats.n_shards, 3);
+        assert_eq!(shard_stats.recount_rows as usize, data.n_rows());
+        assert_eq!(stats.patterns_emitted, store.len() as u64);
+        let plain = DivExplorer::new(0.1)
+            .explore(&data, &v, &u, &[Metric::ErrorRate])
+            .unwrap();
+        assert_eq!(store.len(), plain.len());
     }
 
     #[test]

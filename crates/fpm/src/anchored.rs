@@ -24,7 +24,7 @@ use crate::{Algorithm, MiningParams};
 /// # Panics
 ///
 /// Panics if `anchor >= db.n_items()` or `payloads.len() != db.len()`.
-pub fn mine_containing<P: Payload>(
+pub fn mine_containing<P: Payload + Send + Sync>(
     algorithm: Algorithm,
     db: &TransactionDb,
     payloads: &[P],
@@ -74,7 +74,7 @@ impl<P: Payload, S: ItemsetSink<P>> ItemsetSink<P> for AnchorSink<'_, S> {
 /// Streams all frequent itemsets of `db` that contain `anchor` into
 /// `sink`. The sink sees full itemsets (anchor included, canonical
 /// order); `{anchor}` itself is emitted first when frequent.
-pub fn mine_containing_into<P: Payload, S: ItemsetSink<P>>(
+pub fn mine_containing_into<P: Payload + Send + Sync, S: ItemsetSink<P>>(
     algorithm: Algorithm,
     db: &TransactionDb,
     payloads: &[P],
@@ -126,7 +126,7 @@ pub fn mine_containing_into<P: Payload, S: ItemsetSink<P>>(
         anchor,
         buf: Vec::new(),
     };
-    crate::mine_into(
+    crate::dispatch_mine_into(
         algorithm,
         &cond_db,
         &cond_payloads,
@@ -164,11 +164,14 @@ mod tests {
                 let params = MiningParams::with_min_support_count(min_support);
                 let mut anchored =
                     mine_containing(Algorithm::FpGrowth, &db, &payloads, &params, anchor);
-                let mut filtered: Vec<_> =
-                    crate::mine(Algorithm::FpGrowth, &db, &payloads, &params)
-                        .into_iter()
-                        .filter(|fi| fi.items.contains(&anchor))
-                        .collect();
+                let mut filtered: Vec<_> = crate::MiningTask::with_params(&db, params.clone())
+                    .payloads(&payloads)
+                    .algorithm(Algorithm::FpGrowth)
+                    .run()
+                    .into_itemsets()
+                    .into_iter()
+                    .filter(|fi| fi.items.contains(&anchor))
+                    .collect();
                 sort_canonical(&mut anchored);
                 sort_canonical(&mut filtered);
                 assert_eq!(anchored, filtered, "anchor={anchor} s={min_support}");

@@ -371,7 +371,11 @@ mod tests {
         let db = TransactionDb::from_rows(4, &[vec![0, 1, 2], vec![0, 1], vec![0, 3], vec![1, 2]]);
         let params = MiningParams::with_min_support_count(1);
         let payloads: Vec<CountPayload> = (0..db.len()).map(|t| CountPayload(1 << t)).collect();
-        let found = crate::mine(Algorithm::Eclat, &db, &payloads, &params);
+        let found = crate::MiningTask::with_params(&db, params.clone())
+            .payloads(&payloads)
+            .algorithm(Algorithm::Eclat)
+            .run()
+            .into_itemsets();
         let arena = ItemsetArena::from_itemsets(&found);
         assert_eq!(arena.into_itemsets(), found);
     }

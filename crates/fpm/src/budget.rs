@@ -394,21 +394,13 @@ mod tests {
         let db = db();
         let params = MiningParams::with_min_support_count(2);
         let mut plain = VecSink::new();
-        crate::mine_into(
-            Algorithm::Eclat,
-            &db,
-            &vec![(); db.len()],
-            &params,
-            &mut plain,
-        );
+        crate::MiningTask::with_params(&db, params.clone())
+            .algorithm(Algorithm::Eclat)
+            .run_into(&mut plain);
         let mut sink = BudgetSink::new(VecSink::new(), Budget::unlimited());
-        crate::mine_into(
-            Algorithm::Eclat,
-            &db,
-            &vec![(); db.len()],
-            &params,
-            &mut sink,
-        );
+        crate::MiningTask::with_params(&db, params.clone())
+            .algorithm(Algorithm::Eclat)
+            .run_into(&mut sink);
         assert_eq!(sink.verdict(), Completeness::Complete);
         assert_eq!(sink.into_inner().found, plain.found);
     }
@@ -418,23 +410,15 @@ mod tests {
         let db = db();
         let params = MiningParams::with_min_support_count(1);
         let mut plain = VecSink::new();
-        crate::mine_into(
-            Algorithm::Eclat,
-            &db,
-            &vec![(); db.len()],
-            &params,
-            &mut plain,
-        );
+        crate::MiningTask::with_params(&db, params.clone())
+            .algorithm(Algorithm::Eclat)
+            .run_into(&mut plain);
         assert!(plain.found.len() > 10);
         let budget = Budget::unlimited().with_max_itemsets(7);
         let mut sink = BudgetSink::new(VecSink::new(), budget);
-        crate::mine_into(
-            Algorithm::Eclat,
-            &db,
-            &vec![(); db.len()],
-            &params,
-            &mut sink,
-        );
+        crate::MiningTask::with_params(&db, params.clone())
+            .algorithm(Algorithm::Eclat)
+            .run_into(&mut sink);
         match sink.verdict() {
             Completeness::Truncated {
                 reason: TruncationReason::ItemsetLimit,
@@ -452,13 +436,9 @@ mod tests {
         let params = MiningParams::with_min_support_count(1);
         let budget = Budget::unlimited().with_max_bytes(200);
         let mut sink = BudgetSink::new(VecSink::new(), budget);
-        crate::mine_into(
-            Algorithm::FpGrowth,
-            &db,
-            &vec![(); db.len()],
-            &params,
-            &mut sink,
-        );
+        crate::MiningTask::with_params(&db, params.clone())
+            .algorithm(Algorithm::FpGrowth)
+            .run_into(&mut sink);
         assert_eq!(
             sink.verdict().truncation_reason(),
             Some(TruncationReason::MemoryLimit)
@@ -475,13 +455,9 @@ mod tests {
         let params = MiningParams::with_min_support_count(1);
         let budget = Budget::unlimited().with_max_depth(2);
         let mut sink = BudgetSink::new(VecSink::new(), budget);
-        crate::mine_into(
-            Algorithm::Eclat,
-            &db,
-            &vec![(); db.len()],
-            &params,
-            &mut sink,
-        );
+        crate::MiningTask::with_params(&db, params.clone())
+            .algorithm(Algorithm::Eclat)
+            .run_into(&mut sink);
         assert_eq!(
             sink.verdict().truncation_reason(),
             Some(TruncationReason::DepthLimit)
@@ -496,13 +472,9 @@ mod tests {
         let token = CancelToken::new();
         token.cancel();
         let mut sink = BudgetSink::new(VecSink::new(), Budget::unlimited()).with_cancel(token);
-        crate::mine_into(
-            Algorithm::Eclat,
-            &db,
-            &vec![(); db.len()],
-            &params,
-            &mut sink,
-        );
+        crate::MiningTask::with_params(&db, params.clone())
+            .algorithm(Algorithm::Eclat)
+            .run_into(&mut sink);
         assert_eq!(
             sink.verdict().truncation_reason(),
             Some(TruncationReason::Cancelled)
@@ -515,13 +487,9 @@ mod tests {
         let params = MiningParams::with_min_support_count(1);
         let budget = Budget::unlimited().with_timeout(Duration::ZERO);
         let mut sink = BudgetSink::new(VecSink::new(), budget);
-        crate::mine_into(
-            Algorithm::Apriori,
-            &db,
-            &vec![(); db.len()],
-            &params,
-            &mut sink,
-        );
+        crate::MiningTask::with_params(&db, params.clone())
+            .algorithm(Algorithm::Apriori)
+            .run_into(&mut sink);
         assert_eq!(
             sink.verdict().truncation_reason(),
             Some(TruncationReason::Timeout)

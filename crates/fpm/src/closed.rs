@@ -106,7 +106,7 @@ mod tests {
     use super::*;
     use crate::payload::CountPayload;
     use crate::transaction::TransactionDb;
-    use crate::{mine, mine_arena, mine_counts, Algorithm, MiningParams};
+    use crate::{Algorithm, MiningParams, MiningTask};
 
     /// Textbook instance: items 0 and 1 always co-occur, so {0} and {1} are
     /// not closed (their closure is {0,1}).
@@ -115,11 +115,10 @@ mod tests {
     }
 
     fn found() -> Vec<FrequentItemset<()>> {
-        mine_counts(
-            Algorithm::FpGrowth,
-            &db(),
-            &MiningParams::with_min_support_count(1),
-        )
+        MiningTask::new(&db(), 1)
+            .algorithm(Algorithm::FpGrowth)
+            .run()
+            .into_itemsets()
     }
 
     fn items_of(set: &[FrequentItemset<()>]) -> Vec<Vec<u32>> {
@@ -169,11 +168,10 @@ mod tests {
     #[test]
     fn singleton_result_is_closed_and_maximal() {
         let db = TransactionDb::from_rows(1, &[vec![0]]);
-        let all = mine_counts(
-            Algorithm::Apriori,
-            &db,
-            &MiningParams::with_min_support_count(1),
-        );
+        let all = MiningTask::new(&db, 1)
+            .algorithm(Algorithm::Apriori)
+            .run()
+            .into_itemsets();
         let flags = condensation_flags(&all);
         assert_eq!(flags.closed, vec![true]);
         assert_eq!(flags.maximal, vec![true]);
@@ -188,9 +186,12 @@ mod tests {
         let payloads: Vec<CountPayload> = (0..db.len()).map(|t| CountPayload(1 << t)).collect();
         let params = MiningParams::with_min_support_count(1);
         for algo in Algorithm::ALL {
-            let found = mine(algo, &db, &payloads, &params);
+            let task = MiningTask::with_params(&db, params.clone())
+                .payloads(&payloads)
+                .algorithm(algo);
+            let found = task.run().into_itemsets();
             let via_slices = condensation_flags(&found);
-            let arena = mine_arena(algo, &db, &payloads, &params);
+            let arena = task.run().store;
             let via_arena = condensation_flags_arena(&arena);
             assert_eq!(via_arena, via_slices, "{algo}");
             // Closed filtering keeps payloads intact.

@@ -16,26 +16,24 @@
 //! divergence of every frequent itemset is known the moment mining ends,
 //! without a second scan of the data.
 //!
-//! # Streaming sinks and the arena store
+//! # The `MiningTask` entry point
 //!
-//! Every miner has two entry points:
-//!
-//! - [`mine`] (and per-module `mine`) materializes the result as
-//!   `Vec<FrequentItemset<P>>` — the original API, kept as a thin adapter.
-//! - [`mine_into`] (and per-module `mine_into`) *streams* each frequent
-//!   itemset into an [`ItemsetSink`] as soon as its support is known. The
-//!   itemset is passed as a borrowed slice, so sinks that filter, count, or
-//!   aggregate never pay a per-itemset allocation.
-//!
-//! The default collecting sink is [`ItemsetArena`]: all itemsets live in one
-//! flat buffer with `O(1)` id-based access and a shared itemset → id index.
-//! `mine` is literally `mine_into` + [`ItemsetArena::into_itemsets`].
+//! Every run is described by a [`MiningTask`] builder: database and
+//! threshold, then any combination of backend, payloads, budget, cancel
+//! token, worker threads, and shards, executed with
+//! [`MiningTask::run`] (materializes an [`ItemsetArena`]) or
+//! [`MiningTask::run_into`] (*streams* each frequent itemset into an
+//! [`ItemsetSink`] as soon as its support is known — the itemset is
+//! passed as a borrowed slice, so sinks that filter, count, or aggregate
+//! never pay a per-itemset allocation). The historical free functions
+//! (`mine`, `mine_arena`, `mine_into`, `mine_into_bounded`,
+//! `mine_counts`) remain as deprecated shims over the builder.
 //!
 //! Sinks compose. For example, a sink that keeps only itemsets whose
 //! payload-derived statistic clears a threshold:
 //!
 //! ```
-//! use fpm::{Algorithm, ItemsetSink, MiningParams, TransactionDb};
+//! use fpm::{Algorithm, ItemsetSink, MiningTask, TransactionDb};
 //! use fpm::sink::{FilterSink, VecSink};
 //!
 //! let db = TransactionDb::from_rows(3, &[
@@ -45,13 +43,9 @@
 //! let mut sink = FilterSink::new(VecSink::new(), |_items: &[u32], support, _p: &()| {
 //!     support >= 3
 //! });
-//! fpm::mine_into(
-//!     Algorithm::FpGrowth,
-//!     &db,
-//!     &vec![(); db.len()],
-//!     &MiningParams::with_min_support_count(1),
-//!     &mut sink,
-//! );
+//! MiningTask::new(&db, 1)
+//!     .algorithm(Algorithm::FpGrowth)
+//!     .run_into(&mut sink);
 //! let kept = sink.into_inner().found;
 //! assert!(kept.iter().all(|fi| fi.support >= 3));
 //! assert_eq!(kept.len(), 2); // {0} and {1}
@@ -60,7 +54,7 @@
 //! # Example
 //!
 //! ```
-//! use fpm::{TransactionDb, MiningParams, Algorithm, mine_counts};
+//! use fpm::{Algorithm, MiningTask, TransactionDb};
 //!
 //! // Four transactions over items 0..4.
 //! let db = TransactionDb::from_rows(5, &[
@@ -69,11 +63,21 @@
 //!     vec![0, 3],
 //!     vec![1, 2, 4],
 //! ]);
-//! let params = MiningParams::with_min_support_count(2);
-//! let found = mine_counts(Algorithm::FpGrowth, &db, &params);
+//! let found = MiningTask::new(&db, 2)
+//!     .algorithm(Algorithm::FpGrowth)
+//!     .run()
+//!     .into_itemsets();
 //! // {0}, {1}, {2}, {0,1}, {1,2} are frequent at minimum support 2.
 //! assert_eq!(found.len(), 5);
 //! ```
+//!
+//! # Scaling out
+//!
+//! [`Algorithm::Sharded`] (or [`MiningTask::shards`]) engages the
+//! [`sharded`] two-pass Partition engine: shards are mined for local
+//! candidates in parallel, then one streaming recount pass computes
+//! exact global supports and payloads — see the [`sharded`] module docs
+//! for the soundness argument and memory model.
 
 pub mod anchored;
 pub mod apriori;
@@ -91,7 +95,9 @@ pub mod naive;
 pub mod parallel;
 pub mod payload;
 pub mod rules;
+pub mod sharded;
 pub mod sink;
+pub mod task;
 pub mod trace;
 pub mod transaction;
 pub mod vertical;
@@ -101,7 +107,9 @@ pub use budget::{Budget, BudgetSink, CancelToken, Completeness, TruncationReason
 pub use itemset::FrequentItemset;
 pub use masks::{ClassMasks, MaskSpec};
 pub use payload::{CountPayload, Payload};
+pub use sharded::{MemShardSource, Shard, ShardPhase, ShardSource, ShardStats};
 pub use sink::{CountingSink, FilterSink, ItemsetSink, TopKBySupportSink, VecSink};
+pub use task::{MiningOutcome, MiningTask, MiningVerdict};
 pub use trace::TracingSink;
 pub use transaction::{ItemId, TransactionDb, TransactionDbBuilder};
 
@@ -180,6 +188,12 @@ pub enum Algorithm {
     /// Payloads that don't lower into class masks fall back to
     /// [`Algorithm::Eclat`] transparently.
     Dense,
+    /// Two-pass Partition mining over horizontal row shards: local
+    /// candidate mining per shard (dense engine, scaled threshold), then
+    /// one exact streaming recount — see [`sharded`]. Shard count
+    /// defaults to [`sharded::DEFAULT_SHARDS`]; pick it with
+    /// [`MiningTask::shards`].
+    Sharded,
     /// Exhaustive depth-first enumeration with per-candidate scans. Only
     /// suitable for small inputs; used as the differential-testing oracle.
     Naive,
@@ -187,12 +201,13 @@ pub enum Algorithm {
 
 impl Algorithm {
     /// Every production algorithm (excludes [`Algorithm::Naive`]).
-    pub const ALL: [Algorithm; 5] = [
+    pub const ALL: [Algorithm; 6] = [
         Algorithm::Apriori,
         Algorithm::FpGrowth,
         Algorithm::Eclat,
         Algorithm::EclatBitset,
         Algorithm::Dense,
+        Algorithm::Sharded,
     ];
 
     /// The telemetry span name wrapping a [`mine_into`] run with this
@@ -204,6 +219,7 @@ impl Algorithm {
             Algorithm::Eclat => "fpm.mine.eclat",
             Algorithm::EclatBitset => "fpm.mine.eclat-bitset",
             Algorithm::Dense => "fpm.mine.dense",
+            Algorithm::Sharded => "fpm.mine.sharded",
             Algorithm::Naive => "fpm.mine.naive",
         }
     }
@@ -217,60 +233,21 @@ impl std::fmt::Display for Algorithm {
             Algorithm::Eclat => "eclat",
             Algorithm::EclatBitset => "eclat-bitset",
             Algorithm::Dense => "dense",
+            Algorithm::Sharded => "sharded",
             Algorithm::Naive => "naive",
         };
         f.write_str(name)
     }
 }
 
-/// Mines all frequent itemsets of `db`, merging `payloads[t]` into the
-/// aggregate of every itemset that transaction `t` supports.
-///
-/// `payloads` must have exactly one entry per transaction.
-///
-/// # Panics
-///
-/// Panics if `payloads.len() != db.len()`.
-pub fn mine<P: Payload>(
-    algorithm: Algorithm,
-    db: &TransactionDb,
-    payloads: &[P],
-    params: &MiningParams,
-) -> Vec<FrequentItemset<P>> {
-    let mut arena = ItemsetArena::new();
-    mine_into(algorithm, db, payloads, params, &mut arena);
-    arena.into_itemsets()
-}
-
-/// Mines all frequent itemsets of `db` into an [`ItemsetArena`] — the
-/// streaming path with the default collecting store, no per-itemset
-/// `Vec` allocations.
+/// Streams all frequent itemsets of `db` into `sink` with the chosen
+/// backend — the internal, non-deprecated dispatcher behind
+/// [`MiningTask`]'s sequential path.
 ///
 /// # Panics
 ///
 /// Panics if `payloads.len() != db.len()`.
-pub fn mine_arena<P: Payload>(
-    algorithm: Algorithm,
-    db: &TransactionDb,
-    payloads: &[P],
-    params: &MiningParams,
-) -> ItemsetArena<P> {
-    let mut arena = ItemsetArena::new();
-    mine_into(algorithm, db, payloads, params, &mut arena);
-    arena
-}
-
-/// Streams all frequent itemsets of `db` into `sink`, merging
-/// `payloads[t]` into the aggregate of every itemset that transaction
-/// `t` supports.
-///
-/// Emission order is algorithm-specific; the *set* of emissions (itemset,
-/// support, payload) is identical across algorithms.
-///
-/// # Panics
-///
-/// Panics if `payloads.len() != db.len()`.
-pub fn mine_into<P: Payload, S: ItemsetSink<P>>(
+pub(crate) fn dispatch_mine_into<P: Payload + Send + Sync, S: ItemsetSink<P>>(
     algorithm: Algorithm,
     db: &TransactionDb,
     payloads: &[P],
@@ -289,16 +266,95 @@ pub fn mine_into<P: Payload, S: ItemsetSink<P>>(
         Algorithm::Eclat => eclat::mine_into(db, payloads, params, sink),
         Algorithm::EclatBitset => bitset_eclat::mine_into(db, payloads, params, sink),
         Algorithm::Dense => dense::mine_into(db, payloads, params, sink),
+        Algorithm::Sharded => {
+            let source = sharded::MemShardSource::new(db, payloads, sharded::DEFAULT_SHARDS);
+            sharded::mine_into(&source, params, sink);
+        }
         Algorithm::Naive => naive::mine_into(db, payloads, params, sink),
     }
+}
+
+/// Mines all frequent itemsets of `db`, merging `payloads[t]` into the
+/// aggregate of every itemset that transaction `t` supports.
+///
+/// `payloads` must have exactly one entry per transaction.
+///
+/// # Panics
+///
+/// Panics if `payloads.len() != db.len()`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use MiningTask::new(db, ..).payloads(..).run()"
+)]
+pub fn mine<P: Payload + Send + Sync>(
+    algorithm: Algorithm,
+    db: &TransactionDb,
+    payloads: &[P],
+    params: &MiningParams,
+) -> Vec<FrequentItemset<P>> {
+    MiningTask::with_params(db, params.clone())
+        .payloads(payloads)
+        .algorithm(algorithm)
+        .run()
+        .into_itemsets()
+}
+
+/// Mines all frequent itemsets of `db` into an [`ItemsetArena`] — the
+/// streaming path with the default collecting store, no per-itemset
+/// `Vec` allocations.
+///
+/// # Panics
+///
+/// Panics if `payloads.len() != db.len()`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use MiningTask::new(db, ..).payloads(..).run()"
+)]
+pub fn mine_arena<P: Payload + Send + Sync>(
+    algorithm: Algorithm,
+    db: &TransactionDb,
+    payloads: &[P],
+    params: &MiningParams,
+) -> ItemsetArena<P> {
+    MiningTask::with_params(db, params.clone())
+        .payloads(payloads)
+        .algorithm(algorithm)
+        .run()
+        .store
+}
+
+/// Streams all frequent itemsets of `db` into `sink`, merging
+/// `payloads[t]` into the aggregate of every itemset that transaction
+/// `t` supports.
+///
+/// Emission order is algorithm-specific; the *set* of emissions (itemset,
+/// support, payload) is identical across algorithms.
+///
+/// # Panics
+///
+/// Panics if `payloads.len() != db.len()`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use MiningTask::new(db, ..).payloads(..).run_into(sink)"
+)]
+pub fn mine_into<P: Payload + Send + Sync, S: ItemsetSink<P>>(
+    algorithm: Algorithm,
+    db: &TransactionDb,
+    payloads: &[P],
+    params: &MiningParams,
+    sink: &mut S,
+) {
+    MiningTask::with_params(db, params.clone())
+        .payloads(payloads)
+        .algorithm(algorithm)
+        .run_into(sink);
 }
 
 /// Streams all frequent itemsets of `db` into `sink` under a [`Budget`]
 /// and an optional [`CancelToken`], returning the run's [`Completeness`]
 /// verdict.
 ///
-/// This is [`mine_into`] with a [`BudgetSink`] wrapped around `sink`:
-/// exhausting any budget axis (or firing the token) stops the run at its
+/// Exhausting any budget axis (or firing the token) stops the run at its
 /// next checkpoint and returns [`Completeness::Truncated`] — the sink
 /// keeps every itemset emitted before the cut, and each one carries its
 /// exact support and payload. Never panics on exhaustion.
@@ -307,7 +363,11 @@ pub fn mine_into<P: Payload, S: ItemsetSink<P>>(
 ///
 /// Panics if `payloads.len() != db.len()` (a caller bug, not a resource
 /// condition).
-pub fn mine_into_bounded<P: Payload, S: ItemsetSink<P>>(
+#[deprecated(
+    since = "0.1.0",
+    note = "use MiningTask::new(db, ..).budget(..).cancel(..).run_into(sink)"
+)]
+pub fn mine_into_bounded<P: Payload + Send + Sync, S: ItemsetSink<P>>(
     algorithm: Algorithm,
     db: &TransactionDb,
     payloads: &[P],
@@ -316,22 +376,27 @@ pub fn mine_into_bounded<P: Payload, S: ItemsetSink<P>>(
     cancel: Option<&CancelToken>,
     sink: &mut S,
 ) -> Completeness {
-    let mut bounded = BudgetSink::new(&mut *sink, *budget);
+    let mut task = MiningTask::with_params(db, params.clone())
+        .payloads(payloads)
+        .algorithm(algorithm)
+        .budget(*budget);
     if let Some(token) = cancel {
-        bounded = bounded.with_cancel(token.clone());
+        task = task.cancel(token.clone());
     }
-    mine_into(algorithm, db, payloads, params, &mut bounded);
-    bounded.verdict()
+    task.run_into(sink).completeness
 }
 
 /// Mines frequent itemsets with support counting only (payload `()`).
+#[deprecated(since = "0.1.0", note = "use MiningTask::new(db, ..).run()")]
 pub fn mine_counts(
     algorithm: Algorithm,
     db: &TransactionDb,
     params: &MiningParams,
 ) -> Vec<FrequentItemset<()>> {
-    let payloads = vec![(); db.len()];
-    mine(algorithm, db, &payloads, params)
+    MiningTask::with_params(db, params.clone())
+        .algorithm(algorithm)
+        .run()
+        .into_itemsets()
 }
 
 /// Indexes a mining result by itemset for `O(1)` lookup.
@@ -370,7 +435,10 @@ mod tests {
         let mut reference = naive::mine(&db, &vec![(); db.len()], &params);
         reference.sort();
         for algo in Algorithm::ALL {
-            let mut got = mine_counts(algo, &db, &params);
+            let mut got = MiningTask::with_params(&db, params.clone())
+                .algorithm(algo)
+                .run()
+                .into_itemsets();
             got.sort();
             assert_eq!(got, reference, "{algo} disagrees with naive oracle");
         }
@@ -391,7 +459,10 @@ mod tests {
         let db = toy_db();
         let params = MiningParams::with_min_support_count(1).max_len(2);
         for algo in Algorithm::ALL {
-            let found = mine_counts(algo, &db, &params);
+            let found = MiningTask::with_params(&db, params.clone())
+                .algorithm(algo)
+                .run()
+                .into_itemsets();
             assert!(found.iter().all(|fi| fi.items.len() <= 2), "{algo}");
             assert!(found.iter().any(|fi| fi.items.len() == 2), "{algo}");
         }
@@ -400,8 +471,10 @@ mod tests {
     #[test]
     fn index_by_itemset_round_trips() {
         let db = toy_db();
-        let params = MiningParams::with_min_support_count(2);
-        let found = mine_counts(Algorithm::FpGrowth, &db, &params);
+        let found = MiningTask::new(&db, 2)
+            .algorithm(Algorithm::FpGrowth)
+            .run()
+            .into_itemsets();
         let idx = index_by_itemset(&found);
         for (i, fi) in found.iter().enumerate() {
             assert_eq!(idx[fi.items.as_slice()], i);
@@ -412,7 +485,9 @@ mod tests {
     #[should_panic(expected = "payload slice length")]
     fn mismatched_payload_length_panics() {
         let db = toy_db();
-        let params = MiningParams::with_min_support_count(2);
-        let _ = mine(Algorithm::Apriori, &db, &[(), ()], &params);
+        let _ = MiningTask::new(&db, 2)
+            .payloads(&[(), ()])
+            .algorithm(Algorithm::Apriori)
+            .run();
     }
 }

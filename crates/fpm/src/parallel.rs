@@ -122,34 +122,55 @@ fn decode(code: u8) -> Option<TruncationReason> {
 
 /// Budget state shared by all workers. Kept separate from the sink
 /// machinery: here enforcement is global (the caps bound the *merged*
-/// result, not each worker's shard).
-struct SharedLimits<'a> {
+/// result, not each worker's shard). Also reused by [`crate::sharded`],
+/// whose two phases poll the same stop flag and byte pool.
+pub(crate) struct SharedLimits<'a> {
     stop: AtomicBool,
     reason: AtomicU8,
     emitted: AtomicU64,
     bytes: AtomicU64,
-    panicked: AtomicUsize,
-    depth_pruned: AtomicBool,
+    pub(crate) panicked: AtomicUsize,
+    pub(crate) depth_pruned: AtomicBool,
     deadline: Option<Instant>,
     cancel: Option<&'a CancelToken>,
     max_itemsets: Option<u64>,
     max_bytes: Option<u64>,
 }
 
-impl SharedLimits<'_> {
-    fn trip(&self, reason: TruncationReason) {
+impl<'a> SharedLimits<'a> {
+    /// Fresh limits for a run that began at `start`.
+    pub(crate) fn new(
+        budget: &Budget,
+        cancel: Option<&'a CancelToken>,
+        start: Instant,
+    ) -> SharedLimits<'a> {
+        SharedLimits {
+            stop: AtomicBool::new(false),
+            reason: AtomicU8::new(0),
+            emitted: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            panicked: AtomicUsize::new(0),
+            depth_pruned: AtomicBool::new(false),
+            deadline: budget.timeout.map(|t| start + t),
+            cancel,
+            max_itemsets: budget.max_itemsets,
+            max_bytes: budget.max_bytes,
+        }
+    }
+
+    pub(crate) fn trip(&self, reason: TruncationReason) {
         let _ =
             self.reason
                 .compare_exchange(0, encode(reason), Ordering::Relaxed, Ordering::Relaxed);
         self.stop.store(true, Ordering::Relaxed);
     }
 
-    fn stopped(&self) -> bool {
+    pub(crate) fn stopped(&self) -> bool {
         self.stop.load(Ordering::Relaxed)
     }
 
     /// Re-checks the cancel token and deadline; true iff the run is over.
-    fn poll(&self) -> bool {
+    pub(crate) fn poll(&self) -> bool {
         if self.stopped() {
             return true;
         }
@@ -167,13 +188,24 @@ impl SharedLimits<'_> {
     /// Claims one emission slot of `n_items` items; `false` means a cap
     /// is exhausted and the itemset must not be stored. With no caps set
     /// this takes no atomic at all (the unbounded fast path).
-    fn admit(&self, n_items: usize) -> bool {
+    pub(crate) fn admit(&self, n_items: usize) -> bool {
+        self.admit_count() && self.admit_bytes(n_items)
+    }
+
+    /// Claims one slot against the itemset-count cap only.
+    pub(crate) fn admit_count(&self) -> bool {
         if let Some(max) = self.max_itemsets {
             if self.emitted.fetch_add(1, Ordering::Relaxed) >= max {
                 self.trip(TruncationReason::ItemsetLimit);
                 return false;
             }
         }
+        true
+    }
+
+    /// Claims the storage cost of one `n_items`-item itemset against the
+    /// byte cap only.
+    pub(crate) fn admit_bytes(&self, n_items: usize) -> bool {
         if let Some(max) = self.max_bytes {
             let cost = (n_items * std::mem::size_of::<ItemId>() + 24) as u64;
             if self.bytes.fetch_add(cost, Ordering::Relaxed) + cost > max {
@@ -182,6 +214,20 @@ impl SharedLimits<'_> {
             }
         }
         true
+    }
+
+    /// Resolves the run's truncation reason: an explicitly tripped limit
+    /// wins, then worker panics, then silent depth pruning.
+    pub(crate) fn resolve_reason(&self) -> Option<TruncationReason> {
+        decode(self.reason.load(Ordering::Relaxed))
+            .or_else(|| {
+                (self.panicked.load(Ordering::Relaxed) > 0).then_some(TruncationReason::WorkerPanic)
+            })
+            .or_else(|| {
+                self.depth_pruned
+                    .load(Ordering::Relaxed)
+                    .then_some(TruncationReason::DepthLimit)
+            })
     }
 }
 
@@ -283,18 +329,7 @@ pub fn mine_arena_bounded<P: Payload + Send + Sync>(
 
     let mine_span = obs::span("fpm.parallel.mine");
     obs::counter("fpm.workers", n_threads as u64);
-    let shared = SharedLimits {
-        stop: AtomicBool::new(false),
-        reason: AtomicU8::new(0),
-        emitted: AtomicU64::new(0),
-        bytes: AtomicU64::new(0),
-        panicked: AtomicUsize::new(0),
-        depth_pruned: AtomicBool::new(false),
-        deadline: budget.timeout.map(|t| start + t),
-        cancel,
-        max_itemsets: budget.max_itemsets,
-        max_bytes: budget.max_bytes,
-    };
+    let shared = SharedLimits::new(budget, cancel, start);
     let shared = &shared;
 
     let locals: Vec<ItemsetArena<P>> = if let Some(masks) = ClassMasks::build(payloads) {
@@ -435,17 +470,7 @@ pub fn mine_arena_bounded<P: Payload + Send + Sync>(
         "fpm.worker_panics",
         shared.panicked.load(Ordering::Relaxed) as u64,
     );
-    let reason = decode(shared.reason.load(Ordering::Relaxed))
-        .or_else(|| {
-            (shared.panicked.load(Ordering::Relaxed) > 0).then_some(TruncationReason::WorkerPanic)
-        })
-        .or_else(|| {
-            shared
-                .depth_pruned
-                .load(Ordering::Relaxed)
-                .then_some(TruncationReason::DepthLimit)
-        });
-    let completeness = match reason {
+    let completeness = match shared.resolve_reason() {
         None => Completeness::Complete,
         Some(reason) => Completeness::Truncated {
             reason,
@@ -520,7 +545,7 @@ mod tests {
     use crate::itemset::sort_canonical;
     use crate::payload::CountPayload;
     use crate::sink::VecSink;
-    use crate::{mine as mine_with, Algorithm};
+    use crate::{Algorithm, MiningTask};
 
     fn db() -> TransactionDb {
         let rows: Vec<Vec<u32>> = (0..40)
@@ -543,7 +568,11 @@ mod tests {
         let db = db();
         let payloads: Vec<CountPayload> = (0..db.len()).map(|t| CountPayload(t as u64)).collect();
         let params = MiningParams::with_min_support_count(3);
-        let mut reference = mine_with(Algorithm::Eclat, &db, &payloads, &params);
+        let mut reference = MiningTask::with_params(&db, params.clone())
+            .payloads(&payloads)
+            .algorithm(Algorithm::Eclat)
+            .run()
+            .into_itemsets();
         sort_canonical(&mut reference);
         for n_threads in [1, 2, 3, 8] {
             let got = mine(&db, &payloads, &params, n_threads);

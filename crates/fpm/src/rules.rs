@@ -111,7 +111,7 @@ pub fn generate_rules<P>(found: &[FrequentItemset<P>], params: &RuleParams) -> V
 mod tests {
     use super::*;
     use crate::transaction::TransactionDb;
-    use crate::{mine_counts, Algorithm, MiningParams};
+    use crate::{Algorithm, MiningTask};
 
     /// Item 1 occurs iff item 0 occurs (perfect implication 0 ⇒ 1);
     /// item 2 is independent.
@@ -129,11 +129,10 @@ mod tests {
                 vec![],
             ],
         );
-        let found = mine_counts(
-            Algorithm::FpGrowth,
-            &db,
-            &MiningParams::with_min_support_count(1),
-        );
+        let found = MiningTask::new(&db, 1)
+            .algorithm(Algorithm::FpGrowth)
+            .run()
+            .into_itemsets();
         generate_rules(
             &found,
             &RuleParams {
@@ -172,11 +171,10 @@ mod tests {
     #[test]
     fn confidence_threshold_filters() {
         let db = TransactionDb::from_rows(2, &[vec![0, 1], vec![0], vec![0], vec![0]]);
-        let found = mine_counts(
-            Algorithm::Apriori,
-            &db,
-            &MiningParams::with_min_support_count(1),
-        );
+        let found = MiningTask::new(&db, 1)
+            .algorithm(Algorithm::Apriori)
+            .run()
+            .into_itemsets();
         let strict = generate_rules(
             &found,
             &RuleParams {

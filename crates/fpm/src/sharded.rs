@@ -1,0 +1,790 @@
+//! Sharded two-pass (Partition-style) mining.
+//!
+//! The classic Savasere–Omiecinski–Navathe partition scheme, adapted to
+//! payload-fused mining: split the transaction table into `K` horizontal
+//! row shards, mine each shard independently at a *proportionally scaled*
+//! local threshold (phase 1), union the local frequent itemsets into one
+//! global candidate arena, then stream the shards once more and recount
+//! every candidate exactly (phase 2). Because supports and [`Payload`]
+//! aggregates are additive over disjoint row subsets, summing the
+//! per-shard recounts yields the exact global tallies.
+//!
+//! **Soundness and completeness.** Let `T` be the global threshold over
+//! `N` rows and give shard `k` (holding `n_k` rows) the local threshold
+//! `t_k = max(1, ceil(T·n_k/N))`. If an itemset is locally infrequent in
+//! *every* shard, its global support is at most `Σ_k (t_k − 1) < T`
+//! (since `Σ_k t_k < T + K`), so every globally frequent itemset is
+//! locally frequent in at least one shard and survives into the
+//! candidate union — phase 1 loses nothing. Phase 2 computes exact
+//! global supports and payloads for every candidate and keeps exactly
+//! those meeting `T`, discarding the false positives phase 1 admitted.
+//!
+//! **Memory model.** Phase 1 workers hold one shard each plus their local
+//! candidate arenas; phase 2 is sequential and holds exactly one shard at
+//! a time plus the candidate arena and its accumulators. With a
+//! [`ShardSource`] that re-reads rows from storage (e.g. a CSV window
+//! reader), peak residency is one shard + the candidate arena, not the
+//! whole table.
+//!
+//! **Budgets.** The run is coordinated through the same shared-limit
+//! machinery as [`crate::parallel`]: the deadline and cancel token are
+//! polled in both phases, `max_bytes` bounds the candidate arena,
+//! `max_itemsets` bounds the final emission, and `max_depth` caps the
+//! candidate lattice depth. A budget that expires *before* the recount
+//! finishes yields an **empty** truncated result — partially recounted
+//! supports would violate the contract that every emitted itemset carries
+//! exact tallies — and [`ShardStats::truncated_phase`] records which
+//! phase was cut. An `ItemsetLimit` tripped during the final emission
+//! still yields a sound prefix with exact counts (phase `None`).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crate::arena::ItemsetArena;
+use crate::bitset_eclat::Bitset;
+use crate::budget::{Budget, CancelToken, Completeness, TruncationReason};
+use crate::dense;
+use crate::masks::ClassMasks;
+use crate::parallel::SharedLimits;
+use crate::payload::Payload;
+use crate::sink::ItemsetSink;
+use crate::transaction::{ItemId, TransactionDb, TransactionDbBuilder};
+use crate::MiningParams;
+
+/// Shard count used when [`crate::Algorithm::Sharded`] is selected
+/// without an explicit `K` (e.g. via [`crate::MiningTask::algorithm`]).
+pub const DEFAULT_SHARDS: usize = 4;
+
+/// Which phase of a sharded run a budget cut interrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPhase {
+    /// Phase 1: per-shard candidate mining.
+    Mine,
+    /// Phase 2: the exact recount pass over the shards.
+    Recount,
+}
+
+impl std::fmt::Display for ShardPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ShardPhase::Mine => "mine",
+            ShardPhase::Recount => "recount",
+        })
+    }
+}
+
+/// Telemetry of one sharded run, returned alongside its
+/// [`Completeness`] verdict.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Configured shard count `K`.
+    pub n_shards: usize,
+    /// Shards whose candidate mining completed in phase 1.
+    pub shards_mined: u64,
+    /// Size of the deduplicated candidate union.
+    pub candidates: u64,
+    /// Rows streamed by the recount pass (phase 2).
+    pub recount_rows: u64,
+    /// Wall-clock of phase 1 in microseconds.
+    pub mine_us: u64,
+    /// Wall-clock of phase 2 (recount + emission) in microseconds.
+    pub recount_us: u64,
+    /// Largest single-shard footprint loaded at any point (bytes,
+    /// CSR rows + payloads).
+    pub peak_shard_bytes: u64,
+    /// Footprint of the candidate arena (bytes). Peak residency of the
+    /// run is `peak_shard_bytes + candidate_bytes`.
+    pub candidate_bytes: u64,
+    /// The phase a budget cut interrupted, if any. `None` for complete
+    /// runs *and* for truncations that still emitted a sound prefix
+    /// (itemset cap at emission, depth-capped candidates).
+    pub truncated_phase: Option<ShardPhase>,
+}
+
+/// One materialized horizontal shard: a contiguous row window of the
+/// global table, re-rooted at row 0, with its payload slice.
+#[derive(Debug, Clone)]
+pub struct Shard<P> {
+    /// Global index of the shard's first row.
+    pub start_row: usize,
+    /// The shard's rows as a transaction table over the *global* item
+    /// universe (`n_items` must match across shards).
+    pub db: TransactionDb,
+    /// One payload per shard row.
+    pub payloads: Vec<P>,
+}
+
+impl<P> Shard<P> {
+    /// Approximate resident size of this shard in bytes (CSR items +
+    /// offsets + payloads).
+    pub fn approx_bytes(&self) -> u64 {
+        (self.db.total_item_occurrences() * std::mem::size_of::<ItemId>()
+            + (self.db.len() + 1) * std::mem::size_of::<usize>()
+            + self.payloads.len() * std::mem::size_of::<P>()) as u64
+    }
+}
+
+/// Where the two passes pull shards from: an in-memory table
+/// ([`MemShardSource`]) or re-read storage (e.g.
+/// `datasets::csv::CsvShardSource`), so the recount pass never needs the
+/// whole table resident.
+///
+/// Implementations must be deterministic — both phases may load the same
+/// shard, and phase 2 relies on seeing exactly the rows phase 1 mined.
+/// Every shard's `db` must share one item universe.
+pub trait ShardSource<P: Payload>: Sync {
+    /// Number of shards `K`. Shards may be empty.
+    fn n_shards(&self) -> usize;
+    /// Total rows across all shards.
+    fn n_rows(&self) -> usize;
+    /// Materializes shard `k` (`k < n_shards()`).
+    fn load(&self, k: usize) -> Shard<P>;
+}
+
+/// A [`ShardSource`] over an in-memory table: `K` balanced contiguous
+/// row windows, copied out on `load`.
+#[derive(Debug, Clone, Copy)]
+pub struct MemShardSource<'a, P> {
+    db: &'a TransactionDb,
+    payloads: &'a [P],
+    n_shards: usize,
+}
+
+impl<'a, P: Payload> MemShardSource<'a, P> {
+    /// Splits `db` into `n_shards` balanced row windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards == 0` or `payloads.len() != db.len()`.
+    pub fn new(db: &'a TransactionDb, payloads: &'a [P], n_shards: usize) -> Self {
+        assert!(n_shards > 0, "need at least one shard");
+        assert_eq!(
+            payloads.len(),
+            db.len(),
+            "payload slice length must match transaction count"
+        );
+        MemShardSource {
+            db,
+            payloads,
+            n_shards,
+        }
+    }
+
+    /// Row window `[lo, hi)` of shard `k`. With `K > n_rows` the trailing
+    /// shards are empty.
+    fn bounds(&self, k: usize) -> (usize, usize) {
+        let n = self.db.len();
+        (k * n / self.n_shards, (k + 1) * n / self.n_shards)
+    }
+}
+
+impl<P: Payload + Send + Sync> ShardSource<P> for MemShardSource<'_, P> {
+    fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    fn n_rows(&self) -> usize {
+        self.db.len()
+    }
+
+    fn load(&self, k: usize) -> Shard<P> {
+        let (lo, hi) = self.bounds(k);
+        let mut builder = TransactionDbBuilder::new(self.db.n_items());
+        for t in lo..hi {
+            builder.push(self.db.transaction(t));
+        }
+        Shard {
+            start_row: lo,
+            db: builder.build(),
+            payloads: self.payloads[lo..hi].to_vec(),
+        }
+    }
+}
+
+/// The local threshold of a shard: `max(1, ceil(T·n_k/N))`. See the
+/// module docs for why this preserves completeness.
+fn local_threshold(global: u64, shard_rows: usize, total_rows: usize) -> u64 {
+    if total_rows == 0 {
+        return 1;
+    }
+    let num = global as u128 * shard_rows as u128;
+    let t = num.div_ceil(total_rows as u128) as u64;
+    t.max(1)
+}
+
+/// Phase-1 sink: collects candidate itemsets (supports and payloads are
+/// discarded — phase 2 recounts exactly), charging the byte cap for the
+/// candidate storage and honoring the depth cap and stop flag.
+struct CandidateSink<'a, 'b> {
+    shared: &'a SharedLimits<'b>,
+    out: ItemsetArena<()>,
+    ticks: u32,
+    depth_cap: usize,
+}
+
+impl ItemsetSink<()> for CandidateSink<'_, '_> {
+    fn emit(&mut self, items: &[ItemId], support: u64, _payload: &()) {
+        if self.shared.stopped() || !self.shared.admit_bytes(items.len()) {
+            return;
+        }
+        self.out.push(items, support, ());
+    }
+
+    fn wants_extensions(&mut self, items: &[ItemId], _support: u64) -> bool {
+        if items.len() >= self.depth_cap {
+            self.shared.depth_pruned.store(true, Ordering::Relaxed);
+            return false;
+        }
+        !self.shared.stopped()
+    }
+
+    fn should_stop(&mut self) -> bool {
+        self.ticks = self.ticks.wrapping_add(1);
+        if self.ticks & 63 == 0 {
+            self.shared.poll()
+        } else {
+            self.shared.stopped()
+        }
+    }
+}
+
+/// Phase 1 worker: pulls shard indices off the shared counter until the
+/// source is drained or the run is stopped, mining each shard's frequent
+/// itemsets (unit payloads — candidates only) with the dense engine.
+#[allow(clippy::too_many_arguments)]
+fn mine_shard_candidates<P: Payload, C: ShardSource<P>>(
+    source: &C,
+    params: &MiningParams,
+    shared: &SharedLimits<'_>,
+    next: &AtomicUsize,
+    depth_cap: usize,
+    threshold: u64,
+    peak_shard_bytes: &AtomicU64,
+    shards_mined: &AtomicU64,
+) -> ItemsetArena<()> {
+    let total_rows = source.n_rows();
+    let mut sink = CandidateSink {
+        shared,
+        out: ItemsetArena::new(),
+        ticks: 0,
+        depth_cap,
+    };
+    loop {
+        let k = next.fetch_add(1, Ordering::Relaxed);
+        if k >= source.n_shards() || shared.poll() {
+            break;
+        }
+        let shard = source.load(k);
+        peak_shard_bytes.fetch_max(shard.approx_bytes(), Ordering::Relaxed);
+        if !shard.db.is_empty() {
+            let local_params = MiningParams {
+                min_support_count: local_threshold(threshold, shard.db.len(), total_rows),
+                max_len: params.max_len,
+            };
+            let unit = vec![(); shard.db.len()];
+            // Contain a poisoned shard: the run degrades to WorkerPanic
+            // instead of aborting, same as the parallel engine.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                dense::mine_into(&shard.db, &unit, &local_params, &mut sink);
+            }));
+            if outcome.is_err() {
+                shared.panicked.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        }
+        shards_mined.fetch_add(1, Ordering::Relaxed);
+    }
+    sink.out
+}
+
+/// Phase 2 over one shard: AND-folds per-item bitsets over the shard's
+/// rows for every candidate, adding the shard's exact support and payload
+/// contribution into the global accumulators.
+///
+/// Payload contributions go through the *shard's own* [`ClassMasks`]:
+/// value-dependent specs (e.g. [`crate::CountPayload`] bit planes) can
+/// differ across shards, so raw class counts must never be summed
+/// globally — each shard decodes its counts into a payload first, and
+/// payloads merge exactly by the monoid laws.
+fn recount_shard<P: Payload>(
+    shard: &Shard<P>,
+    candidates: &ItemsetArena<()>,
+    supports: &mut [u64],
+    acc: &mut [P],
+    shared: &SharedLimits<'_>,
+) -> bool {
+    let n_rows = shard.db.len();
+    let n_items = shard.db.n_items() as usize;
+    // Per-item bitsets, built only for items some candidate mentions.
+    let mut dense_ix: Vec<u32> = vec![u32::MAX; n_items];
+    let mut order: Vec<ItemId> = Vec::new();
+    for id in 0..candidates.len() {
+        for &item in candidates.items(id) {
+            if dense_ix[item as usize] == u32::MAX {
+                dense_ix[item as usize] = order.len() as u32;
+                order.push(item);
+            }
+        }
+    }
+    let mut bits: Vec<Bitset> = vec![Bitset::zeros(n_rows); order.len()];
+    for t in 0..n_rows {
+        for &item in shard.db.transaction(t) {
+            let ix = dense_ix[item as usize];
+            if ix != u32::MAX {
+                bits[ix as usize].set(t);
+            }
+        }
+    }
+    let masks = ClassMasks::build(&shard.payloads);
+    let mut counts = vec![0u64; masks.as_ref().map_or(0, ClassMasks::n_classes)];
+    for id in 0..candidates.len() {
+        if id & 63 == 0 && shared.poll() {
+            return false;
+        }
+        let items = candidates.items(id);
+        let mut folded = bits[dense_ix[items[0] as usize] as usize].clone();
+        for &item in &items[1..] {
+            folded = folded.and(&bits[dense_ix[item as usize] as usize]);
+        }
+        let sup = folded.count();
+        if sup == 0 {
+            continue;
+        }
+        supports[id] += sup;
+        match &masks {
+            Some(m) => {
+                m.count_dense(&folded, &mut counts);
+                acc[id].merge(&m.decode::<P>(&counts));
+            }
+            None => {
+                for t in folded.iter_ones() {
+                    acc[id].merge(&shard.payloads[t]);
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Runs the full two-pass scheme over `source`, streaming the globally
+/// frequent itemsets (exact supports and payloads) into `sink` in
+/// canonical order.
+///
+/// Phase 1 distributes shards over `n_threads` workers through a shared
+/// work counter (idle workers steal the next un-mined shard); phase 2 is
+/// sequential, holding one shard at a time. Returns the run's
+/// [`Completeness`] verdict and its [`ShardStats`].
+///
+/// # Panics
+///
+/// Panics if `n_threads == 0`.
+pub fn mine_into_bounded<P, C, S>(
+    source: &C,
+    params: &MiningParams,
+    n_threads: usize,
+    budget: &Budget,
+    cancel: Option<&CancelToken>,
+    sink: &mut S,
+) -> (Completeness, ShardStats)
+where
+    P: Payload + Send + Sync,
+    C: ShardSource<P>,
+    S: ItemsetSink<P>,
+{
+    assert!(n_threads > 0, "need at least one thread");
+    let start = Instant::now();
+    let threshold = params.threshold();
+    let max_len = params.max_len.unwrap_or(usize::MAX);
+    let depth_cap = budget.max_depth.unwrap_or(usize::MAX);
+    let n_shards = source.n_shards();
+    let mut stats = ShardStats {
+        n_shards,
+        ..ShardStats::default()
+    };
+    if max_len == 0 || depth_cap == 0 || source.n_rows() == 0 {
+        return (Completeness::Complete, stats);
+    }
+
+    let shared = SharedLimits::new(budget, cancel, start);
+    let shared = &shared;
+    let next = AtomicUsize::new(0);
+    let peak_shard_bytes = AtomicU64::new(0);
+    let shards_mined = AtomicU64::new(0);
+
+    // Phase 1: local candidate mining over a work-stealing shard queue.
+    let mine_start = Instant::now();
+    let mine_span = obs::span("fpm.sharded.mine");
+    let n_workers = n_threads.min(n_shards);
+    let locals: Vec<ItemsetArena<()>> = if n_workers == 1 {
+        vec![mine_shard_candidates(
+            source,
+            params,
+            shared,
+            &next,
+            depth_cap,
+            threshold,
+            &peak_shard_bytes,
+            &shards_mined,
+        )]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        mine_shard_candidates(
+                            source,
+                            params,
+                            shared,
+                            &next,
+                            depth_cap,
+                            threshold,
+                            &peak_shard_bytes,
+                            &shards_mined,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .filter_map(|handle| match handle.join() {
+                    Ok(local) => Some(local),
+                    Err(_) => {
+                        shared.panicked.fetch_add(1, Ordering::Relaxed);
+                        None
+                    }
+                })
+                .collect()
+        })
+    };
+    drop(mine_span);
+    stats.shards_mined = shards_mined.load(Ordering::Relaxed);
+    stats.mine_us = mine_start.elapsed().as_micros() as u64;
+    obs::counter("fpm.sharded.shards_mined", stats.shards_mined);
+    let mine_cut = shared.stopped();
+
+    // Candidate union: merge the local arenas, canonicalize, dedup.
+    let mut all = ItemsetArena::new();
+    for local in locals {
+        all.absorb(local);
+    }
+    all.sort_canonical();
+    let mut candidates: ItemsetArena<()> = ItemsetArena::new();
+    for id in 0..all.len() {
+        let items = all.items(id);
+        if candidates.is_empty() || candidates.items(candidates.len() - 1) != items {
+            candidates.push(items, 0, ());
+        }
+    }
+    drop(all);
+    stats.candidates = candidates.len() as u64;
+    stats.candidate_bytes = candidates.approx_bytes();
+    obs::counter("fpm.sharded.candidates_union", stats.candidates);
+
+    // Phase 2: exact recount, one shard resident at a time.
+    let mut emitted = 0u64;
+    let mut recount_cut = false;
+    if mine_cut {
+        stats.truncated_phase = Some(ShardPhase::Mine);
+    } else {
+        let recount_start = Instant::now();
+        let recount_span = obs::span("fpm.sharded.recount");
+        let mut supports = vec![0u64; candidates.len()];
+        let mut acc: Vec<P> = vec![P::zero(); candidates.len()];
+        for k in 0..n_shards {
+            if shared.poll() {
+                recount_cut = true;
+                break;
+            }
+            let shard = source.load(k);
+            peak_shard_bytes.fetch_max(shard.approx_bytes(), Ordering::Relaxed);
+            if shard.db.is_empty() {
+                continue;
+            }
+            stats.recount_rows += shard.db.len() as u64;
+            // A payload merge that panics poisons this shard's partial
+            // sums, so the whole recount is abandoned (nothing emitted).
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                recount_shard(&shard, &candidates, &mut supports, &mut acc, shared)
+            }));
+            match outcome {
+                Ok(true) => {}
+                Ok(false) => {
+                    recount_cut = true;
+                    break;
+                }
+                Err(_) => {
+                    shared.panicked.fetch_add(1, Ordering::Relaxed);
+                    shared.trip(TruncationReason::WorkerPanic);
+                    recount_cut = true;
+                    break;
+                }
+            }
+        }
+        obs::counter("fpm.sharded.recount_rows", stats.recount_rows);
+        if recount_cut {
+            stats.truncated_phase = Some(ShardPhase::Recount);
+        } else {
+            // Emission: exact global filter, canonical order. Only the
+            // itemset cap applies here (candidate bytes were already
+            // charged in phase 1).
+            for id in 0..candidates.len() {
+                if supports[id] < threshold {
+                    continue;
+                }
+                if !shared.admit_count() {
+                    break;
+                }
+                sink.emit(candidates.items(id), supports[id], &acc[id]);
+                emitted += 1;
+            }
+        }
+        drop(recount_span);
+        stats.recount_us = recount_start.elapsed().as_micros() as u64;
+    }
+    stats.peak_shard_bytes = peak_shard_bytes.load(Ordering::Relaxed);
+
+    let completeness = match shared.resolve_reason() {
+        None => Completeness::Complete,
+        Some(reason) => Completeness::Truncated {
+            reason,
+            emitted,
+            elapsed: start.elapsed(),
+        },
+    };
+    (completeness, stats)
+}
+
+/// Unbounded single-threaded convenience over [`mine_into_bounded`].
+pub fn mine_into<P, C, S>(source: &C, params: &MiningParams, sink: &mut S) -> ShardStats
+where
+    P: Payload + Send + Sync,
+    C: ShardSource<P>,
+    S: ItemsetSink<P>,
+{
+    let (_, stats) = mine_into_bounded(source, params, 1, &Budget::unlimited(), None, sink);
+    stats
+}
+
+/// Mines an in-memory table through `n_shards` shards into an arena —
+/// the convenience form mirroring [`crate::parallel::mine_arena`].
+pub fn mine_arena<P: Payload + Send + Sync>(
+    db: &TransactionDb,
+    payloads: &[P],
+    params: &MiningParams,
+    n_shards: usize,
+) -> ItemsetArena<P> {
+    let source = MemShardSource::new(db, payloads, n_shards);
+    let mut arena = ItemsetArena::new();
+    mine_into(&source, params, &mut arena);
+    arena
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::CountPayload;
+    use crate::sink::VecSink;
+
+    fn db() -> TransactionDb {
+        let rows: Vec<Vec<u32>> = (0..40)
+            .map(|t| {
+                let mut row = vec![t % 5];
+                if t % 2 == 0 {
+                    row.push(5);
+                }
+                if t % 3 == 0 {
+                    row.push(6);
+                }
+                row
+            })
+            .collect();
+        TransactionDb::from_rows(7, &rows)
+    }
+
+    fn payloads(n: usize) -> Vec<CountPayload> {
+        (0..n).map(|t| CountPayload(t as u64 % 9)).collect()
+    }
+
+    #[test]
+    fn local_threshold_preserves_completeness_bound() {
+        // Σ t_k ≤ T + K − 1 ⇒ an itemset missed everywhere has support < T.
+        for (total, global, splits) in [(40usize, 7u64, 4usize), (13, 5, 7), (8, 8, 3)] {
+            let mut sum = 0u64;
+            for k in 0..splits {
+                let lo = k * total / splits;
+                let hi = (k + 1) * total / splits;
+                sum += local_threshold(global, hi - lo, total);
+            }
+            // Σ t_k ≤ T + K − 1, written strictly for clippy's sake.
+            assert!(sum < global + splits as u64, "{total} {global} {splits}");
+        }
+    }
+
+    #[test]
+    fn sharded_matches_eclat_for_various_shard_counts() {
+        let db = db();
+        let payloads = payloads(db.len());
+        let params = MiningParams::with_min_support_count(3);
+        let mut reference = crate::eclat::mine(&db, &payloads, &params);
+        crate::itemset::sort_canonical(&mut reference);
+        for n_shards in [1, 2, 7, 64] {
+            let got = mine_arena(&db, &payloads, &params, n_shards).into_itemsets();
+            assert_eq!(got, reference, "n_shards={n_shards}");
+        }
+    }
+
+    #[test]
+    fn work_stealing_pool_matches_sequential() {
+        let db = db();
+        let payloads = payloads(db.len());
+        let params = MiningParams::with_min_support_count(2);
+        let expected = mine_arena(&db, &payloads, &params, 5).into_itemsets();
+        for n_threads in [2, 3, 8] {
+            let source = MemShardSource::new(&db, &payloads, 5);
+            let mut sink = VecSink::new();
+            let (completeness, stats) = mine_into_bounded(
+                &source,
+                &params,
+                n_threads,
+                &Budget::unlimited(),
+                None,
+                &mut sink,
+            );
+            assert_eq!(completeness, Completeness::Complete, "threads={n_threads}");
+            assert_eq!(stats.shards_mined, 5);
+            assert_eq!(stats.truncated_phase, None);
+            assert_eq!(sink.found, expected, "threads={n_threads}");
+        }
+    }
+
+    #[test]
+    fn zero_row_shards_are_harmless() {
+        // K far beyond the row count: trailing shards hold zero rows.
+        let db = TransactionDb::from_rows(3, &[vec![0, 1], vec![0, 2], vec![1, 2], vec![0, 1]]);
+        let payloads = payloads(db.len());
+        let params = MiningParams::with_min_support_count(2);
+        let mut reference = crate::eclat::mine(&db, &payloads, &params);
+        crate::itemset::sort_canonical(&mut reference);
+        let got = mine_arena(&db, &payloads, &params, 11).into_itemsets();
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn empty_source_is_complete_and_empty() {
+        let db = TransactionDb::from_rows::<Vec<u32>>(3, &[]);
+        let payloads: Vec<CountPayload> = Vec::new();
+        let arena = mine_arena(&db, &payloads, &MiningParams::with_min_support_count(1), 4);
+        assert!(arena.is_empty());
+    }
+
+    #[test]
+    fn expired_deadline_cuts_the_mine_phase_and_emits_nothing() {
+        let db = db();
+        let payloads = payloads(db.len());
+        let params = MiningParams::with_min_support_count(1);
+        let source = MemShardSource::new(&db, &payloads, 4);
+        let budget = Budget::unlimited().with_timeout(std::time::Duration::ZERO);
+        let mut sink = VecSink::new();
+        let (completeness, stats) =
+            mine_into_bounded(&source, &params, 1, &budget, None, &mut sink);
+        assert_eq!(
+            completeness.truncation_reason(),
+            Some(TruncationReason::Timeout)
+        );
+        assert_eq!(stats.truncated_phase, Some(ShardPhase::Mine));
+        assert!(sink.found.is_empty());
+    }
+
+    /// A source that fires a cancel token on the first phase-2 load,
+    /// forcing a deterministic mid-recount cut.
+    struct CancelOnRecount<'a> {
+        inner: MemShardSource<'a, CountPayload>,
+        loads: AtomicUsize,
+        token: CancelToken,
+    }
+
+    impl ShardSource<CountPayload> for CancelOnRecount<'_> {
+        fn n_shards(&self) -> usize {
+            self.inner.n_shards()
+        }
+        fn n_rows(&self) -> usize {
+            self.inner.n_rows()
+        }
+        fn load(&self, k: usize) -> Shard<CountPayload> {
+            // Phase 1 loads every shard exactly once; the next load is
+            // the recount's first.
+            if self.loads.fetch_add(1, Ordering::Relaxed) == self.inner.n_shards() {
+                self.token.cancel();
+            }
+            self.inner.load(k)
+        }
+    }
+
+    #[test]
+    fn cancellation_between_phases_reports_the_recount_phase() {
+        let db = db();
+        let payloads = payloads(db.len());
+        let params = MiningParams::with_min_support_count(1);
+        let token = CancelToken::new();
+        let source = CancelOnRecount {
+            inner: MemShardSource::new(&db, &payloads, 3),
+            loads: AtomicUsize::new(0),
+            token: token.clone(),
+        };
+        let mut sink = VecSink::new();
+        let (completeness, stats) = mine_into_bounded(
+            &source,
+            &params,
+            1,
+            &Budget::unlimited(),
+            Some(&token),
+            &mut sink,
+        );
+        assert_eq!(
+            completeness.truncation_reason(),
+            Some(TruncationReason::Cancelled)
+        );
+        assert_eq!(stats.truncated_phase, Some(ShardPhase::Recount));
+        assert!(sink.found.is_empty());
+    }
+
+    #[test]
+    fn itemset_cap_at_emission_yields_an_exact_prefix() {
+        let db = db();
+        let payloads = payloads(db.len());
+        let params = MiningParams::with_min_support_count(1);
+        let full = mine_arena(&db, &payloads, &params, 4).into_itemsets();
+        assert!(full.len() > 5);
+        let source = MemShardSource::new(&db, &payloads, 4);
+        let budget = Budget::unlimited().with_max_itemsets(5);
+        let mut sink = VecSink::new();
+        let (completeness, stats) =
+            mine_into_bounded(&source, &params, 1, &budget, None, &mut sink);
+        assert_eq!(
+            completeness.truncation_reason(),
+            Some(TruncationReason::ItemsetLimit)
+        );
+        // The cut happened after both phases: not a phase truncation.
+        assert_eq!(stats.truncated_phase, None);
+        assert_eq!(sink.found.len(), 5);
+        assert_eq!(sink.found, full[..5].to_vec());
+    }
+
+    #[test]
+    fn stats_report_memory_and_coverage() {
+        let db = db();
+        let payloads = payloads(db.len());
+        let params = MiningParams::with_min_support_count(2);
+        let source = MemShardSource::new(&db, &payloads, 4);
+        let mut arena = ItemsetArena::new();
+        let stats = mine_into(&source, &params, &mut arena);
+        assert_eq!(stats.n_shards, 4);
+        assert_eq!(stats.shards_mined, 4);
+        assert_eq!(stats.recount_rows, db.len() as u64);
+        assert!(stats.candidates >= arena.len() as u64);
+        assert!(stats.peak_shard_bytes > 0);
+        assert!(stats.candidate_bytes > 0);
+        assert_eq!(stats.truncated_phase, None);
+    }
+}

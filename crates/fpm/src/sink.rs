@@ -252,9 +252,12 @@ mod tests {
         let db = db();
         let payloads: Vec<CountPayload> = (0..db.len()).map(|t| CountPayload(1 << t)).collect();
         let params = MiningParams::with_min_support_count(2);
-        let expected = crate::mine(Algorithm::FpGrowth, &db, &payloads, &params);
+        let task = crate::MiningTask::with_params(&db, params.clone())
+            .payloads(&payloads)
+            .algorithm(Algorithm::FpGrowth);
+        let expected = task.run().into_itemsets();
         let mut sink = VecSink::new();
-        crate::mine_into(Algorithm::FpGrowth, &db, &payloads, &params, &mut sink);
+        task.run_into(&mut sink);
         assert_eq!(sink.found, expected);
     }
 
@@ -262,15 +265,10 @@ mod tests {
     fn counting_sink_counts_without_storing() {
         let db = db();
         let params = MiningParams::with_min_support_count(1);
-        let expected = crate::mine_counts(Algorithm::Eclat, &db, &params);
+        let task = crate::MiningTask::with_params(&db, params.clone()).algorithm(Algorithm::Eclat);
+        let expected = task.run().into_itemsets();
         let mut sink = CountingSink::new();
-        crate::mine_into(
-            Algorithm::Eclat,
-            &db,
-            &vec![(); db.len()],
-            &params,
-            &mut sink,
-        );
+        task.run_into(&mut sink);
         assert_eq!(sink.emitted as usize, expected.len());
         let total: u64 = expected.iter().map(|fi| fi.items.len() as u64).sum();
         assert_eq!(sink.total_items, total);
@@ -281,13 +279,9 @@ mod tests {
         let db = db();
         let params = MiningParams::with_min_support_count(1);
         let mut sink = FilterSink::new(VecSink::new(), |items: &[u32], _, _: &()| items.len() == 2);
-        crate::mine_into(
-            Algorithm::Apriori,
-            &db,
-            &vec![(); db.len()],
-            &params,
-            &mut sink,
-        );
+        crate::MiningTask::with_params(&db, params.clone())
+            .algorithm(Algorithm::Apriori)
+            .run_into(&mut sink);
         assert!(!sink.inner.found.is_empty());
         assert!(sink.inner.found.iter().all(|fi| fi.items.len() == 2));
     }
@@ -296,17 +290,12 @@ mod tests {
     fn top_k_by_support_keeps_the_k_best() {
         let db = db();
         let params = MiningParams::with_min_support_count(1);
-        let mut all = crate::mine_counts(Algorithm::Eclat, &db, &params);
+        let task = crate::MiningTask::with_params(&db, params.clone()).algorithm(Algorithm::Eclat);
+        let mut all = task.run().into_itemsets();
         all.sort_by_key(|fi| std::cmp::Reverse(fi.support));
         for k in [1usize, 3, 5] {
             let mut sink = TopKBySupportSink::new(k);
-            crate::mine_into(
-                Algorithm::Eclat,
-                &db,
-                &vec![(); db.len()],
-                &params,
-                &mut sink,
-            );
+            task.run_into(&mut sink);
             let top = sink.into_top();
             assert_eq!(top.len(), k.min(all.len()), "k={k}");
             // Supports must match the k highest overall (itemset choice

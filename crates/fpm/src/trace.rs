@@ -144,22 +144,11 @@ mod tests {
     fn tracing_is_transparent_and_counts_the_stream() {
         let db = db();
         let params = MiningParams::with_min_support_count(2);
+        let task = crate::MiningTask::with_params(&db, params.clone()).algorithm(Algorithm::Eclat);
         let mut plain = VecSink::new();
-        crate::mine_into(
-            Algorithm::Eclat,
-            &db,
-            &vec![(); db.len()],
-            &params,
-            &mut plain,
-        );
+        task.run_into(&mut plain);
         let mut traced = TracingSink::new(VecSink::new());
-        crate::mine_into(
-            Algorithm::Eclat,
-            &db,
-            &vec![(); db.len()],
-            &params,
-            &mut traced,
-        );
+        task.run_into(&mut traced);
         assert_eq!(traced.emitted() as usize, plain.found.len());
         let items: u64 = plain.found.iter().map(|fi| fi.items.len() as u64).sum();
         assert_eq!(traced.total_items(), items);
@@ -176,7 +165,9 @@ mod tests {
         let mut counts = Vec::new();
         for algo in Algorithm::ALL {
             let mut traced = TracingSink::new(VecSink::new());
-            crate::mine_into(algo, &db, &vec![(); db.len()], &params, &mut traced);
+            crate::MiningTask::with_params(&db, params.clone())
+                .algorithm(algo)
+                .run_into(&mut traced);
             counts.push((traced.emitted(), traced.total_items()));
         }
         assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
@@ -193,13 +184,9 @@ mod tests {
         }
         let db = db();
         let mut traced = TracingSink::new(Stubborn);
-        crate::mine_into(
-            Algorithm::Eclat,
-            &db,
-            &vec![(); db.len()],
-            &MiningParams::with_min_support_count(1),
-            &mut traced,
-        );
+        crate::MiningTask::new(&db, 1)
+            .algorithm(Algorithm::Eclat)
+            .run_into(&mut traced);
         assert_eq!(traced.declined(), traced.emitted());
     }
 }

@@ -6,8 +6,8 @@
 use proptest::prelude::*;
 
 use fpm::{
-    mine_into, mine_into_bounded, Algorithm, Budget, CancelToken, Completeness, CountPayload,
-    MiningParams, TransactionDb, TruncationReason, VecSink,
+    Algorithm, Budget, CancelToken, Completeness, CountPayload, MiningParams, MiningTask,
+    TransactionDb, TruncationReason, VecSink,
 };
 
 fn small_db() -> impl Strategy<Value = TransactionDb> {
@@ -34,13 +34,19 @@ proptest! {
         let payloads = payloads_for(&db);
         let params = MiningParams::with_min_support_count(min_support);
         for algo in Algorithm::ALL {
+            let task = MiningTask::with_params(&db, params.clone())
+                .payloads(&payloads)
+                .algorithm(algo);
             let mut full = VecSink::new();
-            mine_into(algo, &db, &payloads, &params, &mut full);
+            task.run_into(&mut full);
 
             let mut capped = VecSink::new();
             let budget = Budget::unlimited().with_max_itemsets(cap);
-            let verdict =
-                mine_into_bounded(algo, &db, &payloads, &params, &budget, None, &mut capped);
+            let verdict = task
+                .clone()
+                .budget(budget)
+                .run_into(&mut capped)
+                .completeness;
 
             let expected_len = full.found.len().min(cap as usize);
             prop_assert_eq!(capped.found.len(), expected_len, "{}: emission count", algo);
@@ -108,15 +114,21 @@ proptest! {
         let payloads = payloads_for(&db);
         let params = MiningParams::with_min_support_count(min_support);
         let mut full = VecSink::new();
-        mine_into(Algorithm::Eclat, &db, &payloads, &params, &mut full);
+        MiningTask::with_params(&db, params.clone())
+            .payloads(&payloads)
+            .algorithm(Algorithm::Eclat)
+            .run_into(&mut full);
 
         let token = CancelToken::new();
         token.cancel();
         for algo in Algorithm::ALL {
             let mut sink = VecSink::new();
-            let verdict = mine_into_bounded(
-                algo, &db, &payloads, &params, &Budget::unlimited(), Some(&token), &mut sink,
-            );
+            let verdict = MiningTask::with_params(&db, params.clone())
+                .payloads(&payloads)
+                .algorithm(algo)
+                .cancel(token.clone())
+                .run_into(&mut sink)
+                .completeness;
             prop_assert_eq!(sink.found.len(), 0, "{}", algo);
             if !full.found.is_empty() {
                 prop_assert_eq!(

@@ -3,7 +3,19 @@
 
 use fpm::closed::{closed_itemsets, condensation_flags, maximal_itemsets};
 use fpm::rules::{generate_rules, RuleParams};
-use fpm::{mine_counts, Algorithm, MiningParams, TransactionDb};
+use fpm::{Algorithm, FrequentItemset, MiningTask, TransactionDb};
+
+/// Unit-payload mining through the canonical `MiningTask` entry point.
+fn mine_counts(
+    algo: Algorithm,
+    db: &TransactionDb,
+    min_support_count: u64,
+) -> Vec<FrequentItemset<()>> {
+    MiningTask::new(db, min_support_count)
+        .algorithm(algo)
+        .run()
+        .into_itemsets()
+}
 use proptest::prelude::*;
 
 fn small_db() -> impl Strategy<Value = TransactionDb> {
@@ -16,7 +28,7 @@ proptest! {
 
     #[test]
     fn closed_flags_match_bruteforce_definition(db in small_db(), min_support in 1u64..3) {
-        let found = mine_counts(Algorithm::FpGrowth, &db, &MiningParams::with_min_support_count(min_support));
+        let found = mine_counts(Algorithm::FpGrowth, &db, min_support);
         let flags = condensation_flags(&found);
         for (i, fi) in found.iter().enumerate() {
             // Brute force: closed iff no strict superset has equal support;
@@ -38,7 +50,7 @@ proptest! {
 
     #[test]
     fn closure_preserves_support_information(db in small_db()) {
-        let found = mine_counts(Algorithm::Eclat, &db, &MiningParams::with_min_support_count(1));
+        let found = mine_counts(Algorithm::Eclat, &db, 1);
         let closed = closed_itemsets(&found);
         // Every frequent itemset has a closed superset of equal support
         // (the defining property of the closed representation).
@@ -57,7 +69,7 @@ proptest! {
 
     #[test]
     fn rule_statistics_match_direct_counts(db in small_db(), min_conf in 0.0f64..1.0) {
-        let found = mine_counts(Algorithm::Apriori, &db, &MiningParams::with_min_support_count(1));
+        let found = mine_counts(Algorithm::Apriori, &db, 1);
         let rules = generate_rules(&found, &RuleParams {
             min_confidence: min_conf,
             n_transactions: db.len(),
@@ -86,7 +98,7 @@ proptest! {
 
     #[test]
     fn rule_sides_are_disjoint_and_nonempty(db in small_db()) {
-        let found = mine_counts(Algorithm::FpGrowth, &db, &MiningParams::with_min_support_count(1));
+        let found = mine_counts(Algorithm::FpGrowth, &db, 1);
         let rules = generate_rules(&found, &RuleParams { min_confidence: 0.1, n_transactions: db.len() });
         for rule in &rules {
             prop_assert!(!rule.antecedent.is_empty());

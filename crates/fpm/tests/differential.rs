@@ -4,9 +4,24 @@
 //! mining (anti-monotonicity, canonical ordering, no duplicates).
 
 use fpm::itemset::sort_canonical;
-use fpm::{mine, Algorithm, CountPayload, FrequentItemset, MiningParams, TransactionDb};
+use fpm::{Algorithm, CountPayload, FrequentItemset, MiningParams, MiningTask, TransactionDb};
 use proptest::prelude::*;
 use rustc_hash::FxHashMap;
+
+/// Runs `algo` over `db` through the `MiningTask` builder (the canonical
+/// entry point) and materializes the result.
+fn mine<P: fpm::Payload + Send + Sync>(
+    algo: Algorithm,
+    db: &TransactionDb,
+    payloads: &[P],
+    params: &MiningParams,
+) -> Vec<FrequentItemset<P>> {
+    MiningTask::with_params(db, params.clone())
+        .payloads(payloads)
+        .algorithm(algo)
+        .run()
+        .into_itemsets()
+}
 
 /// Strategy: a small random database over up to 8 items and up to 14 rows.
 fn small_db() -> impl Strategy<Value = TransactionDb> {
@@ -46,7 +61,11 @@ proptest! {
         for algo in Algorithm::ALL {
             let mut expected = mine(algo, &db, &payloads, &params);
             sort_canonical(&mut expected);
-            let mut arena = fpm::mine_arena(algo, &db, &payloads, &params);
+            let mut arena = MiningTask::with_params(&db, params.clone())
+                .payloads(&payloads)
+                .algorithm(algo)
+                .run()
+                .store;
             arena.sort_canonical();
             prop_assert_eq!(arena.len(), expected.len(), "{}: cardinality", algo);
             for (entry, fi) in arena.iter().zip(&expected) {
@@ -71,7 +90,10 @@ proptest! {
             let mut expected = mine(algo, &db, &payloads, &params);
             sort_canonical(&mut expected);
             let mut sink = fpm::VecSink::new();
-            fpm::mine_into(algo, &db, &payloads, &params, &mut sink);
+            MiningTask::with_params(&db, params.clone())
+                .payloads(&payloads)
+                .algorithm(algo)
+                .run_into(&mut sink);
             let mut got = sink.found;
             sort_canonical(&mut got);
             prop_assert_eq!(&got, &expected, "{} via VecSink", algo);
@@ -160,8 +182,12 @@ proptest! {
 
         let mut sink = fpm::VecSink::new();
         let budget = fpm::Budget::unlimited().with_max_itemsets(cap);
-        let verdict = fpm::mine_into_bounded(
-            Algorithm::Dense, &db, &payloads, &params, &budget, None, &mut sink);
+        let verdict = MiningTask::with_params(&db, params.clone())
+            .payloads(&payloads)
+            .algorithm(Algorithm::Dense)
+            .budget(budget)
+            .run_into(&mut sink)
+            .completeness;
         prop_assert!(sink.found.len() as u64 <= cap);
         if (full.len() as u64) > cap {
             prop_assert!(verdict.truncation_reason().is_some());
@@ -174,9 +200,12 @@ proptest! {
         let token = fpm::CancelToken::new();
         token.cancel();
         let mut sink = fpm::VecSink::new();
-        let verdict = fpm::mine_into_bounded(
-            Algorithm::Dense, &db, &payloads, &params,
-            &fpm::Budget::unlimited(), Some(&token), &mut sink);
+        let verdict = MiningTask::with_params(&db, params.clone())
+            .payloads(&payloads)
+            .algorithm(Algorithm::Dense)
+            .cancel(token)
+            .run_into(&mut sink)
+            .completeness;
         if !full.is_empty() {
             prop_assert_eq!(verdict.truncation_reason(),
                 Some(fpm::TruncationReason::Cancelled));
@@ -202,6 +231,83 @@ proptest! {
             }
             prop_assert_eq!(fi.payload.0, expected);
             prop_assert_eq!(fi.support, support);
+        }
+    }
+
+    /// Sharded two-pass acceptance: for K in {1, 2, 7} the sharded engine
+    /// emits exactly the itemsets, supports, and composite payload tallies
+    /// of dense and eclat — including databases with fewer rows than
+    /// shards, where trailing shards hold zero rows.
+    #[test]
+    fn sharded_matches_dense_and_eclat(db in small_db(), min_support in 1u64..5, max_len in prop::option::of(1usize..4)) {
+        let payloads: Vec<(CountPayload, CountPayload)> = (0..db.len())
+            .map(|t| (CountPayload(t as u64 % 3), CountPayload(1 + t as u64 % 2)))
+            .collect();
+        let mut params = MiningParams::with_min_support_count(min_support);
+        params.max_len = max_len;
+        let mut eclat = mine(Algorithm::Eclat, &db, &payloads, &params);
+        sort_canonical(&mut eclat);
+        let mut dense = mine(Algorithm::Dense, &db, &payloads, &params);
+        sort_canonical(&mut dense);
+        prop_assert_eq!(&dense, &eclat, "dense vs eclat");
+        for k in [1usize, 2, 7] {
+            let outcome = MiningTask::with_params(&db, params.clone())
+                .payloads(&payloads)
+                .shards(k)
+                .run();
+            prop_assert!(outcome.completeness.is_complete(), "K={}", k);
+            let stats = outcome.shards.expect("sharded run reports stats");
+            prop_assert_eq!(stats.n_shards, k, "K={}", k);
+            let got = outcome.into_itemsets();
+            prop_assert_eq!(&got, &eclat, "sharded K={} vs eclat", k);
+        }
+    }
+
+    /// Sharded under budgets: an expired deadline cuts a phase (reported
+    /// via `ShardStats::truncated_phase`) and emits nothing, while an
+    /// itemset cap at emission yields an exact canonical prefix.
+    #[test]
+    fn sharded_bounded_runs_stay_sound(db in small_db(), min_support in 1u64..4, cap in 1u64..8) {
+        let payloads = payloads_for(&db);
+        let params = MiningParams::with_min_support_count(min_support);
+        let mut full = mine(Algorithm::Eclat, &db, &payloads, &params);
+        sort_canonical(&mut full);
+
+        // Expired deadline: cut mid-phase, nothing emitted, phase named.
+        let mut sink = fpm::VecSink::new();
+        let verdict = MiningTask::with_params(&db, params.clone())
+            .payloads(&payloads)
+            .shards(2)
+            .budget(fpm::Budget::unlimited().with_timeout(std::time::Duration::ZERO))
+            .run_into(&mut sink);
+        prop_assert!(sink.found.is_empty(), "mid-phase cut must emit nothing");
+        if !db.is_empty() {
+            prop_assert_eq!(
+                verdict.completeness.truncation_reason(),
+                Some(fpm::TruncationReason::Timeout)
+            );
+            prop_assert_eq!(
+                verdict.shards.expect("stats").truncated_phase,
+                Some(fpm::ShardPhase::Mine)
+            );
+        }
+
+        // Itemset cap: exact-count prefix of the canonical order.
+        let mut sink = fpm::VecSink::new();
+        let verdict = MiningTask::with_params(&db, params.clone())
+            .payloads(&payloads)
+            .shards(2)
+            .budget(fpm::Budget::unlimited().with_max_itemsets(cap))
+            .run_into(&mut sink);
+        prop_assert!(sink.found.len() as u64 <= cap);
+        let take = sink.found.len();
+        prop_assert_eq!(&sink.found, &full[..take].to_vec(), "prefix mismatch");
+        if (full.len() as u64) > cap {
+            prop_assert_eq!(
+                verdict.completeness.truncation_reason(),
+                Some(fpm::TruncationReason::ItemsetLimit)
+            );
+            prop_assert_eq!(verdict.shards.expect("stats").truncated_phase, None);
         }
     }
 }

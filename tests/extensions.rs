@@ -141,11 +141,13 @@ fn continuous_divergence_on_model_losses() {
 fn condensation_flags_on_a_real_exploration() {
     let gd = DatasetId::Heart.generate_sized(400, 34);
     let db = gd.data.to_transactions();
-    let found = fpm::mine_counts(
-        fpm::Algorithm::FpGrowth,
+    let found = fpm::MiningTask::with_params(
         &db,
-        &fpm::MiningParams::with_min_support_fraction(0.2, db.len()),
-    );
+        fpm::MiningParams::with_min_support_fraction(0.2, db.len()),
+    )
+    .algorithm(fpm::Algorithm::FpGrowth)
+    .run()
+    .into_itemsets();
     let closed = fpm::closed::closed_itemsets(&found);
     let maximal = fpm::closed::maximal_itemsets(&found);
     assert!(!closed.is_empty());
