@@ -1,0 +1,148 @@
+//! Artifact-backed subcommands: `probe`, `index` and `analyze`.
+//!
+//! `index` runs the expensive part once — encode the dataset, mine the
+//! frequent lattice — and persists both as checksummed artifacts.
+//! `analyze --artifact` then re-analyzes any number of times by
+//! streaming recount ([`divexplorer::DivExplorer::from_artifact`]),
+//! never re-mining. `probe` validates an artifact's envelope and prints
+//! its header without decoding the sections.
+//!
+//! Any tampered, truncated or version-bumped artifact fails closed with
+//! a typed [`CliError::Input`] (exit code 3); nothing here panics on
+//! untrusted bytes.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use datasets::artifact::{self, ArenaKey};
+use divexplorer::DivergenceReport;
+
+use crate::{explorer_from_args, prepare, render_explore, Args, CliError, RunStatus};
+
+/// The engine name recorded in artifact keys: `--shards` forces the
+/// sharded two-pass engine regardless of `--engine`.
+pub(crate) fn engine_label(args: &Args) -> String {
+    if args.shards.is_some() {
+        "sharded".to_string()
+    } else {
+        args.engine.to_string()
+    }
+}
+
+fn input_err(context: &dyn std::fmt::Display, e: &dyn std::fmt::Display) -> CliError {
+    CliError::Input(format!("{context}: {e}"))
+}
+
+/// `probe`: validates the envelope (magic, version, checksum, section
+/// table) and prints the header.
+pub fn run_probe(args: &Args, out: &mut String) -> Result<(), CliError> {
+    let path = Path::new(&args.artifact);
+    let info = artifact::probe(path).map_err(|e| input_err(&path.display(), &e))?;
+    let _ = writeln!(out, "artifact: {}", path.display());
+    let _ = writeln!(out, "  kind:     {}", info.kind_name());
+    let _ = writeln!(out, "  version:  {}", info.version);
+    let _ = writeln!(out, "  hash:     {:016x}", info.hash);
+    let _ = writeln!(out, "  bytes:    {}", info.bytes);
+    let _ = writeln!(out, "  sections: {}", info.sections);
+    Ok(())
+}
+
+/// `index`: encodes the CSV into a dataset artifact and mines + persists
+/// its frequent lattice under the registry key. Refuses to persist a
+/// budget-truncated lattice — a partial candidate set would silently
+/// poison every later recount.
+pub fn run_index(args: &Args, content: &str, out: &mut String) -> Result<(), CliError> {
+    let prepared = prepare(content, args)?;
+    let dir = Path::new(&args.artifact);
+    std::fs::create_dir_all(dir).map_err(|e| input_err(&dir.display(), &e))?;
+
+    let report = explorer_from_args(args)
+        .explore(&prepared.data, &prepared.v, &prepared.u, &args.metrics)
+        .map_err(|e| CliError::Input(e.to_string()))?;
+    if let Some(reason) = report.completeness().truncation_reason() {
+        return Err(CliError::Truncated(reason));
+    }
+
+    let dataset_path = dir.join(artifact::dataset_file_name(&args.name));
+    let hash = artifact::save_dataset(&dataset_path, &prepared.data, &prepared.v, &prepared.u)
+        .map_err(|e| input_err(&dataset_path.display(), &e))?;
+
+    let candidates = candidates_of(&report);
+    let key = ArenaKey {
+        dataset_hash: hash,
+        min_support_count: report.min_support_count(),
+        max_len: None,
+        engine: engine_label(args),
+        n_rows: prepared.data.n_rows() as u64,
+    };
+    let arena_path = dir.join(artifact::arena_file_name(&key));
+    artifact::save_arena(&arena_path, &key, &candidates)
+        .map_err(|e| input_err(&arena_path.display(), &e))?;
+
+    let _ = writeln!(
+        out,
+        "dataset '{}': {} rows, hash {hash:016x} -> {}",
+        args.name,
+        prepared.data.n_rows(),
+        dataset_path.display()
+    );
+    let _ = writeln!(
+        out,
+        "lattice: {} patterns at support >= {} ({} rows) -> {}",
+        candidates.len(),
+        args.support,
+        key.min_support_count,
+        arena_path.display()
+    );
+    Ok(())
+}
+
+/// Extracts the candidate lattice (items + supports, unit payload) from
+/// a report and normalizes it to canonical order so the artifact bytes
+/// do not depend on the mining engine's emission order.
+pub(crate) fn candidates_of(report: &DivergenceReport) -> fpm::ItemsetArena<()> {
+    let mut candidates = fpm::ItemsetArena::with_capacity(report.len(), 0);
+    for idx in 0..report.len() {
+        candidates.push(report.items(idx), report.support(idx), ());
+    }
+    candidates.sort_canonical();
+    candidates
+}
+
+/// `analyze --artifact`: loads the dataset and lattice artifacts and
+/// recounts — the warm path. No mining phase runs.
+pub fn run_analyze(args: &Args, out: &mut String) -> Result<RunStatus, CliError> {
+    let dir = Path::new(&args.artifact);
+    let dataset_path = dir.join(artifact::dataset_file_name(&args.name));
+    let ds = artifact::load_dataset(&dataset_path)
+        .map_err(|e| input_err(&dataset_path.display(), &e))?;
+
+    let n = ds.data.n_rows();
+    let params = fpm::MiningParams::with_min_support_fraction(args.support, n);
+    let key = ArenaKey {
+        dataset_hash: ds.hash,
+        min_support_count: params.min_support_count,
+        max_len: None,
+        engine: engine_label(args),
+        n_rows: n as u64,
+    };
+    let arena_path = dir.join(artifact::arena_file_name(&key));
+    let (loaded_key, candidates) = artifact::load_arena(&arena_path).map_err(|e| {
+        CliError::Input(format!(
+            "{}: {e} (index this dataset first with `divexplorer index` \
+             using the same --support and --engine)",
+            arena_path.display()
+        ))
+    })?;
+    if loaded_key != key {
+        return Err(CliError::Input(format!(
+            "{}: artifact key does not match its file name (was the file renamed?)",
+            arena_path.display()
+        )));
+    }
+
+    let report = explorer_from_args(args)
+        .from_artifact(&ds.data, &candidates, &ds.v, &ds.u, &args.metrics)
+        .map_err(|e| CliError::Input(e.to_string()))?;
+    render_explore(args, &report, out)
+}

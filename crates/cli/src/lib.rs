@@ -15,8 +15,21 @@
 //! divexplorer fairness   --input data.csv --label y --pred yhat [--top 3]
 //! ```
 //!
+//! The artifact suite (see [`artifacts`] and [`serve`]) persists the
+//! expensive mine and re-analyzes by streaming recount:
+//!
+//! ```text
+//! divexplorer index      --input data.csv --label y --pred yhat --name d1 --artifact DIR
+//! divexplorer probe      --artifact DIR/d1.dxd
+//! divexplorer analyze    --artifact DIR --name d1 [--metric FNR] [--support 0.05]
+//! divexplorer serve      [--artifact DIR]         # NDJSON request loop on stdin
+//! ```
+//!
 //! All logic lives here (parameterized over the CSV *content* and an output
 //! writer) so it is unit-testable without touching the filesystem.
+
+pub mod artifacts;
+pub mod serve;
 
 use std::fmt::Write as _;
 
@@ -78,6 +91,11 @@ pub struct Args {
     /// Mine through the sharded two-pass engine with this many row
     /// shards (bit-identical results at a fraction of the peak memory).
     pub shards: Option<usize>,
+    /// Artifact path: a file for `probe`, the registry directory for
+    /// `index`, `analyze` and `serve`.
+    pub artifact: String,
+    /// Dataset name in the artifact registry (`index`, `analyze`).
+    pub name: String,
 }
 
 /// The supported subcommands.
@@ -95,6 +113,14 @@ pub enum Command {
     Lattice,
     /// Group-fairness audit (four criteria per subgroup).
     Fairness,
+    /// Validate an artifact's envelope and print its header.
+    Probe,
+    /// Encode the dataset and mine + persist its frequent lattice.
+    Index,
+    /// Re-analyze from persisted artifacts (recount, no mining phase).
+    Analyze,
+    /// Resident NDJSON analysis service on stdin/stdout.
+    Serve,
 }
 
 /// CLI errors, all user-facing.
@@ -164,8 +190,23 @@ divexplorer — pattern-divergence analysis of classifier behavior
 USAGE:
   divexplorer <explore|shapley|corrective|global|lattice|fairness> --input FILE \\
       --label COL --pred COL [options]
+  divexplorer index   --input FILE --label COL --pred COL --name NAME --artifact DIR
+  divexplorer probe   --artifact FILE
+  divexplorer analyze --artifact DIR --name NAME [options]
+  divexplorer serve   [--artifact DIR]
+
+ARTIFACTS:
+  `index` encodes the dataset and mines + persists its frequent lattice as
+  checksummed artifacts under DIR; `analyze` re-analyzes from them with a
+  streaming recount (no mining phase) — use the same --support/--engine as
+  the index run so the registry key matches. `serve` answers NDJSON
+  requests (register/mine/query/stats/shutdown) on stdin, one JSON reply
+  per line, caching lattices in memory and in DIR when given.
 
 OPTIONS:
+  --artifact PATH    artifact file (probe) or registry directory (index,
+                     analyze, serve)
+  --name NAME        dataset name in the artifact registry
   --metric LIST      comma-separated metrics (FPR,FNR,ER,ACC,TPR,TNR,PPV,NPV,FDR,FOR) [FPR]
   --support S        minimum support threshold in (0,1] [0.05]
   --top K            rows to print [10]
@@ -206,6 +247,10 @@ impl Args {
             Some("global") => Command::Global,
             Some("lattice") => Command::Lattice,
             Some("fairness") => Command::Fairness,
+            Some("probe") => Command::Probe,
+            Some("index") => Command::Index,
+            Some("analyze") => Command::Analyze,
+            Some("serve") => Command::Serve,
             Some(other) => return Err(CliError::Usage(format!("unknown command '{other}'"))),
             None => return Err(CliError::Usage("missing command".to_string())),
         };
@@ -231,6 +276,8 @@ impl Args {
             stats: false,
             engine: fpm::Algorithm::FpGrowth,
             shards: None,
+            artifact: String::new(),
+            name: String::new(),
         };
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<String, CliError> {
@@ -271,21 +318,50 @@ impl Args {
                     }
                     args.shards = Some(n);
                 }
+                "--artifact" => args.artifact = value("--artifact")?,
+                "--name" => args.name = value("--name")?,
                 other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
             }
         }
-        if args.input.is_empty() {
-            return Err(CliError::Usage("--input is required".to_string()));
-        }
-        if args.label.is_empty() || args.pred.is_empty() {
-            return Err(CliError::Usage(
-                "--label and --pred are required".to_string(),
-            ));
-        }
-        if matches!(command, Command::Shapley | Command::Lattice) && args.itemset.is_empty() {
-            return Err(CliError::Usage(
-                "--itemset is required for this command".to_string(),
-            ));
+        // Required flags are per-command: artifact commands read from
+        // the registry instead of (or in addition to) a CSV.
+        match command {
+            Command::Probe => {
+                if args.artifact.is_empty() {
+                    return Err(CliError::Usage(
+                        "--artifact FILE is required for probe".to_string(),
+                    ));
+                }
+            }
+            Command::Analyze => {
+                if args.artifact.is_empty() || args.name.is_empty() {
+                    return Err(CliError::Usage(
+                        "--artifact DIR and --name are required for analyze".to_string(),
+                    ));
+                }
+            }
+            Command::Serve => {}
+            _ => {
+                if args.input.is_empty() {
+                    return Err(CliError::Usage("--input is required".to_string()));
+                }
+                if args.label.is_empty() || args.pred.is_empty() {
+                    return Err(CliError::Usage(
+                        "--label and --pred are required".to_string(),
+                    ));
+                }
+                if command == Command::Index && (args.artifact.is_empty() || args.name.is_empty()) {
+                    return Err(CliError::Usage(
+                        "--artifact DIR and --name are required for index".to_string(),
+                    ));
+                }
+                if matches!(command, Command::Shapley | Command::Lattice) && args.itemset.is_empty()
+                {
+                    return Err(CliError::Usage(
+                        "--itemset is required for this command".to_string(),
+                    ));
+                }
+            }
         }
         Ok(args)
     }
@@ -296,7 +372,7 @@ fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, CliError> {
         .map_err(|_| CliError::Usage(format!("{flag}: cannot parse '{s}'")))
 }
 
-fn parse_engine(s: &str) -> Result<fpm::Algorithm, CliError> {
+pub(crate) fn parse_engine(s: &str) -> Result<fpm::Algorithm, CliError> {
     match s.trim().to_ascii_lowercase().as_str() {
         "apriori" => Ok(fpm::Algorithm::Apriori),
         "fp-growth" => Ok(fpm::Algorithm::FpGrowth),
@@ -311,7 +387,7 @@ fn parse_engine(s: &str) -> Result<fpm::Algorithm, CliError> {
     }
 }
 
-fn parse_metrics(s: &str) -> Result<Vec<Metric>, CliError> {
+pub(crate) fn parse_metrics(s: &str) -> Result<Vec<Metric>, CliError> {
     s.split(',')
         .map(|name| match name.trim().to_ascii_uppercase().as_str() {
             "FPR" => Ok(Metric::FalsePositiveRate),
@@ -466,7 +542,7 @@ impl Telemetry {
 }
 
 /// The [`fpm::Budget`] requested on the command line.
-fn budget_from_args(args: &Args) -> fpm::Budget {
+pub(crate) fn budget_from_args(args: &Args) -> fpm::Budget {
     let mut budget = fpm::Budget::unlimited();
     if let Some(ms) = args.timeout_ms {
         budget = budget.with_timeout(std::time::Duration::from_millis(ms));
@@ -480,6 +556,104 @@ fn budget_from_args(args: &Args) -> fpm::Budget {
     budget
 }
 
+/// The [`DivExplorer`] configured by the command line — shared by the
+/// cold path ([`run_with_content`]), `index` and `analyze`.
+pub(crate) fn explorer_from_args(args: &Args) -> DivExplorer {
+    let mut explorer = DivExplorer::new(args.support)
+        .with_algorithm(args.engine)
+        .with_budget(budget_from_args(args));
+    if let Some(k) = args.shards {
+        explorer = explorer.with_shards(k);
+    }
+    explorer
+}
+
+/// Renders an `explore`-style report (table or `--json`) including the
+/// truncation warning, and maps the report's completeness to the run
+/// status. Shared by the cold `explore` path and `analyze --artifact`.
+pub(crate) fn render_explore(
+    args: &Args,
+    report: &divexplorer::DivergenceReport,
+    out: &mut String,
+) -> Result<RunStatus, CliError> {
+    if args.json {
+        let export = report.export();
+        let json = serde_json::to_string_pretty(&export)
+            .map_err(|e| CliError::Input(format!("cannot serialize report: {e}")))?;
+        out.push_str(&json);
+        out.push('\n');
+        return Ok(match report.completeness().truncation_reason() {
+            Some(reason) => RunStatus::Truncated(reason),
+            None => RunStatus::Complete,
+        });
+    }
+    for (m, metric) in args.metrics.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "Δ_{metric} (overall {metric} = {:.3}, {} patterns):",
+            report.dataset_rate(m),
+            report.len()
+        );
+        let kept: Option<std::collections::HashSet<usize>> = match (args.prune, args.fdr) {
+            (Some(eps), _) => Some(prune_redundant(report, m, eps).into_iter().collect()),
+            (None, Some(q)) => Some(report.significant_at_fdr(m, q).into_iter().collect()),
+            (None, None) => None,
+        };
+        let mut shown = 0;
+        for idx in report.ranked(m, SortBy::Divergence) {
+            if let Some(kept) = &kept {
+                if !kept.contains(&idx) {
+                    continue;
+                }
+            }
+            let _ = writeln!(
+                out,
+                "  {:<55} sup={:.2} Δ={:+.3} t={:.1}",
+                report.display_itemset(report.items(idx)),
+                report.support_fraction(idx),
+                report.divergence(idx, m),
+                report.t_statistic(idx, m),
+            );
+            shown += 1;
+            if shown >= args.top {
+                break;
+            }
+        }
+    }
+    Ok(completeness_status(report, out))
+}
+
+/// The shared completeness tail: prints the truncation warning (naming
+/// the cut shard phase when one applies) and returns the status.
+fn completeness_status(report: &divexplorer::DivergenceReport, out: &mut String) -> RunStatus {
+    match *report.completeness() {
+        fpm::Completeness::Truncated {
+            reason,
+            emitted,
+            elapsed,
+        } => {
+            // Report the miner's own verdict verbatim (reason, itemsets
+            // kept, wall clock) so partial results are auditable. A
+            // sharded run additionally names the phase the budget cut —
+            // a mine-phase cut lost candidates, a recount-phase cut lost
+            // every result (the engine never emits unverified counts).
+            let phase_note = report
+                .shard_stats()
+                .and_then(|s| s.truncated_phase)
+                .map(|phase| format!("; the {phase} phase was cut"))
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "warning: exploration truncated ({reason}) after {emitted} itemsets \
+                 in {:.1}ms{phase_note} — results above are partial",
+                elapsed.as_secs_f64() * 1e3
+            );
+            RunStatus::Truncated(reason)
+        }
+        fpm::Completeness::Complete => RunStatus::Complete,
+    }
+}
+
 /// Runs the command against CSV content, writing the report to `out`.
 ///
 /// Commands that tolerate a budget-truncated exploration (explore,
@@ -491,69 +665,31 @@ pub fn run_with_content(
     content: &str,
     out: &mut String,
 ) -> Result<RunStatus, CliError> {
+    match args.command {
+        Command::Index => {
+            artifacts::run_index(args, content, out)?;
+            return Ok(RunStatus::Complete);
+        }
+        Command::Probe | Command::Analyze | Command::Serve => {
+            return Err(CliError::Usage(
+                "this command does not analyze CSV content".to_string(),
+            ));
+        }
+        _ => {}
+    }
     let prepared = prepare(content, args)?;
     if args.command == Command::Fairness {
         run_fairness(args, &prepared, out)?;
         return Ok(RunStatus::Complete);
     }
-    let mut explorer = DivExplorer::new(args.support)
-        .with_algorithm(args.engine)
-        .with_budget(budget_from_args(args));
-    if let Some(k) = args.shards {
-        explorer = explorer.with_shards(k);
-    }
+    let explorer = explorer_from_args(args);
     let report = explorer
         .explore(&prepared.data, &prepared.v, &prepared.u, &args.metrics)
         .map_err(|e| CliError::Input(e.to_string()))?;
     let truncation = report.completeness().truncation_reason();
 
     match args.command {
-        Command::Explore => {
-            if args.json {
-                let export = report.export();
-                let json = serde_json::to_string_pretty(&export)
-                    .map_err(|e| CliError::Input(format!("cannot serialize report: {e}")))?;
-                out.push_str(&json);
-                out.push('\n');
-                return Ok(match truncation {
-                    Some(reason) => RunStatus::Truncated(reason),
-                    None => RunStatus::Complete,
-                });
-            }
-            for (m, metric) in args.metrics.iter().enumerate() {
-                let _ = writeln!(
-                    out,
-                    "Δ_{metric} (overall {metric} = {:.3}, {} patterns):",
-                    report.dataset_rate(m),
-                    report.len()
-                );
-                let kept: Option<std::collections::HashSet<usize>> = match (args.prune, args.fdr) {
-                    (Some(eps), _) => Some(prune_redundant(&report, m, eps).into_iter().collect()),
-                    (None, Some(q)) => Some(report.significant_at_fdr(m, q).into_iter().collect()),
-                    (None, None) => None,
-                };
-                let mut shown = 0;
-                for idx in report.ranked(m, SortBy::Divergence) {
-                    if let Some(kept) = &kept {
-                        if !kept.contains(&idx) {
-                            continue;
-                        }
-                    }
-                    let _ = writeln!(
-                        out,
-                        "  {:<55} sup={:.2} Δ={:+.3} t={:.1}",
-                        report.display_itemset(report.items(idx)),
-                        report.support_fraction(idx),
-                        report.divergence(idx, m),
-                        report.t_statistic(idx, m),
-                    );
-                    shown += 1;
-                    if shown >= args.top {
-                        break;
-                    }
-                }
-            }
-        }
+        Command::Explore => return render_explore(args, &report, out),
         Command::Shapley => {
             if let Some(reason) = truncation {
                 return Err(CliError::Truncated(reason));
@@ -606,34 +742,11 @@ pub fn run_with_content(
                 lattice.to_ascii()
             });
         }
-        Command::Fairness => unreachable!("dispatched before exploration"),
-    }
-    match *report.completeness() {
-        fpm::Completeness::Truncated {
-            reason,
-            emitted,
-            elapsed,
-        } => {
-            // Report the miner's own verdict verbatim (reason, itemsets
-            // kept, wall clock) so partial results are auditable. A
-            // sharded run additionally names the phase the budget cut —
-            // a mine-phase cut lost candidates, a recount-phase cut lost
-            // every result (the engine never emits unverified counts).
-            let phase_note = report
-                .shard_stats()
-                .and_then(|s| s.truncated_phase)
-                .map(|phase| format!("; the {phase} phase was cut"))
-                .unwrap_or_default();
-            let _ = writeln!(
-                out,
-                "warning: exploration truncated ({reason}) after {emitted} itemsets \
-                 in {:.1}ms{phase_note} — results above are partial",
-                elapsed.as_secs_f64() * 1e3
-            );
-            Ok(RunStatus::Truncated(reason))
+        Command::Fairness | Command::Probe | Command::Index | Command::Analyze | Command::Serve => {
+            unreachable!("dispatched before exploration")
         }
-        fpm::Completeness::Complete => Ok(RunStatus::Complete),
     }
+    Ok(completeness_status(&report, out))
 }
 
 fn run_fairness(args: &Args, prepared: &Prepared, out: &mut String) -> Result<(), CliError> {
@@ -665,14 +778,37 @@ fn run_fairness(args: &Args, prepared: &Prepared, out: &mut String) -> Result<()
 /// the telemetry recorders are always uninstalled before returning.
 pub fn run(args: &Args) -> Result<(String, RunStatus, Option<String>), CliError> {
     let telemetry = Telemetry::install(args)?;
-    let outcome = std::fs::read_to_string(&args.input)
-        .map_err(|e| CliError::Input(format!("{}: {e}", args.input)))
-        .and_then(|content| {
-            let mut out = String::new();
-            run_with_content(args, &content, &mut out).map(|status| (out, status))
-        });
+    let outcome = run_dispatch(args);
     let summary = telemetry.finish();
     outcome.map(|(out, status)| (out, status, summary))
+}
+
+fn run_dispatch(args: &Args) -> Result<(String, RunStatus), CliError> {
+    let mut out = String::new();
+    match args.command {
+        // Artifact commands don't read a CSV; `serve` streams responses
+        // straight to stdout (one per request) instead of returning them.
+        Command::Probe => {
+            artifacts::run_probe(args, &mut out)?;
+            Ok((out, RunStatus::Complete))
+        }
+        Command::Analyze => {
+            let status = artifacts::run_analyze(args, &mut out)?;
+            Ok((out, status))
+        }
+        Command::Serve => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve::serve_loop(args, stdin.lock(), stdout.lock())?;
+            Ok((String::new(), RunStatus::Complete))
+        }
+        _ => {
+            let content = std::fs::read_to_string(&args.input)
+                .map_err(|e| CliError::Input(format!("{}: {e}", args.input)))?;
+            let status = run_with_content(args, &content, &mut out)?;
+            Ok((out, status))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1034,6 +1170,168 @@ b,y,0,1
         let mut out = String::new();
         run_with_content(&args, CSV, &mut out).unwrap();
         assert!(!out.contains("phase was cut"), "got: {out}");
+    }
+
+    fn artifact_temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cli-artifact-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn index_args(dir: &std::path::Path) -> Vec<String> {
+        let mut argv = base_args("index");
+        argv.extend([
+            "--name".to_string(),
+            "toy".to_string(),
+            "--artifact".to_string(),
+            dir.to_str().unwrap().to_string(),
+        ]);
+        argv
+    }
+
+    #[test]
+    fn artifact_commands_validate_their_required_flags() {
+        // probe/analyze need --artifact (and --name), not --input.
+        assert!(matches!(
+            Args::parse(vec!["probe".to_string()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            Args::parse(vec![
+                "analyze".to_string(),
+                "--artifact".to_string(),
+                "dir".to_string()
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        // index additionally needs the CSV flags.
+        assert!(matches!(
+            Args::parse(base_args("index")),
+            Err(CliError::Usage(_))
+        ));
+        // serve needs nothing.
+        let args = Args::parse(vec!["serve".to_string()]).unwrap();
+        assert_eq!(args.command, Command::Serve);
+        let args = Args::parse(vec![
+            "probe".to_string(),
+            "--artifact".to_string(),
+            "x.dxd".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(args.command, Command::Probe);
+        assert_eq!(args.artifact, "x.dxd");
+    }
+
+    #[test]
+    fn index_then_analyze_matches_the_cold_explore() {
+        let dir = artifact_temp_dir("warm");
+        let args = Args::parse(index_args(&dir)).unwrap();
+        let mut index_out = String::new();
+        run_with_content(&args, CSV, &mut index_out).unwrap();
+        assert!(index_out.contains("dataset 'toy'"), "got: {index_out}");
+        assert!(index_out.contains("lattice:"), "got: {index_out}");
+
+        let cold = {
+            let args = Args::parse(base_args("explore")).unwrap();
+            let mut out = String::new();
+            run_with_content(&args, CSV, &mut out).unwrap();
+            out
+        };
+        let mut argv = vec![
+            "analyze".to_string(),
+            "--artifact".to_string(),
+            dir.to_str().unwrap().to_string(),
+            "--name".to_string(),
+            "toy".to_string(),
+            "--support".to_string(),
+            "0.25".to_string(),
+        ];
+        let analyze = Args::parse(argv.clone()).unwrap();
+        let mut warm = String::new();
+        let status = artifacts::run_analyze(&analyze, &mut warm).unwrap();
+        assert_eq!(status, RunStatus::Complete);
+        assert_eq!(warm, cold, "recount must reproduce the cold explore");
+
+        // A different metric recounts the same lattice.
+        argv.extend(["--metric".to_string(), "FNR".to_string()]);
+        let analyze = Args::parse(argv).unwrap();
+        let mut fnr = String::new();
+        artifacts::run_analyze(&analyze, &mut fnr).unwrap();
+        assert!(fnr.contains("Δ_FNR"), "got: {fnr}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn probe_prints_the_artifact_header() {
+        let dir = artifact_temp_dir("probe");
+        let args = Args::parse(index_args(&dir)).unwrap();
+        run_with_content(&args, CSV, &mut String::new()).unwrap();
+
+        let probe = Args::parse(vec![
+            "probe".to_string(),
+            "--artifact".to_string(),
+            dir.join("toy.dxd").to_str().unwrap().to_string(),
+        ])
+        .unwrap();
+        let mut out = String::new();
+        artifacts::run_probe(&probe, &mut out).unwrap();
+        assert!(out.contains("kind:     dataset"), "got: {out}");
+        assert!(out.contains("version:  1"), "got: {out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tampered_artifacts_fail_closed_with_exit_code_3() {
+        let dir = artifact_temp_dir("tamper");
+        let args = Args::parse(index_args(&dir)).unwrap();
+        run_with_content(&args, CSV, &mut String::new()).unwrap();
+        let arena_file = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|x| x == "dxa"))
+            .unwrap();
+        let mut bytes = std::fs::read(&arena_file).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&arena_file, &bytes).unwrap();
+
+        let analyze = Args::parse(vec![
+            "analyze".to_string(),
+            "--artifact".to_string(),
+            dir.to_str().unwrap().to_string(),
+            "--name".to_string(),
+            "toy".to_string(),
+            "--support".to_string(),
+            "0.25".to_string(),
+        ])
+        .unwrap();
+        let err = artifacts::run_analyze(&analyze, &mut String::new()).unwrap_err();
+        assert!(matches!(err, CliError::Input(_)), "{err}");
+        assert_eq!(err.exit_code(), 3);
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+
+        // A missing arena (wrong support → different registry key) also
+        // fails typed, with a hint to re-index.
+        let mut missing = analyze.clone();
+        missing.support = 0.5;
+        let err = artifacts::run_analyze(&missing, &mut String::new()).unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+        assert!(err.to_string().contains("index"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn index_refuses_to_persist_a_truncated_lattice() {
+        let dir = artifact_temp_dir("truncated");
+        let mut argv = index_args(&dir);
+        argv.extend(["--max-itemsets".to_string(), "2".to_string()]);
+        let args = Args::parse(argv).unwrap();
+        let err = run_with_content(&args, CSV, &mut String::new()).unwrap_err();
+        assert_eq!(
+            err,
+            CliError::Truncated(fpm::TruncationReason::ItemsetLimit)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

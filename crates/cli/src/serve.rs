@@ -1,0 +1,595 @@
+//! `serve`: a resident analysis service over NDJSON.
+//!
+//! One request per line on stdin, one JSON response per line on stdout.
+//! The service keeps registered datasets in memory and mined lattices in
+//! a byte-bounded LRU [`ArenaCache`]; with `--artifact DIR` it also
+//! reads and writes the on-disk artifact registry, so a lattice is
+//! mined at most once across restarts. Queries recount against the
+//! cached lattice — optionally under a *new* prediction vector supplied
+//! inline — so serving a fresh model's analysis costs one streaming
+//! recount, never a re-mine.
+//!
+//! # Protocol
+//!
+//! ```text
+//! {"op":"register","name":"d1","path":"data.csv","label":"y","pred":"yhat"}
+//! {"op":"register","name":"d1","artifact":"dir/d1.dxd"}
+//! {"op":"mine","name":"d1","support":0.1}
+//! {"op":"query","name":"d1","support":0.1,"metric":"FPR","top":5}
+//! {"op":"query","name":"d1","support":0.1,"u":[0,1,1,0]}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Every response carries `"ok": true|false`; a malformed line or an
+//! unknown op yields `{"ok":false,"error":...}` and the loop continues.
+//! Only `shutdown` (or end of input) ends the loop.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use datasets::artifact::{self, ArenaKey};
+use divexplorer::{ArenaCache, CacheKey, DiscreteDataset, DivExplorer, SortBy};
+use fpm::ItemsetArena;
+use serde_json::Value;
+
+use crate::artifacts::{candidates_of, engine_label};
+use crate::{budget_from_args, parse_engine, parse_metrics, prepare, Args, CliError};
+
+/// Default lattice-cache budget: 256 MiB of resident arenas.
+const DEFAULT_CACHE_BYTES: u64 = 256 << 20;
+
+struct Registered {
+    data: DiscreteDataset,
+    v: Vec<bool>,
+    u: Vec<bool>,
+    hash: u64,
+}
+
+struct ServeState {
+    /// On-disk artifact registry, if `--artifact DIR` was given.
+    dir: Option<PathBuf>,
+    datasets: HashMap<String, Registered>,
+    cache: ArenaCache,
+}
+
+/// Runs the request loop until `shutdown` or end of input. Exposed over
+/// generic reader/writer so tests drive it in-process.
+pub fn serve_loop<R: BufRead, W: Write>(args: &Args, input: R, mut out: W) -> Result<(), CliError> {
+    let mut state = ServeState {
+        dir: (!args.artifact.is_empty()).then(|| PathBuf::from(&args.artifact)),
+        datasets: HashMap::new(),
+        cache: ArenaCache::new(DEFAULT_CACHE_BYTES),
+    };
+    for line in input.lines() {
+        let line = line.map_err(|e| CliError::Input(format!("request stream: {e}")))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = {
+            let _span = obs::span("serve.request");
+            handle_request(&mut state, args, &line)
+        };
+        let text = serde_json::to_string(&response).expect("response serialization is infallible");
+        writeln!(out, "{text}").map_err(|e| CliError::Input(format!("response stream: {e}")))?;
+        out.flush()
+            .map_err(|e| CliError::Input(format!("response stream: {e}")))?;
+        if shutdown {
+            break;
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// JSON plumbing (the serde shim has no `json!` macro; responses are
+// built as literal `Value` trees).
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn text(s: impl Into<String>) -> Value {
+    Value::String(s.into())
+}
+
+fn ok(op: &str, mut extra: Vec<(&str, Value)>) -> Value {
+    let mut fields = vec![("ok", Value::Bool(true)), ("op", text(op))];
+    fields.append(&mut extra);
+    obj(fields)
+}
+
+fn fail(message: impl Into<String>) -> Value {
+    obj(vec![
+        ("ok", Value::Bool(false)),
+        ("error", Value::String(message.into())),
+    ])
+}
+
+fn str_field(request: &Value, key: &str) -> Option<String> {
+    request[key].as_str().map(str::to_string)
+}
+
+fn require(request: &Value, key: &str) -> Result<String, Value> {
+    str_field(request, key).ok_or_else(|| fail(format!("'{key}' (string) is required")))
+}
+
+/// Parses an optional label vector: JSON numbers (0/1) or booleans.
+fn bool_vector(value: &Value, n_rows: usize) -> Result<Vec<bool>, Value> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| fail("'u' must be an array of 0/1 or booleans"))?;
+    if items.len() != n_rows {
+        return Err(fail(format!(
+            "'u' has {} entries, dataset has {n_rows} rows",
+            items.len()
+        )));
+    }
+    items
+        .iter()
+        .map(|v| match (v.as_bool(), v.as_f64()) {
+            (Some(b), _) => Ok(b),
+            (None, Some(x)) if x == 0.0 || x == 1.0 => Ok(x == 1.0),
+            _ => Err(fail("'u' entries must be 0/1 or booleans")),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Request dispatch
+
+fn handle_request(state: &mut ServeState, args: &Args, line: &str) -> (Value, bool) {
+    let request: Value = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(e) => return (fail(format!("bad request: {e}")), false),
+    };
+    let op = match request["op"].as_str() {
+        Some(op) => op.to_string(),
+        None => return (fail("'op' (string) is required"), false),
+    };
+    let response = match op.as_str() {
+        "register" => handle_register(state, args, &request),
+        "mine" => handle_mine(state, args, &request),
+        "query" => handle_query(state, args, &request),
+        "stats" => Ok(ok(
+            "stats",
+            vec![
+                ("datasets", Value::Number(state.datasets.len() as f64)),
+                ("cached_lattices", Value::Number(state.cache.len() as f64)),
+                (
+                    "resident_bytes",
+                    Value::Number(state.cache.resident_bytes() as f64),
+                ),
+                (
+                    "capacity_bytes",
+                    Value::Number(state.cache.capacity_bytes() as f64),
+                ),
+            ],
+        )),
+        "shutdown" => return (ok("shutdown", vec![]), true),
+        other => Err(fail(format!("unknown op '{other}'"))),
+    };
+    (response.unwrap_or_else(|e| e), false)
+}
+
+fn handle_register(state: &mut ServeState, args: &Args, request: &Value) -> Result<Value, Value> {
+    let name = require(request, "name")?;
+    let registered = if let Some(path) = str_field(request, "artifact") {
+        // A persisted dataset artifact: decoding re-validates checksum,
+        // schema and the one-hot invariant.
+        let ds = artifact::load_dataset(std::path::Path::new(&path))
+            .map_err(|e| fail(format!("{path}: {e}")))?;
+        Registered {
+            data: ds.data,
+            v: ds.v,
+            u: ds.u,
+            hash: ds.hash,
+        }
+    } else {
+        let path = require(request, "path")?;
+        let mut csv_args = args.clone();
+        csv_args.label = require(request, "label")?;
+        csv_args.pred = require(request, "pred")?;
+        if let Some(bins) = request["bins"].as_u64() {
+            csv_args.bins = bins as usize;
+        }
+        let content = std::fs::read_to_string(&path).map_err(|e| fail(format!("{path}: {e}")))?;
+        let prepared = prepare(&content, &csv_args).map_err(|e| fail(e.to_string()))?;
+        let hash = artifact::dataset_hash(&prepared.data);
+        Registered {
+            data: prepared.data,
+            v: prepared.v,
+            u: prepared.u,
+            hash,
+        }
+    };
+    let rows = registered.data.n_rows();
+    let hash = registered.hash;
+    state.datasets.insert(name.clone(), registered);
+    Ok(ok(
+        "register",
+        vec![
+            ("name", text(name)),
+            ("rows", Value::Number(rows as f64)),
+            ("hash", text(format!("{hash:016x}"))),
+        ],
+    ))
+}
+
+/// The mine-or-load path shared by `mine` and `query`: cache, then the
+/// on-disk registry, then a cold mine (written through to disk when a
+/// registry directory is configured).
+fn ensure_lattice(
+    state: &mut ServeState,
+    args: &Args,
+    request: &Value,
+    name: &str,
+) -> Result<(Arc<ItemsetArena<()>>, &'static str, f64), Value> {
+    let support = request["support"].as_f64().unwrap_or(args.support);
+    let engine = str_field(request, "engine").unwrap_or_else(|| engine_label(args));
+    let reg = state
+        .datasets
+        .get(name)
+        .ok_or_else(|| fail(format!("dataset '{name}' is not registered")))?;
+    let n = reg.data.n_rows();
+    let params = fpm::MiningParams::with_min_support_fraction(support, n);
+    let cache_key = CacheKey {
+        dataset_hash: reg.hash,
+        min_support_count: params.min_support_count,
+        engine: engine.clone(),
+        max_len: None,
+    };
+    if let Some(arena) = state.cache.get(&cache_key) {
+        return Ok((arena, "cache", support));
+    }
+    let arena_key = ArenaKey {
+        dataset_hash: reg.hash,
+        min_support_count: params.min_support_count,
+        max_len: None,
+        engine: engine.clone(),
+        n_rows: n as u64,
+    };
+    if let Some(dir) = &state.dir {
+        let path = dir.join(artifact::arena_file_name(&arena_key));
+        if path.exists() {
+            // A tampered registry file fails closed with the typed
+            // artifact error; the service never recounts unverified bytes.
+            let (loaded_key, candidates) = artifact::load_arena(&path)
+                .map_err(|e| fail(format!("{}: {e}", path.display())))?;
+            if loaded_key != arena_key {
+                return Err(fail(format!(
+                    "{}: artifact key does not match its file name",
+                    path.display()
+                )));
+            }
+            let arena = Arc::new(candidates);
+            state.cache.insert(cache_key, Arc::clone(&arena));
+            return Ok((arena, "artifact", support));
+        }
+    }
+    let algorithm = parse_engine(&engine).map_err(|e| fail(e.to_string()))?;
+    let explorer = DivExplorer::new(support)
+        .with_algorithm(algorithm)
+        .with_budget(budget_from_args(args));
+    let report = explorer
+        .explore(&reg.data, &reg.v, &reg.u, &args.metrics)
+        .map_err(|e| fail(e.to_string()))?;
+    if let Some(reason) = report.completeness().truncation_reason() {
+        return Err(fail(format!(
+            "mining truncated ({reason}); refusing to serve a partial lattice"
+        )));
+    }
+    let candidates = candidates_of(&report);
+    if let Some(dir) = &state.dir {
+        std::fs::create_dir_all(dir)
+            .and_then(|()| {
+                let path = dir.join(artifact::arena_file_name(&arena_key));
+                artifact::save_arena(&path, &arena_key, &candidates)
+                    .map_err(|e| std::io::Error::other(e.to_string()))
+            })
+            .map_err(|e| fail(format!("artifact registry: {e}")))?;
+    }
+    let arena = Arc::new(candidates);
+    state.cache.insert(cache_key, Arc::clone(&arena));
+    Ok((arena, "mined", support))
+}
+
+fn handle_mine(state: &mut ServeState, args: &Args, request: &Value) -> Result<Value, Value> {
+    let name = require(request, "name")?;
+    let (arena, source, support) = ensure_lattice(state, args, request, &name)?;
+    Ok(ok(
+        "mine",
+        vec![
+            ("name", text(name)),
+            ("patterns", Value::Number(arena.len() as f64)),
+            ("support", Value::Number(support)),
+            ("source", text(source)),
+        ],
+    ))
+}
+
+fn handle_query(state: &mut ServeState, args: &Args, request: &Value) -> Result<Value, Value> {
+    let name = require(request, "name")?;
+    let (arena, source, support) = ensure_lattice(state, args, request, &name)?;
+    let reg = &state.datasets[&name];
+    let metrics = match str_field(request, "metric") {
+        Some(spec) => parse_metrics(&spec).map_err(|e| fail(e.to_string()))?,
+        None => args.metrics.clone(),
+    };
+    let u_override;
+    let u: &[bool] = if request["u"].is_null() {
+        &reg.u
+    } else {
+        u_override = bool_vector(&request["u"], reg.data.n_rows())?;
+        &u_override
+    };
+    let top = request["top"].as_u64().map_or(args.top, |t| t as usize);
+
+    // The warm path: one streaming recount against the shared lattice,
+    // no mining phase (see DESIGN.md §6g).
+    let report = DivExplorer::new(support)
+        .with_budget(budget_from_args(args))
+        .from_artifact(&reg.data, &arena, &reg.v, u, &metrics)
+        .map_err(|e| fail(e.to_string()))?;
+
+    let mut rows = Vec::new();
+    for idx in report.ranked(0, SortBy::Divergence).into_iter().take(top) {
+        rows.push(obj(vec![
+            ("itemset", text(report.display_itemset(report.items(idx)))),
+            ("support", Value::Number(report.support_fraction(idx))),
+            ("divergence", Value::Number(report.divergence(idx, 0))),
+            ("t", Value::Number(report.t_statistic(idx, 0))),
+        ]));
+    }
+    Ok(ok(
+        "query",
+        vec![
+            ("name", text(name)),
+            ("metric", text(metrics[0].short_name())),
+            ("dataset_rate", Value::Number(report.dataset_rate(0))),
+            ("patterns", Value::Number(report.len() as f64)),
+            ("source", text(source)),
+            ("results", Value::Array(rows)),
+        ],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Command;
+
+    const CSV: &str = "\
+grp,other,y,yhat
+a,x,0,1
+a,y,0,1
+a,x,0,1
+a,y,0,0
+b,x,0,0
+b,y,0,0
+b,x,0,0
+b,y,0,1
+";
+
+    fn serve_args(artifact_dir: &str) -> Args {
+        let mut argv = vec!["serve".to_string()];
+        if !artifact_dir.is_empty() {
+            argv.extend(["--artifact".to_string(), artifact_dir.to_string()]);
+        }
+        let args = Args::parse(argv).unwrap();
+        assert_eq!(args.command, Command::Serve);
+        args
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cli-serve-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Drives the loop over in-memory NDJSON and parses each response.
+    fn drive(args: &Args, requests: &[&str]) -> Vec<Value> {
+        let input = requests.join("\n");
+        let mut out = Vec::new();
+        serve_loop(args, input.as_bytes(), &mut out).unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|line| serde_json::from_str(line).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn register_mine_query_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let csv_path = dir.join("toy.csv");
+        std::fs::write(&csv_path, CSV).unwrap();
+        let register = format!(
+            r#"{{"op":"register","name":"toy","path":"{}","label":"y","pred":"yhat"}}"#,
+            csv_path.display()
+        );
+        let responses = drive(
+            &serve_args(""),
+            &[
+                &register,
+                r#"{"op":"mine","name":"toy","support":0.25}"#,
+                r#"{"op":"mine","name":"toy","support":0.25}"#,
+                r#"{"op":"query","name":"toy","support":0.25,"top":3}"#,
+                r#"{"op":"stats"}"#,
+                r#"{"op":"shutdown"}"#,
+            ],
+        );
+        assert_eq!(responses.len(), 6);
+        for r in &responses {
+            assert_eq!(r["ok"].as_bool(), Some(true), "{r:?}");
+        }
+        assert_eq!(responses[0]["rows"].as_u64(), Some(8));
+        assert_eq!(responses[1]["source"].as_str(), Some("mined"));
+        assert_eq!(responses[2]["source"].as_str(), Some("cache"));
+        let results = responses[3]["results"].as_array().unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0]["itemset"].as_str(), Some("grp=a, other=x"));
+        assert!((results[0]["divergence"].as_f64().unwrap() - 0.5).abs() < 1e-9);
+        assert_eq!(responses[4]["cached_lattices"].as_u64(), Some(1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn query_with_an_inline_label_vector_recounts_without_remining() {
+        let dir = temp_dir("relabel");
+        let csv_path = dir.join("toy.csv");
+        std::fs::write(&csv_path, CSV).unwrap();
+        let register = format!(
+            r#"{{"op":"register","name":"toy","path":"{}","label":"y","pred":"yhat"}}"#,
+            csv_path.display()
+        );
+        // A second query predicts positive everywhere: every subgroup's
+        // FPR equals the overall rate, so all divergences collapse to
+        // zero — while the lattice is served from cache, not re-mined.
+        let responses = drive(
+            &serve_args(""),
+            &[
+                &register,
+                r#"{"op":"query","name":"toy","support":0.25,"top":1}"#,
+                r#"{"op":"query","name":"toy","support":0.25,"top":1,"u":[1,1,1,1,1,1,1,1]}"#,
+            ],
+        );
+        assert_eq!(responses[1]["source"].as_str(), Some("mined"));
+        assert_eq!(responses[2]["source"].as_str(), Some("cache"));
+        assert_eq!(responses[1]["patterns"], responses[2]["patterns"]);
+        let before = responses[1]["results"][0]["divergence"].as_f64().unwrap();
+        let after = responses[2]["results"][0]["divergence"].as_f64().unwrap();
+        assert!((before - 0.5).abs() < 1e-9, "{before}");
+        assert!(after.abs() < 1e-9, "{after}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lattices_persist_to_the_artifact_registry_across_restarts() {
+        let dir = temp_dir("registry");
+        let csv_path = dir.join("toy.csv");
+        std::fs::write(&csv_path, CSV).unwrap();
+        let registry = dir.join("artifacts");
+        let args = serve_args(registry.to_str().unwrap());
+        let register = format!(
+            r#"{{"op":"register","name":"toy","path":"{}","label":"y","pred":"yhat"}}"#,
+            csv_path.display()
+        );
+        let mine = r#"{"op":"mine","name":"toy","support":0.25}"#;
+        let first = drive(&args, &[&register, mine]);
+        assert_eq!(first[1]["source"].as_str(), Some("mined"));
+        // A fresh loop (fresh cache) finds the persisted artifact.
+        let second = drive(&args, &[&register, mine]);
+        assert_eq!(second[1]["source"].as_str(), Some("artifact"));
+        assert_eq!(second[1]["patterns"], first[1]["patterns"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn register_accepts_a_dataset_artifact() {
+        let dir = temp_dir("from-artifact");
+        let csv_path = dir.join("toy.csv");
+        std::fs::write(&csv_path, CSV).unwrap();
+        // First loop registers from CSV and we persist the dataset via
+        // the artifact API; second loop registers from the artifact.
+        let mut csv_args = serve_args("");
+        csv_args.label = "y".to_string();
+        csv_args.pred = "yhat".to_string();
+        let prepared = prepare(CSV, &csv_args).unwrap();
+        let ds_path = dir.join("toy.dxd");
+        artifact::save_dataset(&ds_path, &prepared.data, &prepared.v, &prepared.u).unwrap();
+
+        let register = format!(
+            r#"{{"op":"register","name":"toy","artifact":"{}"}}"#,
+            ds_path.display()
+        );
+        let responses = drive(
+            &serve_args(""),
+            &[
+                &register,
+                r#"{"op":"query","name":"toy","support":0.25,"top":1}"#,
+            ],
+        );
+        assert_eq!(responses[0]["ok"].as_bool(), Some(true));
+        assert_eq!(responses[0]["rows"].as_u64(), Some(8));
+        assert_eq!(
+            responses[1]["results"][0]["itemset"].as_str(),
+            Some("grp=a, other=x")
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_requests_fail_soft_and_the_loop_continues() {
+        let responses = drive(
+            &serve_args(""),
+            &[
+                "this is not json",
+                r#"{"no_op_field":1}"#,
+                r#"{"op":"launch"}"#,
+                r#"{"op":"mine","name":"ghost"}"#,
+                r#"{"op":"register","name":"x"}"#,
+                r#"{"op":"stats"}"#,
+            ],
+        );
+        assert_eq!(responses.len(), 6);
+        for r in &responses[..5] {
+            assert_eq!(r["ok"].as_bool(), Some(false), "{r:?}");
+            assert!(r["error"].as_str().is_some());
+        }
+        assert_eq!(responses[5]["ok"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn shutdown_stops_the_loop_before_later_requests() {
+        let responses = drive(
+            &serve_args(""),
+            &[r#"{"op":"shutdown"}"#, r#"{"op":"stats"}"#],
+        );
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0]["op"].as_str(), Some("shutdown"));
+    }
+
+    #[test]
+    fn a_tampered_registry_artifact_fails_closed() {
+        let dir = temp_dir("tampered");
+        let csv_path = dir.join("toy.csv");
+        std::fs::write(&csv_path, CSV).unwrap();
+        let registry = dir.join("artifacts");
+        let args = serve_args(registry.to_str().unwrap());
+        let register = format!(
+            r#"{{"op":"register","name":"toy","path":"{}","label":"y","pred":"yhat"}}"#,
+            csv_path.display()
+        );
+        let mine = r#"{"op":"mine","name":"toy","support":0.25}"#;
+        drive(&args, &[&register, mine]);
+        // Flip one byte in the persisted arena artifact.
+        let arena_file = std::fs::read_dir(&registry)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|x| x == "dxa"))
+            .unwrap();
+        let mut bytes = std::fs::read(&arena_file).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&arena_file, &bytes).unwrap();
+        let responses = drive(&args, &[&register, mine]);
+        assert_eq!(responses[1]["ok"].as_bool(), Some(false));
+        assert!(
+            responses[1]["error"]
+                .as_str()
+                .unwrap()
+                .contains("checksum mismatch"),
+            "{:?}",
+            responses[1]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

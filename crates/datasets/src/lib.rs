@@ -17,6 +17,7 @@
 //! [`GeneratedDataset::features`] for the `models` crate.
 
 pub mod adult;
+pub mod artifact;
 pub mod artificial;
 pub mod bank;
 pub mod bias;

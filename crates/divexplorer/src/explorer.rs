@@ -215,6 +215,64 @@ impl DivExplorer {
         .with_shard_stats(shard_stats))
     }
 
+    /// Re-analyzes a dataset against a previously mined candidate
+    /// lattice — the warm path behind on-disk artifacts and the
+    /// [`crate::ArenaCache`]. The frequent-itemset lattice depends only
+    /// on the dataset and the support threshold; new label vectors only
+    /// change the `(T, F, ⊥)` tallies, so this runs exactly one exact
+    /// streaming recount ([`fpm::MiningTask::recount`]) and **no mining
+    /// phase**. The report is bit-identical to a cold
+    /// [`DivExplorer::explore`] of the same configuration.
+    ///
+    /// `candidates` must be the canonical lattice mined from `data` at
+    /// this explorer's support threshold (artifacts persist the key
+    /// alongside the lattice; callers match it before recounting). A
+    /// *stricter* threshold than the lattice was mined at is also sound —
+    /// the recount filters — but a looser one silently misses patterns,
+    /// so key-checking is on the caller.
+    pub fn from_artifact(
+        &self,
+        data: &DiscreteDataset,
+        candidates: &ItemsetArena<()>,
+        v: &[bool],
+        u: &[bool],
+        metrics: &[Metric],
+    ) -> Result<DivergenceReport, ExploreError> {
+        self.validate(data, v, u, metrics)?;
+        let n = data.n_rows();
+        let (payloads, dataset_counts) = {
+            let _span = obs::span("explore.tally");
+            tally_outcomes(v, u, metrics)
+        };
+        let db = {
+            let _span = obs::span("explore.encode");
+            data.to_transactions()
+        };
+        let mut params = fpm::MiningParams::with_min_support_fraction(self.min_support, n);
+        params.max_len = self.max_len;
+        let min_support_count = params.min_support_count;
+        let (store, completeness, shard_stats) = {
+            let _span = obs::span("explore.recount");
+            let mut traced = TracingSink::new(ItemsetArena::new());
+            let verdict = self
+                .mining_task(&db, &payloads, &params)
+                .recount_into(candidates, &mut traced);
+            let store = traced.into_inner();
+            obs::counter("fpm.arena_bytes", store.approx_bytes());
+            (store, verdict.completeness, verdict.shards)
+        };
+        Ok(DivergenceReport::from_store(
+            data.schema().clone(),
+            metrics.to_vec(),
+            n,
+            min_support_count,
+            dataset_counts,
+            store,
+        )
+        .with_completeness(completeness)
+        .with_shard_stats(shard_stats))
+    }
+
     /// Builds the configured [`fpm::MiningTask`] over `db` — the single
     /// place where explorer knobs (backend, threads, shards, budget,
     /// cancellation) are translated into the mining API.
@@ -548,6 +606,38 @@ mod tests {
                 assert_eq!(report.support(idx), p.support, "{algo}");
                 assert_eq!(report.counts(idx), p.counts, "{algo}");
             }
+        }
+    }
+
+    #[test]
+    fn from_artifact_recount_matches_a_cold_explore() {
+        let (data, v, u) = fixture();
+        let metrics = [Metric::FalsePositiveRate, Metric::ErrorRate];
+        // Mine once under the original predictions; persistable lattice.
+        let warm = DivExplorer::new(0.1);
+        let report = warm.explore(&data, &v, &u, &metrics).unwrap();
+        let mut candidates = ItemsetArena::new();
+        for p in report.patterns() {
+            candidates.push(p.items, p.support, ());
+        }
+        candidates.sort_canonical();
+        // A new classifier flips half the predictions: the recount must
+        // reproduce a cold exploration of the new labels exactly.
+        let u2: Vec<bool> = u
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| b ^ (i % 2 == 0))
+            .collect();
+        let cold = warm.explore(&data, &v, &u2, &metrics).unwrap();
+        let recounted = warm
+            .from_artifact(&data, &candidates, &v, &u2, &metrics)
+            .unwrap();
+        assert!(recounted.completeness().is_complete());
+        assert_eq!(recounted.len(), cold.len());
+        for p in cold.patterns() {
+            let idx = recounted.find(p.items).unwrap();
+            assert_eq!(recounted.support(idx), p.support);
+            assert_eq!(recounted.counts(idx), p.counts);
         }
     }
 

@@ -66,6 +66,7 @@
 //! assert!((delta - 0.375).abs() < 1e-12);
 //! ```
 
+pub mod cache;
 pub mod compare;
 pub mod continuous;
 pub mod corrective;
@@ -87,6 +88,7 @@ pub mod shapley;
 pub mod stats;
 pub mod summary;
 
+pub use cache::{ArenaCache, CacheKey};
 pub use compare::{compare_models, disagreement_report, ModelComparison};
 pub use continuous::{explore_statistic, ContinuousReport, MomentCounts};
 pub use counts::{MultiCounts, OutcomeCounts, MAX_METRICS};

@@ -187,6 +187,18 @@ impl<P> ItemsetArena<P> {
             .collect()
     }
 
+    /// Copies the lattice shape — items and supports, no payloads — into
+    /// a unit-payload arena: the form persisted by on-disk artifacts and
+    /// consumed by [`crate::MiningTask::recount`]. Record order is
+    /// preserved.
+    pub fn to_candidates(&self) -> ItemsetArena<()> {
+        let mut out = ItemsetArena::with_capacity(self.len(), self.total_items());
+        for id in 0..self.len() {
+            out.push(self.items(id), self.support(id), ());
+        }
+        out
+    }
+
     /// Builds an arena from the seed representation.
     pub fn from_itemsets(found: &[FrequentItemset<P>]) -> Self
     where

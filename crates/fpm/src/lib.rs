@@ -27,7 +27,11 @@
 //! passed as a borrowed slice, so sinks that filter, count, or aggregate
 //! never pay a per-itemset allocation). The historical free functions
 //! (`mine`, `mine_arena`, `mine_into`, `mine_into_bounded`,
-//! `mine_counts`) remain as deprecated shims over the builder.
+//! `mine_counts`) went through a deprecation cycle and have been
+//! removed; the builder is the only entry point. For re-analysis of an
+//! already mined lattice under a new payload vector, use
+//! [`MiningTask::recount`] — an exact streaming recount with no mining
+//! phase.
 //!
 //! Sinks compose. For example, a sink that keeps only itemsets whose
 //! payload-derived statistic clears a threshold:
@@ -272,131 +276,6 @@ pub(crate) fn dispatch_mine_into<P: Payload + Send + Sync, S: ItemsetSink<P>>(
         }
         Algorithm::Naive => naive::mine_into(db, payloads, params, sink),
     }
-}
-
-/// Mines all frequent itemsets of `db`, merging `payloads[t]` into the
-/// aggregate of every itemset that transaction `t` supports.
-///
-/// `payloads` must have exactly one entry per transaction.
-///
-/// # Panics
-///
-/// Panics if `payloads.len() != db.len()`.
-#[deprecated(
-    since = "0.1.0",
-    note = "use MiningTask::new(db, ..).payloads(..).run()"
-)]
-pub fn mine<P: Payload + Send + Sync>(
-    algorithm: Algorithm,
-    db: &TransactionDb,
-    payloads: &[P],
-    params: &MiningParams,
-) -> Vec<FrequentItemset<P>> {
-    MiningTask::with_params(db, params.clone())
-        .payloads(payloads)
-        .algorithm(algorithm)
-        .run()
-        .into_itemsets()
-}
-
-/// Mines all frequent itemsets of `db` into an [`ItemsetArena`] — the
-/// streaming path with the default collecting store, no per-itemset
-/// `Vec` allocations.
-///
-/// # Panics
-///
-/// Panics if `payloads.len() != db.len()`.
-#[deprecated(
-    since = "0.1.0",
-    note = "use MiningTask::new(db, ..).payloads(..).run()"
-)]
-pub fn mine_arena<P: Payload + Send + Sync>(
-    algorithm: Algorithm,
-    db: &TransactionDb,
-    payloads: &[P],
-    params: &MiningParams,
-) -> ItemsetArena<P> {
-    MiningTask::with_params(db, params.clone())
-        .payloads(payloads)
-        .algorithm(algorithm)
-        .run()
-        .store
-}
-
-/// Streams all frequent itemsets of `db` into `sink`, merging
-/// `payloads[t]` into the aggregate of every itemset that transaction
-/// `t` supports.
-///
-/// Emission order is algorithm-specific; the *set* of emissions (itemset,
-/// support, payload) is identical across algorithms.
-///
-/// # Panics
-///
-/// Panics if `payloads.len() != db.len()`.
-#[deprecated(
-    since = "0.1.0",
-    note = "use MiningTask::new(db, ..).payloads(..).run_into(sink)"
-)]
-pub fn mine_into<P: Payload + Send + Sync, S: ItemsetSink<P>>(
-    algorithm: Algorithm,
-    db: &TransactionDb,
-    payloads: &[P],
-    params: &MiningParams,
-    sink: &mut S,
-) {
-    MiningTask::with_params(db, params.clone())
-        .payloads(payloads)
-        .algorithm(algorithm)
-        .run_into(sink);
-}
-
-/// Streams all frequent itemsets of `db` into `sink` under a [`Budget`]
-/// and an optional [`CancelToken`], returning the run's [`Completeness`]
-/// verdict.
-///
-/// Exhausting any budget axis (or firing the token) stops the run at its
-/// next checkpoint and returns [`Completeness::Truncated`] — the sink
-/// keeps every itemset emitted before the cut, and each one carries its
-/// exact support and payload. Never panics on exhaustion.
-///
-/// # Panics
-///
-/// Panics if `payloads.len() != db.len()` (a caller bug, not a resource
-/// condition).
-#[deprecated(
-    since = "0.1.0",
-    note = "use MiningTask::new(db, ..).budget(..).cancel(..).run_into(sink)"
-)]
-pub fn mine_into_bounded<P: Payload + Send + Sync, S: ItemsetSink<P>>(
-    algorithm: Algorithm,
-    db: &TransactionDb,
-    payloads: &[P],
-    params: &MiningParams,
-    budget: &Budget,
-    cancel: Option<&CancelToken>,
-    sink: &mut S,
-) -> Completeness {
-    let mut task = MiningTask::with_params(db, params.clone())
-        .payloads(payloads)
-        .algorithm(algorithm)
-        .budget(*budget);
-    if let Some(token) = cancel {
-        task = task.cancel(token.clone());
-    }
-    task.run_into(sink).completeness
-}
-
-/// Mines frequent itemsets with support counting only (payload `()`).
-#[deprecated(since = "0.1.0", note = "use MiningTask::new(db, ..).run()")]
-pub fn mine_counts(
-    algorithm: Algorithm,
-    db: &TransactionDb,
-    params: &MiningParams,
-) -> Vec<FrequentItemset<()>> {
-    MiningTask::with_params(db, params.clone())
-        .algorithm(algorithm)
-        .run()
-        .into_itemsets()
 }
 
 /// Indexes a mining result by itemset for `O(1)` lookup.

@@ -338,15 +338,41 @@ fn recount_shard<P: Payload>(
     }
     let masks = ClassMasks::build(&shard.payloads);
     let mut counts = vec![0u64; masks.as_ref().map_or(0, ClassMasks::n_classes)];
+    // Prefix-reuse AND-fold: a canonical arena visits the lattice in DFS
+    // preorder, so consecutive candidates share itemset prefixes. Keep a
+    // stack of partial intersections and recompute only the suffix that
+    // differs from the previous candidate — amortized one in-place AND
+    // per candidate instead of `len` allocating ones. A non-canonical
+    // ordering stays correct (an unshared prefix just recomputes).
+    let mut stack: Vec<Bitset> = Vec::new();
+    let mut prev: Vec<ItemId> = Vec::new();
+    let mut pool: Vec<Vec<u64>> = Vec::new();
     for id in 0..candidates.len() {
         if id & 63 == 0 && shared.poll() {
             return false;
         }
         let items = candidates.items(id);
-        let mut folded = bits[dense_ix[items[0] as usize] as usize].clone();
-        for &item in &items[1..] {
-            folded = folded.and(&bits[dense_ix[item as usize] as usize]);
+        let mut l = 0;
+        while l < stack.len() && prev.get(l) == items.get(l) {
+            l += 1;
         }
+        while stack.len() > l {
+            pool.push(stack.pop().expect("stack is non-empty").into_words());
+        }
+        for d in l..items.len() {
+            let item_bits = &bits[dense_ix[items[d] as usize] as usize];
+            let next = if d == 0 {
+                item_bits.clone()
+            } else {
+                let mut words = pool.pop().unwrap_or_default();
+                stack[d - 1].and_into(item_bits, &mut words);
+                Bitset::from_words(words)
+            };
+            stack.push(next);
+        }
+        prev.clear();
+        prev.extend_from_slice(items);
+        let folded = stack.last().expect("candidates are non-empty");
         let sup = folded.count();
         if sup == 0 {
             continue;
@@ -354,7 +380,7 @@ fn recount_shard<P: Payload>(
         supports[id] += sup;
         match &masks {
             Some(m) => {
-                m.count_dense(&folded, &mut counts);
+                m.count_dense(folded, &mut counts);
                 acc[id].merge(&m.decode::<P>(&counts));
             }
             None => {
@@ -542,6 +568,121 @@ where
         drop(recount_span);
         stats.recount_us = recount_start.elapsed().as_micros() as u64;
     }
+    stats.peak_shard_bytes = peak_shard_bytes.load(Ordering::Relaxed);
+
+    let completeness = match shared.resolve_reason() {
+        None => Completeness::Complete,
+        Some(reason) => Completeness::Truncated {
+            reason,
+            emitted,
+            elapsed: start.elapsed(),
+        },
+    };
+    (completeness, stats)
+}
+
+/// Recounts a previously mined candidate lattice against `source`,
+/// streaming every candidate meeting `threshold` — with exact global
+/// supports and freshly accumulated payloads — into `sink` in
+/// candidate-id order.
+///
+/// This is phase 2 of the two-pass scheme run alone. The frequent-itemset
+/// lattice depends only on the dataset and the threshold; a new payload
+/// vector (e.g. a different classifier's label column) only changes the
+/// payload tallies. Re-analysis therefore needs exactly this streaming
+/// recount, never a fresh mining phase — the invariant the on-disk
+/// artifact layer is built on. Candidates must be canonical (as produced
+/// by [`mine_into_bounded`] or [`ItemsetArena::sort_canonical`]) for the
+/// output to be canonical; the recount itself never reorders.
+///
+/// A budget cut mid-recount yields an **empty** truncated result with
+/// [`ShardStats::truncated_phase`] = [`ShardPhase::Recount`], matching
+/// the full pipeline: partially recounted tallies are never emitted. An
+/// itemset cap tripped during emission still yields a sound prefix.
+pub fn recount_into_bounded<P, C, S>(
+    source: &C,
+    candidates: &ItemsetArena<()>,
+    threshold: u64,
+    budget: &Budget,
+    cancel: Option<&CancelToken>,
+    sink: &mut S,
+) -> (Completeness, ShardStats)
+where
+    P: Payload + Send + Sync,
+    C: ShardSource<P>,
+    S: ItemsetSink<P>,
+{
+    let start = Instant::now();
+    let threshold = threshold.max(1);
+    let n_shards = source.n_shards();
+    let mut stats = ShardStats {
+        n_shards,
+        candidates: candidates.len() as u64,
+        candidate_bytes: candidates.approx_bytes(),
+        ..ShardStats::default()
+    };
+    if candidates.is_empty() || source.n_rows() == 0 {
+        return (Completeness::Complete, stats);
+    }
+
+    let shared = SharedLimits::new(budget, cancel, start);
+    let shared = &shared;
+    let peak_shard_bytes = AtomicU64::new(0);
+
+    let recount_start = Instant::now();
+    let recount_span = obs::span("fpm.sharded.recount");
+    let mut supports = vec![0u64; candidates.len()];
+    let mut acc: Vec<P> = vec![P::zero(); candidates.len()];
+    let mut recount_cut = false;
+    for k in 0..n_shards {
+        if shared.poll() {
+            recount_cut = true;
+            break;
+        }
+        let shard = source.load(k);
+        peak_shard_bytes.fetch_max(shard.approx_bytes(), Ordering::Relaxed);
+        if shard.db.is_empty() {
+            continue;
+        }
+        stats.recount_rows += shard.db.len() as u64;
+        // Same containment as the full pipeline: a payload merge that
+        // panics poisons this shard's partial sums, so the whole recount
+        // is abandoned (nothing emitted).
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            recount_shard(&shard, candidates, &mut supports, &mut acc, shared)
+        }));
+        match outcome {
+            Ok(true) => {}
+            Ok(false) => {
+                recount_cut = true;
+                break;
+            }
+            Err(_) => {
+                shared.panicked.fetch_add(1, Ordering::Relaxed);
+                shared.trip(TruncationReason::WorkerPanic);
+                recount_cut = true;
+                break;
+            }
+        }
+    }
+    obs::counter("fpm.sharded.recount_rows", stats.recount_rows);
+    let mut emitted = 0u64;
+    if recount_cut {
+        stats.truncated_phase = Some(ShardPhase::Recount);
+    } else {
+        for id in 0..candidates.len() {
+            if supports[id] < threshold {
+                continue;
+            }
+            if !shared.admit_count() {
+                break;
+            }
+            sink.emit(candidates.items(id), supports[id], &acc[id]);
+            emitted += 1;
+        }
+    }
+    drop(recount_span);
+    stats.recount_us = recount_start.elapsed().as_micros() as u64;
     stats.peak_shard_bytes = peak_shard_bytes.load(Ordering::Relaxed);
 
     let completeness = match shared.resolve_reason() {
@@ -769,6 +910,85 @@ mod tests {
         assert_eq!(stats.truncated_phase, None);
         assert_eq!(sink.found.len(), 5);
         assert_eq!(sink.found, full[..5].to_vec());
+    }
+
+    #[test]
+    fn recount_of_mined_candidates_matches_the_full_pipeline() {
+        let db = db();
+        let payloads = payloads(db.len());
+        let params = MiningParams::with_min_support_count(3);
+        let expected = mine_arena(&db, &payloads, &params, 4).into_itemsets();
+        // Candidates are the mined lattice itself (supports reset by the
+        // recount); a recount over any shard count reproduces it exactly.
+        let candidates = ItemsetArena::from_itemsets(&expected).to_candidates();
+        for n_shards in [1, 3, 7] {
+            let source = MemShardSource::new(&db, &payloads, n_shards);
+            let mut sink = VecSink::new();
+            let (completeness, stats) = recount_into_bounded(
+                &source,
+                &candidates,
+                params.threshold(),
+                &Budget::unlimited(),
+                None,
+                &mut sink,
+            );
+            assert_eq!(completeness, Completeness::Complete, "K={n_shards}");
+            assert_eq!(stats.shards_mined, 0);
+            assert_eq!(stats.mine_us, 0);
+            assert_eq!(stats.recount_rows, db.len() as u64);
+            assert_eq!(sink.found, expected, "K={n_shards}");
+        }
+    }
+
+    #[test]
+    fn recount_filters_candidates_below_threshold() {
+        let db = db();
+        let payloads = payloads(db.len());
+        // Mine permissively, recount strictly: the stricter threshold
+        // must filter the candidate lattice down to its frequent core.
+        let loose = MiningParams::with_min_support_count(1);
+        let strict = MiningParams::with_min_support_count(6);
+        let candidates = mine_arena(&db, &payloads, &loose, 2).to_candidates();
+        let mut reference = crate::eclat::mine(&db, &payloads, &strict);
+        crate::itemset::sort_canonical(&mut reference);
+        let source = MemShardSource::new(&db, &payloads, 2);
+        let mut sink = VecSink::new();
+        let (completeness, _) = recount_into_bounded(
+            &source,
+            &candidates,
+            strict.threshold(),
+            &Budget::unlimited(),
+            None,
+            &mut sink,
+        );
+        assert_eq!(completeness, Completeness::Complete);
+        assert_eq!(sink.found, reference);
+    }
+
+    #[test]
+    fn cancelled_recount_emits_nothing_and_names_the_phase() {
+        let db = db();
+        let payloads = payloads(db.len());
+        let params = MiningParams::with_min_support_count(1);
+        let candidates = mine_arena(&db, &payloads, &params, 2).to_candidates();
+        let token = CancelToken::new();
+        token.cancel();
+        let source = MemShardSource::new(&db, &payloads, 2);
+        let mut sink = VecSink::new();
+        let (completeness, stats) = recount_into_bounded(
+            &source,
+            &candidates,
+            params.threshold(),
+            &Budget::unlimited(),
+            Some(&token),
+            &mut sink,
+        );
+        assert_eq!(
+            completeness.truncation_reason(),
+            Some(TruncationReason::Cancelled)
+        );
+        assert_eq!(stats.truncated_phase, Some(ShardPhase::Recount));
+        assert!(sink.found.is_empty());
     }
 
     #[test]

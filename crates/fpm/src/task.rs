@@ -311,6 +311,66 @@ impl<'a, P: Payload + Send + Sync> MiningTask<'a, P> {
             shards: None,
         }
     }
+
+    /// Recounts a previously mined candidate lattice against this task's
+    /// database and payloads, streaming each candidate that still meets
+    /// the threshold into `sink` — no mining phase runs.
+    ///
+    /// This is the warm path behind on-disk artifacts: the lattice
+    /// depends only on the dataset and the support threshold, so
+    /// re-analysis under a new payload vector (a different classifier's
+    /// labels) is exactly one streaming recount pass
+    /// ([`sharded::recount_into_bounded`]). The task's budget, cancel
+    /// token and shard count all apply; emission follows candidate-id
+    /// order, so canonical candidates yield canonical output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if attached payloads don't have one entry per transaction.
+    pub fn recount_into<S: ItemsetSink<P>>(
+        &self,
+        candidates: &ItemsetArena<()>,
+        sink: &mut S,
+    ) -> MiningVerdict {
+        let owned;
+        let payloads = match self.payloads {
+            Some(p) => p,
+            None => {
+                owned = vec![P::zero(); self.db.len()];
+                &owned
+            }
+        };
+        assert_eq!(
+            payloads.len(),
+            self.db.len(),
+            "payload slice length must match transaction count"
+        );
+        let k = self.effective_shards().unwrap_or(1);
+        let source = MemShardSource::new(self.db, payloads, k);
+        let (completeness, stats) = sharded::recount_into_bounded(
+            &source,
+            candidates,
+            self.params.threshold(),
+            &self.budget,
+            self.cancel.as_ref(),
+            sink,
+        );
+        MiningVerdict {
+            completeness,
+            shards: Some(stats),
+        }
+    }
+
+    /// [`MiningTask::recount_into`] materialized into an arena.
+    pub fn recount(&self, candidates: &ItemsetArena<()>) -> MiningOutcome<P> {
+        let mut store = ItemsetArena::new();
+        let verdict = self.recount_into(candidates, &mut store);
+        MiningOutcome {
+            store,
+            completeness: verdict.completeness,
+            shards: verdict.shards,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -427,6 +487,34 @@ mod tests {
             outcome.completeness.truncation_reason(),
             Some(TruncationReason::Cancelled)
         );
+    }
+
+    #[test]
+    fn recount_reproduces_a_mined_run_under_new_payloads() {
+        let db = db();
+        let old: Vec<CountPayload> = (0..db.len()).map(|t| CountPayload(t as u64)).collect();
+        let new: Vec<CountPayload> = (0..db.len()).map(|t| CountPayload(1 << t)).collect();
+        let candidates = MiningTask::new(&db, 2)
+            .payloads(&old)
+            .algorithm(Algorithm::Eclat)
+            .run()
+            .store
+            .to_candidates();
+        let mut reference = crate::eclat::mine(&db, &new, &MiningParams::with_min_support_count(2));
+        sort_canonical(&mut reference);
+        for shards in [None, Some(1), Some(3)] {
+            let mut task = MiningTask::new(&db, 2).payloads(&new);
+            if let Some(k) = shards {
+                task = task.shards(k);
+            }
+            let outcome = task.recount(&candidates);
+            assert!(outcome.completeness.is_complete(), "shards={shards:?}");
+            let stats = outcome.shards.as_ref().expect("recount reports stats");
+            assert_eq!(stats.shards_mined, 0, "no mining phase ran");
+            let mut got = outcome.into_itemsets();
+            sort_canonical(&mut got);
+            assert_eq!(got, reference, "shards={shards:?}");
+        }
     }
 
     #[test]

@@ -98,6 +98,29 @@ pub struct RunReport {
     pub support_histogram: Vec<HistogramBucket>,
     /// Disabled-telemetry overhead, when the experiment measures it.
     pub overhead: Option<OverheadStat>,
+    /// Sharded-engine telemetry, flattened from `fpm::ShardStats` by the
+    /// caller (this crate sits below `fpm`). All `None` for unsharded
+    /// runs; absent fields in older reports parse as `None`.
+    ///
+    /// Configured shard count `K`.
+    pub shard_count: Option<u64>,
+    /// Shards whose candidate mining completed in phase 1.
+    pub shards_mined: Option<u64>,
+    /// Size of the deduplicated candidate union.
+    pub shard_candidates: Option<u64>,
+    /// Rows streamed by the recount pass (phase 2).
+    pub shard_recount_rows: Option<u64>,
+    /// Wall-clock of phase 1, microseconds.
+    pub shard_mine_us: Option<u64>,
+    /// Wall-clock of phase 2 (recount + emission), microseconds.
+    pub shard_recount_us: Option<u64>,
+    /// Largest single-shard footprint loaded at any point, bytes.
+    pub shard_peak_bytes: Option<u64>,
+    /// Footprint of the candidate arena, bytes.
+    pub shard_candidate_bytes: Option<u64>,
+    /// The phase a budget cut interrupted (`"mine"` / `"recount"`), if
+    /// any.
+    pub shard_truncated_phase: Option<String>,
 }
 
 impl RunReport {
@@ -120,6 +143,15 @@ impl RunReport {
             counters: Vec::new(),
             support_histogram: Vec::new(),
             overhead: None,
+            shard_count: None,
+            shards_mined: None,
+            shard_candidates: None,
+            shard_recount_rows: None,
+            shard_mine_us: None,
+            shard_recount_us: None,
+            shard_peak_bytes: None,
+            shard_candidate_bytes: None,
+            shard_truncated_phase: None,
         }
     }
 
@@ -213,6 +245,15 @@ mod tests {
             run_us: 6000,
             overhead_ratio: 0.00025,
         });
+        report.shard_count = Some(4);
+        report.shards_mined = Some(4);
+        report.shard_candidates = Some(120);
+        report.shard_recount_rows = Some(64);
+        report.shard_mine_us = Some(900);
+        report.shard_recount_us = Some(150);
+        report.shard_peak_bytes = Some(4096);
+        report.shard_candidate_bytes = Some(2048);
+        report.shard_truncated_phase = Some("recount".to_string());
 
         let json = report.to_json();
         let back = RunReport::from_json(&json).unwrap();
@@ -229,6 +270,36 @@ mod tests {
                 count: 1
             }
         );
+    }
+
+    #[test]
+    fn reports_without_shard_fields_still_parse() {
+        // Pre-shard-telemetry reports omit the shard_* keys entirely;
+        // they must round-trip to None, not fail.
+        let mut report = RunReport::new("old", "toy", "sharded");
+        let mut json = report.to_json();
+        for key in [
+            "shard_count",
+            "shards_mined",
+            "shard_candidates",
+            "shard_recount_rows",
+            "shard_mine_us",
+            "shard_recount_us",
+            "shard_peak_bytes",
+            "shard_candidate_bytes",
+            "shard_truncated_phase",
+        ] {
+            json = json
+                .lines()
+                .filter(|l| !l.contains(key))
+                .collect::<Vec<_>>()
+                .join("\n");
+        }
+        // Strip any trailing comma left before the closing brace.
+        let json = json.replace(",\n}", "\n}");
+        let back = RunReport::from_json(&json).unwrap();
+        report.shard_count = None;
+        assert_eq!(back, report);
     }
 
     #[test]
