@@ -7,14 +7,19 @@
 //! never re-mining. `probe` validates an artifact's envelope and prints
 //! its header without decoding the sections.
 //!
-//! Any tampered, truncated or version-bumped artifact fails closed with
-//! a typed [`CliError::Input`] (exit code 3); nothing here panics on
-//! untrusted bytes.
+//! Nothing here panics on untrusted bytes, and corruption degrades by
+//! provenance (DESIGN.md §6h): a tampered, truncated or version-skewed
+//! **lattice** artifact is quarantined (`*.quarantine`) and rebuilt by
+//! re-mining the dataset artifact — `analyze` still succeeds, with a
+//! warning. A poisoned **dataset** artifact fails closed with a typed
+//! [`CliError::Input`] (exit code 3): there is nothing on disk to
+//! rebuild it from.
 
 use std::fmt::Write as _;
 use std::path::Path;
 
 use datasets::artifact::{self, ArenaKey};
+use datasets::artifact_io::DiskIo;
 use divexplorer::DivergenceReport;
 
 use crate::{explorer_from_args, prepare, render_explore, Args, CliError, RunStatus};
@@ -110,7 +115,11 @@ pub(crate) fn candidates_of(report: &DivergenceReport) -> fpm::ItemsetArena<()> 
 }
 
 /// `analyze --artifact`: loads the dataset and lattice artifacts and
-/// recounts — the warm path. No mining phase runs.
+/// recounts — the warm path. No mining phase runs on healthy artifacts;
+/// a poisoned lattice artifact is quarantined and rebuilt (one re-mine,
+/// a warning, exit 0). A *missing* lattice artifact stays a typed error
+/// with a re-index hint: a registry-key miss is a parameter mismatch,
+/// not corruption, and silently mining at the wrong key would mask it.
 pub fn run_analyze(args: &Args, out: &mut String) -> Result<RunStatus, CliError> {
     let dir = Path::new(&args.artifact);
     let dataset_path = dir.join(artifact::dataset_file_name(&args.name));
@@ -127,22 +136,76 @@ pub fn run_analyze(args: &Args, out: &mut String) -> Result<RunStatus, CliError>
         n_rows: n as u64,
     };
     let arena_path = dir.join(artifact::arena_file_name(&key));
-    let (loaded_key, candidates) = artifact::load_arena(&arena_path).map_err(|e| {
-        CliError::Input(format!(
-            "{}: {e} (index this dataset first with `divexplorer index` \
-             using the same --support and --engine)",
-            arena_path.display()
-        ))
-    })?;
-    if loaded_key != key {
+    if !arena_path.exists() {
         return Err(CliError::Input(format!(
-            "{}: artifact key does not match its file name (was the file renamed?)",
+            "{}: artifact not found (index this dataset first with \
+             `divexplorer index` using the same --support and --engine)",
             arena_path.display()
         )));
     }
+    let candidates = match artifact::load_arena(&arena_path) {
+        Ok((loaded_key, candidates)) if loaded_key == key => candidates,
+        Ok(_) => rebuild_arena(
+            args,
+            &ds,
+            &key,
+            &arena_path,
+            "artifact key does not match its file name",
+            out,
+        )?,
+        Err(e) => rebuild_arena(args, &ds, &key, &arena_path, &e.to_string(), out)?,
+    };
 
     let report = explorer_from_args(args)
         .from_artifact(&ds.data, &candidates, &ds.v, &ds.u, &args.metrics)
         .map_err(|e| CliError::Input(e.to_string()))?;
     render_explore(args, &report, out)
+}
+
+/// The quarantine-and-rebuild path: moves the poisoned lattice artifact
+/// aside, re-mines it from the (checksum-verified) dataset artifact and
+/// re-persists the registry slot. A failing re-persist degrades to a
+/// warning — the recount proceeds from memory either way.
+fn rebuild_arena(
+    args: &Args,
+    ds: &artifact::DatasetArtifact,
+    key: &ArenaKey,
+    arena_path: &Path,
+    why: &str,
+    out: &mut String,
+) -> Result<fpm::ItemsetArena<()>, CliError> {
+    match artifact::quarantine(&DiskIo, arena_path) {
+        Ok(dest) => {
+            let _ = writeln!(
+                out,
+                "warning: {}: {why}; quarantined to {} and re-mining",
+                arena_path.display(),
+                dest.display()
+            );
+        }
+        Err(e) => {
+            let _ = writeln!(
+                out,
+                "warning: {}: {why}; quarantine rename failed ({e}); re-mining anyway",
+                arena_path.display()
+            );
+        }
+    }
+    let report = explorer_from_args(args)
+        .explore(&ds.data, &ds.v, &ds.u, &args.metrics)
+        .map_err(|e| CliError::Input(e.to_string()))?;
+    if let Some(reason) = report.completeness().truncation_reason() {
+        // Same contract as `index`: never persist (or recount against)
+        // a partial candidate set.
+        return Err(CliError::Truncated(reason));
+    }
+    let candidates = candidates_of(&report);
+    if let Err(e) = artifact::save_arena(arena_path, key, &candidates) {
+        let _ = writeln!(
+            out,
+            "warning: {}: rebuilt lattice could not be re-persisted ({e})",
+            arena_path.display()
+        );
+    }
+    Ok(candidates)
 }

@@ -77,6 +77,9 @@ pub struct Args {
     pub dot: bool,
     /// Wall-clock budget for the exploration, in milliseconds.
     pub timeout_ms: Option<u64>,
+    /// Per-request wall-clock deadline for `serve`, in milliseconds: an
+    /// over-budget request fails soft and the loop continues.
+    pub request_timeout_ms: Option<u64>,
     /// Cap on the number of mined itemsets.
     pub max_itemsets: Option<u64>,
     /// Cap on the itemset length explored.
@@ -193,7 +196,7 @@ USAGE:
   divexplorer index   --input FILE --label COL --pred COL --name NAME --artifact DIR
   divexplorer probe   --artifact FILE
   divexplorer analyze --artifact DIR --name NAME [options]
-  divexplorer serve   [--artifact DIR]
+  divexplorer serve   [--artifact DIR] [--request-timeout-ms MS]
 
 ARTIFACTS:
   `index` encodes the dataset and mines + persists its frequent lattice as
@@ -201,7 +204,11 @@ ARTIFACTS:
   streaming recount (no mining phase) — use the same --support/--engine as
   the index run so the registry key matches. `serve` answers NDJSON
   requests (register/mine/query/stats/shutdown) on stdin, one JSON reply
-  per line, caching lattices in memory and in DIR when given.
+  per line, caching lattices in memory and in DIR when given. Registry
+  writes are crash-safe (temp file + fsync + atomic rename); a corrupt
+  lattice artifact is quarantined (*.quarantine) and rebuilt by re-mining,
+  and serve isolates every request (panics and expired deadlines fail
+  soft, the loop continues).
 
 OPTIONS:
   --artifact PATH    artifact file (probe) or registry directory (index,
@@ -219,6 +226,9 @@ OPTIONS:
   --dot              emit Graphviz DOT (lattice)
   --timeout-ms MS    wall-clock budget for the exploration; on expiry the
                      partial results found so far are printed (exit code 4)
+  --request-timeout-ms MS
+                     per-request deadline for serve; an over-budget request
+                     answers {\"ok\":false,...} and the loop continues
   --max-itemsets N   stop after mining N itemsets (exit code 4 when hit)
   --max-depth D      do not explore itemsets longer than D (exit code 4)
   --trace-json FILE  stream telemetry (spans, counters, histograms) to FILE
@@ -270,6 +280,7 @@ impl Args {
             threshold: 0.1,
             dot: false,
             timeout_ms: None,
+            request_timeout_ms: None,
             max_itemsets: None,
             max_depth: None,
             trace_json: None,
@@ -300,6 +311,12 @@ impl Args {
                 "--dot" => args.dot = true,
                 "--timeout-ms" => {
                     args.timeout_ms = Some(parse_num(&value("--timeout-ms")?, "--timeout-ms")?)
+                }
+                "--request-timeout-ms" => {
+                    args.request_timeout_ms = Some(parse_num(
+                        &value("--request-timeout-ms")?,
+                        "--request-timeout-ms",
+                    )?)
                 }
                 "--max-itemsets" => {
                     args.max_itemsets =
@@ -1281,10 +1298,16 @@ b,y,0,1
     }
 
     #[test]
-    fn tampered_artifacts_fail_closed_with_exit_code_3() {
+    fn a_tampered_lattice_artifact_is_quarantined_and_rebuilt() {
         let dir = artifact_temp_dir("tamper");
         let args = Args::parse(index_args(&dir)).unwrap();
         run_with_content(&args, CSV, &mut String::new()).unwrap();
+        let cold = {
+            let args = Args::parse(base_args("explore")).unwrap();
+            let mut out = String::new();
+            run_with_content(&args, CSV, &mut out).unwrap();
+            out
+        };
         let arena_file = std::fs::read_dir(&dir)
             .unwrap()
             .map(|e| e.unwrap().path())
@@ -1305,19 +1328,87 @@ b,y,0,1
             "0.25".to_string(),
         ])
         .unwrap();
-        let err = artifacts::run_analyze(&analyze, &mut String::new()).unwrap_err();
-        assert!(matches!(err, CliError::Input(_)), "{err}");
-        assert_eq!(err.exit_code(), 3);
-        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        // The poisoned lattice is quarantined and rebuilt from the
+        // dataset artifact: the analysis still succeeds, with a warning,
+        // and the output below the warning matches the cold explore.
+        let mut out = String::new();
+        let status = artifacts::run_analyze(&analyze, &mut out).unwrap();
+        assert_eq!(status, RunStatus::Complete);
+        let warning = out.lines().next().unwrap();
+        assert!(warning.contains("checksum mismatch"), "got: {warning}");
+        assert!(warning.contains("quarantined"), "got: {warning}");
+        let body = out.split_once('\n').unwrap().1;
+        assert_eq!(body, cold, "rebuilt recount must match the cold explore");
+        // The poisoned bytes moved aside; the registry slot was rebuilt
+        // and the next analyze is warm again (no warning).
+        assert!(datasets::artifact::quarantine_path(&arena_file).exists());
+        let mut again = String::new();
+        artifacts::run_analyze(&analyze, &mut again).unwrap();
+        assert_eq!(again, cold, "re-persisted artifact must load cleanly");
 
-        // A missing arena (wrong support → different registry key) also
-        // fails typed, with a hint to re-index.
+        // A missing arena (wrong support → different registry key) still
+        // fails typed, with a hint to re-index: a key miss is a parameter
+        // mismatch, not corruption.
         let mut missing = analyze.clone();
         missing.support = 0.5;
         let err = artifacts::run_analyze(&missing, &mut String::new()).unwrap_err();
         assert_eq!(err.exit_code(), 3);
         assert!(err.to_string().contains("index"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_tampered_dataset_artifact_still_fails_closed_with_exit_code_3() {
+        let dir = artifact_temp_dir("tamper-dataset");
+        let args = Args::parse(index_args(&dir)).unwrap();
+        run_with_content(&args, CSV, &mut String::new()).unwrap();
+        // Flip a byte in the *dataset* artifact: there is no deeper
+        // source of truth on disk to rebuild it from, so analyze must
+        // fail closed rather than quarantine.
+        let dataset_file = dir.join("toy.dxd");
+        let mut bytes = std::fs::read(&dataset_file).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&dataset_file, &bytes).unwrap();
+
+        let analyze = Args::parse(vec![
+            "analyze".to_string(),
+            "--artifact".to_string(),
+            dir.to_str().unwrap().to_string(),
+            "--name".to_string(),
+            "toy".to_string(),
+            "--support".to_string(),
+            "0.25".to_string(),
+        ])
+        .unwrap();
+        let err = artifacts::run_analyze(&analyze, &mut String::new()).unwrap_err();
+        assert!(matches!(err, CliError::Input(_)), "{err}");
+        assert_eq!(err.exit_code(), 3);
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        assert!(
+            !datasets::artifact::quarantine_path(&dataset_file).exists(),
+            "dataset artifacts are never quarantined"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn request_timeout_flag_parses() {
+        let args = Args::parse(vec![
+            "serve".to_string(),
+            "--request-timeout-ms".to_string(),
+            "750".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(args.request_timeout_ms, Some(750));
+        assert!(matches!(
+            Args::parse(vec![
+                "serve".to_string(),
+                "--request-timeout-ms".to_string(),
+                "soon".to_string(),
+            ]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! `serve`: a resident analysis service over NDJSON.
+//! `serve`: a resident, fault-tolerant analysis service over NDJSON.
 //!
 //! One request per line on stdin, one JSON response per line on stdout.
 //! The service keeps registered datasets in memory and mined lattices in
@@ -18,21 +18,49 @@
 //! {"op":"query","name":"d1","support":0.1,"metric":"FPR","top":5}
 //! {"op":"query","name":"d1","support":0.1,"u":[0,1,1,0]}
 //! {"op":"stats"}
+//! {"op":"panic"}
 //! {"op":"shutdown"}
 //! ```
 //!
 //! Every response carries `"ok": true|false`; a malformed line or an
 //! unknown op yields `{"ok":false,"error":...}` and the loop continues.
 //! Only `shutdown` (or end of input) ends the loop.
+//!
+//! # Fault model (see DESIGN.md §6h)
+//!
+//! The loop is built so that no single request — malformed, poisoned,
+//! panicking or slow — can take the service down or wedge it:
+//!
+//! - **Panic isolation.** Each request runs under `catch_unwind`; a
+//!   panicking handler produces `{"ok":false,...}` and the loop
+//!   continues. `{"op":"panic"}` is a deliberate fault drill that
+//!   exercises exactly this path.
+//! - **Deadlines.** `--request-timeout-ms MS` wires a per-request
+//!   wall-clock budget into the mining/recount [`fpm::Budget`]
+//!   machinery; an over-budget request fails soft with a deadline
+//!   message instead of holding the loop.
+//! - **Quarantine + rebuild.** A corrupt, truncated or version-skewed
+//!   registry artifact is renamed to `*.quarantine`, the request falls
+//!   back cache → registry → cold mine, and the rebuilt lattice is
+//!   re-persisted (crash-safely: temp file + fsync + atomic rename).
+//!   The response carries a `warnings` array describing the recovery.
+//! - **Soft persistence.** A failing registry write degrades to
+//!   serving from memory with a warning, never to a failed request.
+//!
+//! `stats` reports the session's counters for all of the above:
+//! `requests`, `failures`, `panics`, `timeouts`, `quarantines`,
+//! `persist_failures`, `io_retries`, and the cache's
+//! `cache_hits`/`cache_misses`/`cache_evictions`.
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use datasets::artifact::{self, ArenaKey};
+use datasets::artifact_io::{self, ArtifactIo, DiskIo};
 use divexplorer::{ArenaCache, CacheKey, DiscreteDataset, DivExplorer, SortBy};
-use fpm::ItemsetArena;
+use fpm::{ItemsetArena, TruncationReason};
 use serde_json::Value;
 
 use crate::artifacts::{candidates_of, engine_label};
@@ -48,11 +76,26 @@ struct Registered {
     hash: u64,
 }
 
+/// Per-session fault and traffic counters, reported by `stats`.
+#[derive(Debug, Default)]
+struct ServeStats {
+    requests: u64,
+    failures: u64,
+    panics: u64,
+    timeouts: u64,
+    quarantines: u64,
+    persist_failures: u64,
+}
+
 struct ServeState {
     /// On-disk artifact registry, if `--artifact DIR` was given.
     dir: Option<PathBuf>,
     datasets: HashMap<String, Registered>,
     cache: ArenaCache,
+    stats: ServeStats,
+    /// [`artifact_io::retries_total`] at loop start, so `stats` reports
+    /// this session's transient-IO retries, not the process total.
+    retries_base: u64,
 }
 
 /// Runs the request loop until `shutdown` or end of input. Exposed over
@@ -62,17 +105,47 @@ pub fn serve_loop<R: BufRead, W: Write>(args: &Args, input: R, mut out: W) -> Re
         dir: (!args.artifact.is_empty()).then(|| PathBuf::from(&args.artifact)),
         datasets: HashMap::new(),
         cache: ArenaCache::new(DEFAULT_CACHE_BYTES),
+        stats: ServeStats::default(),
+        retries_base: artifact_io::retries_total(),
     };
     for line in input.lines() {
         let line = line.map_err(|e| CliError::Input(format!("request stream: {e}")))?;
         if line.trim().is_empty() {
             continue;
         }
-        let (response, shutdown) = {
+        state.stats.requests += 1;
+        // Per-request isolation: a panicking handler is contained here
+        // and becomes a soft failure; the loop (and every registered
+        // dataset and cached lattice) survives.
+        let (mut response, shutdown) = {
             let _span = obs::span("serve.request");
-            handle_request(&mut state, args, &line)
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                handle_request(&mut state, args, &line)
+            }));
+            match outcome {
+                Ok(reply) => reply,
+                Err(payload) => {
+                    state.stats.panics += 1;
+                    obs::counter("serve.panics", 1);
+                    (
+                        fail(format!(
+                            "request handler panicked: {}; the service continues",
+                            panic_message(&payload)
+                        )),
+                        false,
+                    )
+                }
+            }
         };
-        let text = serde_json::to_string(&response).expect("response serialization is infallible");
+        if response["ok"].as_bool() != Some(true) {
+            state.stats.failures += 1;
+        }
+        // A NaN or infinite statistic (a degenerate slice's divergence)
+        // must not poison the response stream: non-finite floats become
+        // JSON null, and serialization failure is itself a soft error.
+        sanitize(&mut response);
+        let text = serde_json::to_string(&response)
+            .unwrap_or_else(|_| r#"{"ok":false,"error":"unserializable response"}"#.to_string());
         writeln!(out, "{text}").map_err(|e| CliError::Input(format!("response stream: {e}")))?;
         out.flush()
             .map_err(|e| CliError::Input(format!("response stream: {e}")))?;
@@ -81,6 +154,27 @@ pub fn serve_loop<R: BufRead, W: Write>(args: &Args, input: R, mut out: W) -> Re
         }
     }
     Ok(())
+}
+
+/// Best-effort human-readable panic payload.
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// Replaces every non-finite number in the tree with JSON `null`.
+fn sanitize(value: &mut Value) {
+    match value {
+        Value::Number(n) if !n.is_finite() => *value = Value::Null,
+        Value::Array(items) => items.iter_mut().for_each(sanitize),
+        Value::Object(fields) => fields.iter_mut().for_each(|(_, v)| sanitize(v)),
+        _ => {}
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -98,6 +192,10 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
 
 fn text(s: impl Into<String>) -> Value {
     Value::String(s.into())
+}
+
+fn num(n: u64) -> Value {
+    Value::Number(n as f64)
 }
 
 fn ok(op: &str, mut extra: Vec<(&str, Value)>) -> Value {
@@ -119,6 +217,34 @@ fn str_field(request: &Value, key: &str) -> Option<String> {
 
 fn require(request: &Value, key: &str) -> Result<String, Value> {
     str_field(request, key).ok_or_else(|| fail(format!("'{key}' (string) is required")))
+}
+
+/// Parses the optional `support` field. A present-but-malformed value
+/// (a string `"0.1"`, an out-of-range number) is a hard request error —
+/// silently falling back to the CLI default would mine at a threshold
+/// the caller never asked for.
+fn support_field(request: &Value, args: &Args) -> Result<f64, Value> {
+    match &request["support"] {
+        Value::Null => Ok(args.support),
+        v => match v.as_f64() {
+            Some(s) if s > 0.0 && s <= 1.0 => Ok(s),
+            Some(s) => Err(fail(format!("'support' must be in (0, 1], got {s}"))),
+            None => Err(fail(
+                "'support' must be a number in (0, 1]; strings are not coerced",
+            )),
+        },
+    }
+}
+
+/// Parses the optional `top` field with the same strictness.
+fn top_field(request: &Value, args: &Args) -> Result<usize, Value> {
+    match &request["top"] {
+        Value::Null => Ok(args.top),
+        v => v
+            .as_u64()
+            .map(|t| t as usize)
+            .ok_or_else(|| fail("'top' must be a non-negative integer")),
+    }
 }
 
 /// Parses an optional label vector: JSON numbers (0/1) or booleans.
@@ -158,25 +284,38 @@ fn handle_request(state: &mut ServeState, args: &Args, line: &str) -> (Value, bo
         "register" => handle_register(state, args, &request),
         "mine" => handle_mine(state, args, &request),
         "query" => handle_query(state, args, &request),
-        "stats" => Ok(ok(
-            "stats",
-            vec![
-                ("datasets", Value::Number(state.datasets.len() as f64)),
-                ("cached_lattices", Value::Number(state.cache.len() as f64)),
-                (
-                    "resident_bytes",
-                    Value::Number(state.cache.resident_bytes() as f64),
-                ),
-                (
-                    "capacity_bytes",
-                    Value::Number(state.cache.capacity_bytes() as f64),
-                ),
-            ],
-        )),
+        "stats" => Ok(handle_stats(state)),
+        // Deliberate fault drill: proves panic containment end to end.
+        "panic" => panic!("panic op requested"),
         "shutdown" => return (ok("shutdown", vec![]), true),
         other => Err(fail(format!("unknown op '{other}'"))),
     };
     (response.unwrap_or_else(|e| e), false)
+}
+
+fn handle_stats(state: &ServeState) -> Value {
+    ok(
+        "stats",
+        vec![
+            ("datasets", num(state.datasets.len() as u64)),
+            ("cached_lattices", num(state.cache.len() as u64)),
+            ("resident_bytes", num(state.cache.resident_bytes())),
+            ("capacity_bytes", num(state.cache.capacity_bytes())),
+            ("requests", num(state.stats.requests)),
+            ("failures", num(state.stats.failures)),
+            ("panics", num(state.stats.panics)),
+            ("timeouts", num(state.stats.timeouts)),
+            ("quarantines", num(state.stats.quarantines)),
+            ("persist_failures", num(state.stats.persist_failures)),
+            (
+                "io_retries",
+                num(artifact_io::retries_total() - state.retries_base),
+            ),
+            ("cache_hits", num(state.cache.hits())),
+            ("cache_misses", num(state.cache.misses())),
+            ("cache_evictions", num(state.cache.evictions())),
+        ],
+    )
 }
 
 fn handle_register(state: &mut ServeState, args: &Args, request: &Value) -> Result<Value, Value> {
@@ -184,8 +323,8 @@ fn handle_register(state: &mut ServeState, args: &Args, request: &Value) -> Resu
     let registered = if let Some(path) = str_field(request, "artifact") {
         // A persisted dataset artifact: decoding re-validates checksum,
         // schema and the one-hot invariant.
-        let ds = artifact::load_dataset(std::path::Path::new(&path))
-            .map_err(|e| fail(format!("{path}: {e}")))?;
+        let ds =
+            artifact::load_dataset(Path::new(&path)).map_err(|e| fail(format!("{path}: {e}")))?;
         Registered {
             data: ds.data,
             v: ds.v,
@@ -197,8 +336,14 @@ fn handle_register(state: &mut ServeState, args: &Args, request: &Value) -> Resu
         let mut csv_args = args.clone();
         csv_args.label = require(request, "label")?;
         csv_args.pred = require(request, "pred")?;
-        if let Some(bins) = request["bins"].as_u64() {
-            csv_args.bins = bins as usize;
+        match &request["bins"] {
+            Value::Null => {}
+            v => {
+                csv_args.bins = v
+                    .as_u64()
+                    .ok_or_else(|| fail("'bins' must be a non-negative integer"))?
+                    as usize;
+            }
         }
         let content = std::fs::read_to_string(&path).map_err(|e| fail(format!("{path}: {e}")))?;
         let prepared = prepare(&content, &csv_args).map_err(|e| fail(e.to_string()))?;
@@ -217,22 +362,73 @@ fn handle_register(state: &mut ServeState, args: &Args, request: &Value) -> Resu
         "register",
         vec![
             ("name", text(name)),
-            ("rows", Value::Number(rows as f64)),
+            ("rows", num(rows as u64)),
             ("hash", text(format!("{hash:016x}"))),
         ],
     ))
 }
 
+/// The per-request mining/recount budget: the CLI-wide budget, with the
+/// per-request deadline (`--request-timeout-ms`) layered on top.
+fn request_budget(args: &Args) -> fpm::Budget {
+    let mut budget = budget_from_args(args);
+    if let Some(ms) = args.request_timeout_ms {
+        budget = budget.with_timeout(std::time::Duration::from_millis(ms));
+    }
+    budget
+}
+
+/// Maps a truncation to a soft error, counting deadline expiries.
+fn truncation_failure(stats: &mut ServeStats, reason: TruncationReason, what: &str) -> Value {
+    if matches!(
+        reason,
+        TruncationReason::Timeout | TruncationReason::Cancelled
+    ) {
+        stats.timeouts += 1;
+        obs::counter("serve.timeouts", 1);
+        fail(format!(
+            "request deadline expired during {what} ({reason}); raise \
+             --request-timeout-ms or the support threshold"
+        ))
+    } else {
+        fail(format!(
+            "{what} truncated ({reason}); refusing to serve a partial lattice"
+        ))
+    }
+}
+
+/// Moves a poisoned registry artifact aside and records the recovery.
+/// Never fails the request: if even the rename fails, the warning says
+/// so and the rebuild proceeds regardless.
+fn quarantine_artifact(stats: &mut ServeStats, path: &Path, why: &str, warnings: &mut Vec<String>) {
+    stats.quarantines += 1;
+    obs::counter("serve.quarantines", 1);
+    match artifact::quarantine(&DiskIo, path) {
+        Ok(dest) => warnings.push(format!(
+            "{}: {why}; quarantined to {} and re-mining",
+            path.display(),
+            dest.display()
+        )),
+        Err(e) => warnings.push(format!(
+            "{}: {why}; quarantine rename failed ({e}); re-mining anyway",
+            path.display()
+        )),
+    }
+}
+
 /// The mine-or-load path shared by `mine` and `query`: cache, then the
 /// on-disk registry, then a cold mine (written through to disk when a
-/// registry directory is configured).
+/// registry directory is configured). A poisoned registry artifact is
+/// quarantined and transparently rebuilt; every recovery step lands in
+/// `warnings`.
 fn ensure_lattice(
     state: &mut ServeState,
     args: &Args,
     request: &Value,
     name: &str,
+    warnings: &mut Vec<String>,
 ) -> Result<(Arc<ItemsetArena<()>>, &'static str, f64), Value> {
-    let support = request["support"].as_f64().unwrap_or(args.support);
+    let support = support_field(request, args)?;
     let engine = str_field(request, "engine").unwrap_or_else(|| engine_label(args));
     let reg = state
         .datasets
@@ -258,86 +454,130 @@ fn ensure_lattice(
     };
     if let Some(dir) = &state.dir {
         let path = dir.join(artifact::arena_file_name(&arena_key));
-        if path.exists() {
-            // A tampered registry file fails closed with the typed
-            // artifact error; the service never recounts unverified bytes.
-            let (loaded_key, candidates) = artifact::load_arena(&path)
-                .map_err(|e| fail(format!("{}: {e}", path.display())))?;
-            if loaded_key != arena_key {
-                return Err(fail(format!(
-                    "{}: artifact key does not match its file name",
-                    path.display()
-                )));
+        if DiskIo.exists(&path) {
+            // A poisoned registry file (bad checksum, truncation,
+            // version skew, key mismatch) is quarantined and rebuilt;
+            // the service never recounts unverified bytes, but it also
+            // never lets one bad file poison the session.
+            match artifact::load_arena(&path) {
+                Ok((loaded_key, candidates)) if loaded_key == arena_key => {
+                    let arena = Arc::new(candidates);
+                    state.cache.insert(cache_key, Arc::clone(&arena));
+                    return Ok((arena, "artifact", support));
+                }
+                Ok(_) => quarantine_artifact(
+                    &mut state.stats,
+                    &path,
+                    "artifact key does not match its file name",
+                    warnings,
+                ),
+                Err(e) => quarantine_artifact(&mut state.stats, &path, &e.to_string(), warnings),
             }
-            let arena = Arc::new(candidates);
-            state.cache.insert(cache_key, Arc::clone(&arena));
-            return Ok((arena, "artifact", support));
         }
     }
+    let reg = &state.datasets[name];
     let algorithm = parse_engine(&engine).map_err(|e| fail(e.to_string()))?;
     let explorer = DivExplorer::new(support)
         .with_algorithm(algorithm)
-        .with_budget(budget_from_args(args));
+        .with_budget(request_budget(args));
     let report = explorer
         .explore(&reg.data, &reg.v, &reg.u, &args.metrics)
         .map_err(|e| fail(e.to_string()))?;
     if let Some(reason) = report.completeness().truncation_reason() {
-        return Err(fail(format!(
-            "mining truncated ({reason}); refusing to serve a partial lattice"
-        )));
+        return Err(truncation_failure(&mut state.stats, reason, "mining"));
     }
     let candidates = candidates_of(&report);
     if let Some(dir) = &state.dir {
-        std::fs::create_dir_all(dir)
-            .and_then(|()| {
-                let path = dir.join(artifact::arena_file_name(&arena_key));
-                artifact::save_arena(&path, &arena_key, &candidates)
-                    .map_err(|e| std::io::Error::other(e.to_string()))
-            })
-            .map_err(|e| fail(format!("artifact registry: {e}")))?;
+        // Write-through persistence is best-effort: a full or failing
+        // disk degrades to serving from memory, never to a failed
+        // request. The atomic-write protocol guarantees the registry
+        // file is all-old or all-new even if we crash right here.
+        let path = dir.join(artifact::arena_file_name(&arena_key));
+        let persisted = DiskIo
+            .create_dir_all(dir)
+            .map_err(artifact::ArtifactError::from)
+            .and_then(|()| artifact::save_arena(&path, &arena_key, &candidates));
+        if let Err(e) = persisted {
+            state.stats.persist_failures += 1;
+            obs::counter("serve.persist_failures", 1);
+            warnings.push(format!(
+                "artifact registry write failed ({e}); serving from memory only"
+            ));
+        }
     }
     let arena = Arc::new(candidates);
     state.cache.insert(cache_key, Arc::clone(&arena));
     Ok((arena, "mined", support))
 }
 
+/// Appends the warnings array to a successful response, if any.
+fn with_warnings(mut response: Value, warnings: Vec<String>) -> Value {
+    if !warnings.is_empty() {
+        if let Value::Object(fields) = &mut response {
+            fields.push((
+                "warnings".to_string(),
+                Value::Array(warnings.into_iter().map(Value::String).collect()),
+            ));
+        }
+    }
+    response
+}
+
 fn handle_mine(state: &mut ServeState, args: &Args, request: &Value) -> Result<Value, Value> {
     let name = require(request, "name")?;
-    let (arena, source, support) = ensure_lattice(state, args, request, &name)?;
-    Ok(ok(
-        "mine",
-        vec![
-            ("name", text(name)),
-            ("patterns", Value::Number(arena.len() as f64)),
-            ("support", Value::Number(support)),
-            ("source", text(source)),
-        ],
+    let mut warnings = Vec::new();
+    let (arena, source, support) = ensure_lattice(state, args, request, &name, &mut warnings)?;
+    Ok(with_warnings(
+        ok(
+            "mine",
+            vec![
+                ("name", text(name)),
+                ("patterns", num(arena.len() as u64)),
+                ("support", Value::Number(support)),
+                ("source", text(source)),
+            ],
+        ),
+        warnings,
     ))
 }
 
 fn handle_query(state: &mut ServeState, args: &Args, request: &Value) -> Result<Value, Value> {
     let name = require(request, "name")?;
-    let (arena, source, support) = ensure_lattice(state, args, request, &name)?;
-    let reg = &state.datasets[&name];
+    // Validate every request field before ensure_lattice: a malformed
+    // request must fail fast without side effects (no mine, no
+    // quarantine, no registry write).
+    let top = top_field(request, args)?;
     let metrics = match str_field(request, "metric") {
         Some(spec) => parse_metrics(&spec).map_err(|e| fail(e.to_string()))?,
         None => args.metrics.clone(),
     };
-    let u_override;
-    let u: &[bool] = if request["u"].is_null() {
-        &reg.u
+    let n_rows = state
+        .datasets
+        .get(&name)
+        .map(|reg| reg.data.n_rows())
+        .ok_or_else(|| fail(format!("dataset '{name}' is not registered")))?;
+    let u_override = if request["u"].is_null() {
+        None
     } else {
-        u_override = bool_vector(&request["u"], reg.data.n_rows())?;
-        &u_override
+        Some(bool_vector(&request["u"], n_rows)?)
     };
-    let top = request["top"].as_u64().map_or(args.top, |t| t as usize);
+    let mut warnings = Vec::new();
+    let (arena, source, support) = ensure_lattice(state, args, request, &name, &mut warnings)?;
+    let reg = &state.datasets[&name];
+    let u: &[bool] = u_override.as_deref().unwrap_or(&reg.u);
 
     // The warm path: one streaming recount against the shared lattice,
     // no mining phase (see DESIGN.md §6g).
     let report = DivExplorer::new(support)
-        .with_budget(budget_from_args(args))
+        .with_budget(request_budget(args))
         .from_artifact(&reg.data, &arena, &reg.v, u, &metrics)
         .map_err(|e| fail(e.to_string()))?;
+    if let Some(reason) = report.completeness().truncation_reason() {
+        // The recount engine emits nothing when cut mid-phase, so a
+        // truncated recount must fail soft — not return empty results
+        // that look like "no divergence anywhere".
+        return Err(truncation_failure(&mut state.stats, reason, "recount"));
+    }
 
     let mut rows = Vec::new();
     for idx in report.ranked(0, SortBy::Divergence).into_iter().take(top) {
@@ -348,16 +588,19 @@ fn handle_query(state: &mut ServeState, args: &Args, request: &Value) -> Result<
             ("t", Value::Number(report.t_statistic(idx, 0))),
         ]));
     }
-    Ok(ok(
-        "query",
-        vec![
-            ("name", text(name)),
-            ("metric", text(metrics[0].short_name())),
-            ("dataset_rate", Value::Number(report.dataset_rate(0))),
-            ("patterns", Value::Number(report.len() as f64)),
-            ("source", text(source)),
-            ("results", Value::Array(rows)),
-        ],
+    Ok(with_warnings(
+        ok(
+            "query",
+            vec![
+                ("name", text(name)),
+                ("metric", text(metrics[0].short_name())),
+                ("dataset_rate", Value::Number(report.dataset_rate(0))),
+                ("patterns", num(report.len() as u64)),
+                ("source", text(source)),
+                ("results", Value::Array(rows)),
+            ],
+        ),
+        warnings,
     ))
 }
 
@@ -406,15 +649,19 @@ b,y,0,1
             .collect()
     }
 
+    fn register_line(csv_path: &std::path::Path) -> String {
+        format!(
+            r#"{{"op":"register","name":"toy","path":"{}","label":"y","pred":"yhat"}}"#,
+            csv_path.display()
+        )
+    }
+
     #[test]
     fn register_mine_query_roundtrip() {
         let dir = temp_dir("roundtrip");
         let csv_path = dir.join("toy.csv");
         std::fs::write(&csv_path, CSV).unwrap();
-        let register = format!(
-            r#"{{"op":"register","name":"toy","path":"{}","label":"y","pred":"yhat"}}"#,
-            csv_path.display()
-        );
+        let register = register_line(&csv_path);
         let responses = drive(
             &serve_args(""),
             &[
@@ -438,6 +685,11 @@ b,y,0,1
         assert_eq!(results[0]["itemset"].as_str(), Some("grp=a, other=x"));
         assert!((results[0]["divergence"].as_f64().unwrap() - 0.5).abs() < 1e-9);
         assert_eq!(responses[4]["cached_lattices"].as_u64(), Some(1));
+        assert_eq!(responses[4]["requests"].as_u64(), Some(5));
+        assert_eq!(responses[4]["failures"].as_u64(), Some(0));
+        assert_eq!(responses[4]["panics"].as_u64(), Some(0));
+        assert_eq!(responses[4]["quarantines"].as_u64(), Some(0));
+        assert!(responses[4]["cache_hits"].as_u64().unwrap() >= 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -446,10 +698,7 @@ b,y,0,1
         let dir = temp_dir("relabel");
         let csv_path = dir.join("toy.csv");
         std::fs::write(&csv_path, CSV).unwrap();
-        let register = format!(
-            r#"{{"op":"register","name":"toy","path":"{}","label":"y","pred":"yhat"}}"#,
-            csv_path.display()
-        );
+        let register = register_line(&csv_path);
         // A second query predicts positive everywhere: every subgroup's
         // FPR equals the overall rate, so all divergences collapse to
         // zero — while the lattice is served from cache, not re-mined.
@@ -478,10 +727,7 @@ b,y,0,1
         std::fs::write(&csv_path, CSV).unwrap();
         let registry = dir.join("artifacts");
         let args = serve_args(registry.to_str().unwrap());
-        let register = format!(
-            r#"{{"op":"register","name":"toy","path":"{}","label":"y","pred":"yhat"}}"#,
-            csv_path.display()
-        );
+        let register = register_line(&csv_path);
         let mine = r#"{"op":"mine","name":"toy","support":0.25}"#;
         let first = drive(&args, &[&register, mine]);
         assert_eq!(first[1]["source"].as_str(), Some("mined"));
@@ -545,6 +791,153 @@ b,y,0,1
             assert!(r["error"].as_str().is_some());
         }
         assert_eq!(responses[5]["ok"].as_bool(), Some(true));
+        assert_eq!(responses[5]["failures"].as_u64(), Some(5));
+    }
+
+    #[test]
+    fn a_malformed_support_field_is_rejected_not_defaulted() {
+        let dir = temp_dir("bad-support");
+        let csv_path = dir.join("toy.csv");
+        std::fs::write(&csv_path, CSV).unwrap();
+        let register = register_line(&csv_path);
+        // A string support must NOT silently mine at the CLI default
+        // (0.05) — that would serve tallies at a threshold the caller
+        // never asked for.
+        let responses = drive(
+            &serve_args(""),
+            &[
+                &register,
+                r#"{"op":"mine","name":"toy","support":"0.25"}"#,
+                r#"{"op":"query","name":"toy","support":1.5}"#,
+                r#"{"op":"query","name":"toy","support":0.25,"top":"three"}"#,
+                r#"{"op":"mine","name":"toy","support":0.25}"#,
+            ],
+        );
+        assert_eq!(responses[1]["ok"].as_bool(), Some(false));
+        assert!(
+            responses[1]["error"].as_str().unwrap().contains("support"),
+            "{:?}",
+            responses[1]
+        );
+        assert_eq!(responses[2]["ok"].as_bool(), Some(false));
+        assert!(responses[2]["error"].as_str().unwrap().contains("(0, 1]"));
+        assert_eq!(responses[3]["ok"].as_bool(), Some(false));
+        assert!(responses[3]["error"].as_str().unwrap().contains("top"));
+        // The loop continued and a well-formed request still succeeds.
+        assert_eq!(responses[4]["ok"].as_bool(), Some(true));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_finite_statistics_serialize_as_null_not_a_crash() {
+        // All-positive ground truth: FPR has no negatives to divide by,
+        // so the dataset rate and every divergence are NaN. The reply
+        // must sanitize them to null and the loop must keep serving.
+        let degenerate = "\
+grp,other,y,yhat
+a,x,1,1
+a,y,1,1
+a,x,1,0
+b,y,1,0
+b,x,1,1
+b,y,1,0
+b,x,1,1
+a,y,1,0
+";
+        let dir = temp_dir("nan");
+        let csv_path = dir.join("toy.csv");
+        std::fs::write(&csv_path, degenerate).unwrap();
+        let register = register_line(&csv_path);
+        let responses = drive(
+            &serve_args(""),
+            &[
+                &register,
+                r#"{"op":"query","name":"toy","support":0.25,"metric":"FPR","top":2}"#,
+                r#"{"op":"stats"}"#,
+            ],
+        );
+        assert_eq!(
+            responses[1]["ok"].as_bool(),
+            Some(true),
+            "{:?}",
+            responses[1]
+        );
+        assert!(
+            responses[1]["dataset_rate"].is_null(),
+            "NaN must become null: {:?}",
+            responses[1]
+        );
+        assert_eq!(responses[2]["ok"].as_bool(), Some(true));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_malformed_query_fails_fast_without_mining() {
+        let dir = temp_dir("fail-fast");
+        let csv_path = dir.join("toy.csv");
+        std::fs::write(&csv_path, CSV).unwrap();
+        let register = register_line(&csv_path);
+        // A wrong-length u vector must be rejected before any lattice
+        // work: no mine, no cache entry, no registry side effects.
+        let responses = drive(
+            &serve_args(""),
+            &[
+                &register,
+                r#"{"op":"query","name":"toy","support":0.25,"u":[1,0]}"#,
+                r#"{"op":"stats"}"#,
+            ],
+        );
+        assert_eq!(responses[1]["ok"].as_bool(), Some(false));
+        assert!(responses[1]["error"].as_str().unwrap().contains("8 rows"));
+        assert_eq!(responses[2]["cached_lattices"].as_u64(), Some(0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_panicking_handler_is_contained_and_counted() {
+        let responses = drive(
+            &serve_args(""),
+            &[
+                r#"{"op":"panic"}"#,
+                r#"{"op":"panic"}"#,
+                r#"{"op":"stats"}"#,
+            ],
+        );
+        assert_eq!(responses.len(), 3);
+        for r in &responses[..2] {
+            assert_eq!(r["ok"].as_bool(), Some(false), "{r:?}");
+            assert!(r["error"].as_str().unwrap().contains("panicked"), "{r:?}");
+        }
+        assert_eq!(responses[2]["ok"].as_bool(), Some(true));
+        assert_eq!(responses[2]["panics"].as_u64(), Some(2));
+        assert_eq!(responses[2]["failures"].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn an_expired_request_deadline_fails_soft_and_is_counted() {
+        let dir = temp_dir("deadline");
+        let csv_path = dir.join("toy.csv");
+        std::fs::write(&csv_path, CSV).unwrap();
+        let mut args = serve_args("");
+        args.request_timeout_ms = Some(0);
+        let register = register_line(&csv_path);
+        let responses = drive(
+            &args,
+            &[
+                &register,
+                r#"{"op":"mine","name":"toy","support":0.25}"#,
+                r#"{"op":"stats"}"#,
+            ],
+        );
+        assert_eq!(responses[1]["ok"].as_bool(), Some(false));
+        assert!(
+            responses[1]["error"].as_str().unwrap().contains("deadline"),
+            "{:?}",
+            responses[1]
+        );
+        assert_eq!(responses[2]["ok"].as_bool(), Some(true));
+        assert!(responses[2]["timeouts"].as_u64().unwrap() >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -557,21 +950,9 @@ b,y,0,1
         assert_eq!(responses[0]["op"].as_str(), Some("shutdown"));
     }
 
-    #[test]
-    fn a_tampered_registry_artifact_fails_closed() {
-        let dir = temp_dir("tampered");
-        let csv_path = dir.join("toy.csv");
-        std::fs::write(&csv_path, CSV).unwrap();
-        let registry = dir.join("artifacts");
-        let args = serve_args(registry.to_str().unwrap());
-        let register = format!(
-            r#"{{"op":"register","name":"toy","path":"{}","label":"y","pred":"yhat"}}"#,
-            csv_path.display()
-        );
-        let mine = r#"{"op":"mine","name":"toy","support":0.25}"#;
-        drive(&args, &[&register, mine]);
-        // Flip one byte in the persisted arena artifact.
-        let arena_file = std::fs::read_dir(&registry)
+    /// Flips one byte in the registry's persisted arena artifact.
+    fn poison_registry_arena(registry: &std::path::Path) -> std::path::PathBuf {
+        let arena_file = std::fs::read_dir(registry)
             .unwrap()
             .map(|e| e.unwrap().path())
             .find(|p| p.extension().is_some_and(|x| x == "dxa"))
@@ -580,16 +961,116 @@ b,y,0,1
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x01;
         std::fs::write(&arena_file, &bytes).unwrap();
-        let responses = drive(&args, &[&register, mine]);
-        assert_eq!(responses[1]["ok"].as_bool(), Some(false));
-        assert!(
-            responses[1]["error"]
-                .as_str()
-                .unwrap()
-                .contains("checksum mismatch"),
+        arena_file
+    }
+
+    #[test]
+    fn a_tampered_registry_artifact_is_quarantined_and_rebuilt() {
+        let dir = temp_dir("quarantine");
+        let csv_path = dir.join("toy.csv");
+        std::fs::write(&csv_path, CSV).unwrap();
+        let registry = dir.join("artifacts");
+        let args = serve_args(registry.to_str().unwrap());
+        let register = register_line(&csv_path);
+        let mine = r#"{"op":"mine","name":"toy","support":0.25}"#;
+        let first = drive(&args, &[&register, mine]);
+        let patterns = first[1]["patterns"].as_u64().unwrap();
+        let arena_file = poison_registry_arena(&registry);
+
+        // The poisoned artifact is quarantined, the lattice re-mined
+        // and re-persisted — the request succeeds with a warning
+        // instead of erroring the session.
+        let responses = drive(&args, &[&register, mine, r#"{"op":"stats"}"#]);
+        assert_eq!(
+            responses[1]["ok"].as_bool(),
+            Some(true),
             "{:?}",
             responses[1]
         );
+        assert_eq!(responses[1]["source"].as_str(), Some("mined"));
+        assert_eq!(responses[1]["patterns"].as_u64(), Some(patterns));
+        let warnings = responses[1]["warnings"].as_array().unwrap();
+        assert!(
+            warnings[0].as_str().unwrap().contains("checksum mismatch"),
+            "{warnings:?}"
+        );
+        assert!(warnings[0].as_str().unwrap().contains("quarantined"));
+        assert_eq!(responses[2]["quarantines"].as_u64(), Some(1));
+
+        // Forensics: the poisoned bytes moved aside; the registry slot
+        // holds a fresh, valid artifact a later session loads cleanly.
+        assert!(artifact::quarantine_path(&arena_file).exists());
+        assert!(arena_file.exists(), "registry slot rebuilt");
+        let third = drive(&args, &[&register, mine]);
+        assert_eq!(third[1]["source"].as_str(), Some("artifact"));
+        assert_eq!(third[1]["patterns"].as_u64(), Some(patterns));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_version_skewed_artifact_is_quarantined_and_rebuilt() {
+        let dir = temp_dir("version-skew");
+        let csv_path = dir.join("toy.csv");
+        std::fs::write(&csv_path, CSV).unwrap();
+        let registry = dir.join("artifacts");
+        let args = serve_args(registry.to_str().unwrap());
+        let register = register_line(&csv_path);
+        let mine = r#"{"op":"mine","name":"toy","support":0.25}"#;
+        drive(&args, &[&register, mine]);
+
+        // Bump the format version and fix up the trailing checksum so
+        // only the version differs — a file from a future release.
+        let arena_file = std::fs::read_dir(&registry)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|x| x == "dxa"))
+            .unwrap();
+        let mut bytes = std::fs::read(&arena_file).unwrap();
+        bytes[4..8].copy_from_slice(&(artifact::FORMAT_VERSION + 9).to_le_bytes());
+        let end = bytes.len() - 8;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in &bytes[..end] {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        bytes[end..].copy_from_slice(&h.to_le_bytes());
+        std::fs::write(&arena_file, &bytes).unwrap();
+
+        let responses = drive(&args, &[&register, mine]);
+        assert_eq!(
+            responses[1]["ok"].as_bool(),
+            Some(true),
+            "{:?}",
+            responses[1]
+        );
+        let warnings = responses[1]["warnings"].as_array().unwrap();
+        assert!(
+            warnings[0]
+                .as_str()
+                .unwrap()
+                .contains("unsupported artifact version"),
+            "{warnings:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sanitize_nulls_non_finite_numbers_recursively() {
+        let mut v = obj(vec![
+            ("a", Value::Number(f64::NAN)),
+            (
+                "b",
+                Value::Array(vec![
+                    Value::Number(f64::INFINITY),
+                    Value::Number(1.5),
+                    obj(vec![("c", Value::Number(f64::NEG_INFINITY))]),
+                ]),
+            ),
+        ]);
+        sanitize(&mut v);
+        assert!(v["a"].is_null());
+        assert!(v["b"][0].is_null());
+        assert_eq!(v["b"][1].as_f64(), Some(1.5));
+        assert!(v["b"][2]["c"].is_null());
     }
 }

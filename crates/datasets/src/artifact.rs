@@ -40,6 +40,8 @@ use std::path::Path;
 use divexplorer::{DiscreteDataset, Schema};
 use fpm::ItemsetArena;
 
+use crate::artifact_io::{atomic_write, ArtifactIo, DiskIo};
+
 /// File magic, the first four bytes of every artifact.
 pub const MAGIC: [u8; 4] = *b"DIVX";
 
@@ -491,8 +493,21 @@ pub fn decode_dataset(bytes: &[u8]) -> Result<DatasetArtifact, ArtifactError> {
     Ok(DatasetArtifact { data, v, u, hash })
 }
 
-/// Writes a dataset artifact to `path`, returning its content hash.
+/// Writes a dataset artifact to `path` crash-safely (temp file, fsync,
+/// atomic rename, directory fsync — see
+/// [`crate::artifact_io::atomic_write`]), returning its content hash.
 pub fn save_dataset(
+    path: &Path,
+    data: &DiscreteDataset,
+    v: &[bool],
+    u: &[bool],
+) -> Result<u64, ArtifactError> {
+    save_dataset_with(&DiskIo, path, data, v, u)
+}
+
+/// [`save_dataset`] over an injectable IO backend.
+pub fn save_dataset_with(
+    io: &dyn ArtifactIo,
     path: &Path,
     data: &DiscreteDataset,
     v: &[bool],
@@ -500,15 +515,23 @@ pub fn save_dataset(
 ) -> Result<u64, ArtifactError> {
     let _span = obs::span("artifact.save");
     let bytes = encode_dataset(data, v, u);
-    std::fs::write(path, &bytes)?;
+    atomic_write(io, path, &bytes)?;
     obs::counter("artifact.write_bytes", bytes.len() as u64);
     Ok(dataset_hash(data))
 }
 
 /// Reads and validates a dataset artifact from `path`.
 pub fn load_dataset(path: &Path) -> Result<DatasetArtifact, ArtifactError> {
+    load_dataset_with(&DiskIo, path)
+}
+
+/// [`load_dataset`] over an injectable IO backend.
+pub fn load_dataset_with(
+    io: &dyn ArtifactIo,
+    path: &Path,
+) -> Result<DatasetArtifact, ArtifactError> {
     let _span = obs::span("artifact.load");
-    let bytes = std::fs::read(path)?;
+    let bytes = io.read(path)?;
     obs::counter("artifact.read_bytes", bytes.len() as u64);
     decode_dataset(&bytes)
 }
@@ -628,25 +651,70 @@ pub fn decode_arena(bytes: &[u8]) -> Result<(ArenaKey, ItemsetArena<()>), Artifa
     Ok((key, arena))
 }
 
-/// Writes an arena artifact to `path`.
+/// Writes an arena artifact to `path` crash-safely (temp file, fsync,
+/// atomic rename, directory fsync).
 pub fn save_arena(
+    path: &Path,
+    key: &ArenaKey,
+    arena: &ItemsetArena<()>,
+) -> Result<(), ArtifactError> {
+    save_arena_with(&DiskIo, path, key, arena)
+}
+
+/// [`save_arena`] over an injectable IO backend.
+pub fn save_arena_with(
+    io: &dyn ArtifactIo,
     path: &Path,
     key: &ArenaKey,
     arena: &ItemsetArena<()>,
 ) -> Result<(), ArtifactError> {
     let _span = obs::span("artifact.save");
     let bytes = encode_arena(key, arena);
-    std::fs::write(path, &bytes)?;
+    atomic_write(io, path, &bytes)?;
     obs::counter("artifact.write_bytes", bytes.len() as u64);
     Ok(())
 }
 
 /// Reads and validates an arena artifact from `path`.
 pub fn load_arena(path: &Path) -> Result<(ArenaKey, ItemsetArena<()>), ArtifactError> {
+    load_arena_with(&DiskIo, path)
+}
+
+/// [`load_arena`] over an injectable IO backend.
+pub fn load_arena_with(
+    io: &dyn ArtifactIo,
+    path: &Path,
+) -> Result<(ArenaKey, ItemsetArena<()>), ArtifactError> {
     let _span = obs::span("artifact.load");
-    let bytes = std::fs::read(path)?;
+    let bytes = io.read(path)?;
     obs::counter("artifact.read_bytes", bytes.len() as u64);
     decode_arena(&bytes)
+}
+
+// ---------------------------------------------------------------------
+// Quarantine
+
+/// Suffix appended to a poisoned artifact when it is quarantined.
+pub const QUARANTINE_SUFFIX: &str = "quarantine";
+
+/// The quarantine destination for `path`: `<file>.quarantine`.
+pub fn quarantine_path(path: &Path) -> std::path::PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".to_string());
+    path.with_file_name(format!("{name}.{QUARANTINE_SUFFIX}"))
+}
+
+/// Moves a corrupt, truncated or version-skewed artifact aside as
+/// `<file>.quarantine` (replacing any previous quarantine of the same
+/// file) so the registry slot frees up for a rebuild while the poisoned
+/// bytes stay on disk for forensics. Counts `artifact.quarantined`.
+pub fn quarantine(io: &dyn ArtifactIo, path: &Path) -> Result<std::path::PathBuf, ArtifactError> {
+    let dest = quarantine_path(path);
+    io.rename(path, &dest)?;
+    obs::counter("artifact.quarantined", 1);
+    Ok(dest)
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,571 @@
+//! Injectable IO backend for the artifact registry.
+//!
+//! The artifact layer (see [`crate::artifact`]) is the durable half of
+//! the "mine once, recount forever" contract, so its writes must
+//! survive crashes: a process killed halfway through persisting a
+//! lattice must leave the registry either fully old or fully new —
+//! never a torn file that fails closed forever and silently costs a
+//! full re-mine on every later request.
+//!
+//! [`ArtifactIo`] abstracts the handful of filesystem operations the
+//! registry needs. [`DiskIo`] is the production implementation;
+//! [`atomic_write`] layers the crash-safe protocol on top of any
+//! backend:
+//!
+//! 1. write the payload to a fresh temp file *in the registry
+//!    directory* (same filesystem, so the rename is atomic),
+//! 2. fsync the temp file (data durable before it becomes visible),
+//! 3. rename it over the destination (atomic replace; readers see the
+//!    fully-old or the fully-new bytes, nothing in between),
+//! 4. fsync the directory (the rename itself durable).
+//!
+//! Transient `EINTR`-style failures are retried with bounded
+//! deterministic backoff ([`RETRY_LIMIT`]); every retry increments the
+//! `artifact.io_retries` counter and the process-wide total reported by
+//! [`retries_total`]. Any non-transient failure removes the temp file
+//! (best effort) and surfaces as a typed error — the destination is
+//! untouched.
+//!
+//! [`MemIo`] is a deterministic in-memory filesystem and [`FaultyIo`]
+//! wraps it with a scripted fault plan — partial writes, disk-full at a
+//! byte offset, transient errors, torn renames, and full crash stops —
+//! so the fault-injection proptests can drive every schedule
+//! reproducibly without touching a real disk.
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How many times a transient ([`io::ErrorKind::Interrupted`]) failure
+/// is retried before the operation fails for real.
+pub const RETRY_LIMIT: u32 = 4;
+
+static RETRIES: AtomicU64 = AtomicU64::new(0);
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of transient-error retries performed by
+/// [`atomic_write`] — surfaced in the `serve` loop's `stats` reply.
+pub fn retries_total() -> u64 {
+    RETRIES.load(Ordering::Relaxed)
+}
+
+/// The filesystem surface the artifact registry consumes. Implementors
+/// provide plain operations; crash safety comes from the
+/// [`atomic_write`] protocol layered on top.
+pub trait ArtifactIo {
+    /// Reads a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Creates (or truncates) `path` and writes `bytes`. Not atomic on
+    /// its own — callers persisting artifacts go through
+    /// [`atomic_write`].
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Forces file contents to stable storage.
+    fn sync_file(&self, path: &Path) -> io::Result<()>;
+    /// Atomically replaces `to` with `from` (same directory).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Forces directory metadata (a completed rename) to stable storage.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Removes a file; missing files are not an error for callers doing
+    /// best-effort cleanup, which ignore the result.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// True iff `path` exists.
+    fn exists(&self, path: &Path) -> bool;
+    /// Creates a directory and its parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+}
+
+// ---------------------------------------------------------------------
+// Production backend
+
+/// The real filesystem.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiskIo;
+
+impl ArtifactIo for DiskIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::File::open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Directory fsync is POSIX-specific; where a directory cannot
+        // be opened as a file (e.g. Windows), the rename is still
+        // atomic and this step degrades to a no-op.
+        match std::fs::File::open(dir) {
+            Ok(d) => d.sync_all(),
+            Err(_) => Ok(()),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Atomic durable write
+
+/// The temp-file name a write to `path` stages through: unique per
+/// process and per write, in the same directory as the destination.
+fn temp_path(path: &Path) -> PathBuf {
+    let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".to_string());
+    path.with_file_name(format!(".{name}.{}.{seq}.tmp", std::process::id()))
+}
+
+/// Retries `op` through transient ([`io::ErrorKind::Interrupted`])
+/// failures with bounded deterministic backoff. Any other error — and a
+/// transient error persisting past [`RETRY_LIMIT`] attempts — is
+/// returned as-is.
+fn with_retry<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted && attempt < RETRY_LIMIT => {
+                attempt += 1;
+                RETRIES.fetch_add(1, Ordering::Relaxed);
+                obs::counter("artifact.io_retries", 1);
+                // Deterministic exponential backoff, microseconds so
+                // the fault-injection suite stays fast.
+                std::thread::sleep(std::time::Duration::from_micros(50 << attempt));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Writes `bytes` to `path` crash-safely: temp file in the same
+/// directory, fsync, atomic rename, directory fsync. After a crash at
+/// any point the destination holds either its previous contents or the
+/// complete new payload; on error the temp file is removed best-effort
+/// and the destination is untouched.
+pub fn atomic_write(io: &dyn ArtifactIo, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let temp = temp_path(path);
+    let staged = with_retry(|| io.write(&temp, bytes))
+        .and_then(|()| with_retry(|| io.sync_file(&temp)))
+        .and_then(|()| with_retry(|| io.rename(&temp, path)));
+    if let Err(e) = staged {
+        let _ = io.remove_file(&temp);
+        return Err(e);
+    }
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        with_retry(|| io.sync_dir(dir))?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Deterministic in-memory backend
+
+/// An in-memory filesystem: deterministic, shareable, inspectable.
+/// The substrate [`FaultyIo`] injects faults over; also usable alone
+/// for hermetic tests.
+#[derive(Debug, Default)]
+pub struct MemIo {
+    files: Mutex<HashMap<PathBuf, Vec<u8>>>,
+    dirs: Mutex<HashSet<PathBuf>>,
+}
+
+impl MemIo {
+    pub fn new() -> Self {
+        MemIo::default()
+    }
+
+    /// Snapshot of one file's bytes, if present — what "the disk" holds
+    /// after a simulated crash.
+    pub fn contents(&self, path: &Path) -> Option<Vec<u8>> {
+        self.files.lock().unwrap().get(path).cloned()
+    }
+
+    /// Paths currently present, sorted (deterministic for assertions).
+    pub fn paths(&self) -> Vec<PathBuf> {
+        let mut paths: Vec<PathBuf> = self.files.lock().unwrap().keys().cloned().collect();
+        paths.sort();
+        paths
+    }
+
+    fn not_found(path: &Path) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("{}: no such file", path.display()),
+        )
+    }
+}
+
+impl ArtifactIo for MemIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.contents(path).ok_or_else(|| Self::not_found(path))
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.files
+            .lock()
+            .unwrap()
+            .insert(path.to_path_buf(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        if self.exists(path) {
+            Ok(())
+        } else {
+            Err(Self::not_found(path))
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut files = self.files.lock().unwrap();
+        let bytes = files.remove(from).ok_or_else(|| Self::not_found(from))?;
+        files.insert(to.to_path_buf(), bytes);
+        Ok(())
+    }
+
+    fn sync_dir(&self, _dir: &Path) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.files
+            .lock()
+            .unwrap()
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| Self::not_found(path))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.files.lock().unwrap().contains_key(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.dirs.lock().unwrap().insert(path.to_path_buf());
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection
+
+/// One scripted fault. Faults are consumed in plan order; each applies
+/// to the next operation of its kind ([`Fault::Transient`] applies to
+/// any operation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The next write persists only the first `offset` bytes of its
+    /// payload and the process "crashes": the error surfaces and every
+    /// later operation on this handle fails (the test inspects the
+    /// surviving [`MemIo`] as the post-crash disk).
+    CrashAtWrite { offset: usize },
+    /// The next write persists `offset` bytes, then reports the disk
+    /// full. The process stays alive; the caller sees a typed error.
+    DiskFull { offset: usize },
+    /// The next `count` operations (of any kind) fail with an
+    /// `EINTR`-style transient error, then operations succeed again.
+    Transient { count: u32 },
+    /// The next rename crashes: with `applied` the destination already
+    /// carries the new bytes, otherwise the old ones survive. Either
+    /// way the process dies mid-operation.
+    TornRename { applied: bool },
+}
+
+/// A deterministic fault-injecting [`ArtifactIo`] over a shared
+/// [`MemIo`]. Construct with a fault plan, drive the registry code, and
+/// inspect the underlying disk afterwards — including after simulated
+/// crashes, which a real process would not survive.
+pub struct FaultyIo {
+    disk: Arc<MemIo>,
+    state: Mutex<FaultState>,
+}
+
+#[derive(Debug)]
+struct FaultState {
+    plan: Vec<Fault>,
+    next: usize,
+    crashed: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum OpKind {
+    Write,
+    Rename,
+    Other,
+}
+
+impl FaultyIo {
+    /// Wraps `disk` with `plan`. The same `Arc<MemIo>` can outlive this
+    /// wrapper to model a post-crash restart.
+    pub fn new(disk: Arc<MemIo>, plan: Vec<Fault>) -> Self {
+        FaultyIo {
+            disk,
+            state: Mutex::new(FaultState {
+                plan,
+                next: 0,
+                crashed: false,
+            }),
+        }
+    }
+
+    /// The shared underlying disk.
+    pub fn disk(&self) -> Arc<MemIo> {
+        Arc::clone(&self.disk)
+    }
+
+    /// True once a crash fault has fired.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().unwrap().crashed
+    }
+
+    fn crash_error() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            "simulated crash: process is gone",
+        )
+    }
+
+    /// Consults the plan for the given operation. `Ok(None)` means
+    /// proceed normally; `Ok(Some(fault))` means the caller must apply
+    /// the fault's partial effect; `Err` is returned verbatim.
+    fn check(&self, kind: OpKind) -> io::Result<Option<Fault>> {
+        let mut state = self.state.lock().unwrap();
+        if state.crashed {
+            return Err(Self::crash_error());
+        }
+        let Some(&fault) = state.plan.get(state.next) else {
+            return Ok(None);
+        };
+        match (fault, kind) {
+            (Fault::Transient { count }, _) => {
+                let at = state.next;
+                if count <= 1 {
+                    state.next += 1;
+                } else {
+                    state.plan[at] = Fault::Transient { count: count - 1 };
+                }
+                Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "simulated transient failure",
+                ))
+            }
+            (Fault::CrashAtWrite { .. } | Fault::DiskFull { .. }, OpKind::Write) => {
+                state.next += 1;
+                if matches!(fault, Fault::CrashAtWrite { .. }) {
+                    state.crashed = true;
+                }
+                Ok(Some(fault))
+            }
+            (Fault::TornRename { .. }, OpKind::Rename) => {
+                state.next += 1;
+                state.crashed = true;
+                Ok(Some(fault))
+            }
+            // The pending fault targets a different operation kind;
+            // this operation proceeds normally and the fault waits.
+            _ => Ok(None),
+        }
+    }
+}
+
+impl ArtifactIo for FaultyIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.check(OpKind::Other)?;
+        self.disk.read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.check(OpKind::Write)? {
+            None => self.disk.write(path, bytes),
+            Some(Fault::CrashAtWrite { offset }) => {
+                let cut = offset.min(bytes.len());
+                self.disk.write(path, &bytes[..cut])?;
+                Err(Self::crash_error())
+            }
+            Some(Fault::DiskFull { offset }) => {
+                let cut = offset.min(bytes.len());
+                self.disk.write(path, &bytes[..cut])?;
+                Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "simulated disk full",
+                ))
+            }
+            Some(other) => unreachable!("non-write fault {other:?} dispatched to write"),
+        }
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        self.check(OpKind::Other)?;
+        self.disk.sync_file(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.check(OpKind::Rename)? {
+            None => self.disk.rename(from, to),
+            Some(Fault::TornRename { applied }) => {
+                if applied {
+                    self.disk.rename(from, to)?;
+                }
+                Err(Self::crash_error())
+            }
+            Some(other) => unreachable!("non-rename fault {other:?} dispatched to rename"),
+        }
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.check(OpKind::Other)?;
+        self.disk.sync_dir(dir)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.check(OpKind::Other)?;
+        self.disk.remove_file(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        // Existence checks don't consume faults: a crashed process is
+        // gone either way, and the plan targets mutations.
+        self.disk.exists(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.check(OpKind::Other)?;
+        self.disk.create_dir_all(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_files_on_mem_io() {
+        let io = MemIo::new();
+        atomic_write(&io, &p("reg/a.dxa"), b"old contents").unwrap();
+        atomic_write(&io, &p("reg/a.dxa"), b"new").unwrap();
+        assert_eq!(io.contents(&p("reg/a.dxa")).unwrap(), b"new");
+        assert_eq!(
+            io.paths().len(),
+            1,
+            "temp files never linger: {:?}",
+            io.paths()
+        );
+    }
+
+    #[test]
+    fn crash_mid_write_leaves_the_old_bytes() {
+        let disk = Arc::new(MemIo::new());
+        disk.write(&p("reg/a.dxa"), b"old contents").unwrap();
+        for offset in 0..8 {
+            let io = FaultyIo::new(Arc::clone(&disk), vec![Fault::CrashAtWrite { offset }]);
+            let err = atomic_write(&io, &p("reg/a.dxa"), b"new bytes").unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+            assert!(io.crashed());
+            assert_eq!(
+                disk.contents(&p("reg/a.dxa")).unwrap(),
+                b"old contents",
+                "offset {offset}: destination must be fully old"
+            );
+            // Clean the orphan temp file like a restart sweep would.
+            for stray in disk.paths() {
+                if stray != p("reg/a.dxa") {
+                    disk.remove_file(&stray).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torn_rename_is_fully_old_or_fully_new() {
+        for applied in [false, true] {
+            let disk = Arc::new(MemIo::new());
+            disk.write(&p("a.dxa"), b"old").unwrap();
+            let io = FaultyIo::new(Arc::clone(&disk), vec![Fault::TornRename { applied }]);
+            atomic_write(&io, &p("a.dxa"), b"new").unwrap_err();
+            let bytes = disk.contents(&p("a.dxa")).unwrap();
+            assert_eq!(bytes, if applied { b"new".as_slice() } else { b"old" });
+        }
+    }
+
+    #[test]
+    fn transient_errors_are_retried_within_the_bound() {
+        let disk = Arc::new(MemIo::new());
+        let io = FaultyIo::new(
+            Arc::clone(&disk),
+            vec![Fault::Transient { count: RETRY_LIMIT }],
+        );
+        let before = retries_total();
+        atomic_write(&io, &p("a.dxa"), b"payload").unwrap();
+        assert_eq!(disk.contents(&p("a.dxa")).unwrap(), b"payload");
+        assert!(retries_total() >= before + RETRY_LIMIT as u64);
+    }
+
+    #[test]
+    fn persistent_transient_errors_fail_typed_and_leave_old_bytes() {
+        let disk = Arc::new(MemIo::new());
+        disk.write(&p("a.dxa"), b"old").unwrap();
+        let io = FaultyIo::new(
+            Arc::clone(&disk),
+            vec![Fault::Transient {
+                count: RETRY_LIMIT + 1,
+            }],
+        );
+        let err = atomic_write(&io, &p("a.dxa"), b"new").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        assert_eq!(disk.contents(&p("a.dxa")).unwrap(), b"old");
+    }
+
+    #[test]
+    fn disk_full_fails_typed_cleans_up_and_keeps_old_bytes() {
+        let disk = Arc::new(MemIo::new());
+        disk.write(&p("a.dxa"), b"old").unwrap();
+        let io = FaultyIo::new(Arc::clone(&disk), vec![Fault::DiskFull { offset: 2 }]);
+        let err = atomic_write(&io, &p("a.dxa"), b"new payload").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        assert_eq!(disk.contents(&p("a.dxa")).unwrap(), b"old");
+        assert_eq!(disk.paths(), vec![p("a.dxa")], "temp cleaned up");
+    }
+
+    #[test]
+    fn disk_io_round_trips_through_a_real_directory() {
+        let dir = std::env::temp_dir().join(format!("artifact-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.bin");
+        let io = DiskIo;
+        atomic_write(&io, &path, b"first").unwrap();
+        atomic_write(&io, &path, b"second").unwrap();
+        assert_eq!(io.read(&path).unwrap(), b"second");
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            1,
+            "no temp files left behind"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

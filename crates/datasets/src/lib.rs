@@ -18,6 +18,7 @@
 
 pub mod adult;
 pub mod artifact;
+pub mod artifact_io;
 pub mod artificial;
 pub mod bank;
 pub mod bias;

@@ -49,6 +49,9 @@ pub struct ArenaCache {
     capacity_bytes: u64,
     resident_bytes: u64,
     tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
     slots: HashMap<CacheKey, Slot>,
 }
 
@@ -59,8 +62,26 @@ impl ArenaCache {
             capacity_bytes,
             resident_bytes: 0,
             tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
             slots: HashMap::new(),
         }
+    }
+
+    /// Lookups served from the cache since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that missed since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries evicted by the byte budget since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Cached lattices currently resident.
@@ -89,10 +110,12 @@ impl ArenaCache {
         match self.slots.get_mut(key) {
             Some(slot) => {
                 slot.last_used = self.tick;
+                self.hits += 1;
                 obs::counter("divexplorer.cache.hit", 1);
                 Some(Arc::clone(&slot.arena))
             }
             None => {
+                self.misses += 1;
                 obs::counter("divexplorer.cache.miss", 1);
                 None
             }
@@ -134,6 +157,7 @@ impl ArenaCache {
                 None => break,
             }
         }
+        self.evictions += evicted as u64;
         obs::counter("divexplorer.cache.eviction", evicted as u64);
         evicted
     }
@@ -221,6 +245,21 @@ mod tests {
         cache.insert(key(1), arena(16));
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.resident_bytes(), arena(16).approx_bytes());
+    }
+
+    #[test]
+    fn session_counters_track_hits_misses_and_evictions() {
+        let one = arena(8);
+        let mut cache = ArenaCache::new(2 * one.approx_bytes() + 1);
+        assert_eq!((cache.hits(), cache.misses(), cache.evictions()), (0, 0, 0));
+        assert!(cache.get(&key(1)).is_none());
+        cache.insert(key(1), arena(8));
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(2), arena(8));
+        cache.insert(key(3), arena(8)); // evicts the LRU entry
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.evictions(), 1);
     }
 
     #[test]
