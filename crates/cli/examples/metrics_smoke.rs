@@ -1,0 +1,106 @@
+//! CI smoke check for the live metrics plane: drives a real serve
+//! session in-process, scrapes `{"op":"metrics"}`, and validates the
+//! exposition with the in-repo Prometheus parser
+//! ([`obs::export::validate_prometheus`]) — so a malformed rendering
+//! can never reach an actual scraper unnoticed. Also cross-checks the
+//! `stats` and `metrics` views against each other: both are derived
+//! from the one live registry and must agree exactly.
+//!
+//! Run with `cargo run -p cli --example metrics_smoke`; exits nonzero
+//! (panics) on any violation.
+
+use cli::serve::serve_loop;
+use cli::Args;
+use serde_json::Value;
+
+const CSV: &str = "\
+grp,other,y,yhat
+a,x,0,1
+a,y,0,1
+a,x,0,1
+a,y,0,0
+b,x,0,0
+b,y,0,0
+b,x,0,0
+b,y,0,1
+";
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("metrics-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let csv_path = dir.join("toy.csv");
+    std::fs::write(&csv_path, CSV).expect("fixture csv");
+
+    let args = Args::parse(vec!["serve".to_string()]).expect("serve args");
+    let requests = [
+        format!(
+            r#"{{"op":"register","name":"toy","path":"{}","label":"y","pred":"yhat"}}"#,
+            csv_path.display()
+        ),
+        r#"{"op":"mine","name":"toy","support":0.25}"#.to_string(),
+        r#"{"op":"query","name":"toy","support":0.25,"top":3}"#.to_string(),
+        r#"{"op":"stats"}"#.to_string(),
+        r#"{"op":"metrics"}"#.to_string(),
+        r#"{"op":"metrics","format":"json"}"#.to_string(),
+        r#"{"op":"trace"}"#.to_string(),
+        r#"{"op":"shutdown"}"#.to_string(),
+    ];
+    let input = requests.join("\n");
+    let mut out = Vec::new();
+    serve_loop(&args, input.as_bytes(), &mut out).expect("serve loop");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let responses: Vec<Value> = String::from_utf8(out)
+        .expect("utf-8 responses")
+        .lines()
+        .map(|line| serde_json::from_str(line).expect("response json"))
+        .collect();
+    assert_eq!(responses.len(), requests.len(), "one response per request");
+    for (i, r) in responses.iter().enumerate() {
+        assert_eq!(r["ok"].as_bool(), Some(true), "request {i} failed: {r:?}");
+    }
+    let (stats, prom, json, trace) = (&responses[3], &responses[4], &responses[5], &responses[6]);
+
+    // The exposition itself must survive the in-repo Prometheus parser.
+    let body = prom["body"].as_str().expect("metrics body");
+    obs::export::validate_prometheus(body).expect("valid Prometheus exposition");
+
+    // Request latency quantiles are exported per op, for ops that ran.
+    for op in ["register", "mine", "query", "stats"] {
+        for q in ["p50", "p95", "p99"] {
+            let gauge = format!("divex_request_duration_us_{q}{{op=\"{op}\"}}");
+            assert!(body.contains(&gauge), "missing {gauge} in:\n{body}");
+        }
+    }
+    assert!(
+        body.contains("divex_request_duration_us_bucket"),
+        "latency histogram missing"
+    );
+
+    // stats, metrics (prometheus) and metrics (json) all derive from
+    // the one live registry: the scrape precedes them in arrival order,
+    // so counts line up exactly (stats was request 4, metrics 5 and 6).
+    let stats_requests = stats["requests"].as_u64().expect("stats.requests");
+    assert_eq!(stats_requests, 4, "stats sees itself and its precursors");
+    assert!(
+        body.contains("divex_serve_requests_total 5"),
+        "prometheus scrape must count its own request: {body}"
+    );
+    let json_requests = json["counters"]["serve.requests"]
+        .as_u64()
+        .expect("json counters");
+    assert_eq!(json_requests, 6, "json scrape counts itself too");
+    assert_eq!(json["counters"]["serve.failures"].as_u64(), None);
+    assert!(json["latencies"]["mine"]["p99_le_us"].as_u64().is_some());
+
+    // The flight recorder retained every request so far, whole — the
+    // six completed ones plus the trace request itself, still in flight
+    // while it renders the ring.
+    assert_eq!(trace["retained"].as_u64(), Some(7));
+    let ndjson = trace["body"].as_str().expect("trace body");
+    assert!(ndjson.contains("\"ev\":\"request_start\""));
+    assert!(ndjson.contains("\"op\":\"mine\""));
+    assert!(ndjson.contains("\"span\":\"serve.request\""));
+
+    println!("metrics_smoke: exposition valid, views consistent, traces whole");
+}

@@ -80,6 +80,14 @@ pub struct Args {
     /// Per-request wall-clock deadline for `serve`, in milliseconds: an
     /// over-budget request fails soft and the loop continues.
     pub request_timeout_ms: Option<u64>,
+    /// Periodically snapshot the serve metrics registry to this path as
+    /// a Prometheus text exposition (crash-safe atomic writes).
+    pub metrics_file: Option<String>,
+    /// Interval between `--metrics-file` snapshots, in milliseconds.
+    pub metrics_interval_ms: u64,
+    /// Slow-request threshold for `serve`, in milliseconds: a request at
+    /// or over it dumps its flight-recorder trace to stderr.
+    pub slow_ms: Option<u64>,
     /// Cap on the number of mined itemsets.
     pub max_itemsets: Option<u64>,
     /// Cap on the itemset length explored.
@@ -196,15 +204,16 @@ USAGE:
   divexplorer index   --input FILE --label COL --pred COL --name NAME --artifact DIR
   divexplorer probe   --artifact FILE
   divexplorer analyze --artifact DIR --name NAME [options]
-  divexplorer serve   [--artifact DIR] [--request-timeout-ms MS]
+  divexplorer serve   [--artifact DIR] [--request-timeout-ms MS] \\
+      [--metrics-file FILE] [--slow-ms MS]
 
 ARTIFACTS:
   `index` encodes the dataset and mines + persists its frequent lattice as
   checksummed artifacts under DIR; `analyze` re-analyzes from them with a
   streaming recount (no mining phase) — use the same --support/--engine as
   the index run so the registry key matches. `serve` answers NDJSON
-  requests (register/mine/query/stats/shutdown) on stdin, one JSON reply
-  per line, caching lattices in memory and in DIR when given. Registry
+  requests (register/mine/query/stats/metrics/trace/shutdown) on stdin,
+  one JSON reply per line, caching lattices in memory and in DIR when given. Registry
   writes are crash-safe (temp file + fsync + atomic rename); a corrupt
   lattice artifact is quarantined (*.quarantine) and rebuilt by re-mining,
   and serve isolates every request (panics and expired deadlines fail
@@ -229,6 +238,14 @@ OPTIONS:
   --request-timeout-ms MS
                      per-request deadline for serve; an over-budget request
                      answers {\"ok\":false,...} and the loop continues
+  --metrics-file FILE
+                     serve: periodically snapshot the live metrics registry
+                     to FILE as a Prometheus text exposition (atomic writes)
+  --metrics-interval-ms MS
+                     interval between --metrics-file snapshots [1000]
+  --slow-ms MS       serve: a request taking >= MS dumps its flight-recorder
+                     trace (full span tree) to stderr; panics and expired
+                     deadlines always dump
   --max-itemsets N   stop after mining N itemsets (exit code 4 when hit)
   --max-depth D      do not explore itemsets longer than D (exit code 4)
   --trace-json FILE  stream telemetry (spans, counters, histograms) to FILE
@@ -281,6 +298,9 @@ impl Args {
             dot: false,
             timeout_ms: None,
             request_timeout_ms: None,
+            metrics_file: None,
+            metrics_interval_ms: 1_000,
+            slow_ms: None,
             max_itemsets: None,
             max_depth: None,
             trace_json: None,
@@ -318,6 +338,12 @@ impl Args {
                         "--request-timeout-ms",
                     )?)
                 }
+                "--metrics-file" => args.metrics_file = Some(value("--metrics-file")?),
+                "--metrics-interval-ms" => {
+                    args.metrics_interval_ms =
+                        parse_num(&value("--metrics-interval-ms")?, "--metrics-interval-ms")?
+                }
+                "--slow-ms" => args.slow_ms = Some(parse_num(&value("--slow-ms")?, "--slow-ms")?),
                 "--max-itemsets" => {
                     args.max_itemsets =
                         Some(parse_num(&value("--max-itemsets")?, "--max-itemsets")?)

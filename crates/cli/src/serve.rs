@@ -18,6 +18,10 @@
 //! {"op":"query","name":"d1","support":0.1,"metric":"FPR","top":5}
 //! {"op":"query","name":"d1","support":0.1,"u":[0,1,1,0]}
 //! {"op":"stats"}
+//! {"op":"metrics"}
+//! {"op":"metrics","format":"json"}
+//! {"op":"trace"}
+//! {"op":"trace","req":7}
 //! {"op":"panic"}
 //! {"op":"shutdown"}
 //! ```
@@ -47,20 +51,42 @@
 //! - **Soft persistence.** A failing registry write degrades to
 //!   serving from memory with a warning, never to a failed request.
 //!
-//! `stats` reports the session's counters for all of the above:
-//! `requests`, `failures`, `panics`, `timeouts`, `quarantines`,
-//! `persist_failures`, `io_retries`, and the cache's
+//! # Live observability (see DESIGN.md §6i)
+//!
+//! Every request gets a monotone id and runs under an
+//! [`obs::request_scope`], so all telemetry it emits — spans, counters,
+//! histograms, even from parallel mining workers — is attributable to
+//! it. The loop installs (teeing with any recorder already present,
+//! e.g. `--trace-json`) one fused [`obs::LiveRecorder`] *plane* — the
+//! metrics registry and the always-on flight recorder behind a single
+//! lock, so every event pays one mutex and both views stay mutually
+//! consistent — for the loop's lifetime:
+//!
+//! - The registry half is the **single source of truth** for every
+//!   session counter. `stats` (operator-friendly JSON), `metrics`
+//!   (Prometheus text exposition with per-op latency histograms and
+//!   p50/p95/p99) and `--metrics-file` periodic snapshots are all
+//!   derived views of the same registry — they cannot diverge.
+//! - The flight half retains the last N requests' complete event
+//!   streams in a fixed-size ring. `trace` dumps it; a panicking,
+//!   timed-out or `--slow-ms`-slow request automatically dumps its own
+//!   trace to stderr, so every soft failure ships its span tree.
+//!
+//! `stats` fields: `requests`, `failures`, `panics`, `timeouts`,
+//! `quarantines`, `persist_failures`, `io_retries`, and the cache's
 //! `cache_hits`/`cache_misses`/`cache_evictions`.
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use datasets::artifact::{self, ArenaKey};
 use datasets::artifact_io::{self, ArtifactIo, DiskIo};
 use divexplorer::{ArenaCache, CacheKey, DiscreteDataset, DivExplorer, SortBy};
 use fpm::{ItemsetArena, TruncationReason};
+use obs::LiveRecorder;
 use serde_json::Value;
 
 use crate::artifacts::{candidates_of, engine_label};
@@ -76,56 +102,202 @@ struct Registered {
     hash: u64,
 }
 
-/// Per-session fault and traffic counters, reported by `stats`.
-#[derive(Debug, Default)]
-struct ServeStats {
-    requests: u64,
-    failures: u64,
-    panics: u64,
-    timeouts: u64,
-    quarantines: u64,
-    persist_failures: u64,
-}
-
 struct ServeState {
     /// On-disk artifact registry, if `--artifact DIR` was given.
     dir: Option<PathBuf>,
     datasets: HashMap<String, Registered>,
     cache: ArenaCache,
-    stats: ServeStats,
-    /// [`artifact_io::retries_total`] at loop start, so `stats` reports
-    /// this session's transient-IO retries, not the process total.
-    retries_base: u64,
+    /// The session's live telemetry plane: metrics registry and flight
+    /// ring fused behind one lock — the single source of truth every
+    /// counter in `stats`, `metrics`, `trace` and `--metrics-file`
+    /// derives from.
+    plane: Arc<LiveRecorder>,
+}
+
+/// Serializes serve sessions' use of the process-global obs facade
+/// (in-process test loops would otherwise cross-pollute registries).
+static OBS_SESSION: Mutex<()> = Mutex::new(());
+
+/// Installs the serve telemetry plane (the fused [`LiveRecorder`],
+/// teeing with any recorder already present, e.g. `--trace-json`) for
+/// the lifetime of the guard; restores the previous state on drop.
+struct ObsSession {
+    _lock: MutexGuard<'static, ()>,
+    prev: Option<Arc<dyn obs::Recorder>>,
+}
+
+impl ObsSession {
+    fn install(plane: Arc<LiveRecorder>) -> ObsSession {
+        // A panicked serve test must not poison later sessions; the
+        // lock only serializes, it guards no invariant of its own.
+        let lock = OBS_SESSION
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let prev = obs::current();
+        match prev.clone() {
+            // The common production shape: the plane alone, no tee hop.
+            None => obs::install(plane),
+            Some(extra) => obs::install(Arc::new(obs::Tee(vec![plane, extra]))),
+        }
+        ObsSession { _lock: lock, prev }
+    }
+}
+
+impl Drop for ObsSession {
+    fn drop(&mut self) {
+        match self.prev.take() {
+            Some(prev) => obs::install(prev),
+            None => {
+                obs::uninstall();
+            }
+        }
+    }
+}
+
+/// Periodic `--metrics-file` snapshots: the registry rendered as a
+/// Prometheus exposition, written through the crash-safe
+/// [`artifact_io::atomic_write`] protocol so a scraper never reads a
+/// torn file.
+struct MetricsSink {
+    path: Option<PathBuf>,
+    interval: Duration,
+    last_write: Option<Instant>,
+}
+
+impl MetricsSink {
+    fn new(args: &Args) -> MetricsSink {
+        MetricsSink {
+            path: args.metrics_file.as_ref().map(PathBuf::from),
+            interval: Duration::from_millis(args.metrics_interval_ms),
+            last_write: None,
+        }
+    }
+
+    fn maybe_write(&mut self, registry: &LiveRecorder, force: bool, diag: &mut dyn Write) {
+        let Some(path) = &self.path else { return };
+        let due = match self.last_write {
+            None => true,
+            Some(at) => at.elapsed() >= self.interval,
+        };
+        if !force && !due {
+            return;
+        }
+        self.last_write = Some(Instant::now());
+        let body = obs::export::prometheus(&registry.snapshot());
+        if let Err(e) = artifact_io::atomic_write(&DiskIo, path, body.as_bytes()) {
+            // Best-effort like all telemetry: a full disk must not take
+            // down the service, but the operator should hear about it.
+            obs::counter("serve.metrics_write_failures", 1);
+            let _ = writeln!(
+                diag,
+                "serve: metrics snapshot {} failed: {e}",
+                path.display()
+            );
+        }
+    }
+}
+
+/// Maps the (possibly unparseable) request to a static op label for
+/// request scoping and the per-op latency histograms.
+fn op_label(parsed: &Result<Value, String>) -> &'static str {
+    match parsed {
+        Err(_) => "invalid",
+        Ok(request) => match request["op"].as_str() {
+            Some("register") => "register",
+            Some("mine") => "mine",
+            Some("query") => "query",
+            Some("stats") => "stats",
+            Some("metrics") => "metrics",
+            Some("trace") => "trace",
+            Some("panic") => "panic",
+            Some("shutdown") => "shutdown",
+            Some(_) => "unknown",
+            None => "invalid",
+        },
+    }
+}
+
+/// Writes one flagged request's flight-recorder slice to the diagnostic
+/// stream (stderr in production): a one-line header, then the trace as
+/// NDJSON — the request's complete span tree.
+fn dump_flagged_trace(
+    flight: &LiveRecorder,
+    req_id: u64,
+    reason: &str,
+    elapsed: Duration,
+    diag: &mut dyn Write,
+) {
+    let header = format!(
+        "serve: request {req_id} flagged ({reason}, {}ms); flight-recorder trace follows",
+        elapsed.as_millis()
+    );
+    match flight.trace_of(req_id) {
+        Some(trace) => {
+            let _ = writeln!(diag, "{header}");
+            let _ = diag.write_all(trace.render_ndjson().as_bytes());
+        }
+        None => {
+            let _ = writeln!(diag, "{header} (trace already evicted)");
+        }
+    }
+    let _ = diag.flush();
 }
 
 /// Runs the request loop until `shutdown` or end of input. Exposed over
-/// generic reader/writer so tests drive it in-process.
-pub fn serve_loop<R: BufRead, W: Write>(args: &Args, input: R, mut out: W) -> Result<(), CliError> {
+/// generic reader/writer so tests drive it in-process. Flight-recorder
+/// dumps for flagged requests go to stderr.
+pub fn serve_loop<R: BufRead, W: Write>(args: &Args, input: R, out: W) -> Result<(), CliError> {
+    serve_loop_with_diag(args, input, out, &mut std::io::stderr())
+}
+
+/// [`serve_loop`] with an explicit diagnostic stream, so tests can
+/// capture the slow/panic/timeout trace dumps in-process.
+pub fn serve_loop_with_diag<R: BufRead, W: Write>(
+    args: &Args,
+    input: R,
+    mut out: W,
+    diag: &mut dyn Write,
+) -> Result<(), CliError> {
+    let plane = Arc::new(LiveRecorder::default());
+    let _obs = ObsSession::install(Arc::clone(&plane));
     let mut state = ServeState {
         dir: (!args.artifact.is_empty()).then(|| PathBuf::from(&args.artifact)),
         datasets: HashMap::new(),
         cache: ArenaCache::new(DEFAULT_CACHE_BYTES),
-        stats: ServeStats::default(),
-        retries_base: artifact_io::retries_total(),
+        plane: Arc::clone(&plane),
     };
+    let mut metrics_sink = MetricsSink::new(args);
+    let mut next_request_id: u64 = 1;
     for line in input.lines() {
         let line = line.map_err(|e| CliError::Input(format!("request stream: {e}")))?;
         if line.trim().is_empty() {
             continue;
         }
-        state.stats.requests += 1;
+        let req_id = next_request_id;
+        next_request_id += 1;
+        obs::counter("serve.requests", 1);
+        let parsed: Result<Value, String> =
+            serde_json::from_str(&line).map_err(|e| format!("bad request: {e}"));
+        let op = op_label(&parsed);
+        let timeouts_before = plane.counter_value("serve.timeouts");
+        let started = Instant::now();
+        let mut panicked = false;
         // Per-request isolation: a panicking handler is contained here
         // and becomes a soft failure; the loop (and every registered
         // dataset and cached lattice) survives.
         let (mut response, shutdown) = {
-            let _span = obs::span("serve.request");
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                handle_request(&mut state, args, &line)
+                // The request scope lives *inside* catch_unwind so its
+                // drop runs during unwinding — the flight recorder sees
+                // request_end and the trace below is complete.
+                let _req = obs::request_scope(req_id, op);
+                let _span = obs::span("serve.request");
+                handle_request(&mut state, args, &parsed)
             }));
             match outcome {
                 Ok(reply) => reply,
                 Err(payload) => {
-                    state.stats.panics += 1;
+                    panicked = true;
                     obs::counter("serve.panics", 1);
                     (
                         fail(format!(
@@ -137,8 +309,25 @@ pub fn serve_loop<R: BufRead, W: Write>(args: &Args, input: R, mut out: W) -> Re
                 }
             }
         };
+        let elapsed = started.elapsed();
         if response["ok"].as_bool() != Some(true) {
-            state.stats.failures += 1;
+            obs::counter("serve.failures", 1);
+        }
+        // Every soft failure ships its own trace: panics and expired
+        // deadlines always dump, plus anything over `--slow-ms`.
+        let timed_out = plane.counter_value("serve.timeouts") > timeouts_before;
+        let slow = args
+            .slow_ms
+            .is_some_and(|ms| elapsed.as_millis() as u64 >= ms);
+        if panicked || timed_out || slow {
+            let reason = if panicked {
+                "panic"
+            } else if timed_out {
+                "timeout"
+            } else {
+                "slow"
+            };
+            dump_flagged_trace(&plane, req_id, reason, elapsed, diag);
         }
         // A NaN or infinite statistic (a degenerate slice's divergence)
         // must not poison the response stream: non-finite floats become
@@ -149,10 +338,13 @@ pub fn serve_loop<R: BufRead, W: Write>(args: &Args, input: R, mut out: W) -> Re
         writeln!(out, "{text}").map_err(|e| CliError::Input(format!("response stream: {e}")))?;
         out.flush()
             .map_err(|e| CliError::Input(format!("response stream: {e}")))?;
+        metrics_sink.maybe_write(&plane, false, diag);
         if shutdown {
             break;
         }
     }
+    // Final snapshot so a scraper sees the session's last word.
+    metrics_sink.maybe_write(&plane, true, diag);
     Ok(())
 }
 
@@ -271,20 +463,26 @@ fn bool_vector(value: &Value, n_rows: usize) -> Result<Vec<bool>, Value> {
 // ---------------------------------------------------------------------
 // Request dispatch
 
-fn handle_request(state: &mut ServeState, args: &Args, line: &str) -> (Value, bool) {
-    let request: Value = match serde_json::from_str(line) {
+fn handle_request(
+    state: &mut ServeState,
+    args: &Args,
+    parsed: &Result<Value, String>,
+) -> (Value, bool) {
+    let request = match parsed {
         Ok(v) => v,
-        Err(e) => return (fail(format!("bad request: {e}")), false),
+        Err(e) => return (fail(e.clone()), false),
     };
     let op = match request["op"].as_str() {
         Some(op) => op.to_string(),
         None => return (fail("'op' (string) is required"), false),
     };
     let response = match op.as_str() {
-        "register" => handle_register(state, args, &request),
-        "mine" => handle_mine(state, args, &request),
-        "query" => handle_query(state, args, &request),
+        "register" => handle_register(state, args, request),
+        "mine" => handle_mine(state, args, request),
+        "query" => handle_query(state, args, request),
         "stats" => Ok(handle_stats(state)),
+        "metrics" => handle_metrics(state, request),
+        "trace" => handle_trace(state, request),
         // Deliberate fault drill: proves panic containment end to end.
         "panic" => panic!("panic op requested"),
         "shutdown" => return (ok("shutdown", vec![]), true),
@@ -293,7 +491,12 @@ fn handle_request(state: &mut ServeState, args: &Args, line: &str) -> (Value, bo
     (response.unwrap_or_else(|e| e), false)
 }
 
+/// The `stats` reply. Every counter is read back from the obs registry
+/// — the same store `metrics` renders — so the two views cannot
+/// diverge; only the structural gauges (dataset/cache occupancy) come
+/// from the state directly.
 fn handle_stats(state: &ServeState) -> Value {
+    let reg = &state.plane;
     ok(
         "stats",
         vec![
@@ -301,21 +504,128 @@ fn handle_stats(state: &ServeState) -> Value {
             ("cached_lattices", num(state.cache.len() as u64)),
             ("resident_bytes", num(state.cache.resident_bytes())),
             ("capacity_bytes", num(state.cache.capacity_bytes())),
-            ("requests", num(state.stats.requests)),
-            ("failures", num(state.stats.failures)),
-            ("panics", num(state.stats.panics)),
-            ("timeouts", num(state.stats.timeouts)),
-            ("quarantines", num(state.stats.quarantines)),
-            ("persist_failures", num(state.stats.persist_failures)),
+            ("requests", num(reg.counter_value("serve.requests"))),
+            ("failures", num(reg.counter_value("serve.failures"))),
+            ("panics", num(reg.counter_value("serve.panics"))),
+            ("timeouts", num(reg.counter_value("serve.timeouts"))),
+            ("quarantines", num(reg.counter_value("serve.quarantines"))),
             (
-                "io_retries",
-                num(artifact_io::retries_total() - state.retries_base),
+                "persist_failures",
+                num(reg.counter_value("serve.persist_failures")),
             ),
-            ("cache_hits", num(state.cache.hits())),
-            ("cache_misses", num(state.cache.misses())),
-            ("cache_evictions", num(state.cache.evictions())),
+            ("io_retries", num(reg.counter_value("artifact.io_retries"))),
+            (
+                "cache_hits",
+                num(reg.counter_value("divexplorer.cache.hit")),
+            ),
+            (
+                "cache_misses",
+                num(reg.counter_value("divexplorer.cache.miss")),
+            ),
+            (
+                "cache_evictions",
+                num(reg.counter_value("divexplorer.cache.eviction")),
+            ),
         ],
     )
+}
+
+/// The `metrics` reply: the registry as a Prometheus text exposition
+/// (default), or as a machine-friendly JSON digest with
+/// `"format":"json"`.
+fn handle_metrics(state: &ServeState, request: &Value) -> Result<Value, Value> {
+    let snap = state.plane.snapshot();
+    match str_field(request, "format").as_deref() {
+        None | Some("prometheus") => Ok(ok(
+            "metrics",
+            vec![
+                ("format", text("prometheus")),
+                ("body", text(obs::export::prometheus(&snap))),
+            ],
+        )),
+        Some("json") => {
+            let counters = Value::Object(
+                snap.counters
+                    .iter()
+                    .map(|(name, v)| (name.clone(), num(*v)))
+                    .collect(),
+            );
+            let latencies = Value::Object(
+                snap.latencies
+                    .iter()
+                    .map(|(op, h)| {
+                        let max = h.max().unwrap_or(0);
+                        (
+                            op.clone(),
+                            obj(vec![
+                                ("count", num(h.count())),
+                                ("p50_le_us", num(h.quantile_le(0.50).unwrap_or(max))),
+                                ("p95_le_us", num(h.quantile_le(0.95).unwrap_or(max))),
+                                ("p99_le_us", num(h.quantile_le(0.99).unwrap_or(max))),
+                                ("max_us", num(max)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            );
+            Ok(ok(
+                "metrics",
+                vec![
+                    ("format", text("json")),
+                    ("counters", counters),
+                    ("latencies", latencies),
+                    ("open_requests", num(snap.open_requests)),
+                ],
+            ))
+        }
+        Some(other) => Err(fail(format!(
+            "unknown metrics format '{other}' (want 'prometheus' or 'json')"
+        ))),
+    }
+}
+
+/// The `trace` reply: the flight recorder's retained traces (or one
+/// request's, with `"req":N`) rendered as NDJSON in `body`.
+fn handle_trace(state: &ServeState, request: &Value) -> Result<Value, Value> {
+    match &request["req"] {
+        Value::Null => {
+            let traces = state.plane.traces();
+            Ok(ok(
+                "trace",
+                vec![
+                    ("retained", num(traces.len() as u64)),
+                    ("evicted", num(state.plane.evicted())),
+                    (
+                        "body",
+                        text(
+                            traces
+                                .iter()
+                                .map(obs::RequestTrace::render_ndjson)
+                                .collect::<String>(),
+                        ),
+                    ),
+                ],
+            ))
+        }
+        v => {
+            let id = v
+                .as_u64()
+                .ok_or_else(|| fail("'req' must be a request id (non-negative integer)"))?;
+            let trace = state.plane.trace_of(id).ok_or_else(|| {
+                fail(format!(
+                    "request {id} is not in the flight recorder (never seen or evicted)"
+                ))
+            })?;
+            Ok(ok(
+                "trace",
+                vec![
+                    ("req", num(id)),
+                    ("events", num(trace.events.len() as u64)),
+                    ("body", text(trace.render_ndjson())),
+                ],
+            ))
+        }
+    }
 }
 
 fn handle_register(state: &mut ServeState, args: &Args, request: &Value) -> Result<Value, Value> {
@@ -379,12 +689,11 @@ fn request_budget(args: &Args) -> fpm::Budget {
 }
 
 /// Maps a truncation to a soft error, counting deadline expiries.
-fn truncation_failure(stats: &mut ServeStats, reason: TruncationReason, what: &str) -> Value {
+fn truncation_failure(reason: TruncationReason, what: &str) -> Value {
     if matches!(
         reason,
         TruncationReason::Timeout | TruncationReason::Cancelled
     ) {
-        stats.timeouts += 1;
         obs::counter("serve.timeouts", 1);
         fail(format!(
             "request deadline expired during {what} ({reason}); raise \
@@ -400,8 +709,7 @@ fn truncation_failure(stats: &mut ServeStats, reason: TruncationReason, what: &s
 /// Moves a poisoned registry artifact aside and records the recovery.
 /// Never fails the request: if even the rename fails, the warning says
 /// so and the rebuild proceeds regardless.
-fn quarantine_artifact(stats: &mut ServeStats, path: &Path, why: &str, warnings: &mut Vec<String>) {
-    stats.quarantines += 1;
+fn quarantine_artifact(path: &Path, why: &str, warnings: &mut Vec<String>) {
     obs::counter("serve.quarantines", 1);
     match artifact::quarantine(&DiskIo, path) {
         Ok(dest) => warnings.push(format!(
@@ -466,12 +774,11 @@ fn ensure_lattice(
                     return Ok((arena, "artifact", support));
                 }
                 Ok(_) => quarantine_artifact(
-                    &mut state.stats,
                     &path,
                     "artifact key does not match its file name",
                     warnings,
                 ),
-                Err(e) => quarantine_artifact(&mut state.stats, &path, &e.to_string(), warnings),
+                Err(e) => quarantine_artifact(&path, &e.to_string(), warnings),
             }
         }
     }
@@ -484,7 +791,7 @@ fn ensure_lattice(
         .explore(&reg.data, &reg.v, &reg.u, &args.metrics)
         .map_err(|e| fail(e.to_string()))?;
     if let Some(reason) = report.completeness().truncation_reason() {
-        return Err(truncation_failure(&mut state.stats, reason, "mining"));
+        return Err(truncation_failure(reason, "mining"));
     }
     let candidates = candidates_of(&report);
     if let Some(dir) = &state.dir {
@@ -498,7 +805,6 @@ fn ensure_lattice(
             .map_err(artifact::ArtifactError::from)
             .and_then(|()| artifact::save_arena(&path, &arena_key, &candidates));
         if let Err(e) = persisted {
-            state.stats.persist_failures += 1;
             obs::counter("serve.persist_failures", 1);
             warnings.push(format!(
                 "artifact registry write failed ({e}); serving from memory only"
@@ -576,7 +882,7 @@ fn handle_query(state: &mut ServeState, args: &Args, request: &Value) -> Result<
         // The recount engine emits nothing when cut mid-phase, so a
         // truncated recount must fail soft — not return empty results
         // that look like "no divergence anywhere".
-        return Err(truncation_failure(&mut state.stats, reason, "recount"));
+        return Err(truncation_failure(reason, "recount"));
     }
 
     let mut rows = Vec::new();
@@ -637,16 +943,24 @@ b,y,0,1
         dir
     }
 
-    /// Drives the loop over in-memory NDJSON and parses each response.
-    fn drive(args: &Args, requests: &[&str]) -> Vec<Value> {
+    /// Drives the loop over in-memory NDJSON and parses each response,
+    /// also returning the captured diagnostic (trace-dump) stream.
+    fn drive_with_diag(args: &Args, requests: &[&str]) -> (Vec<Value>, String) {
         let input = requests.join("\n");
         let mut out = Vec::new();
-        serve_loop(args, input.as_bytes(), &mut out).unwrap();
-        String::from_utf8(out)
+        let mut diag = Vec::new();
+        serve_loop_with_diag(args, input.as_bytes(), &mut out, &mut diag).unwrap();
+        let responses = String::from_utf8(out)
             .unwrap()
             .lines()
             .map(|line| serde_json::from_str(line).unwrap())
-            .collect()
+            .collect();
+        (responses, String::from_utf8(diag).unwrap())
+    }
+
+    /// Drives the loop over in-memory NDJSON and parses each response.
+    fn drive(args: &Args, requests: &[&str]) -> Vec<Value> {
+        drive_with_diag(args, requests).0
     }
 
     fn register_line(csv_path: &std::path::Path) -> String {
@@ -1050,6 +1364,216 @@ a,y,1,0
                 .unwrap()
                 .contains("unsupported artifact version"),
             "{warnings:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_exposition_is_valid_prometheus_with_latency_quantiles() {
+        let dir = temp_dir("metrics");
+        let csv_path = dir.join("toy.csv");
+        std::fs::write(&csv_path, CSV).unwrap();
+        let register = register_line(&csv_path);
+        let responses = drive(
+            &serve_args(""),
+            &[
+                &register,
+                r#"{"op":"mine","name":"toy","support":0.25}"#,
+                r#"{"op":"query","name":"toy","support":0.25,"top":1}"#,
+                r#"{"op":"metrics"}"#,
+            ],
+        );
+        let metrics = &responses[3];
+        assert_eq!(metrics["ok"].as_bool(), Some(true), "{metrics:?}");
+        assert_eq!(metrics["format"].as_str(), Some("prometheus"));
+        let body = metrics["body"].as_str().unwrap();
+        obs::export::validate_prometheus(body).unwrap();
+        // Session counters, per-op latency histograms, and the three
+        // quantile gauges the issue demands.
+        assert!(body.contains("divex_serve_requests_total 4"), "{body}");
+        assert!(
+            body.contains("divex_request_duration_us_bucket{op=\"mine\",le=\"+Inf\"} 1"),
+            "{body}"
+        );
+        for q in ["p50", "p95", "p99"] {
+            assert!(
+                body.contains(&format!("divex_request_duration_us_{q}{{op=\"query\"}}")),
+                "missing {q}: {body}"
+            );
+        }
+        // Mining spans landed in the same registry.
+        assert!(
+            body.contains("divex_span_total{span=\"serve.request\"}"),
+            "{body}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_and_metrics_derive_from_one_registry_and_cannot_diverge() {
+        // The satellite regression: after mixed traffic (successes,
+        // failures, a panic, a timeout), `stats` and `metrics` must
+        // report the *same* fault counters — and consecutive replies
+        // must show `requests` advancing by exactly one, proving both
+        // read one live ledger rather than two hand-rolled ones.
+        let dir = temp_dir("one-registry");
+        let csv_path = dir.join("toy.csv");
+        std::fs::write(&csv_path, CSV).unwrap();
+        let register = register_line(&csv_path);
+        let responses = drive(
+            &serve_args(""),
+            &[
+                &register,
+                r#"{"op":"mine","name":"toy","support":0.25}"#,
+                r#"{"op":"launch"}"#,
+                r#"{"op":"panic"}"#,
+                r#"{"op":"stats"}"#,
+                r#"{"op":"metrics","format":"json"}"#,
+                r#"{"op":"stats"}"#,
+            ],
+        );
+        let (stats_a, metrics, stats_b) = (&responses[4], &responses[5], &responses[6]);
+        assert_eq!(metrics["ok"].as_bool(), Some(true), "{metrics:?}");
+        let counters = &metrics["counters"];
+        for (stats_key, counter_key) in [
+            ("failures", "serve.failures"),
+            ("panics", "serve.panics"),
+            ("timeouts", "serve.timeouts"),
+            ("quarantines", "serve.quarantines"),
+            ("persist_failures", "serve.persist_failures"),
+        ] {
+            let in_stats = stats_a[stats_key].as_u64().unwrap();
+            let in_metrics = counters[counter_key].as_u64().unwrap_or(0);
+            assert_eq!(in_stats, in_metrics, "{stats_key} diverged");
+            assert_eq!(stats_b[stats_key].as_u64().unwrap(), in_stats);
+        }
+        assert_eq!(stats_a["panics"].as_u64(), Some(1));
+        assert_eq!(stats_a["failures"].as_u64(), Some(2));
+        // One shared monotone requests counter: each reply sees itself.
+        assert_eq!(stats_a["requests"].as_u64(), Some(5));
+        assert_eq!(counters["serve.requests"].as_u64(), Some(6));
+        assert_eq!(stats_b["requests"].as_u64(), Some(7));
+        // Per-op latency histograms cover every op seen so far.
+        for op in ["register", "mine", "unknown", "panic", "stats"] {
+            assert!(
+                metrics["latencies"][op]["count"].as_u64().unwrap() >= 1,
+                "no latency for {op}: {metrics:?}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_op_returns_the_requests_complete_span_tree() {
+        let dir = temp_dir("trace-op");
+        let csv_path = dir.join("toy.csv");
+        std::fs::write(&csv_path, CSV).unwrap();
+        let register = register_line(&csv_path);
+        let responses = drive(
+            &serve_args(""),
+            &[
+                &register,
+                r#"{"op":"mine","name":"toy","support":0.25}"#,
+                r#"{"op":"trace","req":2}"#,
+                r#"{"op":"trace"}"#,
+                r#"{"op":"trace","req":99}"#,
+            ],
+        );
+        let one = &responses[2];
+        assert_eq!(one["ok"].as_bool(), Some(true), "{one:?}");
+        let body = one["body"].as_str().unwrap();
+        assert!(
+            body.contains(r#""ev":"request_start","op":"mine""#),
+            "{body}"
+        );
+        assert!(body.contains(r#""ev":"request_end""#), "{body}");
+        // The mine request's span tree is attributed to it, down to the
+        // mining engine spans, with matched enter/exit pairs.
+        assert!(body.contains(r#""span":"serve.request""#), "{body}");
+        assert!(body.contains(r#""span":"explore.mine""#), "{body}");
+        let enters = body.matches(r#""ev":"span_enter""#).count();
+        let exits = body.matches(r#""ev":"span_exit""#).count();
+        assert!(enters >= 2, "{body}");
+        assert_eq!(enters, exits, "unbalanced span tree: {body}");
+        for line in body.lines() {
+            assert!(line.contains("\"req\":2"), "foreign event in trace: {line}");
+        }
+        let all = &responses[3];
+        assert_eq!(all["retained"].as_u64(), Some(4), "{all:?}");
+        assert!(all["body"].as_str().unwrap().contains(r#""op":"register""#));
+        let missing = &responses[4];
+        assert_eq!(missing["ok"].as_bool(), Some(false));
+        assert!(missing["error"]
+            .as_str()
+            .unwrap()
+            .contains("flight recorder"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flagged_requests_dump_their_traces_to_the_diagnostic_stream() {
+        // --slow-ms 0 flags every request; panics and timeouts always
+        // dump. Each dump must carry the flagged request's own span
+        // tree, complete (request_end present) even across a panic.
+        let dir = temp_dir("dump");
+        let csv_path = dir.join("toy.csv");
+        std::fs::write(&csv_path, CSV).unwrap();
+        let mut args = serve_args("");
+        args.slow_ms = Some(0);
+        let register = register_line(&csv_path);
+        let (responses, diag) = drive_with_diag(
+            &args,
+            &[&register, r#"{"op":"panic"}"#, r#"{"op":"stats"}"#],
+        );
+        assert_eq!(responses.len(), 3);
+        assert!(diag.contains("request 1 flagged (slow"), "{diag}");
+        assert!(diag.contains("request 2 flagged (panic"), "{diag}");
+        assert!(
+            diag.contains(r#""req":2,"ev":"request_start","op":"panic""#),
+            "{diag}"
+        );
+        assert!(
+            diag.contains(r#""req":2,"ev":"request_end","op":"panic""#),
+            "{diag}"
+        );
+
+        // A timeout dump, without --slow-ms in the way.
+        let mut args = serve_args("");
+        args.request_timeout_ms = Some(0);
+        let (responses, diag) = drive_with_diag(
+            &args,
+            &[&register, r#"{"op":"mine","name":"toy","support":0.25}"#],
+        );
+        assert_eq!(responses[1]["ok"].as_bool(), Some(false));
+        assert!(diag.contains("request 2 flagged (timeout"), "{diag}");
+        assert!(diag.contains(r#""name":"serve.timeouts""#), "{diag}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_file_snapshots_are_written_atomically_and_validate() {
+        let dir = temp_dir("metrics-file");
+        let csv_path = dir.join("toy.csv");
+        std::fs::write(&csv_path, CSV).unwrap();
+        let metrics_path = dir.join("metrics.prom");
+        let mut args = serve_args("");
+        args.metrics_file = Some(metrics_path.display().to_string());
+        let register = register_line(&csv_path);
+        drive(
+            &args,
+            &[
+                &register,
+                r#"{"op":"mine","name":"toy","support":0.25}"#,
+                r#"{"op":"shutdown"}"#,
+            ],
+        );
+        let body = std::fs::read_to_string(&metrics_path).unwrap();
+        obs::export::validate_prometheus(&body).unwrap();
+        // The final forced snapshot saw the whole session.
+        assert!(body.contains("divex_serve_requests_total 3"), "{body}");
+        assert!(
+            body.contains("divex_request_duration_us_count{op=\"mine\"} 1"),
+            "{body}"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -329,6 +329,9 @@ pub fn mine_arena_bounded<P: Payload + Send + Sync>(
 
     let mine_span = obs::span("fpm.parallel.mine");
     obs::counter("fpm.workers", n_threads as u64);
+    // Request context is thread-local; hand the caller's to each worker
+    // so their telemetry stays attributable to the originating request.
+    let req_token = obs::request_token();
     let shared = SharedLimits::new(budget, cancel, start);
     let shared = &shared;
 
@@ -352,6 +355,7 @@ pub fn mine_arena_bounded<P: Payload + Send + Sync>(
             let mut handles = Vec::with_capacity(n_threads);
             for worker in 0..n_threads {
                 handles.push(scope.spawn(move || {
+                    let _req = req_token.adopt();
                     let mut pool = dense::Pool::new();
                     let mut stats = dense::EngineStats::default();
                     let mut prefix: Vec<ItemId> = Vec::new();
@@ -411,6 +415,7 @@ pub fn mine_arena_bounded<P: Payload + Send + Sync>(
             let mut handles = Vec::with_capacity(n_threads);
             for worker in 0..n_threads {
                 handles.push(scope.spawn(move || {
+                    let _req = req_token.adopt();
                     let mut local = ItemsetArena::new();
                     let mut prefix: Vec<ItemId> = Vec::new();
                     let mut ticks = 0u32;

@@ -1,0 +1,520 @@
+//! Prometheus text-format exposition of a [`StatsSnapshot`], plus a
+//! small validating parser used by CI and tests.
+//!
+//! [`prometheus`] renders a point-in-time snapshot as the classic
+//! `text/plain; version=0.0.4` exposition: counters as `_total`
+//! families, span aggregates and gauges, log2 [`Histogram`]s as proper
+//! cumulative `_bucket{le=...}` families, and per-op request latency as
+//! one labelled histogram family with companion `p50`/`p95`/`p99`
+//! gauges (quantiles are *separate gauge metrics*, not a summary, so
+//! the histogram family keeps a single unambiguous type).
+//!
+//! Every exported name is prefixed `divex_` and sanitized to the
+//! Prometheus name charset; dots in instrumentation names become
+//! underscores (`serve.requests` → `divex_serve_requests_total`).
+//!
+//! [`validate_prometheus`] re-parses an exposition and checks the
+//! invariants a scraper relies on: legal metric and label names, every
+//! sample belonging to a `# TYPE`-declared family, parseable values,
+//! and — for histograms — cumulative nondecreasing buckets ending in a
+//! `+Inf` bucket that equals the family's `_count`. It exists so CI can
+//! verify the live `{"op":"metrics"}` endpoint without external
+//! dependencies.
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+use crate::hist::Histogram;
+use crate::stats::StatsSnapshot;
+
+/// Prefix applied to every exported metric name.
+pub const METRIC_PREFIX: &str = "divex_";
+
+/// Maps an instrumentation name onto the Prometheus name charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every illegal character becomes `_`,
+/// and a leading digit is guarded with `_`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_type(out: &mut String, name: &str, kind: &str) {
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Writes one histogram family (optionally labelled) in cumulative
+/// bucket form. The log2 buckets' inclusive upper bounds become `le`
+/// values; the terminal `+Inf` bucket always equals `_count`.
+fn write_histogram(out: &mut String, family: &str, labels: &str, h: &Histogram) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    let mut cumulative = 0u64;
+    for (_, hi, n) in h.nonzero_buckets() {
+        cumulative += n;
+        let _ = writeln!(
+            out,
+            "{family}_bucket{{{labels}{sep}le=\"{hi}\"}} {cumulative}"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{family}_bucket{{{labels}{sep}le=\"+Inf\"}} {}",
+        h.count()
+    );
+    let braces = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    };
+    let _ = writeln!(out, "{family}_sum{braces} {}", h.sum());
+    let _ = writeln!(out, "{family}_count{braces} {}", h.count());
+}
+
+/// Renders `snap` as a Prometheus text exposition. The output is
+/// deterministic (snapshot vectors are name-sorted) and always passes
+/// [`validate_prometheus`].
+pub fn prometheus(snap: &StatsSnapshot) -> String {
+    let mut out = String::new();
+
+    write_type(&mut out, "divex_open_spans", "gauge");
+    let _ = writeln!(out, "divex_open_spans {}", snap.open_spans);
+    write_type(&mut out, "divex_open_requests", "gauge");
+    let _ = writeln!(out, "divex_open_requests {}", snap.open_requests);
+
+    for (name, value) in &snap.counters {
+        let family = format!("{METRIC_PREFIX}{}_total", sanitize_name(name));
+        write_type(&mut out, &family, "counter");
+        let _ = writeln!(out, "{family} {value}");
+    }
+
+    if !snap.spans.is_empty() {
+        write_type(&mut out, "divex_span_total", "counter");
+        for (name, s) in &snap.spans {
+            let _ = writeln!(
+                out,
+                "divex_span_total{{span=\"{}\"}} {}",
+                escape_label(name),
+                s.count
+            );
+        }
+        write_type(&mut out, "divex_span_duration_us_total", "counter");
+        for (name, s) in &snap.spans {
+            let _ = writeln!(
+                out,
+                "divex_span_duration_us_total{{span=\"{}\"}} {}",
+                escape_label(name),
+                s.total_us
+            );
+        }
+        write_type(&mut out, "divex_span_duration_us_max", "gauge");
+        for (name, s) in &snap.spans {
+            let _ = writeln!(
+                out,
+                "divex_span_duration_us_max{{span=\"{}\"}} {}",
+                escape_label(name),
+                s.max_us
+            );
+        }
+    }
+
+    for (name, h) in &snap.hists {
+        let family = format!("{METRIC_PREFIX}{}", sanitize_name(name));
+        write_type(&mut out, &family, "histogram");
+        write_histogram(&mut out, &family, "", h);
+    }
+
+    if !snap.latencies.is_empty() {
+        write_type(&mut out, "divex_request_duration_us", "histogram");
+        for (op, h) in &snap.latencies {
+            let labels = format!("op=\"{}\"", escape_label(op));
+            write_histogram(&mut out, "divex_request_duration_us", &labels, h);
+        }
+        for (q, label) in [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")] {
+            let family = format!("divex_request_duration_us_{label}");
+            write_type(&mut out, &family, "gauge");
+            for (op, h) in &snap.latencies {
+                if let Some(bound) = h.quantile_le(q) {
+                    let _ = writeln!(out, "{family}{{op=\"{}\"}} {bound}", escape_label(op));
+                }
+            }
+        }
+    }
+
+    out
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// A parsed sample: metric name, sorted `(key, value)` label pairs
+/// (so equal label sets compare equal), and the sample value.
+type Sample = (String, Vec<(String, String)>, f64);
+
+/// Splits `name{labels} value` into its parts.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_part, rest) = match line.find('{') {
+        Some(open) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("unterminated label set: {line}"))?;
+            if close < open {
+                return Err(format!("mismatched braces: {line}"));
+            }
+            let labels = &line[open + 1..close];
+            (&line[..open], Some((labels, &line[close + 1..])))
+        }
+        None => (
+            line.split_whitespace().next().unwrap_or(""),
+            None::<(&str, &str)>,
+        ),
+    };
+    let name = name_part.trim();
+    if !valid_metric_name(name) {
+        return Err(format!("illegal metric name {name:?} in: {line}"));
+    }
+
+    let (labels_src, value_src) = match rest {
+        Some((labels, tail)) => (labels, tail),
+        None => (
+            "",
+            line.strip_prefix(name)
+                .expect("name is a prefix by construction"),
+        ),
+    };
+
+    let mut labels = Vec::new();
+    let mut src = labels_src.trim();
+    while !src.is_empty() {
+        let eq = src
+            .find('=')
+            .ok_or_else(|| format!("label without '=': {src:?} in: {line}"))?;
+        let key = src[..eq].trim();
+        if !valid_label_name(key) {
+            return Err(format!("illegal label name {key:?} in: {line}"));
+        }
+        let after = src[eq + 1..].trim_start();
+        if !after.starts_with('"') {
+            return Err(format!("unquoted label value in: {line}"));
+        }
+        // Scan for the closing quote, honouring backslash escapes.
+        let bytes = after.as_bytes();
+        let mut i = 1;
+        let mut value = String::new();
+        loop {
+            if i >= bytes.len() {
+                return Err(format!("unterminated label value in: {line}"));
+            }
+            match bytes[i] {
+                b'"' => break,
+                b'\\' => {
+                    let esc = *bytes
+                        .get(i + 1)
+                        .ok_or_else(|| format!("dangling escape in: {line}"))?;
+                    value.push(match esc {
+                        b'\\' => '\\',
+                        b'"' => '"',
+                        b'n' => '\n',
+                        other => return Err(format!("bad escape \\{} in: {line}", other as char)),
+                    });
+                    i += 2;
+                }
+                _ => {
+                    let ch_len = {
+                        let s = &after[i..];
+                        s.chars().next().map(char::len_utf8).unwrap_or(1)
+                    };
+                    value.push_str(&after[i..i + ch_len]);
+                    i += ch_len;
+                }
+            }
+        }
+        labels.push((key.to_string(), value));
+        src = after[i + 1..].trim_start();
+        if let Some(tail) = src.strip_prefix(',') {
+            src = tail.trim_start();
+        } else if !src.is_empty() {
+            return Err(format!("junk after label value: {src:?} in: {line}"));
+        }
+    }
+    labels.sort();
+
+    let mut fields = value_src.split_whitespace();
+    let value_str = fields
+        .next()
+        .ok_or_else(|| format!("sample without a value: {line}"))?;
+    let value: f64 = value_str
+        .parse()
+        .map_err(|_| format!("unparseable sample value {value_str:?} in: {line}"))?;
+    if let Some(ts) = fields.next() {
+        // Optional millisecond timestamp; anything further is junk.
+        ts.parse::<i64>()
+            .map_err(|_| format!("unparseable timestamp {ts:?} in: {line}"))?;
+        if fields.next().is_some() {
+            return Err(format!("trailing junk in: {line}"));
+        }
+    }
+    Ok((name.to_string(), labels, value))
+}
+
+/// Checks `text` is a well-formed Prometheus exposition (see module
+/// docs for exactly what is enforced). Returns the first violation.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    // family -> label-set-minus-le -> (le, cumulative count) in order.
+    #[allow(clippy::type_complexity)]
+    let mut buckets: BTreeMap<(String, Vec<(String, String)>), Vec<(f64, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<(String, Vec<(String, String)>), f64> = BTreeMap::new();
+    let mut sums: BTreeMap<(String, Vec<(String, String)>), f64> = BTreeMap::new();
+
+    for raw in text.lines() {
+        let line = raw.trim_end();
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.trim_start().splitn(3, ' ');
+            match parts.next() {
+                Some("TYPE") => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| format!("TYPE without a name: {line}"))?;
+                    let kind = parts
+                        .next()
+                        .ok_or_else(|| format!("TYPE without a kind: {line}"))?
+                        .trim();
+                    if !valid_metric_name(name) {
+                        return Err(format!("illegal name in TYPE: {line}"));
+                    }
+                    if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                        return Err(format!("unknown metric type {kind:?}: {line}"));
+                    }
+                    if types.insert(name.to_string(), kind.to_string()).is_some() {
+                        return Err(format!("duplicate TYPE for {name}"));
+                    }
+                }
+                _ => continue, // HELP and free comments
+            }
+            continue;
+        }
+
+        let (name, labels, value) = parse_sample(line)?;
+
+        // Resolve the family this sample belongs to.
+        let family = if let Some(t) = types.get(&name) {
+            if t == "histogram" {
+                return Err(format!(
+                    "histogram family {name} sampled directly (want _bucket/_sum/_count): {line}"
+                ));
+            }
+            name.clone()
+        } else {
+            let base = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suffix| name.strip_suffix(suffix))
+                .map(str::to_string);
+            match base {
+                Some(base) if matches!(types.get(&base).map(String::as_str), Some("histogram")) => {
+                    base
+                }
+                _ => return Err(format!("sample without a TYPE declaration: {line}")),
+            }
+        };
+
+        if types.get(&family).map(String::as_str) == Some("histogram") {
+            let mut rest: Vec<(String, String)> = labels.clone();
+            if let Some(suffix) = name.strip_prefix(family.as_str()) {
+                match suffix {
+                    "_bucket" => {
+                        let le_pos = rest
+                            .iter()
+                            .position(|(k, _)| k == "le")
+                            .ok_or_else(|| format!("histogram bucket without le label: {line}"))?;
+                        let (_, le) = rest.remove(le_pos);
+                        let le = if le == "+Inf" {
+                            f64::INFINITY
+                        } else {
+                            le.parse::<f64>()
+                                .map_err(|_| format!("unparseable le {le:?}: {line}"))?
+                        };
+                        buckets.entry((family, rest)).or_default().push((le, value));
+                    }
+                    "_count" => {
+                        counts.insert((family, rest), value);
+                    }
+                    "_sum" => {
+                        sums.insert((family, rest), value);
+                    }
+                    _ => unreachable!("family resolution only admits these suffixes"),
+                }
+            }
+        }
+    }
+
+    for ((family, labels), series) in &buckets {
+        let mut prev_le = f64::NEG_INFINITY;
+        let mut prev_n = 0.0f64;
+        for &(le, n) in series {
+            if le <= prev_le {
+                return Err(format!("{family}{labels:?}: le values not increasing"));
+            }
+            if n < prev_n {
+                return Err(format!("{family}{labels:?}: bucket counts not cumulative"));
+            }
+            prev_le = le;
+            prev_n = n;
+        }
+        let Some(&(last_le, inf_n)) = series.last() else {
+            continue;
+        };
+        if last_le != f64::INFINITY {
+            return Err(format!("{family}{labels:?}: missing +Inf bucket"));
+        }
+        let key = (family.clone(), labels.clone());
+        match counts.get(&key) {
+            Some(&c) if c == inf_n => {}
+            Some(&c) => {
+                return Err(format!(
+                    "{family}{labels:?}: +Inf bucket {inf_n} != _count {c}"
+                ))
+            }
+            None => return Err(format!("{family}{labels:?}: missing _count")),
+        }
+        if !sums.contains_key(&key) {
+            return Err(format!("{family}{labels:?}: missing _sum"));
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Recorder, StatsRecorder};
+
+    fn populated_snapshot() -> StatsSnapshot {
+        let rec = StatsRecorder::new();
+        rec.add_counter("serve.requests", 12);
+        rec.add_counter("fpm.nodes.visited", 1_000);
+        rec.span_enter("fpm.mine.fp-growth", 1);
+        rec.span_exit("fpm.mine.fp-growth", 1, 2_500);
+        let mut h = Histogram::new();
+        for v in [3u64, 9, 17, 1000] {
+            h.record(v);
+        }
+        rec.merge_histogram("fpm.tid.list_len", &h);
+        for (id, op, dur) in [(1, "mine", 900), (2, "mine", 12_000), (3, "query", 40)] {
+            rec.request_start(id, op);
+            rec.request_end(id, op, dur);
+        }
+        rec.snapshot()
+    }
+
+    #[test]
+    fn exposition_round_trips_through_the_validator() {
+        let text = prometheus(&populated_snapshot());
+        validate_prometheus(&text).unwrap();
+        assert!(text.contains("divex_serve_requests_total 12"));
+        assert!(text.contains("divex_span_total{span=\"fpm.mine.fp-growth\"} 1"));
+        assert!(text.contains("divex_fpm_tid_list_len_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("divex_request_duration_us_bucket{op=\"mine\",le=\"+Inf\"} 2"));
+        assert!(text.contains("divex_request_duration_us_p50{op=\"mine\"}"));
+        assert!(text.contains("divex_request_duration_us_p95{op=\"mine\"}"));
+        assert!(text.contains("divex_request_duration_us_p99{op=\"query\"}"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_still_valid() {
+        let text = prometheus(&StatsSnapshot::default());
+        validate_prometheus(&text).unwrap();
+        assert!(text.contains("divex_open_spans 0"));
+    }
+
+    #[test]
+    fn sanitize_maps_onto_the_name_charset() {
+        assert_eq!(sanitize_name("serve.requests"), "serve_requests");
+        assert_eq!(sanitize_name("fpm.mine.fp-growth"), "fpm_mine_fp_growth");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "_");
+        assert!(valid_metric_name(&sanitize_name("weird name!#")));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        let cases = [
+            ("9bad_name 1\n", "illegal metric name"),
+            ("# TYPE ok gauge\nok one\n", "unparseable sample value"),
+            ("no_type_declared 4\n", "without a TYPE"),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n",
+                "not cumulative",
+            ),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 2\nh_count 2\n",
+                "missing +Inf",
+            ),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 2\nh_count 3\n",
+                "!= _count",
+            ),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_count 2\n",
+                "missing _sum",
+            ),
+            ("# TYPE g gauge\ng{oops} 1\n", "label without '='"),
+            ("# TYPE g gauge\ng{a=b} 1\n", "unquoted label value"),
+            ("# TYPE g gauge\n# TYPE g counter\ng 1\n", "duplicate TYPE"),
+        ];
+        for (text, want) in cases {
+            let err = validate_prometheus(text).unwrap_err();
+            assert!(err.contains(want), "for {text:?}: got {err:?}");
+        }
+    }
+
+    #[test]
+    fn validator_accepts_labels_with_escapes_and_timestamps() {
+        let text = "# TYPE g gauge\ng{a=\"x\\\"y\\\\z\",b=\"w\"} 1.5 1700000000000\n";
+        validate_prometheus(text).unwrap();
+    }
+}

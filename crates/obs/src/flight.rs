@@ -1,0 +1,533 @@
+//! Always-on flight recorder: a fixed-size ring of recent requests'
+//! full telemetry event streams.
+//!
+//! A resident service cannot afford full tracing of every request, but
+//! when one request goes wrong (slow, panicked, timed out) the operator
+//! wants *that request's* complete span tree — after the fact, without
+//! having re-run anything. The [`FlightRecorder`] squares this: it is a
+//! [`Recorder`] that buffers each in-flight request's events in memory,
+//! attributed via [`crate::current_request`], and retains the last N
+//! completed requests in a ring. Cost per event is one short
+//! mutex-guarded push into a `Vec` — no I/O, no allocation beyond the
+//! vec's amortized growth — so it can stay installed in production.
+//!
+//! Eviction is by *whole request*: when the ring is full the oldest
+//! completed request's entire trace is dropped at once. A trace in the
+//! ring is therefore always complete (every event the request emitted,
+//! up to the per-request cap; overflow beyond the cap is counted in
+//! [`RequestTrace::dropped_events`], never silently lost). Events that
+//! arrive with no request context are discarded — the flight recorder
+//! only answers "what did request X do".
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::request::current_request;
+use crate::{Histogram, Recorder};
+
+/// Default number of completed requests retained in the ring.
+pub const DEFAULT_MAX_REQUESTS: usize = 32;
+/// Default cap on buffered events per request.
+pub const DEFAULT_MAX_EVENTS_PER_REQUEST: usize = 4096;
+
+/// One telemetry event attributed to a request. `ts_us` is microseconds
+/// since the recorder was created, assigned under the recorder's lock,
+/// so it is monotone in buffer order. Only span and request events read
+/// the clock; counter and histogram events reuse the most recent stamp
+/// — the span skeleton carries all the timing structure, and skipping
+/// the clock read on the high-frequency event kinds keeps the always-on
+/// hot path inside the serve overhead budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlightEvent {
+    SpanEnter {
+        ts_us: u64,
+        name: &'static str,
+        id: u64,
+    },
+    SpanExit {
+        ts_us: u64,
+        name: &'static str,
+        id: u64,
+        dur_us: u64,
+    },
+    Counter {
+        ts_us: u64,
+        name: &'static str,
+        delta: u64,
+    },
+    /// A merged histogram, summarized to its exact count and sum (the
+    /// buckets stay in the aggregating recorder; the flight recorder
+    /// answers "what happened", not "what is the distribution").
+    Histogram {
+        ts_us: u64,
+        name: &'static str,
+        count: u64,
+        sum: u64,
+    },
+}
+
+impl FlightEvent {
+    pub fn ts_us(&self) -> u64 {
+        match *self {
+            FlightEvent::SpanEnter { ts_us, .. }
+            | FlightEvent::SpanExit { ts_us, .. }
+            | FlightEvent::Counter { ts_us, .. }
+            | FlightEvent::Histogram { ts_us, .. } => ts_us,
+        }
+    }
+
+    /// One NDJSON line (no trailing newline) for this event, prefixed
+    /// with the owning request's id. Names are static identifiers from
+    /// instrumentation sites, so no string escaping is required.
+    fn render(&self, req: u64, out: &mut String) {
+        use std::fmt::Write;
+        match *self {
+            FlightEvent::SpanEnter { ts_us, name, id } => {
+                let _ = write!(
+                    out,
+                    "{{\"req\":{req},\"ev\":\"span_enter\",\"span\":\"{name}\",\"id\":{id},\"ts_us\":{ts_us}}}"
+                );
+            }
+            FlightEvent::SpanExit {
+                ts_us,
+                name,
+                id,
+                dur_us,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"req\":{req},\"ev\":\"span_exit\",\"span\":\"{name}\",\"id\":{id},\"dur_us\":{dur_us},\"ts_us\":{ts_us}}}"
+                );
+            }
+            FlightEvent::Counter { ts_us, name, delta } => {
+                let _ = write!(
+                    out,
+                    "{{\"req\":{req},\"ev\":\"counter\",\"name\":\"{name}\",\"delta\":{delta},\"ts_us\":{ts_us}}}"
+                );
+            }
+            FlightEvent::Histogram {
+                ts_us,
+                name,
+                count,
+                sum,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"req\":{req},\"ev\":\"histogram\",\"name\":\"{name}\",\"count\":{count},\"sum\":{sum},\"ts_us\":{ts_us}}}"
+                );
+            }
+        }
+    }
+}
+
+/// The buffered trace of one request.
+#[derive(Debug, Clone)]
+pub struct RequestTrace {
+    /// Service-assigned request id.
+    pub id: u64,
+    /// Operation label the request was scoped with.
+    pub op: &'static str,
+    /// When the request started, microseconds since recorder creation.
+    pub start_ts_us: u64,
+    /// Total duration; `None` while the request is still in flight.
+    pub dur_us: Option<u64>,
+    /// Buffered events, in emission order (monotone `ts_us`).
+    pub events: Vec<FlightEvent>,
+    /// Events discarded because the per-request cap was hit.
+    pub dropped_events: u64,
+}
+
+impl RequestTrace {
+    /// Renders the trace as NDJSON: one `request_start` line, each
+    /// event, then a `request_end` line (omitted while in flight).
+    /// Every line ends with `\n`.
+    pub fn render_ndjson(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"req\":{},\"ev\":\"request_start\",\"op\":\"{}\",\"ts_us\":{}}}",
+            self.id, self.op, self.start_ts_us
+        );
+        out.push('\n');
+        for ev in &self.events {
+            ev.render(self.id, &mut out);
+            out.push('\n');
+        }
+        if self.dropped_events > 0 {
+            let _ = write!(
+                out,
+                "{{\"req\":{},\"ev\":\"events_dropped\",\"count\":{}}}",
+                self.id, self.dropped_events
+            );
+            out.push('\n');
+        }
+        if let Some(dur_us) = self.dur_us {
+            let _ = write!(
+                out,
+                "{{\"req\":{},\"ev\":\"request_end\",\"op\":\"{}\",\"dur_us\":{}}}",
+                self.id, self.op, dur_us
+            );
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The request-trace ring shared by [`FlightRecorder`] (alone behind a
+/// mutex) and [`crate::LiveRecorder`] (fused with the stats aggregate
+/// behind one mutex). All methods expect the caller to hold that lock.
+pub(crate) struct Ring {
+    /// Requests started but not yet ended, in start order.
+    active: Vec<RequestTrace>,
+    /// Completed requests, oldest first.
+    done: VecDeque<RequestTrace>,
+    /// Whole requests evicted from the ring so far.
+    evicted: u64,
+    /// The last timestamp issued, for monotone stamping.
+    last_ts_us: u64,
+}
+
+impl Ring {
+    pub(crate) fn new() -> Self {
+        Ring {
+            active: Vec::new(),
+            done: VecDeque::new(),
+            evicted: 0,
+            last_ts_us: 0,
+        }
+    }
+
+    /// A fresh clock reading, clamped so stamps never run backwards
+    /// even when concurrent writers reach the lock out of clock order.
+    pub(crate) fn stamp_fresh(&mut self, epoch: &Instant) -> u64 {
+        let ts = (epoch.elapsed().as_micros() as u64).max(self.last_ts_us);
+        self.last_ts_us = ts;
+        ts
+    }
+
+    /// The most recent stamp, without touching the clock (the cheap
+    /// path for counter/histogram events; see [`FlightEvent`]).
+    pub(crate) fn stamp_reused(&self) -> u64 {
+        self.last_ts_us
+    }
+
+    /// Buffers `ev` into request `req`'s active trace, honoring the
+    /// per-request cap. Events for unknown requests are discarded.
+    pub(crate) fn push(&mut self, req: u64, max_events: usize, ev: FlightEvent) {
+        if let Some(trace) = self.active.iter_mut().rev().find(|t| t.id == req) {
+            if trace.events.len() < max_events {
+                trace.events.push(ev);
+            } else {
+                trace.dropped_events += 1;
+            }
+        }
+    }
+
+    pub(crate) fn start(&mut self, id: u64, op: &'static str, ts_us: u64, max_requests: usize) {
+        self.active.push(RequestTrace {
+            id,
+            op,
+            start_ts_us: ts_us,
+            dur_us: None,
+            events: Vec::new(),
+            dropped_events: 0,
+        });
+        // Leaked scopes (a request that never ends) must not grow the
+        // active set without bound; evict whole oldest actives too.
+        while self.active.len() > max_requests {
+            self.active.remove(0);
+            self.evicted += 1;
+        }
+    }
+
+    pub(crate) fn end(&mut self, id: u64, dur_us: u64, max_requests: usize) {
+        let Some(pos) = self.active.iter().position(|t| t.id == id) else {
+            return;
+        };
+        let mut trace = self.active.remove(pos);
+        trace.dur_us = Some(dur_us);
+        self.done.push_back(trace);
+        while self.done.len() > max_requests {
+            self.done.pop_front();
+            self.evicted += 1;
+        }
+    }
+
+    pub(crate) fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Completed traces (oldest first) followed by in-flight ones.
+    pub(crate) fn snapshot(&self) -> Vec<RequestTrace> {
+        self.done
+            .iter()
+            .chain(self.active.iter())
+            .cloned()
+            .collect()
+    }
+
+    /// The trace of request `id`, completed or in flight, if retained.
+    pub(crate) fn trace_of(&self, id: u64) -> Option<RequestTrace> {
+        self.active
+            .iter()
+            .rev()
+            .chain(self.done.iter().rev())
+            .find(|t| t.id == id)
+            .cloned()
+    }
+}
+
+/// Always-on fixed-size ring buffer [`Recorder`]; see module docs.
+pub struct FlightRecorder {
+    epoch: Instant,
+    max_requests: usize,
+    max_events_per_request: usize,
+    ring: Mutex<Ring>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_MAX_REQUESTS, DEFAULT_MAX_EVENTS_PER_REQUEST)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `max_requests` completed requests,
+    /// each buffering at most `max_events_per_request` events.
+    pub fn new(max_requests: usize, max_events_per_request: usize) -> Self {
+        FlightRecorder {
+            epoch: Instant::now(),
+            max_requests: max_requests.max(1),
+            max_events_per_request: max_events_per_request.max(1),
+            ring: Mutex::new(Ring::new()),
+        }
+    }
+
+    fn ring(&self) -> std::sync::MutexGuard<'_, Ring> {
+        // A panicking request must not poison the whole flight record —
+        // the recorder state is a plain append log, valid at every step.
+        self.ring
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn push_event(&self, fresh_ts: bool, make: impl FnOnce(u64) -> FlightEvent) {
+        let Some((req, _)) = current_request() else {
+            return; // unattributable — not this recorder's business
+        };
+        let mut ring = self.ring();
+        let ts_us = if fresh_ts {
+            ring.stamp_fresh(&self.epoch)
+        } else {
+            ring.stamp_reused()
+        };
+        ring.push(req, self.max_events_per_request, make(ts_us));
+    }
+
+    /// Whole requests evicted from the ring since creation.
+    pub fn evicted(&self) -> u64 {
+        self.ring().evicted()
+    }
+
+    /// Completed traces (oldest first) followed by in-flight ones.
+    pub fn snapshot(&self) -> Vec<RequestTrace> {
+        self.ring().snapshot()
+    }
+
+    /// The trace of request `id`, completed or in flight, if retained.
+    pub fn trace_of(&self, id: u64) -> Option<RequestTrace> {
+        self.ring().trace_of(id)
+    }
+
+    /// All retained traces as one NDJSON string (see
+    /// [`RequestTrace::render_ndjson`]).
+    pub fn render_ndjson(&self) -> String {
+        self.snapshot()
+            .iter()
+            .map(RequestTrace::render_ndjson)
+            .collect()
+    }
+}
+
+impl Recorder for FlightRecorder {
+    fn span_enter(&self, name: &'static str, id: u64) {
+        self.push_event(true, |ts_us| FlightEvent::SpanEnter { ts_us, name, id });
+    }
+
+    fn span_exit(&self, name: &'static str, id: u64, dur_us: u64) {
+        self.push_event(true, |ts_us| FlightEvent::SpanExit {
+            ts_us,
+            name,
+            id,
+            dur_us,
+        });
+    }
+
+    fn add_counter(&self, name: &'static str, delta: u64) {
+        self.push_event(false, |ts_us| FlightEvent::Counter { ts_us, name, delta });
+    }
+
+    fn merge_histogram(&self, name: &'static str, hist: &Histogram) {
+        let (count, sum) = (hist.count(), hist.sum());
+        self.push_event(false, |ts_us| FlightEvent::Histogram {
+            ts_us,
+            name,
+            count,
+            sum,
+        });
+    }
+
+    fn request_start(&self, id: u64, op: &'static str) {
+        let mut ring = self.ring();
+        let ts_us = ring.stamp_fresh(&self.epoch);
+        ring.start(id, op, ts_us, self.max_requests);
+    }
+
+    fn request_end(&self, id: u64, _op: &'static str, dur_us: u64) {
+        self.ring().end(id, dur_us, self.max_requests);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::request_scope;
+    use std::sync::Arc;
+
+    /// Drives the recorder directly (no global install), mimicking what
+    /// the facade does under a request scope.
+    fn run_request(rec: &FlightRecorder, id: u64, op: &'static str, spans: usize) {
+        let _scope = request_scope(id, op);
+        rec.request_start(id, op);
+        for s in 0..spans {
+            let sid = id * 1000 + s as u64;
+            rec.span_enter("work", sid);
+            rec.add_counter("items", 10);
+            rec.span_exit("work", sid, 5);
+        }
+        rec.request_end(id, op, 42);
+    }
+
+    #[test]
+    fn retains_complete_traces_and_evicts_whole_requests() {
+        let rec = FlightRecorder::new(3, 64);
+        for id in 1..=5 {
+            run_request(&rec, id, "mine", 2);
+        }
+        let traces = rec.snapshot();
+        assert_eq!(
+            traces.iter().map(|t| t.id).collect::<Vec<_>>(),
+            vec![3, 4, 5],
+            "ring keeps the last 3 completed requests"
+        );
+        assert_eq!(rec.evicted(), 2);
+        for t in &traces {
+            assert_eq!(t.events.len(), 6, "whole stream retained: req {}", t.id);
+            assert_eq!(t.dur_us, Some(42));
+            assert_eq!(t.dropped_events, 0);
+        }
+        assert!(rec.trace_of(1).is_none(), "evicted entirely");
+        assert!(rec.trace_of(4).is_some());
+    }
+
+    #[test]
+    fn per_request_event_cap_counts_overflow() {
+        let rec = FlightRecorder::new(4, 5);
+        run_request(&rec, 9, "query", 4); // 12 events against a cap of 5
+        let t = rec.trace_of(9).unwrap();
+        assert_eq!(t.events.len(), 5);
+        assert_eq!(t.dropped_events, 7);
+        let ndjson = t.render_ndjson();
+        assert!(ndjson.contains("\"ev\":\"events_dropped\",\"count\":7"));
+    }
+
+    #[test]
+    fn unattributed_events_are_discarded() {
+        let rec = FlightRecorder::new(4, 64);
+        rec.span_enter("orphan", 1);
+        rec.add_counter("orphan.count", 3);
+        assert!(rec.snapshot().is_empty());
+    }
+
+    #[test]
+    fn in_flight_requests_are_visible_without_duration() {
+        let rec = FlightRecorder::new(4, 64);
+        let _scope = request_scope(11, "mine");
+        rec.request_start(11, "mine");
+        rec.span_enter("phase", 1);
+        let t = rec.trace_of(11).unwrap();
+        assert_eq!(t.dur_us, None);
+        assert_eq!(t.events.len(), 1);
+        let ndjson = t.render_ndjson();
+        assert!(ndjson.contains("request_start"));
+        assert!(
+            !ndjson.contains("request_end"),
+            "no end line while in flight"
+        );
+    }
+
+    #[test]
+    fn concurrent_writers_keep_traces_whole_and_timestamps_monotone() {
+        // The satellite test: many threads, each its own request,
+        // hammering the shared ring. Every surviving trace must hold
+        // its *complete* event stream (never a partial one) with
+        // nondecreasing ts_us, even though requests interleave freely.
+        const THREADS: u64 = 8;
+        const SPANS: usize = 50;
+        let rec = Arc::new(FlightRecorder::new(THREADS as usize, 1024));
+        std::thread::scope(|scope| {
+            for id in 1..=THREADS {
+                let rec = rec.clone();
+                scope.spawn(move || run_request(&rec, id, "mine", SPANS));
+            }
+        });
+        let traces = rec.snapshot();
+        assert_eq!(traces.len(), THREADS as usize);
+        for t in &traces {
+            assert_eq!(
+                t.events.len(),
+                SPANS * 3,
+                "req {} retained a partial stream",
+                t.id
+            );
+            assert_eq!(t.dur_us, Some(42), "req {} not completed", t.id);
+            let ts: Vec<u64> = t.events.iter().map(FlightEvent::ts_us).collect();
+            assert!(
+                ts.windows(2).all(|w| w[0] <= w[1]),
+                "req {} has non-monotone ts_us",
+                t.id
+            );
+            // Span enters/exits pair up within the trace.
+            let enters = t
+                .events
+                .iter()
+                .filter(|e| matches!(e, FlightEvent::SpanEnter { .. }))
+                .count();
+            let exits = t
+                .events
+                .iter()
+                .filter(|e| matches!(e, FlightEvent::SpanExit { .. }))
+                .count();
+            assert_eq!(enters, SPANS);
+            assert_eq!(exits, SPANS);
+        }
+    }
+
+    #[test]
+    fn render_ndjson_lines_parse_as_json() {
+        let rec = FlightRecorder::new(4, 64);
+        run_request(&rec, 21, "query", 2);
+        let text = rec.render_ndjson();
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"req\":21"));
+            // Balanced quotes: crude but dependency-free well-formedness.
+            assert_eq!(line.matches('"').count() % 2, 0, "{line}");
+        }
+        assert!(text.contains("\"ev\":\"request_start\""));
+        assert!(text.contains("\"ev\":\"request_end\""));
+    }
+}

@@ -28,14 +28,23 @@
 //! recorder* (under its own lock for NDJSON), which makes the event
 //! stream's `ts_us` monotone in file order by construction.
 
+pub mod export;
+mod flight;
 mod hist;
+mod live;
 mod ndjson;
 mod report;
+mod request;
 mod stats;
 
+pub use flight::{FlightEvent, FlightRecorder, RequestTrace};
 pub use hist::Histogram;
+pub use live::LiveRecorder;
 pub use ndjson::NdjsonRecorder;
 pub use report::{CounterEntry, HistogramBucket, OverheadStat, PhaseTiming, RunReport};
+pub use request::{
+    current_request, request_scope, request_token, RequestAdoption, RequestScope, RequestToken,
+};
 pub use stats::{SpanStat, StatsRecorder, StatsSnapshot};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -58,6 +67,16 @@ pub trait Recorder: Send + Sync {
     /// Instrumentation sites batch per-value observations locally and
     /// publish once, so this is called rarely.
     fn merge_histogram(&self, name: &'static str, hist: &Histogram);
+
+    /// A logical request began. Emitted by [`request_scope`]; `id` is
+    /// the service-assigned monotone request id and `op` the request's
+    /// operation label. No-op by default — batch recorders that predate
+    /// the request plane need not care.
+    fn request_start(&self, _id: u64, _op: &'static str) {}
+
+    /// The request `id` finished (successfully or not) after `dur_us`
+    /// microseconds. No-op by default.
+    fn request_end(&self, _id: u64, _op: &'static str, _dur_us: u64) {}
 
     /// Flushes buffered output (no-op by default).
     fn flush(&self) {}
@@ -91,6 +110,14 @@ pub fn uninstall() -> Option<Arc<dyn Recorder>> {
 #[inline]
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// A handle to the currently installed recorder, if any. Lets a caller
+/// that wants to *augment* telemetry (e.g. `serve` teeing its live
+/// registry with a `--trace-json` recorder installed earlier) compose
+/// with whatever is already there instead of silently replacing it.
+pub fn current() -> Option<Arc<dyn Recorder>> {
+    RECORDER.read().unwrap().clone()
 }
 
 fn with(f: impl FnOnce(&dyn Recorder)) {
@@ -192,6 +219,18 @@ impl Recorder for Tee {
     fn merge_histogram(&self, name: &'static str, hist: &Histogram) {
         for r in &self.0 {
             r.merge_histogram(name, hist);
+        }
+    }
+
+    fn request_start(&self, id: u64, op: &'static str) {
+        for r in &self.0 {
+            r.request_start(id, op);
+        }
+    }
+
+    fn request_end(&self, id: u64, op: &'static str, dur_us: u64) {
+        for r in &self.0 {
+            r.request_end(id, op, dur_us);
         }
     }
 

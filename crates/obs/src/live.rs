@@ -1,0 +1,295 @@
+//! The serve plane's fused always-on recorder: one lock, both sinks.
+//!
+//! A resident service keeps two telemetry sinks live for every request:
+//! the aggregating metrics registry (counters, span stats, latency
+//! histograms — what `stats` and `metrics` report) and the flight
+//! recorder (recent requests' full event streams — what `trace` and the
+//! slow/panic dumps report). Teeing a [`crate::StatsRecorder`] with a
+//! [`crate::FlightRecorder`] works, but costs two mutex acquisitions
+//! plus the tee's double dynamic dispatch on *every* facade call — and
+//! the serve path's overhead guard (`exp_overhead`) showed that putting
+//! each event through both locks busts the 2% always-on budget on a
+//! mine-heavy request. [`LiveRecorder`] fuses the two sinks behind a
+//! single mutex: each event pays one lock, updates the aggregate, and —
+//! when attributed to a request — lands in the ring, sharing the same
+//! monotone timestamp stream. Combined with the skeleton-clock policy
+//! (only span/request events read the clock; see
+//! [`crate::FlightEvent`]), the per-event cost is roughly a third of
+//! the teed pair, which is what keeps the live plane affordable enough
+//! to never turn off.
+//!
+//! The registry half sees *every* event; the ring half only events that
+//! arrive inside a [`crate::request_scope`]. Both views are consistent
+//! by construction — they are updated under the same lock, so a
+//! `stats`/`metrics` snapshot and a `trace` snapshot taken back to back
+//! can never disagree about what a completed request did.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::flight::{Ring, DEFAULT_MAX_EVENTS_PER_REQUEST, DEFAULT_MAX_REQUESTS};
+use crate::request::current_request;
+use crate::stats::Agg;
+use crate::{FlightEvent, Histogram, Recorder, RequestTrace, StatsSnapshot};
+
+struct Fused {
+    agg: Agg,
+    ring: Ring,
+}
+
+/// Single-lock fusion of the metrics registry and the flight recorder;
+/// see module docs. This is what the serve loop installs.
+pub struct LiveRecorder {
+    epoch: Instant,
+    max_requests: usize,
+    max_events_per_request: usize,
+    inner: Mutex<Fused>,
+}
+
+impl Default for LiveRecorder {
+    fn default() -> Self {
+        LiveRecorder::new(DEFAULT_MAX_REQUESTS, DEFAULT_MAX_EVENTS_PER_REQUEST)
+    }
+}
+
+impl LiveRecorder {
+    /// A fused recorder whose flight ring retains the last
+    /// `max_requests` completed requests, each buffering at most
+    /// `max_events_per_request` events.
+    pub fn new(max_requests: usize, max_events_per_request: usize) -> Self {
+        LiveRecorder {
+            epoch: Instant::now(),
+            max_requests: max_requests.max(1),
+            max_events_per_request: max_events_per_request.max(1),
+            inner: Mutex::new(Fused {
+                agg: Agg::default(),
+                ring: Ring::new(),
+            }),
+        }
+    }
+
+    fn fused(&self) -> std::sync::MutexGuard<'_, Fused> {
+        // A panicking request must not poison the live plane — both
+        // halves are plain aggregates, valid at every step.
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Current total of one counter, without cloning a full snapshot
+    /// (cheap enough to call per request).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.fused().agg.counter_value(name)
+    }
+
+    /// A point-in-time copy of the aggregate registry.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        self.fused().agg.snapshot()
+    }
+
+    /// Whole requests evicted from the flight ring since creation.
+    pub fn evicted(&self) -> u64 {
+        self.fused().ring.evicted()
+    }
+
+    /// Retained flight traces: completed (oldest first), then in-flight.
+    pub fn traces(&self) -> Vec<RequestTrace> {
+        self.fused().ring.snapshot()
+    }
+
+    /// The flight trace of request `id`, if retained.
+    pub fn trace_of(&self, id: u64) -> Option<RequestTrace> {
+        self.fused().ring.trace_of(id)
+    }
+
+    /// All retained traces as one NDJSON string (see
+    /// [`RequestTrace::render_ndjson`]).
+    pub fn render_ndjson(&self) -> String {
+        self.traces()
+            .iter()
+            .map(RequestTrace::render_ndjson)
+            .collect()
+    }
+}
+
+impl Recorder for LiveRecorder {
+    fn span_enter(&self, name: &'static str, id: u64) {
+        let req = current_request().map(|(r, _)| r);
+        let fused = &mut *self.fused();
+        fused.agg.on_span_enter();
+        if let Some(req) = req {
+            let ts_us = fused.ring.stamp_fresh(&self.epoch);
+            fused.ring.push(
+                req,
+                self.max_events_per_request,
+                FlightEvent::SpanEnter { ts_us, name, id },
+            );
+        }
+    }
+
+    fn span_exit(&self, name: &'static str, id: u64, dur_us: u64) {
+        let req = current_request().map(|(r, _)| r);
+        let fused = &mut *self.fused();
+        fused.agg.on_span_exit(name, dur_us);
+        if let Some(req) = req {
+            let ts_us = fused.ring.stamp_fresh(&self.epoch);
+            fused.ring.push(
+                req,
+                self.max_events_per_request,
+                FlightEvent::SpanExit {
+                    ts_us,
+                    name,
+                    id,
+                    dur_us,
+                },
+            );
+        }
+    }
+
+    fn add_counter(&self, name: &'static str, delta: u64) {
+        let req = current_request().map(|(r, _)| r);
+        let fused = &mut *self.fused();
+        fused.agg.on_counter(name, delta);
+        if let Some(req) = req {
+            let ts_us = fused.ring.stamp_reused();
+            fused.ring.push(
+                req,
+                self.max_events_per_request,
+                FlightEvent::Counter { ts_us, name, delta },
+            );
+        }
+    }
+
+    fn merge_histogram(&self, name: &'static str, hist: &Histogram) {
+        let req = current_request().map(|(r, _)| r);
+        let (count, sum) = (hist.count(), hist.sum());
+        let fused = &mut *self.fused();
+        fused.agg.on_histogram(name, hist);
+        if let Some(req) = req {
+            let ts_us = fused.ring.stamp_reused();
+            fused.ring.push(
+                req,
+                self.max_events_per_request,
+                FlightEvent::Histogram {
+                    ts_us,
+                    name,
+                    count,
+                    sum,
+                },
+            );
+        }
+    }
+
+    fn request_start(&self, id: u64, op: &'static str) {
+        let fused = &mut *self.fused();
+        fused.agg.on_request_start();
+        let ts_us = fused.ring.stamp_fresh(&self.epoch);
+        fused.ring.start(id, op, ts_us, self.max_requests);
+    }
+
+    fn request_end(&self, id: u64, op: &'static str, dur_us: u64) {
+        let fused = &mut *self.fused();
+        fused.agg.on_request_end(op, dur_us);
+        fused.ring.end(id, dur_us, self.max_requests);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::request_scope;
+    use std::sync::Arc;
+
+    fn run_request(rec: &LiveRecorder, id: u64, op: &'static str, spans: usize) {
+        let _scope = request_scope(id, op);
+        rec.request_start(id, op);
+        for s in 0..spans {
+            let sid = id * 1000 + s as u64;
+            rec.span_enter("work", sid);
+            rec.add_counter("items", 10);
+            rec.span_exit("work", sid, 5);
+        }
+        rec.request_end(id, op, 42);
+    }
+
+    #[test]
+    fn one_event_stream_feeds_both_views() {
+        let rec = LiveRecorder::new(4, 64);
+        run_request(&rec, 1, "mine", 3);
+        // Registry half: aggregates.
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("items"), 30);
+        assert_eq!(snap.span("work").unwrap().count, 3);
+        assert_eq!(snap.latency("mine").unwrap().count(), 1);
+        assert_eq!(rec.counter_value("items"), 30);
+        // Ring half: the same events, attributed and ordered.
+        let t = rec.trace_of(1).unwrap();
+        assert_eq!(t.events.len(), 9);
+        assert_eq!(t.dur_us, Some(42));
+        let ts: Vec<u64> = t.events.iter().map(FlightEvent::ts_us).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+    }
+
+    #[test]
+    fn unattributed_events_count_in_the_registry_but_not_the_ring() {
+        let rec = LiveRecorder::new(4, 64);
+        rec.add_counter("boot.work", 7);
+        rec.span_enter("boot", 1);
+        rec.span_exit("boot", 1, 100);
+        assert_eq!(rec.counter_value("boot.work"), 7);
+        assert_eq!(rec.snapshot().span("boot").unwrap().count, 1);
+        assert!(rec.traces().is_empty(), "no request context, no trace");
+    }
+
+    #[test]
+    fn matches_the_teed_pair_it_replaces() {
+        // The fusion must be observationally equivalent to
+        // Tee(StatsRecorder, FlightRecorder) for the same event stream.
+        let fused = LiveRecorder::new(3, 16);
+        let stats = crate::StatsRecorder::new();
+        let flight = crate::FlightRecorder::new(3, 16);
+        for id in 1..=5 {
+            let _scope = request_scope(id, "mine");
+            for rec in [&fused as &dyn Recorder, &stats, &flight] {
+                rec.request_start(id, "mine");
+                rec.span_enter("work", id);
+                rec.add_counter("items", id);
+                rec.span_exit("work", id, 5);
+                rec.request_end(id, "mine", 40 + id);
+            }
+        }
+        let (a, b) = (fused.snapshot(), stats.snapshot());
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.spans, b.spans);
+        assert_eq!(a.latency("mine").unwrap().count(), 5);
+        assert_eq!(fused.evicted(), flight.evicted());
+        let ids = |ts: &[RequestTrace]| ts.iter().map(|t| t.id).collect::<Vec<_>>();
+        assert_eq!(ids(&fused.traces()), ids(&flight.snapshot()));
+        assert_eq!(
+            fused.trace_of(4).unwrap().events.len(),
+            flight.trace_of(4).unwrap().events.len()
+        );
+    }
+
+    #[test]
+    fn concurrent_requests_stay_whole_and_consistent() {
+        const THREADS: u64 = 8;
+        const SPANS: usize = 40;
+        let rec = Arc::new(LiveRecorder::new(THREADS as usize, 1024));
+        std::thread::scope(|scope| {
+            for id in 1..=THREADS {
+                let rec = rec.clone();
+                scope.spawn(move || run_request(&rec, id, "mine", SPANS));
+            }
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("items"), THREADS * SPANS as u64 * 10);
+        assert_eq!(snap.latency("mine").unwrap().count(), THREADS);
+        assert_eq!(snap.open_requests, 0);
+        for t in rec.traces() {
+            assert_eq!(t.events.len(), SPANS * 3, "req {} torn", t.id);
+            let ts: Vec<u64> = t.events.iter().map(FlightEvent::ts_us).collect();
+            assert!(ts.windows(2).all(|w| w[0] <= w[1]), "req {}", t.id);
+        }
+    }
+}

@@ -9,7 +9,12 @@
 //! {"ev":"counter","name":"...","delta":N,"ts_us":T}
 //! {"ev":"histogram","name":"...","count":N,"min":M,"max":X,
 //!  "buckets":[[lo,hi,n],...],"ts_us":T}
+//! {"ev":"request_start","req":N,"op":"...","ts_us":T}
+//! {"ev":"request_end","req":N,"op":"...","ts_us":T,"dur_us":D}
 //! ```
+//!
+//! `request_*` lines appear only when the process opens request scopes
+//! (the resident service); batch CLI traces contain the first four.
 //!
 //! Timestamps are taken *inside* the writer lock, so `ts_us` is
 //! non-decreasing in file order even with parallel workers emitting
@@ -119,6 +124,24 @@ impl<W: Write + Send> Recorder for NdjsonRecorder<W> {
         });
     }
 
+    fn request_start(&self, id: u64, op: &'static str) {
+        self.line(|ts| {
+            format!(
+                r#"{{"ev":"request_start","req":{id},"op":"{}","ts_us":{ts}}}"#,
+                escape(op)
+            )
+        });
+    }
+
+    fn request_end(&self, id: u64, op: &'static str, dur_us: u64) {
+        self.line(|ts| {
+            format!(
+                r#"{{"ev":"request_end","req":{id},"op":"{}","ts_us":{ts},"dur_us":{dur_us}}}"#,
+                escape(op)
+            )
+        });
+    }
+
     fn flush(&self) {
         let _ = self.state.lock().unwrap().out.flush();
     }
@@ -192,5 +215,62 @@ mod tests {
     #[test]
     fn escape_handles_control_and_quote() {
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+
+    #[test]
+    fn request_events_render_with_ids() {
+        let rec = NdjsonRecorder::new(Vec::new());
+        rec.request_start(7, "mine");
+        rec.request_end(7, "mine", 950);
+        let lines = lines(rec);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(r#""ev":"request_start","req":7,"op":"mine""#));
+        assert!(lines[1].contains(r#""dur_us":950"#));
+    }
+
+    #[test]
+    fn concurrent_writers_interleave_without_tearing_lines() {
+        // The satellite test: every event type from several threads at
+        // once; each emitted line must still be exactly one complete
+        // JSON object (no partial writes spliced together).
+        let rec = Arc::new(NdjsonRecorder::new(Vec::new()));
+        std::thread::scope(|scope| {
+            for t in 1..=4u64 {
+                let rec = rec.clone();
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        let id = t * 1000 + i;
+                        rec.request_start(id, "mine");
+                        rec.span_enter("fpm.mine", id);
+                        rec.add_counter("items", t);
+                        let mut h = Histogram::new();
+                        h.record(i);
+                        rec.merge_histogram("vals", &h);
+                        rec.span_exit("fpm.mine", id, 3);
+                        rec.request_end(id, "mine", 9);
+                    }
+                });
+            }
+        });
+        let rec = Arc::into_inner(rec).unwrap();
+        let lines = lines(rec);
+        assert_eq!(lines.len(), 4 * 100 * 6);
+        for line in &lines {
+            assert!(
+                line.starts_with(r#"{"ev":""#) && line.ends_with('}'),
+                "torn line: {line}"
+            );
+            assert_eq!(
+                line.matches('"').count() % 2,
+                0,
+                "unbalanced quotes: {line}"
+            );
+            assert!(line.contains(r#""ts_us":"#), "{line}");
+        }
+        let ends = lines
+            .iter()
+            .filter(|l| l.contains(r#""ev":"request_end""#))
+            .count();
+        assert_eq!(ends, 400);
     }
 }

@@ -1,0 +1,165 @@
+//! Request-scoped span context.
+//!
+//! A resident service handles many logical requests in one process; for
+//! a trace event to be useful it must say *which* request it belongs
+//! to. [`request_scope`] opens a scope that tags every telemetry event
+//! emitted by the current thread — spans, counters, histograms — with a
+//! request id and a static op label, until the returned guard drops.
+//! Recorders read the tag through [`current_request`]; the
+//! [`crate::FlightRecorder`] uses it to keep whole per-request event
+//! streams, and [`crate::StatsRecorder`] derives per-op latency
+//! histograms from the `request_end` events the guard emits.
+//!
+//! The context is thread-local: work that fans out to other threads
+//! (the parallel mining engine) carries it across explicitly with
+//! [`request_token`] / [`RequestToken::adopt`], so worker-thread events
+//! stay attributable to the request that spawned them.
+//!
+//! Scopes nest: an inner scope shadows the outer one and restores it on
+//! drop. Setting the context is two thread-local stores — it stays
+//! near-free when telemetry is disabled.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+use crate::{enabled, with};
+
+thread_local! {
+    static CURRENT: Cell<Option<(u64, &'static str)>> = const { Cell::new(None) };
+}
+
+/// The request id and op label the current thread's telemetry events
+/// are attributed to, if a scope (or an adopted token) is active.
+#[inline]
+pub fn current_request() -> Option<(u64, &'static str)> {
+    CURRENT.with(|c| c.get())
+}
+
+/// Opens a request scope: events emitted by this thread are attributed
+/// to `(id, op)` until the guard drops. Entering emits `request_start`
+/// to the installed recorder; dropping emits `request_end` with the
+/// measured duration (which feeds per-op latency histograms).
+#[must_use = "the request scope closes when the guard drops"]
+pub fn request_scope(id: u64, op: &'static str) -> RequestScope {
+    let prev = CURRENT.with(|c| c.replace(Some((id, op))));
+    if enabled() {
+        with(|r| r.request_start(id, op));
+    }
+    RequestScope {
+        prev,
+        id,
+        op,
+        start: Instant::now(),
+    }
+}
+
+/// RAII guard returned by [`request_scope`]; restores the previous
+/// context and emits `request_end` on drop.
+pub struct RequestScope {
+    prev: Option<(u64, &'static str)>,
+    id: u64,
+    op: &'static str,
+    start: Instant,
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        let dur_us = self.start.elapsed().as_micros() as u64;
+        if enabled() {
+            with(|r| r.request_end(self.id, self.op, dur_us));
+        }
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+/// A copyable capture of the current request context, made to cross a
+/// thread boundary (worker threads do not inherit thread-locals).
+#[derive(Debug, Clone, Copy)]
+pub struct RequestToken(Option<(u64, &'static str)>);
+
+/// Captures the calling thread's request context into a [`RequestToken`]
+/// (empty if no scope is active — adopting it is then a no-op).
+pub fn request_token() -> RequestToken {
+    RequestToken(current_request())
+}
+
+impl RequestToken {
+    /// Installs the captured context on the *current* thread until the
+    /// guard drops. Unlike [`request_scope`] this emits no
+    /// `request_start`/`request_end` events — the request is owned by
+    /// the thread that opened the scope; adoption only restores
+    /// attribution for events emitted here.
+    #[must_use = "the adopted context is dropped with the guard"]
+    pub fn adopt(self) -> RequestAdoption {
+        let prev = match self.0 {
+            Some(ctx) => CURRENT.with(|c| c.replace(Some(ctx))),
+            None => current_request(),
+        };
+        RequestAdoption { prev }
+    }
+}
+
+/// RAII guard returned by [`RequestToken::adopt`]; restores the
+/// thread's previous context on drop.
+pub struct RequestAdoption {
+    prev: Option<(u64, &'static str)>,
+}
+
+impl Drop for RequestAdoption {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        assert_eq!(current_request(), None);
+        {
+            let _outer = request_scope(1, "mine");
+            assert_eq!(current_request(), Some((1, "mine")));
+            {
+                let _inner = request_scope(2, "query");
+                assert_eq!(current_request(), Some((2, "query")));
+            }
+            assert_eq!(current_request(), Some((1, "mine")));
+        }
+        assert_eq!(current_request(), None);
+    }
+
+    #[test]
+    fn tokens_carry_context_across_threads() {
+        let _scope = request_scope(7, "query");
+        let token = request_token();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                assert_eq!(current_request(), None, "not inherited implicitly");
+                {
+                    let _ctx = token.adopt();
+                    assert_eq!(current_request(), Some((7, "query")));
+                }
+                assert_eq!(current_request(), None, "adoption restores on drop");
+            });
+        });
+        assert_eq!(current_request(), Some((7, "query")));
+    }
+
+    #[test]
+    fn an_empty_token_adopts_as_a_no_op() {
+        let token = {
+            // Captured outside any scope.
+            assert_eq!(current_request(), None);
+            request_token()
+        };
+        let _scope = request_scope(3, "stats");
+        let _ctx = token.adopt();
+        assert_eq!(
+            current_request(),
+            Some((3, "stats")),
+            "empty token must not clear an active scope"
+        );
+    }
+}

@@ -17,12 +17,82 @@ pub struct SpanStat {
     pub max_us: u64,
 }
 
+/// The aggregation core shared by [`StatsRecorder`] (alone behind a
+/// mutex) and [`crate::LiveRecorder`] (fused with a flight ring behind
+/// one mutex). All methods expect the caller to hold that lock.
 #[derive(Default)]
-struct Agg {
+pub(crate) struct Agg {
     counters: BTreeMap<&'static str, u64>,
     spans: BTreeMap<&'static str, SpanStat>,
     open_spans: u64,
     hists: BTreeMap<&'static str, Histogram>,
+    latencies: BTreeMap<&'static str, Histogram>,
+    open_requests: u64,
+}
+
+impl Agg {
+    pub(crate) fn on_span_enter(&mut self) {
+        self.open_spans += 1;
+    }
+
+    pub(crate) fn on_span_exit(&mut self, name: &'static str, dur_us: u64) {
+        self.open_spans = self.open_spans.saturating_sub(1);
+        let stat = self.spans.entry(name).or_default();
+        stat.count += 1;
+        stat.total_us += dur_us;
+        stat.max_us = stat.max_us.max(dur_us);
+    }
+
+    pub(crate) fn on_counter(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_default() += delta;
+    }
+
+    pub(crate) fn on_histogram(&mut self, name: &'static str, hist: &Histogram) {
+        self.hists.entry(name).or_default().merge(hist);
+    }
+
+    pub(crate) fn on_request_start(&mut self) {
+        self.open_requests += 1;
+    }
+
+    pub(crate) fn on_request_end(&mut self, op: &'static str, dur_us: u64) {
+        self.open_requests = self.open_requests.saturating_sub(1);
+        self.latencies.entry(op).or_default().record(dur_us);
+    }
+
+    pub(crate) fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(&n, _)| n == name)
+            .map_or(0, |(_, &v)| v)
+    }
+
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            spans: self
+                .spans
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            open_spans: self.open_spans,
+            hists: self
+                .hists
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            latencies: self
+                .latencies
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            open_requests: self.open_requests,
+        }
+    }
 }
 
 /// A [`Recorder`] that aggregates everything in memory: counters sum,
@@ -39,56 +109,41 @@ impl StatsRecorder {
         StatsRecorder::default()
     }
 
+    /// Current total of one counter, without cloning a full snapshot
+    /// (cheap enough to call per request).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.agg.lock().unwrap().counter_value(name)
+    }
+
     /// A point-in-time copy of everything aggregated so far.
     pub fn snapshot(&self) -> StatsSnapshot {
-        let agg = self.agg.lock().unwrap();
-        StatsSnapshot {
-            counters: agg
-                .counters
-                .iter()
-                .map(|(&k, &v)| (k.to_string(), v))
-                .collect(),
-            spans: agg
-                .spans
-                .iter()
-                .map(|(&k, &v)| (k.to_string(), v))
-                .collect(),
-            open_spans: agg.open_spans,
-            hists: agg
-                .hists
-                .iter()
-                .map(|(&k, v)| (k.to_string(), v.clone()))
-                .collect(),
-        }
+        self.agg.lock().unwrap().snapshot()
     }
 }
 
 impl Recorder for StatsRecorder {
     fn span_enter(&self, _name: &'static str, _id: u64) {
-        self.agg.lock().unwrap().open_spans += 1;
+        self.agg.lock().unwrap().on_span_enter();
     }
 
     fn span_exit(&self, name: &'static str, _id: u64, dur_us: u64) {
-        let mut agg = self.agg.lock().unwrap();
-        agg.open_spans = agg.open_spans.saturating_sub(1);
-        let stat = agg.spans.entry(name).or_default();
-        stat.count += 1;
-        stat.total_us += dur_us;
-        stat.max_us = stat.max_us.max(dur_us);
+        self.agg.lock().unwrap().on_span_exit(name, dur_us);
     }
 
     fn add_counter(&self, name: &'static str, delta: u64) {
-        *self.agg.lock().unwrap().counters.entry(name).or_default() += delta;
+        self.agg.lock().unwrap().on_counter(name, delta);
     }
 
     fn merge_histogram(&self, name: &'static str, hist: &Histogram) {
-        self.agg
-            .lock()
-            .unwrap()
-            .hists
-            .entry(name)
-            .or_default()
-            .merge(hist);
+        self.agg.lock().unwrap().on_histogram(name, hist);
+    }
+
+    fn request_start(&self, _id: u64, _op: &'static str) {
+        self.agg.lock().unwrap().on_request_start();
+    }
+
+    fn request_end(&self, _id: u64, op: &'static str, dur_us: u64) {
+        self.agg.lock().unwrap().on_request_end(op, dur_us);
     }
 }
 
@@ -103,6 +158,11 @@ pub struct StatsSnapshot {
     pub open_spans: u64,
     /// `(name, histogram)` pairs, name-ascending.
     pub hists: Vec<(String, Histogram)>,
+    /// Per-op request latency histograms (microseconds), op-ascending.
+    /// Fed by `request_end` events from [`crate::request_scope`].
+    pub latencies: Vec<(String, Histogram)>,
+    /// Requests started but not yet ended at snapshot time.
+    pub open_requests: u64,
 }
 
 fn fmt_us(us: u64) -> String {
@@ -134,6 +194,11 @@ impl StatsSnapshot {
         self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
     }
 
+    /// Latency histogram of the named request op, if any completed.
+    pub fn latency(&self, op: &str) -> Option<&Histogram> {
+        self.latencies.iter().find(|(n, _)| n == op).map(|(_, h)| h)
+    }
+
     /// Renders the multi-line human summary printed by `--stats`.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -158,19 +223,40 @@ impl StatsSnapshot {
         if !self.hists.is_empty() {
             out.push_str("histograms:\n");
             for (name, h) in &self.hists {
-                out.push_str(&format!(
-                    "  {name:<34} n={} min={} p50\u{2264}{} max={}\n",
-                    h.count(),
-                    h.min().unwrap_or(0),
-                    h.quantile_le(0.5).unwrap_or(0),
-                    h.max().unwrap_or(0)
-                ));
+                out.push_str(&format!("  {name:<34} {}\n", hist_line(h)));
             }
         }
-        if self.spans.is_empty() && self.counters.is_empty() && self.hists.is_empty() {
+        if !self.latencies.is_empty() {
+            out.push_str("request latency (per op):\n");
+            for (op, h) in &self.latencies {
+                out.push_str(&format!("  {op:<34} {}\n", hist_line(h)));
+            }
+        }
+        if self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.hists.is_empty()
+            && self.latencies.is_empty()
+        {
             out.push_str("  (no events recorded)\n");
         }
         out
+    }
+}
+
+/// Summary of one histogram: `n`, `min`, `p50/p95/p99` bucket bounds
+/// and `max` — or an explicit `(empty)` marker, instead of the
+/// misleading `min=0 p50≤0 max=0` a bare `unwrap_or(0)` would print
+/// when nothing was recorded.
+fn hist_line(h: &Histogram) -> String {
+    match (h.min(), h.max()) {
+        (Some(min), Some(max)) => format!(
+            "n={} min={min} p50\u{2264}{} p95\u{2264}{} p99\u{2264}{} max={max}",
+            h.count(),
+            h.quantile_le(0.50).unwrap_or(max),
+            h.quantile_le(0.95).unwrap_or(max),
+            h.quantile_le(0.99).unwrap_or(max),
+        ),
+        _ => "n=0 (empty)".to_string(),
     }
 }
 
@@ -249,5 +335,49 @@ mod tests {
             .snapshot()
             .render()
             .contains("no events"));
+    }
+
+    #[test]
+    fn render_prints_all_three_quantiles() {
+        let rec = StatsRecorder::new();
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        rec.merge_histogram("lat", &h);
+        let text = rec.snapshot().render();
+        assert!(text.contains("p50\u{2264}"), "{text}");
+        assert!(text.contains("p95\u{2264}"), "{text}");
+        assert!(text.contains("p99\u{2264}"), "{text}");
+    }
+
+    #[test]
+    fn render_marks_empty_histograms_instead_of_fake_bounds() {
+        // An empty histogram must not render as `min=0 p50≤0 max=0`,
+        // which reads as "observed zeros".
+        let rec = StatsRecorder::new();
+        rec.merge_histogram("empty", &Histogram::new());
+        let text = rec.snapshot().render();
+        assert!(text.contains("n=0 (empty)"), "{text}");
+        assert!(!text.contains("p50\u{2264}0"), "{text}");
+    }
+
+    #[test]
+    fn request_events_build_per_op_latency_histograms() {
+        let rec = StatsRecorder::new();
+        rec.request_start(1, "mine");
+        rec.request_start(2, "query");
+        rec.request_end(1, "mine", 1_000);
+        rec.request_end(2, "query", 50);
+        rec.request_start(3, "mine");
+        rec.request_end(3, "mine", 3_000);
+        rec.request_start(4, "mine"); // still in flight
+        let snap = rec.snapshot();
+        let mine = snap.latency("mine").unwrap();
+        assert_eq!(mine.count(), 2);
+        assert_eq!(mine.max(), Some(3_000));
+        assert_eq!(snap.latency("query").unwrap().count(), 1);
+        assert_eq!(snap.open_requests, 1);
+        assert!(snap.render().contains("request latency"));
     }
 }

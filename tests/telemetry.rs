@@ -138,6 +138,60 @@ fn every_miner_emits_its_phase_span_and_matching_counters() {
     }
 }
 
+/// A request scope must attribute the whole exploration — including
+/// events emitted by parallel mining workers on their own threads — to
+/// the request, and close its trace even though no event ever crosses
+/// the loop thread's boundary explicitly.
+#[test]
+fn request_context_propagates_through_parallel_mining_workers() {
+    let _guard = obs_lock().lock().unwrap();
+    let d = compas();
+    let flight = std::sync::Arc::new(obs::FlightRecorder::new(8, 65_536));
+    let stats = std::sync::Arc::new(obs::StatsRecorder::new());
+    obs::install(std::sync::Arc::new(obs::Tee(vec![
+        flight.clone(),
+        stats.clone(),
+    ])));
+    {
+        let _req = obs::request_scope(77, "mine");
+        DivExplorer::new(0.05)
+            .with_threads(4)
+            .with_algorithm(Algorithm::Dense)
+            .explore(&d.data, &d.v, &d.u, &[Metric::FalsePositiveRate])
+            .expect("explore");
+    }
+    obs::uninstall();
+
+    let trace = flight
+        .trace_of(77)
+        .expect("the request's trace must be retained");
+    assert_eq!(trace.op, "mine");
+    assert!(trace.dur_us.is_some(), "scope drop must complete the trace");
+    let names: std::collections::HashSet<&str> = trace
+        .events
+        .iter()
+        .map(|e| match e {
+            obs::FlightEvent::SpanEnter { name, .. }
+            | obs::FlightEvent::SpanExit { name, .. }
+            | obs::FlightEvent::Counter { name, .. }
+            | obs::FlightEvent::Histogram { name, .. } => *name,
+        })
+        .collect();
+    for name in ["explore.mine", "fpm.parallel.mine", "fpm.itemsets_emitted"] {
+        assert!(names.contains(name), "missing {name}; got {names:?}");
+    }
+    // Worker-side batched publishes carry the adopted context: the
+    // per-worker stats land inside the request's event stream.
+    assert!(
+        names.iter().any(|n| n.starts_with("fpm.dense.")),
+        "worker-emitted counters must be attributed: {names:?}"
+    );
+    // And the aggregate registry recorded the request's latency.
+    let snap = stats.snapshot();
+    let lat = snap.latency("mine").expect("per-op latency histogram");
+    assert_eq!(lat.count(), 1);
+}
+
 /// Satellite regression: under every budget and thread count, the
 /// `Truncated` verdict's `emitted` must equal both the patterns kept in
 /// the report and the `fpm.itemsets_emitted` counter — the exit-4 path
