@@ -13,10 +13,24 @@
 
 use bench::{banner, telemetry};
 use divexplorer::{Metric, MultiCounts};
-use fpm::{Algorithm, MiningParams};
+use fpm::bitset_eclat::Bitset;
+use fpm::{Algorithm, ClassMasks, Kernel, MiningParams};
+use std::hint::black_box;
 use std::time::Instant;
 
 const METRICS: [Metric; 2] = [Metric::FalsePositiveRate, Metric::FalseNegativeRate];
+
+/// Best-of-`reps` wall clock of `f`, microseconds (floored at 1 so
+/// ratios stay finite on very fast runs).
+fn best_us(reps: usize, mut f: impl FnMut()) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_micros() as u64);
+    }
+    best.max(1)
+}
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -101,6 +115,112 @@ fn main() {
         );
     }
 
+    // ── Kernel microbenchmark: counting cost per density regime ──
+    //
+    // The same (T, F, ⊥) tally measured three ways, matching the three
+    // tidset representations the engines hold:
+    //   dense bitset — per-class AND+popcount loop vs the fused
+    //                  multi-mask streaming pass, under every kernel;
+    //   tid-list     — per-tid mask probes (`count_sparse`);
+    //   diffset      — the dEclat subtraction (`subtract_sparse`).
+    let masks = ClassMasks::build(&payloads).expect("MultiCounts lowers to class masks");
+    let n_classes = masks.n_classes();
+    let mut tids = Bitset::zeros(db.len());
+    for t in (0..db.len()).step_by(3) {
+        tids.set(t);
+    }
+    let tid_list: Vec<u32> = (0..db.len() as u32).step_by(3).collect();
+    let diff_list: Vec<u32> = (0..db.len() as u32).step_by(30).collect();
+    let iters = if smoke { 50 } else { 500 };
+    let kreps = reps.max(3);
+
+    let mut kernel_counters: Vec<(String, u64)> = Vec::new();
+    let mut reference = vec![0u64; n_classes];
+    masks.count_dense_per_class(Kernel::Scalar, &tids, &mut reference);
+    let mut per_class_scalar_us = 0u64;
+    println!();
+    println!("kernel microbench ({iters} tallies, {n_classes} classes, best of {kreps}):");
+    for kernel in Kernel::ALL {
+        if !kernel.available() {
+            println!("  {kernel:<9} unavailable on this CPU, skipped");
+            continue;
+        }
+        let mut counts = vec![0u64; n_classes];
+        let per_us = best_us(kreps, || {
+            for _ in 0..iters {
+                masks.count_dense_per_class(kernel, black_box(&tids), &mut counts);
+            }
+            black_box(&counts);
+        });
+        assert_eq!(counts, reference, "{kernel}: per-class tally differs");
+        let fused_us = best_us(kreps, || {
+            for _ in 0..iters {
+                masks.count_dense_with(kernel, black_box(&tids), &mut counts);
+            }
+            black_box(&counts);
+        });
+        assert_eq!(counts, reference, "{kernel}: fused tally differs");
+        println!(
+            "  {kernel:<9} per-class {per_us:>7} µs   fused {fused_us:>7} µs   ({:.2}x)",
+            per_us as f64 / fused_us as f64
+        );
+        if kernel == Kernel::Scalar {
+            per_class_scalar_us = per_us;
+        }
+        kernel_counters.push((format!("kernel_dense_per_class_{kernel}_us"), per_us));
+        kernel_counters.push((format!("kernel_dense_fused_{kernel}_us"), fused_us));
+    }
+
+    // The tentpole contract: one fused streaming pass under the
+    // process-selected kernel beats the historical per-class scalar
+    // loop by ≥ 2× on the dense-bitset regime.
+    let selected = fpm::kernels::selected();
+    let mut counts = vec![0u64; n_classes];
+    let fused_selected_us = best_us(kreps, || {
+        for _ in 0..iters {
+            masks.count_dense(black_box(&tids), &mut counts);
+        }
+        black_box(&counts);
+    });
+    assert_eq!(counts, reference, "selected kernel: fused tally differs");
+    let fused_speedup = per_class_scalar_us as f64 / fused_selected_us as f64;
+    println!("fused ({selected}) speedup over per-class scalar: {fused_speedup:.2}x");
+    if !smoke {
+        assert!(
+            fused_speedup >= 2.0,
+            "fused multi-mask kernel must be at least 2x faster than the \
+             per-class scalar tally (per-class {per_class_scalar_us} µs vs \
+             fused {fused_selected_us} µs = {fused_speedup:.2}x)"
+        );
+    }
+    kernel_counters.push(("kernel_fused_selected_us".to_string(), fused_selected_us));
+    kernel_counters.push((
+        "kernel_fused_speedup_x1000".to_string(),
+        (fused_speedup * 1000.0) as u64,
+    ));
+
+    // Sparse regimes for scale: the same tally from a tid-list, and the
+    // dEclat subtraction from a diffset.
+    let sparse_us = best_us(kreps, || {
+        for _ in 0..iters {
+            masks.count_sparse(black_box(&tid_list), &mut counts);
+        }
+        black_box(&counts);
+    });
+    assert_eq!(counts, reference, "tid-list tally differs from dense");
+    let mut parent = vec![0u64; n_classes];
+    masks.count_sparse(&(0..db.len() as u32).collect::<Vec<u32>>(), &mut parent);
+    let diffset_us = best_us(kreps, || {
+        for _ in 0..iters {
+            counts.copy_from_slice(&parent);
+            masks.subtract_sparse(black_box(&diff_list), &mut counts);
+        }
+        black_box(&counts);
+    });
+    println!("  tid-list  {sparse_us:>7} µs   diffset subtract {diffset_us:>7} µs");
+    kernel_counters.push(("kernel_sparse_tidlist_us".to_string(), sparse_us));
+    kernel_counters.push(("kernel_diffset_subtract_us".to_string(), diffset_us));
+
     let mut run = obs::RunReport::new("counters", "artificial", "dense");
     run.n_rows = db.len() as u64;
     run.min_support = 0.02;
@@ -124,5 +244,11 @@ fn main() {
             value: (speedup * 1000.0) as u64,
         },
     ];
+    run.counters.extend(
+        kernel_counters
+            .into_iter()
+            .map(|(name, value)| obs::CounterEntry { name, value }),
+    );
+    telemetry::apply_kernel(&mut run);
     telemetry::write(&run);
 }

@@ -197,6 +197,13 @@ pub mod telemetry {
         report.shard_truncated_phase = stats.truncated_phase.map(|p| p.to_string());
     }
 
+    /// Records which counting kernel this process dispatches to, so a
+    /// report's timings can be compared against runs on other hardware
+    /// (or with `FPM_KERNEL` forced).
+    pub fn apply_kernel(report: &mut RunReport) {
+        report.kernel = Some(fpm::kernels::selected().name().to_string());
+    }
+
     /// Writes the report to [`report_dir`] and prints where it went.
     /// A write failure is reported, not fatal — the experiment's stdout
     /// output is still the primary artifact.

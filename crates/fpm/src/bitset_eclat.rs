@@ -8,33 +8,41 @@
 
 use crate::arena::ItemsetArena;
 use crate::itemset::FrequentItemset;
+use crate::kernels::{self, AlignedWords};
 use crate::payload::Payload;
 use crate::sink::ItemsetSink;
 use crate::transaction::{ItemId, TransactionDb};
 use crate::MiningParams;
 
-/// A packed bit vector over transaction ids.
+/// A packed bit vector over transaction ids, backed by 64-byte-aligned
+/// word storage so the counting kernels' wide loads never split a cache
+/// line. Counting goes through the process-selected [`kernels::Kernel`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Bitset {
-    words: Vec<u64>,
+    words: AlignedWords,
 }
 
 impl Bitset {
     /// An all-zero bitset for `n` transactions.
     pub fn zeros(n: usize) -> Self {
         Bitset {
-            words: vec![0; n.div_ceil(64)],
+            words: AlignedWords::zeroed(n.div_ceil(64)),
         }
     }
 
     /// Wraps an existing word buffer (e.g. one recycled from a pool).
-    pub fn from_words(words: Vec<u64>) -> Self {
+    pub fn from_words(words: AlignedWords) -> Self {
         Bitset { words }
     }
 
     /// Unwraps into the word buffer, for recycling.
-    pub fn into_words(self) -> Vec<u64> {
+    pub fn into_words(self) -> AlignedWords {
         self.words
+    }
+
+    /// The backing words (exactly `n_words()` long).
+    pub fn words(&self) -> &[u64] {
+        self.words.as_slice()
     }
 
     /// Number of `u64` words backing the set.
@@ -44,17 +52,17 @@ impl Bitset {
 
     /// Sets bit `i`.
     pub fn set(&mut self, i: usize) {
-        self.words[i / 64] |= 1u64 << (i % 64);
+        self.words.as_mut_slice()[i / 64] |= 1u64 << (i % 64);
     }
 
     /// True iff bit `i` is set.
     pub fn get(&self, i: usize) -> bool {
-        self.words[i / 64] & (1u64 << (i % 64)) != 0
+        self.words.as_slice()[i / 64] & (1u64 << (i % 64)) != 0
     }
 
     /// Number of set bits.
     pub fn count(&self) -> u64 {
-        self.words.iter().map(|w| w.count_ones() as u64).sum()
+        kernels::selected().count(self.words.as_slice())
     }
 
     /// Binary operations are only defined over bitsets of the same
@@ -77,17 +85,20 @@ impl Bitset {
     #[track_caller]
     pub fn and(&self, other: &Bitset) -> Bitset {
         self.check_len(other);
-        Bitset {
-            words: self
-                .words
-                .iter()
-                .zip(&other.words)
-                .map(|(a, b)| a & b)
-                .collect(),
+        let mut out = AlignedWords::zeroed(self.words.len());
+        for ((o, a), b) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.words.as_slice())
+            .zip(other.words.as_slice())
+        {
+            *o = a & b;
         }
+        Bitset { words: out }
     }
 
-    /// Popcount of the intersection without materializing it.
+    /// Popcount of the intersection without materializing it, through
+    /// the process-selected counting kernel.
     ///
     /// # Panics
     ///
@@ -95,11 +106,7 @@ impl Bitset {
     #[track_caller]
     pub fn and_count(&self, other: &Bitset) -> u64 {
         self.check_len(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as u64)
-            .sum()
+        kernels::selected().and_count(self.words.as_slice(), other.words.as_slice())
     }
 
     /// Writes the intersection `self & other` into `out` (cleared first),
@@ -109,10 +116,17 @@ impl Bitset {
     ///
     /// Panics if the two bitsets have different word lengths.
     #[track_caller]
-    pub fn and_into(&self, other: &Bitset, out: &mut Vec<u64>) {
+    pub fn and_into(&self, other: &Bitset, out: &mut AlignedWords) {
         self.check_len(other);
-        out.clear();
-        out.extend(self.words.iter().zip(&other.words).map(|(a, b)| a & b));
+        out.resize_zeroed(self.words.len());
+        for ((o, a), b) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.words.as_slice())
+            .zip(other.words.as_slice())
+        {
+            *o = a & b;
+        }
     }
 
     /// Appends the indices of the set bits of `self & other` to `out`,
@@ -124,7 +138,13 @@ impl Bitset {
     #[track_caller]
     pub fn and_collect(&self, other: &Bitset, out: &mut Vec<u32>) {
         self.check_len(other);
-        for (wi, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
+        for (wi, (a, b)) in self
+            .words
+            .as_slice()
+            .iter()
+            .zip(other.words.as_slice())
+            .enumerate()
+        {
             let mut w = a & b;
             while w != 0 {
                 out.push((wi * 64) as u32 + w.trailing_zeros());
@@ -142,7 +162,13 @@ impl Bitset {
     #[track_caller]
     pub fn and_not_collect(&self, other: &Bitset, out: &mut Vec<u32>) {
         self.check_len(other);
-        for (wi, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
+        for (wi, (a, b)) in self
+            .words
+            .as_slice()
+            .iter()
+            .zip(other.words.as_slice())
+            .enumerate()
+        {
             let mut w = a & !b;
             while w != 0 {
                 out.push((wi * 64) as u32 + w.trailing_zeros());
@@ -153,17 +179,21 @@ impl Bitset {
 
     /// Iterates the indices of set bits, ascending.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &word)| {
-            let mut w = word;
-            std::iter::from_fn(move || {
-                if w == 0 {
-                    return None;
-                }
-                let bit = w.trailing_zeros() as usize;
-                w &= w - 1;
-                Some(wi * 64 + bit)
+        self.words
+            .as_slice()
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &word)| {
+                let mut w = word;
+                std::iter::from_fn(move || {
+                    if w == 0 {
+                        return None;
+                    }
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                })
             })
-        })
     }
 }
 
@@ -307,7 +337,7 @@ mod tests {
                 a.and(b);
             },
             |a, b| {
-                a.and_into(b, &mut Vec::new());
+                a.and_into(b, &mut AlignedWords::new());
             },
             |a, b| {
                 a.and_collect(b, &mut Vec::new());
@@ -350,7 +380,7 @@ mod tests {
             .collect();
         assert_eq!(diff, expected_diff);
 
-        let mut words = vec![0xDEADu64; 1]; // stale content must be cleared
+        let mut words = AlignedWords::from_slice(&[0xDEAD]); // stale content must be cleared
         a.and_into(&b, &mut words);
         assert_eq!(Bitset::from_words(words), a.and(&b));
     }

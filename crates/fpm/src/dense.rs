@@ -38,6 +38,7 @@ use crate::arena::ItemsetArena;
 use crate::bitset_eclat::Bitset;
 use crate::eclat;
 use crate::itemset::FrequentItemset;
+use crate::kernels::{self, AlignedWords};
 use crate::masks::ClassMasks;
 use crate::payload::Payload;
 use crate::sink::ItemsetSink;
@@ -78,7 +79,7 @@ impl Default for Config {
 /// never shared across threads.
 #[derive(Debug, Default)]
 pub struct Pool {
-    words: Vec<Vec<u64>>,
+    words: Vec<AlignedWords>,
     tids: Vec<Vec<u32>>,
     counts: Vec<Vec<u64>>,
     nodes: Vec<Vec<Node>>,
@@ -104,10 +105,15 @@ impl Pool {
         }
     }
 
-    fn take_words(&mut self) -> Vec<u64> {
-        Self::grab(&mut self.words, &mut self.hits, &mut self.misses, Vec::new)
+    fn take_words(&mut self) -> AlignedWords {
+        Self::grab(
+            &mut self.words,
+            &mut self.hits,
+            &mut self.misses,
+            AlignedWords::new,
+        )
     }
-    fn put_words(&mut self, mut buf: Vec<u64>) {
+    fn put_words(&mut self, mut buf: AlignedWords) {
         buf.clear();
         self.words.push(buf);
     }
@@ -154,6 +160,9 @@ impl EngineStats {
         obs::counter("fpm.dense.diffset_families", self.diffset_families);
         obs::counter("fpm.dense.pool_hits", pool.hits);
         obs::counter("fpm.dense.pool_misses", pool.misses);
+        // Which counting kernel this run (or worker) went through, and
+        // how many words it pushed through that kernel.
+        kernels::publish_selected(self.words_anded);
     }
 }
 

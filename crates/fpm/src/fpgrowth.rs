@@ -50,7 +50,8 @@ pub fn mine_into<P: Payload, S: ItemsetSink<P>>(
 
     // Second scan: build the FP-tree over rank-ordered frequent items.
     let tree_build = obs::span("fpm.fpgrowth.tree_build");
-    let mut tree: FpTree<P> = FpTree::new();
+    let n_frequent = rank.iter().filter(|r| r.is_some()).count();
+    let mut tree: FpTree<P> = FpTree::with_item_capacity(n_frequent);
     let mut buf: Vec<ItemId> = Vec::new();
     for (t, row) in db.iter().enumerate() {
         // Budget/cancellation checkpoint: tree construction precedes any
@@ -200,7 +201,7 @@ fn build_conditional_tree<P: Payload>(base: &[(Vec<ItemId>, u64, P)], threshold:
         .map(|(r, &i)| (i, r as u32))
         .collect();
 
-    let mut tree = FpTree::new();
+    let mut tree = FpTree::with_item_capacity(frequent.len());
     let mut buf: Vec<ItemId> = Vec::new();
     for (path, count, payload) in base {
         buf.clear();

@@ -42,6 +42,14 @@ pub struct FpTree<P> {
 impl<P: Payload> FpTree<P> {
     /// Creates an empty tree.
     pub fn new() -> Self {
+        Self::with_item_capacity(0)
+    }
+
+    /// Creates an empty tree with the header and item-count maps
+    /// pre-sized for `n_items` distinct items — the caller usually knows
+    /// the (filtered) item universe up front, so the maps never rehash
+    /// during construction.
+    pub fn with_item_capacity(n_items: usize) -> Self {
         let root = FpNode {
             item: ItemId::MAX,
             count: 0,
@@ -51,8 +59,8 @@ impl<P: Payload> FpTree<P> {
         FpTree {
             nodes: vec![root],
             children: vec![FxHashMap::default()],
-            headers: FxHashMap::default(),
-            item_counts: FxHashMap::default(),
+            headers: FxHashMap::with_capacity_and_hasher(n_items, Default::default()),
+            item_counts: FxHashMap::with_capacity_and_hasher(n_items, Default::default()),
         }
     }
 

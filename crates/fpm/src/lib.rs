@@ -94,6 +94,7 @@ pub mod eclat;
 pub mod fpgrowth;
 pub mod fptree;
 pub mod itemset;
+pub mod kernels;
 pub mod masks;
 pub mod naive;
 pub mod parallel;
@@ -109,6 +110,7 @@ pub mod vertical;
 pub use arena::{ArenaEntry, ItemsetArena};
 pub use budget::{Budget, BudgetSink, CancelToken, Completeness, TruncationReason};
 pub use itemset::FrequentItemset;
+pub use kernels::{AlignedWords, Kernel};
 pub use masks::{ClassMasks, MaskSpec};
 pub use payload::{CountPayload, Payload};
 pub use sharded::{MemShardSource, Shard, ShardPhase, ShardSource, ShardStats};

@@ -18,6 +18,7 @@
 //! fall back to merge-based counting in [`crate::dense`].
 
 use crate::bitset_eclat::Bitset;
+use crate::kernels::{self, AlignedWords, Kernel, BLOCK_WORDS};
 use crate::payload::Payload;
 
 /// Shape of a payload type's lowering into counting classes.
@@ -68,7 +69,14 @@ impl MaskSpec {
 pub struct ClassMasks {
     spec: MaskSpec,
     n_rows: usize,
+    n_words: usize,
     masks: Vec<Bitset>,
+    /// The masks again, cache-blocked for the fused tally (see
+    /// [`kernels::plane_words`]): per 8-word tidset block, each class's
+    /// words form one contiguous 64-byte line, zero-padded past the last
+    /// word. One streaming pass over a tidset then touches each of its
+    /// cache lines exactly once for *all* classes.
+    planes: AlignedWords,
 }
 
 impl ClassMasks {
@@ -84,10 +92,23 @@ impl ClassMasks {
         for (t, p) in payloads.iter().enumerate() {
             p.encode_classes(&spec, &mut |class| masks[class].set(t));
         }
+        let n_classes = spec.n_classes();
+        let n_words = payloads.len().div_ceil(64);
+        let mut planes = AlignedWords::zeroed(kernels::plane_words(n_words, n_classes));
+        let p = planes.as_mut_slice();
+        for (c, mask) in masks.iter().enumerate() {
+            for (w, &word) in mask.words().iter().enumerate() {
+                p[(w / BLOCK_WORDS) * BLOCK_WORDS * n_classes
+                    + c * BLOCK_WORDS
+                    + w % BLOCK_WORDS] = word;
+            }
+        }
         Some(ClassMasks {
             spec,
             n_rows: payloads.len(),
+            n_words,
             masks,
+            planes,
         })
     }
 
@@ -106,13 +127,44 @@ impl ClassMasks {
         self.n_rows
     }
 
-    /// Tallies a dense tidset: `counts[c] = popcount(tids & mask_c)`.
+    /// Tallies a dense tidset: `counts[c] = popcount(tids & mask_c)` for
+    /// every class in **one** streaming pass over the tidset (the fused
+    /// multi-mask kernel, with the process-selected [`Kernel`]).
     /// Returns the number of words ANDed (for telemetry).
     pub fn count_dense(&self, tids: &Bitset, counts: &mut [u64]) -> u64 {
+        self.count_dense_with(kernels::selected(), tids, counts)
+    }
+
+    /// [`ClassMasks::count_dense`] under an explicit [`Kernel`] — how
+    /// tests and benches pin a kernel without touching process state.
+    pub fn count_dense_with(&self, kernel: Kernel, tids: &Bitset, counts: &mut [u64]) -> u64 {
+        debug_assert_eq!(counts.len(), self.masks.len());
+        if !self.masks.is_empty() {
+            assert_eq!(
+                tids.n_words(),
+                self.n_words,
+                "tidset word length must match the masks' universe"
+            );
+        }
+        kernel.tally(
+            tids.words(),
+            self.planes.as_slice(),
+            self.spec.n_classes,
+            counts,
+        );
+        (self.n_words * self.spec.n_classes) as u64
+    }
+
+    /// The historical per-class tally — one full pass over the tidset
+    /// *per* class mask. Kept as the differential/benchmark baseline the
+    /// fused path is measured against; engines use [`count_dense`].
+    ///
+    /// [`count_dense`]: ClassMasks::count_dense
+    pub fn count_dense_per_class(&self, kernel: Kernel, tids: &Bitset, counts: &mut [u64]) -> u64 {
         debug_assert_eq!(counts.len(), self.masks.len());
         let mut words = 0u64;
         for (mask, slot) in self.masks.iter().zip(counts.iter_mut()) {
-            *slot = tids.and_count(mask);
+            *slot = kernel.and_count(tids.words(), mask.words());
             words += mask.n_words() as u64;
         }
         words
@@ -199,6 +251,36 @@ mod tests {
         let mut expected = vec![0u64; masks.n_classes()];
         masks.count_sparse(&child, &mut expected);
         assert_eq!(counts, expected);
+    }
+
+    /// The fused multi-mask tally must equal the per-class reference —
+    /// for every kernel, on a ≥3-class composite spec, across tidset
+    /// sizes that exercise partial blocks and trailing words.
+    #[test]
+    fn fused_tally_matches_per_class_reference_for_every_kernel() {
+        for n_rows in [8usize, 63, 64, 65, 511, 512, 513, 1000] {
+            // (values % 8, values % 4) → 3 + 2 = 5 bit-plane classes.
+            let payloads: Vec<(CountPayload, CountPayload)> = (0..n_rows as u64)
+                .map(|t| (CountPayload(t % 8), CountPayload(t % 4)))
+                .collect();
+            let masks = ClassMasks::build(&payloads).unwrap();
+            assert_eq!(masks.n_classes(), 5, "n_rows={n_rows}");
+            let mut tids = Bitset::zeros(n_rows);
+            for t in (0..n_rows).step_by(3) {
+                tids.set(t);
+            }
+            let mut reference = vec![0u64; 5];
+            let ref_words = masks.count_dense_per_class(Kernel::Scalar, &tids, &mut reference);
+            for kernel in Kernel::ALL {
+                let mut fused = vec![u64::MAX; 5]; // stale: must be overwritten
+                let words = masks.count_dense_with(kernel, &tids, &mut fused);
+                assert_eq!(fused, reference, "{kernel} n_rows={n_rows}");
+                assert_eq!(
+                    words, ref_words,
+                    "{kernel} n_rows={n_rows}: telemetry words"
+                );
+            }
+        }
     }
 
     #[test]

@@ -45,6 +45,7 @@ use crate::arena::ItemsetArena;
 use crate::bitset_eclat::Bitset;
 use crate::budget::{Budget, CancelToken, Completeness, TruncationReason};
 use crate::dense;
+use crate::kernels::{self, AlignedWords};
 use crate::masks::ClassMasks;
 use crate::parallel::SharedLimits;
 use crate::payload::Payload;
@@ -312,6 +313,7 @@ fn recount_shard<P: Payload>(
     candidates: &ItemsetArena<()>,
     supports: &mut [u64],
     acc: &mut [P],
+    words_anded: &mut u64,
     shared: &SharedLimits<'_>,
 ) -> bool {
     let n_rows = shard.db.len();
@@ -346,7 +348,7 @@ fn recount_shard<P: Payload>(
     // ordering stays correct (an unshared prefix just recomputes).
     let mut stack: Vec<Bitset> = Vec::new();
     let mut prev: Vec<ItemId> = Vec::new();
-    let mut pool: Vec<Vec<u64>> = Vec::new();
+    let mut pool: Vec<AlignedWords> = Vec::new();
     for id in 0..candidates.len() {
         if id & 63 == 0 && shared.poll() {
             return false;
@@ -366,6 +368,7 @@ fn recount_shard<P: Payload>(
             } else {
                 let mut words = pool.pop().unwrap_or_default();
                 stack[d - 1].and_into(item_bits, &mut words);
+                *words_anded += item_bits.n_words() as u64;
                 Bitset::from_words(words)
             };
             stack.push(next);
@@ -374,13 +377,14 @@ fn recount_shard<P: Payload>(
         prev.extend_from_slice(items);
         let folded = stack.last().expect("candidates are non-empty");
         let sup = folded.count();
+        *words_anded += folded.n_words() as u64;
         if sup == 0 {
             continue;
         }
         supports[id] += sup;
         match &masks {
             Some(m) => {
-                m.count_dense(folded, &mut counts);
+                *words_anded += m.count_dense(folded, &mut counts);
                 acc[id].merge(&m.decode::<P>(&counts));
             }
             None => {
@@ -517,6 +521,7 @@ where
         let recount_span = obs::span("fpm.sharded.recount");
         let mut supports = vec![0u64; candidates.len()];
         let mut acc: Vec<P> = vec![P::zero(); candidates.len()];
+        let mut kernel_words = 0u64;
         for k in 0..n_shards {
             if shared.poll() {
                 recount_cut = true;
@@ -531,7 +536,14 @@ where
             // A payload merge that panics poisons this shard's partial
             // sums, so the whole recount is abandoned (nothing emitted).
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                recount_shard(&shard, &candidates, &mut supports, &mut acc, shared)
+                recount_shard(
+                    &shard,
+                    &candidates,
+                    &mut supports,
+                    &mut acc,
+                    &mut kernel_words,
+                    shared,
+                )
             }));
             match outcome {
                 Ok(true) => {}
@@ -548,6 +560,7 @@ where
             }
         }
         obs::counter("fpm.sharded.recount_rows", stats.recount_rows);
+        kernels::publish_selected(kernel_words);
         if recount_cut {
             stats.truncated_phase = Some(ShardPhase::Recount);
         } else {
@@ -633,6 +646,7 @@ where
     let recount_span = obs::span("fpm.sharded.recount");
     let mut supports = vec![0u64; candidates.len()];
     let mut acc: Vec<P> = vec![P::zero(); candidates.len()];
+    let mut kernel_words = 0u64;
     let mut recount_cut = false;
     for k in 0..n_shards {
         if shared.poll() {
@@ -649,7 +663,14 @@ where
         // panics poisons this shard's partial sums, so the whole recount
         // is abandoned (nothing emitted).
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            recount_shard(&shard, candidates, &mut supports, &mut acc, shared)
+            recount_shard(
+                &shard,
+                candidates,
+                &mut supports,
+                &mut acc,
+                &mut kernel_words,
+                shared,
+            )
         }));
         match outcome {
             Ok(true) => {}
@@ -666,6 +687,7 @@ where
         }
     }
     obs::counter("fpm.sharded.recount_rows", stats.recount_rows);
+    kernels::publish_selected(kernel_words);
     let mut emitted = 0u64;
     if recount_cut {
         stats.truncated_phase = Some(ShardPhase::Recount);

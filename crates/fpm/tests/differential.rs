@@ -263,6 +263,68 @@ proptest! {
         }
     }
 
+    /// Every counting kernel computes the exact population counts of the
+    /// scalar reference on arbitrary ragged buffers — lengths straddling
+    /// the 8-word block boundary exercise both the wide body and the
+    /// scalar tail.
+    #[test]
+    fn kernels_count_like_scalar_on_ragged_buffers(
+        a in proptest::collection::vec(any::<u64>(), 0..40),
+    ) {
+        use fpm::Kernel;
+        let b: Vec<u64> = a.iter().map(|w| w.rotate_left(17) ^ 0xA5A5_5A5A_F00F_0FF0).collect();
+        let want_count = Kernel::Scalar.count(&a);
+        let want_and = Kernel::Scalar.and_count(&a, &b);
+        for k in Kernel::ALL {
+            prop_assert_eq!(k.count(&a), want_count, "{} count", k);
+            prop_assert_eq!(k.and_count(&a, &b), want_and, "{} and_count", k);
+        }
+    }
+
+    /// The fused multi-mask tally agrees with the per-class loop and with
+    /// per-tid scans under every kernel and every tidset representation
+    /// the engines hold: dense bitset, sorted tid-list, and the dEclat
+    /// diffset subtraction. The composite payload lowers to up to
+    /// 3 + 2 = 5 class masks.
+    #[test]
+    fn fused_tally_agrees_across_representations(
+        rows in proptest::collection::vec(any::<bool>(), 1..200),
+    ) {
+        use fpm::bitset_eclat::Bitset;
+        use fpm::{ClassMasks, Kernel};
+        let n = rows.len();
+        let payloads: Vec<(CountPayload, CountPayload)> = (0..n as u64)
+            .map(|t| (CountPayload(t % 8), CountPayload(t % 4)))
+            .collect();
+        let masks = ClassMasks::build(&payloads).expect("CountPayload tuples are maskable");
+        let nc = masks.n_classes();
+        let mut bs = Bitset::zeros(n);
+        let mut tid_list: Vec<u32> = Vec::new();
+        for (t, &member) in rows.iter().enumerate() {
+            if member {
+                bs.set(t);
+                tid_list.push(t as u32);
+            }
+        }
+        let mut reference = vec![0u64; nc];
+        masks.count_sparse(&tid_list, &mut reference);
+        for k in Kernel::ALL {
+            let mut fused = vec![u64::MAX; nc]; // stale: must be overwritten
+            masks.count_dense_with(k, &bs, &mut fused);
+            prop_assert_eq!(&fused, &reference, "{} fused vs tid-list scan", k);
+            let mut per_class = vec![0u64; nc];
+            masks.count_dense_per_class(k, &bs, &mut per_class);
+            prop_assert_eq!(&per_class, &reference, "{} per-class vs tid-list scan", k);
+        }
+        // Diffset: counts(universe) − counts(complement) = counts(tids).
+        let complement: Vec<u32> = (0..n as u32).filter(|&t| !rows[t as usize]).collect();
+        let universe: Vec<u32> = (0..n as u32).collect();
+        let mut diff = vec![0u64; nc];
+        masks.count_sparse(&universe, &mut diff);
+        masks.subtract_sparse(&complement, &mut diff);
+        prop_assert_eq!(&diff, &reference, "diffset subtraction");
+    }
+
     /// Sharded under budgets: an expired deadline cuts a phase (reported
     /// via `ShardStats::truncated_phase`) and emits nothing, while an
     /// itemset cap at emission yields an exact canonical prefix.
@@ -308,6 +370,47 @@ proptest! {
                 Some(fpm::TruncationReason::ItemsetLimit)
             );
             prop_assert_eq!(verdict.shards.expect("stats").truncated_phase, None);
+        }
+    }
+}
+
+/// Regression: odd-length buffers whose trailing block carries stale
+/// non-zero padding (left behind by a shrink) must tally exactly the
+/// logical words — a kernel that strayed past `len` would count the
+/// stale all-ones padding and fail, and one that read past the block
+/// storage would trip the slice bounds checks of the safe paths.
+#[test]
+fn kernels_never_read_past_odd_lengths() {
+    use fpm::bitset_eclat::Bitset;
+    use fpm::{AlignedWords, Kernel};
+    for n_words in [1usize, 3, 7, 9, 15, 17, 31, 33] {
+        // Fill two whole blocks beyond the target length with ones, then
+        // shrink: padding past `len` stays all-ones in storage.
+        let mut a = AlignedWords::from_slice(&vec![u64::MAX; 48]);
+        a.resize_zeroed(n_words);
+        assert_eq!(a.as_slice().len(), n_words);
+        let b = AlignedWords::from_slice(&vec![u64::MAX; n_words]);
+        for k in Kernel::ALL {
+            assert_eq!(
+                k.count(a.as_slice()),
+                64 * n_words as u64,
+                "{k} count n={n_words}"
+            );
+            assert_eq!(
+                k.and_count(a.as_slice(), b.as_slice()),
+                64 * n_words as u64,
+                "{k} and_count n={n_words}"
+            );
+        }
+        // The same stale-padding storage behind a Bitset: popcounts stay
+        // confined to the logical bit universe.
+        let bits = Bitset::from_words(a);
+        for k in Kernel::ALL {
+            assert_eq!(
+                k.count(bits.words()),
+                64 * n_words as u64,
+                "{k} bitset n={n_words}"
+            );
         }
     }
 }

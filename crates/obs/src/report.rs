@@ -121,6 +121,11 @@ pub struct RunReport {
     /// The phase a budget cut interrupted (`"mine"` / `"recount"`), if
     /// any.
     pub shard_truncated_phase: Option<String>,
+    /// Counting kernel the run dispatched to (`"scalar"` / `"unrolled"`
+    /// / `"simd"`), when the caller records it. Per-kernel word volumes
+    /// arrive as `fpm.kernel.words_anded.<name>` counters alongside.
+    /// Absent in older reports; parses as `None`.
+    pub kernel: Option<String>,
 }
 
 impl RunReport {
@@ -152,6 +157,7 @@ impl RunReport {
             shard_peak_bytes: None,
             shard_candidate_bytes: None,
             shard_truncated_phase: None,
+            kernel: None,
         }
     }
 
@@ -254,6 +260,7 @@ mod tests {
         report.shard_peak_bytes = Some(4096);
         report.shard_candidate_bytes = Some(2048);
         report.shard_truncated_phase = Some("recount".to_string());
+        report.kernel = Some("simd".to_string());
 
         let json = report.to_json();
         let back = RunReport::from_json(&json).unwrap();
@@ -288,6 +295,7 @@ mod tests {
             "shard_peak_bytes",
             "shard_candidate_bytes",
             "shard_truncated_phase",
+            "kernel",
         ] {
             json = json
                 .lines()
