@@ -233,8 +233,9 @@ pub fn parse_csv_window(
 /// shard form; bin such columns upfront.)
 ///
 /// Construction makes one validating pass over the whole text to learn
-/// the per-column domains and the row count; [`fpm::ShardSource::load`]
-/// then re-parses just the requested window.
+/// the per-column domains and the row count; [`fpm::ShardSource::open`]
+/// returns a handle that re-parses just the requested window when
+/// materialized — on whichever thread the recount pipeline runs it.
 #[derive(Debug, Clone)]
 pub struct CsvShardSource<'a> {
     text: &'a str,
@@ -330,28 +331,30 @@ impl fpm::ShardSource<()> for CsvShardSource<'_> {
         self.n_rows
     }
 
-    fn load(&self, k: usize) -> fpm::Shard<()> {
+    fn open(&self, k: usize) -> Box<dyn fpm::ShardHandle<()> + '_> {
         assert!(k < self.n_shards, "shard index out of range");
-        let start = k * self.n_rows / self.n_shards;
-        let end = (k + 1) * self.n_rows / self.n_shards;
-        let window = parse_csv_window(self.text, self.separator, start, end)
-            .expect("CSV validated at construction");
-        let rows = window.n_rows();
-        let mut builder = fpm::TransactionDbBuilder::new(self.n_items);
-        let mut buf: Vec<fpm::ItemId> = Vec::with_capacity(window.columns.len());
-        for r in 0..rows {
-            buf.clear();
-            for (c, column) in window.columns.iter().enumerate() {
-                let code = self.domains[c][&column[r]];
-                buf.push(self.offsets[c] + code);
+        fpm::sharded::handle_from_fn(move || {
+            let start = k * self.n_rows / self.n_shards;
+            let end = (k + 1) * self.n_rows / self.n_shards;
+            let window = parse_csv_window(self.text, self.separator, start, end)
+                .expect("CSV validated at construction");
+            let rows = window.n_rows();
+            let mut builder = fpm::TransactionDbBuilder::new(self.n_items);
+            let mut buf: Vec<fpm::ItemId> = Vec::with_capacity(window.columns.len());
+            for r in 0..rows {
+                buf.clear();
+                for (c, column) in window.columns.iter().enumerate() {
+                    let code = self.domains[c][&column[r]];
+                    buf.push(self.offsets[c] + code);
+                }
+                builder.push(&buf);
             }
-            builder.push(&buf);
-        }
-        fpm::Shard {
-            start_row: start,
-            db: builder.build(),
-            payloads: vec![(); rows],
-        }
+            fpm::Shard {
+                start_row: start,
+                db: builder.build(),
+                payloads: vec![(); rows],
+            }
+        })
     }
 }
 
@@ -606,7 +609,7 @@ c,rome
         // Reassembling the shards reproduces the in-memory table row by row.
         let mut global = 0usize;
         for k in 0..3 {
-            let shard = fpm::ShardSource::<()>::load(&source, k);
+            let shard = fpm::ShardSource::<()>::open(&source, k).materialize();
             assert_eq!(shard.start_row, global);
             for r in 0..shard.db.len() {
                 assert_eq!(

@@ -126,12 +126,50 @@ impl<P> Shard<P> {
     }
 }
 
+/// An opened-but-not-yet-materialized shard: the ticket returned by
+/// [`ShardSource::open`].
+///
+/// Handles are owned and `Send`, so the pipeline can open a shard on the
+/// coordinating thread and perform the actual IO/decode on whichever
+/// worker or prefetch thread consumes the ticket. [`materialize`]
+/// consumes the handle; a handle is good for exactly one load.
+///
+/// [`materialize`]: ShardHandle::materialize
+pub trait ShardHandle<P: Payload>: Send {
+    /// Performs the load/decode, producing the shard's rows.
+    fn materialize(self: Box<Self>) -> Shard<P>;
+}
+
+/// Wraps a closure as a [`ShardHandle`] — the one-line migration path
+/// for sources whose load is a plain function of `(source, k)`.
+struct FnShardHandle<F>(F);
+
+impl<P, F> ShardHandle<P> for FnShardHandle<F>
+where
+    P: Payload,
+    F: FnOnce() -> Shard<P> + Send,
+{
+    fn materialize(self: Box<Self>) -> Shard<P> {
+        (self.0)()
+    }
+}
+
+/// Boxes a `Send` closure into a [`ShardHandle`]; the returned handle
+/// borrows whatever the closure captures (typically the source).
+pub fn handle_from_fn<'f, P, F>(f: F) -> Box<dyn ShardHandle<P> + 'f>
+where
+    P: Payload,
+    F: FnOnce() -> Shard<P> + Send + 'f,
+{
+    Box::new(FnShardHandle(f))
+}
+
 /// Where the two passes pull shards from: an in-memory table
 /// ([`MemShardSource`]) or re-read storage (e.g.
 /// `datasets::csv::CsvShardSource`), so the recount pass never needs the
 /// whole table resident.
 ///
-/// Implementations must be deterministic — both phases may load the same
+/// Implementations must be deterministic — both phases may open the same
 /// shard, and phase 2 relies on seeing exactly the rows phase 1 mined.
 /// Every shard's `db` must share one item universe.
 pub trait ShardSource<P: Payload>: Sync {
@@ -139,8 +177,23 @@ pub trait ShardSource<P: Payload>: Sync {
     fn n_shards(&self) -> usize;
     /// Total rows across all shards.
     fn n_rows(&self) -> usize;
-    /// Materializes shard `k` (`k < n_shards()`).
-    fn load(&self, k: usize) -> Shard<P>;
+    /// Opens shard `k` (`k < n_shards()`): returns an owned ticket whose
+    /// [`ShardHandle::materialize`] performs the actual IO/decode, on
+    /// whichever thread the recount pipeline schedules it.
+    fn open(&self, k: usize) -> Box<dyn ShardHandle<P> + '_>;
+    /// Encoded (on-storage) footprint of shard `k` in bytes, if the
+    /// backing store knows it. `None` for purely in-memory sources; a
+    /// compressed source reports its compressed section size, which
+    /// feeds [`ShardStats`] compression accounting.
+    fn size_hint(&self, _k: usize) -> Option<u64> {
+        None
+    }
+    /// Materializes shard `k` eagerly on the calling thread.
+    #[deprecated(note = "use `open(k).materialize()` — the handle form lets the \
+                         recount pipeline schedule IO off the counting threads")]
+    fn load(&self, k: usize) -> Shard<P> {
+        self.open(k).materialize()
+    }
 }
 
 /// A [`ShardSource`] over an in-memory table: `K` balanced contiguous
@@ -178,6 +231,19 @@ impl<'a, P: Payload> MemShardSource<'a, P> {
         let n = self.db.len();
         (k * n / self.n_shards, (k + 1) * n / self.n_shards)
     }
+
+    fn materialize_window(&self, k: usize) -> Shard<P> {
+        let (lo, hi) = self.bounds(k);
+        let mut builder = TransactionDbBuilder::new(self.db.n_items());
+        for t in lo..hi {
+            builder.push(self.db.transaction(t));
+        }
+        Shard {
+            start_row: lo,
+            db: builder.build(),
+            payloads: self.payloads[lo..hi].to_vec(),
+        }
+    }
 }
 
 impl<P: Payload + Send + Sync> ShardSource<P> for MemShardSource<'_, P> {
@@ -189,17 +255,8 @@ impl<P: Payload + Send + Sync> ShardSource<P> for MemShardSource<'_, P> {
         self.db.len()
     }
 
-    fn load(&self, k: usize) -> Shard<P> {
-        let (lo, hi) = self.bounds(k);
-        let mut builder = TransactionDbBuilder::new(self.db.n_items());
-        for t in lo..hi {
-            builder.push(self.db.transaction(t));
-        }
-        Shard {
-            start_row: lo,
-            db: builder.build(),
-            payloads: self.payloads[lo..hi].to_vec(),
-        }
+    fn open(&self, k: usize) -> Box<dyn ShardHandle<P> + '_> {
+        handle_from_fn(move || self.materialize_window(k))
     }
 }
 
@@ -276,7 +333,7 @@ fn mine_shard_candidates<P: Payload, C: ShardSource<P>>(
         if k >= source.n_shards() || shared.poll() {
             break;
         }
-        let shard = source.load(k);
+        let shard = source.open(k).materialize();
         peak_shard_bytes.fetch_max(shard.approx_bytes(), Ordering::Relaxed);
         if !shard.db.is_empty() {
             let local_params = MiningParams {
@@ -527,7 +584,7 @@ where
                 recount_cut = true;
                 break;
             }
-            let shard = source.load(k);
+            let shard = source.open(k).materialize();
             peak_shard_bytes.fetch_max(shard.approx_bytes(), Ordering::Relaxed);
             if shard.db.is_empty() {
                 continue;
@@ -653,7 +710,7 @@ where
             recount_cut = true;
             break;
         }
-        let shard = source.load(k);
+        let shard = source.open(k).materialize();
         peak_shard_bytes.fetch_max(shard.approx_bytes(), Ordering::Relaxed);
         if shard.db.is_empty() {
             continue;
@@ -859,11 +916,11 @@ mod tests {
         assert!(sink.found.is_empty());
     }
 
-    /// A source that fires a cancel token on the first phase-2 load,
+    /// A source that fires a cancel token on the first phase-2 open,
     /// forcing a deterministic mid-recount cut.
     struct CancelOnRecount<'a> {
         inner: MemShardSource<'a, CountPayload>,
-        loads: AtomicUsize,
+        opens: AtomicUsize,
         token: CancelToken,
     }
 
@@ -874,13 +931,13 @@ mod tests {
         fn n_rows(&self) -> usize {
             self.inner.n_rows()
         }
-        fn load(&self, k: usize) -> Shard<CountPayload> {
-            // Phase 1 loads every shard exactly once; the next load is
+        fn open(&self, k: usize) -> Box<dyn ShardHandle<CountPayload> + '_> {
+            // Phase 1 opens every shard exactly once; the next open is
             // the recount's first.
-            if self.loads.fetch_add(1, Ordering::Relaxed) == self.inner.n_shards() {
+            if self.opens.fetch_add(1, Ordering::Relaxed) == self.inner.n_shards() {
                 self.token.cancel();
             }
-            self.inner.load(k)
+            self.inner.open(k)
         }
     }
 
@@ -892,7 +949,7 @@ mod tests {
         let token = CancelToken::new();
         let source = CancelOnRecount {
             inner: MemShardSource::new(&db, &payloads, 3),
-            loads: AtomicUsize::new(0),
+            opens: AtomicUsize::new(0),
             token: token.clone(),
         };
         let mut sink = VecSink::new();
@@ -1011,6 +1068,20 @@ mod tests {
         );
         assert_eq!(stats.truncated_phase, Some(ShardPhase::Recount));
         assert!(sink.found.is_empty());
+    }
+
+    #[test]
+    fn deprecated_load_shim_delegates_to_open() {
+        let db = db();
+        let payloads = payloads(db.len());
+        let source = MemShardSource::new(&db, &payloads, 3);
+        #[allow(deprecated)]
+        let via_shim = ShardSource::load(&source, 1);
+        let via_open = source.open(1).materialize();
+        assert_eq!(via_shim.start_row, via_open.start_row);
+        assert_eq!(via_shim.db.len(), via_open.db.len());
+        assert_eq!(via_shim.payloads, via_open.payloads);
+        assert_eq!(source.size_hint(1), None);
     }
 
     #[test]
