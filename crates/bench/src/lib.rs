@@ -195,6 +195,11 @@ pub mod telemetry {
         report.shard_peak_bytes = Some(stats.peak_shard_bytes);
         report.shard_candidate_bytes = Some(stats.candidate_bytes);
         report.shard_truncated_phase = stats.truncated_phase.map(|p| p.to_string());
+        report.shard_io_wait_us = Some(stats.io_wait_us);
+        report.shard_overlap_ratio = Some(stats.overlap_ratio());
+        report.shard_compressed_bytes =
+            (stats.compressed_bytes > 0).then_some(stats.compressed_bytes);
+        report.shard_compression_ratio = stats.compression_ratio();
     }
 
     /// Records which counting kernel this process dispatches to, so a

@@ -37,8 +37,10 @@
 //! phase was cut. An `ItemsetLimit` tripped during the final emission
 //! still yields a sound prefix with exact counts (phase `None`).
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use crate::arena::ItemsetArena;
@@ -91,16 +93,76 @@ pub struct ShardStats {
     pub mine_us: u64,
     /// Wall-clock of phase 2 (recount + emission) in microseconds.
     pub recount_us: u64,
-    /// Largest single-shard footprint loaded at any point (bytes,
-    /// CSR rows + payloads).
+    /// Peak *resident* shard footprint (bytes, CSR rows + payloads):
+    /// the maximum over time of the summed size of every concurrently
+    /// loaded shard — parallel workers and prefetched shards all count
+    /// while resident, not just the largest single shard.
     pub peak_shard_bytes: u64,
     /// Footprint of the candidate arena (bytes). Peak residency of the
     /// run is `peak_shard_bytes + candidate_bytes`.
     pub candidate_bytes: u64,
+    /// Time counting threads spent acquiring shards during phase 2
+    /// (µs, summed across workers): inline materialize time when
+    /// self-loading, blocked queue-pop time under prefetch. Low values
+    /// mean IO was hidden behind compute.
+    pub io_wait_us: u64,
+    /// Decoded (resident CSR + payload) bytes streamed through phase 2.
+    pub streamed_bytes: u64,
+    /// Encoded bytes read from the backing store during phase 2, summed
+    /// from [`ShardSource::size_hint`]. `0` when the source doesn't
+    /// report encoded sizes (e.g. in-memory sources).
+    pub compressed_bytes: u64,
     /// The phase a budget cut interrupted, if any. `None` for complete
     /// runs *and* for truncations that still emitted a sound prefix
     /// (itemset cap at emission, depth-capped candidates).
     pub truncated_phase: Option<ShardPhase>,
+}
+
+impl ShardStats {
+    /// Fraction of the recount phase *not* stalled on shard IO:
+    /// `1 − io_wait_us / recount_us`, clamped to `[0, 1]`. `1.0` when
+    /// no recount ran.
+    pub fn overlap_ratio(&self) -> f64 {
+        if self.recount_us == 0 {
+            return 1.0;
+        }
+        (1.0 - self.io_wait_us as f64 / self.recount_us as f64).clamp(0.0, 1.0)
+    }
+
+    /// How much smaller the encoded shards are than their decoded CSR
+    /// form: `streamed_bytes / compressed_bytes`. `None` when the source
+    /// reported no encoded sizes.
+    pub fn compression_ratio(&self) -> Option<f64> {
+        if self.compressed_bytes == 0 {
+            return None;
+        }
+        Some(self.streamed_bytes as f64 / self.compressed_bytes as f64)
+    }
+}
+
+/// Tracks the summed footprint of all concurrently resident shards and
+/// its high-water mark — the honest form of
+/// [`ShardStats::peak_shard_bytes`] now that workers and the prefetch
+/// queue hold several shards at once.
+#[derive(Default)]
+struct ResidentGauge {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl ResidentGauge {
+    fn add(&self, bytes: u64) {
+        let now = self.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn sub(&self, bytes: u64) {
+        self.current.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
 }
 
 /// One materialized horizontal shard: a contiguous row window of the
@@ -318,7 +380,7 @@ fn mine_shard_candidates<P: Payload, C: ShardSource<P>>(
     next: &AtomicUsize,
     depth_cap: usize,
     threshold: u64,
-    peak_shard_bytes: &AtomicU64,
+    resident: &ResidentGauge,
     shards_mined: &AtomicU64,
 ) -> ItemsetArena<()> {
     let total_rows = source.n_rows();
@@ -334,7 +396,8 @@ fn mine_shard_candidates<P: Payload, C: ShardSource<P>>(
             break;
         }
         let shard = source.open(k).materialize();
-        peak_shard_bytes.fetch_max(shard.approx_bytes(), Ordering::Relaxed);
+        let bytes = shard.approx_bytes();
+        resident.add(bytes);
         if !shard.db.is_empty() {
             let local_params = MiningParams {
                 min_support_count: local_threshold(threshold, shard.db.len(), total_rows),
@@ -348,9 +411,11 @@ fn mine_shard_candidates<P: Payload, C: ShardSource<P>>(
             }));
             if outcome.is_err() {
                 shared.panicked.fetch_add(1, Ordering::Relaxed);
+                resident.sub(bytes);
                 continue;
             }
         }
+        resident.sub(bytes);
         shards_mined.fetch_add(1, Ordering::Relaxed);
     }
     sink.out
@@ -454,13 +519,494 @@ fn recount_shard<P: Payload>(
     true
 }
 
+/// A minimal bounded MPMC channel for the prefetch pipeline (the
+/// workspace vendors no channel crate). `close` wakes all waiters once
+/// the producer is done; `close_now` additionally hands back the queued
+/// items so a cut run can release their resident bytes promptly.
+struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                capacity: capacity.max(1),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks while full; returns `false` (dropping nothing — the item
+    /// is handed back implicitly by not enqueueing it) once closed.
+    fn push(&self, item: T) -> bool {
+        let mut st = self.lock();
+        while st.items.len() >= st.capacity && !st.closed {
+            st = self.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.closed {
+            return false;
+        }
+        st.items.push_back(item);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Blocks while empty; `None` means closed *and* drained.
+    fn pop(&self) -> Option<T> {
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Producer-side close: queued items remain poppable.
+    fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Consumer-side abort: closes and returns everything still queued.
+    fn close_now(&self) -> Vec<T> {
+        let mut st = self.lock();
+        st.closed = true;
+        let drained = st.items.drain(..).collect();
+        drop(st);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+        drained
+    }
+}
+
+/// One shard's recount contribution, awaiting its turn in the ordered
+/// merge.
+struct ShardPartial<P> {
+    supports: Vec<u64>,
+    acc: Vec<P>,
+}
+
+/// Merges per-shard partial tallies into the global accumulators in
+/// ascending shard order, whatever order workers finish in.
+///
+/// This reproduces the sequential pass bit-for-bit: sequentially, shard
+/// `k`'s contribution for candidate `id` is merged after shards
+/// `0..k`'s and before shards `k+1..`'s, and contributions to distinct
+/// candidates are independent — so replaying the per-shard partials in
+/// ascending `k` performs the exact same sequence of `merge` calls per
+/// candidate. The one extra step is that a worker first accumulates its
+/// shard into `P::zero()`; the payload identity law
+/// (`zero().merge(&x) == x`) makes that a no-op.
+struct OrderedMerger<P> {
+    state: Mutex<MergeState<P>>,
+}
+
+struct MergeState<P> {
+    /// Next shard index awaiting its ordered merge.
+    next: usize,
+    /// Deposited-but-not-yet-merged partials (`None` = empty shard).
+    slots: Vec<Option<ShardPartial<P>>>,
+    /// Which shards have deposited.
+    done: Vec<bool>,
+    supports: Vec<u64>,
+    acc: Vec<P>,
+}
+
+impl<P: Payload> OrderedMerger<P> {
+    fn new(n_shards: usize, n_candidates: usize) -> Self {
+        OrderedMerger {
+            state: Mutex::new(MergeState {
+                next: 0,
+                slots: (0..n_shards).map(|_| None).collect(),
+                done: vec![false; n_shards],
+                supports: vec![0u64; n_candidates],
+                acc: (0..n_candidates).map(|_| P::zero()).collect(),
+            }),
+        }
+    }
+
+    /// Records shard `k`'s partial and merges every shard that is now
+    /// ready in order. Returns `false` if the recount must be abandoned
+    /// (a payload merge panicked, poisoning the global sums).
+    fn deposit(
+        &self,
+        k: usize,
+        partial: Option<ShardPartial<P>>,
+        shared: &SharedLimits<'_>,
+    ) -> bool {
+        let Ok(mut st) = self.state.lock() else {
+            // A sibling worker panicked mid-merge; the run is already cut.
+            return false;
+        };
+        st.done[k] = true;
+        st.slots[k] = partial;
+        // Catch a panicking payload merge *inside* the critical section
+        // so the mutex is never poisoned by it; the run degrades to
+        // WorkerPanic like every other contained panic.
+        let merged = catch_unwind(AssertUnwindSafe(|| st.merge_ready()));
+        if merged.is_err() {
+            shared.panicked.fetch_add(1, Ordering::Relaxed);
+            shared.trip(TruncationReason::WorkerPanic);
+            return false;
+        }
+        true
+    }
+
+    fn into_results(self) -> (Vec<u64>, Vec<P>) {
+        let st = self.state.into_inner().unwrap_or_else(|e| e.into_inner());
+        (st.supports, st.acc)
+    }
+}
+
+impl<P: Payload> MergeState<P> {
+    fn merge_ready(&mut self) {
+        while self.next < self.done.len() && self.done[self.next] {
+            if let Some(partial) = self.slots[self.next].take() {
+                for id in 0..self.supports.len() {
+                    self.supports[id] += partial.supports[id];
+                    self.acc[id].merge(&partial.acc[id]);
+                }
+            }
+            self.next += 1;
+        }
+    }
+}
+
+/// What [`recount_pass`] hands back besides the tallies.
+#[derive(Default)]
+struct RecountPassStats {
+    rows: u64,
+    io_wait_us: u64,
+    streamed_bytes: u64,
+    compressed_bytes: u64,
+    kernel_words: u64,
+    cut: bool,
+}
+
+/// Recounts one already-materialized shard into a fresh partial and
+/// deposits it. Returns `false` if the recount must be abandoned.
+#[allow(clippy::too_many_arguments)]
+fn process_shard<P: Payload>(
+    k: usize,
+    shard: &Shard<P>,
+    candidates: &ItemsetArena<()>,
+    merger: &OrderedMerger<P>,
+    shared: &SharedLimits<'_>,
+    rows: &AtomicU64,
+    streamed: &AtomicU64,
+    words: &mut u64,
+) -> bool {
+    if shard.db.is_empty() {
+        // Empty shards still deposit so the ordered merge advances.
+        return merger.deposit(k, None, shared);
+    }
+    rows.fetch_add(shard.db.len() as u64, Ordering::Relaxed);
+    streamed.fetch_add(shard.approx_bytes(), Ordering::Relaxed);
+    let mut partial = ShardPartial {
+        supports: vec![0u64; candidates.len()],
+        acc: (0..candidates.len()).map(|_| P::zero()).collect(),
+    };
+    // Same containment as the sequential pass: a payload merge that
+    // panics poisons this shard's partial sums, so the whole recount is
+    // abandoned (nothing emitted).
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        recount_shard(
+            shard,
+            candidates,
+            &mut partial.supports,
+            &mut partial.acc,
+            words,
+            shared,
+        )
+    }));
+    match outcome {
+        Ok(true) => merger.deposit(k, Some(partial), shared),
+        Ok(false) => false,
+        Err(_) => {
+            shared.panicked.fetch_add(1, Ordering::Relaxed);
+            shared.trip(TruncationReason::WorkerPanic);
+            false
+        }
+    }
+}
+
+/// Phase 2 as a pipeline: recounts every shard of `source` against
+/// `candidates`, spreading shards over `n_threads` workers with up to
+/// `prefetch` shards loaded ahead of consumption, and returns the
+/// globally merged `(supports, acc)` tallies.
+///
+/// With `n_threads == 1 && prefetch == 0` this is the original
+/// sequential loop (one shard resident at a time, merged in place).
+/// With `prefetch > 0` a dedicated loader thread materializes shards
+/// in order into a bounded queue while workers count; with
+/// `n_threads > 1` and no prefetch, workers self-load off a shared
+/// counter. Either way the per-shard partials are merged in ascending
+/// shard order (see [`OrderedMerger`]), so the tallies are bit-identical
+/// to the sequential pass. A budget cut or contained panic anywhere
+/// sets `cut` — the caller emits nothing, exactly as before.
+fn recount_pass<P, C>(
+    source: &C,
+    candidates: &ItemsetArena<()>,
+    n_threads: usize,
+    prefetch: usize,
+    shared: &SharedLimits<'_>,
+    resident: &ResidentGauge,
+) -> (Vec<u64>, Vec<P>, RecountPassStats)
+where
+    P: Payload + Send + Sync,
+    C: ShardSource<P>,
+{
+    let n_shards = source.n_shards();
+    let n_workers = n_threads.min(n_shards).max(1);
+    let mut pass = RecountPassStats::default();
+
+    if n_workers == 1 && prefetch == 0 {
+        // Sequential fast path: merge in place, no partials.
+        let mut supports = vec![0u64; candidates.len()];
+        let mut acc: Vec<P> = (0..candidates.len()).map(|_| P::zero()).collect();
+        for k in 0..n_shards {
+            if shared.poll() {
+                pass.cut = true;
+                break;
+            }
+            let io_start = Instant::now();
+            let opened = source.open(k);
+            let encoded = source.size_hint(k).unwrap_or(0);
+            let shard = match catch_unwind(AssertUnwindSafe(|| opened.materialize())) {
+                Ok(shard) => shard,
+                Err(_) => {
+                    shared.panicked.fetch_add(1, Ordering::Relaxed);
+                    shared.trip(TruncationReason::WorkerPanic);
+                    pass.cut = true;
+                    break;
+                }
+            };
+            pass.io_wait_us += io_start.elapsed().as_micros() as u64;
+            pass.compressed_bytes += encoded;
+            let bytes = shard.approx_bytes();
+            resident.add(bytes);
+            if !shard.db.is_empty() {
+                pass.rows += shard.db.len() as u64;
+                pass.streamed_bytes += bytes;
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    recount_shard(
+                        &shard,
+                        candidates,
+                        &mut supports,
+                        &mut acc,
+                        &mut pass.kernel_words,
+                        shared,
+                    )
+                }));
+                match outcome {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        resident.sub(bytes);
+                        pass.cut = true;
+                        break;
+                    }
+                    Err(_) => {
+                        shared.panicked.fetch_add(1, Ordering::Relaxed);
+                        shared.trip(TruncationReason::WorkerPanic);
+                        resident.sub(bytes);
+                        pass.cut = true;
+                        break;
+                    }
+                }
+            }
+            resident.sub(bytes);
+        }
+        return (supports, acc, pass);
+    }
+
+    // Pipelined path.
+    let cut = AtomicBool::new(false);
+    let rows = AtomicU64::new(0);
+    let io_wait = AtomicU64::new(0);
+    let streamed = AtomicU64::new(0);
+    let compressed = AtomicU64::new(0);
+    let kernel_words = AtomicU64::new(0);
+    let merger = OrderedMerger::new(n_shards, candidates.len());
+
+    let mut worker_panics = 0usize;
+    if prefetch == 0 {
+        // Self-loading workers off a shared counter: loads overlap other
+        // workers' counting.
+        let next = AtomicUsize::new(0);
+        let worker = || {
+            let mut words = 0u64;
+            loop {
+                if cut.load(Ordering::Relaxed) || shared.stopped() {
+                    break;
+                }
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= n_shards {
+                    break;
+                }
+                if shared.poll() {
+                    cut.store(true, Ordering::Relaxed);
+                    break;
+                }
+                let io_start = Instant::now();
+                let opened = source.open(k);
+                let encoded = source.size_hint(k).unwrap_or(0);
+                let shard = match catch_unwind(AssertUnwindSafe(|| opened.materialize())) {
+                    Ok(shard) => shard,
+                    Err(_) => {
+                        shared.panicked.fetch_add(1, Ordering::Relaxed);
+                        shared.trip(TruncationReason::WorkerPanic);
+                        cut.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                };
+                io_wait.fetch_add(io_start.elapsed().as_micros() as u64, Ordering::Relaxed);
+                compressed.fetch_add(encoded, Ordering::Relaxed);
+                let bytes = shard.approx_bytes();
+                resident.add(bytes);
+                let ok = process_shard(
+                    k, &shard, candidates, &merger, shared, &rows, &streamed, &mut words,
+                );
+                resident.sub(bytes);
+                if !ok {
+                    cut.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+            kernel_words.fetch_add(words, Ordering::Relaxed);
+        };
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_workers).map(|_| scope.spawn(worker)).collect();
+            for handle in handles {
+                if handle.join().is_err() {
+                    worker_panics += 1;
+                }
+            }
+        });
+    } else {
+        // Loader + workers: a bounded queue holds up to `prefetch`
+        // materialized shards ahead of consumption.
+        let queue: BoundedQueue<(usize, Shard<P>)> = BoundedQueue::new(prefetch);
+        let queue = &queue;
+        let loader = || {
+            for k in 0..n_shards {
+                if cut.load(Ordering::Relaxed) || shared.stopped() {
+                    break;
+                }
+                let opened = source.open(k);
+                let encoded = source.size_hint(k).unwrap_or(0);
+                let shard = match catch_unwind(AssertUnwindSafe(|| opened.materialize())) {
+                    Ok(shard) => shard,
+                    Err(_) => {
+                        shared.panicked.fetch_add(1, Ordering::Relaxed);
+                        shared.trip(TruncationReason::WorkerPanic);
+                        cut.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                };
+                compressed.fetch_add(encoded, Ordering::Relaxed);
+                let bytes = shard.approx_bytes();
+                resident.add(bytes);
+                if !queue.push((k, shard)) {
+                    // A worker aborted and closed the queue; the shard
+                    // was dropped instead of enqueued.
+                    resident.sub(bytes);
+                    break;
+                }
+            }
+            queue.close();
+        };
+        let worker = || {
+            let mut words = 0u64;
+            loop {
+                let io_start = Instant::now();
+                let item = queue.pop();
+                io_wait.fetch_add(io_start.elapsed().as_micros() as u64, Ordering::Relaxed);
+                let Some((k, shard)) = item else { break };
+                let bytes = shard.approx_bytes();
+                let ok = if shared.poll() || cut.load(Ordering::Relaxed) {
+                    false
+                } else {
+                    process_shard(
+                        k, &shard, candidates, &merger, shared, &rows, &streamed, &mut words,
+                    )
+                };
+                resident.sub(bytes);
+                if !ok {
+                    cut.store(true, Ordering::Relaxed);
+                    for (_, dropped) in queue.close_now() {
+                        resident.sub(dropped.approx_bytes());
+                    }
+                    break;
+                }
+            }
+            kernel_words.fetch_add(words, Ordering::Relaxed);
+        };
+        std::thread::scope(|scope| {
+            let loader_handle = scope.spawn(loader);
+            let handles: Vec<_> = (0..n_workers).map(|_| scope.spawn(worker)).collect();
+            for handle in handles {
+                if handle.join().is_err() {
+                    worker_panics += 1;
+                }
+            }
+            // Workers are done; anything the loader still queues after
+            // this point is unreachable — close and release it.
+            for (_, dropped) in queue.close_now() {
+                resident.sub(dropped.approx_bytes());
+            }
+            if loader_handle.join().is_err() {
+                worker_panics += 1;
+            }
+        });
+    }
+    if worker_panics > 0 {
+        shared.panicked.fetch_add(worker_panics, Ordering::Relaxed);
+        shared.trip(TruncationReason::WorkerPanic);
+        cut.store(true, Ordering::Relaxed);
+    }
+
+    pass.rows = rows.load(Ordering::Relaxed);
+    pass.io_wait_us = io_wait.load(Ordering::Relaxed);
+    pass.streamed_bytes = streamed.load(Ordering::Relaxed);
+    pass.compressed_bytes = compressed.load(Ordering::Relaxed);
+    pass.kernel_words = kernel_words.load(Ordering::Relaxed);
+    pass.cut = cut.load(Ordering::Relaxed);
+    let (supports, acc) = merger.into_results();
+    (supports, acc, pass)
+}
+
 /// Runs the full two-pass scheme over `source`, streaming the globally
 /// frequent itemsets (exact supports and payloads) into `sink` in
 /// canonical order.
 ///
 /// Phase 1 distributes shards over `n_threads` workers through a shared
-/// work counter (idle workers steal the next un-mined shard); phase 2 is
-/// sequential, holding one shard at a time. Returns the run's
+/// work counter (idle workers steal the next un-mined shard). Phase 2 is
+/// the pipelined recount ([`recount_pass`]): `n_threads` also spreads the
+/// recount across workers, and `prefetch > 0` additionally overlaps IO by
+/// loading up to that many shards ahead of consumption — the tallies stay
+/// bit-identical to the sequential order either way. Returns the run's
 /// [`Completeness`] verdict and its [`ShardStats`].
 ///
 /// # Panics
@@ -470,6 +1016,7 @@ pub fn mine_into_bounded<P, C, S>(
     source: &C,
     params: &MiningParams,
     n_threads: usize,
+    prefetch: usize,
     budget: &Budget,
     cancel: Option<&CancelToken>,
     sink: &mut S,
@@ -496,7 +1043,7 @@ where
     let shared = SharedLimits::new(budget, cancel, start);
     let shared = &shared;
     let next = AtomicUsize::new(0);
-    let peak_shard_bytes = AtomicU64::new(0);
+    let resident = ResidentGauge::default();
     let shards_mined = AtomicU64::new(0);
 
     // Phase 1: local candidate mining over a work-stealing shard queue.
@@ -511,7 +1058,7 @@ where
             &next,
             depth_cap,
             threshold,
-            &peak_shard_bytes,
+            &resident,
             &shards_mined,
         )]
     } else {
@@ -526,7 +1073,7 @@ where
                             &next,
                             depth_cap,
                             threshold,
-                            &peak_shard_bytes,
+                            &resident,
                             &shards_mined,
                         )
                     })
@@ -568,57 +1115,22 @@ where
     stats.candidate_bytes = candidates.approx_bytes();
     obs::counter("fpm.sharded.candidates_union", stats.candidates);
 
-    // Phase 2: exact recount, one shard resident at a time.
+    // Phase 2: the pipelined exact recount.
     let mut emitted = 0u64;
-    let mut recount_cut = false;
     if mine_cut {
         stats.truncated_phase = Some(ShardPhase::Mine);
     } else {
         let recount_start = Instant::now();
         let recount_span = obs::span("fpm.sharded.recount");
-        let mut supports = vec![0u64; candidates.len()];
-        let mut acc: Vec<P> = vec![P::zero(); candidates.len()];
-        let mut kernel_words = 0u64;
-        for k in 0..n_shards {
-            if shared.poll() {
-                recount_cut = true;
-                break;
-            }
-            let shard = source.open(k).materialize();
-            peak_shard_bytes.fetch_max(shard.approx_bytes(), Ordering::Relaxed);
-            if shard.db.is_empty() {
-                continue;
-            }
-            stats.recount_rows += shard.db.len() as u64;
-            // A payload merge that panics poisons this shard's partial
-            // sums, so the whole recount is abandoned (nothing emitted).
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                recount_shard(
-                    &shard,
-                    &candidates,
-                    &mut supports,
-                    &mut acc,
-                    &mut kernel_words,
-                    shared,
-                )
-            }));
-            match outcome {
-                Ok(true) => {}
-                Ok(false) => {
-                    recount_cut = true;
-                    break;
-                }
-                Err(_) => {
-                    shared.panicked.fetch_add(1, Ordering::Relaxed);
-                    shared.trip(TruncationReason::WorkerPanic);
-                    recount_cut = true;
-                    break;
-                }
-            }
-        }
+        let (supports, acc, pass) =
+            recount_pass(source, &candidates, n_threads, prefetch, shared, &resident);
+        stats.recount_rows = pass.rows;
+        stats.io_wait_us = pass.io_wait_us;
+        stats.streamed_bytes = pass.streamed_bytes;
+        stats.compressed_bytes = pass.compressed_bytes;
         obs::counter("fpm.sharded.recount_rows", stats.recount_rows);
-        kernels::publish_selected(kernel_words);
-        if recount_cut {
+        kernels::publish_selected(pass.kernel_words);
+        if pass.cut {
             stats.truncated_phase = Some(ShardPhase::Recount);
         } else {
             // Emission: exact global filter, canonical order. Only the
@@ -638,7 +1150,7 @@ where
         drop(recount_span);
         stats.recount_us = recount_start.elapsed().as_micros() as u64;
     }
-    stats.peak_shard_bytes = peak_shard_bytes.load(Ordering::Relaxed);
+    stats.peak_shard_bytes = resident.peak();
 
     let completeness = match shared.resolve_reason() {
         None => Completeness::Complete,
@@ -669,10 +1181,21 @@ where
 /// [`ShardStats::truncated_phase`] = [`ShardPhase::Recount`], matching
 /// the full pipeline: partially recounted tallies are never emitted. An
 /// itemset cap tripped during emission still yields a sound prefix.
+///
+/// `n_threads` and `prefetch` engage the same pipelined recount as
+/// [`mine_into_bounded`]; `(1, 0)` is the sequential one-shard-resident
+/// pass.
+///
+/// # Panics
+///
+/// Panics if `n_threads == 0`.
+#[allow(clippy::too_many_arguments)]
 pub fn recount_into_bounded<P, C, S>(
     source: &C,
     candidates: &ItemsetArena<()>,
     threshold: u64,
+    n_threads: usize,
+    prefetch: usize,
     budget: &Budget,
     cancel: Option<&CancelToken>,
     sink: &mut S,
@@ -682,6 +1205,7 @@ where
     C: ShardSource<P>,
     S: ItemsetSink<P>,
 {
+    assert!(n_threads > 0, "need at least one thread");
     let start = Instant::now();
     let threshold = threshold.max(1);
     let n_shards = source.n_shards();
@@ -697,56 +1221,20 @@ where
 
     let shared = SharedLimits::new(budget, cancel, start);
     let shared = &shared;
-    let peak_shard_bytes = AtomicU64::new(0);
+    let resident = ResidentGauge::default();
 
     let recount_start = Instant::now();
     let recount_span = obs::span("fpm.sharded.recount");
-    let mut supports = vec![0u64; candidates.len()];
-    let mut acc: Vec<P> = vec![P::zero(); candidates.len()];
-    let mut kernel_words = 0u64;
-    let mut recount_cut = false;
-    for k in 0..n_shards {
-        if shared.poll() {
-            recount_cut = true;
-            break;
-        }
-        let shard = source.open(k).materialize();
-        peak_shard_bytes.fetch_max(shard.approx_bytes(), Ordering::Relaxed);
-        if shard.db.is_empty() {
-            continue;
-        }
-        stats.recount_rows += shard.db.len() as u64;
-        // Same containment as the full pipeline: a payload merge that
-        // panics poisons this shard's partial sums, so the whole recount
-        // is abandoned (nothing emitted).
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            recount_shard(
-                &shard,
-                candidates,
-                &mut supports,
-                &mut acc,
-                &mut kernel_words,
-                shared,
-            )
-        }));
-        match outcome {
-            Ok(true) => {}
-            Ok(false) => {
-                recount_cut = true;
-                break;
-            }
-            Err(_) => {
-                shared.panicked.fetch_add(1, Ordering::Relaxed);
-                shared.trip(TruncationReason::WorkerPanic);
-                recount_cut = true;
-                break;
-            }
-        }
-    }
+    let (supports, acc, pass) =
+        recount_pass(source, candidates, n_threads, prefetch, shared, &resident);
+    stats.recount_rows = pass.rows;
+    stats.io_wait_us = pass.io_wait_us;
+    stats.streamed_bytes = pass.streamed_bytes;
+    stats.compressed_bytes = pass.compressed_bytes;
     obs::counter("fpm.sharded.recount_rows", stats.recount_rows);
-    kernels::publish_selected(kernel_words);
+    kernels::publish_selected(pass.kernel_words);
     let mut emitted = 0u64;
-    if recount_cut {
+    if pass.cut {
         stats.truncated_phase = Some(ShardPhase::Recount);
     } else {
         for id in 0..candidates.len() {
@@ -762,7 +1250,7 @@ where
     }
     drop(recount_span);
     stats.recount_us = recount_start.elapsed().as_micros() as u64;
-    stats.peak_shard_bytes = peak_shard_bytes.load(Ordering::Relaxed);
+    stats.peak_shard_bytes = resident.peak();
 
     let completeness = match shared.resolve_reason() {
         None => Completeness::Complete,
@@ -782,7 +1270,7 @@ where
     C: ShardSource<P>,
     S: ItemsetSink<P>,
 {
-    let (_, stats) = mine_into_bounded(source, params, 1, &Budget::unlimited(), None, sink);
+    let (_, stats) = mine_into_bounded(source, params, 1, 0, &Budget::unlimited(), None, sink);
     stats
 }
 
@@ -867,6 +1355,7 @@ mod tests {
                 &source,
                 &params,
                 n_threads,
+                0,
                 &Budget::unlimited(),
                 None,
                 &mut sink,
@@ -907,7 +1396,7 @@ mod tests {
         let budget = Budget::unlimited().with_timeout(std::time::Duration::ZERO);
         let mut sink = VecSink::new();
         let (completeness, stats) =
-            mine_into_bounded(&source, &params, 1, &budget, None, &mut sink);
+            mine_into_bounded(&source, &params, 1, 0, &budget, None, &mut sink);
         assert_eq!(
             completeness.truncation_reason(),
             Some(TruncationReason::Timeout)
@@ -957,6 +1446,7 @@ mod tests {
             &source,
             &params,
             1,
+            0,
             &Budget::unlimited(),
             Some(&token),
             &mut sink,
@@ -980,7 +1470,7 @@ mod tests {
         let budget = Budget::unlimited().with_max_itemsets(5);
         let mut sink = VecSink::new();
         let (completeness, stats) =
-            mine_into_bounded(&source, &params, 1, &budget, None, &mut sink);
+            mine_into_bounded(&source, &params, 1, 0, &budget, None, &mut sink);
         assert_eq!(
             completeness.truncation_reason(),
             Some(TruncationReason::ItemsetLimit)
@@ -1007,6 +1497,8 @@ mod tests {
                 &source,
                 &candidates,
                 params.threshold(),
+                1,
+                0,
                 &Budget::unlimited(),
                 None,
                 &mut sink,
@@ -1036,6 +1528,8 @@ mod tests {
             &source,
             &candidates,
             strict.threshold(),
+            1,
+            0,
             &Budget::unlimited(),
             None,
             &mut sink,
@@ -1058,6 +1552,8 @@ mod tests {
             &source,
             &candidates,
             params.threshold(),
+            1,
+            0,
             &Budget::unlimited(),
             Some(&token),
             &mut sink,
@@ -1068,6 +1564,121 @@ mod tests {
         );
         assert_eq!(stats.truncated_phase, Some(ShardPhase::Recount));
         assert!(sink.found.is_empty());
+    }
+
+    #[test]
+    fn parallel_and_prefetched_recounts_match_the_sequential_pass() {
+        let db = db();
+        let payloads = payloads(db.len());
+        let params = MiningParams::with_min_support_count(2);
+        let expected = mine_arena(&db, &payloads, &params, 7).into_itemsets();
+        for (threads, prefetch) in [(1, 2), (4, 0), (4, 2), (8, 5)] {
+            let source = MemShardSource::new(&db, &payloads, 7);
+            let mut sink = VecSink::new();
+            let (completeness, stats) = mine_into_bounded(
+                &source,
+                &params,
+                threads,
+                prefetch,
+                &Budget::unlimited(),
+                None,
+                &mut sink,
+            );
+            assert_eq!(
+                completeness,
+                Completeness::Complete,
+                "threads={threads} prefetch={prefetch}"
+            );
+            assert_eq!(stats.recount_rows, db.len() as u64);
+            assert!(stats.streamed_bytes > 0);
+            assert_eq!(stats.compressed_bytes, 0, "mem source has no encoding");
+            assert_eq!(
+                sink.found, expected,
+                "threads={threads} prefetch={prefetch}"
+            );
+
+            let candidates = ItemsetArena::from_itemsets(&expected).to_candidates();
+            let mut resink = VecSink::new();
+            let (re_comp, re_stats) = recount_into_bounded(
+                &source,
+                &candidates,
+                params.threshold(),
+                threads,
+                prefetch,
+                &Budget::unlimited(),
+                None,
+                &mut resink,
+            );
+            assert_eq!(re_comp, Completeness::Complete);
+            assert_eq!(re_stats.recount_rows, db.len() as u64);
+            assert_eq!(
+                resink.found, expected,
+                "threads={threads} prefetch={prefetch}"
+            );
+        }
+    }
+
+    #[test]
+    fn cancelled_parallel_recount_emits_nothing_and_names_the_phase() {
+        let db = db();
+        let payloads = payloads(db.len());
+        let params = MiningParams::with_min_support_count(1);
+        let candidates = mine_arena(&db, &payloads, &params, 2).to_candidates();
+        for (threads, prefetch) in [(4, 0), (1, 2), (4, 2)] {
+            let token = CancelToken::new();
+            token.cancel();
+            let source = MemShardSource::new(&db, &payloads, 4);
+            let mut sink = VecSink::new();
+            let (completeness, stats) = recount_into_bounded(
+                &source,
+                &candidates,
+                params.threshold(),
+                threads,
+                prefetch,
+                &Budget::unlimited(),
+                Some(&token),
+                &mut sink,
+            );
+            assert_eq!(
+                completeness.truncation_reason(),
+                Some(TruncationReason::Cancelled),
+                "threads={threads} prefetch={prefetch}"
+            );
+            assert_eq!(stats.truncated_phase, Some(ShardPhase::Recount));
+            assert!(sink.found.is_empty());
+        }
+    }
+
+    #[test]
+    fn peak_resident_bytes_count_concurrent_shards_under_prefetch() {
+        let db = db();
+        let payloads = payloads(db.len());
+        let params = MiningParams::with_min_support_count(2);
+        let source = MemShardSource::new(&db, &payloads, 7);
+        // One shard's footprint, for scale.
+        let one_shard = source.open(0).materialize().approx_bytes();
+        let mut sink = VecSink::new();
+        let (_, stats) = mine_into_bounded(
+            &source,
+            &params,
+            4,
+            0,
+            &Budget::unlimited(),
+            None,
+            &mut sink,
+        );
+        // With 4 phase-1 workers the gauge may legitimately exceed a
+        // single shard; it can never report less than the largest one.
+        assert!(
+            stats.peak_shard_bytes >= one_shard,
+            "peak {} < single shard {}",
+            stats.peak_shard_bytes,
+            one_shard
+        );
+        assert!(stats.io_wait_us <= stats.recount_us + stats.mine_us + 1_000_000);
+        let ratio = stats.overlap_ratio();
+        assert!((0.0..=1.0).contains(&ratio), "overlap_ratio {ratio}");
+        assert_eq!(stats.compression_ratio(), None);
     }
 
     #[test]

@@ -24,8 +24,9 @@
 //! Every axis of a run is a setter: the backend ([`MiningTask::algorithm`],
 //! including [`Algorithm::Sharded`]), fused payloads
 //! ([`MiningTask::payloads`]), resource bounds ([`MiningTask::budget`],
-//! [`MiningTask::cancel`]), parallelism ([`MiningTask::threads`]) and
-//! sharding ([`MiningTask::shards`]). Terminal methods:
+//! [`MiningTask::cancel`]), parallelism ([`MiningTask::threads`]),
+//! sharding ([`MiningTask::shards`]) and IO overlap
+//! ([`MiningTask::prefetch`]). Terminal methods:
 //! [`MiningTask::run`] materializes an [`ItemsetArena`] inside a
 //! [`MiningOutcome`]; [`MiningTask::run_into`] streams into any
 //! [`ItemsetSink`] and returns the [`MiningVerdict`].
@@ -55,6 +56,7 @@ pub struct MiningTask<'a, P = ()> {
     cancel: Option<CancelToken>,
     threads: usize,
     shards: Option<usize>,
+    prefetch: usize,
 }
 
 /// What [`MiningTask::run_into`] reports after streaming into a sink.
@@ -104,6 +106,7 @@ impl<'a> MiningTask<'a, ()> {
             cancel: None,
             threads: 1,
             shards: None,
+            prefetch: 0,
         }
     }
 }
@@ -124,6 +127,7 @@ impl<'a, P: Payload + Send + Sync> MiningTask<'a, P> {
             cancel: self.cancel,
             threads: self.threads,
             shards: self.shards,
+            prefetch: self.prefetch,
         }
     }
 
@@ -169,6 +173,16 @@ impl<'a, P: Payload + Send + Sync> MiningTask<'a, P> {
     pub fn shards(mut self, k: usize) -> Self {
         assert!(k > 0, "need at least one shard");
         self.shards = Some(k);
+        self
+    }
+
+    /// Shards loaded ahead of the recount under the sharded engine:
+    /// `d > 0` dedicates a loader thread that keeps up to `d` shards
+    /// materialized ahead of consumption, overlapping IO with counting.
+    /// `0` (the default) loads inline on the counting threads. Tallies
+    /// are bit-identical either way.
+    pub fn prefetch(mut self, d: usize) -> Self {
+        self.prefetch = d;
         self
     }
 
@@ -259,6 +273,7 @@ impl<'a, P: Payload + Send + Sync> MiningTask<'a, P> {
                 &source,
                 &self.params,
                 self.threads,
+                self.prefetch,
                 &self.budget,
                 self.cancel.as_ref(),
                 sink,
@@ -351,6 +366,8 @@ impl<'a, P: Payload + Send + Sync> MiningTask<'a, P> {
             &source,
             candidates,
             self.params.threshold(),
+            self.threads,
+            self.prefetch,
             &self.budget,
             self.cancel.as_ref(),
             sink,

@@ -263,6 +263,84 @@ proptest! {
         }
     }
 
+    /// Pipelined recount acceptance: across shard counts, worker-thread
+    /// counts and prefetch depths, the sharded engine emits exactly the
+    /// itemsets, supports and composite payload tallies of the dense
+    /// engine — the ordered per-shard merge keeps parallel and
+    /// prefetched passes bit-identical to the sequential one.
+    #[test]
+    fn piped_sharded_recounts_match_sequential_and_dense(db in small_db(), min_support in 1u64..5) {
+        let payloads: Vec<(CountPayload, CountPayload)> = (0..db.len())
+            .map(|t| (CountPayload(t as u64 % 3), CountPayload(1 + t as u64 % 2)))
+            .collect();
+        let params = MiningParams::with_min_support_count(min_support);
+        let mut dense = mine(Algorithm::Dense, &db, &payloads, &params);
+        sort_canonical(&mut dense);
+        for k in [1usize, 2, 7] {
+            for threads in [1usize, 4] {
+                for prefetch in [0usize, 2] {
+                    let outcome = MiningTask::with_params(&db, params.clone())
+                        .payloads(&payloads)
+                        .shards(k)
+                        .threads(threads)
+                        .prefetch(prefetch)
+                        .run();
+                    prop_assert!(outcome.completeness.is_complete(),
+                        "K={} t={} d={}", k, threads, prefetch);
+                    let stats = outcome.shards.expect("sharded run reports stats");
+                    prop_assert_eq!(stats.recount_rows as usize, db.len(),
+                        "K={} t={} d={}", k, threads, prefetch);
+                    let ratio = stats.overlap_ratio();
+                    prop_assert!((0.0..=1.0).contains(&ratio),
+                        "K={} t={} d={}: overlap {}", k, threads, prefetch, ratio);
+                    let got = outcome.into_itemsets();
+                    prop_assert_eq!(&got, &dense,
+                        "sharded K={} t={} d={} vs dense", k, threads, prefetch);
+                }
+            }
+        }
+    }
+
+    /// Pipelined recount under a mid-recount cut: a pre-fired cancel
+    /// token stops the warm recount path before any emission for every
+    /// (threads, prefetch) combination, naming the recount phase — no
+    /// partially merged tallies ever escape.
+    #[test]
+    fn piped_recount_cut_emits_nothing(db in small_db(), min_support in 1u64..4) {
+        let payloads = payloads_for(&db);
+        let params = MiningParams::with_min_support_count(min_support);
+        let candidates = MiningTask::with_params(&db, params.clone())
+            .payloads(&payloads)
+            .run()
+            .store
+            .to_candidates();
+        for (threads, prefetch) in [(1usize, 0usize), (4, 0), (1, 2), (4, 2)] {
+            let token = fpm::CancelToken::new();
+            token.cancel();
+            let mut sink = fpm::VecSink::new();
+            let verdict = MiningTask::with_params(&db, params.clone())
+                .payloads(&payloads)
+                .shards(2)
+                .threads(threads)
+                .prefetch(prefetch)
+                .cancel(token)
+                .recount_into(&candidates, &mut sink);
+            prop_assert!(sink.found.is_empty(),
+                "t={} d={}: cut recount must emit nothing", threads, prefetch);
+            if !db.is_empty() && !candidates.is_empty() {
+                prop_assert_eq!(
+                    verdict.completeness.truncation_reason(),
+                    Some(fpm::TruncationReason::Cancelled)
+                );
+                prop_assert_eq!(
+                    verdict.shards.expect("stats").truncated_phase,
+                    Some(fpm::ShardPhase::Recount),
+                    "t={} d={}", threads, prefetch
+                );
+            }
+        }
+    }
+
     /// Every counting kernel computes the exact population counts of the
     /// scalar reference on arbitrary ragged buffers — lengths straddling
     /// the 8-word block boundary exercise both the wide body and the

@@ -121,6 +121,18 @@ pub struct RunReport {
     /// The phase a budget cut interrupted (`"mine"` / `"recount"`), if
     /// any.
     pub shard_truncated_phase: Option<String>,
+    /// Time the recount workers spent waiting on shard IO (inline loads
+    /// or blocked prefetch-queue pops), microseconds.
+    pub shard_io_wait_us: Option<u64>,
+    /// Fraction of the recount wall clock not spent waiting on IO, in
+    /// `[0, 1]` (`1.0` = fully overlapped).
+    pub shard_overlap_ratio: Option<f64>,
+    /// On-disk/encoded bytes behind the shards, when the source reports
+    /// a size hint (compressed sources); `None` otherwise.
+    pub shard_compressed_bytes: Option<u64>,
+    /// Streamed (decoded) bytes over encoded bytes — the effective
+    /// compression ratio, when the source reports sizes.
+    pub shard_compression_ratio: Option<f64>,
     /// Counting kernel the run dispatched to (`"scalar"` / `"unrolled"`
     /// / `"simd"`), when the caller records it. Per-kernel word volumes
     /// arrive as `fpm.kernel.words_anded.<name>` counters alongside.
@@ -157,6 +169,10 @@ impl RunReport {
             shard_peak_bytes: None,
             shard_candidate_bytes: None,
             shard_truncated_phase: None,
+            shard_io_wait_us: None,
+            shard_overlap_ratio: None,
+            shard_compressed_bytes: None,
+            shard_compression_ratio: None,
             kernel: None,
         }
     }
@@ -260,6 +276,10 @@ mod tests {
         report.shard_peak_bytes = Some(4096);
         report.shard_candidate_bytes = Some(2048);
         report.shard_truncated_phase = Some("recount".to_string());
+        report.shard_io_wait_us = Some(40);
+        report.shard_overlap_ratio = Some(0.73);
+        report.shard_compressed_bytes = Some(512);
+        report.shard_compression_ratio = Some(3.4);
         report.kernel = Some("simd".to_string());
 
         let json = report.to_json();
@@ -295,6 +315,10 @@ mod tests {
             "shard_peak_bytes",
             "shard_candidate_bytes",
             "shard_truncated_phase",
+            "shard_io_wait_us",
+            "shard_overlap_ratio",
+            "shard_compressed_bytes",
+            "shard_compression_ratio",
             "kernel",
         ] {
             json = json
