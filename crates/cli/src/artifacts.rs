@@ -22,7 +22,12 @@ use datasets::artifact::{self, ArenaKey};
 use datasets::artifact_io::DiskIo;
 use divexplorer::DivergenceReport;
 
-use crate::{explorer_from_args, prepare, render_explore, Args, CliError, RunStatus};
+use crate::{explorer_from_args, prepare, render_explore, Args, CliError, IndexFormat, RunStatus};
+
+/// Shard count for `index --format dxs` when `--shards` is not given:
+/// enough windows that a later out-of-core recount holds a fraction of
+/// the rows resident, without fragmenting small datasets.
+const DEFAULT_INDEX_SHARDS: usize = 8;
 
 /// The engine name recorded in artifact keys: `--shards` forces the
 /// sharded two-pass engine regardless of `--engine`.
@@ -72,6 +77,19 @@ pub fn run_index(args: &Args, content: &str, out: &mut String) -> Result<(), Cli
     let hash = artifact::save_dataset(&dataset_path, &prepared.data, &prepared.v, &prepared.u)
         .map_err(|e| input_err(&dataset_path.display(), &e))?;
 
+    let shards_line = if args.format == IndexFormat::Dxs {
+        let n_shards = args.shards.unwrap_or(DEFAULT_INDEX_SHARDS);
+        let shards_path = dir.join(artifact::shards_file_name(&args.name));
+        let shards_hash = artifact::save_shards(&shards_path, &prepared.data, n_shards)
+            .map_err(|e| input_err(&shards_path.display(), &e))?;
+        Some(format!(
+            "shards: {n_shards} windows, hash {shards_hash:016x} -> {}",
+            shards_path.display()
+        ))
+    } else {
+        None
+    };
+
     let candidates = candidates_of(&report);
     let key = ArenaKey {
         dataset_hash: hash,
@@ -91,6 +109,9 @@ pub fn run_index(args: &Args, content: &str, out: &mut String) -> Result<(), Cli
         prepared.data.n_rows(),
         dataset_path.display()
     );
+    if let Some(line) = shards_line {
+        let _ = writeln!(out, "{line}");
+    }
     let _ = writeln!(
         out,
         "lattice: {} patterns at support >= {} ({} rows) -> {}",

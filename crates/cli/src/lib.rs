@@ -102,11 +102,30 @@ pub struct Args {
     /// Mine through the sharded two-pass engine with this many row
     /// shards (bit-identical results at a fraction of the peak memory).
     pub shards: Option<usize>,
+    /// Worker threads for mining and the sharded recount pass.
+    pub threads: usize,
+    /// Shards to load ahead of the recount workers (0 = inline IO).
+    pub prefetch: usize,
     /// Artifact path: a file for `probe`, the registry directory for
     /// `index`, `analyze` and `serve`.
     pub artifact: String,
     /// Dataset name in the artifact registry (`index`, `analyze`).
     pub name: String,
+    /// On-disk layout written by `index`: `dxd` persists the dense
+    /// dataset artifact only; `dxs` additionally persists compressed
+    /// columnar shards for out-of-core recounts.
+    pub format: IndexFormat,
+}
+
+/// The artifact layout `index` writes (`--format`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexFormat {
+    /// Dataset (`.dxd`) + lattice (`.dxa`) artifacts only.
+    Dxd,
+    /// Additionally persist dictionary-encoded, bit-packed row shards
+    /// (`.dxs`) so later recounts can stream one decoded shard at a
+    /// time instead of materializing the dense dataset.
+    Dxs,
 }
 
 /// The supported subcommands.
@@ -258,6 +277,13 @@ OPTIONS:
                      sharded two-pass engine; results are bit-identical to
                      a one-pass run but peak mining memory is roughly one
                      shard plus the candidate set
+  --threads N        worker threads for mining and the sharded recount
+                     pass [1]
+  --prefetch D       load up to D shards ahead of the recount workers so
+                     IO overlaps counting (needs --shards; 0 = inline) [0]
+  --format F         index: dxd writes the dataset + lattice artifacts;
+                     dxs additionally writes compressed columnar shards
+                     (NAME.dxs) for out-of-core recounts [dxd]
 
 EXIT CODES:
   0 success    2 usage error    3 bad input    4 truncated by budget
@@ -307,8 +333,11 @@ impl Args {
             stats: false,
             engine: fpm::Algorithm::FpGrowth,
             shards: None,
+            threads: 1,
+            prefetch: 0,
             artifact: String::new(),
             name: String::new(),
+            format: IndexFormat::Dxd,
         };
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<String, CliError> {
@@ -361,8 +390,19 @@ impl Args {
                     }
                     args.shards = Some(n);
                 }
+                "--threads" => {
+                    let n = parse_num::<usize>(&value("--threads")?, "--threads")?;
+                    if n == 0 {
+                        return Err(CliError::Usage("--threads must be at least 1".to_string()));
+                    }
+                    args.threads = n;
+                }
+                "--prefetch" => {
+                    args.prefetch = parse_num::<usize>(&value("--prefetch")?, "--prefetch")?;
+                }
                 "--artifact" => args.artifact = value("--artifact")?,
                 "--name" => args.name = value("--name")?,
+                "--format" => args.format = parse_format(&value("--format")?)?,
                 other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
             }
         }
@@ -413,6 +453,16 @@ impl Args {
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, CliError> {
     s.parse()
         .map_err(|_| CliError::Usage(format!("{flag}: cannot parse '{s}'")))
+}
+
+fn parse_format(s: &str) -> Result<IndexFormat, CliError> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "dxd" => Ok(IndexFormat::Dxd),
+        "dxs" => Ok(IndexFormat::Dxs),
+        other => Err(CliError::Usage(format!(
+            "unknown artifact format '{other}' (expected dxd or dxs)"
+        ))),
+    }
 }
 
 pub(crate) fn parse_engine(s: &str) -> Result<fpm::Algorithm, CliError> {
@@ -604,6 +654,8 @@ pub(crate) fn budget_from_args(args: &Args) -> fpm::Budget {
 pub(crate) fn explorer_from_args(args: &Args) -> DivExplorer {
     let mut explorer = DivExplorer::new(args.support)
         .with_algorithm(args.engine)
+        .with_threads(args.threads)
+        .with_prefetch(args.prefetch)
         .with_budget(budget_from_args(args));
     if let Some(k) = args.shards {
         explorer = explorer.with_shards(k);
@@ -1189,6 +1241,54 @@ b,y,0,1
     }
 
     #[test]
+    fn threads_and_prefetch_flags_parse_and_reject_bad_values() {
+        let mut argv = base_args("explore");
+        argv.extend([
+            "--threads".to_string(),
+            "4".to_string(),
+            "--prefetch".to_string(),
+            "2".to_string(),
+        ]);
+        let args = Args::parse(argv).unwrap();
+        assert_eq!(args.threads, 4);
+        assert_eq!(args.prefetch, 2);
+
+        let mut argv = base_args("explore");
+        argv.extend(["--threads".to_string(), "0".to_string()]);
+        assert!(matches!(Args::parse(argv), Err(CliError::Usage(_))));
+
+        let mut argv = base_args("explore");
+        argv.extend(["--prefetch".to_string(), "nope".to_string()]);
+        assert!(matches!(Args::parse(argv), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn piped_sharded_explore_matches_the_default_engine() {
+        let reference = {
+            let args = Args::parse(base_args("explore")).unwrap();
+            let mut out = String::new();
+            run_with_content(&args, CSV, &mut out).unwrap();
+            out
+        };
+        for (threads, prefetch) in [("4", "0"), ("1", "2"), ("4", "2")] {
+            let mut argv = base_args("explore");
+            argv.extend([
+                "--shards".to_string(),
+                "3".to_string(),
+                "--threads".to_string(),
+                threads.to_string(),
+                "--prefetch".to_string(),
+                prefetch.to_string(),
+            ]);
+            let args = Args::parse(argv).unwrap();
+            let mut out = String::new();
+            let status = run_with_content(&args, CSV, &mut out).unwrap();
+            assert_eq!(status, RunStatus::Complete, "t={threads} d={prefetch}");
+            assert_eq!(out, reference, "t={threads} d={prefetch}");
+        }
+    }
+
+    #[test]
     fn truncated_sharded_run_names_the_cut_phase() {
         // An already-expired deadline trips in the mine phase; the
         // warning must say which phase was lost, not just the count.
@@ -1301,6 +1401,55 @@ b,y,0,1
         let mut fnr = String::new();
         artifacts::run_analyze(&analyze, &mut fnr).unwrap();
         assert!(fnr.contains("Δ_FNR"), "got: {fnr}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn index_format_dxs_writes_probeable_compressed_shards() {
+        // Unknown formats are a usage error before any IO happens.
+        let mut bad = index_args(std::path::Path::new("unused"));
+        bad.extend(["--format".to_string(), "zip".to_string()]);
+        assert!(matches!(Args::parse(bad), Err(CliError::Usage(_))));
+
+        let dir = artifact_temp_dir("dxs");
+        let mut argv = index_args(&dir);
+        argv.extend([
+            "--format".to_string(),
+            "dxs".to_string(),
+            "--shards".to_string(),
+            "3".to_string(),
+        ]);
+        let args = Args::parse(argv).unwrap();
+        let mut out = String::new();
+        run_with_content(&args, CSV, &mut out).unwrap();
+        assert!(out.contains("shards: 3 windows"), "got: {out}");
+
+        let shards_path = dir.join("toy.dxs");
+        let probe = Args::parse(vec![
+            "probe".to_string(),
+            "--artifact".to_string(),
+            shards_path.to_str().unwrap().to_string(),
+        ])
+        .unwrap();
+        let mut probed = String::new();
+        artifacts::run_probe(&probe, &mut probed).unwrap();
+        assert!(probed.contains("kind:     shards"), "got: {probed}");
+
+        // The decoded shards reconstruct the indexed dataset exactly.
+        use fpm::ShardSource as _;
+        let source = datasets::artifact::load_shards(&shards_path).unwrap();
+        let args = Args::parse(index_args(&dir)).unwrap();
+        let prepared = prepare(CSV, &args).unwrap();
+        let db = prepared.data.to_transactions();
+        let mut seen = 0usize;
+        for k in 0..source.n_shards() {
+            let shard = source.open(k).materialize();
+            for r in 0..shard.db.len() {
+                assert_eq!(shard.db.transaction(r), db.transaction(shard.start_row + r));
+            }
+            seen += shard.db.len();
+        }
+        assert_eq!(seen, prepared.data.n_rows());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

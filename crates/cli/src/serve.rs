@@ -428,6 +428,38 @@ fn support_field(request: &Value, args: &Args) -> Result<f64, Value> {
     }
 }
 
+/// The per-request scale knobs, defaulted from the CLI flags. Requests
+/// accept the same `threads`/`shards`/`prefetch` fields as `cli mine`
+/// and `analyze`.
+struct ScaleKnobs {
+    threads: usize,
+    shards: Option<usize>,
+    prefetch: usize,
+}
+
+/// Parses the optional scale knobs with the same strictness as
+/// `support`: a present-but-malformed value (a string `"4"`, a float, a
+/// zero where at least one is required) is a hard request error, never
+/// a silent fallback to the CLI default.
+fn scale_knobs(request: &Value, args: &Args) -> Result<ScaleKnobs, Value> {
+    let uint = |key: &str, min: u64| -> Result<Option<usize>, Value> {
+        match &request[key] {
+            Value::Null => Ok(None),
+            v => match v.as_u64() {
+                Some(n) if n >= min => Ok(Some(n as usize)),
+                _ => Err(fail(format!(
+                    "'{key}' must be an integer >= {min}; strings are not coerced"
+                ))),
+            },
+        }
+    };
+    Ok(ScaleKnobs {
+        threads: uint("threads", 1)?.unwrap_or(args.threads),
+        shards: uint("shards", 1)?.or(args.shards),
+        prefetch: uint("prefetch", 0)?.unwrap_or(args.prefetch),
+    })
+}
+
 /// Parses the optional `top` field with the same strictness.
 fn top_field(request: &Value, args: &Args) -> Result<usize, Value> {
     match &request["top"] {
@@ -737,6 +769,7 @@ fn ensure_lattice(
     warnings: &mut Vec<String>,
 ) -> Result<(Arc<ItemsetArena<()>>, &'static str, f64), Value> {
     let support = support_field(request, args)?;
+    let knobs = scale_knobs(request, args)?;
     let engine = str_field(request, "engine").unwrap_or_else(|| engine_label(args));
     let reg = state
         .datasets
@@ -784,9 +817,17 @@ fn ensure_lattice(
     }
     let reg = &state.datasets[name];
     let algorithm = parse_engine(&engine).map_err(|e| fail(e.to_string()))?;
-    let explorer = DivExplorer::new(support)
+    // The scale knobs steer *how* the lattice is mined, never what it
+    // contains — sharded/parallel/prefetched runs are bit-identical —
+    // so they are deliberately absent from the cache and artifact keys.
+    let mut explorer = DivExplorer::new(support)
         .with_algorithm(algorithm)
+        .with_threads(knobs.threads)
+        .with_prefetch(knobs.prefetch)
         .with_budget(request_budget(args));
+    if let Some(k) = knobs.shards {
+        explorer = explorer.with_shards(k);
+    }
     let report = explorer
         .explore(&reg.data, &reg.v, &reg.u, &args.metrics)
         .map_err(|e| fail(e.to_string()))?;
@@ -853,6 +894,7 @@ fn handle_query(state: &mut ServeState, args: &Args, request: &Value) -> Result<
     // request must fail fast without side effects (no mine, no
     // quarantine, no registry write).
     let top = top_field(request, args)?;
+    let knobs = scale_knobs(request, args)?;
     let metrics = match str_field(request, "metric") {
         Some(spec) => parse_metrics(&spec).map_err(|e| fail(e.to_string()))?,
         None => args.metrics.clone(),
@@ -873,9 +915,16 @@ fn handle_query(state: &mut ServeState, args: &Args, request: &Value) -> Result<
     let u: &[bool] = u_override.as_deref().unwrap_or(&reg.u);
 
     // The warm path: one streaming recount against the shared lattice,
-    // no mining phase (see DESIGN.md §6g).
-    let report = DivExplorer::new(support)
-        .with_budget(request_budget(args))
+    // no mining phase (see DESIGN.md §6g). The scale knobs drive the
+    // recount pipeline too — same tallies, different wall clock.
+    let mut explorer = DivExplorer::new(support)
+        .with_threads(knobs.threads)
+        .with_prefetch(knobs.prefetch)
+        .with_budget(request_budget(args));
+    if let Some(k) = knobs.shards {
+        explorer = explorer.with_shards(k);
+    }
+    let report = explorer
         .from_artifact(&reg.data, &arena, &reg.v, u, &metrics)
         .map_err(|e| fail(e.to_string()))?;
     if let Some(reason) = report.completeness().truncation_reason() {
@@ -1139,6 +1188,55 @@ b,y,0,1
         assert!(responses[3]["error"].as_str().unwrap().contains("top"));
         // The loop continued and a well-formed request still succeeds.
         assert_eq!(responses[4]["ok"].as_bool(), Some(true));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scale_knob_fields_parse_strictly_and_keep_results_identical() {
+        let dir = temp_dir("scale-knobs");
+        let csv_path = dir.join("toy.csv");
+        std::fs::write(&csv_path, CSV).unwrap();
+        let register = register_line(&csv_path);
+        // Malformed knobs are hard errors (no silent CLI-default
+        // fallback, no side effects); well-formed knobs change the
+        // execution pipeline but never the tallies.
+        let responses = drive(
+            &serve_args(""),
+            &[
+                &register,
+                r#"{"op":"mine","name":"toy","support":0.25,"threads":"4"}"#,
+                r#"{"op":"query","name":"toy","support":0.25,"shards":0}"#,
+                r#"{"op":"query","name":"toy","support":0.25,"prefetch":1.5}"#,
+                r#"{"op":"query","name":"toy","support":0.25,"top":3}"#,
+                r#"{"op":"query","name":"toy","support":0.25,"top":3,"threads":4,"shards":3,"prefetch":2}"#,
+                r#"{"op":"stats"}"#,
+            ],
+        );
+        for (i, field) in [(1, "threads"), (2, "shards"), (3, "prefetch")] {
+            assert_eq!(responses[i]["ok"].as_bool(), Some(false), "{i}");
+            assert!(
+                responses[i]["error"].as_str().unwrap().contains(field),
+                "{:?}",
+                responses[i]
+            );
+        }
+        assert_eq!(
+            responses[4]["ok"].as_bool(),
+            Some(true),
+            "{:?}",
+            responses[4]
+        );
+        assert_eq!(
+            responses[5]["ok"].as_bool(),
+            Some(true),
+            "{:?}",
+            responses[5]
+        );
+        assert_eq!(responses[4]["patterns"], responses[5]["patterns"]);
+        assert_eq!(responses[4]["results"], responses[5]["results"]);
+        // The malformed-shards query must not have mined anything: the
+        // first well-formed query is the one that reports "mined".
+        assert_eq!(responses[4]["source"].as_str(), Some("mined"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
